@@ -1,0 +1,68 @@
+// Command axe-asm assembles RISC-V controller programs (RV32IM plus the
+// QRCH custom instructions) into flat binary or word listings.
+//
+// Usage:
+//
+//	axe-asm [-base 0x0] [-o out.bin] prog.s     # assemble to binary
+//	axe-asm -list prog.s                        # print a word listing
+//	axe-asm -run prog.s                         # assemble and execute
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lsdgnn/internal/riscv"
+)
+
+func main() {
+	base := flag.Uint("base", 0, "load address")
+	out := flag.String("o", "", "output binary path (default: stdout listing)")
+	list := flag.Bool("list", false, "print word listing")
+	run := flag.Bool("run", false, "execute on a bare RV32IM hart (64 KiB RAM) and dump registers")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: axe-asm [flags] prog.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := riscv.Assemble(string(src), uint32(*base))
+	if err != nil {
+		fatal(err)
+	}
+	switch {
+	case *run:
+		bus := &riscv.SystemBus{}
+		ram := riscv.NewRAM(64 << 10)
+		if err := bus.Map(uint32(*base), 64<<10, ram); err != nil {
+			fatal(err)
+		}
+		copy(ram.Data, prog.Bytes())
+		cpu := riscv.NewCPU(bus)
+		cpu.Reset(uint32(*base))
+		if err := cpu.Run(1 << 22); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("halted after %d instructions, %d cycles\n", cpu.Retired, cpu.Cycles)
+		for i := 0; i < 32; i += 4 {
+			fmt.Printf("x%-2d=%08x  x%-2d=%08x  x%-2d=%08x  x%-2d=%08x\n",
+				i, cpu.X[i], i+1, cpu.X[i+1], i+2, cpu.X[i+2], i+3, cpu.X[i+3])
+		}
+	case *out != "" && !*list:
+		if err := os.WriteFile(*out, prog.Bytes(), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d bytes to %s\n", len(prog.Bytes()), *out)
+	default:
+		fmt.Print(riscv.DisassembleProgram(prog.Words, uint32(*base)))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "axe-asm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Command lsdgnn-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	lsdgnn-bench list                 # show available experiments
+//	lsdgnn-bench run <name> [...]     # run one or more experiments
+//	lsdgnn-bench all                  # run everything
+//
+// Flags:
+//
+//	-quick    shrink simulation sizes (CI-friendly)
+//	-seed N   synthetic-data seed (default 42)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lsdgnn/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink simulation sizes")
+	seed := flag.Int64("seed", 42, "synthetic-data seed")
+	flag.Usage = usage
+	flag.Parse()
+
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "list":
+		for _, name := range experiments.Names() {
+			fmt.Printf("%-10s %s\n", name, experiments.Describe(name))
+		}
+	case "all":
+		if err := experiments.RunAll(os.Stdout, opts); err != nil {
+			fatal(err)
+		}
+	case "run":
+		if len(args) < 2 {
+			fatal(fmt.Errorf("run: need at least one experiment name"))
+		}
+		for _, name := range args[1:] {
+			fmt.Printf("==== %s — %s ====\n", name, experiments.Describe(name))
+			if err := experiments.Run(name, os.Stdout, opts); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `lsdgnn-bench regenerates the paper's tables and figures.
+
+usage:
+  lsdgnn-bench [flags] list
+  lsdgnn-bench [flags] run <experiment>...
+  lsdgnn-bench [flags] all
+
+flags:
+`)
+	flag.PrintDefaults()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lsdgnn-bench:", err)
+	os.Exit(1)
+}

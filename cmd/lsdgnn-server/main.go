@@ -1,0 +1,79 @@
+// Command lsdgnn-server runs one graph-partition server over TCP — the
+// storage-node role of the distributed in-memory graph store. A worker
+// (see examples/distributed) connects with cluster.DialTCP and issues
+// batched neighbor/attribute requests.
+//
+// Example (4-partition cluster on one machine):
+//
+//	lsdgnn-server -addr :7001 -partition 0 -partitions 4 &
+//	lsdgnn-server -addr :7002 -partition 1 -partitions 4 &
+//	...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"lsdgnn/internal/cluster"
+	"lsdgnn/internal/graph"
+	"lsdgnn/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7001", "listen address")
+	dataset := flag.String("dataset", "ss", "Table 2 dataset to serve (scaled)")
+	graphFile := flag.String("graph", "", "serve a graph saved with graph.Save instead of generating one")
+	partition := flag.Int("partition", 0, "this server's partition index")
+	partitions := flag.Int("partitions", 1, "total partition count")
+	seed := flag.Int64("seed", 42, "graph generation seed (must match peers)")
+	flag.Parse()
+
+	if *partition < 0 || *partition >= *partitions {
+		fatal(fmt.Errorf("partition %d out of %d", *partition, *partitions))
+	}
+	var g *graph.Graph
+	var name string
+	if *graphFile != "" {
+		loaded, err := graph.Load(*graphFile)
+		if err != nil {
+			fatal(err)
+		}
+		g, name = loaded, *graphFile
+		fmt.Printf("loaded %s: %d nodes, %d edges\n", name, g.NumNodes(), g.NumEdges())
+	} else {
+		ds, err := workload.DatasetByName(*dataset)
+		if err != nil {
+			fatal(err)
+		}
+		name = ds.Name
+		fmt.Printf("building %s (scaled: %d nodes)...\n", ds.Name, ds.SimNodes)
+		g = ds.Build(*seed)
+	}
+	part := cluster.HashPartitioner{N: *partitions}
+	// Hold only this partition's shard, as a production storage node would.
+	srv, err := cluster.ShardServer(g, part, *partition)
+	if err != nil {
+		fatal(err)
+	}
+	tcp, err := cluster.ServeTCP(srv, *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("serving partition %d/%d of %s on %s\n", *partition, *partitions, name, tcp.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	if err := tcp.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lsdgnn-server:", err)
+	os.Exit(1)
+}

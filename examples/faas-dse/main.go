@@ -1,0 +1,52 @@
+// FaaS design-space exploration: fits the cloud cost model, runs the full
+// 8-architecture × 6-dataset × 3-size evaluation grid (Section 6/7) through
+// the public API, and prints the paper's headline conclusions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lsdgnn"
+	"lsdgnn/internal/faas"
+)
+
+func main() {
+	model, err := lsdgnn.FitCostModel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cost model: $/h = %.3f + %.4f·vCPU + %.4f·GB + %.2f·FPGA + %.2f·GPU\n\n",
+		model.Intercept, model.VCPUCoef, model.MemCoef, model.FPGACoef, model.GPUCoef)
+
+	ev, err := lsdgnn.EvaluateFaaS()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("geomean normalized performance/dollar (vs vCPU solution):")
+	for _, cpl := range []faas.Coupling{faas.Decp, faas.TC} {
+		for _, a := range []faas.Arch{faas.Base, faas.CostOpt, faas.CommOpt, faas.MemOpt} {
+			fmt.Printf("  %-8v.%-4v  %6.2fx\n", a, cpl, ev.GeomeanPerfPerDollarNormAllSizes(a, cpl))
+		}
+	}
+
+	fmt.Println("\nper-instance throughput on the ll dataset (medium instances):")
+	for _, cpl := range []faas.Coupling{faas.Decp, faas.TC} {
+		for _, a := range []faas.Arch{faas.Base, faas.CostOpt, faas.CommOpt, faas.MemOpt} {
+			cfg := faas.Config{Arch: a, Coupling: cpl, Size: faas.Medium}
+			for _, r := range ev.RowsFor(cfg) {
+				if r.Dataset.Name == "ll" {
+					fmt.Printf("  %-20v %9.0f roots/s  (%s-bound, %d instances)\n",
+						cfg, r.RootsPerSecond, r.Bottleneck, r.Instances)
+				}
+			}
+		}
+	}
+
+	fmt.Println("\nconclusions (matching the paper's):")
+	fmt.Println("  1. off-the-shelf FaaS.base already beats the vCPU solution on perf/$")
+	fmt.Println("  2. cost-opt matches base for users; its NIC savings accrue to the provider")
+	fmt.Println("  3. comm-opt's dedicated inter-FPGA fabric removes the communication bottleneck")
+	fmt.Println("  4. mem-opt.tc (FPGA DRAM + fast GPU link) unleashes the most performance/dollar")
+}

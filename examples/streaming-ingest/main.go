@@ -1,0 +1,62 @@
+// Streaming ingest: the dynamic-graph capability the paper credits
+// AliGraph with (Section 2.4). An e-commerce event stream appends edges to
+// a live graph while sampling keeps running; periodic compaction folds the
+// delta back into the immutable CSR. New interactions become samplable
+// immediately — no rebuild pause.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"lsdgnn"
+	"lsdgnn/internal/sampler"
+)
+
+func main() {
+	const (
+		nodes          = 20_000
+		batches        = 5
+		eventsPerBatch = 3_000
+	)
+	base := lsdgnn.GenerateGraph(nodes, 8, 32, 99)
+	live := lsdgnn.NewDynamic(base)
+	fmt.Printf("base graph: %d nodes, %d edges\n", live.NumNodes(), live.NumEdges())
+
+	s := sampler.New(live, sampler.Config{
+		Fanouts: []int{5, 5}, Method: sampler.Streaming, Seed: 99,
+	})
+	rng := rand.New(rand.NewSource(99))
+
+	for b := 0; b < batches; b++ {
+		// Ingest a burst of purchase events.
+		for i := 0; i < eventsPerBatch; i++ {
+			src := lsdgnn.NodeID(rng.Int63n(nodes))
+			dst := lsdgnn.NodeID(rng.Int63n(nodes))
+			if src == dst {
+				continue
+			}
+			if err := live.AddEdge(src, dst); err != nil {
+				log.Fatal(err)
+			}
+		}
+		// Sample over the live graph — delta edges included.
+		roots := make([]lsdgnn.NodeID, 64)
+		for i := range roots {
+			roots[i] = lsdgnn.NodeID(rng.Int63n(nodes))
+		}
+		res := s.SampleBatch(roots)
+		fmt.Printf("batch %d: %d total edges (%d pending in delta), sampled %d nodes\n",
+			b, live.NumEdges(), live.DeltaEdges(), len(res.Hops[0])+len(res.Hops[1]))
+
+		// Compact every other batch, folding the delta into the CSR.
+		if b%2 == 1 {
+			if err := live.Compact(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("         compacted: delta now %d\n", live.DeltaEdges())
+		}
+	}
+	fmt.Println("dynamic ingestion, sampling and compaction all interleave cleanly ✓")
+}

@@ -1,0 +1,3 @@
+module lsdgnn
+
+go 1.22

@@ -1,0 +1,164 @@
+package axe
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Commands form the AxE programming interface of Table 4; the RISC-V
+// controller enqueues encoded commands through QRCH and AxE's decoder
+// dispatches them to cores. Each command is a fixed 32-byte record so queue
+// hardware stays trivial.
+
+// Opcode identifies a command.
+type Opcode uint8
+
+// Table 4 command set.
+const (
+	OpNop Opcode = iota
+	// OpSetCSR writes a control/status register: Arg0=index, Arg1=value.
+	OpSetCSR
+	// OpReadCSR reads a CSR: Arg0=index; the value returns via response.
+	OpReadCSR
+	// OpSampleNHop samples Arg0 hops with fanout Arg1 for the root batch
+	// at buffer Arg2 of length Arg3, fetching attributes when Flag is set.
+	OpSampleNHop
+	// OpReadNodeAttr fetches attributes for the node batch at Arg2/Arg3.
+	OpReadNodeAttr
+	// OpReadEdgeAttr fetches edge attributes for node pairs at Arg2/Arg3.
+	OpReadEdgeAttr
+	// OpNegativeSample draws Arg1 uniform negatives per root for the batch
+	// at Arg2/Arg3.
+	OpNegativeSample
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpNop:
+		return "nop"
+	case OpSetCSR:
+		return "set-csr"
+	case OpReadCSR:
+		return "read-csr"
+	case OpSampleNHop:
+		return "sample-nhop"
+	case OpReadNodeAttr:
+		return "read-node-attr"
+	case OpReadEdgeAttr:
+		return "read-edge-attr"
+	case OpNegativeSample:
+		return "negative-sample"
+	default:
+		return fmt.Sprintf("Opcode(%d)", uint8(o))
+	}
+}
+
+// Command is one 32-byte AxE command record.
+type Command struct {
+	Op   Opcode
+	Flag uint8
+	Arg0 uint16
+	Arg1 uint32
+	Arg2 uint64
+	Arg3 uint64
+	// Txn tags the command so responses can be matched (54 bits used).
+	Txn uint64
+}
+
+// CommandBytes is the encoded size of a Command.
+const CommandBytes = 32
+
+// Encode serializes c into a 32-byte record.
+func (c Command) Encode() [CommandBytes]byte {
+	var b [CommandBytes]byte
+	b[0] = byte(c.Op)
+	b[1] = c.Flag
+	binary.LittleEndian.PutUint16(b[2:], c.Arg0)
+	binary.LittleEndian.PutUint32(b[4:], c.Arg1)
+	binary.LittleEndian.PutUint64(b[8:], c.Arg2)
+	binary.LittleEndian.PutUint64(b[16:], c.Arg3)
+	binary.LittleEndian.PutUint64(b[24:], c.Txn)
+	return b
+}
+
+// DecodeCommand parses a 32-byte record.
+func DecodeCommand(b []byte) (Command, error) {
+	if len(b) < CommandBytes {
+		return Command{}, fmt.Errorf("axe: command record %d bytes, want %d", len(b), CommandBytes)
+	}
+	c := Command{
+		Op:   Opcode(b[0]),
+		Flag: b[1],
+		Arg0: binary.LittleEndian.Uint16(b[2:]),
+		Arg1: binary.LittleEndian.Uint32(b[4:]),
+		Arg2: binary.LittleEndian.Uint64(b[8:]),
+		Arg3: binary.LittleEndian.Uint64(b[16:]),
+		Txn:  binary.LittleEndian.Uint64(b[24:]),
+	}
+	if c.Op > OpNegativeSample {
+		return Command{}, fmt.Errorf("axe: unknown opcode %d", b[0])
+	}
+	return c, nil
+}
+
+// Response reports command completion back to the controller.
+type Response struct {
+	Txn    uint64
+	Status uint8 // 0 = ok
+	Value  uint64
+}
+
+// ResponseBytes is the encoded size of a Response.
+const ResponseBytes = 17
+
+// Encode serializes r.
+func (r Response) Encode() [ResponseBytes]byte {
+	var b [ResponseBytes]byte
+	binary.LittleEndian.PutUint64(b[0:], r.Txn)
+	b[8] = r.Status
+	binary.LittleEndian.PutUint64(b[9:], r.Value)
+	return b
+}
+
+// DecodeResponse parses an encoded response.
+func DecodeResponse(b []byte) (Response, error) {
+	if len(b) < ResponseBytes {
+		return Response{}, fmt.Errorf("axe: response record %d bytes, want %d", len(b), ResponseBytes)
+	}
+	return Response{
+		Txn:    binary.LittleEndian.Uint64(b[0:]),
+		Status: b[8],
+		Value:  binary.LittleEndian.Uint64(b[9:]),
+	}, nil
+}
+
+// CSR indices (Table 10 lists a 32×32-bit CSR file).
+const (
+	CSRSampleMethod = iota // 0 = streaming, 1 = reservoir
+	CSRFanout0
+	CSRFanout1
+	CSRNegativeRate
+	CSRFetchAttrs
+	CSRSeedLo
+	CSRSeedHi
+	NumCSRs = 32
+)
+
+// CSRFile is the engine's control/status register file.
+type CSRFile struct{ regs [NumCSRs]uint32 }
+
+// Read returns CSR idx; out-of-range reads return 0 like real MMIO holes.
+func (f *CSRFile) Read(idx int) uint32 {
+	if idx < 0 || idx >= NumCSRs {
+		return 0
+	}
+	return f.regs[idx]
+}
+
+// Write sets CSR idx, ignoring out-of-range writes.
+func (f *CSRFile) Write(idx int, v uint32) {
+	if idx < 0 || idx >= NumCSRs {
+		return
+	}
+	f.regs[idx] = v
+}

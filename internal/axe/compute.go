@@ -1,0 +1,145 @@
+package axe
+
+import (
+	"fmt"
+
+	"lsdgnn/internal/gnn"
+)
+
+// The optional compute units of Section 4.1: an FP32 GEMM engine and a
+// vector processing unit (VPU). The paper keeps them out of the sampling
+// fast path but notes they "might be useful in latency-sensitive inference
+// tasks with simpler models, in which case data movement from FPGA to
+// local or remote GPU can be eliminated". Both are functional (they really
+// compute, via the gnn substrate) with first-order cycle models.
+
+// GEMMUnit models a systolic FP32 matrix engine of Rows×Cols processing
+// elements.
+type GEMMUnit struct {
+	Rows, Cols int
+	ClockHz    float64
+}
+
+// NewGEMMUnit returns the default 32×32 array at the PoC clock.
+func NewGEMMUnit() *GEMMUnit { return &GEMMUnit{Rows: 32, Cols: 32, ClockHz: 250e6} }
+
+// CyclesFor estimates cycles for an (m×k)·(k×n) multiplication: each
+// Rows×Cols output tile streams k partial sums plus array fill/drain.
+func (g *GEMMUnit) CyclesFor(m, k, n int) int64 {
+	if m <= 0 || k <= 0 || n <= 0 {
+		return 0
+	}
+	tilesM := (m + g.Rows - 1) / g.Rows
+	tilesN := (n + g.Cols - 1) / g.Cols
+	perTile := int64(k + g.Rows + g.Cols) // stream k + fill/drain
+	return int64(tilesM) * int64(tilesN) * perTile
+}
+
+// SecondsFor converts CyclesFor to time.
+func (g *GEMMUnit) SecondsFor(m, k, n int) float64 {
+	return float64(g.CyclesFor(m, k, n)) / g.ClockHz
+}
+
+// PeakFlops returns the array's peak FP32 throughput (2 ops per MAC).
+func (g *GEMMUnit) PeakFlops() float64 {
+	return 2 * float64(g.Rows*g.Cols) * g.ClockHz
+}
+
+// Multiply computes dst = a·b functionally and returns the modeled cycles.
+func (g *GEMMUnit) Multiply(dst, a, b *gnn.Mat) (int64, error) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		return 0, fmt.Errorf("axe: gemm shape (%d×%d)·(%d×%d)→(%d×%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols)
+	}
+	gnn.MatMul(dst, a, b)
+	return g.CyclesFor(a.Rows, a.Cols, b.Cols), nil
+}
+
+// VPUOp is a vector operation.
+type VPUOp int
+
+// Supported vector operations.
+const (
+	VPURelu VPUOp = iota
+	VPUAdd
+	VPUScale
+	VPUMaxReduce
+)
+
+func (o VPUOp) String() string {
+	switch o {
+	case VPURelu:
+		return "relu"
+	case VPUAdd:
+		return "add"
+	case VPUScale:
+		return "scale"
+	case VPUMaxReduce:
+		return "max-reduce"
+	default:
+		return fmt.Sprintf("VPUOp(%d)", int(o))
+	}
+}
+
+// VPUUnit models a SIMD vector unit with Lanes FP32 lanes.
+type VPUUnit struct {
+	Lanes   int
+	ClockHz float64
+	// PipelineLatency is the fixed issue-to-result latency in cycles.
+	PipelineLatency int
+}
+
+// NewVPUUnit returns a 16-lane unit at the PoC clock.
+func NewVPUUnit() *VPUUnit { return &VPUUnit{Lanes: 16, ClockHz: 250e6, PipelineLatency: 6} }
+
+// CyclesFor estimates cycles for an n-element elementwise op.
+func (v *VPUUnit) CyclesFor(n int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return int64((n+v.Lanes-1)/v.Lanes + v.PipelineLatency)
+}
+
+// Execute applies op functionally (in place for unary ops; b is the second
+// operand for VPUAdd, scalar for VPUScale) and returns modeled cycles.
+func (v *VPUUnit) Execute(op VPUOp, a []float32, b []float32, scalar float32) (int64, error) {
+	switch op {
+	case VPURelu:
+		for i, x := range a {
+			if x < 0 {
+				a[i] = 0
+			}
+		}
+	case VPUAdd:
+		if len(b) != len(a) {
+			return 0, fmt.Errorf("axe: vpu add length %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			a[i] += b[i]
+		}
+	case VPUScale:
+		for i := range a {
+			a[i] *= scalar
+		}
+	case VPUMaxReduce:
+		// Tree reduction into a[0]; cycles include log-depth passes.
+		if len(a) == 0 {
+			return 0, nil
+		}
+		max := a[0]
+		for _, x := range a[1:] {
+			if x > max {
+				max = x
+			}
+		}
+		a[0] = max
+		cycles := int64(0)
+		for n := len(a); n > 1; n = (n + v.Lanes - 1) / v.Lanes {
+			cycles += v.CyclesFor(n)
+		}
+		return cycles + int64(v.PipelineLatency), nil
+	default:
+		return 0, fmt.Errorf("axe: unknown vpu op %v", op)
+	}
+	return v.CyclesFor(len(a)), nil
+}

@@ -1,0 +1,118 @@
+package axe
+
+import (
+	"math/rand"
+	"testing"
+
+	"lsdgnn/internal/gnn"
+)
+
+func TestGEMMFunctionalCorrectness(t *testing.T) {
+	g := NewGEMMUnit()
+	rng := rand.New(rand.NewSource(1))
+	a := gnn.NewMat(17, 23)
+	b := gnn.NewMat(23, 9)
+	a.Randomize(rng)
+	b.Randomize(rng)
+	got := gnn.NewMat(17, 9)
+	cycles, err := g.Multiply(got, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles <= 0 {
+		t.Fatal("no cycle estimate")
+	}
+	want := gnn.NewMat(17, 9)
+	gnn.MatMul(want, a, b)
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatal("gemm result wrong")
+		}
+	}
+	if _, err := g.Multiply(gnn.NewMat(3, 3), a, b); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestGEMMCycleModel(t *testing.T) {
+	g := NewGEMMUnit() // 32×32
+	// One tile, k=100: 100 + fill/drain 64 cycles.
+	if got := g.CyclesFor(32, 100, 32); got != 164 {
+		t.Fatalf("1-tile cycles = %d, want 164", got)
+	}
+	// 2×2 tiles quadruple it.
+	if got := g.CyclesFor(64, 100, 64); got != 4*164 {
+		t.Fatalf("4-tile cycles = %d", got)
+	}
+	// Ragged dims round up to whole tiles.
+	if g.CyclesFor(33, 10, 1) != g.CyclesFor(64, 10, 32) {
+		t.Fatal("ragged tiling wrong")
+	}
+	if g.CyclesFor(0, 5, 5) != 0 {
+		t.Fatal("empty matmul should cost 0")
+	}
+	if g.SecondsFor(32, 100, 32) != 164/250e6 {
+		t.Fatal("seconds conversion wrong")
+	}
+	if g.PeakFlops() != 2*32*32*250e6 {
+		t.Fatal("peak flops wrong")
+	}
+}
+
+func TestVPUOps(t *testing.T) {
+	v := NewVPUUnit()
+	a := []float32{-1, 2, -3, 4}
+	if _, err := v.Execute(VPURelu, a, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != 0 || a[1] != 2 || a[2] != 0 {
+		t.Fatalf("relu = %v", a)
+	}
+	if _, err := v.Execute(VPUAdd, a, []float32{1, 1, 1, 1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if a[1] != 3 {
+		t.Fatalf("add = %v", a)
+	}
+	if _, err := v.Execute(VPUScale, a, nil, 2); err != nil {
+		t.Fatal(err)
+	}
+	if a[3] != 10 {
+		t.Fatalf("scale = %v", a)
+	}
+	if _, err := v.Execute(VPUMaxReduce, a, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != 10 {
+		t.Fatalf("max = %v", a[0])
+	}
+}
+
+func TestVPUValidation(t *testing.T) {
+	v := NewVPUUnit()
+	if _, err := v.Execute(VPUAdd, []float32{1}, []float32{1, 2}, 0); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := v.Execute(VPUOp(99), nil, nil, 0); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	if c, err := v.Execute(VPUMaxReduce, nil, nil, 0); err != nil || c != 0 {
+		t.Fatal("empty reduce should be free")
+	}
+}
+
+func TestVPUCycleModel(t *testing.T) {
+	v := NewVPUUnit() // 16 lanes, 6-cycle latency
+	if got := v.CyclesFor(16); got != 1+6 {
+		t.Fatalf("one beat = %d cycles", got)
+	}
+	if got := v.CyclesFor(17); got != 2+6 {
+		t.Fatalf("17 elements = %d cycles", got)
+	}
+	if v.CyclesFor(0) != 0 {
+		t.Fatal("empty op should cost 0")
+	}
+	if VPURelu.String() != "relu" || VPUMaxReduce.String() != "max-reduce" {
+		t.Fatal("op names wrong")
+	}
+}

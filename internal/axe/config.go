@@ -1,0 +1,113 @@
+package axe
+
+import (
+	"fmt"
+
+	"lsdgnn/internal/memsys"
+	"lsdgnn/internal/sampler"
+)
+
+// Config parameterizes an Access Engine instance. The architecture is
+// "highly parametrizable" (Section 4.1): core count, pipeline depth, load
+// window, cache geometry and every IO component are knobs.
+type Config struct {
+	// Cores is the number of homogeneous AxE cores.
+	Cores int
+	// ClockHz is the engine clock (PoC: 250 MHz).
+	ClockHz float64
+	// PipelineDepth is the GetNeighbor frontend pipeline depth (Tech-1,
+	// Figure 7): a node's frontend work takes BaseNodeCycles, issued at an
+	// initiation interval of BaseNodeCycles/PipelineDepth cycles.
+	PipelineDepth int
+	// BaseNodeCycles is total frontend processing per frontier node.
+	BaseNodeCycles int
+	// Window is the per-core outstanding-request budget of the OoO load
+	// unit (Tech-3). 1 models the blocking in-order baseline.
+	Window int
+	// MaxInflightTasks bounds concurrently active node tasks per core
+	// (buffer capacity).
+	MaxInflightTasks int
+	// CacheBytes/CacheLineBytes configure the Tech-4 coalescing cache
+	// (per core). CacheBytes 0 disables it.
+	CacheBytes     int
+	CacheLineBytes int
+	// CacheHitCycles is the latency of a fully coalesced access.
+	CacheHitCycles int
+
+	// Local is the local-memory path profile; LocalChannels parallel
+	// channels each provide Local.PeakBytesPerSec.
+	Local         memsys.LinkProfile
+	LocalChannels int
+	// Remote is the remote-memory path (MoF or NIC). The remote share of
+	// graph data follows from the partitioner: with P equal shards,
+	// (P-1)/P of accesses leave the node.
+	Remote memsys.LinkProfile
+	// RemoteSharesLocal marks architectures where remote-memory responses
+	// cross the same physical link as local-memory traffic (base: remote
+	// data arrives PCIe→NIC→PCIe, contending with PCIe host-memory reads).
+	RemoteSharesLocal bool
+	// Output is the result output path (PCIe to host/GPU, or fast link).
+	Output memsys.LinkProfile
+	// OutputSharesLocal marks architectures where results and local-memory
+	// traffic contend for the same physical link (base/cost-opt/comm-opt:
+	// both ride PCIe to host memory).
+	OutputSharesLocal bool
+
+	// Sampling is the workload configuration executed by the cores.
+	Sampling sampler.Config
+}
+
+// Validate reports the first configuration error.
+func (c Config) Validate() error {
+	switch {
+	case c.Cores < 1:
+		return fmt.Errorf("axe: Cores %d < 1", c.Cores)
+	case c.ClockHz <= 0:
+		return fmt.Errorf("axe: ClockHz %v ≤ 0", c.ClockHz)
+	case c.PipelineDepth < 1:
+		return fmt.Errorf("axe: PipelineDepth %d < 1", c.PipelineDepth)
+	case c.BaseNodeCycles < 1:
+		return fmt.Errorf("axe: BaseNodeCycles %d < 1", c.BaseNodeCycles)
+	case c.Window < 1:
+		return fmt.Errorf("axe: Window %d < 1", c.Window)
+	case c.MaxInflightTasks < 1:
+		return fmt.Errorf("axe: MaxInflightTasks %d < 1", c.MaxInflightTasks)
+	case c.LocalChannels < 1:
+		return fmt.Errorf("axe: LocalChannels %d < 1", c.LocalChannels)
+	case c.CacheLineBytes < 1:
+		return fmt.Errorf("axe: CacheLineBytes %d < 1", c.CacheLineBytes)
+	case len(c.Sampling.Fanouts) == 0:
+		return fmt.Errorf("axe: no sampling fanouts")
+	}
+	return nil
+}
+
+// DefaultConfig returns the PoC per-FPGA configuration of Table 10:
+// dual-core AxE at 250 MHz, 4-channel DDR4 local memory, MoF remote memory,
+// PCIe command/output IO, 8 KB coalescing cache, deep pipelining and a
+// 64-entry OoO window.
+func DefaultConfig() Config {
+	return Config{
+		Cores:             2,
+		ClockHz:           250e6,
+		PipelineDepth:     8,
+		BaseNodeCycles:    32,
+		Window:            64,
+		MaxInflightTasks:  256,
+		CacheBytes:        8 << 10,
+		CacheLineBytes:    64,
+		CacheHitCycles:    4,
+		Local:             memsys.LinkProfile{Name: "DDR4-chn", LatencyNs: 110, PeakBytesPerSec: 12.8e9},
+		LocalChannels:     4,
+		Remote:            memsys.MoFFabric(),
+		Output:            memsys.PCIeHostDRAM(),
+		OutputSharesLocal: false,
+		Sampling: sampler.Config{
+			Fanouts:      []int{10, 10},
+			NegativeRate: 10,
+			Method:       sampler.Streaming,
+			FetchAttrs:   true,
+			Seed:         1,
+		},
+	}
+}

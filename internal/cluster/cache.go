@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"container/list"
+	"sync"
+
+	"lsdgnn/internal/graph"
+)
+
+// HotCache is the framework-level cache the paper attributes to AliGraph
+// ("system-level caching for the most frequently used nodes", Section 4.2
+// Tech-4 discussion): a worker-side LRU over neighbor lists and attribute
+// vectors, so hub nodes hit memory once instead of crossing the network on
+// every batch. The hardware's own 8 KB cache only coalesces; temporal
+// reuse lives here in software.
+type HotCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recent
+	entries  map[graph.NodeID]*list.Element
+
+	hits, misses int64
+}
+
+type hotEntry struct {
+	id    graph.NodeID
+	nbrs  []graph.NodeID // nil when not populated
+	attrs []float32      // nil when not populated
+}
+
+// NewHotCache creates a cache bounded to capacity nodes; capacity ≤ 0
+// disables caching.
+func NewHotCache(capacity int) *HotCache {
+	return &HotCache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[graph.NodeID]*list.Element),
+	}
+}
+
+func (c *HotCache) touch(el *list.Element) { c.order.MoveToFront(el) }
+
+func (c *HotCache) entryFor(id graph.NodeID) *hotEntry {
+	if el, ok := c.entries[id]; ok {
+		c.touch(el)
+		return el.Value.(*hotEntry)
+	}
+	e := &hotEntry{id: id}
+	el := c.order.PushFront(e)
+	c.entries[id] = el
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*hotEntry).id)
+	}
+	return e
+}
+
+// Neighbors returns the cached adjacency list of id, if present.
+func (c *HotCache) Neighbors(id graph.NodeID) ([]graph.NodeID, bool) {
+	if c == nil || c.capacity <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[id]; ok {
+		e := el.Value.(*hotEntry)
+		if e.nbrs != nil {
+			c.touch(el)
+			c.hits++
+			return e.nbrs, true
+		}
+	}
+	c.misses++
+	return nil, false
+}
+
+// Attrs returns the cached attribute vector of id, if present.
+func (c *HotCache) Attrs(id graph.NodeID) ([]float32, bool) {
+	if c == nil || c.capacity <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[id]; ok {
+		e := el.Value.(*hotEntry)
+		if e.attrs != nil {
+			c.touch(el)
+			c.hits++
+			return e.attrs, true
+		}
+	}
+	c.misses++
+	return nil, false
+}
+
+// PutNeighbors stores an adjacency list. The slice is retained; callers
+// pass server-owned immutable data.
+func (c *HotCache) PutNeighbors(id graph.NodeID, nbrs []graph.NodeID) {
+	if c == nil || c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.entryFor(id).nbrs = nbrs
+	c.mu.Unlock()
+}
+
+// PutAttrs stores an attribute vector (retained).
+func (c *HotCache) PutAttrs(id graph.NodeID, attrs []float32) {
+	if c == nil || c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.entryFor(id).attrs = attrs
+	c.mu.Unlock()
+}
+
+// Len returns the resident node count.
+func (c *HotCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// HitRate returns hits/(hits+misses) over lookups.
+func (c *HotCache) HitRate() float64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.hits + c.misses
+	if t == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(t)
+}

@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"testing"
+
+	"lsdgnn/internal/graph"
+	"lsdgnn/internal/sampler"
+)
+
+func TestHotCacheBasics(t *testing.T) {
+	c := NewHotCache(2)
+	if _, ok := c.Neighbors(1); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.PutNeighbors(1, []graph.NodeID{2, 3})
+	if nbrs, ok := c.Neighbors(1); !ok || len(nbrs) != 2 {
+		t.Fatal("cached neighbors lost")
+	}
+	c.PutAttrs(1, []float32{9})
+	if attrs, ok := c.Attrs(1); !ok || attrs[0] != 9 {
+		t.Fatal("cached attrs lost")
+	}
+	// Neighbors and attrs are tracked independently per node.
+	c.PutAttrs(5, []float32{1})
+	if _, ok := c.Neighbors(5); ok {
+		t.Fatal("attrs-only entry served neighbors")
+	}
+}
+
+func TestHotCacheLRUEviction(t *testing.T) {
+	c := NewHotCache(2)
+	c.PutNeighbors(1, []graph.NodeID{1})
+	c.PutNeighbors(2, []graph.NodeID{2})
+	c.Neighbors(1) // touch 1, making 2 the LRU
+	c.PutNeighbors(3, []graph.NodeID{3})
+	if _, ok := c.Neighbors(2); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, ok := c.Neighbors(1); !ok {
+		t.Fatal("recently-used entry evicted")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestHotCacheDisabled(t *testing.T) {
+	c := NewHotCache(0)
+	c.PutNeighbors(1, []graph.NodeID{1})
+	if _, ok := c.Neighbors(1); ok {
+		t.Fatal("disabled cache stored data")
+	}
+	var nilCache *HotCache
+	if _, ok := nilCache.Neighbors(1); ok {
+		t.Fatal("nil cache hit")
+	}
+	if nilCache.HitRate() != 0 || nilCache.Len() != 0 {
+		t.Fatal("nil cache stats wrong")
+	}
+}
+
+func TestHotCacheHitRate(t *testing.T) {
+	c := NewHotCache(4)
+	c.PutNeighbors(1, []graph.NodeID{})
+	c.Neighbors(1)
+	c.Neighbors(2)
+	if c.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %v", c.HitRate())
+	}
+}
+
+func TestClientCacheCorrectness(t *testing.T) {
+	g := testGraph(t)
+	_, client := buildCluster(t, g, 4)
+	client.EnableCache(256)
+	ids := []graph.NodeID{1, 2, 3, 1, 2, 3} // repeats within one batch
+	for round := 0; round < 3; round++ {
+		lists, err := client.GetNeighbors(ids, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range ids {
+			want := g.Neighbors(v)
+			if len(lists[i]) != len(want) {
+				t.Fatalf("round %d node %d: wrong neighbor count", round, v)
+			}
+			for j := range want {
+				if lists[i][j] != want[j] {
+					t.Fatal("cached neighbors wrong")
+				}
+			}
+		}
+		attrs, err := client.GetAttrs(ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		al := g.AttrLen()
+		for i, v := range ids {
+			want := g.Attr(nil, v)
+			for j := range want {
+				if attrs[i*al+j] != want[j] {
+					t.Fatalf("round %d node %d: cached attrs wrong", round, v)
+				}
+			}
+		}
+	}
+}
+
+func TestClientCacheCutsTraffic(t *testing.T) {
+	g := testGraph(t)
+	run := func(cache bool) TrafficSnapshot {
+		_, client := buildCluster(t, g, 4)
+		if cache {
+			client.EnableCache(4096)
+		}
+		cfg := sampler.Config{Fanouts: []int{5, 5}, Method: sampler.Streaming, FetchAttrs: true, Seed: 1}
+		roots := []graph.NodeID{1, 2, 3, 4, 5, 6, 7, 8}
+		for i := 0; i < 4; i++ { // identical batches: maximal temporal reuse
+			if _, err := client.SampleBatch(roots, cfg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return client.Traffic.Snapshot()
+	}
+	without, with := run(false), run(true)
+	if with.RemoteBytesTransferred >= without.RemoteBytesTransferred {
+		t.Fatalf("cache did not cut remote traffic: %d vs %d",
+			with.RemoteBytesTransferred, without.RemoteBytesTransferred)
+	}
+	if with.RemoteBytesTransferred > without.RemoteBytesTransferred/2 {
+		t.Fatalf("repeated batches should mostly hit cache: %d vs %d",
+			with.RemoteBytesTransferred, without.RemoteBytesTransferred)
+	}
+}
+
+func TestClientCacheBypassedForCappedLists(t *testing.T) {
+	g := testGraph(t)
+	_, client := buildCluster(t, g, 2)
+	client.EnableCache(64)
+	var busy graph.NodeID
+	for v := int64(0); v < g.NumNodes(); v++ {
+		if g.Degree(graph.NodeID(v)) > 3 {
+			busy = graph.NodeID(v)
+			break
+		}
+	}
+	// Full fetch populates the cache; a capped fetch afterwards must NOT
+	// serve the full cached list.
+	if _, err := client.GetNeighbors([]graph.NodeID{busy}, 0); err != nil {
+		t.Fatal(err)
+	}
+	capped, err := client.GetNeighbors([]graph.NodeID{busy}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped[0]) != 2 {
+		t.Fatalf("capped fetch returned %d neighbors", len(capped[0]))
+	}
+}

@@ -1,0 +1,340 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lsdgnn/internal/graph"
+	"lsdgnn/internal/sampler"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	return graph.Generate(graph.GenConfig{NumNodes: 1500, AvgDegree: 7, AttrLen: 6, Seed: 1, PowerLaw: true})
+}
+
+func TestHashPartitionerBalance(t *testing.T) {
+	p := HashPartitioner{N: 4}
+	counts := make([]int, 4)
+	for v := 0; v < 10000; v++ {
+		o := p.Owner(graph.NodeID(v))
+		if o < 0 || o >= 4 {
+			t.Fatalf("owner %d out of range", o)
+		}
+		counts[o]++
+	}
+	for i, c := range counts {
+		if c < 2000 || c > 3000 {
+			t.Fatalf("partition %d holds %d of 10000 (imbalanced)", i, c)
+		}
+	}
+}
+
+func TestRangePartitioner(t *testing.T) {
+	p := RangePartitioner{N: 4, NumNodes: 100}
+	if p.Owner(0) != 0 || p.Owner(24) != 0 || p.Owner(25) != 1 || p.Owner(99) != 3 {
+		t.Fatal("range boundaries wrong")
+	}
+	if p.Servers() != 4 {
+		t.Fatal("server count wrong")
+	}
+}
+
+func TestValidatePartitioner(t *testing.T) {
+	if err := ValidatePartitioner(HashPartitioner{N: 3}, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePartitioner(HashPartitioner{N: 0}, 10); err == nil {
+		t.Fatal("zero servers accepted")
+	}
+}
+
+func TestGroupByOwner(t *testing.T) {
+	p := HashPartitioner{N: 3}
+	ids := []graph.NodeID{0, 1, 2, 3, 4, 5, 6, 7}
+	groups, positions := GroupByOwner(p, ids)
+	total := 0
+	for s := range groups {
+		if len(groups[s]) != len(positions[s]) {
+			t.Fatal("groups and positions misaligned")
+		}
+		for i, v := range groups[s] {
+			if p.Owner(v) != s {
+				t.Fatalf("node %d grouped to wrong server", v)
+			}
+			if ids[positions[s][i]] != v {
+				t.Fatal("positions do not map back")
+			}
+		}
+		total += len(groups[s])
+	}
+	if total != len(ids) {
+		t.Fatalf("grouped %d of %d", total, len(ids))
+	}
+}
+
+func TestProtocolNeighborsRoundTrip(t *testing.T) {
+	req := NeighborsRequest{IDs: []graph.NodeID{5, 9, 1 << 40}, MaxPerNode: 7}
+	got, err := DecodeNeighborsRequest(EncodeNeighborsRequest(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MaxPerNode != 7 || len(got.IDs) != 3 || got.IDs[2] != 1<<40 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	resp := NeighborsResponse{Lists: [][]graph.NodeID{{1, 2}, nil, {3}}}
+	gotR, err := DecodeNeighborsResponse(EncodeNeighborsResponse(resp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotR.Lists) != 3 || len(gotR.Lists[0]) != 2 || len(gotR.Lists[1]) != 0 || gotR.Lists[2][0] != 3 {
+		t.Fatalf("response round trip = %+v", gotR)
+	}
+}
+
+func TestProtocolAttrsRoundTrip(t *testing.T) {
+	req := AttrsRequest{IDs: []graph.NodeID{1, 2}}
+	got, err := DecodeAttrsRequest(EncodeAttrsRequest(req))
+	if err != nil || len(got.IDs) != 2 {
+		t.Fatalf("attrs request: %v %v", got, err)
+	}
+	resp := AttrsResponse{AttrLen: 2, Attrs: []float32{1.5, -2, 0, 3e9}}
+	gotR, err := DecodeAttrsResponse(EncodeAttrsResponse(resp))
+	if err != nil || gotR.AttrLen != 2 || gotR.Attrs[3] != 3e9 {
+		t.Fatalf("attrs response: %+v %v", gotR, err)
+	}
+}
+
+func TestProtocolMetaRoundTrip(t *testing.T) {
+	m := MetaResponse{NumNodes: 1 << 33, AttrLen: 84, Partition: 2, Partitions: 5}
+	got, err := DecodeMetaResponse(EncodeMetaResponse(m))
+	if err != nil || got != m {
+		t.Fatalf("meta round trip = %+v, %v", got, err)
+	}
+}
+
+func TestProtocolRejectsGarbage(t *testing.T) {
+	if _, err := DecodeNeighborsRequest([]byte{OpGetAttrs, 0, 0, 0, 0}); err == nil {
+		t.Fatal("wrong op accepted")
+	}
+	if _, err := DecodeNeighborsRequest([]byte{OpGetNeighbors, 0, 0, 0, 0, 9, 0, 0, 0}); err == nil {
+		t.Fatal("truncated ID list accepted")
+	}
+	msg := EncodeAttrsRequest(AttrsRequest{IDs: []graph.NodeID{1}})
+	if _, err := DecodeAttrsRequest(append(msg, 0xFF)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	if _, err := DecodeMetaResponse([]byte{OpMeta, 1}); err == nil {
+		t.Fatal("short meta accepted")
+	}
+}
+
+func TestPropertyProtocolIDs(t *testing.T) {
+	f := func(raw []uint64, max uint32) bool {
+		ids := make([]graph.NodeID, len(raw))
+		for i, v := range raw {
+			ids[i] = graph.NodeID(v)
+		}
+		got, err := DecodeNeighborsRequest(EncodeNeighborsRequest(NeighborsRequest{IDs: ids, MaxPerNode: max}))
+		if err != nil || got.MaxPerNode != max || len(got.IDs) != len(ids) {
+			return false
+		}
+		for i := range ids {
+			if got.IDs[i] != ids[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func buildCluster(t *testing.T, g *graph.Graph, n int) ([]*Server, *Client) {
+	t.Helper()
+	part := HashPartitioner{N: n}
+	servers := make([]*Server, n)
+	for i := range servers {
+		servers[i] = NewServer(g, part, i)
+	}
+	client, err := NewClient(DirectTransport{Servers: servers}, part, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return servers, client
+}
+
+func TestServerRejectsForeignNodes(t *testing.T) {
+	g := testGraph(t)
+	part := HashPartitioner{N: 2}
+	srv := NewServer(g, part, 0)
+	var foreign graph.NodeID
+	for v := graph.NodeID(0); ; v++ {
+		if part.Owner(v) == 1 {
+			foreign = v
+			break
+		}
+	}
+	if _, err := srv.GetNeighbors(NeighborsRequest{IDs: []graph.NodeID{foreign}}); err == nil {
+		t.Fatal("misrouted neighbor request accepted")
+	}
+	if _, err := srv.GetAttrs(AttrsRequest{IDs: []graph.NodeID{foreign}}); err == nil {
+		t.Fatal("misrouted attrs request accepted")
+	}
+}
+
+func TestServerMaxPerNode(t *testing.T) {
+	g := testGraph(t)
+	part := HashPartitioner{N: 1}
+	srv := NewServer(g, part, 0)
+	var busy graph.NodeID
+	for v := int64(0); v < g.NumNodes(); v++ {
+		if g.Degree(graph.NodeID(v)) > 3 {
+			busy = graph.NodeID(v)
+			break
+		}
+	}
+	resp, err := srv.GetNeighbors(NeighborsRequest{IDs: []graph.NodeID{busy}, MaxPerNode: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Lists[0]) != 2 {
+		t.Fatalf("cap ignored: %d neighbors", len(resp.Lists[0]))
+	}
+}
+
+func TestServerHandleUnknownOp(t *testing.T) {
+	srv := NewServer(testGraph(t), HashPartitioner{N: 1}, 0)
+	if _, err := srv.Handle([]byte{0x7F}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	if _, err := srv.Handle(nil); err == nil {
+		t.Fatal("empty message accepted")
+	}
+}
+
+func TestClientNeighborsMatchGraph(t *testing.T) {
+	g := testGraph(t)
+	_, client := buildCluster(t, g, 4)
+	ids := []graph.NodeID{0, 7, 100, 999, 3}
+	lists, err := client.GetNeighbors(ids, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range ids {
+		want := g.Neighbors(v)
+		if len(lists[i]) != len(want) {
+			t.Fatalf("node %d: got %d neighbors, want %d", v, len(lists[i]), len(want))
+		}
+		for j := range want {
+			if lists[i][j] != want[j] {
+				t.Fatalf("node %d neighbor %d mismatch", v, j)
+			}
+		}
+	}
+}
+
+func TestClientAttrsMatchGraph(t *testing.T) {
+	g := testGraph(t)
+	_, client := buildCluster(t, g, 3)
+	ids := []graph.NodeID{4, 40, 400}
+	attrs, err := client.GetAttrs(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	al := g.AttrLen()
+	for i, v := range ids {
+		want := g.Attr(nil, v)
+		for j := range want {
+			if attrs[i*al+j] != want[j] {
+				t.Fatalf("node %d attr %d mismatch", v, j)
+			}
+		}
+	}
+}
+
+func TestClientSampleBatchLayoutMatchesLocal(t *testing.T) {
+	g := testGraph(t)
+	_, client := buildCluster(t, g, 4)
+	cfg := sampler.Config{Fanouts: []int{4, 3}, NegativeRate: 2, Method: sampler.Streaming, FetchAttrs: true, Seed: 9}
+	roots := []graph.NodeID{1, 2, 3}
+	dist, err := client.SampleBatch(roots, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := sampler.New(sampler.LocalStore{G: g}, cfg).SampleBatch(roots)
+	if len(dist.Hops[0]) != len(local.Hops[0]) || len(dist.Hops[1]) != len(local.Hops[1]) {
+		t.Fatal("hop shapes differ between distributed and local sampling")
+	}
+	if len(dist.Attrs) != len(local.Attrs) {
+		t.Fatal("attr layout differs")
+	}
+	// The distributed path samples from true adjacency too.
+	for i, p := range roots {
+		nbrs := map[graph.NodeID]bool{p: true}
+		for _, u := range g.Neighbors(p) {
+			nbrs[u] = true
+		}
+		for _, c := range dist.Hops[0][i*4 : (i+1)*4] {
+			if !nbrs[c] {
+				t.Fatalf("distributed sample %d not a neighbor of %d", c, p)
+			}
+		}
+	}
+}
+
+func TestClientTrafficAccounting(t *testing.T) {
+	g := testGraph(t)
+	_, client := buildCluster(t, g, 4)
+	_, err := client.GetAttrs([]graph.NodeID{1, 2, 3, 4, 5, 6, 7, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := client.Traffic.Snapshot()
+	if tr.Requests == 0 || tr.RequestBytes == 0 || tr.ResponseBytes == 0 {
+		t.Fatalf("traffic not recorded: %+v", tr)
+	}
+	if tr.RemoteRequests == 0 {
+		t.Fatal("4-way partitioned batch should hit remote servers")
+	}
+	if tr.RemoteRequests > tr.Requests {
+		t.Fatal("remote requests exceed total")
+	}
+}
+
+func TestClientMetaMismatch(t *testing.T) {
+	g := testGraph(t)
+	part := HashPartitioner{N: 2}
+	servers := []*Server{NewServer(g, part, 0), NewServer(g, part, 1)}
+	// Client configured with the wrong partition count must refuse.
+	if _, err := NewClient(DirectTransport{Servers: servers}, HashPartitioner{N: 3}, 0); err == nil {
+		t.Fatal("partition-count mismatch accepted")
+	}
+}
+
+func TestStoreAdapter(t *testing.T) {
+	g := testGraph(t)
+	_, client := buildCluster(t, g, 2)
+	st := Store{C: client}
+	if st.NumNodes() != g.NumNodes() || st.AttrLen() != g.AttrLen() {
+		t.Fatal("adapter metadata wrong")
+	}
+	if len(st.Neighbors(5)) != g.Degree(5) {
+		t.Fatal("adapter neighbors wrong")
+	}
+	attrs := st.Attr(nil, 5)
+	want := g.Attr(nil, 5)
+	for i := range want {
+		if attrs[i] != want[i] {
+			t.Fatal("adapter attrs wrong")
+		}
+	}
+}
+
+func TestDirectTransportBadServer(t *testing.T) {
+	tr := DirectTransport{Servers: nil}
+	if _, err := tr.Call(0, []byte{OpMeta}); err == nil {
+		t.Fatal("call to missing server accepted")
+	}
+}

@@ -1,0 +1,201 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"lsdgnn/internal/graph"
+)
+
+// Batched RPC protocol between sampling workers and graph servers. The
+// encoding is length-prefixed little-endian binary, shared by the in-process
+// accounting transport and the TCP transport so that byte counts in the
+// characterization match what really crosses the wire.
+
+// Op codes.
+const (
+	OpGetNeighbors = 0x01
+	OpGetAttrs     = 0x02
+	OpMeta         = 0x03
+)
+
+// NeighborsRequest asks for the adjacency lists of IDs, optionally capped.
+type NeighborsRequest struct {
+	IDs []graph.NodeID
+	// MaxPerNode truncates each adjacency list server-side; 0 means no cap.
+	MaxPerNode uint32
+}
+
+// NeighborsResponse carries one list per requested ID, in request order.
+type NeighborsResponse struct {
+	Lists [][]graph.NodeID
+}
+
+// AttrsRequest asks for attribute vectors of IDs.
+type AttrsRequest struct{ IDs []graph.NodeID }
+
+// AttrsResponse carries the concatenated attribute vectors, request order.
+type AttrsResponse struct {
+	AttrLen int
+	Attrs   []float32
+}
+
+// MetaResponse describes a server's partition.
+type MetaResponse struct {
+	NumNodes   int64 // global node count
+	AttrLen    int
+	Partition  int
+	Partitions int
+}
+
+func appendIDs(dst []byte, ids []graph.NodeID) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(ids)))
+	for _, v := range ids {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+	}
+	return dst
+}
+
+func readIDs(src []byte) ([]graph.NodeID, []byte, error) {
+	if len(src) < 4 {
+		return nil, nil, fmt.Errorf("cluster: truncated ID list header")
+	}
+	n := binary.LittleEndian.Uint32(src)
+	src = src[4:]
+	if uint64(len(src)) < uint64(n)*8 {
+		return nil, nil, fmt.Errorf("cluster: truncated ID list: want %d ids, have %d bytes", n, len(src))
+	}
+	ids := make([]graph.NodeID, n)
+	for i := range ids {
+		ids[i] = graph.NodeID(binary.LittleEndian.Uint64(src[i*8:]))
+	}
+	return ids, src[n*8:], nil
+}
+
+// EncodeNeighborsRequest serializes r.
+func EncodeNeighborsRequest(r NeighborsRequest) []byte {
+	out := []byte{OpGetNeighbors}
+	out = binary.LittleEndian.AppendUint32(out, r.MaxPerNode)
+	return appendIDs(out, r.IDs)
+}
+
+// DecodeNeighborsRequest parses an OpGetNeighbors message body.
+func DecodeNeighborsRequest(b []byte) (NeighborsRequest, error) {
+	if len(b) < 5 || b[0] != OpGetNeighbors {
+		return NeighborsRequest{}, fmt.Errorf("cluster: not a neighbors request")
+	}
+	max := binary.LittleEndian.Uint32(b[1:])
+	ids, rest, err := readIDs(b[5:])
+	if err != nil {
+		return NeighborsRequest{}, err
+	}
+	if len(rest) != 0 {
+		return NeighborsRequest{}, fmt.Errorf("cluster: %d trailing bytes in neighbors request", len(rest))
+	}
+	return NeighborsRequest{IDs: ids, MaxPerNode: max}, nil
+}
+
+// EncodeNeighborsResponse serializes r.
+func EncodeNeighborsResponse(r NeighborsResponse) []byte {
+	out := []byte{OpGetNeighbors}
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(r.Lists)))
+	for _, l := range r.Lists {
+		out = appendIDs(out, l)
+	}
+	return out
+}
+
+// DecodeNeighborsResponse parses an OpGetNeighbors response body.
+func DecodeNeighborsResponse(b []byte) (NeighborsResponse, error) {
+	if len(b) < 5 || b[0] != OpGetNeighbors {
+		return NeighborsResponse{}, fmt.Errorf("cluster: not a neighbors response")
+	}
+	n := binary.LittleEndian.Uint32(b[1:])
+	rest := b[5:]
+	resp := NeighborsResponse{Lists: make([][]graph.NodeID, n)}
+	var err error
+	for i := range resp.Lists {
+		resp.Lists[i], rest, err = readIDs(rest)
+		if err != nil {
+			return NeighborsResponse{}, err
+		}
+	}
+	if len(rest) != 0 {
+		return NeighborsResponse{}, fmt.Errorf("cluster: %d trailing bytes in neighbors response", len(rest))
+	}
+	return resp, nil
+}
+
+// EncodeAttrsRequest serializes r.
+func EncodeAttrsRequest(r AttrsRequest) []byte {
+	out := []byte{OpGetAttrs}
+	return appendIDs(out, r.IDs)
+}
+
+// DecodeAttrsRequest parses an OpGetAttrs message body.
+func DecodeAttrsRequest(b []byte) (AttrsRequest, error) {
+	if len(b) < 1 || b[0] != OpGetAttrs {
+		return AttrsRequest{}, fmt.Errorf("cluster: not an attrs request")
+	}
+	ids, rest, err := readIDs(b[1:])
+	if err != nil {
+		return AttrsRequest{}, err
+	}
+	if len(rest) != 0 {
+		return AttrsRequest{}, fmt.Errorf("cluster: %d trailing bytes in attrs request", len(rest))
+	}
+	return AttrsRequest{IDs: ids}, nil
+}
+
+// EncodeAttrsResponse serializes r.
+func EncodeAttrsResponse(r AttrsResponse) []byte {
+	out := []byte{OpGetAttrs}
+	out = binary.LittleEndian.AppendUint32(out, uint32(r.AttrLen))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(r.Attrs)))
+	for _, f := range r.Attrs {
+		out = binary.LittleEndian.AppendUint32(out, math.Float32bits(f))
+	}
+	return out
+}
+
+// DecodeAttrsResponse parses an OpGetAttrs response body.
+func DecodeAttrsResponse(b []byte) (AttrsResponse, error) {
+	if len(b) < 9 || b[0] != OpGetAttrs {
+		return AttrsResponse{}, fmt.Errorf("cluster: not an attrs response")
+	}
+	attrLen := binary.LittleEndian.Uint32(b[1:])
+	n := binary.LittleEndian.Uint32(b[5:])
+	rest := b[9:]
+	if uint64(len(rest)) != uint64(n)*4 {
+		return AttrsResponse{}, fmt.Errorf("cluster: attrs payload %d bytes, want %d floats", len(rest), n)
+	}
+	attrs := make([]float32, n)
+	for i := range attrs {
+		attrs[i] = math.Float32frombits(binary.LittleEndian.Uint32(rest[i*4:]))
+	}
+	return AttrsResponse{AttrLen: int(attrLen), Attrs: attrs}, nil
+}
+
+// EncodeMetaResponse serializes r.
+func EncodeMetaResponse(r MetaResponse) []byte {
+	out := []byte{OpMeta}
+	out = binary.LittleEndian.AppendUint64(out, uint64(r.NumNodes))
+	out = binary.LittleEndian.AppendUint32(out, uint32(r.AttrLen))
+	out = binary.LittleEndian.AppendUint32(out, uint32(r.Partition))
+	out = binary.LittleEndian.AppendUint32(out, uint32(r.Partitions))
+	return out
+}
+
+// DecodeMetaResponse parses an OpMeta response body.
+func DecodeMetaResponse(b []byte) (MetaResponse, error) {
+	if len(b) != 21 || b[0] != OpMeta {
+		return MetaResponse{}, fmt.Errorf("cluster: not a meta response")
+	}
+	return MetaResponse{
+		NumNodes:   int64(binary.LittleEndian.Uint64(b[1:])),
+		AttrLen:    int(binary.LittleEndian.Uint32(b[9:])),
+		Partition:  int(binary.LittleEndian.Uint32(b[13:])),
+		Partitions: int(binary.LittleEndian.Uint32(b[17:])),
+	}, nil
+}

@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"fmt"
+
+	"lsdgnn/internal/graph"
+	"lsdgnn/internal/trace"
+)
+
+// Server owns one graph partition and answers batched requests. A Server is
+// safe for concurrent use: the underlying graph is immutable and stats use
+// internal locking.
+type Server struct {
+	g         *graph.Graph
+	part      Partitioner
+	partition int
+	stats     *trace.AccessStats
+}
+
+// NewServer creates a server for the given partition. All servers share the
+// full immutable graph object in-process but only answer for nodes they
+// own, mirroring a real deployment where each holds its shard; requests for
+// foreign nodes are rejected, which catches routing bugs in the client.
+func NewServer(g *graph.Graph, part Partitioner, partition int) *Server {
+	if partition < 0 || partition >= part.Servers() {
+		panic(fmt.Sprintf("cluster: partition %d out of %d", partition, part.Servers()))
+	}
+	return &Server{g: g, part: part, partition: partition, stats: &trace.AccessStats{}}
+}
+
+// Partition returns this server's partition index.
+func (s *Server) Partition() int { return s.partition }
+
+// Stats exposes the server-side access statistics.
+func (s *Server) Stats() *trace.AccessStats { return s.stats }
+
+// Meta answers an OpMeta request.
+func (s *Server) Meta() MetaResponse {
+	return MetaResponse{
+		NumNodes:   s.g.NumNodes(),
+		AttrLen:    s.g.AttrLen(),
+		Partition:  s.partition,
+		Partitions: s.part.Servers(),
+	}
+}
+
+// GetNeighbors answers a batched neighbor request.
+func (s *Server) GetNeighbors(req NeighborsRequest) (NeighborsResponse, error) {
+	resp := NeighborsResponse{Lists: make([][]graph.NodeID, len(req.IDs))}
+	for i, v := range req.IDs {
+		if s.part.Owner(v) != s.partition {
+			return NeighborsResponse{}, fmt.Errorf("cluster: node %d routed to server %d but owned by %d", v, s.partition, s.part.Owner(v))
+		}
+		nbrs := s.g.Neighbors(v)
+		if req.MaxPerNode > 0 && len(nbrs) > int(req.MaxPerNode) {
+			nbrs = nbrs[:req.MaxPerNode]
+		}
+		// Fine-grained structure access: offset lookup + ID list.
+		s.stats.Record(trace.AccessStructure, 16+len(nbrs)*8, false)
+		resp.Lists[i] = nbrs
+	}
+	return resp, nil
+}
+
+// GetAttrs answers a batched attribute request.
+func (s *Server) GetAttrs(req AttrsRequest) (AttrsResponse, error) {
+	resp := AttrsResponse{AttrLen: s.g.AttrLen()}
+	for _, v := range req.IDs {
+		if s.part.Owner(v) != s.partition {
+			return AttrsResponse{}, fmt.Errorf("cluster: node %d routed to server %d but owned by %d", v, s.partition, s.part.Owner(v))
+		}
+		resp.Attrs = s.g.Attr(resp.Attrs, v)
+		s.stats.Record(trace.AccessAttribute, s.g.AttrBytes(), false)
+	}
+	return resp, nil
+}
+
+// Handle dispatches a raw protocol message and returns the raw response,
+// the path the TCP transport uses.
+func (s *Server) Handle(msg []byte) ([]byte, error) {
+	if len(msg) == 0 {
+		return nil, fmt.Errorf("cluster: empty message")
+	}
+	switch msg[0] {
+	case OpGetNeighbors:
+		req, err := DecodeNeighborsRequest(msg)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := s.GetNeighbors(req)
+		if err != nil {
+			return nil, err
+		}
+		return EncodeNeighborsResponse(resp), nil
+	case OpGetAttrs:
+		req, err := DecodeAttrsRequest(msg)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := s.GetAttrs(req)
+		if err != nil {
+			return nil, err
+		}
+		return EncodeAttrsResponse(resp), nil
+	case OpMeta:
+		return EncodeMetaResponse(s.Meta()), nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown op %#x", msg[0])
+	}
+}

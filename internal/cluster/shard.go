@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"lsdgnn/internal/graph"
+)
+
+// Shard extraction: production servers hold only their partition of the
+// graph, not the whole thing. ExtractShard builds a graph over the same
+// node-ID space containing only the adjacency lists (and materialized
+// attributes) of nodes the partition owns — a Server backed by the shard
+// answers identically for owned nodes while using ~1/P of the memory.
+
+// ExtractShard returns partition p's shard of g under part.
+func ExtractShard(g *graph.Graph, part Partitioner, p int) (*graph.Graph, error) {
+	if err := ValidatePartitioner(part, g.NumNodes()); err != nil {
+		return nil, err
+	}
+	b := graph.NewBuilder(g.NumNodes(), g.AttrLen())
+	var buf []float32
+	// Stored attribute tables are copied per owned node; procedural
+	// graphs instead carry their seed over, reproducing identical values
+	// without any table.
+	materialized := g.Materialized()
+	for v := int64(0); v < g.NumNodes(); v++ {
+		id := graph.NodeID(v)
+		if part.Owner(id) != p {
+			continue
+		}
+		for _, u := range g.Neighbors(id) {
+			if err := b.AddEdge(id, u); err != nil {
+				return nil, err
+			}
+		}
+		if materialized {
+			buf = g.Attr(buf[:0], id)
+			if err := b.SetAttr(id, buf); err != nil {
+				return nil, err
+			}
+		}
+	}
+	shard, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if !materialized {
+		graph.CopyProceduralSeed(shard, g)
+	}
+	return shard, nil
+}
+
+// ShardServer builds a Server holding only its own shard.
+func ShardServer(g *graph.Graph, part Partitioner, p int) (*Server, error) {
+	shard, err := ExtractShard(g, part, p)
+	if err != nil {
+		return nil, err
+	}
+	return NewServer(shard, part, p), nil
+}

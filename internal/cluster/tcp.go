@@ -1,0 +1,216 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCP transport: length-prefixed protocol messages over stream sockets.
+// Frame layout: uint32 length | uint8 status (responses) | body. Requests
+// have no status byte. One request is in flight per connection; the client
+// keeps a small connection pool per server for concurrency.
+
+const maxFrameBytes = 1 << 28 // 256 MiB guards against corrupt prefixes
+
+func writeFrame(w io.Writer, body []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrameBytes {
+		return nil, fmt.Errorf("cluster: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// TCPServer serves one partition over TCP.
+type TCPServer struct {
+	srv *Server
+	ln  net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// ServeTCP starts serving srv on addr (e.g. "127.0.0.1:0") and returns the
+// running server. Close releases the listener and all connections.
+func ServeTCP(srv *Server, addr string) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	t := &TCPServer{srv: srv, ln: ln, conns: make(map[net.Conn]struct{})}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the listening address.
+func (t *TCPServer) Addr() string { return t.ln.Addr().String() }
+
+func (t *TCPServer) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.conns[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.serveConn(conn)
+	}
+}
+
+func (t *TCPServer) serveConn(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.conns, conn)
+		t.mu.Unlock()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		req, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		resp, err := t.srv.Handle(req)
+		var out []byte
+		if err != nil {
+			out = append([]byte{1}, []byte(err.Error())...)
+		} else {
+			out = append([]byte{0}, resp...)
+		}
+		if err := writeFrame(w, out); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the server and closes every connection.
+func (t *TCPServer) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	err := t.ln.Close()
+	for c := range t.conns {
+		c.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return err
+}
+
+// TCPTransport connects to a set of partition servers by address.
+type TCPTransport struct {
+	addrs []string
+	pools []chan net.Conn // per-server idle connections
+	size  int
+}
+
+// DialTCP creates a transport to the given per-partition addresses with a
+// bounded connection pool per server.
+func DialTCP(addrs []string, poolSize int) *TCPTransport {
+	if poolSize < 1 {
+		poolSize = 1
+	}
+	t := &TCPTransport{addrs: addrs, size: poolSize}
+	t.pools = make([]chan net.Conn, len(addrs))
+	for i := range t.pools {
+		t.pools[i] = make(chan net.Conn, poolSize)
+	}
+	return t
+}
+
+func (t *TCPTransport) get(server int) (net.Conn, error) {
+	select {
+	case c := <-t.pools[server]:
+		return c, nil
+	default:
+		return net.Dial("tcp", t.addrs[server])
+	}
+}
+
+func (t *TCPTransport) put(server int, c net.Conn) {
+	select {
+	case t.pools[server] <- c:
+	default:
+		c.Close()
+	}
+}
+
+// Call implements Transport.
+func (t *TCPTransport) Call(server int, msg []byte) ([]byte, error) {
+	if server < 0 || server >= len(t.addrs) {
+		return nil, fmt.Errorf("cluster: no server %d", server)
+	}
+	conn, err := t.get(server)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFrame(conn, msg); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	resp, err := readFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	t.put(server, conn)
+	if len(resp) == 0 {
+		return nil, errors.New("cluster: empty response frame")
+	}
+	if resp[0] != 0 {
+		return nil, fmt.Errorf("cluster: server %d: %s", server, string(resp[1:]))
+	}
+	return resp[1:], nil
+}
+
+// Close drains and closes pooled connections.
+func (t *TCPTransport) Close() {
+	for _, p := range t.pools {
+		for {
+			select {
+			case c := <-p:
+				c.Close()
+			default:
+				goto next
+			}
+		}
+	next:
+	}
+}

@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+
+	"lsdgnn/internal/graph"
+	"lsdgnn/internal/sampler"
+)
+
+func startTCPCluster(t *testing.T, g *graph.Graph, n int) (*TCPTransport, func()) {
+	t.Helper()
+	part := HashPartitioner{N: n}
+	addrs := make([]string, n)
+	var servers []*TCPServer
+	for p := 0; p < n; p++ {
+		srv, err := ServeTCP(NewServer(g, part, p), "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[p] = srv.Addr()
+		servers = append(servers, srv)
+	}
+	tr := DialTCP(addrs, 2)
+	return tr, func() {
+		tr.Close()
+		for _, s := range servers {
+			_ = s.Close()
+		}
+	}
+}
+
+func TestTCPEndToEnd(t *testing.T) {
+	g := testGraph(t)
+	tr, cleanup := startTCPCluster(t, g, 3)
+	defer cleanup()
+	client, err := NewClient(tr, HashPartitioner{N: 3}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if client.NumNodes() != g.NumNodes() || client.AttrLen() != g.AttrLen() {
+		t.Fatal("meta over TCP wrong")
+	}
+	ids := []graph.NodeID{0, 50, 500}
+	lists, err := client.GetNeighbors(ids, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range ids {
+		if len(lists[i]) != g.Degree(v) {
+			t.Fatalf("node %d: %d neighbors over TCP, want %d", v, len(lists[i]), g.Degree(v))
+		}
+	}
+	attrs, err := client.GetAttrs(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attrs) != len(ids)*g.AttrLen() {
+		t.Fatalf("attrs length %d", len(attrs))
+	}
+}
+
+func TestTCPSampling(t *testing.T) {
+	g := testGraph(t)
+	tr, cleanup := startTCPCluster(t, g, 2)
+	defer cleanup()
+	client, err := NewClient(tr, HashPartitioner{N: 2}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sampler.Config{Fanouts: []int{3, 3}, NegativeRate: 1, Method: sampler.Streaming, FetchAttrs: true, Seed: 2}
+	res, err := client.SampleBatch([]graph.NodeID{1, 2, 3, 4}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hops[1]) != 4*9 {
+		t.Fatalf("hop-2 size %d", len(res.Hops[1]))
+	}
+}
+
+func TestTCPServerErrorPropagation(t *testing.T) {
+	g := testGraph(t)
+	tr, cleanup := startTCPCluster(t, g, 2)
+	defer cleanup()
+	// An unknown op must come back as a remote error, not a hang.
+	if _, err := tr.Call(0, []byte{0x7F}); err == nil {
+		t.Fatal("remote error not propagated")
+	}
+	// The connection stays usable afterwards.
+	if _, err := tr.Call(0, []byte{OpMeta}); err != nil {
+		t.Fatalf("connection unusable after error: %v", err)
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	g := testGraph(t)
+	tr, cleanup := startTCPCluster(t, g, 2)
+	defer cleanup()
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = tr.Call(i%2, []byte{OpMeta})
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTCPBadServerIndex(t *testing.T) {
+	tr := DialTCP([]string{"127.0.0.1:1"}, 1)
+	defer tr.Close()
+	if _, err := tr.Call(5, []byte{OpMeta}); err == nil {
+		t.Fatal("out-of-range server accepted")
+	}
+}
+
+func TestTCPServerClose(t *testing.T) {
+	g := testGraph(t)
+	srv, err := ServeTCP(NewServer(g, HashPartitioner{N: 1}, 0), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr := DialTCP([]string{addr}, 1)
+	defer tr.Close()
+	if _, err := tr.Call(0, []byte{OpMeta}); err == nil {
+		t.Fatal("closed server still answering")
+	}
+}
+
+func TestSimulateScalingSublinear(t *testing.T) {
+	cfg := DefaultScalingConfig()
+	cfg.BatchesPerWorker = 2
+	cfg.WorkersPerServer = 4
+	run := func(s int) ScalingResult {
+		c := cfg
+		c.Servers = s
+		return SimulateScaling(c)
+	}
+	r1, r5 := run(1), run(5)
+	if r5.RootsPerSecond <= r1.RootsPerSecond {
+		t.Fatal("more servers should still increase aggregate throughput")
+	}
+	speedup := r5.RootsPerSecond / r1.RootsPerSecond
+	if speedup >= 5 {
+		t.Fatalf("scaling not sublinear: %v× at 5 servers", speedup)
+	}
+	if speedup < 2 {
+		t.Fatalf("scaling collapsed: %v× at 5 servers", speedup)
+	}
+	if r1.RemoteShare != 0 {
+		t.Fatalf("single server should be all-local, got %v remote", r1.RemoteShare)
+	}
+	if r5.RemoteShare < 0.7 {
+		t.Fatalf("5 servers should be mostly remote, got %v", r5.RemoteShare)
+	}
+}
+
+func TestSimulateScalingDeterministic(t *testing.T) {
+	cfg := DefaultScalingConfig()
+	cfg.Servers = 3
+	cfg.BatchesPerWorker = 2
+	a, b := SimulateScaling(cfg), SimulateScaling(cfg)
+	if a.RootsPerSecond != b.RootsPerSecond || a.SimTimeSeconds != b.SimTimeSeconds {
+		t.Fatal("scaling simulation not deterministic")
+	}
+	if a.RootsSampled != int64(cfg.Servers*cfg.WorkersPerServer*cfg.BatchesPerWorker*cfg.BatchSize) {
+		t.Fatalf("roots sampled = %d", a.RootsSampled)
+	}
+}
+
+func TestSimulateScalingValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config did not panic")
+		}
+	}()
+	SimulateScaling(ScalingConfig{})
+}

@@ -1,0 +1,107 @@
+// Package core assembles the full LSD-GNN system — the paper's primary
+// contribution as a deployable stack: a partitioned distributed graph
+// store, per-node AxE access engines, the RISC-V/QRCH control plane, and
+// the software sampling path used as the vCPU baseline. It also provides
+// the end-to-end application pipeline model behind Figure 3.
+package core
+
+import (
+	"fmt"
+
+	"lsdgnn/internal/axe"
+	"lsdgnn/internal/cluster"
+	"lsdgnn/internal/graph"
+	"lsdgnn/internal/sampler"
+	"lsdgnn/internal/workload"
+)
+
+// Options configures a System.
+type Options struct {
+	// Dataset selects a Table 2 dataset (scaled simulation size). Leave
+	// Graph nil to build from the dataset.
+	Dataset workload.Dataset
+	// Graph overrides Dataset with a caller-provided graph.
+	Graph *graph.Graph
+	// Servers is the storage partition count (≥1).
+	Servers int
+	// Sampling configures the workload; zero value takes the Table 2
+	// defaults.
+	Sampling sampler.Config
+	// Engine configures the per-node AxE; zero value takes the PoC
+	// defaults.
+	Engine axe.Config
+	Seed   int64
+}
+
+// System is an assembled LSD-GNN deployment.
+type System struct {
+	Graph    *graph.Graph
+	Part     cluster.Partitioner
+	Servers  []*cluster.Server
+	Client   *cluster.Client
+	Engines  []*axe.Engine
+	Sampling sampler.Config
+}
+
+// NewSystem builds servers, a client and one AxE engine per partition.
+func NewSystem(opts Options) (*System, error) {
+	if opts.Servers < 1 {
+		return nil, fmt.Errorf("core: need ≥1 server, got %d", opts.Servers)
+	}
+	g := opts.Graph
+	if g == nil {
+		if opts.Dataset.Name == "" {
+			return nil, fmt.Errorf("core: either Graph or Dataset must be set")
+		}
+		g = opts.Dataset.Build(opts.Seed)
+	}
+	sCfg := opts.Sampling
+	if len(sCfg.Fanouts) == 0 {
+		spec := workload.DefaultSampling()
+		sCfg = sampler.Config{
+			Fanouts:      spec.Fanouts,
+			NegativeRate: spec.NegativeRate,
+			Method:       sampler.Streaming,
+			FetchAttrs:   spec.FetchAttrs,
+			Seed:         opts.Seed,
+		}
+	}
+	eCfg := opts.Engine
+	if eCfg.Cores == 0 {
+		eCfg = axe.DefaultConfig()
+	}
+	eCfg.Sampling = sCfg
+
+	part := cluster.HashPartitioner{N: opts.Servers}
+	sys := &System{Graph: g, Part: part, Sampling: sCfg}
+	for i := 0; i < opts.Servers; i++ {
+		sys.Servers = append(sys.Servers, cluster.NewServer(g, part, i))
+		eng, err := axe.New(g, part, i, eCfg)
+		if err != nil {
+			return nil, err
+		}
+		sys.Engines = append(sys.Engines, eng)
+	}
+	client, err := cluster.NewClient(cluster.DirectTransport{Servers: sys.Servers}, part, 0)
+	if err != nil {
+		return nil, err
+	}
+	sys.Client = client
+	return sys, nil
+}
+
+// SampleSoftware runs the CPU (AliGraph-style) distributed sampling path.
+func (s *System) SampleSoftware(roots []graph.NodeID) (*sampler.Result, error) {
+	return s.Client.SampleBatch(roots, s.Sampling)
+}
+
+// SampleAccelerated runs the batch on node 0's AxE engine, returning the
+// functional result plus the hardware-model timing.
+func (s *System) SampleAccelerated(roots []graph.NodeID) (*sampler.Result, axe.BatchStats) {
+	return s.Engines[0].RunBatch(roots)
+}
+
+// BatchSource returns a deterministic root generator for this system.
+func (s *System) BatchSource(batchSize int, seed int64) *workload.BatchSource {
+	return workload.NewBatchSource(s.Graph.NumNodes(), batchSize, seed)
+}

@@ -1,0 +1,337 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"lsdgnn/internal/axe"
+	"lsdgnn/internal/graph"
+	"lsdgnn/internal/sampler"
+	"lsdgnn/internal/workload"
+)
+
+func testSystem(t *testing.T) *System {
+	t.Helper()
+	g := graph.Generate(graph.GenConfig{NumNodes: 2000, AvgDegree: 8, AttrLen: 8, Seed: 3, PowerLaw: true})
+	sys, err := NewSystem(Options{Graph: g, Servers: 4, Seed: 3,
+		Sampling: sampler.Config{Fanouts: []int{4, 3}, NegativeRate: 2, Method: sampler.Streaming, FetchAttrs: true, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(Options{Servers: 0}); err == nil {
+		t.Fatal("0 servers accepted")
+	}
+	if _, err := NewSystem(Options{Servers: 1}); err == nil {
+		t.Fatal("no graph and no dataset accepted")
+	}
+}
+
+func TestNewSystemFromDataset(t *testing.T) {
+	ds, _ := workload.DatasetByName("ss")
+	sys, err := NewSystem(Options{Dataset: ds, Servers: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Graph.NumNodes() != ds.SimNodes {
+		t.Fatal("dataset graph not built")
+	}
+	// Defaults applied.
+	if len(sys.Sampling.Fanouts) != 2 || sys.Sampling.Fanouts[0] != 10 {
+		t.Fatalf("default sampling = %+v", sys.Sampling)
+	}
+	if len(sys.Engines) != 2 || len(sys.Servers) != 2 {
+		t.Fatal("per-partition components missing")
+	}
+}
+
+func TestSoftwareAndAcceleratedAgree(t *testing.T) {
+	sys := testSystem(t)
+	roots := sys.BatchSource(8, 1).Next()
+	sw, err := sys.SampleSoftware(roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, st := sys.SampleAccelerated(roots)
+	if len(sw.Hops[0]) != len(hw.Hops[0]) || len(sw.Hops[1]) != len(hw.Hops[1]) {
+		t.Fatal("layouts differ")
+	}
+	if len(sw.Attrs) != len(hw.Attrs) {
+		t.Fatal("attr layouts differ")
+	}
+	if st.SimTime <= 0 {
+		t.Fatal("no hardware timing")
+	}
+	// Both sample genuine neighborhoods of the same graph.
+	for i, p := range roots {
+		ok := map[graph.NodeID]bool{p: true}
+		for _, u := range sys.Graph.Neighbors(p) {
+			ok[u] = true
+		}
+		for _, c := range hw.Hops[0][i*4 : (i+1)*4] {
+			if !ok[c] {
+				t.Fatalf("accelerated child %d of %d invalid", c, p)
+			}
+		}
+		for _, c := range sw.Hops[0][i*4 : (i+1)*4] {
+			if !ok[c] {
+				t.Fatalf("software child %d of %d invalid", c, p)
+			}
+		}
+	}
+}
+
+func TestControllerCSRCommands(t *testing.T) {
+	sys := testSystem(t)
+	ctl, err := NewController(sys.Engines[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := ctl.Execute(axe.Command{Op: axe.OpSetCSR, Arg0: axe.CSRFanout0, Arg1: 7, Txn: 1})
+	if resp.Status != 0 {
+		t.Fatal("set-csr failed")
+	}
+	resp = ctl.Execute(axe.Command{Op: axe.OpReadCSR, Arg0: axe.CSRFanout0, Txn: 2})
+	if resp.Value != 7 {
+		t.Fatalf("read-csr = %d", resp.Value)
+	}
+}
+
+func TestControllerSampleCommand(t *testing.T) {
+	sys := testSystem(t)
+	ctl, err := NewController(sys.Engines[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write 4 roots into shared memory, then execute a sample command.
+	roots := []graph.NodeID{10, 20, 30, 40}
+	base := uint64(SharedBase + 0x100)
+	for i, v := range roots {
+		if !ctl.writeWord64(base+uint64(i)*8, uint64(v)) {
+			t.Fatal("shared write failed")
+		}
+	}
+	resp := ctl.Execute(axe.Command{Op: axe.OpSampleNHop, Arg2: base, Arg3: 4, Txn: 5})
+	if resp.Status != 0 {
+		t.Fatal("sample command failed")
+	}
+	want := uint64(4*4 + 4*4*3) // hop1 + hop2 entries
+	if resp.Value != want {
+		t.Fatalf("sampled %d ids, want %d", resp.Value, want)
+	}
+	// The sampled IDs landed behind the input buffer and are valid nodes.
+	out := base + 4*8
+	for i := uint64(0); i < resp.Value; i++ {
+		id, ok := ctl.readRoots(out+i*8, 1)
+		if !ok || !sys.Graph.HasNode(id[0]) {
+			t.Fatalf("output id %d invalid", i)
+		}
+	}
+}
+
+func TestControllerNegativeSample(t *testing.T) {
+	sys := testSystem(t)
+	ctl, _ := NewController(sys.Engines[0])
+	base := uint64(SharedBase)
+	ctl.writeWord64(base, 1)
+	resp := ctl.Execute(axe.Command{Op: axe.OpNegativeSample, Arg1: 5, Arg2: base, Arg3: 1, Txn: 9})
+	if resp.Status != 0 || resp.Value != 5 {
+		t.Fatalf("negative sample: %+v", resp)
+	}
+	for i := uint64(0); i < 5; i++ {
+		id, ok := ctl.readRoots(base+8+i*8, 1)
+		if !ok || !sys.Graph.HasNode(id[0]) {
+			t.Fatal("negative id out of range")
+		}
+	}
+}
+
+func TestControllerBadAddresses(t *testing.T) {
+	sys := testSystem(t)
+	ctl, _ := NewController(sys.Engines[0])
+	resp := ctl.Execute(axe.Command{Op: axe.OpSampleNHop, Arg2: 0x1000, Arg3: 4, Txn: 1})
+	if resp.Status == 0 {
+		t.Fatal("out-of-window buffer accepted")
+	}
+	resp = ctl.Execute(axe.Command{Op: axe.OpSampleNHop, Arg2: SharedBase + SharedSize - 8, Arg3: 100, Txn: 2})
+	if resp.Status == 0 {
+		t.Fatal("overflowing buffer accepted")
+	}
+}
+
+// TestRISCVDrivesEngine is the full control-plane integration: an assembled
+// RISC-V program writes roots to shared memory, pushes a 32-byte sample
+// command through QRCH word by word, pops the response, and the test
+// verifies the sampled IDs in shared memory.
+func TestRISCVDrivesEngine(t *testing.T) {
+	sys := testSystem(t)
+	ctl, err := NewController(sys.Engines[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Command record: Op=OpSampleNHop(3) in byte 0; Arg2=0x20000100 (words
+	// 2,3); Arg3=2 roots (words 4,5); Txn=0xAB (words 6,7).
+	src := `
+		# roots 15 and 25 into shared memory at 0x20000100
+		li   t0, 0x20000100
+		li   t1, 15
+		sw   t1, 0(t0)
+		sw   zero, 4(t0)
+		li   t1, 25
+		sw   t1, 8(t0)
+		sw   zero, 12(t0)
+		# push the 8-word command record to queue 0
+		li   a0, 3            # word0: opcode OpSampleNHop
+		li   a1, 0            # word1
+		qpush 0, a0, a1
+		li   a0, 0x20000100   # word2: Arg2 lo
+		li   a1, 0            # word3: Arg2 hi
+		qpush 0, a0, a1
+		li   a0, 2            # word4: Arg3 lo (2 roots)
+		li   a1, 0            # word5
+		qpush 0, a0, a1
+		li   a0, 0xAB         # word6: Txn lo
+		li   a1, 0            # word7
+		qpush 0, a0, a1
+		# pop the 2-word response
+		qpop a2, 0            # txn echo
+		qpop a3, 0            # sampled-id count
+		ebreak
+	`
+	if err := ctl.LoadProgram(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.CPU.Run(1 << 16); err != nil {
+		t.Fatal(err)
+	}
+	if ctl.CPU.X[12] != 0xAB {
+		t.Fatalf("txn echo = %#x", ctl.CPU.X[12])
+	}
+	wantIDs := uint32(2*4 + 2*4*3)
+	if ctl.CPU.X[13] != wantIDs {
+		t.Fatalf("id count = %d, want %d", ctl.CPU.X[13], wantIDs)
+	}
+	// Verify the sampled IDs: children of root 15 come first.
+	out := uint64(SharedBase + 0x100 + 2*8)
+	ids, ok := ctl.readRoots(out, uint64(wantIDs))
+	if !ok {
+		t.Fatal("cannot read back results")
+	}
+	valid := map[graph.NodeID]bool{15: true}
+	for _, u := range sys.Graph.Neighbors(15) {
+		valid[u] = true
+	}
+	for _, c := range ids[:4] {
+		if !valid[c] {
+			t.Fatalf("sampled id %d is not a neighbor of root 15", c)
+		}
+	}
+	if ctl.Hub.Handled() != 1 {
+		t.Fatalf("hub handled %d commands", ctl.Hub.Handled())
+	}
+}
+
+func TestPipelineModelFigure3(t *testing.T) {
+	p := DefaultPipelineModel()
+	train := p.SamplingShare(true)
+	infer := p.SamplingShare(false)
+	// Paper: 64% training, 88% inference. Allow ±10 points.
+	if train < 0.54 || train > 0.80 {
+		t.Fatalf("training sampling share = %.2f, paper 0.64", train)
+	}
+	if infer < 0.78 || infer > 0.96 {
+		t.Fatalf("inference sampling share = %.2f, paper 0.88", infer)
+	}
+	if infer <= train {
+		t.Fatal("inference must be more sampling-dominated than training")
+	}
+	// Storage gap ≈ 5-7 orders of magnitude.
+	ratio := p.StorageRatio()
+	if ratio < 1e5 || ratio > 1e8 {
+		t.Fatalf("storage ratio = %.1e", ratio)
+	}
+}
+
+func TestPipelineBreakdownSumsToOne(t *testing.T) {
+	p := DefaultPipelineModel()
+	st := p.StageSeconds(true)
+	var sum float64
+	for _, s := range st.Breakdown() {
+		sum += s.Share
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("shares sum to %v", sum)
+	}
+}
+
+func TestLoadProgramTooBig(t *testing.T) {
+	sys := testSystem(t)
+	ctl, _ := NewController(sys.Engines[0])
+	big := ""
+	for i := 0; i < IMemSize/4+8; i++ {
+		big += "nop\n"
+	}
+	if err := ctl.LoadProgram(big); err == nil {
+		t.Fatal("oversized program accepted")
+	}
+}
+
+func TestControllerReadNodeAttr(t *testing.T) {
+	sys := testSystem(t)
+	ctl, _ := NewController(sys.Engines[0])
+	base := uint64(SharedBase + 0x400)
+	ids := []graph.NodeID{3, 9}
+	for i, v := range ids {
+		ctl.writeWord64(base+uint64(i)*8, uint64(v))
+	}
+	resp := ctl.Execute(axe.Command{Op: axe.OpReadNodeAttr, Arg2: base, Arg3: 2, Txn: 11})
+	al := sys.Graph.AttrLen()
+	if resp.Status != 0 || resp.Value != uint64(2*al) {
+		t.Fatalf("read-node-attr: %+v", resp)
+	}
+	out := base + 2*8
+	want := sys.Graph.Attr(nil, 3)
+	for j, f := range want {
+		off := out - SharedBase + uint64(j)*4
+		got := math.Float32frombits(binary.LittleEndian.Uint32(ctl.Shared.Data[off:]))
+		if got != f {
+			t.Fatalf("attr %d = %v, want %v", j, got, f)
+		}
+	}
+}
+
+func TestControllerReadEdgeAttr(t *testing.T) {
+	sys := testSystem(t)
+	ctl, _ := NewController(sys.Engines[0])
+	base := uint64(SharedBase + 0x800)
+	pairs := []graph.NodeID{1, 2, 3, 4}
+	for i, v := range pairs {
+		ctl.writeWord64(base+uint64(i)*8, uint64(v))
+	}
+	resp := ctl.Execute(axe.Command{Op: axe.OpReadEdgeAttr, Arg2: base, Arg3: 2, Txn: 12})
+	if resp.Status != 0 || resp.Value != 2 {
+		t.Fatalf("read-edge-attr: %+v", resp)
+	}
+	out := base - SharedBase + 4*8
+	w0 := math.Float32frombits(binary.LittleEndian.Uint32(ctl.Shared.Data[out:]))
+	w1 := math.Float32frombits(binary.LittleEndian.Uint32(ctl.Shared.Data[out+4:]))
+	if w0 < 0 || w0 >= 1 || w1 < 0 || w1 >= 1 {
+		t.Fatalf("edge weights out of range: %v %v", w0, w1)
+	}
+	if w0 == w1 {
+		t.Fatal("distinct pairs produced identical weights")
+	}
+	// Deterministic: re-running gives the same weights.
+	resp2 := ctl.Execute(axe.Command{Op: axe.OpReadEdgeAttr, Arg2: base, Arg3: 2, Txn: 13})
+	if resp2.Status != 0 {
+		t.Fatal("rerun failed")
+	}
+	if w0 != math.Float32frombits(binary.LittleEndian.Uint32(ctl.Shared.Data[out:])) {
+		t.Fatal("edge weights not deterministic")
+	}
+}

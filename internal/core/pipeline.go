@@ -1,0 +1,120 @@
+package core
+
+import (
+	"lsdgnn/internal/perfmodel"
+	"lsdgnn/internal/trace"
+	"lsdgnn/internal/workload"
+)
+
+// End-to-end application pipeline model (Figure 3): for the Table 3
+// application (ls graph, graphSAGE-max, DSSM end model) it breaks one
+// mini-batch's time into sampling, embedding, GNN-NN and end-model stages,
+// for both training and inference, and compares the storage footprints of
+// the graph versus the NN parameters.
+
+// GPUModel is a first-order dense-compute model.
+type GPUModel struct {
+	// EffectiveFlops is sustained FP32 throughput (peak × utilization).
+	EffectiveFlops float64
+	// TrainMultiplier scales forward FLOPs for backward+optimizer.
+	TrainMultiplier float64
+	// KernelOverheadSec is fixed per-batch launch/transfer overhead.
+	KernelOverheadSec float64
+}
+
+// DefaultGPUModel returns a V100 running mixed dense kernels at realistic
+// utilization.
+func DefaultGPUModel() GPUModel {
+	return GPUModel{EffectiveFlops: 0.85e12, TrainMultiplier: 4.3, KernelOverheadSec: 350e-6}
+}
+
+// PipelineModel combines the calibrated CPU sampling model, a GPU model
+// and the Table 3 application.
+type PipelineModel struct {
+	App workload.App
+	CPU perfmodel.CPUModel
+	GPU GPUModel
+	// SamplingWorkers is the vCPU pool concurrently feeding one trainer
+	// (Table 3: 5-server 120-worker instance).
+	SamplingWorkers int
+	// Partitions shards the graph for the sampling model.
+	Partitions int
+}
+
+// DefaultPipelineModel returns the Table 3 configuration.
+func DefaultPipelineModel() PipelineModel {
+	return PipelineModel{
+		App:             workload.DefaultApp(),
+		CPU:             perfmodel.DefaultCPUModel(),
+		GPU:             DefaultGPUModel(),
+		SamplingWorkers: 120,
+		Partitions:      5,
+	}
+}
+
+// nnFlopsPerBatch estimates forward FLOPs of embedding + graphSAGE-max +
+// DSSM for one mini-batch.
+func (p PipelineModel) nnFlopsPerBatch() float64 {
+	app := p.App
+	spec := app.Sampling
+	batch := float64(spec.BatchSize)
+	attr := float64(app.Dataset.AttrLen)
+	emb := float64(p.App.EmbeddingDim)
+	hid := float64(p.App.HiddenDim)
+	nodesPerRoot := float64(spec.AttrFetchesPerRoot())
+
+	// Embedding projection: every fetched node attr → embedding.
+	embFlops := batch * nodesPerRoot * 2 * attr * emb
+	// graphSAGE layer 1 over root+hop1 targets, layer 2 over roots:
+	// concat(2·emb)→hid matmuls per target node.
+	f1 := float64(spec.Fanouts[0])
+	l1Targets := batch * (1 + f1)
+	l2Targets := batch
+	sageFlops := (l1Targets + l2Targets) * 2 * (2 * emb) * hid
+	// DSSM towers: two hid→hid towers per (root, negative) pair.
+	pairs := batch * float64(1+spec.NegativeRate)
+	dssmFlops := pairs * 2 * 2 * hid * hid
+	return embFlops + sageFlops + dssmFlops
+}
+
+// StageSeconds returns per-batch stage times for training or inference.
+func (p PipelineModel) StageSeconds(training bool) *trace.StageTimer {
+	t := trace.NewStageTimer()
+	spec := p.App.Sampling
+	w := perfmodel.Derive(p.App.Dataset, spec, p.Partitions)
+	perVCPU := p.CPU.RootsPerSecondPerVCPU(w)
+	// The worker pool pipelines batches; effective sampling time per batch
+	// is batch / (workers × per-vCPU rate).
+	sampling := float64(spec.BatchSize) / (perVCPU * float64(p.SamplingWorkers))
+	t.Add("sampling", sampling)
+
+	flops := p.nnFlopsPerBatch()
+	mult := 1.0
+	if training {
+		mult = p.GPU.TrainMultiplier
+	}
+	nn := flops*mult/p.GPU.EffectiveFlops + p.GPU.KernelOverheadSec
+	// Split the dense time into the three NN stages by their FLOP shares
+	// (embedding dominates; GNN-NN and end-model smaller).
+	t.Add("embedding+NN", nn)
+	return t
+}
+
+// SamplingShare returns sampling's fraction of end-to-end batch time —
+// the headline Figure 3 numbers (≈64% training, ≈88% inference).
+func (p PipelineModel) SamplingShare(training bool) float64 {
+	return p.StageSeconds(training).Share("sampling")
+}
+
+// StorageRatio returns graph-storage bytes over NN parameter bytes — the
+// "5 orders of magnitude" gap of Figure 3.
+func (p PipelineModel) StorageRatio() float64 {
+	graphBytes := float64(p.App.Dataset.FootprintBytes())
+	attr := float64(p.App.Dataset.AttrLen)
+	emb := float64(p.App.EmbeddingDim)
+	hid := float64(p.App.HiddenDim)
+	params := attr*emb + // embedding projection
+		2*emb*hid + 2*hid*hid + // two SAGE layers
+		2*hid*hid // DSSM towers
+	return graphBytes / (params * 4)
+}

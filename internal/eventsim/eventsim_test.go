@@ -1,0 +1,337 @@
+package eventsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeUnits(t *testing.T) {
+	if Second != 1000*Millisecond || Millisecond != 1000*Microsecond ||
+		Microsecond != 1000*Nanosecond || Nanosecond != 1000*Picosecond {
+		t.Fatal("time unit ladder broken")
+	}
+	if got := Time(2 * Second).Seconds(); got != 2 {
+		t.Fatalf("Seconds() = %v", got)
+	}
+	if got := Time(1500).Nanoseconds(); got != 1.5 {
+		t.Fatalf("Nanoseconds() = %v", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500, "500ps"},
+		{1500, "1.500ns"},
+		{2 * Microsecond, "2.000us"},
+		{3 * Second, "3.000s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.At(30, func() { order = append(order, 3) })
+	s.At(10, func() { order = append(order, 1) })
+	s.At(20, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 30 {
+		t.Fatalf("Now() = %v", s.Now())
+	}
+}
+
+func TestEqualTimeFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(100, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("ties not FIFO: %v", order)
+		}
+	}
+}
+
+func TestScheduleFromHandler(t *testing.T) {
+	s := New()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			s.After(10, tick)
+		}
+	}
+	s.After(10, tick)
+	s.Run()
+	if count != 5 {
+		t.Fatalf("count = %d", count)
+	}
+	if s.Now() != 50 {
+		t.Fatalf("Now() = %v", s.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New()
+	s.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(50, func() {})
+	})
+	s.Run()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	New().After(-1, func() {})
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	id := s.At(10, func() { fired = true })
+	s.Cancel(id)
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Double cancel and cancel-after-run are no-ops.
+	s.Cancel(id)
+	s.Cancel(EventID{})
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		s.At(at, func() { fired = append(fired, at) })
+	}
+	s.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if s.Now() != 25 {
+		t.Fatalf("Now() = %v after RunUntil(25)", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("Pending() = %d", s.Pending())
+	}
+	s.RunFor(100)
+	if len(fired) != 4 {
+		t.Fatalf("fired = %v after RunFor", fired)
+	}
+}
+
+func TestStepAndFired(t *testing.T) {
+	s := New()
+	s.At(1, func() {})
+	s.At(2, func() {})
+	if !s.Step() || !s.Step() {
+		t.Fatal("Step returned false with pending events")
+	}
+	if s.Step() {
+		t.Fatal("Step returned true on empty queue")
+	}
+	if s.Fired() != 2 {
+		t.Fatalf("Fired() = %d", s.Fired())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int {
+		s := New()
+		var order []int
+		for i := 0; i < 50; i++ {
+			i := i
+			s.At(Time((i*37)%13), func() { order = append(order, i) })
+		}
+		s.Run()
+		return order
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestPropertyMonotonicTime(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := New()
+		last := Time(-1)
+		ok := true
+		for _, d := range delays {
+			s.After(Time(d), func() {
+				if s.Now() < last {
+					ok = false
+				}
+				last = s.Now()
+			})
+		}
+		s.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkSerialization(t *testing.T) {
+	s := New()
+	l := NewLink(s, 1e9, 100*Nanosecond) // 1 GB/s, 100 ns
+	var arrivals []Time
+	// Two 1000-byte messages: serialization 1 µs each, queued back-to-back.
+	l.Send(1000, func() { arrivals = append(arrivals, s.Now()) })
+	l.Send(1000, func() { arrivals = append(arrivals, s.Now()) })
+	s.Run()
+	want0 := 1*Microsecond + 100*Nanosecond
+	want1 := 2*Microsecond + 100*Nanosecond
+	if arrivals[0] != want0 || arrivals[1] != want1 {
+		t.Fatalf("arrivals = %v, want [%v %v]", arrivals, want0, want1)
+	}
+	if l.SentMessages() != 2 || l.SentBytes() != 2000 {
+		t.Fatalf("accounting: %d msgs, %d bytes", l.SentMessages(), l.SentBytes())
+	}
+}
+
+func TestLinkOverheadAndExtraLatency(t *testing.T) {
+	s := New()
+	l := NewLink(s, 1e9, 0)
+	l.PerMessageOverheadBytes = 500
+	var at Time
+	l.SendWithLatency(500, 250*Nanosecond, func() { at = s.Now() })
+	s.Run()
+	// (500+500) bytes at 1 GB/s = 1 µs, plus 250 ns extra.
+	if want := 1*Microsecond + 250*Nanosecond; at != want {
+		t.Fatalf("arrival %v, want %v", at, want)
+	}
+	if l.SentBytes() != 1000 {
+		t.Fatalf("SentBytes = %d", l.SentBytes())
+	}
+}
+
+func TestLinkUtilization(t *testing.T) {
+	s := New()
+	l := NewLink(s, 1e9, 0)
+	l.Send(1000, func() {})
+	s.RunUntil(2 * Microsecond)
+	u := l.Utilization()
+	if u < 0.45 || u > 0.55 {
+		t.Fatalf("utilization = %v, want ~0.5", u)
+	}
+}
+
+func TestLinkValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-bandwidth link did not panic")
+		}
+	}()
+	NewLink(New(), 0, 0)
+}
+
+func TestServerParallelism(t *testing.T) {
+	s := New()
+	srv := NewServer(s, 100*Nanosecond, 2)
+	var done []Time
+	for i := 0; i < 4; i++ {
+		srv.Submit(func() { done = append(done, s.Now()) })
+	}
+	s.Run()
+	// Two at 100ns, two queued behind → 200ns.
+	if done[0] != 100*Nanosecond || done[1] != 100*Nanosecond ||
+		done[2] != 200*Nanosecond || done[3] != 200*Nanosecond {
+		t.Fatalf("completions = %v", done)
+	}
+	if srv.Served() != 4 {
+		t.Fatalf("Served = %d", srv.Served())
+	}
+}
+
+func TestFIFOVariableService(t *testing.T) {
+	s := New()
+	f := NewFIFO(s)
+	var done []Time
+	f.Submit(100, func() { done = append(done, s.Now()) })
+	f.Submit(50, func() { done = append(done, s.Now()) })
+	s.Run()
+	if done[0] != 100 || done[1] != 150 {
+		t.Fatalf("completions = %v", done)
+	}
+	if f.Served() != 2 {
+		t.Fatalf("Served = %d", f.Served())
+	}
+}
+
+func TestFIFONegativeServicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative service did not panic")
+		}
+	}()
+	NewFIFO(New()).Submit(-1, func() {})
+}
+
+func TestSemaphoreFIFOOrder(t *testing.T) {
+	m := NewSemaphore(1)
+	var order []int
+	m.Acquire(func() {}) // holds the only slot
+	for i := 0; i < 3; i++ {
+		i := i
+		m.Acquire(func() { order = append(order, i) })
+	}
+	if m.Waiting() != 3 || m.InUse() != 1 {
+		t.Fatalf("waiting=%d inuse=%d", m.Waiting(), m.InUse())
+	}
+	m.Release() // admits waiter 0, slot stays in use
+	m.Release()
+	m.Release()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+	m.Release()
+	if m.InUse() != 0 {
+		t.Fatalf("InUse = %d after final release", m.InUse())
+	}
+}
+
+func TestSemaphoreOverRelease(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release did not panic")
+		}
+	}()
+	NewSemaphore(1).Release()
+}
+
+func TestSemaphoreCapacityValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity did not panic")
+		}
+	}()
+	NewSemaphore(0)
+}

@@ -1,0 +1,222 @@
+package eventsim
+
+import "fmt"
+
+// Link models a bandwidth-limited, fixed-latency, full-duplex point-to-point
+// link (one direction). Transfers serialize on the link at the configured
+// bandwidth and then experience the propagation latency. This is the standard
+// store-and-forward pipe model: completion = serialization end + latency.
+type Link struct {
+	sim *Sim
+	// BytesPerSecond is the peak bandwidth of the link.
+	BytesPerSecond float64
+	// Latency is the propagation delay applied after serialization.
+	Latency Time
+	// PerMessageOverheadBytes is added to every transfer (headers, DLL
+	// framing) before serialization.
+	PerMessageOverheadBytes int
+
+	busyUntil Time
+	sentBytes int64
+	sentMsgs  int64
+}
+
+// NewLink creates a link attached to sim.
+func NewLink(sim *Sim, bytesPerSecond float64, latency Time) *Link {
+	if bytesPerSecond <= 0 {
+		panic("eventsim: link bandwidth must be positive")
+	}
+	return &Link{sim: sim, BytesPerSecond: bytesPerSecond, Latency: latency}
+}
+
+// serializationTime returns how long n bytes occupy the wire.
+func (l *Link) serializationTime(n int) Time {
+	sec := float64(n) / l.BytesPerSecond
+	return Time(sec * float64(Second))
+}
+
+// Send schedules delivery of an n-byte message, invoking done at arrival.
+// Messages queue FIFO behind in-flight serialization.
+func (l *Link) Send(n int, done func()) { l.SendWithLatency(n, 0, done) }
+
+// SendWithLatency is Send with extra propagation latency added for this
+// message only — used when traffic classes with different end-to-end
+// latencies share one physical link (e.g. remote memory responses crossing
+// the same PCIe lanes as local-memory reads).
+func (l *Link) SendWithLatency(n int, extra Time, done func()) {
+	if extra < 0 {
+		panic("eventsim: negative extra latency")
+	}
+	total := n + l.PerMessageOverheadBytes
+	start := l.sim.Now()
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	end := start + l.serializationTime(total)
+	l.busyUntil = end
+	l.sentBytes += int64(total)
+	l.sentMsgs++
+	l.sim.At(end+l.Latency+extra, done)
+}
+
+// SentBytes returns total bytes serialized onto the link.
+func (l *Link) SentBytes() int64 { return l.sentBytes }
+
+// SentMessages returns the number of messages sent.
+func (l *Link) SentMessages() int64 { return l.sentMsgs }
+
+// Utilization returns the fraction of time [0,1] the link was busy up to now.
+func (l *Link) Utilization() float64 {
+	if l.sim.Now() == 0 {
+		return 0
+	}
+	busy := l.serializationTime(int(l.sentBytes))
+	u := float64(busy) / float64(l.sim.Now())
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Server models a resource with fixed service time and a bounded number of
+// parallel servers (e.g. a DRAM channel with banked parallelism, a pipeline
+// stage). Requests beyond the parallelism queue FIFO.
+type Server struct {
+	sim         *Sim
+	ServiceTime Time
+	Parallelism int
+
+	// ring of completion times for the busy servers
+	busy []Time
+
+	served int64
+}
+
+// NewServer creates a server resource.
+func NewServer(sim *Sim, service Time, parallelism int) *Server {
+	if parallelism < 1 {
+		panic("eventsim: server parallelism must be ≥ 1")
+	}
+	return &Server{sim: sim, ServiceTime: service, Parallelism: parallelism}
+}
+
+// Submit enqueues one request; done fires when service completes.
+func (s *Server) Submit(done func()) {
+	now := s.sim.Now()
+	// Drop finished entries.
+	live := s.busy[:0]
+	for _, t := range s.busy {
+		if t > now {
+			live = append(live, t)
+		}
+	}
+	s.busy = live
+	start := now
+	if len(s.busy) >= s.Parallelism {
+		// Wait for the earliest completion.
+		earliest := s.busy[0]
+		idx := 0
+		for i, t := range s.busy {
+			if t < earliest {
+				earliest, idx = t, i
+			}
+		}
+		start = earliest
+		s.busy = append(s.busy[:idx], s.busy[idx+1:]...)
+	}
+	end := start + s.ServiceTime
+	s.busy = append(s.busy, end)
+	s.served++
+	s.sim.At(end, done)
+}
+
+// Served returns the number of completed submissions (including scheduled).
+func (s *Server) Served() int64 { return s.served }
+
+// FIFO is a serially-shared resource with per-request service times (a CPU,
+// a DMA engine). Requests queue in submission order.
+type FIFO struct {
+	sim       *Sim
+	busyUntil Time
+	busyTotal Time
+	served    int64
+}
+
+// NewFIFO creates a FIFO resource attached to sim.
+func NewFIFO(sim *Sim) *FIFO { return &FIFO{sim: sim} }
+
+// Submit enqueues a request needing `service` time; done fires at completion.
+func (f *FIFO) Submit(service Time, done func()) {
+	if service < 0 {
+		panic(fmt.Sprintf("eventsim: negative service time %v", service))
+	}
+	start := f.sim.Now()
+	if f.busyUntil > start {
+		start = f.busyUntil
+	}
+	f.busyUntil = start + service
+	f.busyTotal += service
+	f.served++
+	f.sim.At(f.busyUntil, done)
+}
+
+// Served returns the number of submissions.
+func (f *FIFO) Served() int64 { return f.served }
+
+// Utilization returns the busy fraction of elapsed time.
+func (f *FIFO) Utilization() float64 {
+	if f.sim.Now() == 0 {
+		return 0
+	}
+	u := float64(f.busyTotal) / float64(f.sim.Now())
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Semaphore is a counting semaphore with a FIFO wait queue, used to model
+// bounded outstanding-request windows.
+type Semaphore struct {
+	capacity int
+	inUse    int
+	waiters  []func()
+}
+
+// NewSemaphore creates a semaphore with the given capacity.
+func NewSemaphore(capacity int) *Semaphore {
+	if capacity < 1 {
+		panic(fmt.Sprintf("eventsim: semaphore capacity %d must be ≥ 1", capacity))
+	}
+	return &Semaphore{capacity: capacity}
+}
+
+// Acquire runs fn once a slot is available (immediately if one is free).
+func (m *Semaphore) Acquire(fn func()) {
+	if m.inUse < m.capacity {
+		m.inUse++
+		fn()
+		return
+	}
+	m.waiters = append(m.waiters, fn)
+}
+
+// Release frees a slot, immediately admitting the oldest waiter if any.
+func (m *Semaphore) Release() {
+	if m.inUse <= 0 {
+		panic("eventsim: release of idle semaphore")
+	}
+	if len(m.waiters) > 0 {
+		next := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		next()
+		return
+	}
+	m.inUse--
+}
+
+// InUse returns the number of held slots.
+func (m *Semaphore) InUse() int { return m.inUse }
+
+// Waiting returns the number of queued acquirers.
+func (m *Semaphore) Waiting() int { return len(m.waiters) }

@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func quickOpts() Options { return Options{Quick: true, Seed: 1} }
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	want := []string{
+		"cache", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+		"fig2a", "fig2b", "fig2c", "fig2d", "fig2e", "fig20", "fig21",
+		"fig3", "fig7", "onfpga", "ooo", "section9", "streaming", "table5", "table6", "table7",
+	}
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+		if Describe(n) == "" {
+			t.Errorf("%s has no description", n)
+		}
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("experiment %s missing from registry", w)
+		}
+	}
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Run(name, &buf, quickOpts()); err != nil {
+				t.Fatal(err)
+			}
+			if buf.Len() == 0 {
+				t.Fatal("no output")
+			}
+		})
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("nope", &buf, quickOpts()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunAll(&buf, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Names() {
+		if !strings.Contains(buf.String(), "==== "+name) {
+			t.Errorf("RunAll output missing %s", name)
+		}
+	}
+}
+
+func TestFig2bSublinear(t *testing.T) {
+	pts := Figure2b(quickOpts())
+	if len(pts) != 3 || pts[0].Servers != 1 || pts[2].Servers != 15 {
+		t.Fatalf("points = %+v", pts)
+	}
+	if pts[1].Speedup >= 5 || pts[2].Speedup >= 15 {
+		t.Fatalf("scaling not sublinear: %+v", pts)
+	}
+	if pts[2].Speedup <= pts[1].Speedup {
+		t.Fatal("throughput should still grow with servers")
+	}
+}
+
+func TestFig2cStructureShare(t *testing.T) {
+	rows, err := Figure2c(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, r := range rows {
+		if r.StructureShare <= 0 || r.StructureShare >= 1 {
+			t.Fatalf("%s structure share %v", r.Dataset, r.StructureShare)
+		}
+		sum += r.StructureShare
+	}
+	avg := sum / float64(len(rows))
+	// Paper: ≈48% on average.
+	if avg < 0.30 || avg < 0 || avg > 0.70 {
+		t.Fatalf("average structure share %.2f, paper ≈0.48", avg)
+	}
+}
+
+func TestFig7MonotoneToSaturation(t *testing.T) {
+	pts, err := Figure7(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].BatchMs > pts[i-1].BatchMs*1.02 {
+			t.Fatalf("latency rose at depth %d: %+v", pts[i].Depth, pts)
+		}
+	}
+	if pts[len(pts)-1].RootsPerSec < 2*pts[0].RootsPerSec {
+		t.Fatalf("deep pipeline not even 2× faster: %+v", pts)
+	}
+}
+
+func TestOoOThirtyX(t *testing.T) {
+	rows, err := OoOAblation(quickOpts(), []int{1, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := rows[1].Speedup
+	// Paper: ~30× for the OoO design over blocking access.
+	if sp < 15 || sp > 120 {
+		t.Fatalf("OoO speedup = %.1f×, paper ≈30×", sp)
+	}
+}
+
+func TestStreamingExperimentClaims(t *testing.T) {
+	r := StreamingExperiment(quickOpts())
+	if r.StreamingCycles >= r.ReservoirCycles {
+		t.Fatal("streaming should cost fewer cycles")
+	}
+	if r.ReservoirCycles-r.StreamingCycles != 10 { // K
+		t.Fatalf("cycle delta = %d, want K=10", r.ReservoirCycles-r.StreamingCycles)
+	}
+	if math.Abs(r.ReservoirF1-r.StreamingF1) > 0.08 {
+		t.Fatalf("accuracy gap %.3f vs %.3f too large", r.ReservoirF1, r.StreamingF1)
+	}
+}
+
+func TestCacheAblationShape(t *testing.T) {
+	rows, err := CacheAblation(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].CacheBytes != 0 || rows[0].HitRate != 0 {
+		t.Fatalf("disabled-cache row wrong: %+v", rows[0])
+	}
+	// Hit rate grows (weakly) with size.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].HitRate+1e-9 < rows[i-1].HitRate {
+			t.Fatalf("hit rate dropped with bigger cache: %+v", rows)
+		}
+	}
+}
+
+func TestTable5Claims(t *testing.T) {
+	rows, err := Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Paper Table 5 (16B row): genz 51% header / 33% data; proposed
+	// data utilization ≳75% with 2.4%-ish headers.
+	genz16, prop16 := rows[0], rows[1]
+	if math.Abs(genz16.Header-0.51) > 0.05 || math.Abs(genz16.DataShare-0.33) > 0.05 {
+		t.Fatalf("genz 16B shares: %+v", genz16)
+	}
+	if prop16.DataShare < 0.70 || prop16.Header > 0.08 {
+		t.Fatalf("proposed 16B shares: %+v", prop16)
+	}
+	// 64B row: genz 66% data, proposed ≳92%.
+	genz64, prop64 := rows[2], rows[3]
+	if math.Abs(genz64.DataShare-0.66) > 0.05 {
+		t.Fatalf("genz 64B shares: %+v", genz64)
+	}
+	if prop64.DataShare < 0.90 {
+		t.Fatalf("proposed 64B shares: %+v", prop64)
+	}
+}
+
+func TestTable6Ladder(t *testing.T) {
+	rows, err := Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Strictly decreasing ladder: GENZ > MoF > +dataComp ≥ +addrComp.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].BytesToSend > rows[i-1].BytesToSend {
+			t.Fatalf("ladder broken at %s: %+v", rows[i].Config, rows)
+		}
+	}
+	// Magnitudes near the paper's 6336/1600/864/779.
+	checks := []struct {
+		idx    int
+		lo, hi int
+	}{{0, 5000, 7500}, {1, 1300, 2100}, {2, 700, 1100}, {3, 600, 1000}}
+	for _, c := range checks {
+		if rows[c.idx].BytesToSend < c.lo || rows[c.idx].BytesToSend > c.hi {
+			t.Fatalf("%s = %d bytes, want [%d,%d]", rows[c.idx].Config, rows[c.idx].BytesToSend, c.lo, c.hi)
+		}
+	}
+}
+
+func TestFig14Headline(t *testing.T) {
+	pts, err := Figure14(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	logsum := 0.0
+	for _, p := range pts {
+		if p.SimRootsPerSec <= 0 || p.VCPURootsPerSec <= 0 {
+			t.Fatalf("degenerate point %+v", p)
+		}
+		// Event sim and analytical model agree within 25%.
+		if r := p.SimRootsPerSec / p.ModelRootsPerSec; r < 0.75 || r > 1.25 {
+			t.Fatalf("%s: sim %f vs model %f diverge", p.Dataset, p.SimRootsPerSec, p.ModelRootsPerSec)
+		}
+		logsum += math.Log(p.VCPUEquivalent)
+	}
+	geo := math.Exp(logsum / float64(len(pts)))
+	if geo < 400 || geo > 1600 {
+		t.Fatalf("geomean equivalence %.0f vCPU, paper 894", geo)
+	}
+}
+
+func TestFig15ModelAgreement(t *testing.T) {
+	pts, err := Figure15(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MeanAbsErr(pts) > 25 {
+		t.Fatalf("mean model error %.1f%% too high", MeanAbsErr(pts))
+	}
+	for _, p := range pts {
+		if p.NoPCIeLimit < p.ModRoots {
+			t.Fatalf("removing the PCIe limit cannot slow the model: %+v", p)
+		}
+	}
+}
+
+func TestFig21HeadlineOrdering(t *testing.T) {
+	s, err := Figure21()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(s.BaseDecp < s.BaseTC && s.BaseTC < s.CommOptTC && s.CommOptTC < s.MemOptTC) {
+		t.Fatalf("headline ordering broken: %+v", s)
+	}
+	if math.Abs(s.CostOptDecp-s.BaseDecp) > 0.01*s.BaseDecp {
+		t.Fatal("cost-opt should match base")
+	}
+}
+
+func TestOnFPGACrossover(t *testing.T) {
+	pts := OnFPGAInference()
+	if len(pts) < 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Small batches: the on-FPGA GEMM must win by skipping the PCIe hop
+	// and the GPU kernel overhead; very large batches go back to the GPU.
+	if !pts[0].FPGAWins {
+		t.Fatalf("batch %d should favor on-FPGA: %+v", pts[0].Batch, pts[0])
+	}
+	last := pts[len(pts)-1]
+	if last.FPGAWins {
+		t.Fatalf("batch %d should favor the GPU: %+v", last.Batch, last)
+	}
+	// Exactly one crossover: once the GPU wins, it keeps winning.
+	gpuStarted := false
+	for _, p := range pts {
+		if !p.FPGAWins {
+			gpuStarted = true
+		} else if gpuStarted {
+			t.Fatalf("non-monotone crossover: %+v", pts)
+		}
+	}
+}

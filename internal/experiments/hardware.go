@@ -1,0 +1,352 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"lsdgnn/internal/axe"
+	"lsdgnn/internal/cluster"
+	"lsdgnn/internal/gnn"
+	"lsdgnn/internal/graph"
+	"lsdgnn/internal/mof"
+	"lsdgnn/internal/qrch"
+	"lsdgnn/internal/sampler"
+)
+
+func init() {
+	register("fig7", "throughput/latency vs AxE pipeline depth (Tech-1)", fig7)
+	register("ooo", "OoO massive-outstanding-request ablation (Tech-3)", oooAblation)
+	register("streaming", "streaming vs reservoir sampling: cycles and accuracy (Tech-2)", streamingExp)
+	register("cache", "coalescing-cache size ablation (Tech-4)", cacheAblation)
+	register("table5", "MoF multi-request packing vs GEN-Z utilization", table5)
+	register("table6", "BDI compression on 8B×128 read package", table6)
+	register("table7", "MMIO vs ISA-ext vs QRCH interaction latency", table7)
+}
+
+// simGraph builds the shared evaluation graph for hardware experiments.
+func simGraph(opts Options) *graph.Graph {
+	n := int64(20000)
+	if opts.Quick {
+		n = 5000
+	}
+	return graph.Generate(graph.GenConfig{
+		NumNodes: n, AvgDegree: 12, AttrLen: 84, Seed: opts.Seed, PowerLaw: true,
+	})
+}
+
+func engineFor(g *graph.Graph, parts int, mutate func(*axe.Config)) (*axe.Engine, error) {
+	cfg := axe.DefaultConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return axe.New(g, cluster.HashPartitioner{N: parts}, 0, cfg)
+}
+
+func batchRoots(g *graph.Graph, n int, seed int64) []graph.NodeID {
+	rng := rand.New(rand.NewSource(seed))
+	roots := make([]graph.NodeID, n)
+	for i := range roots {
+		roots[i] = graph.NodeID(rng.Int63n(g.NumNodes()))
+	}
+	return roots
+}
+
+// Fig7Point is one pipeline-depth measurement.
+type Fig7Point struct {
+	Depth       int
+	BatchMs     float64
+	RootsPerSec float64
+}
+
+// Figure7 sweeps the GetNeighbor pipeline depth.
+func Figure7(opts Options) ([]Fig7Point, error) {
+	g := simGraph(opts)
+	batch := 128
+	if opts.Quick {
+		batch = 64
+	}
+	roots := batchRoots(g, batch, opts.Seed)
+	var out []Fig7Point
+	for _, depth := range []int{1, 2, 4, 8, 16, 32} {
+		e, err := engineFor(g, 4, func(c *axe.Config) {
+			c.PipelineDepth = depth
+			// Make the frontend the potential bottleneck, as in the
+			// paper's microbenchmark of the GetNeighbor module.
+			c.BaseNodeCycles = 64
+			c.Sampling.FetchAttrs = false
+			c.Sampling.NegativeRate = 0
+		})
+		if err != nil {
+			return nil, err
+		}
+		_, st := e.RunBatch(roots)
+		out = append(out, Fig7Point{
+			Depth:       depth,
+			BatchMs:     st.SimTime.Seconds() * 1e3,
+			RootsPerSec: st.RootsPerSecond,
+		})
+	}
+	return out, nil
+}
+
+func fig7(w io.Writer, opts Options) error {
+	pts, err := Figure7(opts)
+	if err != nil {
+		return err
+	}
+	header(w, "depth", "batch_ms", "roots/s")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%d\t%.3f\t%.0f\n", p.Depth, p.BatchMs, p.RootsPerSec)
+	}
+	fmt.Fprintln(w, "# deeper pipeline -> shorter batch latency, saturating at the memory bound (paper Fig. 7)")
+	return nil
+}
+
+// OoOResult compares in-order (window 1) with OoO windows.
+type OoOResult struct {
+	Window      int
+	RootsPerSec float64
+	Speedup     float64
+}
+
+// OoOAblation measures Tech-3: outstanding-window scaling on a
+// remote-latency-dominated configuration.
+func OoOAblation(opts Options, windows []int) ([]OoOResult, error) {
+	g := simGraph(opts)
+	batch := 64
+	if opts.Quick {
+		batch = 32
+	}
+	roots := batchRoots(g, batch, opts.Seed)
+	var out []OoOResult
+	var base float64
+	for _, win := range windows {
+		e, err := engineFor(g, 4, func(c *axe.Config) {
+			c.Window = win
+			// base-style remote path: long NIC latency makes latency
+			// hiding the whole game.
+			c.Remote.LatencyNs = 3100
+			c.Remote.PeakBytesPerSec = 16e9
+		})
+		if err != nil {
+			return nil, err
+		}
+		_, st := e.RunBatch(roots)
+		r := OoOResult{Window: win, RootsPerSec: st.RootsPerSecond}
+		if base == 0 {
+			base = st.RootsPerSecond
+		}
+		r.Speedup = st.RootsPerSecond / base
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func oooAblation(w io.Writer, opts Options) error {
+	rows, err := OoOAblation(opts, []int{1, 2, 4, 8, 16, 32, 64, 128})
+	if err != nil {
+		return err
+	}
+	header(w, "window", "roots/s", "speedup_vs_inorder")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%.0f\t%.1fx\n", r.Window, r.RootsPerSec, r.Speedup)
+	}
+	fmt.Fprintln(w, "# paper: OoO design improves throughput by ~30x over blocking access")
+	return nil
+}
+
+// StreamingResult compares the two sampling algorithms.
+type StreamingResult struct {
+	ReservoirCycles, StreamingCycles int
+	ReservoirF1, StreamingF1         float64
+}
+
+// StreamingExperiment measures Tech-2's cycle claim (N vs N+K) and its
+// accuracy claim (PPI-style micro-F1 parity).
+func StreamingExperiment(opts Options) StreamingResult {
+	// Cycle count on a fixed candidate stream.
+	rng := rand.New(rand.NewSource(opts.Seed))
+	candidates := make([]graph.NodeID, 1000)
+	for i := range candidates {
+		candidates[i] = graph.NodeID(i)
+	}
+	_, resCycles := sampler.SampleNeighbors(nil, candidates, 10, sampler.Reservoir, rng)
+	_, strCycles := sampler.SampleNeighbors(nil, candidates, 10, sampler.Streaming, rng)
+
+	cfgR := gnn.DefaultAccuracyConfig(sampler.Reservoir)
+	cfgS := gnn.DefaultAccuracyConfig(sampler.Streaming)
+	if opts.Quick {
+		cfgR.Steps, cfgS.Steps = 40, 40
+		cfgR.Nodes, cfgS.Nodes = 800, 800
+	}
+	return StreamingResult{
+		ReservoirCycles: resCycles,
+		StreamingCycles: strCycles,
+		ReservoirF1:     gnn.RunSamplingAccuracy(cfgR),
+		StreamingF1:     gnn.RunSamplingAccuracy(cfgS),
+	}
+}
+
+func streamingExp(w io.Writer, opts Options) error {
+	r := StreamingExperiment(opts)
+	fmt.Fprintf(w, "sampling K=10 of N=1000: reservoir %d cycles, streaming %d cycles (paper: N+K -> N)\n",
+		r.ReservoirCycles, r.StreamingCycles)
+	fmt.Fprintf(w, "micro-F1: reservoir %.3f, streaming %.3f (paper: 0.549 vs 0.548 on PPI)\n",
+		r.ReservoirF1, r.StreamingF1)
+	return nil
+}
+
+// CacheResult is one coalescing-cache size point.
+type CacheResult struct {
+	CacheBytes  int
+	HitRate     float64
+	RootsPerSec float64
+}
+
+// CacheAblation sweeps the Tech-4 cache size.
+func CacheAblation(opts Options) ([]CacheResult, error) {
+	g := simGraph(opts)
+	batch := 64
+	if opts.Quick {
+		batch = 32
+	}
+	roots := batchRoots(g, batch, opts.Seed)
+	var out []CacheResult
+	for _, size := range []int{0, 2 << 10, 8 << 10, 32 << 10, 64 << 10} {
+		e, err := engineFor(g, 4, func(c *axe.Config) { c.CacheBytes = size })
+		if err != nil {
+			return nil, err
+		}
+		_, st := e.RunBatch(roots)
+		out = append(out, CacheResult{CacheBytes: size, HitRate: st.CacheHitRate, RootsPerSec: st.RootsPerSecond})
+	}
+	return out, nil
+}
+
+func cacheAblation(w io.Writer, opts Options) error {
+	rows, err := CacheAblation(opts)
+	if err != nil {
+		return err
+	}
+	header(w, "cache_bytes", "line_hit_rate", "roots/s")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%.1f%%\t%.0f\n", r.CacheBytes, r.HitRate*100, r.RootsPerSec)
+	}
+	fmt.Fprintln(w, "# 8KB captures nearly all spatial coalescing; bigger buys little (paper Tech-4)")
+	return nil
+}
+
+// Table5Row compares codec overheads.
+type Table5Row struct {
+	Codec                   string
+	ReqBytes                int
+	Packages                int
+	Header, Addr, DataShare float64
+}
+
+// Table5 measures packing efficiency for 128 reads of 16B and 64B.
+func Table5() ([]Table5Row, error) {
+	var out []Table5Row
+	for _, size := range []int{16, 64} {
+		gz := mof.GenZReadOverhead(128, size)
+		out = append(out, Table5Row{
+			Codec: "genz", ReqBytes: size, Packages: gz.Packages,
+			Header: gz.HeaderShare(), Addr: gz.AddrShare(), DataShare: gz.DataShare(),
+		})
+		c := &mof.Codec{}
+		ov, err := mof.MoFReadOverhead(c, 128, size,
+			func(i int) uint64 { return 0x10000 + uint64(i)*4096 },
+			func(i int, dst []byte) {
+				for j := range dst {
+					dst[j] = byte(i + j)
+				}
+			})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Table5Row{
+			Codec: "proposed", ReqBytes: size, Packages: ov.Packages,
+			Header: ov.HeaderShare(), Addr: ov.AddrShare(), DataShare: ov.DataShare(),
+		})
+	}
+	return out, nil
+}
+
+func table5(w io.Writer, opts Options) error {
+	rows, err := Table5()
+	if err != nil {
+		return err
+	}
+	header(w, "codec", "request", "packages", "header%", "addr%", "data%(util)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t128x%dB\t%d\t%.2f%%\t%.2f%%\t%.2f%%\n",
+			r.Codec, r.ReqBytes, r.Packages, r.Header*100, r.Addr*100, r.DataShare*100)
+	}
+	fmt.Fprintln(w, "# paper: genz 64 pkgs 51%/10%/33%; proposed 2 pkgs ~2%/20%/78% (16B row)")
+	return nil
+}
+
+// Table6Row is one compression configuration.
+type Table6Row struct {
+	Config      string
+	BytesToSend int
+}
+
+// Table6 reproduces the BDI compression ladder on 128×8B reads with
+// BDI-friendly payloads (small deltas, as in node-ID reads).
+func Table6() ([]Table6Row, error) {
+	const count, size = 128, 8
+	addrOf := func(i int) uint64 { return 0x4000_0000 + uint64(i)*640 }
+	fill := func(i int, dst []byte) {
+		// Node IDs clustered around a common base: BDI-compressible.
+		v := uint64(0x30_000) + uint64(i%61)*3
+		for j := 0; j < 8; j++ {
+			dst[j] = byte(v >> (8 * j))
+		}
+	}
+	gz := mof.GenZReadOverhead(count, size)
+	rows := []Table6Row{{Config: "GENZ", BytesToSend: gz.Total()}}
+	for _, c := range []struct {
+		name  string
+		codec mof.Codec
+	}{
+		{"MoF", mof.Codec{}},
+		{"MoF+dataComp", mof.Codec{CompressData: true}},
+		{"MoF+addrComp", mof.Codec{CompressData: true, CompressAddr: true}},
+	} {
+		codec := c.codec
+		ov, err := mof.MoFReadOverhead(&codec, count, size, addrOf, fill)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table6Row{Config: c.name, BytesToSend: ov.Total()})
+	}
+	return rows, nil
+}
+
+func table6(w io.Writer, opts Options) error {
+	rows, err := Table6()
+	if err != nil {
+		return err
+	}
+	header(w, "config", "bytes_to_send")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\n", r.Config, r.BytesToSend)
+	}
+	fmt.Fprintln(w, "# paper: GENZ 6336 -> MoF 1600 -> +dataComp 864 -> +addrComp 779")
+	return nil
+}
+
+func table7(w io.Writer, opts Options) error {
+	rows, err := qrch.MeasureAll()
+	if err != nil {
+		return err
+	}
+	header(w, "coupling", "issue->handoff_cycles", "kernel_instrs")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%v\t%d\t%d\n", r.Coupling, r.Cycles, r.Instructions)
+	}
+	fmt.Fprintln(w, "# paper Table 7: MMIO ~100cyc, ISA-ext ~1cyc, QRCH ~10cyc")
+	return nil
+}

@@ -1,0 +1,76 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment is a named runner producing a text report;
+// cmd/lsdgnn-bench exposes them as subcommands and the benchmark suite
+// wraps them as testing.B targets. EXPERIMENTS.md records paper-vs-measured
+// for each.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Options tunes experiment scale.
+type Options struct {
+	// Quick shrinks simulation sizes for fast test runs.
+	Quick bool
+	// Seed drives all synthetic generation.
+	Seed int64
+}
+
+// DefaultOptions returns full-scale settings.
+func DefaultOptions() Options { return Options{Seed: 42} }
+
+// Runner executes one experiment, writing its report to w.
+type Runner func(w io.Writer, opts Options) error
+
+var registry = map[string]Runner{}
+var descriptions = map[string]string{}
+
+func register(name, desc string, r Runner) {
+	if _, dup := registry[name]; dup {
+		panic("experiments: duplicate " + name)
+	}
+	registry[name] = r
+	descriptions[name] = desc
+}
+
+// Names lists registered experiments in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe returns an experiment's one-line description.
+func Describe(name string) string { return descriptions[name] }
+
+// Run executes the named experiment.
+func Run(name string, w io.Writer, opts Options) error {
+	r, ok := registry[name]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have: %s)", name, strings.Join(Names(), ", "))
+	}
+	return r(w, opts)
+}
+
+// RunAll executes every experiment in name order.
+func RunAll(w io.Writer, opts Options) error {
+	for _, name := range Names() {
+		fmt.Fprintf(w, "==== %s — %s ====\n", name, descriptions[name])
+		if err := Run(name, w, opts); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func header(w io.Writer, cols ...string) {
+	fmt.Fprintln(w, strings.Join(cols, "\t"))
+}

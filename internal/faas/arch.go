@@ -1,0 +1,249 @@
+// Package faas implements the FaaS design-space exploration of Section 6:
+// the eight architecture points of Table 8 (base/cost-opt/comm-opt/mem-opt
+// × tightly-coupled/decoupled), the Table 12 instance configurations, and
+// the evaluation grid producing Figures 17–21.
+package faas
+
+import (
+	"fmt"
+
+	"lsdgnn/internal/perfmodel"
+)
+
+// Arch is the primary design constraint (first taxonomy axis of Table 8).
+type Arch int
+
+// Table 8 architecture families.
+const (
+	Base Arch = iota
+	CostOpt
+	CommOpt
+	MemOpt
+)
+
+func (a Arch) String() string {
+	switch a {
+	case Base:
+		return "base"
+	case CostOpt:
+		return "cost-opt"
+	case CommOpt:
+		return "comm-opt"
+	case MemOpt:
+		return "mem-opt"
+	default:
+		return fmt.Sprintf("Arch(%d)", int(a))
+	}
+}
+
+// Coupling is the FPGA/GPU integration axis.
+type Coupling int
+
+// Coupling options.
+const (
+	// TC places FPGA and GPU in one heterogeneous server.
+	TC Coupling = iota
+	// Decp separates all-FPGA and all-GPU servers across the network.
+	Decp
+)
+
+func (c Coupling) String() string {
+	if c == TC {
+		return "tc"
+	}
+	return "decp"
+}
+
+// Size is the instance configuration of Table 12.
+type Size int
+
+// Instance sizes.
+const (
+	Small Size = iota
+	Medium
+	Large
+)
+
+func (s Size) String() string {
+	switch s {
+	case Small:
+		return "small"
+	case Medium:
+		return "medium"
+	case Large:
+		return "large"
+	default:
+		return fmt.Sprintf("Size(%d)", int(s))
+	}
+}
+
+// InstanceSpec is one Table 12 row.
+type InstanceSpec struct {
+	Size    Size
+	VCPU    int
+	MemGB   float64
+	Chips   int
+	NICGbps float64
+	MoFGbps float64
+}
+
+// Instances returns Table 12.
+func Instances() []InstanceSpec {
+	return []InstanceSpec{
+		{Size: Small, VCPU: 2, MemGB: 8, Chips: 1, NICGbps: 10, MoFGbps: 100},
+		{Size: Medium, VCPU: 2, MemGB: 384, Chips: 1, NICGbps: 20, MoFGbps: 200},
+		{Size: Large, VCPU: 2, MemGB: 512, Chips: 2, NICGbps: 50, MoFGbps: 800},
+	}
+}
+
+// InstanceFor returns the Table 12 row for s.
+func InstanceFor(s Size) InstanceSpec {
+	for _, i := range Instances() {
+		if i.Size == s {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("faas: no instance size %v", s))
+}
+
+// FPGADRAMPerChipGB is mem-opt's on-card DDR4 capacity (4×128 GB, Table 10).
+const FPGADRAMPerChipGB = 512
+
+// Config is one of the eight DSE points at a given instance size.
+type Config struct {
+	Arch     Arch
+	Coupling Coupling
+	Size     Size
+}
+
+func (c Config) String() string {
+	return fmt.Sprintf("%v.%v/%v", c.Arch, c.Coupling, c.Size)
+}
+
+// AllConfigs enumerates the 8 architectures at every size, paper order.
+func AllConfigs() []Config {
+	var out []Config
+	for _, cpl := range []Coupling{Decp, TC} {
+		for _, a := range []Arch{Base, CostOpt, CommOpt, MemOpt} {
+			for _, s := range []Size{Small, Medium, Large} {
+				out = append(out, Config{Arch: a, Coupling: cpl, Size: s})
+			}
+		}
+	}
+	return out
+}
+
+// GraphCapacityGB returns how much graph one instance of this config can
+// hold: host memory normally, FPGA on-card DRAM for mem-opt.
+func (c Config) GraphCapacityGB() float64 {
+	spec := InstanceFor(c.Size)
+	if c.Arch == MemOpt {
+		return FPGADRAMPerChipGB * float64(spec.Chips)
+	}
+	return spec.MemGB
+}
+
+// Link latency/bandwidth constants shared by the Table 8 rows, matching
+// internal/memsys profiles.
+const (
+	pcieBW     = 16e9
+	pcieLatS   = 950e-9
+	nicLatS    = 3.1e-6
+	onNICLatS  = 2.1e-6
+	mofLatS    = 750e-9
+	fpgaDRAMBW = 102.4e9
+	dramLatS   = 110e-9
+	fastBW     = 300e9
+	fastLatS   = 600e-9
+
+	nicReqOverhead = 66
+	mofReqOverhead = 4
+)
+
+// Machine materializes the Table 8 row as a perfmodel.Machine for one FPGA
+// chip. Core counts follow the Equation 3 sizing quoted in Section 6.
+func (c Config) Machine() perfmodel.Machine {
+	// Per-size fabric rates come from Table 12 (10/20/50 Gb NIC, 100/200/
+	// 800 Gb MoF); Table 8's 16 GB/s and 100 GB/s are the PCIe-segment and
+	// per-chip fabric caps. The instance NIC is what actually throttles
+	// base/cost-opt remote access — the source of the paper's strong
+	// size scaling in Figure 17.
+	spec := InstanceFor(c.Size)
+	nicBW := spec.NICGbps / 8 * 1e9
+	if nicBW > pcieBW {
+		nicBW = pcieBW
+	}
+	mofBW := spec.MoFGbps / 8 * 1e9
+	if mofBW > 100e9*float64(spec.Chips) {
+		mofBW = 100e9 * float64(spec.Chips)
+	}
+
+	m := perfmodel.Machine{
+		Name:               c.String(),
+		Window:             64,
+		ClockHz:            250e6,
+		IssueCyclesPerNode: 4,
+	}
+	switch c.Arch {
+	case Base:
+		m.Cores = 3
+		m.LocalBW, m.LocalLat = pcieBW, pcieLatS
+		m.RemoteBW, m.RemoteLat = nicBW, nicLatS
+		m.RemoteReqOverhead = nicReqOverhead
+	case CostOpt:
+		// Identical fabric bandwidths to base — the on-FPGA NIC only
+		// shortens latency (fewer AxE cores per Equation 3) and cuts the
+		// provider's build cost, which the user-side price model does not
+		// see (Limitation-3). Hence cost-opt ≈ base in Figures 17–21.
+		m.Cores = 2
+		m.LocalBW, m.LocalLat = pcieBW, pcieLatS
+		m.RemoteBW, m.RemoteLat = nicBW, onNICLatS
+		m.RemoteReqOverhead = nicReqOverhead
+	case CommOpt:
+		m.Cores = 2
+		m.LocalBW, m.LocalLat = pcieBW, pcieLatS
+		m.RemoteBW, m.RemoteLat = mofBW, mofLatS
+		m.RemoteReqOverhead = mofReqOverhead
+		m.RemoteSharesLocal = false
+	case MemOpt:
+		m.LocalBW, m.LocalLat = fpgaDRAMBW, dramLatS
+		m.RemoteBW, m.RemoteLat = mofBW, mofLatS
+		m.RemoteReqOverhead = mofReqOverhead
+		m.RemoteSharesLocal = false
+		if c.Coupling == TC {
+			m.Cores = 10
+		} else {
+			m.Cores = 2
+		}
+	}
+
+	// Result output routing (the tc-vs-decp distinction).
+	switch {
+	case c.Arch == MemOpt && c.Coupling == TC:
+		// Dedicated high-speed FPGA→GPU link.
+		m.OutputBW, m.OutputLat = fastBW, fastLatS
+	case c.Coupling == TC:
+		// In-server PCIe P2P: shares the FPGA's PCIe port with host-memory
+		// (local) traffic.
+		m.OutputSharesLocal = true
+		m.OutputBW, m.OutputLat = pcieBW, pcieLatS
+	default:
+		// Decoupled: results leave through the server NIC.
+		m.OutputBW, m.OutputLat = nicBW, nicLatS
+		switch c.Arch {
+		case Base, CostOpt:
+			// The same NIC already carries remote-memory traffic — the
+			// "already busy NIC" the paper credits tc with avoiding.
+			m.OutputSharesRemote = true
+		case CommOpt:
+			// Remote memory moved to the MoF fabric; results cross the
+			// PCIe/host path to the NIC, contending with local-memory
+			// traffic.
+			m.OutputSharesLocal = true
+		case MemOpt:
+			// Local memory is on-card DRAM, leaving PCIe to the NIC as a
+			// dedicated (and binding) result path.
+		}
+	}
+	return m
+}

@@ -1,0 +1,103 @@
+package faas
+
+import (
+	"lsdgnn/internal/perfmodel"
+	"lsdgnn/internal/workload"
+)
+
+// Section 9 ("Discussion beyond FPGA") quantified: the same sampling
+// workload on the paper's three alternative platforms. Every alternative
+// feeds the same GPU, so all share the result-output ceiling; they differ
+// in sampling capability and unit economics.
+
+// Alternative is one Section 9 design point.
+type Alternative struct {
+	Name string
+	// RootsPerSecond on the reference workload (ll dataset, 4-way shard).
+	RootsPerSecond float64
+	// CostPerHr is the estimated device rental share.
+	CostPerHr float64
+	// PerfPerDollar is roots/s per $/h.
+	PerfPerDollar float64
+	// Note is the paper's qualitative verdict.
+	Note string
+}
+
+// Section 9 model constants.
+const (
+	// GraceCores / DPUCores are the core counts the paper quotes (144-core
+	// Grace, ~300-core BlueField-class DPU).
+	GraceCores = 144
+	DPUCores   = 300
+	// GraceCoreSpeedup: a server-class ARM core with LPDDR5 local memory
+	// beats a time-sliced vCPU on this workload, but not by much — the
+	// work is latency-bound pointer chasing.
+	GraceCoreSpeedup = 2.0
+	// DPUCoreSpeedup: DPU cores are lightweight (A72-class).
+	DPUCoreSpeedup = 0.5
+	// ASICSpeedup: a dedicated chip could sample ~3× faster than the FPGA
+	// fabric — before hitting the same output ceiling.
+	ASICSpeedup = 3.0
+	// GPUsPerDevice sizes the shared ceiling: every sampler feeds its GPU
+	// complement, and a GPU ingests GPUGBpsPerV100 of sampling output —
+	// the "performance upper-bound (the GPU data input bandwidth)" of
+	// Section 9's ASIC paragraph.
+	GPUsPerDevice = 2
+	// ASICNREPerHr amortizes a ~$40M tape-out over the fleet a
+	// not-yet-dominating workload can justify (≈3k devices × 3 years) —
+	// "there is not enough volume and demand to even it out".
+	ASICNREPerHr = 40e6 / (3e3 * 3 * 8760)
+)
+
+// DiscussionAlternatives evaluates Section 9's design points on the ll
+// dataset with mem-opt.tc-class local memory and a fast GPU link.
+func DiscussionAlternatives(cpuModel perfmodel.CPUModel) []Alternative {
+	ds, err := workload.DatasetByName("ll")
+	if err != nil {
+		panic(err) // registry is static; ll always exists
+	}
+	spec := workload.DefaultSampling()
+	const partitions = 4
+	w := perfmodel.DeriveWithLines(ds, spec, partitions, CacheLineBytes)
+	wRaw := perfmodel.Derive(ds, spec, partitions)
+
+	// The shared ceiling: every sampler feeds GPUsPerDevice GPUs, each
+	// ingesting GPUGBpsPerV100 of sampling output.
+	outputCeiling := GPUsPerDevice * GPUGBpsPerV100 * 1e9 / w.OutputBytesPerRoot()
+
+	fpga := Config{Arch: MemOpt, Coupling: TC, Size: Medium}.Machine()
+	fpgaRate := min2(perfmodel.Predict(fpga, w).RootsPerSecond, outputCeiling)
+
+	perVCPU := cpuModel.RootsPerSecondPerVCPU(wRaw)
+	grace := min2(float64(GraceCores)*perVCPU*GraceCoreSpeedup, outputCeiling)
+	dpu := min2(float64(DPUCores)*perVCPU*DPUCoreSpeedup, outputCeiling)
+	asic := min2(fpgaRate*ASICSpeedup, outputCeiling)
+
+	const (
+		fpgaHr  = 1.30 // fitted FPGA coefficient territory
+		graceHr = 6.50 // superchip node share
+		dpuHr   = 1.10
+		asicHr  = 0.90 // silicon is cheap once NRE is sunk...
+	)
+	mk := func(name string, rps, cost float64, note string) Alternative {
+		return Alternative{Name: name, RootsPerSecond: rps, CostPerHr: cost,
+			PerfPerDollar: rps / cost, Note: note}
+	}
+	return []Alternative{
+		mk("FPGA (mem-opt.tc)", fpgaRate, fpgaHr,
+			"off-the-shelf FaaS fabric, near-zero NRE"),
+		mk("Grace-class CPU", grace, graceHr,
+			"general-purpose but core-bound: 144 cores cannot match 894-vCPU-equivalent sampling"),
+		mk("DPU (BlueField-class)", dpu, dpuHr,
+			"lightweight NIC cores cannot fill the fabric bandwidth"),
+		mk("ASIC sampler", asic, asicHr+ASICNREPerHr,
+			"hits the same GPU-input ceiling; NRE needs volume GNN does not yet have"),
+	}
+}
+
+func min2(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

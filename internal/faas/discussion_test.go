@@ -1,0 +1,51 @@
+package faas
+
+import (
+	"testing"
+
+	"lsdgnn/internal/perfmodel"
+)
+
+func TestSection9Alternatives(t *testing.T) {
+	alts := DiscussionAlternatives(perfmodel.DefaultCPUModel())
+	if len(alts) != 4 {
+		t.Fatalf("alternatives = %d", len(alts))
+	}
+	byName := map[string]Alternative{}
+	for _, a := range alts {
+		if a.RootsPerSecond <= 0 || a.CostPerHr <= 0 || a.PerfPerDollar <= 0 {
+			t.Fatalf("degenerate alternative %+v", a)
+		}
+		byName[a.Name] = a
+	}
+	fpga := byName["FPGA (mem-opt.tc)"]
+	grace := byName["Grace-class CPU"]
+	dpu := byName["DPU (BlueField-class)"]
+	asic := byName["ASIC sampler"]
+
+	// Section 9's three arguments, quantified:
+	// (1) CPUs are inefficient for sampling — Grace's 144 cores fall far
+	//     short of the FPGA.
+	if grace.RootsPerSecond > fpga.RootsPerSecond/3 {
+		t.Fatalf("Grace too close to FPGA: %v vs %v", grace.RootsPerSecond, fpga.RootsPerSecond)
+	}
+	// (2) DPUs are limited by processing capability.
+	if dpu.RootsPerSecond >= grace.RootsPerSecond {
+		t.Fatal("DPU should under-sample even Grace")
+	}
+	// (3) The ASIC hits the same GPU-input ceiling as the FPGA, and its
+	//     NRE amortization loses the perf/$ comparison.
+	if asic.RootsPerSecond != fpga.RootsPerSecond {
+		t.Fatalf("ASIC (%v) and FPGA (%v) should share the output ceiling",
+			asic.RootsPerSecond, fpga.RootsPerSecond)
+	}
+	if asic.PerfPerDollar >= fpga.PerfPerDollar {
+		t.Fatal("FPGA should keep the ROI edge over the ASIC")
+	}
+	// And the overall verdict: FPGA has the best perf/$ of the four.
+	for _, a := range alts {
+		if a.Name != fpga.Name && a.PerfPerDollar >= fpga.PerfPerDollar {
+			t.Fatalf("%s beats the FPGA on perf/$", a.Name)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package faas
+
+import (
+	"math"
+
+	"lsdgnn/internal/cost"
+	"lsdgnn/internal/perfmodel"
+	"lsdgnn/internal/workload"
+)
+
+// Evaluation settings shared with the paper.
+const (
+	// GPUGBpsPerV100 is the simplifying assumption of Section 7.3
+	// Limitation-2: one V100 absorbs 12 GB/s of sampling output.
+	GPUGBpsPerV100 = 12.0
+	// CacheLineBytes matches the AxE coalescing cache.
+	CacheLineBytes = 64
+)
+
+// Row is one (architecture, dataset, size) evaluation point.
+type Row struct {
+	Config    Config
+	Dataset   workload.Dataset
+	Instances int // minimum instances to hold the graph
+	// RootsPerSecond is the per-instance sampling throughput.
+	RootsPerSecond float64
+	// VCPUEquivalent is per-instance throughput over one vCPU's.
+	VCPUEquivalent float64
+	// Bottleneck names the binding resource.
+	Bottleneck string
+	// InstanceCostPerHr includes the GPU share for the achieved output rate.
+	InstanceCostPerHr float64
+	// PerfPerDollar is roots/s per $/hr.
+	PerfPerDollar float64
+	// PerfPerDollarNorm is PerfPerDollar over the CPU geomean reference.
+	PerfPerDollarNorm float64
+	// TotalCostPerHr is Instances × per-instance cost (Figure 20).
+	TotalCostPerHr float64
+}
+
+// CPURow is the software baseline at one (dataset, size).
+type CPURow struct {
+	Dataset           workload.Dataset
+	Size              Size
+	Instances         int
+	RootsPerSecond    float64 // per instance (VCPU × per-vCPU rate)
+	PerVCPU           float64
+	InstanceCostPerHr float64
+	PerfPerDollar     float64
+	TotalCostPerHr    float64
+}
+
+// cellKey indexes one (dataset, size) evaluation cell.
+type cellKey struct {
+	dataset string
+	size    Size
+}
+
+// Evaluation is the full DSE output behind Figures 17–21.
+type Evaluation struct {
+	Rows    []Row
+	CPURows []CPURow
+	// CPURefPerfPerDollar is the global CPU geomean (reporting only).
+	CPURefPerfPerDollar float64
+	// cpuRef maps (dataset, size) to that cell's CPU perf/$ — the 1.0
+	// reference for the matching FaaS bars (Figure 18): each FaaS point is
+	// compared against the CPU deployment of the same shape.
+	cpuRef map[cellKey]float64
+	Spec   workload.SamplingSpec
+}
+
+// Evaluate runs the whole grid with the fitted cost model and calibrated
+// CPU model.
+func Evaluate(costModel cost.Model, cpuModel perfmodel.CPUModel) *Evaluation {
+	ev := &Evaluation{Spec: workload.DefaultSampling()}
+	datasets := workload.Datasets()
+
+	// CPU baseline rows first (they define the normalization reference).
+	// The vCPU solution uses memory-matched general-purpose instances,
+	// whose vCPU counts follow the standard 1:8 vCPU:GiB ratio.
+	for _, ds := range datasets {
+		for _, spec := range Instances() {
+			p := minInstances(ds, spec.MemGB)
+			w := perfmodel.Derive(ds, ev.Spec, p)
+			perVCPU := cpuModel.RootsPerSecondPerVCPU(w)
+			vcpus := CPUInstanceVCPUs(spec)
+			perInst := perVCPU * float64(vcpus)
+			instCost := costModel.Price(vcpus, spec.MemGB, 0, 0)
+			instCost += gpuCost(costModel, perInst, w)
+			ev.CPURows = append(ev.CPURows, CPURow{
+				Dataset: ds, Size: spec.Size, Instances: p,
+				RootsPerSecond: perInst, PerVCPU: perVCPU,
+				InstanceCostPerHr: instCost,
+				PerfPerDollar:     perInst / instCost,
+				TotalCostPerHr:    float64(p) * instCost,
+			})
+		}
+	}
+	ev.CPURefPerfPerDollar = geomean(mapF(ev.CPURows, func(r CPURow) float64 { return r.PerfPerDollar }))
+	ev.cpuRef = map[cellKey]float64{}
+	for _, r := range ev.CPURows {
+		ev.cpuRef[cellKey{r.Dataset.Name, r.Size}] = r.PerfPerDollar
+	}
+
+	for _, cfg := range AllConfigs() {
+		for _, ds := range datasets {
+			ev.Rows = append(ev.Rows, evaluateOne(ev, cfg, ds, costModel, cpuModel))
+		}
+	}
+	return ev
+}
+
+func evaluateOne(ev *Evaluation, cfg Config, ds workload.Dataset, costModel cost.Model, cpuModel perfmodel.CPUModel) Row {
+	spec := InstanceFor(cfg.Size)
+	p := minInstances(ds, cfg.GraphCapacityGB())
+	w := perfmodel.DeriveWithLines(ds, ev.Spec, p, CacheLineBytes)
+	m := cfg.Machine()
+	// Two chips in a large instance split the per-instance fabrics.
+	if spec.Chips > 1 {
+		m.RemoteBW /= float64(spec.Chips)
+		if cfg.Coupling == Decp {
+			m.OutputBW /= float64(spec.Chips)
+		}
+	}
+	pred := perfmodel.Predict(m, w)
+	perInst := pred.RootsPerSecond * float64(spec.Chips)
+
+	wRaw := perfmodel.Derive(ds, ev.Spec, p)
+	perVCPU := cpuModel.RootsPerSecondPerVCPU(wRaw)
+
+	instCost := costModel.Price(spec.VCPU, spec.MemGB, spec.Chips, 0)
+	instCost += gpuCost(costModel, perInst, w)
+	ppd := perInst / instCost
+	return Row{
+		Config: cfg, Dataset: ds, Instances: p,
+		RootsPerSecond:    perInst,
+		VCPUEquivalent:    perInst / perVCPU,
+		Bottleneck:        pred.Bottleneck,
+		InstanceCostPerHr: instCost,
+		PerfPerDollar:     ppd,
+		PerfPerDollarNorm: ppd / ev.cpuRef[cellKey{ds.Name, cfg.Size}],
+		TotalCostPerHr:    float64(p) * instCost,
+	}
+}
+
+// CPUInstanceVCPUs returns the vCPU count of the memory-matched baseline
+// CPU instance (1 vCPU per 8 GiB, minimum 2).
+func CPUInstanceVCPUs(spec InstanceSpec) int {
+	v := int(spec.MemGB / 8)
+	if v < 2 {
+		v = 2
+	}
+	return v
+}
+
+// gpuCost prices the V100 share needed to absorb the sampling output.
+func gpuCost(m cost.Model, rootsPerSec float64, w perfmodel.Workload) float64 {
+	outGBps := rootsPerSec * w.OutputBytesPerRoot() / 1e9
+	gpus := outGBps / GPUGBpsPerV100
+	v100 := m.Price(0, 0, 0, 1) - m.Price(0, 0, 0, 0)
+	return gpus * v100
+}
+
+// ServingOverheadFactor scales raw graph footprint to served footprint:
+// AliGraph keeps forward and reverse adjacency, hash indexes and caches, so
+// the in-memory image is ≈2.5× the raw CSR+attribute bytes. (This is also
+// what reconciles Figure 20's instance counts with the raw Table 2 sizes.)
+const ServingOverheadFactor = 2.5
+
+func minInstances(ds workload.Dataset, capacityGB float64) int {
+	return ds.MinServers(int64(capacityGB * 1e9 / ServingOverheadFactor))
+}
+
+// RowsFor filters rows for one config across datasets (a Figure 17 bar
+// group).
+func (ev *Evaluation) RowsFor(cfg Config) []Row {
+	var out []Row
+	for _, r := range ev.Rows {
+		if r.Config == cfg {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// GeomeanThroughput returns the Figure 19 value for one config.
+func (ev *Evaluation) GeomeanThroughput(cfg Config) float64 {
+	return geomean(mapF(ev.RowsFor(cfg), func(r Row) float64 { return r.RootsPerSecond }))
+}
+
+// GeomeanVCPUEquivalent averages per-instance vCPU equivalence for cfg.
+func (ev *Evaluation) GeomeanVCPUEquivalent(cfg Config) float64 {
+	return geomean(mapF(ev.RowsFor(cfg), func(r Row) float64 { return r.VCPUEquivalent }))
+}
+
+// GeomeanPerfPerDollarNorm returns the Figure 21 value for one config.
+func (ev *Evaluation) GeomeanPerfPerDollarNorm(cfg Config) float64 {
+	return geomean(mapF(ev.RowsFor(cfg), func(r Row) float64 { return r.PerfPerDollarNorm }))
+}
+
+// GeomeanPerfPerDollarNormAllSizes aggregates Figure 21 over the three
+// instance sizes for an (arch, coupling) pair — the headline numbers.
+func (ev *Evaluation) GeomeanPerfPerDollarNormAllSizes(a Arch, c Coupling) float64 {
+	var vals []float64
+	for _, r := range ev.Rows {
+		if r.Config.Arch == a && r.Config.Coupling == c {
+			vals = append(vals, r.PerfPerDollarNorm)
+		}
+	}
+	return geomean(vals)
+}
+
+func geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		if v <= 0 {
+			return 0
+		}
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(vals)))
+}
+
+func mapF[T any](in []T, f func(T) float64) []float64 {
+	out := make([]float64, len(in))
+	for i, v := range in {
+		out[i] = f(v)
+	}
+	return out
+}
+
+// PoCMachine returns the Table 10 proof-of-concept configuration as a
+// perfmodel.Machine: dual-core AxE, 4-channel DDR4 local memory
+// (4×12.8 GB/s), MoF remote (3×QSFP-DD ≈ 75 GB/s), PCIe result output.
+func PoCMachine() perfmodel.Machine {
+	return perfmodel.Machine{
+		Name:               "PoC",
+		Cores:              2,
+		Window:             64,
+		ClockHz:            250e6,
+		IssueCyclesPerNode: 4,
+		LocalBW:            51.2e9,
+		LocalLat:           dramLatS,
+		RemoteBW:           75e9,
+		RemoteLat:          mofLatS,
+		RemoteReqOverhead:  mofReqOverhead,
+		OutputBW:           pcieBW,
+		OutputLat:          pcieLatS,
+	}
+}
+
+// PoCNodes is the PoC's FPGA card count.
+const PoCNodes = 4
+
+// Fig14Row is one dataset's PoC-vs-vCPU comparison.
+type Fig14Row struct {
+	Dataset         workload.Dataset
+	FPGARootsPerSec float64
+	VCPURootsPerSec float64
+	VCPUEquivalent  float64
+	Bottleneck      string
+}
+
+// Figure14 projects the PoC measurement: per-FPGA sampling rate against the
+// per-vCPU software baseline for the six datasets.
+func Figure14(cpuModel perfmodel.CPUModel) []Fig14Row {
+	spec := workload.DefaultSampling()
+	m := PoCMachine()
+	out := make([]Fig14Row, 0, 6)
+	for _, ds := range workload.Datasets() {
+		w := perfmodel.DeriveWithLines(ds, spec, PoCNodes, CacheLineBytes)
+		pred := perfmodel.Predict(m, w)
+		wCPU := perfmodel.Derive(ds, spec, ds.MinServers(512e9))
+		v := cpuModel.RootsPerSecondPerVCPU(wCPU)
+		out = append(out, Fig14Row{
+			Dataset:         ds,
+			FPGARootsPerSec: pred.RootsPerSecond,
+			VCPURootsPerSec: v,
+			VCPUEquivalent:  pred.RootsPerSecond / v,
+			Bottleneck:      pred.Bottleneck,
+		})
+	}
+	return out
+}

@@ -1,0 +1,276 @@
+package faas
+
+import (
+	"math"
+	"testing"
+
+	"lsdgnn/internal/cost"
+	"lsdgnn/internal/perfmodel"
+	"lsdgnn/internal/workload"
+)
+
+func evaluate(t *testing.T) *Evaluation {
+	t.Helper()
+	m, err := cost.Fit(cost.PriceTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Evaluate(m, perfmodel.DefaultCPUModel())
+}
+
+func TestAllConfigsEnumeration(t *testing.T) {
+	cfgs := AllConfigs()
+	if len(cfgs) != 24 { // 4 archs × 2 couplings × 3 sizes
+		t.Fatalf("configs = %d, want 24", len(cfgs))
+	}
+	seen := map[Config]bool{}
+	for _, c := range cfgs {
+		if seen[c] {
+			t.Fatalf("duplicate config %v", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestInstanceTable12(t *testing.T) {
+	specs := Instances()
+	if len(specs) != 3 {
+		t.Fatalf("sizes = %d", len(specs))
+	}
+	s := InstanceFor(Small)
+	if s.VCPU != 2 || s.MemGB != 8 || s.Chips != 1 || s.NICGbps != 10 {
+		t.Fatalf("small = %+v", s)
+	}
+	l := InstanceFor(Large)
+	if l.MemGB != 512 || l.Chips != 2 || l.NICGbps != 50 || l.MoFGbps != 800 {
+		t.Fatalf("large = %+v", l)
+	}
+}
+
+func TestGraphCapacity(t *testing.T) {
+	// mem-opt stores the graph in on-card DRAM.
+	memOpt := Config{Arch: MemOpt, Coupling: TC, Size: Small}
+	if memOpt.GraphCapacityGB() != FPGADRAMPerChipGB {
+		t.Fatalf("mem-opt small capacity = %v", memOpt.GraphCapacityGB())
+	}
+	base := Config{Arch: Base, Coupling: TC, Size: Small}
+	if base.GraphCapacityGB() != 8 {
+		t.Fatalf("base small capacity = %v", base.GraphCapacityGB())
+	}
+	memOptL := Config{Arch: MemOpt, Coupling: TC, Size: Large}
+	if memOptL.GraphCapacityGB() != 2*FPGADRAMPerChipGB {
+		t.Fatalf("mem-opt large capacity = %v", memOptL.GraphCapacityGB())
+	}
+}
+
+func TestMachineTable8Properties(t *testing.T) {
+	for _, size := range []Size{Small, Medium, Large} {
+		base := Config{Base, TC, size}.Machine()
+		costOpt := Config{CostOpt, TC, size}.Machine()
+		commOpt := Config{CommOpt, TC, size}.Machine()
+		memOpt := Config{MemOpt, TC, size}.Machine()
+
+		// cost-opt: same bandwidths as base, lower remote latency.
+		if costOpt.RemoteBW != base.RemoteBW || costOpt.LocalBW != base.LocalBW {
+			t.Fatalf("%v: cost-opt bandwidths differ from base", size)
+		}
+		if costOpt.RemoteLat >= base.RemoteLat {
+			t.Fatalf("%v: on-FPGA NIC did not cut latency", size)
+		}
+		// comm-opt: MoF beats the NIC in bandwidth, latency and overhead.
+		if commOpt.RemoteBW <= base.RemoteBW || commOpt.RemoteLat >= base.RemoteLat ||
+			commOpt.RemoteReqOverhead >= base.RemoteReqOverhead {
+			t.Fatalf("%v: comm-opt fabric not better than NIC", size)
+		}
+		// mem-opt: on-card DRAM beats PCIe host memory.
+		if memOpt.LocalBW <= base.LocalBW || memOpt.LocalLat >= base.LocalLat {
+			t.Fatalf("%v: mem-opt local memory not better", size)
+		}
+		// mem-opt.tc: dedicated fast output link, 10 cores (Section 6.5).
+		if memOpt.OutputBW != 300e9 || memOpt.OutputSharesLocal || memOpt.OutputSharesRemote {
+			t.Fatalf("%v: mem-opt.tc output misconfigured: %+v", size, memOpt)
+		}
+		if memOpt.Cores != 10 {
+			t.Fatalf("%v: mem-opt.tc cores = %d, want 10", size, memOpt.Cores)
+		}
+	}
+	// decp output routing: base shares the NIC, mem-opt gets a dedicated
+	// NIC-capped path.
+	baseD := Config{Base, Decp, Medium}.Machine()
+	if !baseD.OutputSharesRemote {
+		t.Fatal("base.decp output should share the busy NIC")
+	}
+	memD := Config{MemOpt, Decp, Medium}.Machine()
+	if memD.OutputSharesRemote || memD.OutputSharesLocal || memD.OutputBW > 16e9 {
+		t.Fatalf("mem-opt.decp output misrouted: %+v", memD)
+	}
+	if memD.Cores != 2 {
+		t.Fatalf("mem-opt.decp cores = %d, want 2", memD.Cores)
+	}
+}
+
+func TestMachineNICScalesWithSize(t *testing.T) {
+	small := Config{Base, Decp, Small}.Machine()
+	large := Config{Base, Decp, Large}.Machine()
+	if large.RemoteBW <= small.RemoteBW {
+		t.Fatal("NIC bandwidth should grow with instance size")
+	}
+}
+
+func TestEvaluationGrid(t *testing.T) {
+	ev := evaluate(t)
+	if len(ev.Rows) != 24*6 {
+		t.Fatalf("rows = %d, want 144", len(ev.Rows))
+	}
+	if len(ev.CPURows) != 6*3 {
+		t.Fatalf("cpu rows = %d, want 18", len(ev.CPURows))
+	}
+	for _, r := range ev.Rows {
+		if r.RootsPerSecond <= 0 || r.InstanceCostPerHr <= 0 || r.Instances < 1 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		if r.PerfPerDollarNorm <= 0 {
+			t.Fatalf("non-positive perf/$ for %v/%s", r.Config, r.Dataset.Name)
+		}
+	}
+	if ev.CPURefPerfPerDollar <= 0 {
+		t.Fatal("no CPU reference")
+	}
+}
+
+func TestPaperConclusions(t *testing.T) {
+	ev := evaluate(t)
+	g := ev.GeomeanPerfPerDollarNormAllSizes
+
+	baseDecp, baseTC := g(Base, Decp), g(Base, TC)
+	commTC := g(CommOpt, TC)
+	memTC := g(MemOpt, TC)
+
+	// Conclusion 1: FaaS.base beats the vCPU solution (paper: 2.47×/4.11×).
+	if baseDecp < 1.2 || baseDecp > 6 {
+		t.Fatalf("base.decp = %.2f×, want ~2.47×", baseDecp)
+	}
+	if baseTC <= baseDecp {
+		t.Fatal("tc should beat decp for base")
+	}
+	// Conclusion 2: cost-opt ≈ base for users.
+	if math.Abs(g(CostOpt, Decp)-baseDecp)/baseDecp > 0.05 {
+		t.Fatal("cost-opt.decp should match base.decp")
+	}
+	if math.Abs(g(CostOpt, TC)-baseTC)/baseTC > 0.05 {
+		t.Fatal("cost-opt.tc should match base.tc")
+	}
+	// Conclusion 3: comm-opt improves on base (paper: 7.78×).
+	if commTC <= baseTC {
+		t.Fatal("comm-opt.tc should beat base.tc")
+	}
+	if commTC < 4 || commTC > 16 {
+		t.Fatalf("comm-opt.tc = %.2f×, want ~7.78×", commTC)
+	}
+	// Conclusion 4: mem-opt.tc is the best point (paper: 12.58×).
+	if memTC <= commTC {
+		t.Fatal("mem-opt.tc should beat comm-opt.tc")
+	}
+	if memTC < 8 || memTC > 25 {
+		t.Fatalf("mem-opt.tc = %.2f×, want ~12.58×", memTC)
+	}
+	// mem-opt.decp gains nothing over comm-opt.decp (output-bound).
+	if r := g(MemOpt, Decp) / g(CommOpt, Decp); r > 1.15 {
+		t.Fatalf("mem-opt.decp should not beat comm-opt.decp: ratio %.2f", r)
+	}
+}
+
+func TestTCBeatsDecpAndGapGrows(t *testing.T) {
+	ev := evaluate(t)
+	g := ev.GeomeanPerfPerDollarNormAllSizes
+	gap := func(a Arch) float64 { return g(a, TC) / g(a, Decp) }
+	if gap(CostOpt) <= 1 || gap(CommOpt) <= 1 || gap(MemOpt) <= 1 {
+		t.Fatal("tc should beat decp everywhere")
+	}
+	// The paper: the tc advantage grows with optimization level
+	// (1.9× → 3.5× → 16.6× in raw performance).
+	if !(gap(CostOpt) <= gap(CommOpt) && gap(CommOpt) <= gap(MemOpt)) {
+		t.Fatalf("tc/decp gaps not growing: %.2f %.2f %.2f",
+			gap(CostOpt), gap(CommOpt), gap(MemOpt))
+	}
+}
+
+func TestSizeScaling(t *testing.T) {
+	// Figure 17: larger instances are faster (base.decp: medium 2.4×,
+	// large 14× over small in the paper).
+	ev := evaluate(t)
+	small := ev.GeomeanThroughput(Config{Base, Decp, Small})
+	medium := ev.GeomeanThroughput(Config{Base, Decp, Medium})
+	large := ev.GeomeanThroughput(Config{Base, Decp, Large})
+	if !(small < medium && medium < large) {
+		t.Fatalf("size scaling broken: %v %v %v", small, medium, large)
+	}
+	if large/small < 4 {
+		t.Fatalf("large/small = %.1f×, paper reports 14×", large/small)
+	}
+}
+
+func TestDatasetScaling(t *testing.T) {
+	// Figure 18: small graphs (ss) gain least; big graphs gain most.
+	ev := evaluate(t)
+	norm := map[string]float64{}
+	for _, r := range ev.RowsFor(Config{Base, Decp, Medium}) {
+		norm[r.Dataset.Name] = r.PerfPerDollarNorm
+	}
+	if norm["ss"] >= norm["syn"] {
+		t.Fatalf("ss (%.2f) should benefit less than syn (%.2f)", norm["ss"], norm["syn"])
+	}
+}
+
+func TestFigure14Projection(t *testing.T) {
+	rows := Figure14(perfmodel.DefaultCPUModel())
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	logsum := 0.0
+	for _, r := range rows {
+		if r.VCPUEquivalent < 100 || r.VCPUEquivalent > 5000 {
+			t.Fatalf("%s equivalence %.0f implausible", r.Dataset.Name, r.VCPUEquivalent)
+		}
+		logsum += math.Log(r.VCPUEquivalent)
+	}
+	geomean := math.Exp(logsum / 6)
+	// Paper: one PoC FPGA ≈ 894 vCPUs.
+	if geomean < 500 || geomean > 1500 {
+		t.Fatalf("geomean = %.0f vCPUs, paper reports 894", geomean)
+	}
+}
+
+func TestCPUInstanceVCPUs(t *testing.T) {
+	if CPUInstanceVCPUs(InstanceFor(Small)) != 2 {
+		t.Fatal("small CPU instance should have 2 vCPUs")
+	}
+	if CPUInstanceVCPUs(InstanceFor(Medium)) != 48 {
+		t.Fatalf("medium = %d, want 48", CPUInstanceVCPUs(InstanceFor(Medium)))
+	}
+}
+
+func TestMinInstancesUsesServingOverhead(t *testing.T) {
+	ds, _ := workload.DatasetByName("ml") // 160 GB raw
+	raw := ds.MinServers(int64(384e9))
+	served := minInstances(ds, 384)
+	if served <= raw {
+		t.Fatalf("serving overhead ignored: raw %d vs served %d", raw, served)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Base.String() != "base" || MemOpt.String() != "mem-opt" {
+		t.Fatal("arch names wrong")
+	}
+	if TC.String() != "tc" || Decp.String() != "decp" {
+		t.Fatal("coupling names wrong")
+	}
+	if Small.String() != "small" || Large.String() != "large" {
+		t.Fatal("size names wrong")
+	}
+	c := Config{CommOpt, TC, Medium}
+	if c.String() != "comm-opt.tc/medium" {
+		t.Fatalf("config string = %q", c.String())
+	}
+}

@@ -1,0 +1,432 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// naiveMatMul is the O(n³) reference.
+func naiveMatMul(a, b *Mat) *Mat {
+	out := NewMat(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += float64(a.At(i, k)) * float64(b.At(k, j))
+			}
+			out.Set(i, j, float32(s))
+		}
+	}
+	return out
+}
+
+func randMat(rng *rand.Rand, r, c int) *Mat {
+	m := NewMat(r, c)
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64())
+	}
+	return m
+}
+
+func TestMatBasics(t *testing.T) {
+	m := NewMat(2, 3)
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 || m.Row(1)[2] != 5 {
+		t.Fatal("indexing wrong")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) == 9 {
+		t.Fatal("clone aliases")
+	}
+	m.Zero()
+	if m.At(1, 2) != 0 {
+		t.Fatal("zero failed")
+	}
+	if FromSlice(2, 2, []float32{1, 2, 3, 4}).At(1, 0) != 3 {
+		t.Fatal("FromSlice wrong")
+	}
+}
+
+func TestMatValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewMat(-1, 2) },
+		func() { FromSlice(2, 2, []float32{1}) },
+		func() { MatMul(NewMat(2, 2), NewMat(2, 3), NewMat(2, 2)) },
+		func() { AddBiasInPlace(NewMat(1, 2), []float32{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid shape did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMatMulAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 4, 5}, {33, 40, 37}, {64, 64, 64}} {
+		a := randMat(rng, dims[0], dims[1])
+		b := randMat(rng, dims[1], dims[2])
+		got := NewMat(dims[0], dims[2])
+		MatMul(got, a, b)
+		want := naiveMatMul(a, b)
+		for i := range got.Data {
+			if !almostEqual(float64(got.Data[i]), float64(want.Data[i]), 1e-3) {
+				t.Fatalf("dims %v: element %d: %v vs %v", dims, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestMatMulTransposeVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randMat(rng, 7, 5)
+	b := randMat(rng, 7, 6)
+	// aᵀ·b via explicit transpose.
+	at := NewMat(5, 7)
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 5; j++ {
+			at.Set(j, i, a.At(i, j))
+		}
+	}
+	want := naiveMatMul(at, b)
+	got := NewMat(5, 6)
+	MatMulATB(got, a, b)
+	for i := range got.Data {
+		if !almostEqual(float64(got.Data[i]), float64(want.Data[i]), 1e-3) {
+			t.Fatal("ATB mismatch")
+		}
+	}
+	// a·bᵀ.
+	c := randMat(rng, 4, 5)
+	d := randMat(rng, 3, 5)
+	dt := NewMat(5, 3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 5; j++ {
+			dt.Set(j, i, d.At(i, j))
+		}
+	}
+	want = naiveMatMul(c, dt)
+	got = NewMat(4, 3)
+	MatMulABT(got, c, d)
+	for i := range got.Data {
+		if !almostEqual(float64(got.Data[i]), float64(want.Data[i]), 1e-3) {
+			t.Fatal("ABT mismatch")
+		}
+	}
+}
+
+func TestPropertyMatMulLinearity(t *testing.T) {
+	// (αA)·B == α(A·B)
+	rng := rand.New(rand.NewSource(3))
+	f := func(scaleRaw uint8) bool {
+		alpha := float32(scaleRaw%8) + 1
+		a := randMat(rng, 4, 4)
+		b := randMat(rng, 4, 4)
+		ab := NewMat(4, 4)
+		MatMul(ab, a, b)
+		sa := a.Clone()
+		for i := range sa.Data {
+			sa.Data[i] *= alpha
+		}
+		sab := NewMat(4, 4)
+		MatMul(sab, sa, b)
+		for i := range ab.Data {
+			if !almostEqual(float64(sab.Data[i]), float64(ab.Data[i]*alpha), 1e-2) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReLUAndSigmoid(t *testing.T) {
+	m := FromSlice(1, 4, []float32{-1, 0, 2, -3})
+	mask := ReLUInPlace(m)
+	if m.Data[0] != 0 || m.Data[2] != 2 {
+		t.Fatal("relu wrong")
+	}
+	if mask[0] || !mask[2] {
+		t.Fatal("relu mask wrong")
+	}
+	s := NewMat(1, 2)
+	Sigmoid(s, FromSlice(1, 2, []float32{0, 100}))
+	if !almostEqual(float64(s.Data[0]), 0.5, 1e-6) || !almostEqual(float64(s.Data[1]), 1, 1e-6) {
+		t.Fatalf("sigmoid = %v", s.Data)
+	}
+}
+
+// numericalGrad estimates dLoss/dparam by central differences.
+func numericalGrad(param []float32, idx int, loss func() float64) float64 {
+	const eps = 1e-3
+	orig := param[idx]
+	param[idx] = orig + eps
+	lp := loss()
+	param[idx] = orig - eps
+	lm := loss()
+	param[idx] = orig
+	return (lp - lm) / (2 * eps)
+}
+
+func TestDenseGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	layer := NewDense(3, 2, true, rng)
+	x := randMat(rng, 4, 3)
+	labels := randMat(rng, 4, 2)
+	for i := range labels.Data {
+		if labels.Data[i] > 0 {
+			labels.Data[i] = 1
+		} else {
+			labels.Data[i] = 0
+		}
+	}
+	lossFn := func() float64 {
+		y := layer.Forward(x)
+		l, _ := BCELoss(y, labels)
+		return float64(l)
+	}
+	// Analytic gradient.
+	y := layer.Forward(x)
+	_, grad := BCELoss(y, labels)
+	dX := layer.Backward(grad)
+
+	for _, idx := range []int{0, 2, 5} {
+		want := numericalGrad(layer.W.Data, idx, lossFn)
+		got := float64(layer.dW.Data[idx])
+		if !almostEqual(got, want, 5e-2*math.Max(1, math.Abs(want))) {
+			t.Fatalf("dW[%d] = %v, numerical %v", idx, got, want)
+		}
+	}
+	for _, idx := range []int{0, 1} {
+		want := numericalGrad(layer.B, idx, lossFn)
+		got := float64(layer.dB[idx])
+		if !almostEqual(got, want, 5e-2*math.Max(1, math.Abs(want))) {
+			t.Fatalf("dB[%d] = %v, numerical %v", idx, got, want)
+		}
+	}
+	for _, idx := range []int{0, 7} {
+		want := numericalGrad(x.Data, idx, lossFn)
+		got := float64(dX.Data[idx])
+		if !almostEqual(got, want, 5e-2*math.Max(1, math.Abs(want))) {
+			t.Fatalf("dX[%d] = %v, numerical %v", idx, got, want)
+		}
+	}
+}
+
+func TestDenseGradAccumulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	layer := NewDense(2, 2, false, rng)
+	x := randMat(rng, 3, 2)
+	g := randMat(rng, 3, 2)
+	layer.Forward(x)
+	layer.Backward(g.Clone())
+	first := append([]float32(nil), layer.dW.Data...)
+	layer.Forward(x)
+	layer.Backward(g.Clone())
+	for i := range first {
+		if !almostEqual(float64(layer.dW.Data[i]), 2*float64(first[i]), 1e-4) {
+			t.Fatal("gradients do not accumulate across Backward calls")
+		}
+	}
+	layer.Step(0.1)
+	for _, v := range layer.dW.Data {
+		if v != 0 {
+			t.Fatal("Step did not clear gradients")
+		}
+	}
+}
+
+func TestMaxAggForwardBackward(t *testing.T) {
+	agg := NewMaxAgg(2)
+	in := FromSlice(4, 2, []float32{
+		1, 9,
+		5, 2, // group 0: max = (5, 9)
+		0, 0,
+		-1, 3, // group 1: max = (0, 3)
+	})
+	out := agg.Forward(in)
+	if out.At(0, 0) != 5 || out.At(0, 1) != 9 || out.At(1, 0) != 0 || out.At(1, 1) != 3 {
+		t.Fatalf("max agg = %v", out.Data)
+	}
+	dOut := FromSlice(2, 2, []float32{1, 2, 3, 4})
+	dIn := agg.Backward(dOut)
+	// Gradients route only to the argmax rows: group 0's col-0 max is row
+	// 1, col-1 max row 0; group 1's col-0 max is row 2, col-1 max row 3.
+	want := []float32{0, 2, 1, 0, 3, 0, 0, 4}
+	for i := range want {
+		if dIn.Data[i] != want[i] {
+			t.Fatalf("dIn = %v, want %v", dIn.Data, want)
+		}
+	}
+}
+
+func TestMaxAggValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-divisible rows did not panic")
+		}
+	}()
+	NewMaxAgg(3).Forward(NewMat(4, 2))
+}
+
+func TestConcatSplitRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randMat(rng, 3, 2)
+	b := randMat(rng, 3, 4)
+	c := ConcatCols(a, b)
+	if c.Cols != 6 {
+		t.Fatalf("concat cols = %d", c.Cols)
+	}
+	a2, b2 := SplitCols(c, 2)
+	for i := range a.Data {
+		if a2.Data[i] != a.Data[i] {
+			t.Fatal("split a mismatch")
+		}
+	}
+	for i := range b.Data {
+		if b2.Data[i] != b.Data[i] {
+			t.Fatal("split b mismatch")
+		}
+	}
+}
+
+func TestBCELossKnownValues(t *testing.T) {
+	logits := FromSlice(1, 2, []float32{0, 0})
+	labels := FromSlice(1, 2, []float32{1, 0})
+	loss, grad := BCELoss(logits, labels)
+	if !almostEqual(float64(loss), math.Log(2), 1e-4) {
+		t.Fatalf("loss = %v, want ln2", loss)
+	}
+	if !almostEqual(float64(grad.Data[0]), -0.25, 1e-5) || !almostEqual(float64(grad.Data[1]), 0.25, 1e-5) {
+		t.Fatalf("grad = %v", grad.Data)
+	}
+}
+
+func TestMicroF1(t *testing.T) {
+	pred := FromSlice(1, 4, []float32{1, 1, 0, 0})
+	gold := FromSlice(1, 4, []float32{1, 0, 1, 0})
+	// tp=1 fp=1 fn=1 → precision=recall=0.5 → F1=0.5
+	if got := MicroF1(pred, gold); !almostEqual(got, 0.5, 1e-9) {
+		t.Fatalf("F1 = %v", got)
+	}
+	if MicroF1(NewMat(1, 3), FromSlice(1, 3, []float32{1, 1, 1})) != 0 {
+		t.Fatal("all-negative predictions should score 0")
+	}
+	perfect := FromSlice(1, 2, []float32{1, 0})
+	if MicroF1(perfect, perfect) != 1 {
+		t.Fatal("perfect predictions should score 1")
+	}
+}
+
+func TestPredictThreshold(t *testing.T) {
+	p := Predict(FromSlice(1, 3, []float32{-1, 0, 1}))
+	if p.Data[0] != 0 || p.Data[1] != 0 || p.Data[2] != 1 {
+		t.Fatalf("predict = %v", p.Data)
+	}
+}
+
+func TestGraphSAGETrainingReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n, attr, hid, lab, f1, f2 = 8, 6, 8, 3, 3, 2
+	model := NewGraphSAGEMax(attr, hid, lab, f1, f2, rng)
+	x0 := randMat(rng, n, attr)
+	x1 := randMat(rng, n*f1, attr)
+	x2 := randMat(rng, n*f1*f2, attr)
+	labels := NewMat(n, lab)
+	for i := range labels.Data {
+		if rng.Float32() > 0.5 {
+			labels.Data[i] = 1
+		}
+	}
+	var first, last float32
+	for step := 0; step < 60; step++ {
+		logits, st := model.Forward(x0, x1, x2)
+		loss, grad := BCELoss(logits, labels)
+		if step == 0 {
+			first = loss
+		}
+		last = loss
+		model.Backward(grad, st, 0.5)
+	}
+	if last >= first*0.8 {
+		t.Fatalf("loss did not drop: %v -> %v", first, last)
+	}
+}
+
+func TestGraphSAGEShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	model := NewGraphSAGEMax(4, 6, 2, 3, 2, rng)
+	logits, _ := model.Forward(randMat(rng, 5, 4), randMat(rng, 15, 4), randMat(rng, 30, 4))
+	if logits.Rows != 5 || logits.Cols != 2 {
+		t.Fatalf("logits shape %d×%d", logits.Rows, logits.Cols)
+	}
+}
+
+func TestDSSMTrainingReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	d := NewDSSM(8, 8, rng)
+	// Positive pairs share a pattern; negatives are independent noise.
+	n := 32
+	q := randMat(rng, n, 8)
+	it := NewMat(n, 8)
+	labels := make([]float32, n)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			copy(it.Row(i), q.Row(i))
+			labels[i] = 1
+		} else {
+			for j := 0; j < 8; j++ {
+				it.Set(i, j, float32(rng.NormFloat64()))
+			}
+		}
+	}
+	var first, last float32
+	for step := 0; step < 80; step++ {
+		loss := d.Train(q, it, labels, 0.05)
+		if step == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if last >= first*0.8 {
+		t.Fatalf("DSSM loss did not drop: %v -> %v", first, last)
+	}
+}
+
+func TestDSSMTrainGradsShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	d := NewDSSM(4, 6, rng)
+	q, it := randMat(rng, 3, 4), randMat(rng, 3, 4)
+	_, dq, di := d.TrainGrads(q, it, []float32{1, 0, 1}, 0.01)
+	if dq.Rows != 3 || dq.Cols != 4 || di.Rows != 3 || di.Cols != 4 {
+		t.Fatal("input gradient shapes wrong")
+	}
+}
+
+func TestSyntheticLabelsDependOnNeighborhood(t *testing.T) {
+	cfg := DefaultAccuracyConfig(0)
+	cfg.Nodes = 300
+	g := buildAccuracyGraph(t, cfg)
+	labels := SyntheticLabels(g, 4)
+	ones := 0
+	for _, v := range labels.Data {
+		if v == 1 {
+			ones++
+		}
+	}
+	frac := float64(ones) / float64(len(labels.Data))
+	if frac < 0.2 || frac > 0.8 {
+		t.Fatalf("label balance %v — labels degenerate", frac)
+	}
+}

@@ -1,0 +1,170 @@
+package gnn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Dense is a fully-connected layer y = act(x·W + b) with explicit
+// forward/backward and SGD update.
+type Dense struct {
+	W    *Mat
+	B    []float32
+	ReLU bool
+
+	// gradient accumulators
+	dW *Mat
+	dB []float32
+	// cached forward state
+	x    *Mat
+	mask []bool
+}
+
+// NewDense creates a layer with Glorot init.
+func NewDense(in, out int, relu bool, rng *rand.Rand) *Dense {
+	d := &Dense{
+		W: NewMat(in, out), B: make([]float32, out), ReLU: relu,
+		dW: NewMat(in, out), dB: make([]float32, out),
+	}
+	d.W.Randomize(rng)
+	return d
+}
+
+// Forward computes the layer output for batch x (rows = examples).
+func (d *Dense) Forward(x *Mat) *Mat {
+	d.x = x
+	y := NewMat(x.Rows, d.W.Cols)
+	MatMul(y, x, d.W)
+	AddBiasInPlace(y, d.B)
+	if d.ReLU {
+		d.mask = ReLUInPlace(y)
+	}
+	return y
+}
+
+// Backward consumes dY and returns dX. Weight gradients accumulate across
+// Backward calls until Step, supporting layers shared across depths.
+func (d *Dense) Backward(dY *Mat) *Mat {
+	if d.x == nil {
+		panic("gnn: Backward before Forward")
+	}
+	if d.ReLU {
+		for i := range dY.Data {
+			if !d.mask[i] {
+				dY.Data[i] = 0
+			}
+		}
+	}
+	gW := NewMat(d.W.Rows, d.W.Cols)
+	MatMulATB(gW, d.x, dY)
+	for i, g := range gW.Data {
+		d.dW.Data[i] += g
+	}
+	for i := 0; i < dY.Rows; i++ {
+		row := dY.Row(i)
+		for j, v := range row {
+			d.dB[j] += v
+		}
+	}
+	dX := NewMat(d.x.Rows, d.W.Rows)
+	MatMulABT(dX, dY, d.W)
+	return dX
+}
+
+// Step applies SGD with learning rate lr and clears gradients.
+func (d *Dense) Step(lr float32) {
+	for i, g := range d.dW.Data {
+		d.W.Data[i] -= lr * g
+	}
+	for j, g := range d.dB {
+		d.B[j] -= lr * g
+	}
+	d.dW.Zero()
+	for j := range d.dB {
+		d.dB[j] = 0
+	}
+}
+
+// MaxAgg is the graphSAGE-max neighborhood aggregator: for each of n
+// targets with fanout f, it takes the elementwise max over the f neighbor
+// rows. Backward routes gradients to the argmax rows.
+type MaxAgg struct {
+	fanout int
+	argmax []int32 // (targets × cols) winning neighbor-row index
+	inRows int
+}
+
+// NewMaxAgg creates an aggregator over groups of fanout rows.
+func NewMaxAgg(fanout int) *MaxAgg {
+	if fanout < 1 {
+		panic("gnn: fanout must be ≥ 1")
+	}
+	return &MaxAgg{fanout: fanout}
+}
+
+// Forward reduces neighbors (n·fanout × d) to (n × d).
+func (a *MaxAgg) Forward(neighbors *Mat) *Mat {
+	if neighbors.Rows%a.fanout != 0 {
+		panic(fmt.Sprintf("gnn: %d rows not divisible by fanout %d", neighbors.Rows, a.fanout))
+	}
+	n := neighbors.Rows / a.fanout
+	d := neighbors.Cols
+	out := NewMat(n, d)
+	a.argmax = make([]int32, n*d)
+	a.inRows = neighbors.Rows
+	for t := 0; t < n; t++ {
+		orow := out.Row(t)
+		for j := 0; j < d; j++ {
+			best := neighbors.At(t*a.fanout, j)
+			bestR := t * a.fanout
+			for k := 1; k < a.fanout; k++ {
+				if v := neighbors.At(t*a.fanout+k, j); v > best {
+					best, bestR = v, t*a.fanout+k
+				}
+			}
+			orow[j] = best
+			a.argmax[t*d+j] = int32(bestR)
+		}
+	}
+	return out
+}
+
+// Backward scatters dOut (n × d) into neighbor-space gradients.
+func (a *MaxAgg) Backward(dOut *Mat) *Mat {
+	if a.argmax == nil {
+		panic("gnn: Backward before Forward")
+	}
+	dIn := NewMat(a.inRows, dOut.Cols)
+	for t := 0; t < dOut.Rows; t++ {
+		row := dOut.Row(t)
+		for j, g := range row {
+			r := a.argmax[t*dOut.Cols+j]
+			dIn.Data[int(r)*dOut.Cols+j] += g
+		}
+	}
+	return dIn
+}
+
+// ConcatCols joins a (n×da) and b (n×db) into (n×(da+db)).
+func ConcatCols(a, b *Mat) *Mat {
+	if a.Rows != b.Rows {
+		panic("gnn: concat row mismatch")
+	}
+	out := NewMat(a.Rows, a.Cols+b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		copy(out.Row(i), a.Row(i))
+		copy(out.Row(i)[a.Cols:], b.Row(i))
+	}
+	return out
+}
+
+// SplitCols reverses ConcatCols for gradients.
+func SplitCols(m *Mat, ca int) (*Mat, *Mat) {
+	a := NewMat(m.Rows, ca)
+	b := NewMat(m.Rows, m.Cols-ca)
+	for i := 0; i < m.Rows; i++ {
+		copy(a.Row(i), m.Row(i)[:ca])
+		copy(b.Row(i), m.Row(i)[ca:])
+	}
+	return a, b
+}

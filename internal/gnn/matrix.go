@@ -1,0 +1,180 @@
+// Package gnn provides the dense neural-network substrate of the LSD-GNN
+// workflow: matrices and blocked GEMM (the optional FP32 engine of Section
+// 4.1), graphSAGE-max aggregation layers, a DSSM end model (Table 3), SGD
+// training, and the synthetic multi-label dataset used to reproduce the
+// streaming-sampling accuracy comparison of Section 4.2 Tech-2.
+package gnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Mat is a dense row-major float32 matrix.
+type Mat struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMat allocates a zero matrix.
+func NewMat(rows, cols int) *Mat {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("gnn: negative matrix dims %d×%d", rows, cols))
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice wraps data (len rows*cols) without copying.
+func FromSlice(rows, cols int, data []float32) *Mat {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("gnn: slice %d for %d×%d matrix", len(data), rows, cols))
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns element (i,j).
+func (m *Mat) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i,j).
+func (m *Mat) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice view.
+func (m *Mat) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone deep-copies m.
+func (m *Mat) Clone() *Mat {
+	c := NewMat(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero clears all elements.
+func (m *Mat) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Randomize fills with Glorot-uniform values.
+func (m *Mat) Randomize(rng *rand.Rand) {
+	limit := float32(math.Sqrt(6.0 / float64(m.Rows+m.Cols)))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float32()*2 - 1) * limit
+	}
+}
+
+// MatMul computes dst = a·b (dst must be a.Rows×b.Cols and distinct from
+// both operands). The inner loops are blocked for cache friendliness — this
+// is also the model of the optional on-FPGA GEMM unit.
+func MatMul(dst, a, b *Mat) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("gnn: matmul shape (%d×%d)·(%d×%d)→(%d×%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	dst.Zero()
+	const bs = 32
+	for ii := 0; ii < a.Rows; ii += bs {
+		iMax := min(ii+bs, a.Rows)
+		for kk := 0; kk < a.Cols; kk += bs {
+			kMax := min(kk+bs, a.Cols)
+			for i := ii; i < iMax; i++ {
+				arow := a.Row(i)
+				drow := dst.Row(i)
+				for k := kk; k < kMax; k++ {
+					av := arow[k]
+					if av == 0 {
+						continue
+					}
+					brow := b.Row(k)
+					for j := range brow {
+						drow[j] += av * brow[j]
+					}
+				}
+			}
+		}
+	}
+}
+
+// MatMulATB computes dst = aᵀ·b.
+func MatMulATB(dst, a, b *Mat) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic("gnn: matmulATB shape mismatch")
+	}
+	dst.Zero()
+	for r := 0; r < a.Rows; r++ {
+		arow := a.Row(r)
+		brow := b.Row(r)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.Row(i)
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulABT computes dst = a·bᵀ.
+func MatMulABT(dst, a, b *Mat) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic("gnn: matmulABT shape mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float32
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			drow[j] = s
+		}
+	}
+}
+
+// AddBiasInPlace adds bias (1×Cols) to every row of m.
+func AddBiasInPlace(m *Mat, bias []float32) {
+	if len(bias) != m.Cols {
+		panic("gnn: bias length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] += bias[j]
+		}
+	}
+}
+
+// ReLUInPlace applies max(0,x), returning a mask for backprop.
+func ReLUInPlace(m *Mat) []bool {
+	mask := make([]bool, len(m.Data))
+	for i, v := range m.Data {
+		if v > 0 {
+			mask[i] = true
+		} else {
+			m.Data[i] = 0
+		}
+	}
+	return mask
+}
+
+// Sigmoid applies the logistic function elementwise into dst.
+func Sigmoid(dst, src *Mat) {
+	if len(dst.Data) != len(src.Data) {
+		panic("gnn: sigmoid shape mismatch")
+	}
+	for i, v := range src.Data {
+		dst.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,216 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// GraphSAGEMax is a two-layer graphSAGE model with max aggregation — the
+// GNN-NN configuration of Table 3. Layer weights are shared across depths
+// as in the original model, so Dense gradients accumulate across the two
+// applications per step.
+type GraphSAGEMax struct {
+	AttrLen, Hidden, Labels int
+	Fanout1, Fanout2        int
+
+	l1   *Dense // (2·attr) → hidden, shared across depths
+	l2   *Dense // (2·hidden) → hidden
+	head *Dense // hidden → labels
+
+	agg1a, agg1b, agg2 *MaxAgg
+	// cached intermediates for backward
+	x0, x1 *Mat
+	// l1fwd0 stashes the depth-0 forward state of the shared layer 1 so
+	// its second Backward call sees the right inputs.
+	l1fwd0 denseFwdState
+}
+
+// NewGraphSAGEMax builds the model.
+func NewGraphSAGEMax(attrLen, hidden, labels, fanout1, fanout2 int, rng *rand.Rand) *GraphSAGEMax {
+	return &GraphSAGEMax{
+		AttrLen: attrLen, Hidden: hidden, Labels: labels,
+		Fanout1: fanout1, Fanout2: fanout2,
+		l1:    NewDense(2*attrLen, hidden, true, rng),
+		l2:    NewDense(2*hidden, hidden, true, rng),
+		head:  NewDense(hidden, labels, false, rng),
+		agg1a: NewMaxAgg(fanout1),
+		agg1b: NewMaxAgg(fanout2),
+		agg2:  NewMaxAgg(fanout1),
+	}
+}
+
+// sageForwardState caches one depth's dense inputs for backward.
+type sageState struct {
+	in0, in1 *Mat // concat inputs at depth 0 and depth 1 (layer 1)
+	in2      *Mat // concat input at layer 2
+}
+
+// Forward computes logits for a batch given attribute matrices: x0 roots
+// (n×d), x1 hop-1 nodes (n·f1×d), x2 hop-2 nodes (n·f1·f2×d).
+func (m *GraphSAGEMax) Forward(x0, x1, x2 *Mat) (*Mat, *sageState) {
+	st := &sageState{}
+	m.x0, m.x1 = x0, x1
+	// Layer 1 at depth 0: roots aggregate hop-1.
+	st.in0 = ConcatCols(x0, m.agg1a.Forward(x1))
+	h0 := m.l1.Forward(st.in0)
+	mask0 := m.l1.mask
+	x1in := m.l1.x
+	// Layer 1 at depth 1: hop-1 nodes aggregate hop-2.
+	st.in1 = ConcatCols(x1, m.agg1b.Forward(x2))
+	h1 := m.l1.Forward(st.in1)
+	// Stash depth-0 forward state for the shared layer's second backward.
+	m.l1fwd0 = denseFwdState{x: x1in, mask: mask0}
+	// Layer 2: roots aggregate transformed hop-1.
+	st.in2 = ConcatCols(h0, m.agg2.Forward(h1))
+	emb := m.l2.Forward(st.in2)
+	return m.head.Forward(emb), st
+}
+
+type denseFwdState struct {
+	x    *Mat
+	mask []bool
+}
+
+// Backward propagates loss gradient dLogits and applies SGD with lr.
+func (m *GraphSAGEMax) Backward(dLogits *Mat, st *sageState, lr float32) {
+	dEmb := m.head.Backward(dLogits)
+	dIn2 := m.l2.Backward(dEmb)
+	dH0, dAgg := SplitCols(dIn2, m.Hidden)
+	dH1 := m.agg2.Backward(dAgg)
+	// Shared layer 1, depth-1 application (current cached state).
+	_ = m.l1.Backward(dH1)
+	// Shared layer 1, depth-0 application: restore cached forward state.
+	m.l1.x, m.l1.mask = m.l1fwd0.x, m.l1fwd0.mask
+	_ = m.l1.Backward(dH0)
+	m.l1.Step(lr)
+	m.l2.Step(lr)
+	m.head.Step(lr)
+}
+
+// BCELoss computes mean sigmoid binary-cross-entropy over logits vs labels
+// (both n×L) and the gradient w.r.t. logits.
+func BCELoss(logits, labels *Mat) (loss float32, grad *Mat) {
+	if logits.Rows != labels.Rows || logits.Cols != labels.Cols {
+		panic("gnn: BCE shape mismatch")
+	}
+	grad = NewMat(logits.Rows, logits.Cols)
+	n := float64(len(logits.Data))
+	var total float64
+	for i, z := range logits.Data {
+		y := float64(labels.Data[i])
+		p := 1 / (1 + math.Exp(-float64(z)))
+		eps := 1e-7
+		total += -(y*math.Log(p+eps) + (1-y)*math.Log(1-p+eps))
+		grad.Data[i] = float32((p - y) / n)
+	}
+	return float32(total / n), grad
+}
+
+// Predict thresholds sigmoid(logits) at 0.5.
+func Predict(logits *Mat) *Mat {
+	out := NewMat(logits.Rows, logits.Cols)
+	for i, z := range logits.Data {
+		if z > 0 {
+			out.Data[i] = 1
+		}
+	}
+	return out
+}
+
+// MicroF1 computes the micro-averaged F1 of binary predictions vs labels —
+// the PPI metric quoted for the Tech-2 accuracy comparison.
+func MicroF1(pred, labels *Mat) float64 {
+	var tp, fp, fn float64
+	for i := range pred.Data {
+		p := pred.Data[i] > 0.5
+		y := labels.Data[i] > 0.5
+		switch {
+		case p && y:
+			tp++
+		case p && !y:
+			fp++
+		case !p && y:
+			fn++
+		}
+	}
+	if tp == 0 {
+		return 0
+	}
+	precision := tp / (tp + fp)
+	recall := tp / (tp + fn)
+	return 2 * precision * recall / (precision + recall)
+}
+
+// DSSM is the Table 3 end model: two dense towers scoring (query, item)
+// pairs by inner product, trained with logistic loss.
+type DSSM struct {
+	QueryTower *Dense
+	ItemTower  *Dense
+	dim        int
+	q, it      *Mat
+}
+
+// NewDSSM builds a DSSM with the given embedding and tower dims (the paper
+// uses 128-128).
+func NewDSSM(embDim, towerDim int, rng *rand.Rand) *DSSM {
+	return &DSSM{
+		QueryTower: NewDense(embDim, towerDim, true, rng),
+		ItemTower:  NewDense(embDim, towerDim, true, rng),
+		dim:        towerDim,
+	}
+}
+
+// Score returns per-pair logits for aligned query/item embedding batches.
+func (d *DSSM) Score(query, item *Mat) []float32 {
+	if query.Rows != item.Rows {
+		panic("gnn: DSSM pair count mismatch")
+	}
+	d.q = d.QueryTower.Forward(query)
+	d.it = d.ItemTower.Forward(item)
+	out := make([]float32, query.Rows)
+	for i := range out {
+		var s float32
+		qr, ir := d.q.Row(i), d.it.Row(i)
+		for k := range qr {
+			s += qr[k] * ir[k]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Train performs one SGD step on pair labels (1 = positive), returning the
+// mean logistic loss.
+func (d *DSSM) Train(query, item *Mat, labels []float32, lr float32) float32 {
+	loss, _, _ := d.TrainGrads(query, item, labels, lr)
+	return loss
+}
+
+// TrainGrads is Train, additionally returning the loss gradients w.r.t. the
+// query and item inputs so an upstream encoder (e.g. graphSAGE) can train
+// end-to-end.
+func (d *DSSM) TrainGrads(query, item *Mat, labels []float32, lr float32) (float32, *Mat, *Mat) {
+	scores := d.Score(query, item)
+	n := float32(len(scores))
+	var loss float64
+	dQ := NewMat(d.q.Rows, d.q.Cols)
+	dI := NewMat(d.it.Rows, d.it.Cols)
+	for i, z := range scores {
+		p := 1 / (1 + math.Exp(-float64(z)))
+		y := float64(labels[i])
+		eps := 1e-7
+		loss += -(y*math.Log(p+eps) + (1-y)*math.Log(1-p+eps))
+		g := float32(p-y) / n
+		qr, ir := d.q.Row(i), d.it.Row(i)
+		dqr, dir := dQ.Row(i), dI.Row(i)
+		for k := range qr {
+			dqr[k] = g * ir[k]
+			dir[k] = g * qr[k]
+		}
+	}
+	dQIn := d.QueryTower.Backward(dQ)
+	dIIn := d.ItemTower.Backward(dI)
+	d.QueryTower.Step(lr)
+	d.ItemTower.Step(lr)
+	return float32(loss / float64(len(scores))), dQIn, dIIn
+}

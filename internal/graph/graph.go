@@ -1,0 +1,247 @@
+// Package graph implements the in-memory graph storage substrate used by the
+// LSD-GNN system: CSR adjacency, node attributes (stored or procedurally
+// generated), and synthetic graph generators matching the paper's dataset
+// statistics (Table 2).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NodeID identifies a vertex.
+type NodeID uint64
+
+// Graph is an immutable directed graph in CSR form with fixed-length float32
+// node attributes. Build one with a Builder or a generator.
+//
+// Attribute storage is either materialized ([]float32, node-major) or
+// procedural (computed from the node ID on demand); procedural attributes
+// let simulations work with graphs whose attribute matrices would not fit
+// in memory, while preserving deterministic values.
+type Graph struct {
+	numNodes int64
+	offsets  []int64  // len numNodes+1
+	edges    []NodeID // len numEdges
+	attrLen  int
+
+	attrs      []float32 // materialized attributes, nil if procedural
+	procedural bool
+	attrSeed   uint64
+}
+
+// NumNodes returns the vertex count.
+func (g *Graph) NumNodes() int64 { return g.numNodes }
+
+// NumEdges returns the directed edge count.
+func (g *Graph) NumEdges() int64 { return int64(len(g.edges)) }
+
+// AttrLen returns the per-node attribute vector length.
+func (g *Graph) AttrLen() int { return g.attrLen }
+
+// Degree returns the out-degree of v.
+func (g *Graph) Degree(v NodeID) int {
+	if int64(v) >= g.numNodes {
+		return 0
+	}
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the out-neighbors of v. The returned slice aliases the
+// graph's internal storage and must not be modified.
+func (g *Graph) Neighbors(v NodeID) []NodeID {
+	if int64(v) >= g.numNodes {
+		return nil
+	}
+	return g.edges[g.offsets[v]:g.offsets[v+1]]
+}
+
+// HasNode reports whether v is a valid node ID.
+func (g *Graph) HasNode(v NodeID) bool { return int64(v) < g.numNodes }
+
+// EdgeRange returns the half-open index range of v's adjacency list within
+// the global edge array — the CSR offsets hardware address calculations use.
+func (g *Graph) EdgeRange(v NodeID) (start, end int64) {
+	if int64(v) >= g.numNodes {
+		return 0, 0
+	}
+	return g.offsets[v], g.offsets[v+1]
+}
+
+// Attr appends the attribute vector of v to dst and returns the result.
+// For procedural graphs the values are a deterministic function of (seed, v).
+func (g *Graph) Attr(dst []float32, v NodeID) []float32 {
+	if int64(v) >= g.numNodes {
+		for i := 0; i < g.attrLen; i++ {
+			dst = append(dst, 0)
+		}
+		return dst
+	}
+	if !g.procedural {
+		base := int64(v) * int64(g.attrLen)
+		return append(dst, g.attrs[base:base+int64(g.attrLen)]...)
+	}
+	h := splitmix64(g.attrSeed ^ uint64(v)*0x9e3779b97f4a7c15)
+	for i := 0; i < g.attrLen; i++ {
+		h = splitmix64(h)
+		// Map to [-1, 1).
+		dst = append(dst, float32(int64(h>>11))/float32(1<<52)-1)
+	}
+	return dst
+}
+
+// AttrBytes returns the size in bytes of one node's attribute vector.
+func (g *Graph) AttrBytes() int { return g.attrLen * 4 }
+
+// StructureBytes returns the approximate memory footprint of the adjacency
+// structure (offsets + edge list).
+func (g *Graph) StructureBytes() int64 {
+	return int64(len(g.offsets))*8 + int64(len(g.edges))*8
+}
+
+// FootprintBytes returns the approximate total in-memory footprint,
+// counting attributes whether or not they are materialized (procedural
+// graphs stand in for graphs that would really store them).
+func (g *Graph) FootprintBytes() int64 {
+	return g.StructureBytes() + g.numNodes*int64(g.attrLen)*4
+}
+
+// Materialized reports whether attributes are stored (vs procedural).
+func (g *Graph) Materialized() bool { return !g.procedural }
+
+// CopyProceduralSeed makes dst generate the same procedural attributes as
+// src. It is a no-op when src stores materialized attributes; shard
+// extraction uses it so per-partition subgraphs keep identical attribute
+// values without copying tables.
+func CopyProceduralSeed(dst, src *Graph) {
+	if src.procedural {
+		dst.procedural = true
+		dst.attrSeed = src.attrSeed
+	}
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Builder accumulates edges and produces a CSR Graph.
+type Builder struct {
+	numNodes int64
+	attrLen  int
+	srcs     []NodeID
+	dsts     []NodeID
+	attrs    []float32
+}
+
+// NewBuilder creates a builder for a graph with numNodes vertices and
+// attrLen-float attributes.
+func NewBuilder(numNodes int64, attrLen int) *Builder {
+	if numNodes < 0 {
+		panic("graph: negative node count")
+	}
+	if attrLen < 0 {
+		panic("graph: negative attribute length")
+	}
+	return &Builder{numNodes: numNodes, attrLen: attrLen}
+}
+
+// AddEdge records a directed edge src→dst.
+func (b *Builder) AddEdge(src, dst NodeID) error {
+	if int64(src) >= b.numNodes || int64(dst) >= b.numNodes {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", src, dst, b.numNodes)
+	}
+	b.srcs = append(b.srcs, src)
+	b.dsts = append(b.dsts, dst)
+	return nil
+}
+
+// SetAttr stores the attribute vector for node v. Vectors must have length
+// attrLen. Nodes without a set attribute default to zeros.
+func (b *Builder) SetAttr(v NodeID, attr []float32) error {
+	if int64(v) >= b.numNodes {
+		return fmt.Errorf("graph: node %d out of range", v)
+	}
+	if len(attr) != b.attrLen {
+		return fmt.Errorf("graph: attribute length %d, want %d", len(attr), b.attrLen)
+	}
+	if b.attrs == nil {
+		b.attrs = make([]float32, b.numNodes*int64(b.attrLen))
+	}
+	copy(b.attrs[int64(v)*int64(b.attrLen):], attr)
+	return nil
+}
+
+// Build produces the immutable CSR graph. The builder must not be reused.
+func (b *Builder) Build() (*Graph, error) {
+	if b.numNodes == 0 && len(b.srcs) > 0 {
+		return nil, errors.New("graph: edges without nodes")
+	}
+	g := &Graph{
+		numNodes: b.numNodes,
+		attrLen:  b.attrLen,
+		offsets:  make([]int64, b.numNodes+1),
+		edges:    make([]NodeID, len(b.srcs)),
+	}
+	// Counting sort by source.
+	for _, s := range b.srcs {
+		g.offsets[s+1]++
+	}
+	for i := int64(1); i <= b.numNodes; i++ {
+		g.offsets[i] += g.offsets[i-1]
+	}
+	cursor := make([]int64, b.numNodes)
+	for i, s := range b.srcs {
+		g.edges[g.offsets[s]+cursor[s]] = b.dsts[i]
+		cursor[s]++
+	}
+	// Sort each adjacency list for deterministic iteration.
+	for v := int64(0); v < b.numNodes; v++ {
+		adj := g.edges[g.offsets[v]:g.offsets[v+1]]
+		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
+	}
+	if b.attrs != nil {
+		g.attrs = b.attrs
+	} else {
+		g.procedural = true
+		g.attrSeed = 0x5ca1ab1e
+	}
+	return g, nil
+}
+
+// AvgDegree returns the mean out-degree.
+func (g *Graph) AvgDegree() float64 {
+	if g.numNodes == 0 {
+		return 0
+	}
+	return float64(g.NumEdges()) / float64(g.numNodes)
+}
+
+// MaxDegree returns the maximum out-degree.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := int64(0); v < g.numNodes; v++ {
+		if d := g.Degree(NodeID(v)); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// DegreeHistogram returns counts of nodes bucketed by floor(log2(degree+1)).
+func (g *Graph) DegreeHistogram() []int64 {
+	var hist []int64
+	for v := int64(0); v < g.numNodes; v++ {
+		d := g.Degree(NodeID(v))
+		b := int(math.Log2(float64(d + 1)))
+		for len(hist) <= b {
+			hist = append(hist, 0)
+		}
+		hist[b]++
+	}
+	return hist
+}

@@ -1,0 +1,309 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustBuild(t *testing.T, b *Builder) *Graph {
+	t.Helper()
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuilderBasic(t *testing.T) {
+	b := NewBuilder(4, 2)
+	for _, e := range [][2]NodeID{{0, 1}, {0, 2}, {1, 3}, {3, 0}, {0, 3}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := mustBuild(t, b)
+	if g.NumNodes() != 4 || g.NumEdges() != 5 {
+		t.Fatalf("nodes=%d edges=%d", g.NumNodes(), g.NumEdges())
+	}
+	want := map[NodeID][]NodeID{0: {1, 2, 3}, 1: {3}, 2: {}, 3: {0}}
+	for v, nbrs := range want {
+		got := g.Neighbors(v)
+		if len(got) != len(nbrs) {
+			t.Fatalf("node %d: neighbors %v, want %v", v, got, nbrs)
+		}
+		for i := range nbrs {
+			if got[i] != nbrs[i] {
+				t.Fatalf("node %d: neighbors %v, want %v (sorted)", v, got, nbrs)
+			}
+		}
+		if g.Degree(v) != len(nbrs) {
+			t.Fatalf("degree(%d) = %d", v, g.Degree(v))
+		}
+	}
+}
+
+func TestBuilderEdgeValidation(t *testing.T) {
+	b := NewBuilder(2, 0)
+	if err := b.AddEdge(0, 2); err == nil {
+		t.Fatal("out-of-range dst accepted")
+	}
+	if err := b.AddEdge(5, 0); err == nil {
+		t.Fatal("out-of-range src accepted")
+	}
+}
+
+func TestBuilderAttrValidation(t *testing.T) {
+	b := NewBuilder(2, 3)
+	if err := b.SetAttr(0, []float32{1, 2}); err == nil {
+		t.Fatal("wrong attr length accepted")
+	}
+	if err := b.SetAttr(9, []float32{1, 2, 3}); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	if err := b.SetAttr(1, []float32{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	g := mustBuild(t, b)
+	got := g.Attr(nil, 1)
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("attr = %v", got)
+	}
+	// Unset node defaults to zeros.
+	if z := g.Attr(nil, 0); z[0] != 0 || z[1] != 0 || z[2] != 0 {
+		t.Fatalf("default attr = %v", z)
+	}
+}
+
+func TestOutOfRangeAccessors(t *testing.T) {
+	g := mustBuild(t, NewBuilder(2, 2))
+	if g.Neighbors(99) != nil {
+		t.Fatal("neighbors of missing node not nil")
+	}
+	if g.Degree(99) != 0 {
+		t.Fatal("degree of missing node not 0")
+	}
+	if s, e := g.EdgeRange(99); s != 0 || e != 0 {
+		t.Fatal("edge range of missing node not empty")
+	}
+	if a := g.Attr(nil, 99); len(a) != 2 || a[0] != 0 || a[1] != 0 {
+		t.Fatalf("attr of missing node = %v", a)
+	}
+	if g.HasNode(1) == false || g.HasNode(2) == true {
+		t.Fatal("HasNode wrong")
+	}
+}
+
+func TestProceduralAttrsDeterministic(t *testing.T) {
+	g := mustBuild(t, NewBuilder(10, 8))
+	a := g.Attr(nil, 3)
+	b := g.Attr(nil, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("procedural attrs not deterministic")
+		}
+		if a[i] < -1 || a[i] >= 1 {
+			t.Fatalf("attr %v outside [-1,1)", a[i])
+		}
+	}
+	c := g.Attr(nil, 4)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different nodes produced identical procedural attrs")
+	}
+	// Appending semantics.
+	d := g.Attr(a, 4)
+	if len(d) != 16 {
+		t.Fatalf("append result length %d", len(d))
+	}
+}
+
+func TestEdgeRangeConsistency(t *testing.T) {
+	g := Generate(GenConfig{NumNodes: 500, AvgDegree: 6, AttrLen: 4, Seed: 3})
+	var total int64
+	for v := int64(0); v < g.NumNodes(); v++ {
+		s, e := g.EdgeRange(NodeID(v))
+		if e-s != int64(g.Degree(NodeID(v))) {
+			t.Fatalf("node %d: edge range %d-%d vs degree %d", v, s, e, g.Degree(NodeID(v)))
+		}
+		if s != total {
+			t.Fatalf("node %d: range start %d, want %d (CSR must be contiguous)", v, s, total)
+		}
+		total = e
+	}
+	if total != g.NumEdges() {
+		t.Fatalf("ranges cover %d edges, graph has %d", total, g.NumEdges())
+	}
+}
+
+func TestFootprintMath(t *testing.T) {
+	g := mustBuild(t, NewBuilder(100, 10))
+	want := int64(101*8) + 100*10*4
+	if g.FootprintBytes() != want {
+		t.Fatalf("footprint = %d, want %d", g.FootprintBytes(), want)
+	}
+	if g.AttrBytes() != 40 {
+		t.Fatalf("attr bytes = %d", g.AttrBytes())
+	}
+}
+
+func TestGenerateCounts(t *testing.T) {
+	cfg := GenConfig{NumNodes: 2000, AvgDegree: 8, AttrLen: 16, Seed: 1, PowerLaw: true}
+	g := Generate(cfg)
+	if g.NumNodes() != 2000 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() != 16000 {
+		t.Fatalf("edges = %d, want 16000", g.NumEdges())
+	}
+	if d := g.AvgDegree(); d < 7.9 || d > 8.1 {
+		t.Fatalf("avg degree = %v", d)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GenConfig{NumNodes: 300, AvgDegree: 5, AttrLen: 4, Seed: 9, PowerLaw: true}
+	a, b := Generate(cfg), Generate(cfg)
+	for v := int64(0); v < a.NumNodes(); v++ {
+		na, nb := a.Neighbors(NodeID(v)), b.Neighbors(NodeID(v))
+		if len(na) != len(nb) {
+			t.Fatalf("node %d: degree differs", v)
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("node %d: neighbors differ", v)
+			}
+		}
+	}
+}
+
+func TestGeneratePowerLawSkew(t *testing.T) {
+	pl := Generate(GenConfig{NumNodes: 5000, AvgDegree: 10, AttrLen: 1, Seed: 2, PowerLaw: true})
+	uni := Generate(GenConfig{NumNodes: 5000, AvgDegree: 10, AttrLen: 1, Seed: 2, PowerLaw: false})
+	// In-degree skew: count in-edges of the lowest-ID 1% of nodes.
+	inDeg := func(g *Graph) int64 {
+		var count int64
+		for v := int64(0); v < g.NumNodes(); v++ {
+			for _, u := range g.Neighbors(NodeID(v)) {
+				if int64(u) < g.NumNodes()/100 {
+					count++
+				}
+			}
+		}
+		return count
+	}
+	if inDeg(pl) < 4*inDeg(uni) {
+		t.Fatalf("power-law hubs not skewed: %d vs uniform %d", inDeg(pl), inDeg(uni))
+	}
+	if pl.MaxDegree() == 0 {
+		t.Fatal("max degree zero")
+	}
+}
+
+func TestGenerateMaterialized(t *testing.T) {
+	g := Generate(GenConfig{NumNodes: 50, AvgDegree: 3, AttrLen: 8, Seed: 4, Materialize: true})
+	a := g.Attr(nil, 10)
+	if len(a) != 8 {
+		t.Fatalf("attr len %d", len(a))
+	}
+	var nonzero bool
+	for _, v := range a {
+		if v != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Fatal("materialized attrs all zero")
+	}
+}
+
+func TestGenerateNoSelfLoops(t *testing.T) {
+	g := Generate(GenConfig{NumNodes: 400, AvgDegree: 6, AttrLen: 1, Seed: 5, PowerLaw: true})
+	for v := int64(0); v < g.NumNodes(); v++ {
+		for _, u := range g.Neighbors(NodeID(v)) {
+			if u == NodeID(v) {
+				t.Fatalf("self loop at %d", v)
+			}
+		}
+	}
+}
+
+func TestPropertyEdgesInRange(t *testing.T) {
+	f := func(seed int64, nSmall uint8) bool {
+		n := int64(nSmall)%200 + 10
+		g := Generate(GenConfig{NumNodes: n, AvgDegree: 4, AttrLen: 2, Seed: seed, PowerLaw: seed%2 == 0})
+		for v := int64(0); v < g.NumNodes(); v++ {
+			for _, u := range g.Neighbors(NodeID(v)) {
+				if !g.HasNode(u) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCSRRoundTrip(t *testing.T) {
+	// Random edge lists survive the CSR build exactly (as sorted multisets).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int64(rng.Intn(50) + 2)
+		b := NewBuilder(n, 0)
+		adj := make(map[NodeID][]NodeID)
+		for i := 0; i < rng.Intn(200); i++ {
+			s, d := NodeID(rng.Int63n(n)), NodeID(rng.Int63n(n))
+			if b.AddEdge(s, d) != nil {
+				return false
+			}
+			adj[s] = append(adj[s], d)
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		for v, want := range adj {
+			got := g.Neighbors(v)
+			if len(got) != len(want) {
+				return false
+			}
+			seen := map[NodeID]int{}
+			for _, u := range want {
+				seen[u]++
+			}
+			for _, u := range got {
+				seen[u]--
+			}
+			for _, c := range seen {
+				if c != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	b := NewBuilder(4, 0)
+	_ = b.AddEdge(0, 1)
+	_ = b.AddEdge(0, 2)
+	_ = b.AddEdge(0, 3)
+	_ = b.AddEdge(1, 0)
+	g := mustBuild(t, b)
+	h := g.DegreeHistogram()
+	// degrees: 3,1,0,0 → buckets log2(d+1): 3→2, 1→1, 0→0 (×2)
+	if h[0] != 2 || h[1] != 1 || h[2] != 1 {
+		t.Fatalf("histogram = %v", h)
+	}
+}

@@ -1,0 +1,186 @@
+package graph
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHeteroRelations(t *testing.T) {
+	h := NewHetero(100, 4)
+	buys := Generate(GenConfig{NumNodes: 100, AvgDegree: 3, AttrLen: 4, Seed: 1})
+	views := Generate(GenConfig{NumNodes: 100, AvgDegree: 5, AttrLen: 4, Seed: 2})
+	if err := h.AddRelation("buys", buys); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddRelation("views", views); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddRelation("buys", buys); err == nil {
+		t.Fatal("duplicate relation accepted")
+	}
+	small := Generate(GenConfig{NumNodes: 50, AvgDegree: 3, AttrLen: 4, Seed: 3})
+	if err := h.AddRelation("small", small); err == nil {
+		t.Fatal("node-count mismatch accepted")
+	}
+	rels := h.Relations()
+	if len(rels) != 2 || rels[0] != "buys" || rels[1] != "views" {
+		t.Fatalf("relations = %v", rels)
+	}
+	if _, err := h.Relation("nope"); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+}
+
+func TestHeteroPrimaryAttrs(t *testing.T) {
+	h := NewHetero(50, 3)
+	primary := Generate(GenConfig{NumNodes: 50, AvgDegree: 2, AttrLen: 3, Seed: 4, Materialize: true})
+	other := Generate(GenConfig{NumNodes: 50, AvgDegree: 2, AttrLen: 7, Seed: 5})
+	if err := h.AddRelation("p", primary); err != nil {
+		t.Fatal(err)
+	}
+	// Secondary relations may have any attr table; attributes come from
+	// the primary.
+	if err := h.AddRelation("q", other); err != nil {
+		t.Fatal(err)
+	}
+	want := primary.Attr(nil, 7)
+	got := h.Attr(nil, 7)
+	if len(got) != 3 {
+		t.Fatalf("attr len %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("hetero attrs differ from primary relation")
+		}
+	}
+	// Attr-length mismatch on the primary is rejected.
+	h2 := NewHetero(50, 9)
+	if err := h2.AddRelation("p", primary); err == nil {
+		t.Fatal("primary attr mismatch accepted")
+	}
+}
+
+func TestHeteroView(t *testing.T) {
+	h := NewHetero(60, 2)
+	rel := Generate(GenConfig{NumNodes: 60, AvgDegree: 4, AttrLen: 2, Seed: 6})
+	if err := h.AddRelation("r", rel); err != nil {
+		t.Fatal(err)
+	}
+	v, err := h.RelationView("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.NumNodes() != 60 || v.AttrLen() != 2 {
+		t.Fatal("view metadata wrong")
+	}
+	if len(v.Neighbors(5)) != rel.Degree(5) {
+		t.Fatal("view neighbors wrong")
+	}
+	if _, err := h.RelationView("x"); err == nil {
+		t.Fatal("view of unknown relation accepted")
+	}
+}
+
+func TestHeteroNoPrimaryAttrZeros(t *testing.T) {
+	h := NewHetero(10, 2)
+	a := h.Attr(nil, 3)
+	if len(a) != 2 || a[0] != 0 || a[1] != 0 {
+		t.Fatalf("empty hetero attrs = %v", a)
+	}
+}
+
+func TestDynamicOverlay(t *testing.T) {
+	base := Generate(GenConfig{NumNodes: 100, AvgDegree: 3, AttrLen: 2, Seed: 7})
+	d := NewDynamic(base)
+	before := len(d.Neighbors(5))
+	if err := d.AddEdge(5, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge(5, 10); err != nil {
+		t.Fatal(err)
+	}
+	nbrs := d.Neighbors(5)
+	if len(nbrs) != before+2 {
+		t.Fatalf("overlay neighbors = %d, want %d", len(nbrs), before+2)
+	}
+	if nbrs[len(nbrs)-2] != 9 || nbrs[len(nbrs)-1] != 10 {
+		t.Fatal("delta edges missing or misordered")
+	}
+	if d.DeltaEdges() != 2 || d.NumEdges() != base.NumEdges()+2 {
+		t.Fatal("edge accounting wrong")
+	}
+	if err := d.AddEdge(5, 1000); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	// Base slices stay untouched.
+	if len(base.Neighbors(5)) != before {
+		t.Fatal("dynamic overlay mutated the base")
+	}
+}
+
+func TestDynamicCompact(t *testing.T) {
+	base := Generate(GenConfig{NumNodes: 80, AvgDegree: 2, AttrLen: 3, Seed: 8})
+	d := NewDynamic(base)
+	_ = d.AddEdge(1, 2)
+	_ = d.AddEdge(1, 3)
+	_ = d.AddEdge(40, 41)
+	attrBefore := d.Attr(nil, 1)
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if d.DeltaEdges() != 0 {
+		t.Fatal("delta not cleared")
+	}
+	nbrs := d.Neighbors(1)
+	found := 0
+	for _, u := range nbrs {
+		if u == 2 || u == 3 {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("compacted adjacency missing delta edges: %v", nbrs)
+	}
+	attrAfter := d.Attr(nil, 1)
+	for i := range attrBefore {
+		if attrBefore[i] != attrAfter[i] {
+			t.Fatal("compaction changed procedural attributes")
+		}
+	}
+}
+
+func TestDynamicCompactMaterialized(t *testing.T) {
+	base := Generate(GenConfig{NumNodes: 40, AvgDegree: 2, AttrLen: 2, Seed: 9, Materialize: true})
+	d := NewDynamic(base)
+	_ = d.AddEdge(0, 1)
+	want := d.Attr(nil, 17)
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	got := d.Attr(nil, 17)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("compaction lost materialized attributes")
+		}
+	}
+}
+
+func TestDynamicConcurrent(t *testing.T) {
+	base := Generate(GenConfig{NumNodes: 200, AvgDegree: 2, AttrLen: 1, Seed: 10})
+	d := NewDynamic(base)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = d.AddEdge(NodeID((w*200+i)%200), NodeID(i%200))
+				_ = d.Neighbors(NodeID(i % 200))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if d.DeltaEdges() != 800 {
+		t.Fatalf("delta edges = %d, want 800", d.DeltaEdges())
+	}
+}

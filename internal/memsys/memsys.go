@@ -1,0 +1,141 @@
+// Package memsys models the memory and interconnect hardware the paper
+// characterizes in Section 3 and configures in Table 8: direct-attached
+// DRAM, PCIe-connected host DRAM, NIC/RDMA-reached remote DRAM, and the
+// customized MoF fabric. The models are analytical: round-trip latency and
+// effective bandwidth as functions of request size and outstanding-request
+// window (Figure 2(d)), and the Little's-law outstanding-request demand of
+// Equation 3 (Figure 2(e)).
+package memsys
+
+import "fmt"
+
+// GB is bytes per gigabyte (decimal, matching link-rate conventions).
+const GB = 1e9
+
+// LinkProfile describes one memory path's first-order hardware parameters.
+type LinkProfile struct {
+	Name string
+	// LatencyNs is the zero-load round-trip latency for a minimum-size
+	// request, in nanoseconds.
+	LatencyNs float64
+	// PeakBytesPerSec is the peak data bandwidth of the path.
+	PeakBytesPerSec float64
+	// OverheadBytes is per-request protocol overhead (headers, DLLP/TLP
+	// framing, packet headers) serialized alongside the payload.
+	OverheadBytes int
+}
+
+// Standard paths with the bandwidth figures published in Table 8 and
+// latency points consistent with Figure 2(d): local DRAM ≈ 100 ns,
+// PCIe-connected host memory ≈ 1 µs, RDMA-reached remote memory ≈ 3 µs.
+func DirectDRAM() LinkProfile {
+	return LinkProfile{Name: "local-DRAM", LatencyNs: 95, PeakBytesPerSec: 12.8 * GB, OverheadBytes: 0}
+}
+
+// PCIeHostDRAM is host memory reached over PCIe Gen3 ×16 (16 GB/s).
+func PCIeHostDRAM() LinkProfile {
+	return LinkProfile{Name: "PCIe-hostmem", LatencyNs: 950, PeakBytesPerSec: 16 * GB, OverheadBytes: 24}
+}
+
+// RDMARemote is remote host memory reached via PCIe→NIC→network→PCIe.
+func RDMARemote() LinkProfile {
+	return LinkProfile{Name: "RDMA-remote", LatencyNs: 3100, PeakBytesPerSec: 16 * GB, OverheadBytes: 66}
+}
+
+// OnFPGANIC is remote memory over an on-FPGA NIC (cost-opt): the PCIe hop on
+// the requester side disappears, saving latency; bandwidth is unchanged.
+func OnFPGANIC() LinkProfile {
+	return LinkProfile{Name: "onFPGA-NIC", LatencyNs: 2100, PeakBytesPerSec: 16 * GB, OverheadBytes: 66}
+}
+
+// MoFFabric is the customized inter-FPGA fabric carrying the MoF protocol:
+// 100 GB/s, sub-microsecond latency, tiny per-request overhead thanks to
+// multi-request packing.
+func MoFFabric() LinkProfile {
+	return LinkProfile{Name: "MoF-fabric", LatencyNs: 750, PeakBytesPerSec: 100 * GB, OverheadBytes: 4}
+}
+
+// FPGALocalDRAM is FPGA on-board DDR4, 4 channels × 25.6 GB/s (mem-opt).
+func FPGALocalDRAM() LinkProfile {
+	return LinkProfile{Name: "FPGA-DRAM", LatencyNs: 110, PeakBytesPerSec: 102.4 * GB, OverheadBytes: 0}
+}
+
+// GPUFastLink is the in-server high-speed FPGA↔GPU link of mem-opt.tc
+// (NVLink-like, 300 GB/s).
+func GPUFastLink() LinkProfile {
+	return LinkProfile{Name: "GPU-fastlink", LatencyNs: 600, PeakBytesPerSec: 300 * GB, OverheadBytes: 16}
+}
+
+// RoundTripLatencyNs returns the zero-load round-trip latency of one
+// request of reqBytes: propagation plus serialization of payload+overhead.
+func (p LinkProfile) RoundTripLatencyNs(reqBytes int) float64 {
+	if reqBytes < 0 {
+		panic(fmt.Sprintf("memsys: negative request size %d", reqBytes))
+	}
+	wire := float64(reqBytes+p.OverheadBytes) / p.PeakBytesPerSec * 1e9
+	return p.LatencyNs + wire
+}
+
+// EffectiveBandwidth returns the achieved data bandwidth (bytes/s) for a
+// stream of reqBytes-sized requests with `window` requests kept in flight:
+// min(peak·payload-share, window·reqBytes/latency). This is the standard
+// latency-bandwidth tradeoff the paper plots in Figure 2(d).
+func (p LinkProfile) EffectiveBandwidth(reqBytes, window int) float64 {
+	if window < 1 {
+		panic(fmt.Sprintf("memsys: window %d must be ≥ 1", window))
+	}
+	if reqBytes <= 0 {
+		return 0
+	}
+	lat := p.RoundTripLatencyNs(reqBytes) / 1e9
+	concurrency := float64(window) * float64(reqBytes) / lat
+	share := float64(reqBytes) / float64(reqBytes+p.OverheadBytes)
+	peak := p.PeakBytesPerSec * share
+	if concurrency < peak {
+		return concurrency
+	}
+	return peak
+}
+
+// BandwidthUtilization returns EffectiveBandwidth / peak, in [0,1].
+func (p LinkProfile) BandwidthUtilization(reqBytes, window int) float64 {
+	return p.EffectiveBandwidth(reqBytes, window) / p.PeakBytesPerSec
+}
+
+// AccessPattern is one (size, probability) component of the traffic mix in
+// Equation 3: C_k is the data length, P_k the probability.
+type AccessPattern struct {
+	Bytes float64 // C_k
+	Prob  float64 // P_k
+}
+
+// AvgRequestBytes returns Σ C_k·P_k for the mix.
+func AvgRequestBytes(mix []AccessPattern) float64 {
+	var sum, psum float64
+	for _, m := range mix {
+		sum += m.Bytes * m.Prob
+		psum += m.Prob
+	}
+	if psum == 0 {
+		return 0
+	}
+	return sum / psum
+}
+
+// OutstandingDemand implements Equation 3: the number of in-flight requests
+// O_i = B_i / (Σ C_k·P_k) · L_i needed to sustain effective bandwidth
+// bytesPerSec over a path with round-trip latencySec given the traffic mix.
+func OutstandingDemand(bytesPerSec, latencySec float64, mix []AccessPattern) float64 {
+	avg := AvgRequestBytes(mix)
+	if avg <= 0 {
+		return 0
+	}
+	return bytesPerSec / avg * latencySec
+}
+
+// OutstandingDemandForLink applies Equation 3 to a link profile with a
+// uniform request size.
+func OutstandingDemandForLink(p LinkProfile, reqBytes int) float64 {
+	return OutstandingDemand(p.PeakBytesPerSec, p.RoundTripLatencyNs(reqBytes)/1e9,
+		[]AccessPattern{{Bytes: float64(reqBytes), Prob: 1}})
+}

@@ -1,0 +1,173 @@
+package memsys
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func profiles() []LinkProfile {
+	return []LinkProfile{
+		DirectDRAM(), PCIeHostDRAM(), RDMARemote(), OnFPGANIC(), MoFFabric(), FPGALocalDRAM(), GPUFastLink(),
+	}
+}
+
+func TestProfileSanity(t *testing.T) {
+	for _, p := range profiles() {
+		if p.LatencyNs <= 0 || p.PeakBytesPerSec <= 0 {
+			t.Errorf("%s has non-positive parameters", p.Name)
+		}
+	}
+	// Latency ordering of Figure 2(d): DRAM < PCIe < RDMA.
+	if !(DirectDRAM().LatencyNs < PCIeHostDRAM().LatencyNs &&
+		PCIeHostDRAM().LatencyNs < RDMARemote().LatencyNs) {
+		t.Fatal("latency ordering DRAM < PCIe < RDMA violated")
+	}
+	// On-FPGA NIC is faster than PCIe-NIC (cost-opt rationale).
+	if OnFPGANIC().LatencyNs >= RDMARemote().LatencyNs {
+		t.Fatal("on-FPGA NIC should cut latency")
+	}
+	// MoF: far lower per-request overhead than the NIC path.
+	if MoFFabric().OverheadBytes >= RDMARemote().OverheadBytes {
+		t.Fatal("MoF overhead should undercut NIC overhead")
+	}
+}
+
+func TestRoundTripLatencyMonotonic(t *testing.T) {
+	for _, p := range profiles() {
+		prev := 0.0
+		for _, n := range []int{8, 64, 512, 4096} {
+			l := p.RoundTripLatencyNs(n)
+			if l <= prev {
+				t.Errorf("%s: latency not increasing with size", p.Name)
+			}
+			if l < p.LatencyNs {
+				t.Errorf("%s: latency below propagation floor", p.Name)
+			}
+			prev = l
+		}
+	}
+}
+
+func TestLatencyNegativeSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative size did not panic")
+		}
+	}()
+	DirectDRAM().RoundTripLatencyNs(-1)
+}
+
+func TestEffectiveBandwidthBounds(t *testing.T) {
+	p := RDMARemote()
+	for _, n := range []int{8, 64, 1024} {
+		for _, w := range []int{1, 16, 256} {
+			bw := p.EffectiveBandwidth(n, w)
+			if bw <= 0 || bw > p.PeakBytesPerSec {
+				t.Fatalf("bw(%d,%d) = %v out of (0, peak]", n, w, bw)
+			}
+			if u := p.BandwidthUtilization(n, w); u < 0 || u > 1 {
+				t.Fatalf("utilization out of range: %v", u)
+			}
+		}
+	}
+	if p.EffectiveBandwidth(0, 4) != 0 {
+		t.Fatal("zero-size request should give zero bandwidth")
+	}
+}
+
+func TestEffectiveBandwidthMonotonicInWindow(t *testing.T) {
+	p := RDMARemote()
+	prev := 0.0
+	for _, w := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		bw := p.EffectiveBandwidth(64, w)
+		if bw < prev {
+			t.Fatalf("bandwidth decreased with window %d", w)
+		}
+		prev = bw
+	}
+}
+
+func TestSmallRequestBandwidthCollapse(t *testing.T) {
+	// The Figure 2(d) observation: 8B remote requests achieve ~100× less
+	// bandwidth than large ones at a fixed window.
+	p := RDMARemote()
+	small := p.EffectiveBandwidth(8, 64)
+	large := p.EffectiveBandwidth(1024, 64)
+	ratio := large / small
+	if ratio < 30 || ratio > 300 {
+		t.Fatalf("collapse ratio = %v, want order ~100", ratio)
+	}
+}
+
+func TestWindowValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("window 0 did not panic")
+		}
+	}()
+	DirectDRAM().EffectiveBandwidth(64, 0)
+}
+
+func TestAvgRequestBytes(t *testing.T) {
+	mix := []AccessPattern{{Bytes: 8, Prob: 0.5}, {Bytes: 512, Prob: 0.5}}
+	if got := AvgRequestBytes(mix); got != 260 {
+		t.Fatalf("avg = %v, want 260", got)
+	}
+	// Unnormalized probabilities are normalized.
+	mix2 := []AccessPattern{{Bytes: 8, Prob: 1}, {Bytes: 512, Prob: 1}}
+	if got := AvgRequestBytes(mix2); got != 260 {
+		t.Fatalf("unnormalized avg = %v, want 260", got)
+	}
+	if AvgRequestBytes(nil) != 0 {
+		t.Fatal("empty mix should average 0")
+	}
+}
+
+func TestOutstandingDemandEquation3(t *testing.T) {
+	// O = B/ΣC·P × L, Little's law: 16 GB/s at 64B avg and 3.1 µs →
+	// 16e9/64 × 3.1e-6 = 775.
+	mix := []AccessPattern{{Bytes: 64, Prob: 1}}
+	got := OutstandingDemand(16e9, 3.1e-6, mix)
+	if math.Abs(got-775) > 0.5 {
+		t.Fatalf("O = %v, want 775", got)
+	}
+	if OutstandingDemand(16e9, 1e-6, nil) != 0 {
+		t.Fatal("empty mix demand should be 0")
+	}
+}
+
+func TestOutstandingDemandForLink(t *testing.T) {
+	p := DirectDRAM()
+	o := OutstandingDemandForLink(p, 64)
+	// Closed form: peak/size × RTT(size).
+	want := p.PeakBytesPerSec / 64 * (p.RoundTripLatencyNs(64) / 1e9)
+	if math.Abs(o-want) > 1e-9 {
+		t.Fatalf("O = %v, want %v", o, want)
+	}
+	// Longer-latency paths demand more outstanding requests at the same
+	// bandwidth and request size (Figure 2(e)).
+	rdma := RDMARemote()
+	rdma.PeakBytesPerSec = p.PeakBytesPerSec
+	if OutstandingDemandForLink(rdma, 64) <= o {
+		t.Fatal("longer latency should demand more outstanding requests")
+	}
+}
+
+func TestPropertyLatencyBandwidthConsistency(t *testing.T) {
+	// window×size/RTT never exceeds the returned effective bandwidth by
+	// more than the payload-share cap.
+	f := func(sizeRaw, winRaw uint8) bool {
+		size := int(sizeRaw)%1024 + 1
+		win := int(winRaw)%128 + 1
+		p := RDMARemote()
+		bw := p.EffectiveBandwidth(size, win)
+		lat := p.RoundTripLatencyNs(size) / 1e9
+		concurrency := float64(win) * float64(size) / lat
+		share := float64(size) / float64(size+p.OverheadBytes)
+		return bw <= concurrency+1e-6 && bw <= p.PeakBytesPerSec*share+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

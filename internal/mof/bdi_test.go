@@ -1,0 +1,143 @@
+package mof
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBDIRoundTripBasic(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{1, 2, 3},                      // tail only
+		make([]byte, 8),                // one zero word
+		bytes.Repeat([]byte{0xAA}, 64), // identical words
+	}
+	for i, src := range cases {
+		enc := BDICompress(src)
+		dec, err := BDIDecompress(enc)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !bytes.Equal(dec, src) && !(len(src) == 0 && len(dec) == 0) {
+			t.Fatalf("case %d: round trip %v -> %v", i, src, dec)
+		}
+	}
+}
+
+func TestBDICompressesClusteredValues(t *testing.T) {
+	// 64 node IDs near one base: should compress well below raw size.
+	src := make([]byte, 64*8)
+	for i := 0; i < 64; i++ {
+		binary.LittleEndian.PutUint64(src[i*8:], 1_000_000+uint64(i%100))
+	}
+	enc := BDICompress(src)
+	if len(enc) >= len(src)/3 {
+		t.Fatalf("clustered data compressed to %d of %d", len(enc), len(src))
+	}
+	dec, err := BDIDecompress(enc)
+	if err != nil || !bytes.Equal(dec, src) {
+		t.Fatalf("round trip failed: %v", err)
+	}
+}
+
+func TestBDIRandomDataDoesNotCorrupt(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([]byte, 48*8+5)
+	rng.Read(src)
+	dec, err := BDIDecompress(BDICompress(src))
+	if err != nil || !bytes.Equal(dec, src) {
+		t.Fatalf("random data round trip failed: %v", err)
+	}
+}
+
+func TestBDIMonotonicAddressesUseNarrowWidth(t *testing.T) {
+	// Line-local deltas of a strided address vector fit 2 bytes.
+	src := make([]byte, 64*8)
+	for i := 0; i < 64; i++ {
+		binary.LittleEndian.PutUint64(src[i*8:], 0x4000_0000+uint64(i)*640)
+	}
+	enc := BDICompress(src)
+	// 4 lines × (1 + 8 + 16×2) + 1 tail byte = 165.
+	if len(enc) != 165 {
+		t.Fatalf("encoded %d bytes, want 165", len(enc))
+	}
+}
+
+func TestBDIDecompressCorrupt(t *testing.T) {
+	cases := [][]byte{
+		{},          // empty
+		{5, 9},      // bad width
+		{0, 3, 0},   // truncated line header
+		{200, 1, 2}, // tail beyond body
+	}
+	for i, c := range cases {
+		if _, err := BDIDecompress(c); err == nil {
+			t.Errorf("case %d: corrupt input accepted", i)
+		}
+	}
+}
+
+func TestBDI32RoundTrip(t *testing.T) {
+	src := make([]byte, 64*4)
+	for i := 0; i < 64; i++ {
+		binary.LittleEndian.PutUint32(src[i*4:], uint32(int32(i*640-100)))
+	}
+	enc, err := BDICompress32(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) >= len(src) {
+		t.Fatalf("strided 32-bit lanes did not compress: %d vs %d", len(enc), len(src))
+	}
+	dec, err := BDIDecompress32(enc)
+	if err != nil || !bytes.Equal(dec, src) {
+		t.Fatalf("round trip failed: %v", err)
+	}
+}
+
+func TestBDI32Validation(t *testing.T) {
+	if _, err := BDICompress32(make([]byte, 7)); err == nil {
+		t.Fatal("non-multiple-of-4 input accepted")
+	}
+}
+
+func TestPropertyBDIRoundTrip(t *testing.T) {
+	f := func(src []byte) bool {
+		dec, err := BDIDecompress(BDICompress(src))
+		if err != nil {
+			return false
+		}
+		if len(src) == 0 {
+			return len(dec) == 0
+		}
+		return bytes.Equal(dec, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyBDINeverHugelyLarger(t *testing.T) {
+	// Worst case inflation is bounded: per 128B line ≤ 9 extra bytes.
+	f := func(src []byte) bool {
+		enc := BDICompress(src)
+		lines := len(src)/128 + 1
+		return len(enc) <= len(src)+lines*9+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	if CompressionRatio(100, 50) != 0.5 {
+		t.Fatal("ratio wrong")
+	}
+	if CompressionRatio(0, 10) != 1 {
+		t.Fatal("zero original should report 1")
+	}
+}

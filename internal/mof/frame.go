@@ -1,0 +1,310 @@
+package mof
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// ReadRequest asks a remote memory node for Length bytes at Addr.
+type ReadRequest struct {
+	Addr   uint64
+	Length uint32
+	// Tag carries the 128-bit request context of AxE Tech-3; echoing it in
+	// the response removes any need for requester-side context storage.
+	Tag [2]uint64
+}
+
+// ReadResponse returns the data for one request, with its tag echoed.
+type ReadResponse struct {
+	Tag  [2]uint64
+	Data []byte
+}
+
+// Frame kinds.
+const (
+	KindReadRequest  = 0x01
+	KindReadResponse = 0x02
+	KindAck          = 0x03
+)
+
+// Compression flag bits in the frame header.
+const (
+	FlagDataBDI = 1 << 0 // payload (data or delta vector) is BDI-compressed
+	FlagAddrBDI = 1 << 1 // request address-delta vector is BDI-compressed
+)
+
+// HeaderSize is the MoF frame header length in bytes. Layout:
+//
+//	kind(1) flags(1) seq(4) src(2) dst(2) count(2) reqLen(4) payloadLen(4)
+//	txn(8) crc(4) reserved(3)
+const HeaderSize = 35
+
+// MaxRequestsPerFrame is the packing factor of Tech-1: 64 read requests per
+// frame (16× GEN-Z's 4).
+const MaxRequestsPerFrame = 64
+
+// Header is the decoded MoF frame header.
+type Header struct {
+	Kind       byte
+	Flags      byte
+	Seq        uint32
+	Src, Dst   uint16
+	Count      uint16 // requests or responses carried
+	ReqLen     uint32 // uniform request length (request frames)
+	PayloadLen uint32
+	Txn        uint64
+	CRC        uint32
+}
+
+func (h Header) encode(dst []byte) {
+	dst[0] = h.Kind
+	dst[1] = h.Flags
+	binary.LittleEndian.PutUint32(dst[2:], h.Seq)
+	binary.LittleEndian.PutUint16(dst[6:], h.Src)
+	binary.LittleEndian.PutUint16(dst[8:], h.Dst)
+	binary.LittleEndian.PutUint16(dst[10:], h.Count)
+	binary.LittleEndian.PutUint32(dst[12:], h.ReqLen)
+	binary.LittleEndian.PutUint32(dst[16:], h.PayloadLen)
+	binary.LittleEndian.PutUint64(dst[20:], h.Txn)
+	binary.LittleEndian.PutUint32(dst[28:], h.CRC)
+	dst[32], dst[33], dst[34] = 0, 0, 0
+}
+
+func decodeHeader(src []byte) (Header, error) {
+	if len(src) < HeaderSize {
+		return Header{}, fmt.Errorf("mof: frame shorter than header: %d", len(src))
+	}
+	return Header{
+		Kind:       src[0],
+		Flags:      src[1],
+		Seq:        binary.LittleEndian.Uint32(src[2:]),
+		Src:        binary.LittleEndian.Uint16(src[6:]),
+		Dst:        binary.LittleEndian.Uint16(src[8:]),
+		Count:      binary.LittleEndian.Uint16(src[10:]),
+		ReqLen:     binary.LittleEndian.Uint32(src[12:]),
+		PayloadLen: binary.LittleEndian.Uint32(src[16:]),
+		Txn:        binary.LittleEndian.Uint64(src[20:]),
+		CRC:        binary.LittleEndian.Uint32(src[28:]),
+	}, nil
+}
+
+// Codec encodes and decodes MoF frames. CompressData / CompressAddr enable
+// the two Tech-2 optimizations.
+type Codec struct {
+	CompressData bool
+	CompressAddr bool
+}
+
+// frameOverheadBreakdown classifies the bytes of an encoded frame set.
+type Overhead struct {
+	Packages    int
+	HeaderBytes int
+	AddrBytes   int // base addresses + delta vectors (+tags)
+	DataBytes   int
+}
+
+// Total returns the total bytes on the wire.
+func (o Overhead) Total() int { return o.HeaderBytes + o.AddrBytes + o.DataBytes }
+
+// HeaderShare returns header bytes / total.
+func (o Overhead) HeaderShare() float64 { return share(o.HeaderBytes, o.Total()) }
+
+// AddrShare returns address bytes / total.
+func (o Overhead) AddrShare() float64 { return share(o.AddrBytes, o.Total()) }
+
+// DataShare returns data (utilization) bytes / total.
+func (o Overhead) DataShare() float64 { return share(o.DataBytes, o.Total()) }
+
+func share(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(n) / float64(total)
+}
+
+// EncodeReadRequests packs reqs into as few frames as possible (Tech-1):
+// each frame carries up to 64 requests, a shared 8-byte base address and
+// 4-byte per-request deltas (optionally BDI-compressed, Tech-2). All
+// requests in one frame must share a uniform length; callers group by
+// length (GNN sampling traffic is naturally uniform per access class).
+// Tags are not serialized per request: the responder reconstructs them from
+// (txn, index), which is how the hardware keeps request context off the
+// wire.
+func (c *Codec) EncodeReadRequests(src, dst uint16, txn uint64, reqs []ReadRequest) ([][]byte, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	reqLen := reqs[0].Length
+	for _, r := range reqs {
+		if r.Length != reqLen {
+			return nil, fmt.Errorf("mof: mixed request lengths %d and %d in one batch", reqLen, r.Length)
+		}
+	}
+	var frames [][]byte
+	for start := 0; start < len(reqs); start += MaxRequestsPerFrame {
+		end := start + MaxRequestsPerFrame
+		if end > len(reqs) {
+			end = len(reqs)
+		}
+		chunk := reqs[start:end]
+		base := chunk[0].Addr
+		deltas := make([]byte, 0, len(chunk)*4)
+		for _, r := range chunk {
+			d := int64(r.Addr - base)
+			if d < -(1<<31) || d >= 1<<31 {
+				return nil, fmt.Errorf("mof: address delta %d exceeds 32 bits (base %#x, addr %#x)", d, base, r.Addr)
+			}
+			deltas = binary.LittleEndian.AppendUint32(deltas, uint32(d))
+		}
+		flags := byte(0)
+		if c.CompressAddr {
+			comp, err := BDICompress32(deltas)
+			if err != nil {
+				return nil, err
+			}
+			if len(comp) < len(deltas) {
+				deltas = comp
+				flags |= FlagAddrBDI
+			}
+		}
+		payload := make([]byte, 0, 8+len(deltas))
+		payload = binary.LittleEndian.AppendUint64(payload, base)
+		payload = append(payload, deltas...)
+
+		frame := make([]byte, HeaderSize+len(payload))
+		h := Header{
+			Kind: KindReadRequest, Flags: flags, Src: src, Dst: dst,
+			Count: uint16(len(chunk)), ReqLen: reqLen,
+			PayloadLen: uint32(len(payload)), Txn: txn + uint64(start),
+		}
+		copy(frame[HeaderSize:], payload)
+		h.CRC = crc32.ChecksumIEEE(frame[HeaderSize:])
+		h.encode(frame)
+		frames = append(frames, frame)
+	}
+	return frames, nil
+}
+
+// DecodeReadRequests reverses EncodeReadRequests for one frame.
+func (c *Codec) DecodeReadRequests(frame []byte) (Header, []ReadRequest, error) {
+	h, err := decodeHeader(frame)
+	if err != nil {
+		return h, nil, err
+	}
+	if h.Kind != KindReadRequest {
+		return h, nil, fmt.Errorf("mof: frame kind %#x is not a read request", h.Kind)
+	}
+	payload := frame[HeaderSize:]
+	if uint32(len(payload)) != h.PayloadLen {
+		return h, nil, fmt.Errorf("mof: payload length %d, header says %d", len(payload), h.PayloadLen)
+	}
+	if crc := crc32.ChecksumIEEE(payload); crc != h.CRC {
+		return h, nil, fmt.Errorf("mof: CRC mismatch: %#x vs %#x", crc, h.CRC)
+	}
+	if len(payload) < 8 {
+		return h, nil, fmt.Errorf("mof: request payload too short: %d", len(payload))
+	}
+	base := binary.LittleEndian.Uint64(payload)
+	deltas := payload[8:]
+	if h.Flags&FlagAddrBDI != 0 {
+		deltas, err = BDIDecompress32(deltas)
+		if err != nil {
+			return h, nil, err
+		}
+	}
+	if len(deltas) != int(h.Count)*4 {
+		return h, nil, fmt.Errorf("mof: %d delta bytes for %d requests", len(deltas), h.Count)
+	}
+	reqs := make([]ReadRequest, h.Count)
+	for i := range reqs {
+		d := int64(int32(binary.LittleEndian.Uint32(deltas[i*4:])))
+		reqs[i] = ReadRequest{
+			Addr:   base + uint64(d),
+			Length: h.ReqLen,
+			Tag:    [2]uint64{h.Txn, uint64(i)},
+		}
+	}
+	return h, reqs, nil
+}
+
+// EncodeReadResponses packs fixed-size response data for one request frame.
+// Data blocks are concatenated (optionally BDI-compressed); tags are
+// implicit in (txn, index) exactly as on the request path.
+func (c *Codec) EncodeReadResponses(src, dst uint16, txn uint64, resps []ReadResponse) ([][]byte, error) {
+	if len(resps) == 0 {
+		return nil, nil
+	}
+	size := len(resps[0].Data)
+	for _, r := range resps {
+		if len(r.Data) != size {
+			return nil, fmt.Errorf("mof: mixed response sizes %d and %d", size, len(r.Data))
+		}
+	}
+	var frames [][]byte
+	for start := 0; start < len(resps); start += MaxRequestsPerFrame {
+		end := start + MaxRequestsPerFrame
+		if end > len(resps) {
+			end = len(resps)
+		}
+		chunk := resps[start:end]
+		payload := make([]byte, 0, len(chunk)*size)
+		for _, r := range chunk {
+			payload = append(payload, r.Data...)
+		}
+		flags := byte(0)
+		if c.CompressData {
+			if comp := BDICompress(payload); len(comp) < len(payload) {
+				payload = comp
+				flags |= FlagDataBDI
+			}
+		}
+		frame := make([]byte, HeaderSize+len(payload))
+		h := Header{
+			Kind: KindReadResponse, Flags: flags, Src: src, Dst: dst,
+			Count: uint16(len(chunk)), ReqLen: uint32(size),
+			PayloadLen: uint32(len(payload)), Txn: txn + uint64(start),
+		}
+		copy(frame[HeaderSize:], payload)
+		h.CRC = crc32.ChecksumIEEE(frame[HeaderSize:])
+		h.encode(frame)
+		frames = append(frames, frame)
+	}
+	return frames, nil
+}
+
+// DecodeReadResponses reverses EncodeReadResponses for one frame.
+func (c *Codec) DecodeReadResponses(frame []byte) (Header, []ReadResponse, error) {
+	h, err := decodeHeader(frame)
+	if err != nil {
+		return h, nil, err
+	}
+	if h.Kind != KindReadResponse {
+		return h, nil, fmt.Errorf("mof: frame kind %#x is not a read response", h.Kind)
+	}
+	payload := frame[HeaderSize:]
+	if uint32(len(payload)) != h.PayloadLen {
+		return h, nil, fmt.Errorf("mof: payload length %d, header says %d", len(payload), h.PayloadLen)
+	}
+	if crc := crc32.ChecksumIEEE(payload); crc != h.CRC {
+		return h, nil, fmt.Errorf("mof: CRC mismatch: %#x vs %#x", crc, h.CRC)
+	}
+	if h.Flags&FlagDataBDI != 0 {
+		payload, err = BDIDecompress(payload)
+		if err != nil {
+			return h, nil, err
+		}
+	}
+	size := int(h.ReqLen)
+	if size*int(h.Count) != len(payload) {
+		return h, nil, fmt.Errorf("mof: %d payload bytes for %d×%dB responses", len(payload), h.Count, size)
+	}
+	resps := make([]ReadResponse, h.Count)
+	for i := range resps {
+		resps[i] = ReadResponse{
+			Tag:  [2]uint64{h.Txn, uint64(i)},
+			Data: payload[i*size : (i+1)*size],
+		}
+	}
+	return h, resps, nil
+}

@@ -1,0 +1,273 @@
+package mof
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func makeReqs(n int, base uint64, stride uint64, length uint32) []ReadRequest {
+	reqs := make([]ReadRequest, n)
+	for i := range reqs {
+		reqs[i] = ReadRequest{Addr: base + uint64(i)*stride, Length: length}
+	}
+	return reqs
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	for _, comp := range []bool{false, true} {
+		c := &Codec{CompressAddr: comp}
+		reqs := makeReqs(100, 0x1000, 640, 64)
+		frames, err := c.EncodeReadRequests(1, 2, 500, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(frames) != 2 { // ceil(100/64)
+			t.Fatalf("frames = %d, want 2", len(frames))
+		}
+		var got []ReadRequest
+		for _, f := range frames {
+			h, decoded, err := c.DecodeReadRequests(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h.Src != 1 || h.Dst != 2 {
+				t.Fatalf("routing lost: %+v", h)
+			}
+			got = append(got, decoded...)
+		}
+		if len(got) != len(reqs) {
+			t.Fatalf("decoded %d requests, want %d", len(got), len(reqs))
+		}
+		for i := range reqs {
+			if got[i].Addr != reqs[i].Addr || got[i].Length != reqs[i].Length {
+				t.Fatalf("request %d: %+v vs %+v (compress=%v)", i, got[i], reqs[i], comp)
+			}
+		}
+	}
+}
+
+func TestRequestTagsReconstructable(t *testing.T) {
+	c := &Codec{}
+	frames, err := c.EncodeReadRequests(1, 2, 700, makeReqs(70, 0, 8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, first, _ := c.DecodeReadRequests(frames[0])
+	_, second, _ := c.DecodeReadRequests(frames[1])
+	if first[0].Tag != [2]uint64{700, 0} || first[63].Tag != [2]uint64{700, 63} {
+		t.Fatalf("first frame tags wrong: %v %v", first[0].Tag, first[63].Tag)
+	}
+	// Second frame's txn advances by the packing factor.
+	if second[0].Tag != [2]uint64{764, 0} {
+		t.Fatalf("second frame tag = %v", second[0].Tag)
+	}
+}
+
+func TestRequestMixedLengthsRejected(t *testing.T) {
+	c := &Codec{}
+	reqs := []ReadRequest{{Addr: 0, Length: 8}, {Addr: 8, Length: 16}}
+	if _, err := c.EncodeReadRequests(1, 2, 0, reqs); err == nil {
+		t.Fatal("mixed lengths accepted")
+	}
+}
+
+func TestRequestDeltaOverflowRejected(t *testing.T) {
+	c := &Codec{}
+	reqs := []ReadRequest{{Addr: 0, Length: 8}, {Addr: 1 << 40, Length: 8}}
+	if _, err := c.EncodeReadRequests(1, 2, 0, reqs); err == nil {
+		t.Fatal("40-bit delta accepted in 32-bit field")
+	}
+}
+
+func TestRequestEmptyBatch(t *testing.T) {
+	c := &Codec{}
+	frames, err := c.EncodeReadRequests(1, 2, 0, nil)
+	if err != nil || frames != nil {
+		t.Fatal("empty batch should produce no frames")
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	for _, comp := range []bool{false, true} {
+		c := &Codec{CompressData: comp}
+		resps := make([]ReadResponse, 80)
+		for i := range resps {
+			data := make([]byte, 16)
+			for j := range data {
+				data[j] = byte(i) // clustered: compressible
+			}
+			resps[i] = ReadResponse{Data: data}
+		}
+		frames, err := c.EncodeReadResponses(2, 1, 900, resps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []ReadResponse
+		for _, f := range frames {
+			h, decoded, err := c.DecodeReadResponses(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h.Kind != KindReadResponse {
+				t.Fatalf("kind = %d", h.Kind)
+			}
+			got = append(got, decoded...)
+		}
+		if len(got) != len(resps) {
+			t.Fatalf("decoded %d responses", len(got))
+		}
+		for i := range resps {
+			if !bytes.Equal(got[i].Data, resps[i].Data) {
+				t.Fatalf("response %d data mismatch (compress=%v)", i, comp)
+			}
+		}
+	}
+}
+
+func TestResponseMixedSizesRejected(t *testing.T) {
+	c := &Codec{}
+	resps := []ReadResponse{{Data: make([]byte, 8)}, {Data: make([]byte, 16)}}
+	if _, err := c.EncodeReadResponses(1, 2, 0, resps); err == nil {
+		t.Fatal("mixed sizes accepted")
+	}
+}
+
+func TestCRCDetectsCorruption(t *testing.T) {
+	c := &Codec{}
+	frames, _ := c.EncodeReadRequests(1, 2, 0, makeReqs(10, 0, 64, 8))
+	f := frames[0]
+	f[len(f)-1] ^= 0xFF
+	if _, _, err := c.DecodeReadRequests(f); err == nil {
+		t.Fatal("payload corruption not detected")
+	}
+	rframes, _ := c.EncodeReadResponses(1, 2, 0, []ReadResponse{{Data: make([]byte, 32)}})
+	rf := rframes[0]
+	rf[HeaderSize] ^= 1
+	if _, _, err := c.DecodeReadResponses(rf); err == nil {
+		t.Fatal("response corruption not detected")
+	}
+}
+
+func TestDecodeWrongKind(t *testing.T) {
+	c := &Codec{}
+	reqFrames, _ := c.EncodeReadRequests(1, 2, 0, makeReqs(1, 0, 0, 8))
+	if _, _, err := c.DecodeReadResponses(reqFrames[0]); err == nil {
+		t.Fatal("request frame decoded as response")
+	}
+	respFrames, _ := c.EncodeReadResponses(1, 2, 0, []ReadResponse{{Data: make([]byte, 8)}})
+	if _, _, err := c.DecodeReadRequests(respFrames[0]); err == nil {
+		t.Fatal("response frame decoded as request")
+	}
+}
+
+func TestDecodeRunt(t *testing.T) {
+	c := &Codec{}
+	if _, _, err := c.DecodeReadRequests(make([]byte, HeaderSize-1)); err == nil {
+		t.Fatal("runt frame accepted")
+	}
+}
+
+func TestPackingFactor(t *testing.T) {
+	c := &Codec{}
+	for _, n := range []int{1, 63, 64, 65, 128, 129} {
+		frames, err := c.EncodeReadRequests(1, 2, 0, makeReqs(n, 0, 8, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := (n + MaxRequestsPerFrame - 1) / MaxRequestsPerFrame
+		if len(frames) != want {
+			t.Fatalf("%d requests -> %d frames, want %d", n, len(frames), want)
+		}
+	}
+}
+
+func TestPropertyFrameRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint8, length uint8, compA, compD bool) bool {
+		n := int(nRaw)%150 + 1
+		l := uint32(length)%64 + 1
+		c := &Codec{CompressAddr: compA, CompressData: compD}
+		reqs := makeReqs(n, uint64(seed)&0xFFFF_FFFF, uint64(l), l)
+		frames, err := c.EncodeReadRequests(3, 4, uint64(seed)&0xFFFF, reqs)
+		if err != nil {
+			return false
+		}
+		var got []ReadRequest
+		for _, fr := range frames {
+			_, d, err := c.DecodeReadRequests(fr)
+			if err != nil {
+				return false
+			}
+			got = append(got, d...)
+		}
+		if len(got) != n {
+			return false
+		}
+		for i := range reqs {
+			if got[i].Addr != reqs[i].Addr || got[i].Length != reqs[i].Length {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenZOverheadMath(t *testing.T) {
+	o := GenZReadOverhead(128, 16)
+	if o.Packages != 64 {
+		t.Fatalf("packages = %d, want 64 (32 req + 32 resp)", o.Packages)
+	}
+	if o.HeaderBytes != 64*GenZHeaderBytes {
+		t.Fatalf("header bytes = %d", o.HeaderBytes)
+	}
+	if o.AddrBytes != 128*8 {
+		t.Fatalf("addr bytes = %d", o.AddrBytes)
+	}
+	if o.DataBytes != 128*16 {
+		t.Fatalf("data bytes = %d", o.DataBytes)
+	}
+	// 8-byte reads pad to the 16-byte granularity.
+	o8 := GenZReadOverhead(128, 8)
+	if o8.DataBytes != 128*16 {
+		t.Fatalf("8B reads should pad to 16B: %d", o8.DataBytes)
+	}
+	if z := GenZReadOverhead(0, 16); z.Total() != 0 {
+		t.Fatal("zero count should be empty")
+	}
+}
+
+func TestOverheadShares(t *testing.T) {
+	o := Overhead{Packages: 1, HeaderBytes: 10, AddrBytes: 30, DataBytes: 60}
+	if o.Total() != 100 || o.HeaderShare() != 0.10 || o.AddrShare() != 0.30 || o.DataShare() != 0.60 {
+		t.Fatalf("shares wrong: %+v", o)
+	}
+	var zero Overhead
+	if zero.HeaderShare() != 0 {
+		t.Fatal("zero overhead share should be 0")
+	}
+}
+
+func TestMoFBeatsGenZUtilization(t *testing.T) {
+	// The Table 5 headline: the proposed codec's data utilization beats
+	// GEN-Z's at both request sizes.
+	for _, size := range []int{16, 64} {
+		gz := GenZReadOverhead(128, size)
+		c := &Codec{}
+		ov, err := MoFReadOverhead(c, 128, size,
+			func(i int) uint64 { return uint64(i) * 4096 },
+			func(i int, dst []byte) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ov.DataShare() <= gz.DataShare() {
+			t.Fatalf("size %d: MoF utilization %.2f not above GEN-Z %.2f",
+				size, ov.DataShare(), gz.DataShare())
+		}
+		if ov.Packages >= gz.Packages {
+			t.Fatalf("size %d: MoF packages %d not below GEN-Z %d", size, ov.Packages, gz.Packages)
+		}
+	}
+}

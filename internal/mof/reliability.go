@@ -1,0 +1,167 @@
+package mof
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// The reliability layer gives MoF "data-link capability with high
+// reliability without much software overhead" (Section 4.3): a go-back-N
+// ARQ with CRC-protected frames over an unreliable datagram channel.
+
+// Channel is an unreliable unidirectional datagram pipe: it may drop or
+// corrupt frames but never reorders them (the DAC point-to-point fabric
+// preserves order).
+type Channel interface {
+	// Send transmits one frame; implementations may drop or corrupt it.
+	Send(frame []byte)
+}
+
+// ChannelFunc adapts a function to the Channel interface.
+type ChannelFunc func(frame []byte)
+
+// Send implements Channel.
+func (f ChannelFunc) Send(frame []byte) { f(frame) }
+
+const dllHeaderSize = 12 // seq(4) ackNo(4) crc(4)
+
+// ReliableSender implements the transmit side of go-back-N over a Channel.
+// Not safe for concurrent use; the fabric model drives it from one
+// goroutine (or the event loop).
+type ReliableSender struct {
+	ch       Channel
+	window   int
+	nextSeq  uint32
+	ackedSeq uint32 // all frames < ackedSeq are acknowledged
+	inFlight [][]byte
+
+	retransmits int64
+	sent        int64
+}
+
+// NewReliableSender creates a sender with the given window (frames in
+// flight before blocking).
+func NewReliableSender(ch Channel, window int) *ReliableSender {
+	if window < 1 {
+		panic("mof: window must be ≥ 1")
+	}
+	return &ReliableSender{ch: ch, window: window}
+}
+
+// wrapDLL prepends seq and CRC to payload.
+func wrapDLL(seq uint32, payload []byte) []byte {
+	frame := make([]byte, dllHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:], seq)
+	copy(frame[dllHeaderSize:], payload)
+	crc := crc32.ChecksumIEEE(frame[dllHeaderSize:])
+	binary.LittleEndian.PutUint32(frame[8:], crc)
+	return frame
+}
+
+// CanSend reports whether the window has room.
+func (s *ReliableSender) CanSend() bool {
+	return int(s.nextSeq-s.ackedSeq) < s.window
+}
+
+// Send queues and transmits one payload. It returns false when the window
+// is full (caller retries after OnAck).
+func (s *ReliableSender) Send(payload []byte) bool {
+	if !s.CanSend() {
+		return false
+	}
+	frame := wrapDLL(s.nextSeq, payload)
+	s.inFlight = append(s.inFlight, frame)
+	s.nextSeq++
+	s.sent++
+	s.ch.Send(frame)
+	return true
+}
+
+// OnAck processes a cumulative acknowledgement for all frames < ackSeq.
+func (s *ReliableSender) OnAck(ackSeq uint32) {
+	for s.ackedSeq < ackSeq && len(s.inFlight) > 0 {
+		s.inFlight = s.inFlight[1:]
+		s.ackedSeq++
+	}
+}
+
+// Timeout retransmits every unacknowledged frame (go-back-N recovery).
+func (s *ReliableSender) Timeout() {
+	for _, f := range s.inFlight {
+		s.retransmits++
+		s.ch.Send(f)
+	}
+}
+
+// Outstanding returns unacknowledged frame count.
+func (s *ReliableSender) Outstanding() int { return len(s.inFlight) }
+
+// Retransmits returns the number of frames retransmitted.
+func (s *ReliableSender) Retransmits() int64 { return s.retransmits }
+
+// ReliableReceiver implements the receive side: CRC check, in-order
+// delivery, cumulative acks.
+type ReliableReceiver struct {
+	expect  uint32
+	deliver func(payload []byte)
+	ackCh   Channel
+
+	delivered int64
+	dropped   int64
+}
+
+// NewReliableReceiver creates a receiver delivering in-order payloads to
+// deliver and sending cumulative acks on ackCh.
+func NewReliableReceiver(deliver func([]byte), ackCh Channel) *ReliableReceiver {
+	return &ReliableReceiver{deliver: deliver, ackCh: ackCh}
+}
+
+// OnFrame processes one received frame (possibly corrupted or out of
+// sequence) and emits an ack for the highest in-order frame.
+func (r *ReliableReceiver) OnFrame(frame []byte) error {
+	if len(frame) < dllHeaderSize {
+		r.dropped++
+		return fmt.Errorf("mof: runt frame %d bytes", len(frame))
+	}
+	seq := binary.LittleEndian.Uint32(frame[0:])
+	crc := binary.LittleEndian.Uint32(frame[8:])
+	if crc32.ChecksumIEEE(frame[dllHeaderSize:]) != crc {
+		r.dropped++
+		r.sendAck()
+		return fmt.Errorf("mof: CRC failure on frame %d", seq)
+	}
+	if seq != r.expect {
+		// Go-back-N: discard out-of-order, re-ack.
+		r.dropped++
+		r.sendAck()
+		return nil
+	}
+	r.expect++
+	r.delivered++
+	r.deliver(frame[dllHeaderSize:])
+	r.sendAck()
+	return nil
+}
+
+func (r *ReliableReceiver) sendAck() {
+	ack := make([]byte, 8)
+	binary.LittleEndian.PutUint32(ack[0:], 0xFFFFFFFF) // ack marker
+	binary.LittleEndian.PutUint32(ack[4:], r.expect)
+	r.ackCh.Send(ack)
+}
+
+// DecodeAck extracts the cumulative ack sequence from an ack datagram;
+// ok is false when the datagram is not an ack.
+func DecodeAck(frame []byte) (seq uint32, ok bool) {
+	if len(frame) != 8 || binary.LittleEndian.Uint32(frame[0:]) != 0xFFFFFFFF {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint32(frame[4:]), true
+}
+
+// Delivered returns the count of in-order deliveries.
+func (r *ReliableReceiver) Delivered() int64 { return r.delivered }
+
+// Dropped returns the count of discarded frames (corrupt or out-of-order).
+func (r *ReliableReceiver) Dropped() int64 { return r.dropped }

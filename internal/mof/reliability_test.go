@@ -1,0 +1,169 @@
+package mof
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// lossyChannel drops and corrupts frames pseudo-randomly, preserving order.
+type lossyChannel struct {
+	rng       *rand.Rand
+	dropRate  float64
+	flipRate  float64
+	deliver   func([]byte)
+	dropped   int
+	corrupted int
+}
+
+func (c *lossyChannel) Send(frame []byte) {
+	if c.rng.Float64() < c.dropRate {
+		c.dropped++
+		return
+	}
+	out := make([]byte, len(frame))
+	copy(out, frame)
+	if c.rng.Float64() < c.flipRate {
+		out[c.rng.Intn(len(out))] ^= 0x40
+		c.corrupted++
+	}
+	c.deliver(out)
+}
+
+func TestReliableDeliveryPerfectChannel(t *testing.T) {
+	var received [][]byte
+	var recv *ReliableReceiver
+	var sender *ReliableSender
+	down := ChannelFunc(func(f []byte) { _ = recv.OnFrame(f) })
+	up := ChannelFunc(func(f []byte) {
+		if seq, ok := DecodeAck(f); ok {
+			sender.OnAck(seq)
+		}
+	})
+	recv = NewReliableReceiver(func(p []byte) {
+		cp := make([]byte, len(p))
+		copy(cp, p)
+		received = append(received, cp)
+	}, up)
+	sender = NewReliableSender(down, 8)
+
+	var sent [][]byte
+	for i := 0; i < 20; i++ {
+		p := []byte{byte(i), byte(i * 3)}
+		sent = append(sent, p)
+		if !sender.Send(p) {
+			t.Fatalf("window full at %d with synchronous acks", i)
+		}
+	}
+	if len(received) != 20 {
+		t.Fatalf("received %d of 20", len(received))
+	}
+	for i := range sent {
+		if !bytes.Equal(received[i], sent[i]) {
+			t.Fatalf("payload %d corrupted", i)
+		}
+	}
+	if sender.Outstanding() != 0 || sender.Retransmits() != 0 {
+		t.Fatalf("outstanding=%d retransmits=%d", sender.Outstanding(), sender.Retransmits())
+	}
+}
+
+func TestReliableWindowBlocks(t *testing.T) {
+	// Acks never arrive: window must fill and Send must refuse.
+	sender := NewReliableSender(ChannelFunc(func([]byte) {}), 4)
+	for i := 0; i < 4; i++ {
+		if !sender.Send([]byte{byte(i)}) {
+			t.Fatalf("send %d refused below window", i)
+		}
+	}
+	if sender.Send([]byte{9}) {
+		t.Fatal("send accepted beyond window")
+	}
+	if sender.CanSend() {
+		t.Fatal("CanSend disagrees with Send")
+	}
+	sender.OnAck(2)
+	if !sender.Send([]byte{10}) {
+		t.Fatal("send refused after ack opened the window")
+	}
+}
+
+func TestReliableRecoversFromLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var received [][]byte
+	var recv *ReliableReceiver
+	var sender *ReliableSender
+	down := &lossyChannel{rng: rng, dropRate: 0.3, flipRate: 0.2}
+	up := ChannelFunc(func(f []byte) {
+		if seq, ok := DecodeAck(f); ok {
+			sender.OnAck(seq) // acks are reliable in this test
+		}
+	})
+	recv = NewReliableReceiver(func(p []byte) {
+		cp := make([]byte, len(p))
+		copy(cp, p)
+		received = append(received, cp)
+	}, up)
+	down.deliver = func(f []byte) { _ = recv.OnFrame(f) }
+	sender = NewReliableSender(down, 4)
+
+	var sent [][]byte
+	for i := 0; i < 50; i++ {
+		p := []byte{byte(i), 0xCC}
+		sent = append(sent, p)
+		for !sender.Send(p) {
+			sender.Timeout() // go-back-N retransmission
+		}
+	}
+	for tries := 0; sender.Outstanding() > 0 && tries < 1000; tries++ {
+		sender.Timeout()
+	}
+	if sender.Outstanding() != 0 {
+		t.Fatal("never drained")
+	}
+	if len(received) != 50 {
+		t.Fatalf("delivered %d of 50", len(received))
+	}
+	for i := range sent {
+		if !bytes.Equal(received[i], sent[i]) {
+			t.Fatalf("payload %d wrong or out of order", i)
+		}
+	}
+	if sender.Retransmits() == 0 || down.dropped == 0 {
+		t.Fatal("test did not exercise loss")
+	}
+	if recv.Delivered() != 50 || recv.Dropped() == 0 {
+		t.Fatalf("receiver stats: delivered=%d dropped=%d", recv.Delivered(), recv.Dropped())
+	}
+}
+
+func TestReceiverRejectsCorruptAndRunt(t *testing.T) {
+	recv := NewReliableReceiver(func([]byte) { t.Fatal("corrupt frame delivered") },
+		ChannelFunc(func([]byte) {}))
+	if err := recv.OnFrame([]byte{1, 2}); err == nil {
+		t.Fatal("runt accepted")
+	}
+	frame := wrapDLL(0, []byte{1, 2, 3})
+	frame[len(frame)-1] ^= 0xFF
+	if err := recv.OnFrame(frame); err == nil {
+		t.Fatal("corrupt frame accepted")
+	}
+}
+
+func TestDecodeAck(t *testing.T) {
+	if _, ok := DecodeAck([]byte{1, 2, 3}); ok {
+		t.Fatal("short buffer decoded as ack")
+	}
+	if _, ok := DecodeAck(wrapDLL(0, []byte{1})); ok {
+		t.Fatal("data frame decoded as ack")
+	}
+}
+
+func TestSenderWindowValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero window did not panic")
+		}
+	}()
+	NewReliableSender(ChannelFunc(func([]byte) {}), 0)
+}

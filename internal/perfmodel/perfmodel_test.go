@@ -1,0 +1,242 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"lsdgnn/internal/workload"
+)
+
+func lsDataset(t *testing.T) workload.Dataset {
+	t.Helper()
+	ds, err := workload.DatasetByName("ls")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestDeriveMath(t *testing.T) {
+	ds := lsDataset(t)
+	spec := workload.DefaultSampling()
+	w := Derive(ds, spec, 4)
+	if w.FrontierPerRoot != 11 { // 1 root + 10 hop-1
+		t.Fatalf("frontier = %v", w.FrontierPerRoot)
+	}
+	if w.SampledPerRoot != 110 || w.AttrFetchesPerRoot != 121 {
+		t.Fatalf("sampled=%v fetches=%v", w.SampledPerRoot, w.AttrFetchesPerRoot)
+	}
+	if w.LocalShare != 0.25 {
+		t.Fatalf("local share = %v", w.LocalShare)
+	}
+	if w.AttrBytes != ds.AttrLen*4 || w.AttrFetchBytes != w.AttrBytes {
+		t.Fatalf("attr bytes %d/%d", w.AttrBytes, w.AttrFetchBytes)
+	}
+	deg := ds.AvgDegree()
+	wantStruct := 11 * (16 + deg*8)
+	if math.Abs(w.StructBytesPerRoot-wantStruct) > 1e-6 {
+		t.Fatalf("struct bytes = %v, want %v", w.StructBytesPerRoot, wantStruct)
+	}
+	if got := w.BytesPerRoot(); math.Abs(got-(wantStruct+121*float64(ds.AttrLen*4))) > 1e-6 {
+		t.Fatalf("bytes/root = %v", got)
+	}
+}
+
+func TestDeriveWithLinesRoundsUp(t *testing.T) {
+	ds := lsDataset(t)
+	spec := workload.DefaultSampling()
+	raw := Derive(ds, spec, 4)
+	lined := DeriveWithLines(ds, spec, 4, 64)
+	if lined.AttrFetchBytes%64 != 0 || lined.AttrFetchBytes < raw.AttrBytes {
+		t.Fatalf("attr fetch bytes %d not line-rounded", lined.AttrFetchBytes)
+	}
+	if lined.AttrBytes != raw.AttrBytes {
+		t.Fatal("raw output payload must stay unrounded")
+	}
+	if lined.BytesPerRoot() <= raw.BytesPerRoot() {
+		t.Fatal("line rounding should increase traffic")
+	}
+	if lined.OutputBytesPerRoot() != raw.OutputBytesPerRoot() {
+		t.Fatal("output bytes must not be affected by fetch rounding")
+	}
+}
+
+func TestDeriveValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("0 partitions did not panic")
+		}
+	}()
+	Derive(lsDataset(t), workload.DefaultSampling(), 0)
+}
+
+func testMachine() Machine {
+	return Machine{
+		Name: "test", Cores: 2, Window: 64, ClockHz: 250e6, IssueCyclesPerNode: 4,
+		LocalBW: 51.2e9, LocalLat: 110e-9,
+		RemoteBW: 100e9, RemoteLat: 750e-9, RemoteReqOverhead: 4,
+		OutputBW: 16e9, OutputLat: 950e-9,
+	}
+}
+
+func TestPredictPicksMinimumBound(t *testing.T) {
+	w := Derive(lsDataset(t), workload.DefaultSampling(), 4)
+	p := Predict(testMachine(), w)
+	if p.RootsPerSecond <= 0 {
+		t.Fatal("no throughput")
+	}
+	min := math.Inf(1)
+	for _, b := range p.Bounds {
+		if b < min {
+			min = b
+		}
+	}
+	if p.RootsPerSecond != min {
+		t.Fatalf("prediction %v is not the min bound %v", p.RootsPerSecond, min)
+	}
+	if _, ok := p.Bounds[p.Bottleneck]; !ok {
+		t.Fatalf("bottleneck %q not among bounds", p.Bottleneck)
+	}
+}
+
+func TestPredictOutputBound(t *testing.T) {
+	// With huge memory bandwidth, PCIe output must bind: rate =
+	// OutputBW/outputBytes.
+	w := Derive(lsDataset(t), workload.DefaultSampling(), 4)
+	m := testMachine()
+	m.LocalBW, m.RemoteBW = 1e15, 1e15
+	p := Predict(m, w)
+	if p.Bottleneck != "output-bw" {
+		t.Fatalf("bottleneck = %s", p.Bottleneck)
+	}
+	want := m.OutputBW / w.OutputBytesPerRoot()
+	if math.Abs(p.RootsPerSecond-want)/want > 1e-9 {
+		t.Fatalf("rate %v, want %v", p.RootsPerSecond, want)
+	}
+}
+
+func TestPredictSharedLinksSlowerThanDedicated(t *testing.T) {
+	w := Derive(lsDataset(t), workload.DefaultSampling(), 4)
+	dedicated := testMachine()
+	shared := dedicated
+	shared.OutputSharesLocal = true
+	shared.RemoteSharesLocal = true
+	if Predict(shared, w).RootsPerSecond > Predict(dedicated, w).RootsPerSecond {
+		t.Fatal("sharing links should never speed things up")
+	}
+	// When the shared link is scarce, sharing must strictly bind.
+	dedicated.LocalBW, shared.LocalBW = 16e9, 16e9
+	if Predict(shared, w).RootsPerSecond >= Predict(dedicated, w).RootsPerSecond {
+		t.Fatal("sharing a scarce link should strictly slow throughput")
+	}
+}
+
+func TestPredictOutstandingBound(t *testing.T) {
+	// One core, tiny window, long remote latency: the Eq. 3 ceiling binds.
+	w := Derive(lsDataset(t), workload.DefaultSampling(), 16)
+	m := testMachine()
+	m.Cores, m.Window = 1, 1
+	m.RemoteLat = 100e-6
+	p := Predict(m, w)
+	if p.Bottleneck != "remote-outstanding" {
+		t.Fatalf("bottleneck = %s", p.Bottleneck)
+	}
+	// Closed form: slots / (reqs × latency).
+	reqs := w.RequestsPerRoot() * (1 - w.LocalShare)
+	want := 1 / (reqs * m.RemoteLat)
+	if math.Abs(p.RootsPerSecond-want)/want > 1e-9 {
+		t.Fatalf("rate %v, want %v", p.RootsPerSecond, want)
+	}
+}
+
+func TestPredictLocalOnly(t *testing.T) {
+	// Single partition: no remote bound should appear.
+	w := Derive(lsDataset(t), workload.DefaultSampling(), 1)
+	p := Predict(testMachine(), w)
+	if _, ok := p.Bounds["remote-bw"]; ok {
+		t.Fatal("remote bound present with no remote traffic")
+	}
+}
+
+func TestPredictMoreCoresNeverSlower(t *testing.T) {
+	w := Derive(lsDataset(t), workload.DefaultSampling(), 8)
+	m := testMachine()
+	m.Window = 4
+	prev := 0.0
+	for cores := 1; cores <= 8; cores *= 2 {
+		m.Cores = cores
+		p := Predict(m, w)
+		if p.RootsPerSecond < prev {
+			t.Fatalf("throughput dropped at %d cores", cores)
+		}
+		prev = p.RootsPerSecond
+	}
+}
+
+func TestCoresNeeded(t *testing.T) {
+	w := Derive(lsDataset(t), workload.DefaultSampling(), 8)
+	m := testMachine()
+	m.RemoteLat = 3.1e-6
+	m.RemoteBW = 16e9
+	n := CoresNeeded(m, w)
+	if n < 1 || n > 16 {
+		t.Fatalf("cores = %d", n)
+	}
+	// With the returned core count, outstanding slots must not bind.
+	m.Cores = n
+	p := Predict(m, w)
+	if p.Bottleneck == "remote-outstanding" || p.Bottleneck == "local-outstanding" {
+		t.Fatalf("sizing left bottleneck %s", p.Bottleneck)
+	}
+	// Fewer cores than the sizing says must be outstanding-bound (when
+	// the sizing needed more than one core).
+	if n > 1 {
+		m.Cores = n - 1
+		p = Predict(m, w)
+		if p.Bottleneck != "remote-outstanding" && p.Bottleneck != "local-outstanding" && p.Bottleneck != "frontend" {
+			t.Fatalf("n-1 cores unexpectedly unbound: %s", p.Bottleneck)
+		}
+	}
+}
+
+func TestOutstandingDemandFormula(t *testing.T) {
+	w := Derive(lsDataset(t), workload.DefaultSampling(), 4)
+	m := testMachine()
+	o := OutstandingDemand(m, w, 1000)
+	want := 1000 * w.RequestsPerRoot() * 0.75 * m.RemoteLat
+	if math.Abs(o-want) > 1e-9 {
+		t.Fatalf("O = %v, want %v", o, want)
+	}
+}
+
+func TestCPUModelProperties(t *testing.T) {
+	cpu := DefaultCPUModel()
+	spec := workload.DefaultSampling()
+	for _, ds := range workload.Datasets() {
+		w := Derive(ds, spec, 4)
+		r := cpu.RootsPerSecondPerVCPU(w)
+		if r <= 0 || r > 1e5 {
+			t.Fatalf("%s: vCPU rate %v implausible", ds.Name, r)
+		}
+	}
+	// More remote work → slower.
+	dsL := lsDataset(t)
+	local := cpu.RootsPerSecondPerVCPU(Derive(dsL, spec, 1))
+	remote := cpu.RootsPerSecondPerVCPU(Derive(dsL, spec, 16))
+	if remote >= local {
+		t.Fatal("remote share should slow the CPU path")
+	}
+	// Longer attributes → slower.
+	dsSS, _ := workload.DatasetByName("ss") // attr 72
+	dsLL, _ := workload.DatasetByName("ll") // attr 152
+	if cpu.RootsPerSecondPerVCPU(Derive(dsLL, spec, 4)) >= cpu.RootsPerSecondPerVCPU(Derive(dsSS, spec, 4)) {
+		t.Fatal("attribute size should slow the CPU path")
+	}
+}
+
+func TestPredictionString(t *testing.T) {
+	p := Prediction{RootsPerSecond: 1234, Bottleneck: "output-bw"}
+	if p.String() != "1234 roots/s (output-bw-bound)" {
+		t.Fatalf("String() = %q", p.String())
+	}
+}

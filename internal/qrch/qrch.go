@@ -1,0 +1,182 @@
+// Package qrch implements the queue-based RISC-V coprocessor communication
+// hub of Section 4.4: custom-instruction-fed command/response queues sitting
+// between the RISC-V controller and accelerator modules (AxE, MoF, GEMM).
+// It also provides the two alternative couplings the paper compares in
+// Table 7 — loosely-coupled MMIO and tightly-coupled ISA extension — and a
+// measurement harness reproducing that table.
+package qrch
+
+import (
+	"fmt"
+
+	"lsdgnn/internal/riscv"
+)
+
+// NumQueues is the number of command/response queue pairs.
+const NumQueues = 8
+
+// Endpoint is an accelerator attached to one command queue.
+type Endpoint struct {
+	// WordsPerCommand is the command record size in 32-bit words; the hub
+	// hands off to Handle once a full record has accumulated.
+	WordsPerCommand int
+	// Handle executes the command and returns response words (may be nil).
+	Handle func(cmd []uint32) []uint32
+	// ResponseLatency is the accelerator's cycles from handoff to response
+	// availability.
+	ResponseLatency int
+}
+
+type respWord struct {
+	val   uint32
+	ready uint64 // cycle at which the word becomes readable
+}
+
+// Hub is the QRCH fabric.
+type Hub struct {
+	// HandoffCycles is the queue-to-accelerator interaction latency: the
+	// ~10 cycles of Table 7 (queue write + accelerator-side queue read).
+	HandoffCycles int
+	// Direct, when set, services AXOP (tightly-coupled ISA-extension ops,
+	// ~1 cycle) for the Table 7 comparison.
+	Direct func(rs1, rs2 uint32) uint32
+
+	cmdBuf  [NumQueues][]uint32
+	respQ   [NumQueues][]respWord
+	eps     [NumQueues]*Endpoint
+	pushes  uint64
+	handled uint64
+	// LastHandoffCycle records the CPU cycle at which the most recent
+	// command reached its accelerator — the measurement point for Table 7.
+	LastHandoffCycle uint64
+}
+
+// NewHub creates a hub with the paper's ~10-cycle handoff.
+func NewHub() *Hub { return &Hub{HandoffCycles: 10} }
+
+// Attach registers an endpoint on queue q.
+func (h *Hub) Attach(q int, ep *Endpoint) error {
+	if q < 0 || q >= NumQueues {
+		return fmt.Errorf("qrch: queue %d out of range", q)
+	}
+	if ep.WordsPerCommand < 1 {
+		return fmt.Errorf("qrch: endpoint needs ≥1 word per command")
+	}
+	h.eps[q] = ep
+	return nil
+}
+
+// Handled returns the number of commands dispatched to endpoints.
+func (h *Hub) Handled() uint64 { return h.handled }
+
+// push adds words to queue q's command buffer and dispatches full records.
+func (h *Hub) push(cpu *riscv.CPU, q int, words ...uint32) error {
+	if q < 0 || q >= NumQueues {
+		return fmt.Errorf("qrch: queue %d out of range", q)
+	}
+	h.pushes++
+	h.cmdBuf[q] = append(h.cmdBuf[q], words...)
+	ep := h.eps[q]
+	if ep == nil {
+		return nil
+	}
+	for len(h.cmdBuf[q]) >= ep.WordsPerCommand {
+		cmd := h.cmdBuf[q][:ep.WordsPerCommand]
+		h.cmdBuf[q] = h.cmdBuf[q][ep.WordsPerCommand:]
+		handoff := cpu.Cycles + uint64(h.HandoffCycles)
+		h.LastHandoffCycle = handoff
+		h.handled++
+		resp := ep.Handle(cmd)
+		ready := handoff + uint64(ep.ResponseLatency)
+		for _, w := range resp {
+			h.respQ[q] = append(h.respQ[q], respWord{val: w, ready: ready})
+		}
+	}
+	return nil
+}
+
+// CustomFn returns the riscv custom-0 handler wiring this hub to a CPU.
+func (h *Hub) CustomFn() riscv.CustomFn {
+	return func(cpu *riscv.CPU, funct3, funct7, rs1Val, rs2Val uint32) (uint32, int, error) {
+		q := int(funct7)
+		switch funct3 {
+		case riscv.CustomQPush:
+			if err := h.push(cpu, q, rs1Val, rs2Val); err != nil {
+				return 0, 0, err
+			}
+			return 0, 1, nil
+		case riscv.CustomQPop:
+			if q < 0 || q >= NumQueues {
+				return 0, 0, fmt.Errorf("qrch: queue %d out of range", q)
+			}
+			if len(h.respQ[q]) == 0 {
+				return 0, 0, fmt.Errorf("qrch: pop from empty response queue %d", q)
+			}
+			w := h.respQ[q][0]
+			h.respQ[q] = h.respQ[q][1:]
+			cycles := 1
+			if w.ready > cpu.Cycles {
+				// The pop stalls until the accelerator produces the word.
+				cycles = int(w.ready-cpu.Cycles) + 1
+			}
+			return w.val, cycles, nil
+		case riscv.CustomQStat:
+			if q < 0 || q >= NumQueues {
+				return 0, 0, fmt.Errorf("qrch: queue %d out of range", q)
+			}
+			n := 0
+			for _, w := range h.respQ[q] {
+				if w.ready <= cpu.Cycles {
+					n++
+				}
+			}
+			return uint32(n), 1, nil
+		case riscv.CustomAxOp:
+			if h.Direct == nil {
+				return 0, 0, fmt.Errorf("qrch: no tightly-coupled op attached")
+			}
+			h.LastHandoffCycle = cpu.Cycles + 1
+			h.handled++
+			return h.Direct(rs1Val, rs2Val), 1, nil
+		default:
+			return 0, 0, fmt.Errorf("qrch: unknown custom funct3 %d", funct3)
+		}
+	}
+}
+
+// MMIODevice exposes the hub through memory-mapped registers for the
+// loosely-coupled comparison. Register map (per 16-byte stride, queue q at
+// stride q): +0 write command word, +4 read response word, +8 read status.
+type MMIODevice struct {
+	Hub *Hub
+	CPU *riscv.CPU
+}
+
+// Read implements riscv.Device.
+func (d *MMIODevice) Read(off uint32, size int) (uint32, int, error) {
+	q := int(off / 16)
+	switch off % 16 {
+	case 4:
+		if q < 0 || q >= NumQueues || len(d.Hub.respQ[q]) == 0 {
+			return 0, 0, nil
+		}
+		w := d.Hub.respQ[q][0]
+		d.Hub.respQ[q] = d.Hub.respQ[q][1:]
+		return w.val, 0, nil
+	case 8:
+		if q < 0 || q >= NumQueues {
+			return 0, 0, nil
+		}
+		return uint32(len(d.Hub.respQ[q])), 0, nil
+	default:
+		return 0, 0, fmt.Errorf("qrch: mmio read at %#x", off)
+	}
+}
+
+// Write implements riscv.Device.
+func (d *MMIODevice) Write(off uint32, size int, val uint32) (int, error) {
+	if off%16 != 0 {
+		return 0, fmt.Errorf("qrch: mmio write at %#x", off)
+	}
+	return 0, d.Hub.push(d.CPU, int(off/16), val)
+}

@@ -1,0 +1,286 @@
+package qrch
+
+import (
+	"testing"
+
+	"lsdgnn/internal/riscv"
+)
+
+func controller(t *testing.T, hub *Hub, src string) *riscv.CPU {
+	t.Helper()
+	bus := &riscv.SystemBus{}
+	ram := riscv.NewRAM(64 << 10)
+	if err := bus.Map(0, 64<<10, ram); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := riscv.Assemble(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(ram.Data, prog.Bytes())
+	cpu := riscv.NewCPU(bus)
+	cpu.Custom = hub.CustomFn()
+	return cpu
+}
+
+func TestHubCommandAssemblyAndResponse(t *testing.T) {
+	hub := NewHub()
+	var got []uint32
+	if err := hub.Attach(0, &Endpoint{
+		WordsPerCommand: 4,
+		ResponseLatency: 0,
+		Handle: func(cmd []uint32) []uint32 {
+			got = append([]uint32(nil), cmd...)
+			return []uint32{cmd[0] + cmd[1]}
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cpu := controller(t, hub, `
+		li a0, 10
+		li a1, 20
+		li a2, 30
+		li a3, 40
+		qpush 0, a0, a1
+		qpush 0, a2, a3
+		qpop  a4, 0
+		ebreak
+	`)
+	if err := cpu.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || got[0] != 10 || got[3] != 40 {
+		t.Fatalf("command words = %v", got)
+	}
+	if cpu.X[14] != 30 { // a4
+		t.Fatalf("response = %d, want 30", cpu.X[14])
+	}
+	if hub.Handled() != 1 {
+		t.Fatalf("handled = %d", hub.Handled())
+	}
+}
+
+func TestHubResponseLatencyStallsPop(t *testing.T) {
+	hub := NewHub()
+	if err := hub.Attach(1, &Endpoint{
+		WordsPerCommand: 2,
+		ResponseLatency: 500,
+		Handle:          func(cmd []uint32) []uint32 { return []uint32{7} },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cpu := controller(t, hub, `
+		qpush 1, a0, a1
+		qpop  a2, 1
+		ebreak
+	`)
+	if err := cpu.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if cpu.X[12] != 7 {
+		t.Fatalf("response = %d", cpu.X[12])
+	}
+	if cpu.Cycles < 500 {
+		t.Fatalf("pop did not stall: %d cycles", cpu.Cycles)
+	}
+}
+
+func TestHubQStat(t *testing.T) {
+	hub := NewHub()
+	if err := hub.Attach(0, &Endpoint{
+		WordsPerCommand: 2,
+		Handle:          func(cmd []uint32) []uint32 { return []uint32{1, 2, 3} },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cpu := controller(t, hub, `
+		qstat a0, 0
+		qpush 0, t0, t1
+		qstat a1, 0      # too soon: handoff takes ~10 cycles
+		nop
+		nop
+		nop
+		nop
+		nop
+		nop
+		nop
+		nop
+		nop
+		nop
+		qstat a2, 0      # now the 3 response words are visible
+		ebreak
+	`)
+	if err := cpu.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if cpu.X[10] != 0 {
+		t.Fatalf("empty qstat = %d", cpu.X[10])
+	}
+	if cpu.X[11] != 0 {
+		t.Fatalf("qstat immediately after push = %d, want 0 (not ready yet)", cpu.X[11])
+	}
+	if cpu.X[12] != 3 {
+		t.Fatalf("qstat after settling = %d, want 3", cpu.X[12])
+	}
+}
+
+func TestHubPopEmptyTraps(t *testing.T) {
+	hub := NewHub()
+	cpu := controller(t, hub, `qpop a0, 0`)
+	if err := cpu.Step(); err == nil {
+		t.Fatal("pop from empty queue did not trap")
+	}
+}
+
+func TestHubBadQueueErrors(t *testing.T) {
+	hub := NewHub()
+	cpu := controller(t, hub, `qpush 99, a0, a1`)
+	if err := cpu.Step(); err == nil {
+		t.Fatal("out-of-range queue accepted")
+	}
+	if err := hub.Attach(99, &Endpoint{WordsPerCommand: 1}); err == nil {
+		t.Fatal("attach to bad queue accepted")
+	}
+	if err := hub.Attach(0, &Endpoint{WordsPerCommand: 0}); err == nil {
+		t.Fatal("zero-word endpoint accepted")
+	}
+}
+
+func TestHubDirectOp(t *testing.T) {
+	hub := NewHub()
+	hub.Direct = func(rs1, rs2 uint32) uint32 { return rs1 ^ rs2 }
+	cpu := controller(t, hub, `
+		li a0, 0xF0
+		li a1, 0x0F
+		axop a0, a1
+		ebreak
+	`)
+	if err := cpu.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if hub.Handled() != 1 {
+		t.Fatal("direct op not counted")
+	}
+}
+
+func TestHubDirectWithoutHandlerTraps(t *testing.T) {
+	hub := NewHub()
+	cpu := controller(t, hub, `axop a0, a1`)
+	if err := cpu.Step(); err == nil {
+		t.Fatal("axop without Direct accepted")
+	}
+}
+
+func TestMMIODeviceRoundTrip(t *testing.T) {
+	hub := NewHub()
+	if err := hub.Attach(0, &Endpoint{
+		WordsPerCommand: 2,
+		Handle:          func(cmd []uint32) []uint32 { return []uint32{cmd[0] * cmd[1]} },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bus := &riscv.SystemBus{}
+	ram := riscv.NewRAM(64 << 10)
+	if err := bus.Map(0, 64<<10, ram); err != nil {
+		t.Fatal(err)
+	}
+	cpu := riscv.NewCPU(bus)
+	dev := &MMIODevice{Hub: hub, CPU: cpu}
+	if err := bus.Map(0x4000_0000, 0x1000, riscv.MMIOWrapper{Inner: dev, Wait: MMIOWaitCycles}); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := riscv.Assemble(`
+		li t0, 0x40000000
+		li a0, 6
+		li a1, 7
+		sw a0, 0(t0)
+		sw a1, 0(t0)
+		lw a2, 8(t0)    # status: 1 response queued
+		lw a3, 4(t0)    # pop response
+		ebreak
+	`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(ram.Data, prog.Bytes())
+	if err := cpu.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if cpu.X[12] != 1 {
+		t.Fatalf("status = %d", cpu.X[12])
+	}
+	if cpu.X[13] != 42 {
+		t.Fatalf("mmio response = %d", cpu.X[13])
+	}
+	// Four MMIO accesses at ~100 cycles each dominate the cycle count.
+	if cpu.Cycles < 400 {
+		t.Fatalf("MMIO path too cheap: %d cycles", cpu.Cycles)
+	}
+}
+
+func TestTable7Ordering(t *testing.T) {
+	rs, err := MeasureAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[Coupling]uint64{}
+	for _, r := range rs {
+		byName[r.Coupling] = r.Cycles
+	}
+	// Paper Table 7: MMIO ~100, QRCH ~10, ISA-ext ~1.
+	if !(byName[ISAExt] < byName[QRCH] && byName[QRCH] < byName[MMIO]) {
+		t.Fatalf("coupling ordering wrong: %v", byName)
+	}
+	if byName[MMIO] < 80 || byName[MMIO] > 250 {
+		t.Fatalf("MMIO = %d cycles, want ~100", byName[MMIO])
+	}
+	if byName[QRCH] < 5 || byName[QRCH] > 20 {
+		t.Fatalf("QRCH = %d cycles, want ~10", byName[QRCH])
+	}
+	if byName[ISAExt] > 3 {
+		t.Fatalf("ISA-ext = %d cycles, want ~1", byName[ISAExt])
+	}
+}
+
+func TestCouplingString(t *testing.T) {
+	if MMIO.String() != "MMIO" || ISAExt.String() != "ISA-ext" || QRCH.String() != "QRCH" {
+		t.Fatal("coupling names wrong")
+	}
+	if Coupling(9).String() == "" {
+		t.Fatal("unknown coupling should print")
+	}
+}
+
+func TestMMIODeviceEdgeCases(t *testing.T) {
+	hub := NewHub()
+	bus := &riscv.SystemBus{}
+	cpu := riscv.NewCPU(bus)
+	dev := &MMIODevice{Hub: hub, CPU: cpu}
+	// Status/response reads of empty or out-of-range queues return 0.
+	if v, _, err := dev.Read(4, 4); err != nil || v != 0 {
+		t.Fatalf("empty response read = %v, %v", v, err)
+	}
+	if v, _, err := dev.Read(8, 4); err != nil || v != 0 {
+		t.Fatalf("empty status read = %v, %v", v, err)
+	}
+	if v, _, err := dev.Read(uint32(NumQueues*16+8), 4); err != nil || v != 0 {
+		t.Fatalf("out-of-range status = %v, %v", v, err)
+	}
+	// Misaligned offsets are rejected.
+	if _, _, err := dev.Read(12, 4); err == nil {
+		t.Fatal("bad read offset accepted")
+	}
+	if _, err := dev.Write(4, 4, 1); err == nil {
+		t.Fatal("bad write offset accepted")
+	}
+	// Writing to an out-of-range queue errors through the hub.
+	if _, err := dev.Write(uint32(NumQueues*16), 4, 1); err == nil {
+		t.Fatal("out-of-range queue write accepted")
+	}
+}
+
+func TestMeasureInteractionUnknownCoupling(t *testing.T) {
+	if _, err := MeasureInteraction(Coupling(42)); err == nil {
+		t.Fatal("unknown coupling accepted")
+	}
+}

@@ -1,0 +1,148 @@
+package qrch
+
+import (
+	"fmt"
+
+	"lsdgnn/internal/riscv"
+)
+
+// Table 7 measurement: cycles from the controller issuing a one-word
+// command to the accelerator receiving it, for the three coupling styles.
+
+// Coupling is a CPU↔accelerator attachment style.
+type Coupling int
+
+// Coupling styles compared in Table 7.
+const (
+	// MMIO is a loosely-coupled peripheral across the SoC bus.
+	MMIO Coupling = iota
+	// ISAExt is a tightly-coupled in-pipeline instruction.
+	ISAExt
+	// QRCH is the paper's queue-based hub.
+	QRCH
+)
+
+func (c Coupling) String() string {
+	switch c {
+	case MMIO:
+		return "MMIO"
+	case ISAExt:
+		return "ISA-ext"
+	case QRCH:
+		return "QRCH"
+	default:
+		return fmt.Sprintf("Coupling(%d)", int(c))
+	}
+}
+
+// MMIOWaitCycles is the modeled SoC-interconnect round trip for
+// loosely-coupled registers (AXI SmartConnect + peripheral clock crossing).
+const MMIOWaitCycles = 99
+
+// InteractionResult is one Table 7 measurement.
+type InteractionResult struct {
+	Coupling Coupling
+	// Cycles from command issue to accelerator handoff.
+	Cycles uint64
+	// Instructions retired by the measurement kernel.
+	Instructions uint64
+}
+
+// MeasureInteraction assembles and runs a minimal command-issue kernel for
+// the given coupling and reports the issue→handoff latency.
+func MeasureInteraction(c Coupling) (InteractionResult, error) {
+	bus := &riscv.SystemBus{}
+	ram := riscv.NewRAM(64 << 10)
+	if err := bus.Map(0, 64<<10, ram); err != nil {
+		return InteractionResult{}, err
+	}
+	cpu := riscv.NewCPU(bus)
+	hub := NewHub()
+	hub.Direct = func(rs1, rs2 uint32) uint32 { return rs1 + rs2 }
+	if err := hub.Attach(0, &Endpoint{
+		WordsPerCommand: 2,
+		Handle:          func(cmd []uint32) []uint32 { return nil },
+	}); err != nil {
+		return InteractionResult{}, err
+	}
+	cpu.Custom = hub.CustomFn()
+	mmio := &MMIODevice{Hub: hub, CPU: cpu}
+	if err := bus.Map(0x4000_0000, 0x1000, riscv.MMIOWrapper{Inner: mmio, Wait: MMIOWaitCycles}); err != nil {
+		return InteractionResult{}, err
+	}
+
+	var src string
+	switch c {
+	case MMIO:
+		// Two register writes across the bus deliver one command record.
+		src = `
+			li   t0, 0x40000000
+			li   a0, 7
+			li   a1, 9
+			sw   a0, 0(t0)
+			sw   a1, 0(t0)
+			ebreak
+		`
+	case ISAExt:
+		src = `
+			li   a0, 7
+			li   a1, 9
+			axop a0, a1
+			ebreak
+		`
+	case QRCH:
+		src = `
+			li   a0, 7
+			li   a1, 9
+			qpush 0, a0, a1
+			ebreak
+		`
+	default:
+		return InteractionResult{}, fmt.Errorf("qrch: unknown coupling %v", c)
+	}
+	prog, err := riscv.Assemble(src, 0)
+	if err != nil {
+		return InteractionResult{}, err
+	}
+	copy(ram.Data, prog.Bytes())
+
+	// Run the setup instructions, snapshot cycles right before the command
+	// issue begins, then run to completion.
+	setupInstrs := uint64(len(prog.Words)) - 1 // all but ebreak
+	switch c {
+	case MMIO:
+		setupInstrs = 3 // li, li, li
+	case ISAExt, QRCH:
+		setupInstrs = 2 // li, li
+	}
+	for i := uint64(0); i < setupInstrs; i++ {
+		if err := cpu.Step(); err != nil {
+			return InteractionResult{}, err
+		}
+	}
+	start := cpu.Cycles
+	if err := cpu.Run(1 << 16); err != nil {
+		return InteractionResult{}, err
+	}
+	if hub.Handled() == 0 {
+		return InteractionResult{}, fmt.Errorf("qrch: %v kernel delivered no command", c)
+	}
+	return InteractionResult{
+		Coupling:     c,
+		Cycles:       hub.LastHandoffCycle - start,
+		Instructions: cpu.Retired,
+	}, nil
+}
+
+// MeasureAll runs all three couplings in Table 7 order.
+func MeasureAll() ([]InteractionResult, error) {
+	out := make([]InteractionResult, 0, 3)
+	for _, c := range []Coupling{MMIO, ISAExt, QRCH} {
+		r, err := MeasureInteraction(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,539 @@
+package riscv
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// A small two-pass RV32IM assembler for writing controller programs in
+// tests, examples and cmd/axe-asm. Supported syntax:
+//
+//	label:            # comments with '#' or '//'
+//	    li   a0, 1024
+//	    lw   t0, 8(a1)
+//	    beq  t0, zero, done
+//	    qpush 0, a0, a1   # custom-0: push {rs1,rs2} to queue 0
+//	    qpop  a0, 1       # custom-0: pop queue 1 into a0
+//	    qstat a0, 1       # custom-0: occupancy of queue 1
+//	    axop  a0, a1      # custom-0: tightly-coupled accelerator op
+//	    .word 0xdeadbeef
+//
+// Pseudo-instructions: li, mv, nop, j, ret, call (near), rdcycle.
+
+var regNames = map[string]uint32{
+	"zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+	"t0": 5, "t1": 6, "t2": 7, "s0": 8, "fp": 8, "s1": 9,
+	"a0": 10, "a1": 11, "a2": 12, "a3": 13, "a4": 14, "a5": 15,
+	"a6": 16, "a7": 17, "s2": 18, "s3": 19, "s4": 20, "s5": 21,
+	"s6": 22, "s7": 23, "s8": 24, "s9": 25, "s10": 26, "s11": 27,
+	"t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+
+func regNum(s string) (uint32, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if n, ok := regNames[s]; ok {
+		return n, nil
+	}
+	if strings.HasPrefix(s, "x") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < 32 {
+			return uint32(n), nil
+		}
+	}
+	return 0, fmt.Errorf("asm: bad register %q", s)
+}
+
+// Custom-0 funct3 assignments shared with the QRCH hub.
+const (
+	CustomQPush = 0
+	CustomQPop  = 1
+	CustomQStat = 2
+	CustomAxOp  = 3
+)
+
+// Program is assembled machine code plus its symbol table.
+type Program struct {
+	Words   []uint32
+	Symbols map[string]uint32
+}
+
+// Bytes returns the little-endian byte image.
+func (p *Program) Bytes() []byte {
+	out := make([]byte, len(p.Words)*4)
+	for i, w := range p.Words {
+		out[i*4] = byte(w)
+		out[i*4+1] = byte(w >> 8)
+		out[i*4+2] = byte(w >> 16)
+		out[i*4+3] = byte(w >> 24)
+	}
+	return out
+}
+
+type asmLine struct {
+	num    int
+	mnem   string
+	args   []string
+	addr   uint32
+	nwords int
+}
+
+// Assemble translates source into a Program loaded at base.
+func Assemble(source string, base uint32) (*Program, error) {
+	symbols := map[string]uint32{}
+	var lines []asmLine
+	pc := base
+	for i, raw := range strings.Split(source, "\n") {
+		line := raw
+		if j := strings.IndexAny(line, "#"); j >= 0 {
+			line = line[:j]
+		}
+		if j := strings.Index(line, "//"); j >= 0 {
+			line = line[:j]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		for {
+			if j := strings.Index(line, ":"); j >= 0 {
+				label := strings.TrimSpace(line[:j])
+				if label == "" || strings.ContainsAny(label, " \t,") {
+					return nil, fmt.Errorf("asm: line %d: bad label %q", i+1, label)
+				}
+				if _, dup := symbols[label]; dup {
+					return nil, fmt.Errorf("asm: line %d: duplicate label %q", i+1, label)
+				}
+				symbols[label] = pc
+				line = strings.TrimSpace(line[j+1:])
+				continue
+			}
+			break
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		mnem := strings.ToLower(fields[0])
+		rest := strings.TrimSpace(line[len(fields[0]):])
+		var args []string
+		if rest != "" {
+			for _, a := range strings.Split(rest, ",") {
+				args = append(args, strings.TrimSpace(a))
+			}
+		}
+		l := asmLine{num: i + 1, mnem: mnem, args: args, addr: pc, nwords: 1}
+		if mnem == "li" {
+			// li may expand to lui+addi.
+			if len(args) != 2 {
+				return nil, fmt.Errorf("asm: line %d: li needs 2 args", i+1)
+			}
+			v, err := parseImm(args[1], symbols)
+			if err == nil && !fitsI12(v) {
+				l.nwords = 2
+			} else if err != nil {
+				// Unknown symbol in pass 1: reserve worst case.
+				l.nwords = 2
+			}
+		}
+		lines = append(lines, l)
+		pc += uint32(4 * l.nwords)
+	}
+
+	prog := &Program{Symbols: symbols}
+	for _, l := range lines {
+		words, err := encodeLine(l, symbols)
+		if err != nil {
+			return nil, err
+		}
+		for len(words) < l.nwords {
+			words = append(words, encodeI(0x13, 0, 0, 0, 0)) // pad with nop
+		}
+		if len(words) != l.nwords {
+			return nil, fmt.Errorf("asm: line %d: size changed between passes", l.num)
+		}
+		prog.Words = append(prog.Words, words...)
+	}
+	return prog, nil
+}
+
+func parseImm(s string, symbols map[string]uint32) (int64, error) {
+	s = strings.TrimSpace(s)
+	if v, ok := symbols[s]; ok {
+		return int64(v), nil
+	}
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg, s = true, s[1:]
+	}
+	v, err := strconv.ParseUint(strings.TrimPrefix(s, "+"), 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("asm: bad immediate %q", s)
+	}
+	if neg {
+		return -int64(v), nil
+	}
+	return int64(v), nil
+}
+
+func fitsI12(v int64) bool { return v >= -2048 && v < 2048 }
+
+func encodeR(op, funct3, funct7, rd, rs1, rs2 uint32) uint32 {
+	return funct7<<25 | rs2<<20 | rs1<<15 | funct3<<12 | rd<<7 | op
+}
+
+func encodeI(op, funct3, rd, rs1 uint32, imm int64) uint32 {
+	return uint32(imm&0xfff)<<20 | rs1<<15 | funct3<<12 | rd<<7 | op
+}
+
+func encodeS(op, funct3, rs1, rs2 uint32, imm int64) uint32 {
+	i := uint32(imm) & 0xfff
+	return (i>>5)<<25 | rs2<<20 | rs1<<15 | funct3<<12 | (i&0x1f)<<7 | op
+}
+
+func encodeB(funct3, rs1, rs2 uint32, off int64) uint32 {
+	i := uint32(off) & 0x1fff
+	return (i>>12)<<31 | ((i >> 5 & 0x3f) << 25) | rs2<<20 | rs1<<15 | funct3<<12 |
+		((i >> 1 & 0xf) << 8) | ((i >> 11 & 1) << 7) | 0x63
+}
+
+func encodeJ(rd uint32, off int64) uint32 {
+	i := uint32(off) & 0x1fffff
+	return (i>>20)<<31 | ((i >> 1 & 0x3ff) << 21) | ((i >> 11 & 1) << 20) | ((i >> 12 & 0xff) << 12) | rd<<7 | 0x6f
+}
+
+func memOperand(s string) (reg uint32, off int64, err error) {
+	open := strings.Index(s, "(")
+	close := strings.LastIndex(s, ")")
+	if open < 0 || close < open {
+		return 0, 0, fmt.Errorf("asm: bad memory operand %q", s)
+	}
+	offStr := strings.TrimSpace(s[:open])
+	if offStr == "" {
+		offStr = "0"
+	}
+	off, err = parseImm(offStr, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	reg, err = regNum(s[open+1 : close])
+	return reg, off, err
+}
+
+type rKind struct{ funct3, funct7 uint32 }
+
+var rOps = map[string]rKind{
+	"add": {0, 0}, "sub": {0, 0x20}, "sll": {1, 0}, "slt": {2, 0},
+	"sltu": {3, 0}, "xor": {4, 0}, "srl": {5, 0}, "sra": {5, 0x20},
+	"or": {6, 0}, "and": {7, 0},
+	"mul": {0, 1}, "mulh": {1, 1}, "mulhsu": {2, 1}, "mulhu": {3, 1},
+	"div": {4, 1}, "divu": {5, 1}, "rem": {6, 1}, "remu": {7, 1},
+}
+
+var iOps = map[string]uint32{
+	"addi": 0, "slti": 2, "sltiu": 3, "xori": 4, "ori": 6, "andi": 7,
+}
+
+var loadOps = map[string]uint32{"lb": 0, "lh": 1, "lw": 2, "lbu": 4, "lhu": 5}
+var storeOps = map[string]uint32{"sb": 0, "sh": 1, "sw": 2}
+var branchOps = map[string]uint32{"beq": 0, "bne": 1, "blt": 4, "bge": 5, "bltu": 6, "bgeu": 7}
+
+func encodeLine(l asmLine, symbols map[string]uint32) ([]uint32, error) {
+	errf := func(format string, a ...any) error {
+		return fmt.Errorf("asm: line %d (%s): %s", l.num, l.mnem, fmt.Sprintf(format, a...))
+	}
+	need := func(n int) error {
+		if len(l.args) != n {
+			return errf("want %d operands, got %d", n, len(l.args))
+		}
+		return nil
+	}
+	switch l.mnem {
+	case ".word":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		v, err := parseImm(l.args[0], symbols)
+		if err != nil {
+			return nil, errf("%v", err)
+		}
+		return []uint32{uint32(v)}, nil
+	case "nop":
+		return []uint32{encodeI(0x13, 0, 0, 0, 0)}, nil
+	case "ret":
+		return []uint32{encodeI(0x67, 0, 0, 1, 0)}, nil
+	case "ecall":
+		return []uint32{0x73}, nil
+	case "ebreak":
+		return []uint32{0x00100073}, nil
+	case "rdcycle":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rd, err := regNum(l.args[0])
+		if err != nil {
+			return nil, errf("%v", err)
+		}
+		return []uint32{encodeI(0x73, 2, rd, 0, int64(CSRCycle))}, nil
+	case "csrrw", "csrrs", "csrrc":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err := regNum(l.args[0])
+		if err != nil {
+			return nil, errf("%v", err)
+		}
+		csr, err := parseImm(l.args[1], symbols)
+		if err != nil || csr < 0 || csr > 0xFFF {
+			return nil, errf("bad CSR %q", l.args[1])
+		}
+		rs1, err := regNum(l.args[2])
+		if err != nil {
+			return nil, errf("%v", err)
+		}
+		f3 := map[string]uint32{"csrrw": 1, "csrrs": 2, "csrrc": 3}[l.mnem]
+		return []uint32{encodeI(0x73, f3, rd, rs1, csr)}, nil
+	case "csrrwi":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err := regNum(l.args[0])
+		if err != nil {
+			return nil, errf("%v", err)
+		}
+		csr, err := parseImm(l.args[1], symbols)
+		if err != nil || csr < 0 || csr > 0xFFF {
+			return nil, errf("bad CSR %q", l.args[1])
+		}
+		imm, err := parseImm(l.args[2], nil)
+		if err != nil || imm < 0 || imm > 31 {
+			return nil, errf("bad zimm %q", l.args[2])
+		}
+		return []uint32{encodeI(0x73, 5, rd, uint32(imm), csr)}, nil
+	case "li":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := regNum(l.args[0])
+		if err != nil {
+			return nil, errf("%v", err)
+		}
+		v, err := parseImm(l.args[1], symbols)
+		if err != nil {
+			return nil, errf("%v", err)
+		}
+		if fitsI12(v) && l.nwords == 1 {
+			return []uint32{encodeI(0x13, 0, rd, 0, v)}, nil
+		}
+		upper := uint32(v+0x800) & 0xfffff000
+		lower := int64(int32(uint32(v) - upper))
+		return []uint32{
+			upper | rd<<7 | 0x37,
+			encodeI(0x13, 0, rd, rd, lower),
+		}, nil
+	case "mv":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err1 := regNum(l.args[0])
+		rs, err2 := regNum(l.args[1])
+		if err1 != nil || err2 != nil {
+			return nil, errf("bad registers")
+		}
+		return []uint32{encodeI(0x13, 0, rd, rs, 0)}, nil
+	case "lui":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := regNum(l.args[0])
+		if err != nil {
+			return nil, errf("%v", err)
+		}
+		v, err := parseImm(l.args[1], symbols)
+		if err != nil {
+			return nil, errf("%v", err)
+		}
+		return []uint32{uint32(v)<<12 | rd<<7 | 0x37}, nil
+	case "j":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		target, ok := symbols[l.args[0]]
+		if !ok {
+			return nil, errf("unknown label %q", l.args[0])
+		}
+		return []uint32{encodeJ(0, int64(target)-int64(l.addr))}, nil
+	case "jal":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := regNum(l.args[0])
+		if err != nil {
+			return nil, errf("%v", err)
+		}
+		target, ok := symbols[l.args[1]]
+		if !ok {
+			return nil, errf("unknown label %q", l.args[1])
+		}
+		return []uint32{encodeJ(rd, int64(target)-int64(l.addr))}, nil
+	case "call":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		target, ok := symbols[l.args[0]]
+		if !ok {
+			return nil, errf("unknown label %q", l.args[0])
+		}
+		return []uint32{encodeJ(1, int64(target)-int64(l.addr))}, nil
+	case "jalr":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := regNum(l.args[0])
+		if err != nil {
+			return nil, errf("%v", err)
+		}
+		rs, off, err := memOperand(l.args[1])
+		if err != nil {
+			return nil, errf("%v", err)
+		}
+		return []uint32{encodeI(0x67, 0, rd, rs, off)}, nil
+	case "qpush":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		q, err := parseImm(l.args[0], nil)
+		if err != nil || q < 0 || q > 127 {
+			return nil, errf("bad queue %q", l.args[0])
+		}
+		rs1, err1 := regNum(l.args[1])
+		rs2, err2 := regNum(l.args[2])
+		if err1 != nil || err2 != nil {
+			return nil, errf("bad registers")
+		}
+		return []uint32{encodeR(0x0b, CustomQPush, uint32(q), 0, rs1, rs2)}, nil
+	case "qpop", "qstat":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := regNum(l.args[0])
+		if err != nil {
+			return nil, errf("%v", err)
+		}
+		q, err := parseImm(l.args[1], nil)
+		if err != nil || q < 0 || q > 127 {
+			return nil, errf("bad queue %q", l.args[1])
+		}
+		f3 := uint32(CustomQPop)
+		if l.mnem == "qstat" {
+			f3 = CustomQStat
+		}
+		return []uint32{encodeR(0x0b, f3, uint32(q), rd, 0, 0)}, nil
+	case "axop":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs1, err1 := regNum(l.args[0])
+		rs2, err2 := regNum(l.args[1])
+		if err1 != nil || err2 != nil {
+			return nil, errf("bad registers")
+		}
+		return []uint32{encodeR(0x0b, CustomAxOp, 0, 0, rs1, rs2)}, nil
+	}
+
+	if k, ok := rOps[l.mnem]; ok {
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, e1 := regNum(l.args[0])
+		rs1, e2 := regNum(l.args[1])
+		rs2, e3 := regNum(l.args[2])
+		if e1 != nil || e2 != nil || e3 != nil {
+			return nil, errf("bad registers")
+		}
+		return []uint32{encodeR(0x33, k.funct3, k.funct7, rd, rs1, rs2)}, nil
+	}
+	if f3, ok := iOps[l.mnem]; ok {
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, e1 := regNum(l.args[0])
+		rs1, e2 := regNum(l.args[1])
+		if e1 != nil || e2 != nil {
+			return nil, errf("bad registers")
+		}
+		v, err := parseImm(l.args[2], symbols)
+		if err != nil || !fitsI12(v) {
+			return nil, errf("bad immediate %q", l.args[2])
+		}
+		return []uint32{encodeI(0x13, f3, rd, rs1, v)}, nil
+	}
+	switch l.mnem {
+	case "slli", "srli", "srai":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, e1 := regNum(l.args[0])
+		rs1, e2 := regNum(l.args[1])
+		if e1 != nil || e2 != nil {
+			return nil, errf("bad registers")
+		}
+		sh, err := parseImm(l.args[2], nil)
+		if err != nil || sh < 0 || sh > 31 {
+			return nil, errf("bad shift %q", l.args[2])
+		}
+		f3 := uint32(1)
+		f7 := uint32(0)
+		if l.mnem != "slli" {
+			f3 = 5
+			if l.mnem == "srai" {
+				f7 = 0x20
+			}
+		}
+		return []uint32{encodeR(0x13, f3, f7, rd, rs1, uint32(sh))}, nil
+	}
+	if f3, ok := loadOps[l.mnem]; ok {
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := regNum(l.args[0])
+		if err != nil {
+			return nil, errf("%v", err)
+		}
+		rs, off, err := memOperand(l.args[1])
+		if err != nil {
+			return nil, errf("%v", err)
+		}
+		return []uint32{encodeI(0x03, f3, rd, rs, off)}, nil
+	}
+	if f3, ok := storeOps[l.mnem]; ok {
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs2, err := regNum(l.args[0])
+		if err != nil {
+			return nil, errf("%v", err)
+		}
+		rs1, off, err := memOperand(l.args[1])
+		if err != nil {
+			return nil, errf("%v", err)
+		}
+		return []uint32{encodeS(0x23, f3, rs1, rs2, off)}, nil
+	}
+	if f3, ok := branchOps[l.mnem]; ok {
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rs1, e1 := regNum(l.args[0])
+		rs2, e2 := regNum(l.args[1])
+		if e1 != nil || e2 != nil {
+			return nil, errf("bad registers")
+		}
+		target, ok := symbols[l.args[2]]
+		if !ok {
+			return nil, errf("unknown label %q", l.args[2])
+		}
+		return []uint32{encodeB(f3, rs1, rs2, int64(target)-int64(l.addr))}, nil
+	}
+	return nil, errf("unknown mnemonic")
+}

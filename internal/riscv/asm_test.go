@@ -1,0 +1,306 @@
+package riscv
+
+import (
+	"strings"
+	"testing"
+)
+
+func asmWords(t *testing.T, src string) []uint32 {
+	t.Helper()
+	p, err := Assemble(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Words
+}
+
+func TestEncodings(t *testing.T) {
+	// Hand-checked against the RV32I reference encodings.
+	cases := []struct {
+		src  string
+		want uint32
+	}{
+		{"addi x1, x2, 5", 0x00510093},
+		{"add x3, x4, x5", 0x005201b3},
+		{"sub x3, x4, x5", 0x405201b3},
+		{"lw x6, 8(x7)", 0x0083a303},
+		{"sw x6, 8(x7)", 0x0063a423},
+		{"lui x1, 0x12345", 0x123450b7},
+		{"nop", 0x00000013},
+		{"ebreak", 0x00100073},
+		{"ecall", 0x00000073},
+		{"mul x1, x2, x3", 0x023100b3},
+		{"jalr x1, 0(x2)", 0x000100e7},
+	}
+	for _, c := range cases {
+		got := asmWords(t, c.src)
+		if got[0] != c.want {
+			t.Errorf("%q -> %08x, want %08x", c.src, got[0], c.want)
+		}
+	}
+}
+
+func TestBranchOffsets(t *testing.T) {
+	words := asmWords(t, `
+	start:
+		nop
+		beq x1, x2, start
+	`)
+	// beq at pc=4 to pc=0: offset -4.
+	if words[1] != 0xfe208ee3 {
+		t.Fatalf("backward beq = %08x", words[1])
+	}
+	words = asmWords(t, `
+		beq x1, x2, fwd
+		nop
+	fwd:
+		nop
+	`)
+	// beq at 0 to 8: offset +8.
+	if words[0] != 0x00208463 {
+		t.Fatalf("forward beq = %08x", words[0])
+	}
+}
+
+func TestJalEncoding(t *testing.T) {
+	words := asmWords(t, `
+		j next
+	next:
+		nop
+	`)
+	// jal x0, +4.
+	if words[0] != 0x0040006f {
+		t.Fatalf("j +4 = %08x", words[0])
+	}
+}
+
+func TestLiExpansion(t *testing.T) {
+	if w := asmWords(t, "li a0, 100"); len(w) != 1 {
+		t.Fatalf("small li expanded to %d words", len(w))
+	}
+	w := asmWords(t, "li a0, 0x12345678")
+	if len(w) != 2 {
+		t.Fatalf("large li expanded to %d words", len(w))
+	}
+	// Negative-lower-half case: 0x12345FFF = lui 0x12346 + addi -1.
+	w = asmWords(t, "li a0, 0x12345FFF")
+	if len(w) != 2 {
+		t.Fatal("boundary li wrong size")
+	}
+}
+
+func TestLabelsAndSymbols(t *testing.T) {
+	p, err := Assemble(`
+	entry:
+		nop
+	after: nop
+	`, 0x100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Symbols["entry"] != 0x100 || p.Symbols["after"] != 0x104 {
+		t.Fatalf("symbols = %v", p.Symbols)
+	}
+}
+
+func TestDuplicateLabelRejected(t *testing.T) {
+	if _, err := Assemble("a:\nnop\na:\nnop", 0); err == nil {
+		t.Fatal("duplicate label accepted")
+	}
+}
+
+func TestUnknownMnemonicAndLabel(t *testing.T) {
+	if _, err := Assemble("frobnicate a0", 0); err == nil {
+		t.Fatal("unknown mnemonic accepted")
+	}
+	if _, err := Assemble("j nowhere", 0); err == nil {
+		t.Fatal("unknown label accepted")
+	}
+}
+
+func TestBadOperands(t *testing.T) {
+	bad := []string{
+		"add a0, a1",          // missing operand
+		"addi a0, a1, 999999", // immediate too large
+		"lw a0, a1",           // not a memory operand
+		"slli a0, a1, 40",     // shift out of range
+		"qpush 200, a0, a1",   // queue out of range
+		"li a0",               // missing immediate
+		"add q0, a1, a2",      // bad register
+	}
+	for _, src := range bad {
+		if _, err := Assemble(src, 0); err == nil {
+			t.Errorf("%q accepted", src)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	w := asmWords(t, `
+		# full-line comment
+		nop        # trailing
+		nop        // C-style
+	`)
+	if len(w) != 2 {
+		t.Fatalf("comments miscounted: %d words", len(w))
+	}
+}
+
+func TestDotWord(t *testing.T) {
+	w := asmWords(t, ".word 0xdeadbeef")
+	if w[0] != 0xdeadbeef {
+		t.Fatalf(".word = %08x", w[0])
+	}
+}
+
+func TestCustomEncodings(t *testing.T) {
+	w := asmWords(t, "qpush 3, a0, a1")
+	if w[0]&0x7F != 0x0B {
+		t.Fatal("qpush opcode wrong")
+	}
+	if (w[0]>>12)&7 != CustomQPush || w[0]>>25 != 3 {
+		t.Fatalf("qpush fields wrong: %08x", w[0])
+	}
+	w = asmWords(t, "qpop a0, 2")
+	if (w[0]>>12)&7 != CustomQPop || w[0]>>25 != 2 || (w[0]>>7)&31 != 10 {
+		t.Fatalf("qpop fields wrong: %08x", w[0])
+	}
+	w = asmWords(t, "qstat t0, 1")
+	if (w[0]>>12)&7 != CustomQStat {
+		t.Fatalf("qstat fields wrong: %08x", w[0])
+	}
+}
+
+func TestProgramBytesLittleEndian(t *testing.T) {
+	p, _ := Assemble("nop", 0)
+	b := p.Bytes()
+	if len(b) != 4 || b[0] != 0x13 || b[3] != 0x00 {
+		t.Fatalf("bytes = %x", b)
+	}
+}
+
+func TestRegisterAliases(t *testing.T) {
+	// ABI names and x-numbers are interchangeable.
+	a := asmWords(t, "add x10, x11, x12")
+	b := asmWords(t, "add a0, a1, a2")
+	if a[0] != b[0] {
+		t.Fatal("ABI aliases encode differently")
+	}
+	if _, err := regNum("fp"); err != nil {
+		t.Fatal("fp alias missing")
+	}
+}
+
+func TestAssembleRoundTripThroughCPU(t *testing.T) {
+	// Every supported mnemonic assembles into something the CPU executes.
+	src := `
+		li    a0, 1
+		li    a1, 2
+		add   a2, a0, a1
+		sub   a2, a2, a0
+		sll   a2, a2, a0
+		srl   a2, a2, a0
+		sra   a2, a2, a0
+		and   a2, a2, a1
+		or    a2, a2, a1
+		xor   a2, a2, a0
+		slt   a3, a0, a1
+		sltu  a3, a0, a1
+		mul   a4, a0, a1
+		div   a4, a4, a1
+		sw    a4, 0x100(zero)
+		lw    a5, 0x100(zero)
+		ebreak
+	`
+	cpu := run(t, src)
+	if cpu.X[reg("a5")] != 1 {
+		t.Fatalf("a5 = %d", cpu.X[reg("a5")])
+	}
+}
+
+func TestBusMapping(t *testing.T) {
+	bus := &SystemBus{}
+	if err := bus.Map(0, 0x1000, NewRAM(0x1000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Map(0x800, 0x100, NewRAM(0x100)); err == nil {
+		t.Fatal("overlapping map accepted")
+	}
+	if err := bus.Map(0x1000, 0, NewRAM(1)); err == nil {
+		t.Fatal("empty window accepted")
+	}
+	if _, _, err := bus.Load(0x5000, 4); err == nil {
+		t.Fatal("unmapped load succeeded")
+	}
+	// Access straddling a window edge is rejected.
+	if _, _, err := bus.Load(0xFFE, 4); err == nil {
+		t.Fatal("straddling load succeeded")
+	}
+}
+
+func TestRAMAccessSizes(t *testing.T) {
+	r := NewRAM(16)
+	if _, err := r.Write(0, 4, 0xDDCCBBAA); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := r.Read(0, 1); v != 0xAA {
+		t.Fatalf("byte read = %#x", v)
+	}
+	if v, _, _ := r.Read(0, 2); v != 0xBBAA {
+		t.Fatalf("half read = %#x", v)
+	}
+	if _, _, err := r.Read(14, 4); err == nil {
+		t.Fatal("out-of-bounds read succeeded")
+	}
+	if _, err := r.Write(0, 3, 0); err == nil {
+		t.Fatal("bad size accepted")
+	}
+}
+
+func TestMMIOWrapperAddsWait(t *testing.T) {
+	inner := NewRAM(16)
+	w := MMIOWrapper{Inner: inner, Wait: 99}
+	if _, wait, _ := w.Read(0, 4); wait != 99 {
+		t.Fatalf("read wait = %d", wait)
+	}
+	if wait, _ := w.Write(0, 4, 1); wait != 99 {
+		t.Fatalf("write wait = %d", wait)
+	}
+}
+
+func TestMMIOLatencyVisibleInCycles(t *testing.T) {
+	bus := &SystemBus{}
+	ram := NewRAM(1 << 10)
+	if err := bus.Map(0, 1<<10, ram); err != nil {
+		t.Fatal(err)
+	}
+	dev := NewRAM(16)
+	if err := bus.Map(0x4000_0000, 16, MMIOWrapper{Inner: dev, Wait: 100}); err != nil {
+		t.Fatal(err)
+	}
+	src := `
+		li t0, 0x40000000
+		sw a0, 0(t0)
+		ebreak
+	`
+	prog, err := Assemble(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(ram.Data, prog.Bytes())
+	cpu := NewCPU(bus)
+	if err := cpu.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if cpu.Cycles < 100 {
+		t.Fatalf("MMIO store cost %d cycles, want ≥100", cpu.Cycles)
+	}
+}
+
+func TestTrapErrorMessage(t *testing.T) {
+	trap := &Trap{PC: 0x10, Instr: 0xDEAD, Reason: "nope"}
+	msg := trap.Error()
+	if !strings.Contains(msg, "0x10") || !strings.Contains(msg, "nope") {
+		t.Fatalf("trap message uninformative: %s", msg)
+	}
+}

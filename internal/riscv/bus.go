@@ -1,0 +1,127 @@
+package riscv
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Device is a bus-attached peripheral occupying an address window.
+type Device interface {
+	// Read returns a value of size bytes at offset within the window plus
+	// wait cycles.
+	Read(offset uint32, size int) (uint32, int, error)
+	// Write stores size bytes at offset, returning wait cycles.
+	Write(offset uint32, size int, val uint32) (int, error)
+}
+
+// RAM is zero-wait tightly-coupled memory (the E906's I/D-MEM).
+type RAM struct{ Data []byte }
+
+// NewRAM allocates n bytes of TCM.
+func NewRAM(n int) *RAM { return &RAM{Data: make([]byte, n)} }
+
+// Read implements Device.
+func (r *RAM) Read(off uint32, size int) (uint32, int, error) {
+	if int(off)+size > len(r.Data) {
+		return 0, 0, fmt.Errorf("ram: read %d@%#x out of %d", size, off, len(r.Data))
+	}
+	switch size {
+	case 1:
+		return uint32(r.Data[off]), 0, nil
+	case 2:
+		return uint32(binary.LittleEndian.Uint16(r.Data[off:])), 0, nil
+	case 4:
+		return binary.LittleEndian.Uint32(r.Data[off:]), 0, nil
+	}
+	return 0, 0, fmt.Errorf("ram: bad access size %d", size)
+}
+
+// Write implements Device.
+func (r *RAM) Write(off uint32, size int, val uint32) (int, error) {
+	if int(off)+size > len(r.Data) {
+		return 0, fmt.Errorf("ram: write %d@%#x out of %d", size, off, len(r.Data))
+	}
+	switch size {
+	case 1:
+		r.Data[off] = byte(val)
+	case 2:
+		binary.LittleEndian.PutUint16(r.Data[off:], uint16(val))
+	case 4:
+		binary.LittleEndian.PutUint32(r.Data[off:], val)
+	default:
+		return 0, fmt.Errorf("ram: bad access size %d", size)
+	}
+	return 0, nil
+}
+
+type mapping struct {
+	base, size uint32
+	dev        Device
+}
+
+// SystemBus routes CPU accesses to mapped devices (AXI-style interconnect).
+type SystemBus struct{ maps []mapping }
+
+// Map attaches dev at [base, base+size). Overlaps are rejected.
+func (b *SystemBus) Map(base, size uint32, dev Device) error {
+	if size == 0 {
+		return fmt.Errorf("bus: empty window at %#x", base)
+	}
+	for _, m := range b.maps {
+		if base < m.base+m.size && m.base < base+size {
+			return fmt.Errorf("bus: window %#x+%#x overlaps %#x+%#x", base, size, m.base, m.size)
+		}
+	}
+	b.maps = append(b.maps, mapping{base, size, dev})
+	sort.Slice(b.maps, func(i, j int) bool { return b.maps[i].base < b.maps[j].base })
+	return nil
+}
+
+func (b *SystemBus) find(addr uint32, size int) (*mapping, error) {
+	for i := range b.maps {
+		m := &b.maps[i]
+		if addr >= m.base && addr+uint32(size) <= m.base+m.size {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("bus: no device at %#x", addr)
+}
+
+// Load implements Bus.
+func (b *SystemBus) Load(addr uint32, size int) (uint32, int, error) {
+	m, err := b.find(addr, size)
+	if err != nil {
+		return 0, 0, err
+	}
+	return m.dev.Read(addr-m.base, size)
+}
+
+// Store implements Bus.
+func (b *SystemBus) Store(addr uint32, size int, val uint32) (int, error) {
+	m, err := b.find(addr, size)
+	if err != nil {
+		return 0, err
+	}
+	return m.dev.Write(addr-m.base, size, val)
+}
+
+// MMIOWrapper adds fixed wait-state latency to a device, modeling a
+// loosely-coupled peripheral reached across the SoC interconnect (the
+// ~100-cycle MMIO cost in Table 7).
+type MMIOWrapper struct {
+	Inner Device
+	Wait  int
+}
+
+// Read implements Device.
+func (w MMIOWrapper) Read(off uint32, size int) (uint32, int, error) {
+	v, extra, err := w.Inner.Read(off, size)
+	return v, extra + w.Wait, err
+}
+
+// Write implements Device.
+func (w MMIOWrapper) Write(off uint32, size int, val uint32) (int, error) {
+	extra, err := w.Inner.Write(off, size, val)
+	return extra + w.Wait, err
+}

@@ -1,0 +1,395 @@
+// Package riscv implements the control system of Section 4.4: an RV32IM
+// instruction-set simulator standing in for the Xuantie E906 core, a small
+// assembler for control programs, a memory bus with MMIO devices, and the
+// custom-instruction hook through which the QRCH coprocessor hub attaches.
+// Cycle accounting follows the paper's Table 7 comparison: plain
+// instructions take 1 cycle, bus accesses add device-dependent wait cycles,
+// and custom instructions cost whatever their handler reports.
+package riscv
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Bus is the CPU's memory interface. Loads and stores return extra wait
+// cycles beyond the base instruction cost (0 for TCM, ~100 for MMIO).
+type Bus interface {
+	Load(addr uint32, size int) (val uint32, wait int, err error)
+	Store(addr uint32, size int, val uint32) (wait int, err error)
+}
+
+// CustomFn handles a custom-0 (opcode 0x0B) instruction. It receives the
+// decoded fields and the rs1/rs2 values and returns the rd writeback value
+// and the instruction's cycle cost (≥1).
+type CustomFn func(cpu *CPU, funct3, funct7 uint32, rs1Val, rs2Val uint32) (rd uint32, cycles int, err error)
+
+// CPU is an RV32IM hart.
+type CPU struct {
+	X      [32]uint32
+	PC     uint32
+	Bus    Bus
+	Cycles uint64
+	Halted bool
+	// Custom dispatches custom-0 instructions (nil traps them).
+	Custom CustomFn
+	// Retired counts executed instructions.
+	Retired uint64
+
+	csrs map[uint32]uint32
+}
+
+// Trap is an execution fault.
+type Trap struct {
+	PC     uint32
+	Instr  uint32
+	Reason string
+}
+
+func (t *Trap) Error() string {
+	return fmt.Sprintf("riscv: trap at pc=%#x instr=%#08x: %s", t.PC, t.Instr, t.Reason)
+}
+
+// ErrHalted is returned by Step after EBREAK/ECALL halts the hart.
+var ErrHalted = errors.New("riscv: hart halted")
+
+// NewCPU creates a hart with the given bus, PC 0.
+func NewCPU(bus Bus) *CPU {
+	return &CPU{Bus: bus, csrs: make(map[uint32]uint32)}
+}
+
+// Reset clears registers and counters, setting PC to pc.
+func (c *CPU) Reset(pc uint32) {
+	c.X = [32]uint32{}
+	c.PC = pc
+	c.Cycles = 0
+	c.Retired = 0
+	c.Halted = false
+	c.csrs = make(map[uint32]uint32)
+}
+
+// CSR numbers.
+const (
+	CSRCycle   = 0xC00
+	CSRCycleH  = 0xC80
+	CSRInstret = 0xC02
+)
+
+func (c *CPU) readCSR(num uint32) uint32 {
+	switch num {
+	case CSRCycle:
+		return uint32(c.Cycles)
+	case CSRCycleH:
+		return uint32(c.Cycles >> 32)
+	case CSRInstret:
+		return uint32(c.Retired)
+	default:
+		return c.csrs[num]
+	}
+}
+
+func (c *CPU) writeCSR(num, val uint32) { c.csrs[num] = val }
+
+func signExtend(v uint32, bits int) uint32 {
+	shift := 32 - bits
+	return uint32(int32(v<<shift) >> shift)
+}
+
+// Step executes one instruction. It returns ErrHalted once the hart has
+// stopped, or a *Trap on faults.
+func (c *CPU) Step() error {
+	if c.Halted {
+		return ErrHalted
+	}
+	instr, wait, err := c.Bus.Load(c.PC, 4)
+	if err != nil {
+		return &Trap{PC: c.PC, Reason: "fetch: " + err.Error()}
+	}
+	c.Cycles += uint64(wait)
+	op := instr & 0x7f
+	rd := (instr >> 7) & 0x1f
+	funct3 := (instr >> 12) & 0x7
+	rs1 := (instr >> 15) & 0x1f
+	rs2 := (instr >> 20) & 0x1f
+	funct7 := instr >> 25
+	nextPC := c.PC + 4
+	cycles := 1
+
+	setRD := func(v uint32) {
+		if rd != 0 {
+			c.X[rd] = v
+		}
+	}
+
+	switch op {
+	case 0x37: // LUI
+		setRD(instr & 0xfffff000)
+	case 0x17: // AUIPC
+		setRD(c.PC + (instr & 0xfffff000))
+	case 0x6f: // JAL
+		imm := (instr>>31)<<20 | ((instr >> 12) & 0xff << 12) | ((instr >> 20 & 1) << 11) | ((instr >> 21 & 0x3ff) << 1)
+		imm = signExtend(imm, 21)
+		setRD(nextPC)
+		nextPC = c.PC + imm
+		cycles = 2
+	case 0x67: // JALR
+		imm := signExtend(instr>>20, 12)
+		t := (c.X[rs1] + imm) &^ 1
+		setRD(nextPC)
+		nextPC = t
+		cycles = 2
+	case 0x63: // branches
+		imm := (instr>>31)<<12 | ((instr >> 7 & 1) << 11) | ((instr >> 25 & 0x3f) << 5) | ((instr >> 8 & 0xf) << 1)
+		imm = signExtend(imm, 13)
+		var take bool
+		a, b := c.X[rs1], c.X[rs2]
+		switch funct3 {
+		case 0:
+			take = a == b
+		case 1:
+			take = a != b
+		case 4:
+			take = int32(a) < int32(b)
+		case 5:
+			take = int32(a) >= int32(b)
+		case 6:
+			take = a < b
+		case 7:
+			take = a >= b
+		default:
+			return &Trap{PC: c.PC, Instr: instr, Reason: "bad branch funct3"}
+		}
+		if take {
+			nextPC = c.PC + imm
+			cycles = 2
+		}
+	case 0x03: // loads
+		imm := signExtend(instr>>20, 12)
+		addr := c.X[rs1] + imm
+		var size int
+		switch funct3 & 3 {
+		case 0:
+			size = 1
+		case 1:
+			size = 2
+		case 2:
+			size = 4
+		default:
+			return &Trap{PC: c.PC, Instr: instr, Reason: "bad load size"}
+		}
+		v, wait, err := c.Bus.Load(addr, size)
+		if err != nil {
+			return &Trap{PC: c.PC, Instr: instr, Reason: "load: " + err.Error()}
+		}
+		cycles += wait + 1
+		switch funct3 {
+		case 0:
+			v = signExtend(v, 8)
+		case 1:
+			v = signExtend(v, 16)
+		}
+		setRD(v)
+	case 0x23: // stores
+		imm := signExtend((funct7<<5)|rd, 12)
+		addr := c.X[rs1] + imm
+		var size int
+		switch funct3 {
+		case 0:
+			size = 1
+		case 1:
+			size = 2
+		case 2:
+			size = 4
+		default:
+			return &Trap{PC: c.PC, Instr: instr, Reason: "bad store size"}
+		}
+		wait, err := c.Bus.Store(addr, size, c.X[rs2])
+		if err != nil {
+			return &Trap{PC: c.PC, Instr: instr, Reason: "store: " + err.Error()}
+		}
+		cycles += wait
+	case 0x13: // op-imm
+		imm := signExtend(instr>>20, 12)
+		sh := rs2
+		switch funct3 {
+		case 0:
+			setRD(c.X[rs1] + imm)
+		case 2:
+			setRD(boolTo(int32(c.X[rs1]) < int32(imm)))
+		case 3:
+			setRD(boolTo(c.X[rs1] < imm))
+		case 4:
+			setRD(c.X[rs1] ^ imm)
+		case 6:
+			setRD(c.X[rs1] | imm)
+		case 7:
+			setRD(c.X[rs1] & imm)
+		case 1:
+			setRD(c.X[rs1] << sh)
+		case 5:
+			if funct7&0x20 != 0 {
+				setRD(uint32(int32(c.X[rs1]) >> sh))
+			} else {
+				setRD(c.X[rs1] >> sh)
+			}
+		}
+	case 0x33: // op
+		a, b := c.X[rs1], c.X[rs2]
+		if funct7 == 1 { // M extension
+			switch funct3 {
+			case 0:
+				setRD(a * b)
+			case 1:
+				setRD(uint32(uint64(int64(int32(a))*int64(int32(b))) >> 32))
+			case 2:
+				setRD(uint32(uint64(int64(int32(a))*int64(b)) >> 32))
+			case 3:
+				setRD(uint32(uint64(a) * uint64(b) >> 32))
+			case 4:
+				setRD(divS(a, b))
+			case 5:
+				setRD(divU(a, b))
+			case 6:
+				setRD(remS(a, b))
+			case 7:
+				setRD(remU(a, b))
+			}
+			cycles = 3
+			break
+		}
+		switch funct3 {
+		case 0:
+			if funct7&0x20 != 0 {
+				setRD(a - b)
+			} else {
+				setRD(a + b)
+			}
+		case 1:
+			setRD(a << (b & 31))
+		case 2:
+			setRD(boolTo(int32(a) < int32(b)))
+		case 3:
+			setRD(boolTo(a < b))
+		case 4:
+			setRD(a ^ b)
+		case 5:
+			if funct7&0x20 != 0 {
+				setRD(uint32(int32(a) >> (b & 31)))
+			} else {
+				setRD(a >> (b & 31))
+			}
+		case 6:
+			setRD(a | b)
+		case 7:
+			setRD(a & b)
+		}
+	case 0x73: // SYSTEM
+		csr := instr >> 20
+		switch funct3 {
+		case 0: // ECALL/EBREAK halt the hart in this controller context.
+			c.Halted = true
+		case 1: // CSRRW
+			old := c.readCSR(csr)
+			c.writeCSR(csr, c.X[rs1])
+			setRD(old)
+		case 2: // CSRRS
+			old := c.readCSR(csr)
+			if rs1 != 0 {
+				c.writeCSR(csr, old|c.X[rs1])
+			}
+			setRD(old)
+		case 3: // CSRRC
+			old := c.readCSR(csr)
+			if rs1 != 0 {
+				c.writeCSR(csr, old&^c.X[rs1])
+			}
+			setRD(old)
+		case 5: // CSRRWI
+			old := c.readCSR(csr)
+			c.writeCSR(csr, rs1)
+			setRD(old)
+		default:
+			return &Trap{PC: c.PC, Instr: instr, Reason: "unsupported SYSTEM funct3"}
+		}
+	case 0x0b: // custom-0: QRCH / ISA-extension hook
+		if c.Custom == nil {
+			return &Trap{PC: c.PC, Instr: instr, Reason: "custom-0 with no handler"}
+		}
+		v, cyc, err := c.Custom(c, funct3, funct7, c.X[rs1], c.X[rs2])
+		if err != nil {
+			return &Trap{PC: c.PC, Instr: instr, Reason: "custom: " + err.Error()}
+		}
+		if cyc < 1 {
+			cyc = 1
+		}
+		cycles = cyc
+		setRD(v)
+	case 0x0f: // FENCE — no-op in this single-hart model
+	default:
+		return &Trap{PC: c.PC, Instr: instr, Reason: fmt.Sprintf("unknown opcode %#x", op)}
+	}
+
+	c.X[0] = 0
+	c.PC = nextPC
+	c.Cycles += uint64(cycles)
+	c.Retired++
+	if c.Halted {
+		return ErrHalted
+	}
+	return nil
+}
+
+// Run executes until halt or maxInstrs, returning an error on trap or when
+// the budget is exhausted without halting.
+func (c *CPU) Run(maxInstrs uint64) error {
+	for i := uint64(0); i < maxInstrs; i++ {
+		if err := c.Step(); err != nil {
+			if errors.Is(err, ErrHalted) {
+				return nil
+			}
+			return err
+		}
+	}
+	return fmt.Errorf("riscv: %d instructions executed without halting", maxInstrs)
+}
+
+func boolTo(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func divS(a, b uint32) uint32 {
+	if b == 0 {
+		return 0xffffffff
+	}
+	if int32(a) == -1<<31 && int32(b) == -1 {
+		return a
+	}
+	return uint32(int32(a) / int32(b))
+}
+
+func divU(a, b uint32) uint32 {
+	if b == 0 {
+		return 0xffffffff
+	}
+	return a / b
+}
+
+func remS(a, b uint32) uint32 {
+	if b == 0 {
+		return a
+	}
+	if int32(a) == -1<<31 && int32(b) == -1 {
+		return 0
+	}
+	return uint32(int32(a) % int32(b))
+}
+
+func remU(a, b uint32) uint32 {
+	if b == 0 {
+		return a
+	}
+	return a % b
+}

@@ -1,0 +1,196 @@
+package riscv
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders one instruction word in the assembler's own syntax,
+// so listings from axe-asm are readable and (for the supported subset)
+// re-assemblable. Unknown encodings render as ".word 0x...".
+func Disassemble(instr uint32) string {
+	op := instr & 0x7f
+	rd := (instr >> 7) & 0x1f
+	funct3 := (instr >> 12) & 0x7
+	rs1 := (instr >> 15) & 0x1f
+	rs2 := (instr >> 20) & 0x1f
+	funct7 := instr >> 25
+	reg := regName
+	unknown := fmt.Sprintf(".word 0x%08x", instr)
+
+	switch op {
+	case 0x37:
+		return fmt.Sprintf("lui %s, 0x%x", reg(rd), instr>>12)
+	case 0x17:
+		return fmt.Sprintf("auipc %s, 0x%x", reg(rd), instr>>12)
+	case 0x6f:
+		imm := (instr>>31)<<20 | ((instr >> 12 & 0xff) << 12) | ((instr >> 20 & 1) << 11) | ((instr >> 21 & 0x3ff) << 1)
+		off := int32(signExtend(imm, 21))
+		if rd == 0 {
+			return fmt.Sprintf("j %+d", off)
+		}
+		return fmt.Sprintf("jal %s, %+d", reg(rd), off)
+	case 0x67:
+		if funct3 != 0 {
+			return unknown
+		}
+		imm := int32(signExtend(instr>>20, 12))
+		if rd == 0 && rs1 == 1 && imm == 0 {
+			return "ret"
+		}
+		return fmt.Sprintf("jalr %s, %d(%s)", reg(rd), imm, reg(rs1))
+	case 0x63:
+		names := map[uint32]string{0: "beq", 1: "bne", 4: "blt", 5: "bge", 6: "bltu", 7: "bgeu"}
+		name, ok := names[funct3]
+		if !ok {
+			return unknown
+		}
+		imm := (instr>>31)<<12 | ((instr >> 7 & 1) << 11) | ((instr >> 25 & 0x3f) << 5) | ((instr >> 8 & 0xf) << 1)
+		return fmt.Sprintf("%s %s, %s, %+d", name, reg(rs1), reg(rs2), int32(signExtend(imm, 13)))
+	case 0x03:
+		names := map[uint32]string{0: "lb", 1: "lh", 2: "lw", 4: "lbu", 5: "lhu"}
+		name, ok := names[funct3]
+		if !ok {
+			return unknown
+		}
+		return fmt.Sprintf("%s %s, %d(%s)", name, reg(rd), int32(signExtend(instr>>20, 12)), reg(rs1))
+	case 0x23:
+		names := map[uint32]string{0: "sb", 1: "sh", 2: "sw"}
+		name, ok := names[funct3]
+		if !ok {
+			return unknown
+		}
+		imm := int32(signExtend((funct7<<5)|rd, 12))
+		return fmt.Sprintf("%s %s, %d(%s)", name, reg(rs2), imm, reg(rs1))
+	case 0x13:
+		imm := int32(signExtend(instr>>20, 12))
+		switch funct3 {
+		case 0:
+			if instr == 0x00000013 {
+				return "nop"
+			}
+			if rs1 == 0 {
+				return fmt.Sprintf("li %s, %d", reg(rd), imm)
+			}
+			if imm == 0 {
+				return fmt.Sprintf("mv %s, %s", reg(rd), reg(rs1))
+			}
+			return fmt.Sprintf("addi %s, %s, %d", reg(rd), reg(rs1), imm)
+		case 2:
+			return fmt.Sprintf("slti %s, %s, %d", reg(rd), reg(rs1), imm)
+		case 3:
+			return fmt.Sprintf("sltiu %s, %s, %d", reg(rd), reg(rs1), imm)
+		case 4:
+			return fmt.Sprintf("xori %s, %s, %d", reg(rd), reg(rs1), imm)
+		case 6:
+			return fmt.Sprintf("ori %s, %s, %d", reg(rd), reg(rs1), imm)
+		case 7:
+			return fmt.Sprintf("andi %s, %s, %d", reg(rd), reg(rs1), imm)
+		case 1:
+			return fmt.Sprintf("slli %s, %s, %d", reg(rd), reg(rs1), rs2)
+		case 5:
+			if funct7&0x20 != 0 {
+				return fmt.Sprintf("srai %s, %s, %d", reg(rd), reg(rs1), rs2)
+			}
+			return fmt.Sprintf("srli %s, %s, %d", reg(rd), reg(rs1), rs2)
+		}
+		return unknown
+	case 0x33:
+		var name string
+		if funct7 == 1 {
+			names := [8]string{"mul", "mulh", "mulhsu", "mulhu", "div", "divu", "rem", "remu"}
+			name = names[funct3]
+		} else {
+			switch funct3 {
+			case 0:
+				name = "add"
+				if funct7&0x20 != 0 {
+					name = "sub"
+				}
+			case 1:
+				name = "sll"
+			case 2:
+				name = "slt"
+			case 3:
+				name = "sltu"
+			case 4:
+				name = "xor"
+			case 5:
+				name = "srl"
+				if funct7&0x20 != 0 {
+					name = "sra"
+				}
+			case 6:
+				name = "or"
+			case 7:
+				name = "and"
+			}
+		}
+		if name == "" {
+			return unknown
+		}
+		return fmt.Sprintf("%s %s, %s, %s", name, reg(rd), reg(rs1), reg(rs2))
+	case 0x73:
+		csr := instr >> 20
+		switch funct3 {
+		case 0:
+			if instr == 0x00100073 {
+				return "ebreak"
+			}
+			if instr == 0x73 {
+				return "ecall"
+			}
+			return unknown
+		case 1:
+			return fmt.Sprintf("csrrw %s, 0x%x, %s", reg(rd), csr, reg(rs1))
+		case 2:
+			if rs1 == 0 && csr == CSRCycle {
+				return fmt.Sprintf("rdcycle %s", reg(rd))
+			}
+			return fmt.Sprintf("csrrs %s, 0x%x, %s", reg(rd), csr, reg(rs1))
+		case 3:
+			return fmt.Sprintf("csrrc %s, 0x%x, %s", reg(rd), csr, reg(rs1))
+		case 5:
+			return fmt.Sprintf("csrrwi %s, 0x%x, %d", reg(rd), csr, rs1)
+		}
+		return unknown
+	case 0x0b:
+		switch funct3 {
+		case CustomQPush:
+			return fmt.Sprintf("qpush %d, %s, %s", funct7, reg(rs1), reg(rs2))
+		case CustomQPop:
+			return fmt.Sprintf("qpop %s, %d", reg(rd), funct7)
+		case CustomQStat:
+			return fmt.Sprintf("qstat %s, %d", reg(rd), funct7)
+		case CustomAxOp:
+			return fmt.Sprintf("axop %s, %s", reg(rs1), reg(rs2))
+		}
+		return unknown
+	case 0x0f:
+		return "fence"
+	}
+	return unknown
+}
+
+// regName returns the ABI name for a register number.
+func regName(n uint32) string {
+	names := [32]string{
+		"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+		"s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+		"a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+		"s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+	}
+	if n < 32 {
+		return names[n]
+	}
+	return fmt.Sprintf("x%d", n)
+}
+
+// DisassembleProgram renders words as an address-annotated listing.
+func DisassembleProgram(words []uint32, base uint32) string {
+	var sb strings.Builder
+	for i, w := range words {
+		fmt.Fprintf(&sb, "%08x: %08x  %s\n", base+uint32(i*4), w, Disassemble(w))
+	}
+	return sb.String()
+}

@@ -1,0 +1,127 @@
+package riscv
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisassembleKnown(t *testing.T) {
+	cases := map[string]string{
+		"addi a0, a1, 5":      "addi a0, a1, 5",
+		"add a0, a1, a2":      "add a0, a1, a2",
+		"sub t0, t1, t2":      "sub t0, t1, t2",
+		"lw a0, 8(sp)":        "lw a0, 8(sp)",
+		"sw a0, -4(sp)":       "sw a0, -4(sp)",
+		"nop":                 "nop",
+		"ebreak":              "ebreak",
+		"ecall":               "ecall",
+		"ret":                 "ret",
+		"mul a0, a1, a2":      "mul a0, a1, a2",
+		"divu a0, a1, a2":     "divu a0, a1, a2",
+		"mv a0, a1":           "mv a0, a1",
+		"li a0, 42":           "li a0, 42",
+		"slli a0, a1, 3":      "slli a0, a1, 3",
+		"srai a0, a1, 3":      "srai a0, a1, 3",
+		"lui a0, 0x12345":     "lui a0, 0x12345",
+		"qpush 2, a0, a1":     "qpush 2, a0, a1",
+		"qpop a0, 1":          "qpop a0, 1",
+		"qstat t0, 3":         "qstat t0, 3",
+		"axop a0, a1":         "axop a0, a1",
+		"rdcycle a0":          "rdcycle a0",
+		"csrrw a0, 0x340, a1": "csrrw a0, 0x340, a1",
+	}
+	for src, want := range cases {
+		p, err := Assemble(src, 0)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if got := Disassemble(p.Words[0]); got != want {
+			t.Errorf("%q disassembles to %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestDisassembleBranchesAndJumps(t *testing.T) {
+	p, err := Assemble(`
+	start:
+		beq a0, a1, start
+		j start
+		jal ra, start
+	`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Disassemble(p.Words[0]); got != "beq a0, a1, +0" {
+		t.Fatalf("beq = %q", got)
+	}
+	if got := Disassemble(p.Words[1]); got != "j -4" {
+		t.Fatalf("j = %q", got)
+	}
+	if got := Disassemble(p.Words[2]); got != "jal ra, -8" {
+		t.Fatalf("jal = %q", got)
+	}
+}
+
+func TestDisassembleUnknown(t *testing.T) {
+	if got := Disassemble(0xFFFFFFFF); !strings.HasPrefix(got, ".word") {
+		t.Fatalf("unknown word = %q", got)
+	}
+	if got := Disassemble(0x0000007F); !strings.HasPrefix(got, ".word") {
+		t.Fatalf("bad opcode = %q", got)
+	}
+}
+
+// TestDisassembleRoundTrip re-assembles the disassembly of every encodable
+// non-branch instruction and checks the words match.
+func TestDisassembleRoundTrip(t *testing.T) {
+	srcs := []string{
+		"addi a0, a1, -7", "andi t0, t1, 255", "ori s0, s1, 16",
+		"xori a2, a3, 1", "slti a4, a5, -3", "sltiu a6, a7, 9",
+		"add t3, t4, t5", "sub s2, s3, s4", "and s5, s6, s7",
+		"or s8, s9, s10", "xor s11, t6, zero", "sll a0, a1, a2",
+		"srl a0, a1, a2", "sra a0, a1, a2", "slt a0, a1, a2",
+		"sltu a0, a1, a2", "mul a0, a1, a2", "mulh a0, a1, a2",
+		"div a0, a1, a2", "rem a0, a1, a2", "lb a0, 1(a1)",
+		"lh a0, 2(a1)", "lw a0, 4(a1)", "lbu a0, 1(a1)",
+		"lhu a0, 2(a1)", "sb a0, 1(a1)", "sh a0, 2(a1)",
+		"sw a0, 4(a1)", "lui a0, 0xABCDE", "nop", "ebreak", "ret",
+		"qpush 5, t0, t1", "qpop a0, 4", "axop t0, t1",
+	}
+	for _, src := range srcs {
+		p1, err := Assemble(src, 0)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		dis := Disassemble(p1.Words[0])
+		p2, err := Assemble(dis, 0)
+		if err != nil {
+			t.Fatalf("%q → %q does not re-assemble: %v", src, dis, err)
+		}
+		if p1.Words[0] != p2.Words[0] {
+			t.Errorf("%q → %q → %08x, want %08x", src, dis, p2.Words[0], p1.Words[0])
+		}
+	}
+}
+
+func TestDisassembleProgramListing(t *testing.T) {
+	p, err := Assemble("nop\nebreak", 0x100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	listing := DisassembleProgram(p.Words, 0x100)
+	if !strings.Contains(listing, "00000100: 00000013  nop") {
+		t.Fatalf("listing = %q", listing)
+	}
+	if !strings.Contains(listing, "ebreak") {
+		t.Fatal("listing missing ebreak")
+	}
+}
+
+func TestRegNameFallback(t *testing.T) {
+	if regName(10) != "a0" || regName(0) != "zero" {
+		t.Fatal("ABI names wrong")
+	}
+	if regName(99) != "x99" {
+		t.Fatal("out-of-range register name wrong")
+	}
+}

@@ -1,0 +1,453 @@
+package riscv
+
+import (
+	"errors"
+	"testing"
+)
+
+func makeCPU(t *testing.T, source string) (*CPU, *RAM) {
+	t.Helper()
+	bus := &SystemBus{}
+	ram := NewRAM(64 << 10)
+	if err := bus.Map(0, 64<<10, ram); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Assemble(source, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(ram.Data, prog.Bytes())
+	cpu := NewCPU(bus)
+	return cpu, ram
+}
+
+func run(t *testing.T, source string) *CPU {
+	t.Helper()
+	cpu, _ := makeCPU(t, source)
+	if err := cpu.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	return cpu
+}
+
+func reg(name string) uint32 { n, _ := regNum(name); return n }
+
+func TestArithmetic(t *testing.T) {
+	cpu := run(t, `
+		li   a0, 20
+		li   a1, 22
+		add  a2, a0, a1     # 42
+		sub  a3, a0, a1     # -2
+		xor  a4, a0, a1     # 2
+		or   a5, a0, a1     # 22|20
+		and  a6, a0, a1     # 22&20
+		ebreak
+	`)
+	if cpu.X[reg("a2")] != 42 {
+		t.Fatalf("add = %d", cpu.X[reg("a2")])
+	}
+	if int32(cpu.X[reg("a3")]) != -2 {
+		t.Fatalf("sub = %d", int32(cpu.X[reg("a3")]))
+	}
+	if cpu.X[reg("a4")] != 20^22 || cpu.X[reg("a5")] != 20|22 || cpu.X[reg("a6")] != 20&22 {
+		t.Fatal("logic ops wrong")
+	}
+}
+
+func TestShiftsAndCompares(t *testing.T) {
+	cpu := run(t, `
+		li   a0, -8
+		srai a1, a0, 1      # -4
+		srli a2, a0, 28     # 0xF
+		slli a3, a0, 1      # -16
+		slti a4, a0, 0      # 1
+		sltiu a5, a0, 0     # 0 (unsigned -8 is huge)
+		li   t0, 3
+		li   t1, 5
+		slt  a6, t0, t1     # 1
+		sltu a7, t1, t0     # 0
+		ebreak
+	`)
+	if int32(cpu.X[reg("a1")]) != -4 || cpu.X[reg("a2")] != 0xF || int32(cpu.X[reg("a3")]) != -16 {
+		t.Fatal("shifts wrong")
+	}
+	if cpu.X[reg("a4")] != 1 || cpu.X[reg("a5")] != 0 || cpu.X[reg("a6")] != 1 || cpu.X[reg("a7")] != 0 {
+		t.Fatal("compares wrong")
+	}
+}
+
+func TestMulDiv(t *testing.T) {
+	cpu := run(t, `
+		li   a0, -6
+		li   a1, 7
+		mul  a2, a0, a1     # -42
+		div  a3, a0, a1     # 0 (rounds toward zero)
+		rem  a4, a0, a1     # -6
+		li   t0, 100
+		li   t1, 7
+		divu a5, t0, t1     # 14
+		remu a6, t0, t1     # 2
+		ebreak
+	`)
+	if int32(cpu.X[reg("a2")]) != -42 {
+		t.Fatalf("mul = %d", int32(cpu.X[reg("a2")]))
+	}
+	if cpu.X[reg("a3")] != 0 || int32(cpu.X[reg("a4")]) != -6 {
+		t.Fatal("signed div/rem wrong")
+	}
+	if cpu.X[reg("a5")] != 14 || cpu.X[reg("a6")] != 2 {
+		t.Fatal("unsigned div/rem wrong")
+	}
+}
+
+func TestDivEdgeCases(t *testing.T) {
+	cpu := run(t, `
+		li   a0, 5
+		li   zero, 0
+		div  a1, a0, zero   # /0 -> -1
+		rem  a2, a0, zero   # %0 -> a0
+		li   t0, 1
+		slli t0, t0, 31     # INT_MIN
+		li   t1, -1
+		div  a3, t0, t1     # overflow -> INT_MIN
+		rem  a4, t0, t1     # -> 0
+		ebreak
+	`)
+	if cpu.X[reg("a1")] != 0xFFFFFFFF || cpu.X[reg("a2")] != 5 {
+		t.Fatal("divide-by-zero semantics wrong")
+	}
+	if cpu.X[reg("a3")] != 1<<31 || cpu.X[reg("a4")] != 0 {
+		t.Fatal("overflow semantics wrong")
+	}
+}
+
+func TestLoadsStores(t *testing.T) {
+	cpu := run(t, `
+		li   t0, 0x1000
+		li   a0, -2        # 0xFFFFFFFE
+		sw   a0, 0(t0)
+		lw   a1, 0(t0)
+		lh   a2, 0(t0)      # sign-extended 0xFFFE
+		lhu  a3, 0(t0)      # 0xFFFE
+		lb   a4, 0(t0)      # -2
+		lbu  a5, 0(t0)      # 0xFE
+		sb   a0, 8(t0)
+		lw   a6, 8(t0)      # only low byte written
+		ebreak
+	`)
+	if cpu.X[reg("a1")] != 0xFFFFFFFE {
+		t.Fatal("lw wrong")
+	}
+	if cpu.X[reg("a2")] != 0xFFFFFFFE || cpu.X[reg("a3")] != 0xFFFE {
+		t.Fatal("lh/lhu wrong")
+	}
+	if int32(cpu.X[reg("a4")]) != -2 || cpu.X[reg("a5")] != 0xFE {
+		t.Fatal("lb/lbu wrong")
+	}
+	if cpu.X[reg("a6")] != 0xFE {
+		t.Fatal("sb wrote more than a byte")
+	}
+}
+
+func TestBranchesAndLoop(t *testing.T) {
+	// Sum 1..10 with a loop.
+	cpu := run(t, `
+		li   a0, 0          # sum
+		li   t0, 1          # i
+		li   t1, 10
+	loop:
+		add  a0, a0, t0
+		addi t0, t0, 1
+		bge  t1, t0, loop
+		ebreak
+	`)
+	if cpu.X[reg("a0")] != 55 {
+		t.Fatalf("sum = %d, want 55", cpu.X[reg("a0")])
+	}
+}
+
+func TestFibonacciProgram(t *testing.T) {
+	cpu := run(t, `
+		li   a0, 0
+		li   a1, 1
+		li   t0, 10
+	fib:
+		add  t1, a0, a1
+		mv   a0, a1
+		mv   a1, t1
+		addi t0, t0, -1
+		bne  t0, zero, fib
+		ebreak
+	`)
+	if cpu.X[reg("a0")] != 55 { // fib(10)
+		t.Fatalf("fib = %d, want 55", cpu.X[reg("a0")])
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	cpu := run(t, `
+		li   a0, 5
+		call double
+		call double
+		ebreak
+	double:
+		add  a0, a0, a0
+		ret
+	`)
+	if cpu.X[reg("a0")] != 20 {
+		t.Fatalf("a0 = %d, want 20", cpu.X[reg("a0")])
+	}
+}
+
+func TestJalJalr(t *testing.T) {
+	cpu := run(t, `
+		jal  s0, target
+		ebreak              # skipped
+	target:
+		li   a0, 1
+		ebreak
+	`)
+	if cpu.X[reg("a0")] != 1 || cpu.X[reg("s0")] != 4 {
+		t.Fatalf("jal: a0=%d ra'=%#x", cpu.X[reg("a0")], cpu.X[reg("s0")])
+	}
+}
+
+func TestLuiAuipcLiLarge(t *testing.T) {
+	cpu := run(t, `
+		li   a0, 0x12345678
+		li   a1, -1000000
+		lui  a2, 0xFFFFF
+		ebreak
+	`)
+	if cpu.X[reg("a0")] != 0x12345678 {
+		t.Fatalf("large li = %#x", cpu.X[reg("a0")])
+	}
+	if int32(cpu.X[reg("a1")]) != -1000000 {
+		t.Fatalf("negative li = %d", int32(cpu.X[reg("a1")]))
+	}
+	if cpu.X[reg("a2")] != 0xFFFFF000 {
+		t.Fatalf("lui = %#x", cpu.X[reg("a2")])
+	}
+}
+
+func TestX0AlwaysZero(t *testing.T) {
+	cpu := run(t, `
+		li   zero, 42
+		addi x0, x0, 7
+		mv   a0, zero
+		ebreak
+	`)
+	if cpu.X[0] != 0 || cpu.X[reg("a0")] != 0 {
+		t.Fatal("x0 was written")
+	}
+}
+
+func TestRdcycleCounts(t *testing.T) {
+	cpu := run(t, `
+		rdcycle a0
+		nop
+		nop
+		nop
+		rdcycle a1
+		ebreak
+	`)
+	d := cpu.X[reg("a1")] - cpu.X[reg("a0")]
+	if d < 3 || d > 8 {
+		t.Fatalf("3 nops cost %d cycles", d)
+	}
+}
+
+func TestCSRReadWrite(t *testing.T) {
+	cpu := run(t, `
+		li    a0, 0xAB
+		csrrw a1, 0x340, a0  # old (0) -> a1, write 0xAB
+		csrrs a2, 0x340, zero # read back
+		li    a3, 0x0F
+		csrrc a4, 0x340, a3  # clear low bits
+		csrrs a5, 0x340, zero
+		ebreak
+	`)
+	if cpu.X[reg("a1")] != 0 || cpu.X[reg("a2")] != 0xAB {
+		t.Fatal("csrrw/csrrs wrong")
+	}
+	if cpu.X[reg("a4")] != 0xAB || cpu.X[reg("a5")] != 0xA0 {
+		t.Fatalf("csrrc wrong: %#x %#x", cpu.X[reg("a4")], cpu.X[reg("a5")])
+	}
+}
+
+func TestInstretCounter(t *testing.T) {
+	cpu := run(t, `
+		nop
+		nop
+		ebreak
+	`)
+	if cpu.Retired != 3 {
+		t.Fatalf("retired = %d", cpu.Retired)
+	}
+}
+
+func TestTrapOnUnknownOpcode(t *testing.T) {
+	cpu, ram := makeCPU(t, "nop")
+	ram.Data[0] = 0x7F // not a valid opcode
+	err := cpu.Step()
+	var trap *Trap
+	if !errors.As(err, &trap) {
+		t.Fatalf("expected trap, got %v", err)
+	}
+}
+
+func TestTrapOnBadAddress(t *testing.T) {
+	cpu, _ := makeCPU(t, `
+		li  t0, 0x7FFFFFF0
+		lw  a0, 0(t0)
+	`)
+	var trap *Trap
+	for i := 0; i < 10; i++ {
+		if err := cpu.Step(); errors.As(err, &trap) {
+			return
+		}
+	}
+	t.Fatal("unmapped load did not trap")
+}
+
+func TestCustomInstructionDispatch(t *testing.T) {
+	cpu, _ := makeCPU(t, `
+		li   a0, 6
+		li   a1, 7
+		axop a0, a1
+		ebreak
+	`)
+	var gotF3 uint32
+	cpu.Custom = func(c *CPU, f3, f7, rs1, rs2 uint32) (uint32, int, error) {
+		gotF3 = f3
+		return rs1 * rs2, 5, nil
+	}
+	if err := cpu.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if gotF3 != CustomAxOp {
+		t.Fatalf("funct3 = %d", gotF3)
+	}
+	// axop has rd=0 so the result is discarded, but cycles count.
+	if cpu.Cycles < 7 {
+		t.Fatalf("custom cycle cost not charged: %d", cpu.Cycles)
+	}
+}
+
+func TestCustomWithoutHandlerTraps(t *testing.T) {
+	cpu, _ := makeCPU(t, `axop a0, a1`)
+	var trap *Trap
+	if err := cpu.Step(); !errors.As(err, &trap) {
+		t.Fatalf("expected trap, got %v", err)
+	}
+}
+
+func TestHaltSemantics(t *testing.T) {
+	cpu, _ := makeCPU(t, "ebreak")
+	if err := cpu.Step(); !errors.Is(err, ErrHalted) {
+		t.Fatalf("first step: %v", err)
+	}
+	if err := cpu.Step(); !errors.Is(err, ErrHalted) {
+		t.Fatal("halted CPU stepped again")
+	}
+	if err := cpu.Run(10); err != nil {
+		t.Fatal("Run on halted CPU should return nil")
+	}
+}
+
+func TestRunBudgetExceeded(t *testing.T) {
+	cpu, _ := makeCPU(t, `
+	spin:
+		j spin
+	`)
+	if err := cpu.Run(100); err == nil {
+		t.Fatal("infinite loop did not exhaust budget")
+	}
+}
+
+func TestReset(t *testing.T) {
+	cpu := run(t, `
+		li a0, 9
+		ebreak
+	`)
+	cpu.Reset(0)
+	if cpu.X[reg("a0")] != 0 || cpu.Cycles != 0 || cpu.Halted {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestDecoderNeverPanics(t *testing.T) {
+	// Random instruction words must trap or execute, never panic.
+	bus := &SystemBus{}
+	ram := NewRAM(1 << 12)
+	if err := bus.Map(0, 1<<12, ram); err != nil {
+		t.Fatal(err)
+	}
+	cpu := NewCPU(bus)
+	cpu.Custom = func(c *CPU, f3, f7, rs1, rs2 uint32) (uint32, int, error) { return 0, 1, nil }
+	rng := uint64(12345)
+	for i := 0; i < 5000; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		word := uint32(rng >> 32)
+		ram.Data[0] = byte(word)
+		ram.Data[1] = byte(word >> 8)
+		ram.Data[2] = byte(word >> 16)
+		ram.Data[3] = byte(word >> 24)
+		cpu.Reset(0)
+		_ = cpu.Step() // any error is fine; panics are not
+	}
+}
+
+func TestDisassembleNeverPanics(t *testing.T) {
+	rng := uint64(999)
+	for i := 0; i < 20000; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		if Disassemble(uint32(rng>>32)) == "" {
+			t.Fatal("empty disassembly")
+		}
+	}
+}
+
+func TestCycleCSRs(t *testing.T) {
+	cpu := run(t, `
+		nop
+		nop
+		csrrs a0, 0xC00, zero   # cycle
+		csrrs a1, 0xC80, zero   # cycleh
+		csrrs a2, 0xC02, zero   # instret
+		ebreak
+	`)
+	if cpu.X[reg("a0")] == 0 {
+		t.Fatal("cycle CSR reads zero after work")
+	}
+	if cpu.X[reg("a1")] != 0 {
+		t.Fatal("cycleh should be zero this early")
+	}
+	// Four instructions retired before the instret read executes.
+	if cpu.X[reg("a2")] != 4 {
+		t.Fatalf("instret = %d, want 4", cpu.X[reg("a2")])
+	}
+}
+
+func TestDivuRemuByZero(t *testing.T) {
+	cpu := run(t, `
+		li   a0, 7
+		divu a1, a0, zero   # -> all ones
+		remu a2, a0, zero   # -> a0
+		ebreak
+	`)
+	if cpu.X[reg("a1")] != 0xFFFFFFFF || cpu.X[reg("a2")] != 7 {
+		t.Fatal("unsigned divide-by-zero semantics wrong")
+	}
+}
+
+func TestCSRRWI(t *testing.T) {
+	cpu := run(t, `
+		csrrwi a0, 0x340, 21
+		csrrs  a1, 0x340, zero
+		ebreak
+	`)
+	if cpu.X[reg("a0")] != 0 || cpu.X[reg("a1")] != 21 {
+		t.Fatalf("csrrwi: old=%d new=%d", cpu.X[reg("a0")], cpu.X[reg("a1")])
+	}
+}

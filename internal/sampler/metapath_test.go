@@ -1,0 +1,136 @@
+package sampler
+
+import (
+	"testing"
+
+	"lsdgnn/internal/graph"
+)
+
+// buildBipartite builds a user↔item hetero graph: nodes [0,50) are users,
+// [50,100) items; "buys" goes user→item, "boughtBy" item→user.
+func buildBipartite(t *testing.T) *graph.Hetero {
+	t.Helper()
+	const n, users = 100, 50
+	h := graph.NewHetero(n, 4)
+	buys := graph.NewBuilder(n, 4)
+	boughtBy := graph.NewBuilder(n, 4)
+	for u := int64(0); u < users; u++ {
+		for k := int64(0); k < 4; k++ {
+			item := users + (u*3+k*7)%users
+			if err := buys.AddEdge(graph.NodeID(u), graph.NodeID(item)); err != nil {
+				t.Fatal(err)
+			}
+			if err := boughtBy.AddEdge(graph.NodeID(item), graph.NodeID(u)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	gb, err := buys.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gbb, err := boughtBy.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddRelation("buys", gb); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddRelation("boughtBy", gbb); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestMetaPathValidation(t *testing.T) {
+	h := buildBipartite(t)
+	if _, err := NewMetaPath(h, nil, Config{}); err == nil {
+		t.Fatal("empty path accepted")
+	}
+	if _, err := NewMetaPath(h, []string{"buys"}, Config{Fanouts: []int{2, 2}}); err == nil {
+		t.Fatal("fanout/path mismatch accepted")
+	}
+	if _, err := NewMetaPath(h, []string{"sells"}, Config{Fanouts: []int{2}}); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+}
+
+func TestMetaPathUserItemUser(t *testing.T) {
+	h := buildBipartite(t)
+	s, err := NewMetaPath(h, []string{"buys", "boughtBy"}, Config{
+		Fanouts: []int{3, 2}, Method: Streaming, FetchAttrs: true, NegativeRate: 1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Path(); len(got) != 2 || got[0] != "buys" {
+		t.Fatalf("path = %v", got)
+	}
+	roots := []graph.NodeID{0, 1, 2}
+	res := s.SampleBatch(roots)
+	if len(res.Hops[0]) != 9 || len(res.Hops[1]) != 18 {
+		t.Fatalf("hop sizes %d/%d", len(res.Hops[0]), len(res.Hops[1]))
+	}
+	// Hop 1 follows "buys": user roots land on items (≥50); padding (the
+	// user itself) is impossible here because every user has 4 items.
+	for _, v := range res.Hops[0] {
+		if int64(v) < 50 {
+			t.Fatalf("hop-1 node %d is not an item", v)
+		}
+	}
+	// Hop 2 follows "boughtBy": back to users (<50).
+	for _, v := range res.Hops[1] {
+		if int64(v) >= 50 {
+			t.Fatalf("hop-2 node %d is not a user", v)
+		}
+	}
+	wantAttrs := (3 + 9 + 18 + 3) * 4
+	if len(res.Attrs) != wantAttrs {
+		t.Fatalf("attrs = %d floats, want %d", len(res.Attrs), wantAttrs)
+	}
+}
+
+func TestMetaPathDeterministic(t *testing.T) {
+	h := buildBipartite(t)
+	run := func() *Result {
+		s, err := NewMetaPath(h, []string{"buys", "boughtBy"}, Config{
+			Fanouts: []int{2, 2}, Method: Streaming, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.SampleBatch([]graph.NodeID{7, 8})
+	}
+	a, b := run(), run()
+	for h := range a.Hops {
+		for i := range a.Hops[h] {
+			if a.Hops[h][i] != b.Hops[h][i] {
+				t.Fatal("meta-path sampling not deterministic")
+			}
+		}
+	}
+}
+
+func TestDynamicGraphSampling(t *testing.T) {
+	// The sampler works over a dynamic overlay: new edges become
+	// immediately samplable.
+	base := graph.Generate(graph.GenConfig{NumNodes: 200, AvgDegree: 0.1, AttrLen: 2, Seed: 2})
+	d := graph.NewDynamic(base)
+	// Node 0 starts with (almost) no edges; add a burst.
+	for i := int64(1); i <= 10; i++ {
+		if err := d.AddEdge(0, graph.NodeID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := New(d, Config{Fanouts: []int{5}, Method: Streaming, Seed: 3})
+	res := s.SampleBatch([]graph.NodeID{0})
+	fresh := 0
+	for _, v := range res.Hops[0] {
+		if v >= 1 && v <= 10 {
+			fresh++
+		}
+	}
+	if fresh < 4 {
+		t.Fatalf("dynamic edges barely sampled: %v", res.Hops[0])
+	}
+}

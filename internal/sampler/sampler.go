@@ -1,0 +1,228 @@
+// Package sampler implements the software graph-sampling baseline (the
+// AliGraph-style CPU path the paper measures against) and the two random
+// sampling algorithms compared in Section 4.2 Tech-2: conventional
+// reservoir sampling and the paper's streaming step-based sampling.
+package sampler
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lsdgnn/internal/graph"
+)
+
+// Store abstracts graph storage so the same sampler runs against a local
+// graph, a distributed cluster client, or the AxE functional engine.
+type Store interface {
+	// NumNodes returns the vertex count.
+	NumNodes() int64
+	// Neighbors returns the out-neighbors of v. The result must not be
+	// modified.
+	Neighbors(v graph.NodeID) []graph.NodeID
+	// Attr appends v's attribute vector to dst.
+	Attr(dst []float32, v graph.NodeID) []float32
+	// AttrLen returns the attribute vector length.
+	AttrLen() int
+}
+
+// Method selects the neighbor-sampling algorithm.
+type Method int
+
+// Sampling methods.
+const (
+	// Reservoir is the conventional approach: buffer all N candidates,
+	// then draw K without replacement (N storage, N+K steps).
+	Reservoir Method = iota
+	// Streaming is the paper's step-based approximate sampling: split the
+	// incoming N candidates into K contiguous groups and pick one uniform
+	// element per group (no storage, N steps, pipeline-friendly).
+	Streaming
+)
+
+func (m Method) String() string {
+	switch m {
+	case Reservoir:
+		return "reservoir"
+	case Streaming:
+		return "streaming"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// SampleNeighbors draws up to k of candidates using method m. When the
+// candidate list has at most k entries, all are returned (standard GNN
+// fanout semantics). The result is appended to dst.
+//
+// cycles is the abstract step count of the hardware implementation:
+// len(candidates)+k for Reservoir (fill then draw), len(candidates) for
+// Streaming — the Tech-2 latency claim.
+func SampleNeighbors(dst []graph.NodeID, candidates []graph.NodeID, k int, m Method, rng *rand.Rand) (out []graph.NodeID, cycles int) {
+	n := len(candidates)
+	if k <= 0 || n == 0 {
+		return dst, n
+	}
+	if n <= k {
+		return append(dst, candidates...), n + min(n, k)
+	}
+	switch m {
+	case Reservoir:
+		// Partial Fisher–Yates over a scratch copy: exact uniform
+		// K-of-N without replacement.
+		scratch := make([]graph.NodeID, n)
+		copy(scratch, candidates)
+		for i := 0; i < k; i++ {
+			j := i + rng.Intn(n-i)
+			scratch[i], scratch[j] = scratch[j], scratch[i]
+		}
+		return append(dst, scratch[:k]...), n + k
+	case Streaming:
+		// K groups in arrival order; one uniform pick per group. Group
+		// sizes differ by at most one (remainder spread over the first
+		// groups), keeping per-element inclusion probability ≈ k/n.
+		q, r := n/k, n%k
+		start := 0
+		for g := 0; g < k; g++ {
+			size := q
+			if g < r {
+				size++
+			}
+			dst = append(dst, candidates[start+rng.Intn(size)])
+			start += size
+		}
+		return dst, n
+	default:
+		panic(fmt.Sprintf("sampler: unknown method %v", m))
+	}
+}
+
+// Result holds one mini-batch sampling outcome in the AliGraph layout:
+// per-hop flattened node lists plus fetched attributes.
+type Result struct {
+	Roots []graph.NodeID
+	// Hops[h] lists sampled nodes at hop h+1, fanout-aligned: node i of
+	// hop h expands to entries [i*f, (i+1)*f) of hop h+1 (padded with the
+	// parent node when a vertex has no neighbors, matching framework
+	// self-loop fallback).
+	Hops [][]graph.NodeID
+	// Negatives holds NegativeRate uniform negative samples per root.
+	Negatives []graph.NodeID
+	// Attrs concatenates attribute vectors for roots, all hops, then
+	// negatives, in order.
+	Attrs []float32
+	// Cycles is the abstract sampling step count (for Tech-2 accounting).
+	Cycles int
+}
+
+// NodesFetched returns the number of attribute vectors in Attrs.
+func (r *Result) NodesFetched(attrLen int) int {
+	if attrLen == 0 {
+		return 0
+	}
+	return len(r.Attrs) / attrLen
+}
+
+// Config configures a k-hop sampler.
+type Config struct {
+	Fanouts      []int
+	NegativeRate int
+	Method       Method
+	FetchAttrs   bool
+	Seed         int64
+	// WeightFn, when set, switches neighbor selection to importance
+	// weighting (e.g. DegreeWeight) while keeping Method's hardware shape.
+	WeightFn WeightFunc
+}
+
+// Sampler performs mini-batch k-hop sampling over a Store.
+type Sampler struct {
+	store Store
+	cfg   Config
+	rng   *rand.Rand
+}
+
+// New creates a sampler. It panics on an empty fanout list since that
+// always indicates a miswired workload.
+func New(store Store, cfg Config) *Sampler {
+	if len(cfg.Fanouts) == 0 {
+		panic("sampler: no fanouts configured")
+	}
+	return &Sampler{store: store, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// SampleBatch runs k-hop sampling for the given roots.
+func (s *Sampler) SampleBatch(roots []graph.NodeID) *Result {
+	res := &Result{Roots: roots}
+	frontier := roots
+	for _, fanout := range s.cfg.Fanouts {
+		next := make([]graph.NodeID, 0, len(frontier)*fanout)
+		for _, v := range frontier {
+			nbrs := s.store.Neighbors(v)
+			before := len(next)
+			var cyc int
+			next, cyc = s.expand(next, v, nbrs, fanout)
+			res.Cycles += cyc
+			// Pad to exact fanout with the parent (self-loop fallback).
+			for len(next)-before < fanout {
+				next = append(next, v)
+			}
+		}
+		res.Hops = append(res.Hops, next)
+		frontier = next
+	}
+	if s.cfg.NegativeRate > 0 {
+		res.Negatives = make([]graph.NodeID, 0, len(roots)*s.cfg.NegativeRate)
+		n := s.store.NumNodes()
+		for range roots {
+			for i := 0; i < s.cfg.NegativeRate; i++ {
+				res.Negatives = append(res.Negatives, graph.NodeID(s.rng.Int63n(n)))
+			}
+		}
+	}
+	if s.cfg.FetchAttrs {
+		res.Attrs = s.fetchAttrs(res)
+	}
+	return res
+}
+
+func (s *Sampler) fetchAttrs(res *Result) []float32 {
+	total := len(res.Roots) + len(res.Negatives)
+	for _, h := range res.Hops {
+		total += len(h)
+	}
+	attrs := make([]float32, 0, total*s.store.AttrLen())
+	for _, v := range res.Roots {
+		attrs = s.store.Attr(attrs, v)
+	}
+	for _, hop := range res.Hops {
+		for _, v := range hop {
+			attrs = s.store.Attr(attrs, v)
+		}
+	}
+	for _, v := range res.Negatives {
+		attrs = s.store.Attr(attrs, v)
+	}
+	return attrs
+}
+
+// LocalStore adapts a *graph.Graph to the Store interface.
+type LocalStore struct{ G *graph.Graph }
+
+// NumNodes implements Store.
+func (l LocalStore) NumNodes() int64 { return l.G.NumNodes() }
+
+// Neighbors implements Store.
+func (l LocalStore) Neighbors(v graph.NodeID) []graph.NodeID { return l.G.Neighbors(v) }
+
+// Attr implements Store.
+func (l LocalStore) Attr(dst []float32, v graph.NodeID) []float32 { return l.G.Attr(dst, v) }
+
+// AttrLen implements Store.
+func (l LocalStore) AttrLen() int { return l.G.AttrLen() }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

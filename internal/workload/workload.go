@@ -1,0 +1,170 @@
+// Package workload defines the benchmark configurations from the paper's
+// evaluation: the six graph datasets of Table 2, the end-to-end application
+// of Table 3, and mini-batch root generation. Full-scale statistics drive
+// the analytical models; each dataset also carries a scaled-down simulation
+// size so functional runs fit in test memory while preserving degree and
+// attribute statistics.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lsdgnn/internal/graph"
+)
+
+// Dataset describes one of the paper's graph datasets (Table 2).
+type Dataset struct {
+	Name string
+	// Full-scale statistics (drive analytical footprint/traffic models).
+	Nodes   int64
+	Edges   int64
+	AttrLen int
+	// SimNodes is the scaled node count used for functional simulation;
+	// average degree and attribute length are preserved.
+	SimNodes int64
+	// PowerLaw marks skewed (e-commerce-like) degree distributions.
+	PowerLaw bool
+}
+
+// AvgDegree returns edges per node at full scale.
+func (d Dataset) AvgDegree() float64 { return float64(d.Edges) / float64(d.Nodes) }
+
+// FootprintBytes returns the full-scale in-memory footprint: 4-byte floats
+// for attributes plus 8-byte edge entries and 8-byte CSR offsets.
+func (d Dataset) FootprintBytes() int64 {
+	return d.Nodes*int64(d.AttrLen)*4 + d.Edges*8 + (d.Nodes+1)*8
+}
+
+// MinServers returns the minimal number of storage servers with
+// bytesPerServer memory each needed to hold the dataset.
+func (d Dataset) MinServers(bytesPerServer int64) int {
+	if bytesPerServer <= 0 {
+		panic("workload: bytesPerServer must be positive")
+	}
+	fp := d.FootprintBytes()
+	n := fp / bytesPerServer
+	if fp%bytesPerServer != 0 {
+		n++
+	}
+	if n < 1 {
+		n = 1
+	}
+	return int(n)
+}
+
+// Build generates the scaled-down functional graph for this dataset.
+func (d Dataset) Build(seed int64) *graph.Graph {
+	return graph.Generate(graph.GenConfig{
+		NumNodes:  d.SimNodes,
+		AvgDegree: d.AvgDegree(),
+		AttrLen:   d.AttrLen,
+		Seed:      seed,
+		PowerLaw:  d.PowerLaw,
+	})
+}
+
+// Datasets returns the six Table 2 datasets in paper order:
+// ss, ls, sl, ml, ll, syn (named by node-count scale then attribute scale).
+func Datasets() []Dataset {
+	return []Dataset{
+		{Name: "ss", Nodes: 65_200_000, Edges: 592_000_000, AttrLen: 72, SimNodes: 20_000, PowerLaw: true},
+		{Name: "ls", Nodes: 1_900_000_000, Edges: 5_200_000_000, AttrLen: 84, SimNodes: 40_000, PowerLaw: true},
+		{Name: "sl", Nodes: 67_300_000, Edges: 601_000_000, AttrLen: 128, SimNodes: 20_000, PowerLaw: true},
+		{Name: "ml", Nodes: 207_000_000, Edges: 5_700_000_000, AttrLen: 136, SimNodes: 30_000, PowerLaw: true},
+		{Name: "ll", Nodes: 702_000_000, Edges: 12_300_000_000, AttrLen: 152, SimNodes: 30_000, PowerLaw: true},
+		{Name: "syn", Nodes: 5_900_000_000, Edges: 105_000_000_000, AttrLen: 152, SimNodes: 40_000, PowerLaw: true},
+	}
+}
+
+// DatasetByName looks a dataset up by its Table 2 name.
+func DatasetByName(name string) (Dataset, error) {
+	for _, d := range Datasets() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("workload: unknown dataset %q", name)
+}
+
+// SamplingSpec is the sampling application configuration shared by all
+// Table 2 rows: 2-hop random sampling, mini-batch 512, fanout 10/10,
+// negative sample rate 10.
+type SamplingSpec struct {
+	BatchSize    int
+	Fanouts      []int // neighbors sampled per node at each hop
+	NegativeRate int
+	// FetchAttrs controls whether sampled nodes' attributes are fetched
+	// (they are, in the paper's workload).
+	FetchAttrs bool
+}
+
+// DefaultSampling returns the Table 2 sampling model.
+func DefaultSampling() SamplingSpec {
+	return SamplingSpec{BatchSize: 512, Fanouts: []int{10, 10}, NegativeRate: 10, FetchAttrs: true}
+}
+
+// SampledNodesPerRoot returns how many nodes one root expands to across all
+// hops (excluding the root itself): f1 + f1*f2 + ...
+func (s SamplingSpec) SampledNodesPerRoot() int {
+	total, layer := 0, 1
+	for _, f := range s.Fanouts {
+		layer *= f
+		total += layer
+	}
+	return total
+}
+
+// AttrFetchesPerRoot counts attribute vectors fetched per root, including
+// the root and negative samples.
+func (s SamplingSpec) AttrFetchesPerRoot() int {
+	return 1 + s.SampledNodesPerRoot() + s.NegativeRate
+}
+
+// App is the end-to-end application of Table 3: ls dataset, 128-wide
+// embedding, graphSAGE-max GNN and a DSSM 128-128 end model.
+type App struct {
+	Dataset      Dataset
+	Sampling     SamplingSpec
+	EmbeddingDim int
+	HiddenDim    int
+	GNNModel     string
+	EndModel     string
+}
+
+// DefaultApp returns the Table 3 application.
+func DefaultApp() App {
+	ls, _ := DatasetByName("ls")
+	return App{
+		Dataset:      ls,
+		Sampling:     DefaultSampling(),
+		EmbeddingDim: 128,
+		HiddenDim:    128,
+		GNNModel:     "graphSAGE-max",
+		EndModel:     "DSSM-128-128",
+	}
+}
+
+// BatchSource deterministically generates mini-batches of root node IDs.
+type BatchSource struct {
+	rng      *rand.Rand
+	numNodes int64
+	batch    int
+}
+
+// NewBatchSource creates a root generator over [0, numNodes).
+func NewBatchSource(numNodes int64, batchSize int, seed int64) *BatchSource {
+	if numNodes <= 0 || batchSize <= 0 {
+		panic("workload: numNodes and batchSize must be positive")
+	}
+	return &BatchSource{rng: rand.New(rand.NewSource(seed)), numNodes: numNodes, batch: batchSize}
+}
+
+// Next fills and returns a batch of uniformly random root IDs.
+func (b *BatchSource) Next() []graph.NodeID {
+	roots := make([]graph.NodeID, b.batch)
+	for i := range roots {
+		roots[i] = graph.NodeID(b.rng.Int63n(b.numNodes))
+	}
+	return roots
+}

@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"testing"
+
+	"lsdgnn/internal/graph"
+)
+
+func TestDatasetsRegistry(t *testing.T) {
+	ds := Datasets()
+	if len(ds) != 6 {
+		t.Fatalf("dataset count = %d, want 6", len(ds))
+	}
+	wantOrder := []string{"ss", "ls", "sl", "ml", "ll", "syn"}
+	for i, d := range ds {
+		if d.Name != wantOrder[i] {
+			t.Fatalf("dataset %d = %s, want %s", i, d.Name, wantOrder[i])
+		}
+		if d.Nodes <= 0 || d.Edges <= 0 || d.AttrLen <= 0 || d.SimNodes <= 0 {
+			t.Fatalf("dataset %s has non-positive fields", d.Name)
+		}
+	}
+}
+
+func TestDatasetByName(t *testing.T) {
+	d, err := DatasetByName("ml")
+	if err != nil || d.Name != "ml" {
+		t.Fatalf("lookup ml: %v %v", d, err)
+	}
+	if _, err := DatasetByName("nope"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestTable2Statistics(t *testing.T) {
+	// The registry must carry Table 2's published numbers.
+	cases := map[string]struct {
+		nodes, edges int64
+		attr         int
+	}{
+		"ss":  {65_200_000, 592_000_000, 72},
+		"ls":  {1_900_000_000, 5_200_000_000, 84},
+		"sl":  {67_300_000, 601_000_000, 128},
+		"ml":  {207_000_000, 5_700_000_000, 136},
+		"ll":  {702_000_000, 12_300_000_000, 152},
+		"syn": {5_900_000_000, 105_000_000_000, 152},
+	}
+	for name, want := range cases {
+		d, err := DatasetByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Nodes != want.nodes || d.Edges != want.edges || d.AttrLen != want.attr {
+			t.Errorf("%s = %+v, want %+v", name, d, want)
+		}
+	}
+}
+
+func TestFootprintAndServers(t *testing.T) {
+	d, _ := DatasetByName("ss")
+	want := d.Nodes*int64(d.AttrLen)*4 + d.Edges*8 + (d.Nodes+1)*8
+	if d.FootprintBytes() != want {
+		t.Fatalf("footprint = %d, want %d", d.FootprintBytes(), want)
+	}
+	if d.MinServers(want) != 1 {
+		t.Fatal("exact-fit should need 1 server")
+	}
+	if d.MinServers(want-1) != 2 {
+		t.Fatal("one byte short should need 2 servers")
+	}
+	if d.MinServers(want*10) != 1 {
+		t.Fatal("min servers must be at least 1")
+	}
+	// syn (the largest) needs many 512 GB servers.
+	syn, _ := DatasetByName("syn")
+	if syn.MinServers(512e9) < 5 {
+		t.Fatalf("syn servers = %d, expected several", syn.MinServers(512e9))
+	}
+}
+
+func TestMinServersValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive capacity did not panic")
+		}
+	}()
+	Datasets()[0].MinServers(0)
+}
+
+func TestBuildScaled(t *testing.T) {
+	d, _ := DatasetByName("ss")
+	g := d.Build(1)
+	if g.NumNodes() != d.SimNodes {
+		t.Fatalf("sim nodes = %d, want %d", g.NumNodes(), d.SimNodes)
+	}
+	if g.AttrLen() != d.AttrLen {
+		t.Fatalf("attr len = %d, want %d", g.AttrLen(), d.AttrLen)
+	}
+	// Average degree preserved within 5%.
+	if got, want := g.AvgDegree(), d.AvgDegree(); got < want*0.95 || got > want*1.05 {
+		t.Fatalf("avg degree %v, want ~%v", got, want)
+	}
+}
+
+func TestSamplingSpecMath(t *testing.T) {
+	s := DefaultSampling()
+	if s.BatchSize != 512 || s.NegativeRate != 10 || len(s.Fanouts) != 2 {
+		t.Fatalf("default spec = %+v", s)
+	}
+	if got := s.SampledNodesPerRoot(); got != 110 {
+		t.Fatalf("sampled/root = %d, want 110 (10 + 100)", got)
+	}
+	if got := s.AttrFetchesPerRoot(); got != 121 {
+		t.Fatalf("fetches/root = %d, want 121 (1 + 110 + 10)", got)
+	}
+	three := SamplingSpec{BatchSize: 1, Fanouts: []int{2, 3, 4}, NegativeRate: 1}
+	if got := three.SampledNodesPerRoot(); got != 2+6+24 {
+		t.Fatalf("3-hop sampled/root = %d", got)
+	}
+}
+
+func TestDefaultApp(t *testing.T) {
+	app := DefaultApp()
+	if app.Dataset.Name != "ls" {
+		t.Fatalf("app dataset = %s, want ls (Table 3)", app.Dataset.Name)
+	}
+	if app.EmbeddingDim != 128 || app.HiddenDim != 128 {
+		t.Fatalf("dims = %d/%d, want 128/128", app.EmbeddingDim, app.HiddenDim)
+	}
+	if app.GNNModel != "graphSAGE-max" {
+		t.Fatalf("model = %s", app.GNNModel)
+	}
+}
+
+func TestBatchSource(t *testing.T) {
+	src := NewBatchSource(1000, 64, 5)
+	a := src.Next()
+	if len(a) != 64 {
+		t.Fatalf("batch size = %d", len(a))
+	}
+	for _, v := range a {
+		if int64(v) >= 1000 {
+			t.Fatalf("root %d out of range", v)
+		}
+	}
+	b := src.Next()
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("consecutive batches identical")
+	}
+	// Determinism across sources with the same seed.
+	c := NewBatchSource(1000, 64, 5).Next()
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatal("same-seed sources differ")
+		}
+	}
+}
+
+func TestBatchSourceValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid batch source did not panic")
+		}
+	}()
+	NewBatchSource(0, 10, 1)
+}
+
+func TestBatchSourceCoverage(t *testing.T) {
+	// Roots should spread across the ID space, not cluster.
+	src := NewBatchSource(100, 1000, 7)
+	seen := map[graph.NodeID]bool{}
+	for _, v := range src.Next() {
+		seen[v] = true
+	}
+	if len(seen) < 90 {
+		t.Fatalf("only %d distinct roots of 100", len(seen))
+	}
+}

@@ -1,0 +1,122 @@
+// Package lsdgnn is a full-system reproduction of "Hyperscale
+// FPGA-as-a-Service Architecture for Large-Scale Distributed Graph Neural
+// Network" (ISCA 2022): a distributed graph store with an AliGraph-style
+// software sampling baseline, the AxE access-engine accelerator (combined
+// functional + timing simulator), the MoF memory-over-fabric protocol, a
+// RISC-V/QRCH control plane, and the analytical performance/cost models
+// behind the paper's FaaS design-space exploration.
+//
+// The package re-exports the high-level entry points; subsystems live in
+// internal/ packages and are exercised through this facade, the example
+// programs under examples/, and the experiment harness in
+// cmd/lsdgnn-bench.
+package lsdgnn
+
+import (
+	"lsdgnn/internal/axe"
+	"lsdgnn/internal/core"
+	"lsdgnn/internal/cost"
+	"lsdgnn/internal/faas"
+	"lsdgnn/internal/graph"
+	"lsdgnn/internal/perfmodel"
+	"lsdgnn/internal/sampler"
+	"lsdgnn/internal/workload"
+)
+
+// Re-exported core types. The facade keeps one import path for downstream
+// users while the implementation stays modular.
+type (
+	// System is an assembled LSD-GNN deployment (graph store + engines).
+	System = core.System
+	// Options configures NewSystem.
+	Options = core.Options
+	// NodeID identifies a graph vertex.
+	NodeID = graph.NodeID
+	// Graph is immutable CSR graph storage.
+	Graph = graph.Graph
+	// Result is a sampled mini-batch.
+	Result = sampler.Result
+	// Dataset is a Table 2 benchmark dataset.
+	Dataset = workload.Dataset
+	// EngineConfig parameterizes the AxE accelerator.
+	EngineConfig = axe.Config
+	// BatchStats is the hardware-model outcome of one accelerated batch.
+	BatchStats = axe.BatchStats
+	// CostModel is the fitted linear FaaS price model.
+	CostModel = cost.Model
+	// FaaSEvaluation is the full design-space-exploration output.
+	FaaSEvaluation = faas.Evaluation
+	// Hetero is a multi-relation (heterogeneous) graph.
+	Hetero = graph.Hetero
+	// Dynamic overlays mutable edge ingestion on an immutable graph.
+	Dynamic = graph.Dynamic
+	// MetaPathSampler samples along a relation path of a Hetero graph.
+	MetaPathSampler = sampler.MetaPathSampler
+	// SamplerConfig configures k-hop sampling.
+	SamplerConfig = sampler.Config
+	// WeightFunc scores candidates for importance-weighted sampling.
+	WeightFunc = sampler.WeightFunc
+)
+
+// Sampling method re-exports.
+const (
+	// Reservoir is conventional exact K-of-N sampling.
+	Reservoir = sampler.Reservoir
+	// Streaming is the paper's step-based streaming sampling (Tech-2).
+	Streaming = sampler.Streaming
+)
+
+// NewSystem assembles a deployment: partitioned graph servers, a batched
+// RPC client, and one AxE engine per partition.
+func NewSystem(opts Options) (*System, error) { return core.NewSystem(opts) }
+
+// Datasets returns the paper's six benchmark graph configurations
+// (Table 2): ss, ls, sl, ml, ll, syn.
+func Datasets() []Dataset { return workload.Datasets() }
+
+// DatasetByName looks up a Table 2 dataset.
+func DatasetByName(name string) (Dataset, error) { return workload.DatasetByName(name) }
+
+// GenerateGraph builds a synthetic power-law graph with the given node
+// count, average degree and attribute length.
+func GenerateGraph(nodes int64, avgDegree float64, attrLen int, seed int64) *Graph {
+	return graph.Generate(graph.GenConfig{
+		NumNodes: nodes, AvgDegree: avgDegree, AttrLen: attrLen,
+		Seed: seed, PowerLaw: true,
+	})
+}
+
+// DefaultEngineConfig returns the PoC AxE configuration (Table 10).
+func DefaultEngineConfig() EngineConfig { return axe.DefaultConfig() }
+
+// NewHetero creates a heterogeneous graph over a shared node space.
+func NewHetero(numNodes int64, attrLen int) *Hetero { return graph.NewHetero(numNodes, attrLen) }
+
+// NewDynamic wraps a graph for online edge ingestion.
+func NewDynamic(base *Graph) *Dynamic { return graph.NewDynamic(base) }
+
+// NewMetaPathSampler samples a Hetero graph along a relation path.
+func NewMetaPathSampler(h *Hetero, path []string, cfg SamplerConfig) (*MetaPathSampler, error) {
+	return sampler.NewMetaPath(h, path, cfg)
+}
+
+// LoadGraph reads a graph saved with SaveGraph.
+func LoadGraph(path string) (*Graph, error) { return graph.Load(path) }
+
+// SaveGraph writes g to a CRC-protected binary file.
+func SaveGraph(g *Graph, path string) error { return g.Save(path) }
+
+// FitCostModel fits the linear FaaS price model to the built-in instance
+// price table (Figure 16 methodology).
+func FitCostModel() (CostModel, error) { return cost.Fit(cost.PriceTable()) }
+
+// EvaluateFaaS runs the full design-space exploration of Section 6/7: all
+// eight architectures × six datasets × three instance sizes (Figures
+// 17–21).
+func EvaluateFaaS() (*FaaSEvaluation, error) {
+	m, err := FitCostModel()
+	if err != nil {
+		return nil, err
+	}
+	return faas.Evaluate(m, perfmodel.DefaultCPUModel()), nil
+}

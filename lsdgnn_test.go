@@ -1,0 +1,113 @@
+package lsdgnn
+
+import (
+	"testing"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	g := GenerateGraph(3000, 10, 32, 1)
+	if g.NumNodes() != 3000 || g.AttrLen() != 32 {
+		t.Fatal("graph generation through the facade broken")
+	}
+	sys, err := NewSystem(Options{Graph: g, Servers: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := sys.BatchSource(16, 2).Next()
+	sw, err := sys.SampleSoftware(roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, stats := sys.SampleAccelerated(roots)
+	if len(sw.Attrs) != len(hw.Attrs) {
+		t.Fatal("software and accelerated layouts differ")
+	}
+	if stats.RootsPerSecond <= 0 {
+		t.Fatal("no modeled throughput")
+	}
+}
+
+func TestPublicDatasets(t *testing.T) {
+	ds := Datasets()
+	if len(ds) != 6 {
+		t.Fatalf("datasets = %d", len(ds))
+	}
+	if _, err := DatasetByName("ls"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DatasetByName("bogus"); err == nil {
+		t.Fatal("bogus dataset accepted")
+	}
+}
+
+func TestPublicEngineConfig(t *testing.T) {
+	cfg := DefaultEngineConfig()
+	if cfg.Cores != 2 || cfg.ClockHz != 250e6 {
+		t.Fatalf("PoC defaults wrong: %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicCostAndFaaS(t *testing.T) {
+	m, err := FitCostModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FPGACoef <= 0 {
+		t.Fatal("cost model degenerate")
+	}
+	ev, err := EvaluateFaaS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Rows) != 144 {
+		t.Fatalf("DSE rows = %d", len(ev.Rows))
+	}
+}
+
+func TestSamplingMethodConstants(t *testing.T) {
+	if Reservoir == Streaming {
+		t.Fatal("method constants collide")
+	}
+}
+
+func TestPublicHeteroAndDynamic(t *testing.T) {
+	h := NewHetero(100, 4)
+	rel := GenerateGraph(100, 3, 4, 1)
+	if err := h.AddRelation("buys", rel); err != nil {
+		t.Fatal(err)
+	}
+	mp, err := NewMetaPathSampler(h, []string{"buys"}, SamplerConfig{Fanouts: []int{2}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mp.SampleBatch([]NodeID{1, 2})
+	if len(res.Hops[0]) != 4 {
+		t.Fatalf("meta-path hop size %d", len(res.Hops[0]))
+	}
+
+	d := NewDynamic(GenerateGraph(50, 2, 2, 2))
+	if err := d.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if d.DeltaEdges() != 1 {
+		t.Fatal("dynamic edge lost")
+	}
+}
+
+func TestPublicSaveLoad(t *testing.T) {
+	g := GenerateGraph(200, 4, 8, 3)
+	path := t.TempDir() + "/g.lsdg"
+	if err := SaveGraph(g, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+		t.Fatal("save/load lost the graph")
+	}
+}
