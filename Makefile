@@ -1,0 +1,16 @@
+GO ?= go
+
+.PHONY: build test verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-1+ check: vet + build + tests under the race detector.
+verify:
+	./scripts/verify.sh
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -8,6 +8,7 @@
 package lsdgnn
 
 import (
+	"context"
 	"encoding/binary"
 	"io"
 	"math/rand"
@@ -214,9 +215,10 @@ func BenchmarkDistributedSampling(b *testing.B) {
 	}
 	cfg := sampler.Config{Fanouts: []int{10, 10}, NegativeRate: 10, Method: sampler.Streaming, FetchAttrs: true, Seed: 1}
 	roots := benchRoots(64)
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := client.SampleBatch(roots, cfg); err != nil {
+		if _, err := client.SampleBatch(ctx, roots, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

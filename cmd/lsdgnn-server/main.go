@@ -11,14 +11,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"lsdgnn/internal/cluster"
 	"lsdgnn/internal/graph"
+	"lsdgnn/internal/stats"
 	"lsdgnn/internal/workload"
 )
 
@@ -29,6 +32,7 @@ func main() {
 	partition := flag.Int("partition", 0, "this server's partition index")
 	partitions := flag.Int("partitions", 1, "total partition count")
 	seed := flag.Int64("seed", 42, "graph generation seed (must match peers)")
+	drain := flag.Duration("drain", 30*time.Second, "max time to drain in-flight requests on shutdown")
 	flag.Parse()
 
 	if *partition < 0 || *partition >= *partitions {
@@ -67,8 +71,21 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("shutting down")
-	if err := tcp.Close(); err != nil {
+	fmt.Printf("shutting down: draining in-flight requests (up to %v; interrupt again to force)\n", *drain)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	go func() {
+		<-sig
+		cancel()
+	}()
+	if err := tcp.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "lsdgnn-server: forced shutdown:", err)
+	}
+
+	reg := stats.NewRegistry()
+	reg.Register(srv.Stats())
+	fmt.Println("\nserved traffic:")
+	if _, err := reg.WriteTo(os.Stdout); err != nil {
 		fatal(err)
 	}
 }

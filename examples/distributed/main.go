@@ -5,8 +5,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"lsdgnn/internal/cluster"
 	"lsdgnn/internal/graph"
@@ -53,7 +55,11 @@ func main() {
 	src := workload.NewBatchSource(g.NumNodes(), len(roots), 1)
 	copy(roots, src.Next())
 
-	res, err := client.SampleBatch(roots, cfg)
+	// A per-batch deadline bounds tail latency: if any partition stalls,
+	// the in-flight RPCs are aborted and the error surfaces here.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := client.SampleBatch(ctx, roots, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

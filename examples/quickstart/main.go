@@ -5,8 +5,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"lsdgnn"
 )
@@ -25,8 +27,13 @@ func main() {
 
 	roots := sys.BatchSource(128, 1).Next()
 
+	// Every request path takes a context; the deadline bounds the whole
+	// batch, aborting in-flight fan-out RPCs if it expires.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
 	// Software path: distributed batched RPC sampling.
-	sw, err := sys.SampleSoftware(roots)
+	sw, err := sys.SampleSoftware(ctx, roots)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,8 +42,12 @@ func main() {
 	fmt.Printf("             %.1f%% of requests were fine-grained structure reads\n",
 		sys.Client.Access.StructureRequestShare()*100)
 
-	// Accelerated path: the same batch through the AxE engine.
-	hw, stats := sys.SampleAccelerated(roots)
+	// Accelerated path: the same batch through the dispatcher, which
+	// places it on the least-loaded AxE engine.
+	hw, stats, err := sys.Sample(ctx, roots)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("accelerated: %d roots -> %d + %d sampled nodes in %v (modeled)\n",
 		len(hw.Roots), len(hw.Hops[0]), len(hw.Hops[1]), stats.SimTime)
 	fmt.Printf("             %.0f roots/s, cache hit %.0f%%, output link %.0f%% busy\n",

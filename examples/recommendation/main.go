@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -38,8 +39,9 @@ func main() {
 	dssm := gnn.NewDSSM(hidden, hidden, rng)
 	src := sys.BatchSource(batch, 3)
 
+	ctx := context.Background()
 	for step := 0; step < steps; step++ {
-		res, err := sys.SampleSoftware(src.Next())
+		res, err := sys.SampleSoftware(ctx, src.Next())
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -8,6 +8,7 @@ import (
 	"lsdgnn/internal/eventsim"
 	"lsdgnn/internal/graph"
 	"lsdgnn/internal/sampler"
+	"lsdgnn/internal/stats"
 )
 
 // Engine is one FPGA's Access Engine attached to a partitioned graph. It is
@@ -437,3 +438,24 @@ func (e *Engine) AttrLen() int { return e.g.AttrLen() }
 // Attr appends node v's attribute vector to dst (functional read, no
 // timing), for controller-level commands like OpReadNodeAttr.
 func (e *Engine) Attr(dst []float32, v graph.NodeID) []float32 { return e.g.Attr(dst, v) }
+
+// StatsSnapshot implements the unified stats interface, reporting the
+// hardware-model outcome of the batch under the "axe.batch" layer.
+func (b BatchStats) StatsSnapshot() stats.Snapshot {
+	return stats.Snapshot{Layer: "axe.batch", Metrics: []stats.Metric{
+		{Name: "sim_time", Value: b.SimTime.Seconds(), Unit: "s"},
+		{Name: "roots_per_second", Value: b.RootsPerSecond, Unit: "roots/s"},
+		{Name: "samples_per_second", Value: b.SamplesPerSecond, Unit: "samples/s"},
+		{Name: "local_requests", Value: float64(b.LocalRequests), Unit: "req"},
+		{Name: "remote_requests", Value: float64(b.RemoteRequests), Unit: "req"},
+		{Name: "local_bytes", Value: float64(b.LocalBytes), Unit: "bytes"},
+		{Name: "remote_bytes", Value: float64(b.RemoteBytes), Unit: "bytes"},
+		{Name: "output_bytes", Value: float64(b.OutputBytes), Unit: "bytes"},
+		{Name: "cache_hit_rate", Value: b.CacheHitRate, Unit: "ratio"},
+		{Name: "output_utilization", Value: b.OutputUtilization, Unit: "ratio"},
+		{Name: "pipeline_utilization", Value: b.PipelineUtilization, Unit: "ratio"},
+		{Name: "sample_utilization", Value: b.SampleUtilization, Unit: "ratio"},
+		{Name: "attr_utilization", Value: b.AttrUtilization, Unit: "ratio"},
+		{Name: "local_utilization", Value: b.LocalUtilization, Unit: "ratio"},
+	}}
+}

@@ -75,7 +75,7 @@ func TestClientCacheCorrectness(t *testing.T) {
 	client.EnableCache(256)
 	ids := []graph.NodeID{1, 2, 3, 1, 2, 3} // repeats within one batch
 	for round := 0; round < 3; round++ {
-		lists, err := client.GetNeighbors(ids, 0)
+		lists, err := client.GetNeighbors(bg, ids, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -90,7 +90,7 @@ func TestClientCacheCorrectness(t *testing.T) {
 				}
 			}
 		}
-		attrs, err := client.GetAttrs(ids)
+		attrs, err := client.GetAttrs(bg, ids)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -116,7 +116,7 @@ func TestClientCacheCutsTraffic(t *testing.T) {
 		cfg := sampler.Config{Fanouts: []int{5, 5}, Method: sampler.Streaming, FetchAttrs: true, Seed: 1}
 		roots := []graph.NodeID{1, 2, 3, 4, 5, 6, 7, 8}
 		for i := 0; i < 4; i++ { // identical batches: maximal temporal reuse
-			if _, err := client.SampleBatch(roots, cfg); err != nil {
+			if _, err := client.SampleBatch(bg, roots, cfg); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -146,10 +146,10 @@ func TestClientCacheBypassedForCappedLists(t *testing.T) {
 	}
 	// Full fetch populates the cache; a capped fetch afterwards must NOT
 	// serve the full cached list.
-	if _, err := client.GetNeighbors([]graph.NodeID{busy}, 0); err != nil {
+	if _, err := client.GetNeighbors(bg, []graph.NodeID{busy}, 0); err != nil {
 		t.Fatal(err)
 	}
-	capped, err := client.GetNeighbors([]graph.NodeID{busy}, 2)
+	capped, err := client.GetNeighbors(bg, []graph.NodeID{busy}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

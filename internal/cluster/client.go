@@ -1,19 +1,24 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"lsdgnn/internal/graph"
 	"lsdgnn/internal/sampler"
+	"lsdgnn/internal/stats"
 	"lsdgnn/internal/trace"
 )
 
 // Transport delivers a request message to a server and returns its reply.
-// Implementations must be safe for concurrent Call.
+// Implementations must be safe for concurrent Call and must honor ctx:
+// a canceled or expired context aborts the call (including one already on
+// the wire) and surfaces ctx.Err().
 type Transport interface {
-	Call(server int, msg []byte) ([]byte, error)
+	Call(ctx context.Context, server int, msg []byte) ([]byte, error)
 }
 
 // DirectTransport calls in-process servers directly (zero-cost transport
@@ -21,11 +26,37 @@ type Transport interface {
 type DirectTransport struct{ Servers []*Server }
 
 // Call implements Transport.
-func (t DirectTransport) Call(server int, msg []byte) ([]byte, error) {
+func (t DirectTransport) Call(ctx context.Context, server int, msg []byte) ([]byte, error) {
 	if server < 0 || server >= len(t.Servers) {
 		return nil, fmt.Errorf("cluster: no server %d", server)
 	}
-	return t.Servers[server].Handle(msg)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return t.Servers[server].Handle(ctx, msg)
+}
+
+// DelayedTransport injects a fixed one-way delay in front of an inner
+// transport — the in-process stand-in for a slow network path. The wait
+// honors ctx, so deadline and cancellation semantics can be tested without
+// real sockets.
+type DelayedTransport struct {
+	Inner Transport
+	Delay time.Duration
+}
+
+// Call implements Transport.
+func (t DelayedTransport) Call(ctx context.Context, server int, msg []byte) ([]byte, error) {
+	if t.Delay > 0 {
+		timer := time.NewTimer(t.Delay)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return t.Inner.Call(ctx, server, msg)
 }
 
 // TrafficSnapshot is a point-in-time copy of wire-traffic counters.
@@ -62,9 +93,23 @@ func (t *TrafficStats) Snapshot() TrafficSnapshot {
 	return t.snap
 }
 
+// StatsSnapshot implements stats.Source under the "cluster.traffic" layer.
+func (t *TrafficStats) StatsSnapshot() stats.Snapshot {
+	s := t.Snapshot()
+	return stats.Snapshot{Layer: "cluster.traffic", Metrics: []stats.Metric{
+		{Name: "requests", Value: float64(s.Requests), Unit: "req"},
+		{Name: "request_bytes", Value: float64(s.RequestBytes), Unit: "bytes"},
+		{Name: "response_bytes", Value: float64(s.ResponseBytes), Unit: "bytes"},
+		{Name: "remote_requests", Value: float64(s.RemoteRequests), Unit: "req"},
+		{Name: "remote_bytes", Value: float64(s.RemoteBytesTransferred), Unit: "bytes"},
+	}}
+}
+
 // Client is a sampling worker's view of the distributed graph store. It
 // groups per-hop requests by owning server and issues them concurrently,
-// the batching discipline AliGraph workers use.
+// the batching discipline AliGraph workers use. All request methods take a
+// context: cancellation and deadlines propagate through every per-server
+// fan-out down to the transport.
 type Client struct {
 	transport Transport
 	part      Partitioner
@@ -72,16 +117,19 @@ type Client struct {
 	meta      MetaResponse
 	Traffic   TrafficStats
 	Access    trace.AccessStats
+	// Batches records per-batch SampleBatch latency ("cluster.batch").
+	Batches *stats.Latency
 	// cache is the optional worker-side hot-node cache (EnableCache).
 	cache *HotCache
 }
 
 // NewClient builds a client and fetches cluster metadata from server 0.
 // local names the co-located partition (-1 when the worker runs on a
-// machine with no graph shard).
+// machine with no graph shard). The bootstrap meta fetch uses a background
+// context; per-request contexts apply to the request methods.
 func NewClient(t Transport, p Partitioner, local int) (*Client, error) {
-	c := &Client{transport: t, part: p, local: local}
-	raw, err := t.Call(0, []byte{OpMeta})
+	c := &Client{transport: t, part: p, local: local, Batches: stats.NewLatency("cluster.batch")}
+	raw, err := t.Call(context.Background(), 0, []byte{OpMeta})
 	if err != nil {
 		return nil, fmt.Errorf("cluster: meta fetch: %w", err)
 	}
@@ -108,8 +156,8 @@ func (c *Client) NumNodes() int64 { return c.meta.NumNodes }
 // AttrLen returns the attribute length.
 func (c *Client) AttrLen() int { return c.meta.AttrLen }
 
-func (c *Client) call(server int, req []byte) ([]byte, error) {
-	resp, err := c.transport.Call(server, req)
+func (c *Client) call(ctx context.Context, server int, req []byte) ([]byte, error) {
+	resp, err := c.transport.Call(ctx, server, req)
 	if err != nil {
 		return nil, err
 	}
@@ -121,7 +169,7 @@ func (c *Client) call(server int, req []byte) ([]byte, error) {
 // request order. Cached hot nodes are served locally; only capped requests
 // (MaxPerNode > 0) bypass the cache, since truncated lists must not be
 // cached or served as full ones.
-func (c *Client) GetNeighbors(ids []graph.NodeID, maxPerNode uint32) ([][]graph.NodeID, error) {
+func (c *Client) GetNeighbors(ctx context.Context, ids []graph.NodeID, maxPerNode uint32) ([][]graph.NodeID, error) {
 	out := make([][]graph.NodeID, len(ids))
 	if c.cache != nil && maxPerNode == 0 {
 		miss := ids[:0:0]
@@ -138,7 +186,7 @@ func (c *Client) GetNeighbors(ids []graph.NodeID, maxPerNode uint32) ([][]graph.
 		if len(miss) == 0 {
 			return out, nil
 		}
-		fetched, err := c.getNeighborsUncached(miss, 0)
+		fetched, err := c.getNeighborsUncached(ctx, miss, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -148,7 +196,7 @@ func (c *Client) GetNeighbors(ids []graph.NodeID, maxPerNode uint32) ([][]graph.
 		}
 		return out, nil
 	}
-	fetched, err := c.getNeighborsUncached(ids, maxPerNode)
+	fetched, err := c.getNeighborsUncached(ctx, ids, maxPerNode)
 	if err != nil {
 		return nil, err
 	}
@@ -156,7 +204,10 @@ func (c *Client) GetNeighbors(ids []graph.NodeID, maxPerNode uint32) ([][]graph.
 	return out, nil
 }
 
-func (c *Client) getNeighborsUncached(ids []graph.NodeID, maxPerNode uint32) ([][]graph.NodeID, error) {
+func (c *Client) getNeighborsUncached(ctx context.Context, ids []graph.NodeID, maxPerNode uint32) ([][]graph.NodeID, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	groups, positions := GroupByOwner(c.part, ids)
 	out := make([][]graph.NodeID, len(ids))
 	var wg sync.WaitGroup
@@ -168,7 +219,7 @@ func (c *Client) getNeighborsUncached(ids []graph.NodeID, maxPerNode uint32) ([]
 		wg.Add(1)
 		go func(s int, grp []graph.NodeID, pos []int) {
 			defer wg.Done()
-			raw, err := c.call(s, EncodeNeighborsRequest(NeighborsRequest{IDs: grp, MaxPerNode: maxPerNode}))
+			raw, err := c.call(ctx, s, EncodeNeighborsRequest(NeighborsRequest{IDs: grp, MaxPerNode: maxPerNode}))
 			if err != nil {
 				errs[s] = err
 				return
@@ -196,17 +247,12 @@ func (c *Client) getNeighborsUncached(ids []graph.NodeID, maxPerNode uint32) ([]
 		}(s, grp, positions[s])
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return out, firstError(ctx, errs)
 }
 
 // GetAttrs fetches attribute vectors for ids, concatenated in order.
 // Cached hot nodes are served locally.
-func (c *Client) GetAttrs(ids []graph.NodeID) ([]float32, error) {
+func (c *Client) GetAttrs(ctx context.Context, ids []graph.NodeID) ([]float32, error) {
 	al := c.meta.AttrLen
 	if c.cache != nil {
 		out := make([]float32, len(ids)*al)
@@ -224,7 +270,7 @@ func (c *Client) GetAttrs(ids []graph.NodeID) ([]float32, error) {
 		if len(miss) == 0 {
 			return out, nil
 		}
-		fetched, err := c.getAttrsUncached(miss)
+		fetched, err := c.getAttrsUncached(ctx, miss)
 		if err != nil {
 			return nil, err
 		}
@@ -235,10 +281,13 @@ func (c *Client) GetAttrs(ids []graph.NodeID) ([]float32, error) {
 		}
 		return out, nil
 	}
-	return c.getAttrsUncached(ids)
+	return c.getAttrsUncached(ctx, ids)
 }
 
-func (c *Client) getAttrsUncached(ids []graph.NodeID) ([]float32, error) {
+func (c *Client) getAttrsUncached(ctx context.Context, ids []graph.NodeID) ([]float32, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	groups, positions := GroupByOwner(c.part, ids)
 	al := c.meta.AttrLen
 	out := make([]float32, len(ids)*al)
@@ -251,7 +300,7 @@ func (c *Client) getAttrsUncached(ids []graph.NodeID) ([]float32, error) {
 		wg.Add(1)
 		go func(s int, grp []graph.NodeID, pos []int) {
 			defer wg.Done()
-			raw, err := c.call(s, EncodeAttrsRequest(AttrsRequest{IDs: grp}))
+			raw, err := c.call(ctx, s, EncodeAttrsRequest(AttrsRequest{IDs: grp}))
 			if err != nil {
 				errs[s] = err
 				return
@@ -272,23 +321,54 @@ func (c *Client) getAttrsUncached(ids []graph.NodeID) ([]float32, error) {
 		}(s, grp, positions[s])
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := firstError(ctx, errs); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
+// firstError reduces a fan-out's per-server error slice. When the context
+// is done, ctx.Err() wins so callers see context.Canceled /
+// DeadlineExceeded rather than whichever transport error raced first.
+func firstError(ctx context.Context, errs []error) error {
+	var first error
+	for _, err := range errs {
+		if err != nil {
+			first = err
+			break
+		}
+	}
+	if first != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return ctxErr
+		}
+	}
+	return first
+}
+
 // SampleBatch performs batched k-hop sampling with per-hop grouped RPCs —
 // the distributed equivalent of sampler.Sampler.SampleBatch, producing an
-// identical Result layout.
-func (c *Client) SampleBatch(roots []graph.NodeID, cfg sampler.Config) (*sampler.Result, error) {
+// identical Result layout. Cancellation or an expired deadline on ctx
+// aborts the batch between and within hops.
+func (c *Client) SampleBatch(ctx context.Context, roots []graph.NodeID, cfg sampler.Config) (*sampler.Result, error) {
+	start := time.Now()
+	res, err := c.sampleBatch(ctx, roots, cfg)
+	if c.Batches != nil {
+		if err != nil {
+			c.Batches.ObserveError()
+		} else {
+			c.Batches.Observe(time.Since(start))
+		}
+	}
+	return res, err
+}
+
+func (c *Client) sampleBatch(ctx context.Context, roots []graph.NodeID, cfg sampler.Config) (*sampler.Result, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	res := &sampler.Result{Roots: roots}
 	frontier := roots
 	for _, fanout := range cfg.Fanouts {
-		lists, err := c.GetNeighbors(frontier, 0)
+		lists, err := c.GetNeighbors(ctx, frontier, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -320,7 +400,7 @@ func (c *Client) SampleBatch(roots []graph.NodeID, cfg sampler.Config) (*sampler
 			ids = append(ids, h...)
 		}
 		ids = append(ids, res.Negatives...)
-		attrs, err := c.GetAttrs(ids)
+		attrs, err := c.GetAttrs(ctx, ids)
 		if err != nil {
 			return nil, err
 		}
@@ -331,8 +411,19 @@ func (c *Client) SampleBatch(roots []graph.NodeID, cfg sampler.Config) (*sampler
 
 // Store adapts the client to sampler.Store for per-node access. Errors
 // surface as empty results; batched APIs should be preferred for
-// performance paths.
-type Store struct{ C *Client }
+// performance paths. Ctx, when set, bounds each per-node fetch; nil means
+// context.Background().
+type Store struct {
+	C   *Client
+	Ctx context.Context
+}
+
+func (s Store) ctx() context.Context {
+	if s.Ctx != nil {
+		return s.Ctx
+	}
+	return context.Background()
+}
 
 // NumNodes implements sampler.Store.
 func (s Store) NumNodes() int64 { return s.C.NumNodes() }
@@ -342,7 +433,7 @@ func (s Store) AttrLen() int { return s.C.AttrLen() }
 
 // Neighbors implements sampler.Store.
 func (s Store) Neighbors(v graph.NodeID) []graph.NodeID {
-	lists, err := s.C.GetNeighbors([]graph.NodeID{v}, 0)
+	lists, err := s.C.GetNeighbors(s.ctx(), []graph.NodeID{v}, 0)
 	if err != nil || len(lists) == 0 {
 		return nil
 	}
@@ -351,7 +442,7 @@ func (s Store) Neighbors(v graph.NodeID) []graph.NodeID {
 
 // Attr implements sampler.Store.
 func (s Store) Attr(dst []float32, v graph.NodeID) []float32 {
-	attrs, err := s.C.GetAttrs([]graph.NodeID{v})
+	attrs, err := s.C.GetAttrs(s.ctx(), []graph.NodeID{v})
 	if err != nil {
 		return append(dst, make([]float32, s.C.AttrLen())...)
 	}

@@ -176,10 +176,10 @@ func TestServerRejectsForeignNodes(t *testing.T) {
 			break
 		}
 	}
-	if _, err := srv.GetNeighbors(NeighborsRequest{IDs: []graph.NodeID{foreign}}); err == nil {
+	if _, err := srv.GetNeighbors(bg, NeighborsRequest{IDs: []graph.NodeID{foreign}}); err == nil {
 		t.Fatal("misrouted neighbor request accepted")
 	}
-	if _, err := srv.GetAttrs(AttrsRequest{IDs: []graph.NodeID{foreign}}); err == nil {
+	if _, err := srv.GetAttrs(bg, AttrsRequest{IDs: []graph.NodeID{foreign}}); err == nil {
 		t.Fatal("misrouted attrs request accepted")
 	}
 }
@@ -195,7 +195,7 @@ func TestServerMaxPerNode(t *testing.T) {
 			break
 		}
 	}
-	resp, err := srv.GetNeighbors(NeighborsRequest{IDs: []graph.NodeID{busy}, MaxPerNode: 2})
+	resp, err := srv.GetNeighbors(bg, NeighborsRequest{IDs: []graph.NodeID{busy}, MaxPerNode: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,10 +206,10 @@ func TestServerMaxPerNode(t *testing.T) {
 
 func TestServerHandleUnknownOp(t *testing.T) {
 	srv := NewServer(testGraph(t), HashPartitioner{N: 1}, 0)
-	if _, err := srv.Handle([]byte{0x7F}); err == nil {
+	if _, err := srv.Handle(bg, []byte{0x7F}); err == nil {
 		t.Fatal("unknown op accepted")
 	}
-	if _, err := srv.Handle(nil); err == nil {
+	if _, err := srv.Handle(bg, nil); err == nil {
 		t.Fatal("empty message accepted")
 	}
 }
@@ -218,7 +218,7 @@ func TestClientNeighborsMatchGraph(t *testing.T) {
 	g := testGraph(t)
 	_, client := buildCluster(t, g, 4)
 	ids := []graph.NodeID{0, 7, 100, 999, 3}
-	lists, err := client.GetNeighbors(ids, 0)
+	lists, err := client.GetNeighbors(bg, ids, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +239,7 @@ func TestClientAttrsMatchGraph(t *testing.T) {
 	g := testGraph(t)
 	_, client := buildCluster(t, g, 3)
 	ids := []graph.NodeID{4, 40, 400}
-	attrs, err := client.GetAttrs(ids)
+	attrs, err := client.GetAttrs(bg, ids)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +259,7 @@ func TestClientSampleBatchLayoutMatchesLocal(t *testing.T) {
 	_, client := buildCluster(t, g, 4)
 	cfg := sampler.Config{Fanouts: []int{4, 3}, NegativeRate: 2, Method: sampler.Streaming, FetchAttrs: true, Seed: 9}
 	roots := []graph.NodeID{1, 2, 3}
-	dist, err := client.SampleBatch(roots, cfg)
+	dist, err := client.SampleBatch(bg, roots, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +287,7 @@ func TestClientSampleBatchLayoutMatchesLocal(t *testing.T) {
 func TestClientTrafficAccounting(t *testing.T) {
 	g := testGraph(t)
 	_, client := buildCluster(t, g, 4)
-	_, err := client.GetAttrs([]graph.NodeID{1, 2, 3, 4, 5, 6, 7, 8})
+	_, err := client.GetAttrs(bg, []graph.NodeID{1, 2, 3, 4, 5, 6, 7, 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -334,7 +334,7 @@ func TestStoreAdapter(t *testing.T) {
 
 func TestDirectTransportBadServer(t *testing.T) {
 	tr := DirectTransport{Servers: nil}
-	if _, err := tr.Call(0, []byte{OpMeta}); err == nil {
+	if _, err := tr.Call(bg, 0, []byte{OpMeta}); err == nil {
 		t.Fatal("call to missing server accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 
 	"lsdgnn/internal/graph"
@@ -9,13 +10,19 @@ import (
 
 // Server owns one graph partition and answers batched requests. A Server is
 // safe for concurrent use: the underlying graph is immutable and stats use
-// internal locking.
+// internal locking. Request handlers take a context so large batches abort
+// promptly when the caller cancels or its deadline expires.
 type Server struct {
 	g         *graph.Graph
 	part      Partitioner
 	partition int
 	stats     *trace.AccessStats
 }
+
+// ctxCheckStride is how many request items a handler processes between
+// context checks — frequent enough to bound overrun, cheap enough to
+// disappear in the per-item cost.
+const ctxCheckStride = 256
 
 // NewServer creates a server for the given partition. All servers share the
 // full immutable graph object in-process but only answer for nodes they
@@ -44,12 +51,32 @@ func (s *Server) Meta() MetaResponse {
 	}
 }
 
+// checkID rejects node IDs outside the graph's ID space or not owned by
+// this partition. Malformed or hostile frames can carry arbitrary 64-bit
+// IDs; they must come back as errors, never index panics.
+func (s *Server) checkID(v graph.NodeID) error {
+	// Compare in uint64 space: IDs at or above 2^63 would turn negative as
+	// int64 and slip past a signed bounds check.
+	if uint64(v) >= uint64(s.g.NumNodes()) {
+		return fmt.Errorf("cluster: node %d outside graph of %d nodes", v, s.g.NumNodes())
+	}
+	if o := s.part.Owner(v); o != s.partition {
+		return fmt.Errorf("cluster: node %d routed to server %d but owned by %d", v, s.partition, o)
+	}
+	return nil
+}
+
 // GetNeighbors answers a batched neighbor request.
-func (s *Server) GetNeighbors(req NeighborsRequest) (NeighborsResponse, error) {
+func (s *Server) GetNeighbors(ctx context.Context, req NeighborsRequest) (NeighborsResponse, error) {
 	resp := NeighborsResponse{Lists: make([][]graph.NodeID, len(req.IDs))}
 	for i, v := range req.IDs {
-		if s.part.Owner(v) != s.partition {
-			return NeighborsResponse{}, fmt.Errorf("cluster: node %d routed to server %d but owned by %d", v, s.partition, s.part.Owner(v))
+		if i%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return NeighborsResponse{}, err
+			}
+		}
+		if err := s.checkID(v); err != nil {
+			return NeighborsResponse{}, err
 		}
 		nbrs := s.g.Neighbors(v)
 		if req.MaxPerNode > 0 && len(nbrs) > int(req.MaxPerNode) {
@@ -63,11 +90,16 @@ func (s *Server) GetNeighbors(req NeighborsRequest) (NeighborsResponse, error) {
 }
 
 // GetAttrs answers a batched attribute request.
-func (s *Server) GetAttrs(req AttrsRequest) (AttrsResponse, error) {
+func (s *Server) GetAttrs(ctx context.Context, req AttrsRequest) (AttrsResponse, error) {
 	resp := AttrsResponse{AttrLen: s.g.AttrLen()}
-	for _, v := range req.IDs {
-		if s.part.Owner(v) != s.partition {
-			return AttrsResponse{}, fmt.Errorf("cluster: node %d routed to server %d but owned by %d", v, s.partition, s.part.Owner(v))
+	for i, v := range req.IDs {
+		if i%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return AttrsResponse{}, err
+			}
+		}
+		if err := s.checkID(v); err != nil {
+			return AttrsResponse{}, err
 		}
 		resp.Attrs = s.g.Attr(resp.Attrs, v)
 		s.stats.Record(trace.AccessAttribute, s.g.AttrBytes(), false)
@@ -76,8 +108,16 @@ func (s *Server) GetAttrs(req AttrsRequest) (AttrsResponse, error) {
 }
 
 // Handle dispatches a raw protocol message and returns the raw response,
-// the path the TCP transport uses.
-func (s *Server) Handle(msg []byte) ([]byte, error) {
+// the path the transports use. A malformed frame from a remote peer must
+// never take the server down: decoding failures are returned as errors and
+// any residual panic in a handler is converted to an error at this
+// boundary.
+func (s *Server) Handle(ctx context.Context, msg []byte) (resp []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp, err = nil, fmt.Errorf("cluster: request failed: %v", r)
+		}
+	}()
 	if len(msg) == 0 {
 		return nil, fmt.Errorf("cluster: empty message")
 	}
@@ -87,21 +127,21 @@ func (s *Server) Handle(msg []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		resp, err := s.GetNeighbors(req)
+		r, err := s.GetNeighbors(ctx, req)
 		if err != nil {
 			return nil, err
 		}
-		return EncodeNeighborsResponse(resp), nil
+		return EncodeNeighborsResponse(r), nil
 	case OpGetAttrs:
 		req, err := DecodeAttrsRequest(msg)
 		if err != nil {
 			return nil, err
 		}
-		resp, err := s.GetAttrs(req)
+		r, err := s.GetAttrs(ctx, req)
 		if err != nil {
 			return nil, err
 		}
-		return EncodeAttrsResponse(resp), nil
+		return EncodeAttrsResponse(r), nil
 	case OpMeta:
 		return EncodeMetaResponse(s.Meta()), nil
 	default:

@@ -95,11 +95,11 @@ func TestShardServerEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 	ids := []graph.NodeID{0, 5, 100, 555, 1400}
-	lf, err := cf.GetNeighbors(ids, 0)
+	lf, err := cf.GetNeighbors(bg, ids, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ls, err := cs.GetNeighbors(ids, 0)
+	ls, err := cs.GetNeighbors(bg, ids, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,11 +113,11 @@ func TestShardServerEquivalence(t *testing.T) {
 			}
 		}
 	}
-	af, err := cf.GetAttrs(ids)
+	af, err := cf.GetAttrs(bg, ids)
 	if err != nil {
 		t.Fatal(err)
 	}
-	as, err := cs.GetAttrs(ids)
+	as, err := cs.GetAttrs(bg, ids)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestShardServerEquivalence(t *testing.T) {
 	}
 	// And sampling over the shard cluster works end to end.
 	cfg := sampler.Config{Fanouts: []int{3, 3}, Method: sampler.Streaming, FetchAttrs: true, Seed: 1}
-	if _, err := cs.SampleBatch(ids, cfg); err != nil {
+	if _, err := cs.SampleBatch(bg, ids, cfg); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -2,20 +2,28 @@ package cluster
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // TCP transport: length-prefixed protocol messages over stream sockets.
 // Frame layout: uint32 length | uint8 status (responses) | body. Requests
 // have no status byte. One request is in flight per connection; the client
-// keeps a small connection pool per server for concurrency.
+// keeps a small connection pool per server for concurrency. Contexts map
+// onto socket deadlines: an expired or canceled context wakes any blocked
+// read/write via SetDeadline, so in-flight calls abort promptly.
 
 const maxFrameBytes = 1 << 28 // 256 MiB guards against corrupt prefixes
+
+// aLongTimeAgo is a deadline in the distant past, used to force blocked
+// socket I/O to return immediately (the net/http interrupt idiom).
+var aLongTimeAgo = time.Unix(1, 0)
 
 func writeFrame(w io.Writer, body []byte) error {
 	var hdr [4]byte
@@ -48,6 +56,11 @@ type TCPServer struct {
 	srv *Server
 	ln  net.Listener
 
+	// baseCtx is passed to every Handle; canceled when the server force
+	// closes so long-running batch handlers abort.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
 	mu     sync.Mutex
 	closed bool
 	conns  map[net.Conn]struct{}
@@ -55,13 +68,15 @@ type TCPServer struct {
 }
 
 // ServeTCP starts serving srv on addr (e.g. "127.0.0.1:0") and returns the
-// running server. Close releases the listener and all connections.
+// running server. Shutdown drains in-flight requests; Close releases the
+// listener and all connections immediately.
 func ServeTCP(srv *Server, addr string) (*TCPServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	t := &TCPServer{srv: srv, ln: ln, conns: make(map[net.Conn]struct{})}
+	ctx, cancel := context.WithCancel(context.Background())
+	t := &TCPServer{srv: srv, ln: ln, baseCtx: ctx, cancel: cancel, conns: make(map[net.Conn]struct{})}
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t, nil
@@ -105,7 +120,7 @@ func (t *TCPServer) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		resp, err := t.srv.Handle(req)
+		resp, err := t.srv.Handle(t.baseCtx, req)
 		var out []byte
 		if err != nil {
 			out = append([]byte{1}, []byte(err.Error())...)
@@ -118,11 +133,71 @@ func (t *TCPServer) serveConn(conn net.Conn) {
 		if err := w.Flush(); err != nil {
 			return
 		}
+		// After a drain request, finish the response just written and bow
+		// out instead of waiting for the next frame.
+		t.mu.Lock()
+		draining := t.closed
+		t.mu.Unlock()
+		if draining {
+			return
+		}
 	}
 }
 
-// Close stops the server and closes every connection.
+// Shutdown stops accepting new work and drains in-flight requests: each
+// connection finishes the request it is currently handling (idle
+// connections are woken and closed), then the server releases its
+// resources. If ctx expires first, remaining handlers are canceled and
+// connections force-closed; the context's error is returned.
+func (t *TCPServer) Shutdown(ctx context.Context) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		t.wg.Wait()
+		return nil
+	}
+	t.closed = true
+	err := t.ln.Close()
+	conns := make([]net.Conn, 0, len(t.conns))
+	for c := range t.conns {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+
+	// Wake idle readers: a connection blocked in readFrame returns
+	// immediately; one mid-request finishes its response first (read
+	// deadlines do not interrupt the handler or the response write).
+	for _, c := range conns {
+		_ = c.SetReadDeadline(aLongTimeAgo)
+	}
+	done := make(chan struct{})
+	go func() {
+		t.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.cancel()
+		return err
+	case <-ctx.Done():
+		t.cancel() // abort in-flight handlers
+		t.mu.Lock()
+		for c := range t.conns {
+			c.Close()
+		}
+		t.mu.Unlock()
+		t.wg.Wait()
+		if err == nil {
+			err = ctx.Err()
+		}
+		return err
+	}
+}
+
+// Close stops the server and closes every connection immediately,
+// abandoning in-flight requests. Use Shutdown for a graceful drain.
 func (t *TCPServer) Close() error {
+	t.cancel()
 	t.mu.Lock()
 	t.closed = true
 	err := t.ln.Close()
@@ -155,12 +230,13 @@ func DialTCP(addrs []string, poolSize int) *TCPTransport {
 	return t
 }
 
-func (t *TCPTransport) get(server int) (net.Conn, error) {
+func (t *TCPTransport) get(ctx context.Context, server int) (net.Conn, error) {
 	select {
 	case c := <-t.pools[server]:
 		return c, nil
 	default:
-		return net.Dial("tcp", t.addrs[server])
+		var d net.Dialer
+		return d.DialContext(ctx, "tcp", t.addrs[server])
 	}
 }
 
@@ -172,24 +248,51 @@ func (t *TCPTransport) put(server int, c net.Conn) {
 	}
 }
 
-// Call implements Transport.
-func (t *TCPTransport) Call(server int, msg []byte) ([]byte, error) {
+// Call implements Transport. The context's deadline is applied to the
+// socket, and cancellation interrupts a blocked read or write mid-flight;
+// either way the connection is discarded and ctx.Err() is returned.
+func (t *TCPTransport) Call(ctx context.Context, server int, msg []byte) ([]byte, error) {
 	if server < 0 || server >= len(t.addrs) {
 		return nil, fmt.Errorf("cluster: no server %d", server)
 	}
-	conn, err := t.get(server)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	conn, err := t.get(ctx, server)
 	if err != nil {
 		return nil, err
 	}
-	if err := writeFrame(conn, msg); err != nil {
-		conn.Close()
-		return nil, err
+	if dl, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(dl)
 	}
-	resp, err := readFrame(conn)
-	if err != nil {
-		conn.Close()
-		return nil, err
+	// Watch for cancellation while I/O is in flight. stop/watchDone fence
+	// the watcher so a late SetDeadline can never poison a pooled conn.
+	var stop, watchDone chan struct{}
+	if ctx.Done() != nil {
+		stop = make(chan struct{})
+		watchDone = make(chan struct{})
+		go func() {
+			defer close(watchDone)
+			select {
+			case <-ctx.Done():
+				_ = conn.SetDeadline(aLongTimeAgo)
+			case <-stop:
+			}
+		}()
 	}
+	resp, ioErr := t.roundTrip(conn, msg)
+	if stop != nil {
+		close(stop)
+		<-watchDone
+	}
+	if ioErr != nil {
+		conn.Close()
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, ioErr
+	}
+	_ = conn.SetDeadline(time.Time{})
 	t.put(server, conn)
 	if len(resp) == 0 {
 		return nil, errors.New("cluster: empty response frame")
@@ -198,6 +301,13 @@ func (t *TCPTransport) Call(server int, msg []byte) ([]byte, error) {
 		return nil, fmt.Errorf("cluster: server %d: %s", server, string(resp[1:]))
 	}
 	return resp[1:], nil
+}
+
+func (t *TCPTransport) roundTrip(conn net.Conn, msg []byte) ([]byte, error) {
+	if err := writeFrame(conn, msg); err != nil {
+		return nil, err
+	}
+	return readFrame(conn)
 }
 
 // Close drains and closes pooled connections.

@@ -42,7 +42,7 @@ func TestTCPEndToEnd(t *testing.T) {
 		t.Fatal("meta over TCP wrong")
 	}
 	ids := []graph.NodeID{0, 50, 500}
-	lists, err := client.GetNeighbors(ids, 0)
+	lists, err := client.GetNeighbors(bg, ids, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func TestTCPEndToEnd(t *testing.T) {
 			t.Fatalf("node %d: %d neighbors over TCP, want %d", v, len(lists[i]), g.Degree(v))
 		}
 	}
-	attrs, err := client.GetAttrs(ids)
+	attrs, err := client.GetAttrs(bg, ids)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestTCPSampling(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := sampler.Config{Fanouts: []int{3, 3}, NegativeRate: 1, Method: sampler.Streaming, FetchAttrs: true, Seed: 2}
-	res, err := client.SampleBatch([]graph.NodeID{1, 2, 3, 4}, cfg)
+	res, err := client.SampleBatch(bg, []graph.NodeID{1, 2, 3, 4}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,11 +83,11 @@ func TestTCPServerErrorPropagation(t *testing.T) {
 	tr, cleanup := startTCPCluster(t, g, 2)
 	defer cleanup()
 	// An unknown op must come back as a remote error, not a hang.
-	if _, err := tr.Call(0, []byte{0x7F}); err == nil {
+	if _, err := tr.Call(bg, 0, []byte{0x7F}); err == nil {
 		t.Fatal("remote error not propagated")
 	}
 	// The connection stays usable afterwards.
-	if _, err := tr.Call(0, []byte{OpMeta}); err != nil {
+	if _, err := tr.Call(bg, 0, []byte{OpMeta}); err != nil {
 		t.Fatalf("connection unusable after error: %v", err)
 	}
 }
@@ -102,7 +102,7 @@ func TestTCPConcurrentClients(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, errs[i] = tr.Call(i%2, []byte{OpMeta})
+			_, errs[i] = tr.Call(bg, i%2, []byte{OpMeta})
 		}(i)
 	}
 	wg.Wait()
@@ -116,7 +116,7 @@ func TestTCPConcurrentClients(t *testing.T) {
 func TestTCPBadServerIndex(t *testing.T) {
 	tr := DialTCP([]string{"127.0.0.1:1"}, 1)
 	defer tr.Close()
-	if _, err := tr.Call(5, []byte{OpMeta}); err == nil {
+	if _, err := tr.Call(bg, 5, []byte{OpMeta}); err == nil {
 		t.Fatal("out-of-range server accepted")
 	}
 }
@@ -133,7 +133,7 @@ func TestTCPServerClose(t *testing.T) {
 	}
 	tr := DialTCP([]string{addr}, 1)
 	defer tr.Close()
-	if _, err := tr.Call(0, []byte{OpMeta}); err == nil {
+	if _, err := tr.Call(bg, 0, []byte{OpMeta}); err == nil {
 		t.Fatal("closed server still answering")
 	}
 }

@@ -6,12 +6,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"lsdgnn/internal/axe"
 	"lsdgnn/internal/cluster"
 	"lsdgnn/internal/graph"
 	"lsdgnn/internal/sampler"
+	"lsdgnn/internal/stats"
+	"lsdgnn/internal/trace"
 	"lsdgnn/internal/workload"
 )
 
@@ -30,20 +34,27 @@ type Options struct {
 	// Engine configures the per-node AxE; zero value takes the PoC
 	// defaults.
 	Engine axe.Config
-	Seed   int64
+	// Dispatch tunes how batches are load-balanced across engines.
+	Dispatch DispatcherConfig
+	// NetDelay injects a fixed per-call delay into the in-process
+	// transport, for exercising deadline behavior without real sockets.
+	NetDelay time.Duration
+	Seed     int64
 }
 
 // System is an assembled LSD-GNN deployment.
 type System struct {
-	Graph    *graph.Graph
-	Part     cluster.Partitioner
-	Servers  []*cluster.Server
-	Client   *cluster.Client
-	Engines  []*axe.Engine
-	Sampling sampler.Config
+	Graph      *graph.Graph
+	Part       cluster.Partitioner
+	Servers    []*cluster.Server
+	Client     *cluster.Client
+	Engines    []*axe.Engine
+	Dispatcher *Dispatcher
+	Sampling   sampler.Config
 }
 
-// NewSystem builds servers, a client and one AxE engine per partition.
+// NewSystem builds servers, a client, one AxE engine per partition, and a
+// dispatcher that load-balances batches across the engines.
 func NewSystem(opts Options) (*System, error) {
 	if opts.Servers < 1 {
 		return nil, fmt.Errorf("core: need ≥1 server, got %d", opts.Servers)
@@ -82,26 +93,82 @@ func NewSystem(opts Options) (*System, error) {
 		}
 		sys.Engines = append(sys.Engines, eng)
 	}
-	client, err := cluster.NewClient(cluster.DirectTransport{Servers: sys.Servers}, part, 0)
+	var tr cluster.Transport = cluster.DirectTransport{Servers: sys.Servers}
+	if opts.NetDelay > 0 {
+		tr = cluster.DelayedTransport{Inner: tr, Delay: opts.NetDelay}
+	}
+	client, err := cluster.NewClient(tr, part, 0)
 	if err != nil {
 		return nil, err
 	}
 	sys.Client = client
+	disp, err := NewDispatcher(sys.Engines, opts.Dispatch)
+	if err != nil {
+		return nil, err
+	}
+	sys.Dispatcher = disp
 	return sys, nil
 }
 
-// SampleSoftware runs the CPU (AliGraph-style) distributed sampling path.
-func (s *System) SampleSoftware(roots []graph.NodeID) (*sampler.Result, error) {
-	return s.Client.SampleBatch(roots, s.Sampling)
+// Sample runs one accelerated batch through the dispatcher, which places it
+// on the least-loaded AxE engine. The context bounds queueing and the run
+// itself; on expiry the batch is abandoned and ctx's error returned.
+func (s *System) Sample(ctx context.Context, roots []graph.NodeID) (*sampler.Result, axe.BatchStats, error) {
+	return s.Dispatcher.Submit(ctx, roots)
 }
 
-// SampleAccelerated runs the batch on node 0's AxE engine, returning the
-// functional result plus the hardware-model timing.
+// SampleSoftware runs the CPU (AliGraph-style) distributed sampling path.
+func (s *System) SampleSoftware(ctx context.Context, roots []graph.NodeID) (*sampler.Result, error) {
+	return s.Client.SampleBatch(ctx, roots, s.Sampling)
+}
+
+// SampleAccelerated runs the batch on an AxE engine.
+//
+// Deprecated: use Sample, which load-balances across all engines and
+// honors a context. This shim keeps the old engine-0-style contract for
+// existing callers.
 func (s *System) SampleAccelerated(roots []graph.NodeID) (*sampler.Result, axe.BatchStats) {
-	return s.Engines[0].RunBatch(roots)
+	res, st, err := s.Sample(context.Background(), roots)
+	if err != nil {
+		// Only reachable when a per-batch timeout is configured; preserve
+		// the legacy can't-fail contract with a direct engine run.
+		return s.Engines[0].RunBatch(roots)
+	}
+	return res, st
 }
 
 // BatchSource returns a deterministic root generator for this system.
 func (s *System) BatchSource(batchSize int, seed int64) *workload.BatchSource {
 	return workload.NewBatchSource(s.Graph.NumNodes(), batchSize, seed)
+}
+
+// StatsRegistry assembles the unified metrics view of the system: client
+// wire traffic, client batch latency, dispatcher placement/latency, and the
+// per-class access profile merged across all partition servers.
+func (s *System) StatsRegistry() *stats.Registry {
+	reg := stats.NewRegistry()
+	reg.Register(&s.Client.Traffic, s.Client.Batches, s.Dispatcher)
+	servers := s.Servers
+	reg.Register(stats.Func(func() stats.Snapshot {
+		var structReq, structBytes, attrReq, attrBytes float64
+		for _, srv := range servers {
+			st := srv.Stats()
+			structReq += float64(st.Requests(trace.AccessStructure))
+			structBytes += float64(st.Bytes(trace.AccessStructure))
+			attrReq += float64(st.Requests(trace.AccessAttribute))
+			attrBytes += float64(st.Bytes(trace.AccessAttribute))
+		}
+		share := 0.0
+		if structReq+attrReq > 0 {
+			share = structReq / (structReq + attrReq)
+		}
+		return stats.Snapshot{Layer: "trace.access", Metrics: []stats.Metric{
+			{Name: "structure_requests", Value: structReq, Unit: "req"},
+			{Name: "structure_bytes", Value: structBytes, Unit: "bytes"},
+			{Name: "attribute_requests", Value: attrReq, Unit: "req"},
+			{Name: "attribute_bytes", Value: attrBytes, Unit: "bytes"},
+			{Name: "structure_share", Value: share, Unit: "ratio"},
+		}}
+	}))
+	return reg
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"math"
 	"testing"
@@ -53,7 +54,7 @@ func TestNewSystemFromDataset(t *testing.T) {
 func TestSoftwareAndAcceleratedAgree(t *testing.T) {
 	sys := testSystem(t)
 	roots := sys.BatchSource(8, 1).Next()
-	sw, err := sys.SampleSoftware(roots)
+	sw, err := sys.SampleSoftware(context.Background(), roots)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"lsdgnn/internal/axe"
+	"lsdgnn/internal/graph"
+	"lsdgnn/internal/sampler"
+	"lsdgnn/internal/stats"
+)
+
+// DispatcherConfig tunes batch scheduling across engines.
+type DispatcherConfig struct {
+	// Workers bounds how many batches run concurrently across all engines;
+	// 0 defaults to 2× the engine count.
+	Workers int
+	// BatchTimeout is a per-batch deadline applied on top of the caller's
+	// context; 0 disables it.
+	BatchTimeout time.Duration
+}
+
+// Dispatcher load-balances sampling batches across a set of AxE engines. It
+// picks the engine with the fewest in-flight batches (round-robin between
+// ties), bounds total concurrency with a worker pool, and applies an
+// optional per-batch deadline. All engines share the same sampling seed, so
+// results are layout-identical regardless of placement; only modeled timing
+// differs.
+type Dispatcher struct {
+	engines []*axe.Engine
+	cfg     DispatcherConfig
+	slots   chan struct{}
+	lat     *stats.Latency
+
+	mu       sync.Mutex
+	inflight []int64
+	counts   []int64
+	rr       int
+}
+
+// NewDispatcher builds a dispatcher over engines.
+func NewDispatcher(engines []*axe.Engine, cfg DispatcherConfig) (*Dispatcher, error) {
+	if len(engines) == 0 {
+		return nil, fmt.Errorf("core: dispatcher needs ≥1 engine")
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("core: negative worker count %d", cfg.Workers)
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 2 * len(engines)
+	}
+	return &Dispatcher{
+		engines:  engines,
+		cfg:      cfg,
+		slots:    make(chan struct{}, cfg.Workers),
+		lat:      stats.NewLatency("core.dispatcher"),
+		inflight: make([]int64, len(engines)),
+		counts:   make([]int64, len(engines)),
+	}, nil
+}
+
+// pick selects the least-loaded engine, rotating between ties so idle
+// engines all receive work.
+func (d *Dispatcher) pick() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	best, bestLoad := -1, int64(1<<62)
+	n := len(d.engines)
+	for i := 0; i < n; i++ {
+		e := (d.rr + i) % n
+		if d.inflight[e] < bestLoad {
+			best, bestLoad = e, d.inflight[e]
+		}
+	}
+	d.rr = (best + 1) % n
+	d.inflight[best]++
+	d.counts[best]++
+	return best
+}
+
+func (d *Dispatcher) release(engine int) {
+	d.mu.Lock()
+	d.inflight[engine]--
+	d.mu.Unlock()
+}
+
+// Submit runs one batch on the best available engine. It blocks while the
+// worker pool is saturated and honors ctx throughout: cancellation while
+// queued returns immediately; cancellation mid-run abandons the batch (the
+// engine finishes it in the background and the slot is then reclaimed).
+func (d *Dispatcher) Submit(ctx context.Context, roots []graph.NodeID) (*sampler.Result, axe.BatchStats, error) {
+	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		d.lat.ObserveError()
+		return nil, axe.BatchStats{}, err
+	}
+	if d.cfg.BatchTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d.cfg.BatchTimeout)
+		defer cancel()
+	}
+	select {
+	case d.slots <- struct{}{}:
+	case <-ctx.Done():
+		d.lat.ObserveError()
+		return nil, axe.BatchStats{}, ctx.Err()
+	}
+	engine := d.pick()
+
+	type outcome struct {
+		res *sampler.Result
+		st  axe.BatchStats
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			d.release(engine)
+			<-d.slots
+		}()
+		res, st := d.engines[engine].RunBatch(roots)
+		done <- outcome{res, st}
+	}()
+	select {
+	case out := <-done:
+		d.lat.Observe(time.Since(start))
+		return out.res, out.st, nil
+	case <-ctx.Done():
+		d.lat.ObserveError()
+		return nil, axe.BatchStats{}, ctx.Err()
+	}
+}
+
+// Engines returns how many engines the dispatcher schedules over.
+func (d *Dispatcher) Engines() int { return len(d.engines) }
+
+// Counts returns the cumulative batches dispatched to each engine.
+func (d *Dispatcher) Counts() []int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]int64, len(d.counts))
+	copy(out, d.counts)
+	return out
+}
+
+// Latency exposes the dispatcher's batch latency recorder.
+func (d *Dispatcher) Latency() *stats.Latency { return d.lat }
+
+// StatsSnapshot implements stats.Source: batch latency plus the per-engine
+// dispatch distribution under the "core.dispatcher" layer.
+func (d *Dispatcher) StatsSnapshot() stats.Snapshot {
+	snap := d.lat.StatsSnapshot()
+	for i, c := range d.Counts() {
+		snap.Metrics = append(snap.Metrics, stats.Metric{
+			Name:  fmt.Sprintf("engine_%d_batches", i),
+			Value: float64(c),
+			Unit:  "batches",
+		})
+	}
+	return snap
+}

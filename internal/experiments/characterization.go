@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -87,6 +88,7 @@ type Fig2cRow struct {
 // Figure2c measures the structure-access request share by running the real
 // distributed sampler over scaled datasets.
 func Figure2c(opts Options) ([]Fig2cRow, error) {
+	ctx := context.Background()
 	var out []Fig2cRow
 	batches := 4
 	if opts.Quick {
@@ -99,7 +101,7 @@ func Figure2c(opts Options) ([]Fig2cRow, error) {
 		}
 		src := sys.BatchSource(128, opts.Seed)
 		for b := 0; b < batches; b++ {
-			if _, err := sys.SampleSoftware(src.Next()); err != nil {
+			if _, err := sys.SampleSoftware(ctx, src.Next()); err != nil {
 				return nil, err
 			}
 		}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"lsdgnn/internal/core"
+	"lsdgnn/internal/graph"
+	"lsdgnn/internal/sampler"
+	"lsdgnn/internal/workload"
+)
+
+func init() {
+	register("serving", "multi-engine serving pipeline: dispatcher placement and unified stats", serving)
+}
+
+// serving exercises the context-aware serving path end to end: concurrent
+// batches fan out through the dispatcher across every AxE engine while the
+// software path runs alongside, then the unified stats registry reports
+// each layer of the stack in one view.
+func serving(w io.Writer, opts Options) error {
+	ds, err := workload.DatasetByName("ss")
+	if err != nil {
+		return err
+	}
+	batches, batchSize, clients := 32, 128, 8
+	if opts.Quick {
+		batches, batchSize, clients = 8, 32, 4
+	}
+	sys, err := core.NewSystem(core.Options{
+		Dataset: ds, Servers: 4, Seed: opts.Seed,
+		Sampling: sampler.Config{
+			Fanouts: []int{10, 10}, NegativeRate: 10,
+			Method: sampler.Streaming, FetchAttrs: true, Seed: opts.Seed,
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	src := sys.BatchSource(batchSize, opts.Seed)
+	var mu sync.Mutex
+	work := make([][]graph.NodeID, batches)
+	for i := range work {
+		work[i] = append([]graph.NodeID(nil), src.Next()...)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	next := 0
+	var firstErr error
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if next >= len(work) || firstErr != nil {
+					mu.Unlock()
+					return
+				}
+				batch := next
+				roots := work[batch]
+				next++
+				mu.Unlock()
+				if _, _, err := sys.Sample(ctx, roots); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				// Every fourth batch also runs the software baseline so the
+				// cluster layers show up in the unified report.
+				if batch%4 == 0 {
+					if _, err := sys.SampleSoftware(ctx, roots); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	wall := time.Since(start)
+
+	fmt.Fprintf(w, "%d clients, %d accelerated batches of %d roots over %d engines in %v wall time\n",
+		clients, batches, batchSize, len(sys.Engines), wall.Round(time.Millisecond))
+	counts := sys.Dispatcher.Counts()
+	for i, c := range counts {
+		fmt.Fprintf(w, "  engine %d: %d batches\n", i, c)
+	}
+	fmt.Fprintln(w, "\nunified stats (internal/stats registry):")
+	if _, err := sys.StatsRegistry().WriteTo(w); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+// Package stats unifies per-batch and per-layer metric reporting across
+// the serving pipeline. Every layer that counts something — wire traffic
+// (cluster.TrafficStats), access classes (trace.AccessStats), hardware
+// batch outcomes (axe.BatchStats), dispatcher scheduling (core.Dispatcher)
+// — exposes the same point-in-time view: a named Snapshot of flat metrics.
+// A Registry aggregates Sources so commands like lsdgnn-bench and
+// lsdgnn-server can render one coherent report instead of poking each
+// layer's ad-hoc counters.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Metric is one named measurement inside a Snapshot.
+type Metric struct {
+	Name  string
+	Value float64
+	// Unit is a display hint: "", "bytes", "req", "sec", "ratio", ...
+	Unit string
+}
+
+// Snapshot is a point-in-time copy of one layer's metrics. Layer names are
+// dotted paths ("cluster.traffic", "core.dispatcher") so reports group
+// naturally.
+type Snapshot struct {
+	Layer   string
+	Metrics []Metric
+}
+
+// Get returns the named metric's value.
+func (s Snapshot) Get(name string) (float64, bool) {
+	for _, m := range s.Metrics {
+		if m.Name == name {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Source is any layer that can report a Snapshot. Implementations must be
+// safe for concurrent use with their own recording paths.
+type Source interface {
+	StatsSnapshot() Snapshot
+}
+
+// Func adapts a closure to Source.
+type Func func() Snapshot
+
+// StatsSnapshot implements Source.
+func (f Func) StatsSnapshot() Snapshot { return f() }
+
+// Registry aggregates Sources from every pipeline layer. Safe for
+// concurrent Register/Collect.
+type Registry struct {
+	mu      sync.Mutex
+	sources []Source
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register adds sources to the registry.
+func (r *Registry) Register(srcs ...Source) {
+	r.mu.Lock()
+	r.sources = append(r.sources, srcs...)
+	r.mu.Unlock()
+}
+
+// Collect snapshots every registered source, in registration order.
+func (r *Registry) Collect() []Snapshot {
+	r.mu.Lock()
+	srcs := make([]Source, len(r.sources))
+	copy(srcs, r.sources)
+	r.mu.Unlock()
+	out := make([]Snapshot, 0, len(srcs))
+	for _, s := range srcs {
+		out = append(out, s.StatsSnapshot())
+	}
+	return out
+}
+
+// WriteTo renders every snapshot as an aligned text report.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	for _, snap := range r.Collect() {
+		k, err := fmt.Fprintf(w, "[%s]\n", snap.Layer)
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+		for _, m := range snap.Metrics {
+			unit := m.Unit
+			if unit != "" {
+				unit = " " + unit
+			}
+			k, err := fmt.Fprintf(w, "  %-24s %s%s\n", m.Name, formatValue(m.Value), unit)
+			n += int64(k)
+			if err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, nil
+}
+
+func formatValue(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// Latency accumulates a per-batch latency distribution for one layer.
+// The zero value is unusable; construct with NewLatency. Safe for
+// concurrent use.
+type Latency struct {
+	layer string
+
+	mu       sync.Mutex
+	count    int64
+	errs     int64
+	sum      time.Duration
+	min, max time.Duration
+}
+
+// NewLatency returns a latency recorder reporting under the given layer
+// name.
+func NewLatency(layer string) *Latency { return &Latency{layer: layer} }
+
+// Observe records one completed batch.
+func (l *Latency) Observe(d time.Duration) {
+	l.mu.Lock()
+	if l.count == 0 || d < l.min {
+		l.min = d
+	}
+	if d > l.max {
+		l.max = d
+	}
+	l.count++
+	l.sum += d
+	l.mu.Unlock()
+}
+
+// ObserveError records one failed (canceled, expired or errored) batch.
+func (l *Latency) ObserveError() {
+	l.mu.Lock()
+	l.errs++
+	l.mu.Unlock()
+}
+
+// Count returns the number of successful observations.
+func (l *Latency) Count() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count
+}
+
+// StatsSnapshot implements Source.
+func (l *Latency) StatsSnapshot() Snapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var avg time.Duration
+	if l.count > 0 {
+		avg = l.sum / time.Duration(l.count)
+	}
+	return Snapshot{Layer: l.layer, Metrics: []Metric{
+		{Name: "batches", Value: float64(l.count), Unit: "req"},
+		{Name: "batch_errors", Value: float64(l.errs), Unit: "req"},
+		{Name: "latency_avg", Value: avg.Seconds(), Unit: "sec"},
+		{Name: "latency_min", Value: l.min.Seconds(), Unit: "sec"},
+		{Name: "latency_max", Value: l.max.Seconds(), Unit: "sec"},
+	}}
+}

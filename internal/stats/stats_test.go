@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSnapshotGet(t *testing.T) {
+	s := Snapshot{Layer: "x", Metrics: []Metric{{Name: "a", Value: 2}}}
+	if v, ok := s.Get("a"); !ok || v != 2 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("missing metric found")
+	}
+}
+
+func TestRegistryCollectOrderAndFunc(t *testing.T) {
+	r := NewRegistry()
+	r.Register(Func(func() Snapshot { return Snapshot{Layer: "first"} }))
+	r.Register(Func(func() Snapshot { return Snapshot{Layer: "second"} }))
+	snaps := r.Collect()
+	if len(snaps) != 2 || snaps[0].Layer != "first" || snaps[1].Layer != "second" {
+		t.Fatalf("collect = %+v", snaps)
+	}
+}
+
+func TestRegistryWriteTo(t *testing.T) {
+	r := NewRegistry()
+	r.Register(Func(func() Snapshot {
+		return Snapshot{Layer: "cluster.traffic", Metrics: []Metric{
+			{Name: "requests", Value: 12, Unit: "req"},
+			{Name: "hit_rate", Value: 0.52, Unit: "ratio"},
+		}}
+	}))
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"[cluster.traffic]", "requests", "12 req", "0.52 ratio"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLatencyDistribution(t *testing.T) {
+	l := NewLatency("core.dispatcher")
+	l.Observe(10 * time.Millisecond)
+	l.Observe(30 * time.Millisecond)
+	l.ObserveError()
+	snap := l.StatsSnapshot()
+	if snap.Layer != "core.dispatcher" {
+		t.Fatalf("layer = %s", snap.Layer)
+	}
+	if v, _ := snap.Get("batches"); v != 2 {
+		t.Fatalf("batches = %v", v)
+	}
+	if v, _ := snap.Get("batch_errors"); v != 1 {
+		t.Fatalf("errors = %v", v)
+	}
+	if v, _ := snap.Get("latency_avg"); v < 0.019 || v > 0.021 {
+		t.Fatalf("avg = %v", v)
+	}
+	if v, _ := snap.Get("latency_min"); v < 0.009 || v > 0.011 {
+		t.Fatalf("min = %v", v)
+	}
+	if v, _ := snap.Get("latency_max"); v < 0.029 || v > 0.031 {
+		t.Fatalf("max = %v", v)
+	}
+}
+
+func TestLatencyConcurrent(t *testing.T) {
+	l := NewLatency("x")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Observe(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Count() != 800 {
+		t.Fatalf("count = %d", l.Count())
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"lsdgnn/internal/stats"
 )
 
 // AccessClass labels a memory access by what it reads.
@@ -103,6 +105,35 @@ func (s *AccessStats) AvgRequestBytes(c AccessClass) float64 {
 		return 0
 	}
 	return float64(s.bytes[c]) / float64(s.requests[c])
+}
+
+// StatsSnapshot implements stats.Source, reporting per-class request and
+// byte counts plus the derived shares under the "trace.access" layer.
+func (s *AccessStats) StatsSnapshot() stats.Snapshot {
+	s.mu.Lock()
+	structReq := s.requests[AccessStructure]
+	structBytes := s.bytes[AccessStructure]
+	attrReq := s.requests[AccessAttribute]
+	attrBytes := s.bytes[AccessAttribute]
+	var remote int64
+	for c := AccessClass(0); c < numAccessClasses; c++ {
+		remote += s.remote[c]
+	}
+	s.mu.Unlock()
+	total := structReq + attrReq
+	structShare, remoteShare := 0.0, 0.0
+	if total > 0 {
+		structShare = float64(structReq) / float64(total)
+		remoteShare = float64(remote) / float64(total)
+	}
+	return stats.Snapshot{Layer: "trace.access", Metrics: []stats.Metric{
+		{Name: "structure_requests", Value: float64(structReq), Unit: "req"},
+		{Name: "structure_bytes", Value: float64(structBytes), Unit: "bytes"},
+		{Name: "attribute_requests", Value: float64(attrReq), Unit: "req"},
+		{Name: "attribute_bytes", Value: float64(attrBytes), Unit: "bytes"},
+		{Name: "structure_share", Value: structShare, Unit: "ratio"},
+		{Name: "remote_share", Value: remoteShare, Unit: "ratio"},
+	}}
 }
 
 // Reset zeroes all counters.

@@ -1,7 +1,10 @@
 package lsdgnn
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"time"
 )
 
 func TestPublicAPIQuickstart(t *testing.T) {
@@ -13,17 +16,67 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	ctx := context.Background()
 	roots := sys.BatchSource(16, 2).Next()
-	sw, err := sys.SampleSoftware(roots)
+	sw, err := sys.SampleSoftware(ctx, roots)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hw, stats := sys.SampleAccelerated(roots)
+	hw, stats, err := sys.Sample(ctx, roots)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(sw.Attrs) != len(hw.Attrs) {
 		t.Fatal("software and accelerated layouts differ")
 	}
 	if stats.RootsPerSecond <= 0 {
 		t.Fatal("no modeled throughput")
+	}
+	// The deprecated single-engine entry point still works.
+	legacy, legacyStats := sys.SampleAccelerated(roots)
+	if len(legacy.Attrs) != len(hw.Attrs) || legacyStats.SimTime <= 0 {
+		t.Fatal("deprecated SampleAccelerated shim broken")
+	}
+}
+
+// TestPublicAPIDeadline is the facade-level acceptance check: a context
+// deadline shorter than the injected network delay must surface as
+// context.DeadlineExceeded from the software sampling path.
+func TestPublicAPIDeadline(t *testing.T) {
+	g := GenerateGraph(2000, 8, 8, 2)
+	sys, err := NewSystem(Options{Graph: g, Servers: 4, Seed: 2, NetDelay: 250 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = sys.SampleSoftware(ctx, sys.BatchSource(8, 1).Next())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("deadline not enforced promptly: %v", elapsed)
+	}
+}
+
+func TestPublicStatsRegistry(t *testing.T) {
+	g := GenerateGraph(2000, 8, 8, 3)
+	sys, err := NewSystem(Options{Graph: g, Servers: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	roots := sys.BatchSource(8, 1).Next()
+	if _, err := sys.SampleSoftware(ctx, roots); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sys.Sample(ctx, roots); err != nil {
+		t.Fatal(err)
+	}
+	snaps := sys.StatsRegistry().Collect()
+	if len(snaps) < 4 {
+		t.Fatalf("registry has %d layers", len(snaps))
 	}
 }
 

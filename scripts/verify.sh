@@ -1,0 +1,16 @@
+#!/bin/sh
+# Tier-1+ verification: static checks plus the full test suite under the
+# race detector. CI and pre-merge both run exactly this.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "verify: OK"
