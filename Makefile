@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench
+.PHONY: build test verify chaos bench
 
 build:
 	$(GO) build ./...
@@ -11,6 +11,11 @@ test:
 # Tier-1+ check: vet + build + tests under the race detector.
 verify:
 	./scripts/verify.sh
+
+# Fault-injection suite: every chaos/resilience/recovery test hammered
+# under the race detector with a high iteration count.
+chaos:
+	$(GO) test -race -count=20 -run 'TestChaos|TestFaulty|TestBreaker|TestRetry|TestBootstrap|TestPartial|TestTCPPoolRecovery' ./internal/cluster/
 
 bench:
 	$(GO) test -bench=. -benchmem

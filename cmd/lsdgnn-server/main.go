@@ -8,6 +8,13 @@
 //	lsdgnn-server -addr :7001 -partition 0 -partitions 4 &
 //	lsdgnn-server -addr :7002 -partition 1 -partitions 4 &
 //	...
+//
+// Replicas serve the same partition from another address so resilient
+// clients (cluster.WithResilience + cluster.ReplicaMap) can fail over, and
+// the chaos flags let an operator rehearse exactly that:
+//
+//	lsdgnn-server -addr :7011 -partition 0 -partitions 4 -replica 1 &
+//	lsdgnn-server -addr :7001 -partition 0 -partitions 4 -chaos-error-rate 0.2 &
 package main
 
 import (
@@ -31,12 +38,22 @@ func main() {
 	graphFile := flag.String("graph", "", "serve a graph saved with graph.Save instead of generating one")
 	partition := flag.Int("partition", 0, "this server's partition index")
 	partitions := flag.Int("partitions", 1, "total partition count")
+	replica := flag.Int("replica", 0, "replica index of this partition (0 = primary); replicas serve identical data from another address so clients can fail over (cluster.ReplicaMap)")
 	seed := flag.Int64("seed", 42, "graph generation seed (must match peers)")
 	drain := flag.Duration("drain", 30*time.Second, "max time to drain in-flight requests on shutdown")
+	chaosErr := flag.Float64("chaos-error-rate", 0, "inject request failures with this probability, for chaos-testing client retry/failover [0,1]")
+	chaosHang := flag.Float64("chaos-hang-rate", 0, "inject requests that stall until the client deadline with this probability [0,1]")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the injected fault sequence")
 	flag.Parse()
 
 	if *partition < 0 || *partition >= *partitions {
 		fatal(fmt.Errorf("partition %d out of %d", *partition, *partitions))
+	}
+	if *replica < 0 {
+		fatal(fmt.Errorf("negative replica index %d", *replica))
+	}
+	if *chaosErr < 0 || *chaosErr > 1 || *chaosHang < 0 || *chaosHang > 1 {
+		fatal(fmt.Errorf("chaos rates must be in [0,1]"))
 	}
 	var g *graph.Graph
 	var name string
@@ -62,11 +79,21 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	tcp, err := cluster.ServeTCP(srv, *addr)
+	var handler cluster.Handler = srv
+	if *chaosErr > 0 || *chaosHang > 0 {
+		handler = cluster.NewFaultyHandler(srv, cluster.FaultSpec{ErrRate: *chaosErr, HangRate: *chaosHang}, *chaosSeed)
+		fmt.Printf("chaos mode: failing %.0f%% and stalling %.0f%% of requests (seed %d)\n",
+			*chaosErr*100, *chaosHang*100, *chaosSeed)
+	}
+	tcp, err := cluster.ServeTCP(handler, *addr)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("serving partition %d/%d of %s on %s\n", *partition, *partitions, name, tcp.Addr())
+	role := "primary"
+	if *replica > 0 {
+		role = fmt.Sprintf("replica %d", *replica)
+	}
+	fmt.Printf("serving partition %d/%d (%s) of %s on %s\n", *partition, *partitions, role, name, tcp.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -1,7 +1,10 @@
 // Distributed: spins up a real 4-partition TCP graph cluster in-process
-// (the same servers cmd/lsdgnn-server runs standalone), connects a sampling
-// worker over the wire protocol, and runs mini-batch k-hop sampling across
-// the sockets — the control plane of the paper's storage tier, end to end.
+// (the same servers cmd/lsdgnn-server runs standalone) with one replica per
+// partition, connects a sampling worker over the wire protocol, and runs
+// mini-batch k-hop sampling across the sockets — the control plane of the
+// paper's storage tier, end to end. The primaries are chaos-injected
+// (20% of requests fail), so the client's resilience layer (retries,
+// circuit breakers, replica failover) is what keeps every batch whole.
 package main
 
 import (
@@ -17,7 +20,7 @@ import (
 )
 
 func main() {
-	const partitions = 4
+	const partitions, replicas = 4, 2
 	ds, err := workload.DatasetByName("ss")
 	if err != nil {
 		log.Fatal(err)
@@ -25,24 +28,39 @@ func main() {
 	g := ds.Build(42)
 	part := cluster.HashPartitioner{N: partitions}
 
-	// Launch one TCP server per partition on loopback.
-	addrs := make([]string, partitions)
-	var servers []*cluster.TCPServer
-	for p := 0; p < partitions; p++ {
-		srv, err := cluster.ServeTCP(cluster.NewServer(g, part, p), "127.0.0.1:0")
-		if err != nil {
-			log.Fatal(err)
+	// Launch replicas×partitions TCP servers on loopback, laid out as
+	// cluster.UniformReplicas expects: endpoints [0,partitions) are the
+	// primaries, the next block the replicas. Primaries misbehave.
+	addrs := make([]string, partitions*replicas)
+	for r := 0; r < replicas; r++ {
+		for p := 0; p < partitions; p++ {
+			var h cluster.Handler = cluster.NewServer(g, part, p)
+			role := "replica"
+			if r == 0 {
+				h = cluster.NewFaultyHandler(h, cluster.FaultSpec{ErrRate: 0.2}, int64(p)+1)
+				role = "primary, 20% chaos"
+			}
+			srv, err := cluster.ServeTCP(h, "127.0.0.1:0")
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer srv.Close()
+			addrs[r*partitions+p] = srv.Addr()
+			fmt.Printf("partition %d (%s) serving on %s\n", p, role, srv.Addr())
 		}
-		defer srv.Close()
-		addrs[p] = srv.Addr()
-		servers = append(servers, srv)
-		fmt.Printf("partition %d serving on %s\n", p, srv.Addr())
 	}
 
-	// A worker dials all partitions and samples across the wire.
+	// A worker dials all endpoints and samples across the wire with the
+	// resilience policy: bounded retries with backoff + jitter, a circuit
+	// breaker per endpoint, and failover onto the replica set.
 	transport := cluster.DialTCP(addrs, 2)
 	defer transport.Close()
-	client, err := cluster.NewClient(transport, part, -1) // fully remote worker
+	client, err := cluster.NewClientContext(context.Background(), transport, part, -1,
+		cluster.WithResilience(cluster.ResilienceConfig{
+			Retry:    cluster.DefaultRetryPolicy(),
+			Breaker:  cluster.DefaultBreakerConfig(),
+			Replicas: cluster.UniformReplicas(partitions, replicas),
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -71,4 +89,7 @@ func main() {
 		traffic.Requests, float64(traffic.RequestBytes)/1e3, float64(traffic.ResponseBytes)/1e3)
 	fmt.Printf("fine-grained structure requests: %.1f%% of all requests (paper: ~48%%)\n",
 		client.Access.StructureRequestShare()*100)
+	rs := client.Res.Snapshot()
+	fmt.Printf("resilience: %d retries, %d failovers to replicas, %d breaker rejects — batch intact despite injected chaos\n",
+		rs.Retries, rs.Failovers, rs.BreakerRejects)
 }

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -117,19 +118,74 @@ type Client struct {
 	meta      MetaResponse
 	Traffic   TrafficStats
 	Access    trace.AccessStats
+	// Res tallies resilience events ("cluster.resilience"): retries,
+	// breaker transitions, failovers, hedges, degraded batches, and Store
+	// adapter drops. Always present — Store drops are counted even when no
+	// resilience policy is configured.
+	Res ResilienceStats
 	// Batches records per-batch SampleBatch latency ("cluster.batch").
 	Batches *stats.Latency
 	// cache is the optional worker-side hot-node cache (EnableCache).
 	cache *HotCache
+	// res executes calls under the WithResilience policy; nil means the
+	// legacy fail-fast path.
+	res *resilience
+	// partial enables PartialResults degradation (set via WithResilience).
+	partial bool
 }
 
-// NewClient builds a client and fetches cluster metadata from server 0.
-// local names the co-located partition (-1 when the worker runs on a
-// machine with no graph shard). The bootstrap meta fetch uses a background
-// context; per-request contexts apply to the request methods.
+// ClientOption customizes a Client at construction.
+type ClientOption func(*Client)
+
+// WithResilience enables the fault-tolerance policy: bounded retries with
+// backoff + jitter, per-endpoint circuit breakers, replica failover,
+// optional hedging, and (when cfg.PartialResults is set) degraded batches
+// instead of fail-closed fan-outs.
+func WithResilience(cfg ResilienceConfig) ClientOption {
+	return func(c *Client) {
+		c.res = newResilience(cfg, &c.Res)
+		c.partial = cfg.PartialResults
+	}
+}
+
+// DefaultBootstrapTimeout bounds the NewClient meta fetch when the caller's
+// context carries no deadline.
+const DefaultBootstrapTimeout = 10 * time.Second
+
+// NewClient builds a client and fetches cluster metadata from partition 0,
+// bounded by DefaultBootstrapTimeout and retried through the default retry
+// policy. local names the co-located partition (-1 when the worker runs on
+// a machine with no graph shard).
 func NewClient(t Transport, p Partitioner, local int) (*Client, error) {
+	return NewClientContext(context.Background(), t, p, local)
+}
+
+// NewClientContext builds a client and fetches cluster metadata from
+// partition 0. The bootstrap fetch is bounded by ctx (with
+// DefaultBootstrapTimeout applied when ctx has no deadline) and retried
+// through the configured resilience policy — or the default retry policy
+// when none is configured — so a briefly-unready server 0 does not fail
+// cluster startup.
+func NewClientContext(ctx context.Context, t Transport, p Partitioner, local int, opts ...ClientOption) (*Client, error) {
 	c := &Client{transport: t, part: p, local: local, Batches: stats.NewLatency("cluster.batch")}
-	raw, err := t.Call(context.Background(), 0, []byte{OpMeta})
+	for _, o := range opts {
+		o(c)
+	}
+	if c.res != nil {
+		if err := c.res.cfg.Replicas.Validate(p.Servers()); err != nil {
+			return nil, err
+		}
+	}
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, DefaultBootstrapTimeout)
+		defer cancel()
+	}
+	boot := c.res
+	if boot == nil {
+		boot = newResilience(ResilienceConfig{Retry: DefaultRetryPolicy()}, &c.Res)
+	}
+	raw, err := boot.call(ctx, 0, []byte{OpMeta}, c.invoke)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: meta fetch: %w", err)
 	}
@@ -156,12 +212,24 @@ func (c *Client) NumNodes() int64 { return c.meta.NumNodes }
 // AttrLen returns the attribute length.
 func (c *Client) AttrLen() int { return c.meta.AttrLen }
 
-func (c *Client) call(ctx context.Context, server int, req []byte) ([]byte, error) {
-	resp, err := c.transport.Call(ctx, server, req)
+// call issues one request to the partition's serving endpoint(s). With a
+// resilience policy it retries, fails over to replicas, and consults
+// circuit breakers; without one it is a single fail-fast transport call.
+func (c *Client) call(ctx context.Context, partition int, req []byte) ([]byte, error) {
+	if c.res != nil {
+		return c.res.call(ctx, partition, req, c.invoke)
+	}
+	return c.invoke(ctx, partition, req)
+}
+
+// invoke performs one raw transport call against an endpoint, recording
+// wire traffic on success.
+func (c *Client) invoke(ctx context.Context, endpoint int, req []byte) ([]byte, error) {
+	resp, err := c.transport.Call(ctx, endpoint, req)
 	if err != nil {
 		return nil, err
 	}
-	c.Traffic.record(len(req), len(resp), server != c.local)
+	c.Traffic.record(len(req), len(resp), endpoint != c.local)
 	return resp, nil
 }
 
@@ -186,22 +254,32 @@ func (c *Client) GetNeighbors(ctx context.Context, ids []graph.NodeID, maxPerNod
 		if len(miss) == 0 {
 			return out, nil
 		}
-		fetched, err := c.getNeighborsUncached(ctx, miss, 0)
-		if err != nil {
-			return nil, err
+		fetched, ferr := c.getNeighborsUncached(ctx, miss, 0)
+		pe, partial := AsPartial(ferr)
+		if ferr != nil && !partial {
+			return nil, ferr
+		}
+		var failed map[int]bool
+		if partial {
+			failed = pe.Failed()
 		}
 		for j, l := range fetched {
 			out[missPos[j]] = l
+			// Never cache a lost shard's empty placeholder as a real
+			// adjacency list.
+			if partial && failed[c.part.Owner(miss[j])] {
+				continue
+			}
 			c.cache.PutNeighbors(miss[j], l)
 		}
-		return out, nil
+		return out, ferr
 	}
 	fetched, err := c.getNeighborsUncached(ctx, ids, maxPerNode)
-	if err != nil {
+	if _, partial := AsPartial(err); err != nil && !partial {
 		return nil, err
 	}
 	copy(out, fetched)
-	return out, nil
+	return out, err
 }
 
 func (c *Client) getNeighborsUncached(ctx context.Context, ids []graph.NodeID, maxPerNode uint32) ([][]graph.NodeID, error) {
@@ -247,7 +325,7 @@ func (c *Client) getNeighborsUncached(ctx context.Context, ids []graph.NodeID, m
 		}(s, grp, positions[s])
 	}
 	wg.Wait()
-	return out, firstError(ctx, errs)
+	return out, c.reduceFanout(ctx, errs)
 }
 
 // GetAttrs fetches attribute vectors for ids, concatenated in order.
@@ -270,16 +348,25 @@ func (c *Client) GetAttrs(ctx context.Context, ids []graph.NodeID) ([]float32, e
 		if len(miss) == 0 {
 			return out, nil
 		}
-		fetched, err := c.getAttrsUncached(ctx, miss)
-		if err != nil {
-			return nil, err
+		fetched, ferr := c.getAttrsUncached(ctx, miss)
+		pe, partial := AsPartial(ferr)
+		if ferr != nil && !partial {
+			return nil, ferr
+		}
+		var failed map[int]bool
+		if partial {
+			failed = pe.Failed()
 		}
 		for j := range miss {
 			vec := fetched[j*al : (j+1)*al]
 			copy(out[missPos[j]*al:], vec)
+			// Never cache a lost shard's zeroed placeholder vector.
+			if partial && failed[c.part.Owner(miss[j])] {
+				continue
+			}
 			c.cache.PutAttrs(miss[j], vec)
 		}
-		return out, nil
+		return out, ferr
 	}
 	return c.getAttrsUncached(ctx, ids)
 }
@@ -321,42 +408,65 @@ func (c *Client) getAttrsUncached(ctx context.Context, ids []graph.NodeID) ([]fl
 		}(s, grp, positions[s])
 	}
 	wg.Wait()
-	if err := firstError(ctx, errs); err != nil {
+	if err := c.reduceFanout(ctx, errs); err != nil {
+		if _, ok := AsPartial(err); ok {
+			// Degraded: positions owned by lost shards stay zeroed.
+			return out, err
+		}
 		return nil, err
 	}
 	return out, nil
 }
 
-// firstError reduces a fan-out's per-server error slice. When the context
-// is done, ctx.Err() wins so callers see context.Canceled /
+// reduceFanout reduces a fan-out's per-partition error slice. When the
+// context is done, ctx.Err() wins so callers see context.Canceled /
 // DeadlineExceeded rather than whichever transport error raced first.
-func firstError(ctx context.Context, errs []error) error {
-	var first error
-	for _, err := range errs {
+// Otherwise, with PartialResults enabled the failures degrade into a
+// *PartialError annotation; without it every failed server is reported via
+// errors.Join — never just the lowest-indexed one.
+func (c *Client) reduceFanout(ctx context.Context, errs []error) error {
+	var shards []ShardError
+	for s, err := range errs {
 		if err != nil {
-			first = err
-			break
+			shards = append(shards, ShardError{Server: s, Err: err})
 		}
 	}
-	if first != nil {
-		if ctxErr := ctx.Err(); ctxErr != nil {
-			return ctxErr
-		}
+	if len(shards) == 0 {
+		return nil
 	}
-	return first
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return ctxErr
+	}
+	if c.partial {
+		c.Res.addN(&c.Res.snap.ShardErrors, len(shards))
+		return &PartialError{Shards: shards}
+	}
+	joined := make([]error, len(shards))
+	for i, s := range shards {
+		joined[i] = fmt.Errorf("server %d: %w", s.Server, s.Err)
+	}
+	return errors.Join(joined...)
 }
 
 // SampleBatch performs batched k-hop sampling with per-hop grouped RPCs —
 // the distributed equivalent of sampler.Sampler.SampleBatch, producing an
 // identical Result layout. Cancellation or an expired deadline on ctx
 // aborts the batch between and within hops.
+//
+// With PartialResults enabled (see ResilienceConfig), shard failures
+// degrade instead of aborting: the returned Result keeps its full layout —
+// lost shards contribute empty adjacency lists (padded to the parent node,
+// the framework self-loop fallback) and zeroed attribute vectors — and the
+// error is a *PartialError annotating every lost shard. Check AsPartial
+// before discarding the result.
 func (c *Client) SampleBatch(ctx context.Context, roots []graph.NodeID, cfg sampler.Config) (*sampler.Result, error) {
 	start := time.Now()
 	res, err := c.sampleBatch(ctx, roots, cfg)
 	if c.Batches != nil {
-		if err != nil {
+		if _, partial := AsPartial(err); err != nil && !partial {
 			c.Batches.ObserveError()
 		} else {
+			// Degraded batches completed; their latency is still real.
 			c.Batches.Observe(time.Since(start))
 		}
 	}
@@ -367,10 +477,15 @@ func (c *Client) sampleBatch(ctx context.Context, roots []graph.NodeID, cfg samp
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	res := &sampler.Result{Roots: roots}
 	frontier := roots
+	var degraded []ShardError
 	for _, fanout := range cfg.Fanouts {
 		lists, err := c.GetNeighbors(ctx, frontier, 0)
 		if err != nil {
-			return nil, err
+			pe, partial := AsPartial(err)
+			if !partial {
+				return nil, err
+			}
+			degraded = append(degraded, pe.Shards...)
 		}
 		next := make([]graph.NodeID, 0, len(frontier)*fanout)
 		for i, nbrs := range lists {
@@ -402,17 +517,43 @@ func (c *Client) sampleBatch(ctx context.Context, roots []graph.NodeID, cfg samp
 		ids = append(ids, res.Negatives...)
 		attrs, err := c.GetAttrs(ctx, ids)
 		if err != nil {
-			return nil, err
+			pe, partial := AsPartial(err)
+			if !partial {
+				return nil, err
+			}
+			degraded = append(degraded, pe.Shards...)
 		}
 		res.Attrs = attrs
+	}
+	if len(degraded) > 0 {
+		c.Res.add(&c.Res.snap.DegradedBatches)
+		return res, &PartialError{Shards: dedupShards(degraded)}
 	}
 	return res, nil
 }
 
-// Store adapts the client to sampler.Store for per-node access. Errors
-// surface as empty results; batched APIs should be preferred for
-// performance paths. Ctx, when set, bounds each per-node fetch; nil means
-// context.Background().
+// dedupShards merges repeated failures of the same partition across hops,
+// keeping the first error seen.
+func dedupShards(shards []ShardError) []ShardError {
+	seen := make(map[int]bool, len(shards))
+	out := shards[:0]
+	for _, s := range shards {
+		if seen[s.Server] {
+			continue
+		}
+		seen[s.Server] = true
+		out = append(out, s)
+	}
+	return out
+}
+
+// Store adapts the client to sampler.Store for per-node access. The
+// sampler.Store interface cannot report errors, so failed fetches degrade
+// to empty results — but never silently: every degraded lookup increments
+// the store_drops counter in C.Res ("cluster.resilience"), which callers
+// must consult to distinguish lost shards from genuinely isolated nodes.
+// Batched APIs should be preferred for performance paths. Ctx, when set,
+// bounds each per-node fetch; nil means context.Background().
 type Store struct {
 	C   *Client
 	Ctx context.Context
@@ -431,20 +572,28 @@ func (s Store) NumNodes() int64 { return s.C.NumNodes() }
 // AttrLen implements sampler.Store.
 func (s Store) AttrLen() int { return s.C.AttrLen() }
 
-// Neighbors implements sampler.Store.
+// Neighbors implements sampler.Store. A failed fetch returns an empty
+// list and counts a store drop.
 func (s Store) Neighbors(v graph.NodeID) []graph.NodeID {
 	lists, err := s.C.GetNeighbors(s.ctx(), []graph.NodeID{v}, 0)
-	if err != nil || len(lists) == 0 {
+	if err != nil {
+		s.C.Res.add(&s.C.Res.snap.StoreDrops)
+	}
+	if len(lists) == 0 {
 		return nil
 	}
 	return lists[0]
 }
 
-// Attr implements sampler.Store.
+// Attr implements sampler.Store. A failed fetch returns a zeroed vector
+// and counts a store drop.
 func (s Store) Attr(dst []float32, v graph.NodeID) []float32 {
 	attrs, err := s.C.GetAttrs(s.ctx(), []graph.NodeID{v})
 	if err != nil {
-		return append(dst, make([]float32, s.C.AttrLen())...)
+		s.C.Res.add(&s.C.Res.snap.StoreDrops)
+		if len(attrs) == 0 {
+			return append(dst, make([]float32, s.C.AttrLen())...)
+		}
 	}
 	return append(dst, attrs...)
 }

@@ -58,6 +58,54 @@ func (p RangePartitioner) Owner(v graph.NodeID) int {
 // Servers implements Partitioner.
 func (p RangePartitioner) Servers() int { return p.N }
 
+// ReplicaMap lists, per partition, the transport endpoints able to serve
+// that partition's shard. Entry 0 is the primary; later entries are
+// failover replicas tried when the primary fails or its circuit breaker is
+// open. A nil map means each partition is served only by the endpoint
+// sharing its index (no replication).
+type ReplicaMap [][]int
+
+// UniformReplicas builds the canonical replicated layout: replica r of
+// partition p is endpoint r*partitions+p, i.e. endpoints [0,partitions)
+// are the primaries and each subsequent block of `partitions` endpoints is
+// a full replica set.
+func UniformReplicas(partitions, replicas int) ReplicaMap {
+	if replicas < 1 {
+		replicas = 1
+	}
+	m := make(ReplicaMap, partitions)
+	for p := 0; p < partitions; p++ {
+		eps := make([]int, replicas)
+		for r := 0; r < replicas; r++ {
+			eps[r] = r*partitions + p
+		}
+		m[p] = eps
+	}
+	return m
+}
+
+// Validate checks the map covers every partition with at least one
+// non-negative endpoint.
+func (m ReplicaMap) Validate(partitions int) error {
+	if m == nil {
+		return nil
+	}
+	if len(m) < partitions {
+		return fmt.Errorf("cluster: replica map covers %d of %d partitions", len(m), partitions)
+	}
+	for p := 0; p < partitions; p++ {
+		if len(m[p]) == 0 {
+			return fmt.Errorf("cluster: partition %d has no endpoints", p)
+		}
+		for _, ep := range m[p] {
+			if ep < 0 {
+				return fmt.Errorf("cluster: partition %d lists negative endpoint %d", p, ep)
+			}
+		}
+	}
+	return nil
+}
+
 // GroupByOwner splits ids into per-server groups, returning parallel slices
 // of (server-local request lists, original positions) so responses can be
 // scattered back in order.

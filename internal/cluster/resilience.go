@@ -1,0 +1,584 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"lsdgnn/internal/stats"
+)
+
+// Resilience layer for the distributed sampling path. The paper's FaaS
+// premise (§6) is a shared service over hundreds of disaggregated nodes
+// whose fabric is lossy enough that MoF ships its own go-back-N ARQ
+// (§4.3, internal/mof/reliability.go). This file is the software-control-
+// plane counterpart: bounded retries with exponential backoff + jitter,
+// per-endpoint circuit breakers, replica failover, optional hedged
+// requests, and counters for all of it under the "cluster.resilience"
+// stats layer.
+
+// RetryPolicy bounds how a failed partition call is re-attempted. One
+// attempt is a full pass over the partition's endpoint list (primary, then
+// replicas); passes after the first are separated by exponential backoff
+// with jitter.
+type RetryPolicy struct {
+	// MaxAttempts is the number of endpoint passes before giving up (≥1).
+	MaxAttempts int
+	// BaseBackoff separates the first and second pass; it doubles each
+	// further pass.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth.
+	MaxBackoff time.Duration
+	// Jitter randomizes each backoff downward by up to this fraction
+	// ([0,1]), de-synchronizing retry storms across workers.
+	Jitter float64
+}
+
+// DefaultRetryPolicy returns the policy used when a zero RetryPolicy is
+// configured: 3 passes, 2ms base backoff doubling to a 100ms cap, 50%
+// jitter.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseBackoff: 2 * time.Millisecond, MaxBackoff: 100 * time.Millisecond, Jitter: 0.5}
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	d := DefaultRetryPolicy()
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = d.BaseBackoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = d.MaxBackoff
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	} else if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	return p
+}
+
+// BreakerConfig tunes the per-endpoint circuit breaker.
+type BreakerConfig struct {
+	// Threshold is how many consecutive failures open the breaker.
+	Threshold int
+	// OpenFor is how long an open breaker sheds load before letting one
+	// half-open probe through.
+	OpenFor time.Duration
+}
+
+// DefaultBreakerConfig returns the breaker tuning used when a zero
+// BreakerConfig is configured.
+func DefaultBreakerConfig() BreakerConfig {
+	return BreakerConfig{Threshold: 5, OpenFor: 250 * time.Millisecond}
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	d := DefaultBreakerConfig()
+	if c.Threshold <= 0 {
+		c.Threshold = d.Threshold
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = d.OpenFor
+	}
+	return c
+}
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+// Breaker states: closed passes calls, open rejects them, half-open lets a
+// single probe through to test recovery.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", int(s))
+	}
+}
+
+// breaker is one endpoint's circuit breaker.
+type breaker struct {
+	cfg BreakerConfig
+	st  *ResilienceStats
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+}
+
+// Allow reports whether a call may proceed. An open breaker transitions to
+// half-open once OpenFor has elapsed and admits exactly one probe at a
+// time.
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if time.Since(b.openedAt) < b.cfg.OpenFor {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		b.st.add(&b.st.snap.BreakerHalfOpens)
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// State returns the breaker's current position (open breakers past their
+// OpenFor window still report open until a probe is admitted).
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.state = BreakerClosed
+		b.st.add(&b.st.snap.BreakerCloses)
+	}
+	b.failures = 0
+	b.probing = false
+}
+
+func (b *breaker) onFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = time.Now()
+		b.probing = false
+		b.st.add(&b.st.snap.BreakerOpens)
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.cfg.Threshold {
+			b.state = BreakerOpen
+			b.openedAt = time.Now()
+			b.st.add(&b.st.snap.BreakerOpens)
+		}
+	}
+}
+
+// ResilienceConfig assembles the client-side fault-tolerance policy.
+type ResilienceConfig struct {
+	// Retry bounds re-attempts; zero fields take DefaultRetryPolicy.
+	Retry RetryPolicy
+	// Breaker tunes per-endpoint circuit breakers; zero fields take
+	// DefaultBreakerConfig.
+	Breaker BreakerConfig
+	// Replicas maps partitions to serving endpoints. Nil means partition p
+	// is served only by endpoint p.
+	Replicas ReplicaMap
+	// HedgeDelay, when positive and a partition has ≥2 endpoints, launches
+	// a duplicate request on a replica if the primary has not answered
+	// within the delay; the first success wins and the loser is canceled.
+	// Cuts tail latency at the price of duplicated work.
+	HedgeDelay time.Duration
+	// PartialResults degrades shard failures to empty per-node results
+	// with a *PartialError annotation instead of failing the whole batch.
+	PartialResults bool
+	// Seed makes backoff jitter deterministic for reproducible chaos runs;
+	// 0 uses a fixed default seed.
+	Seed int64
+}
+
+// DefaultResilienceConfig returns retries + breakers with default tuning,
+// no replicas, no hedging, fail-closed batches.
+func DefaultResilienceConfig() ResilienceConfig {
+	return ResilienceConfig{Retry: DefaultRetryPolicy(), Breaker: DefaultBreakerConfig()}
+}
+
+// ResilienceSnapshot is a point-in-time copy of resilience counters.
+type ResilienceSnapshot struct {
+	Retries          int64 // backoff-delayed endpoint passes
+	Failovers        int64 // calls shifted to a replica after a primary failure/reject
+	Hedges           int64 // duplicate requests launched by the hedging timer
+	HedgesWon        int64 // hedged requests that answered before the primary
+	BreakerOpens     int64 // closed/half-open → open transitions
+	BreakerHalfOpens int64 // open → half-open transitions
+	BreakerCloses    int64 // half-open → closed transitions
+	BreakerRejects   int64 // calls skipped because an endpoint's breaker was open
+	DegradedBatches  int64 // SampleBatch calls returning partial results
+	ShardErrors      int64 // per-shard failures absorbed by PartialResults
+	StoreDrops       int64 // Store adapter lookups degraded to empty results
+}
+
+// ResilienceStats tallies resilience events. Safe for concurrent use; the
+// zero value is usable (a Client always embeds one, even without a policy,
+// so Store drops stay visible).
+type ResilienceStats struct {
+	mu   sync.Mutex
+	snap ResilienceSnapshot
+	// breakers, set when a policy is enabled, feeds the open-breaker gauge.
+	breakers func() (open, halfOpen int)
+}
+
+func (s *ResilienceStats) add(field *int64) {
+	s.mu.Lock()
+	*field++
+	s.mu.Unlock()
+}
+
+func (s *ResilienceStats) addN(field *int64, n int) {
+	s.mu.Lock()
+	*field += int64(n)
+	s.mu.Unlock()
+}
+
+// Snapshot returns a copy of the counters.
+func (s *ResilienceStats) Snapshot() ResilienceSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snap
+}
+
+// StatsSnapshot implements stats.Source under the "cluster.resilience"
+// layer.
+func (s *ResilienceStats) StatsSnapshot() stats.Snapshot {
+	s.mu.Lock()
+	snap := s.snap
+	gauge := s.breakers
+	s.mu.Unlock()
+	m := []stats.Metric{
+		{Name: "retries", Value: float64(snap.Retries), Unit: "req"},
+		{Name: "failovers", Value: float64(snap.Failovers), Unit: "req"},
+		{Name: "hedges", Value: float64(snap.Hedges), Unit: "req"},
+		{Name: "hedges_won", Value: float64(snap.HedgesWon), Unit: "req"},
+		{Name: "breaker_opens", Value: float64(snap.BreakerOpens)},
+		{Name: "breaker_half_opens", Value: float64(snap.BreakerHalfOpens)},
+		{Name: "breaker_closes", Value: float64(snap.BreakerCloses)},
+		{Name: "breaker_rejects", Value: float64(snap.BreakerRejects), Unit: "req"},
+		{Name: "degraded_batches", Value: float64(snap.DegradedBatches), Unit: "req"},
+		{Name: "shard_errors", Value: float64(snap.ShardErrors)},
+		{Name: "store_drops", Value: float64(snap.StoreDrops), Unit: "req"},
+	}
+	if gauge != nil {
+		open, half := gauge()
+		m = append(m,
+			stats.Metric{Name: "breakers_open", Value: float64(open)},
+			stats.Metric{Name: "breakers_half_open", Value: float64(half)},
+		)
+	}
+	return stats.Snapshot{Layer: "cluster.resilience", Metrics: m}
+}
+
+// ShardError annotates one shard's failure inside a degraded operation.
+type ShardError struct {
+	// Server is the partition whose shard was lost.
+	Server int
+	Err    error
+}
+
+// PartialError reports the shards lost during a PartialResults operation.
+// The accompanying result is layout-complete, but positions owned by the
+// listed partitions hold empty neighbor lists / zeroed attributes. It is
+// returned *alongside* a non-nil result; use AsPartial to distinguish
+// degradation from outright failure.
+type PartialError struct{ Shards []ShardError }
+
+// Error implements error.
+func (e *PartialError) Error() string {
+	msg := fmt.Sprintf("cluster: partial results: %d shard(s) failed", len(e.Shards))
+	for _, s := range e.Shards {
+		msg += fmt.Sprintf("; partition %d: %v", s.Server, s.Err)
+	}
+	return msg
+}
+
+// Unwrap exposes per-shard errors to errors.Is/errors.As.
+func (e *PartialError) Unwrap() []error {
+	out := make([]error, len(e.Shards))
+	for i, s := range e.Shards {
+		out[i] = s.Err
+	}
+	return out
+}
+
+// Failed returns the set of lost partitions.
+func (e *PartialError) Failed() map[int]bool {
+	out := make(map[int]bool, len(e.Shards))
+	for _, s := range e.Shards {
+		out[s.Server] = true
+	}
+	return out
+}
+
+// AsPartial unwraps err as a *PartialError, reporting whether the
+// operation degraded rather than failed.
+func AsPartial(err error) (*PartialError, bool) {
+	var pe *PartialError
+	if errors.As(err, &pe) {
+		return pe, true
+	}
+	return nil, false
+}
+
+// invokeFunc performs one raw call against a transport endpoint.
+type invokeFunc func(ctx context.Context, endpoint int, req []byte) ([]byte, error)
+
+// resilience executes partition calls under a ResilienceConfig.
+type resilience struct {
+	cfg   ResilienceConfig
+	stats *ResilienceStats
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	breakers map[int]*breaker
+}
+
+func newResilience(cfg ResilienceConfig, st *ResilienceStats) *resilience {
+	cfg.Retry = cfg.Retry.withDefaults()
+	cfg.Breaker = cfg.Breaker.withDefaults()
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x5ca1ab1e
+	}
+	r := &resilience{
+		cfg:      cfg,
+		stats:    st,
+		rng:      rand.New(rand.NewSource(seed)),
+		breakers: make(map[int]*breaker),
+	}
+	st.mu.Lock()
+	st.breakers = r.breakerGauge
+	st.mu.Unlock()
+	return r
+}
+
+// endpoints returns the serving endpoints for a partition, primary first.
+func (r *resilience) endpoints(partition int) []int {
+	if m := r.cfg.Replicas; m != nil && partition >= 0 && partition < len(m) && len(m[partition]) > 0 {
+		return m[partition]
+	}
+	return []int{partition}
+}
+
+func (r *resilience) breaker(endpoint int) *breaker {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, ok := r.breakers[endpoint]
+	if !ok {
+		b = &breaker{cfg: r.cfg.Breaker, st: r.stats}
+		r.breakers[endpoint] = b
+	}
+	return b
+}
+
+func (r *resilience) breakerGauge() (open, halfOpen int) {
+	r.mu.Lock()
+	brs := make([]*breaker, 0, len(r.breakers))
+	for _, b := range r.breakers {
+		brs = append(brs, b)
+	}
+	r.mu.Unlock()
+	for _, b := range brs {
+		switch b.State() {
+		case BreakerOpen:
+			open++
+		case BreakerHalfOpen:
+			halfOpen++
+		}
+	}
+	return open, halfOpen
+}
+
+// BreakerState reports the breaker position for one endpoint.
+func (r *resilience) BreakerState(endpoint int) BreakerState {
+	return r.breaker(endpoint).State()
+}
+
+// sleep waits for the jittered backoff or until ctx is done.
+func (r *resilience) sleep(ctx context.Context, d time.Duration) error {
+	if j := r.cfg.Retry.Jitter; j > 0 {
+		r.mu.Lock()
+		f := 1 - j*r.rng.Float64()
+		r.mu.Unlock()
+		d = time.Duration(float64(d) * f)
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return ctx.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// call executes one partition request under the policy: endpoint passes
+// with failover (hedged on the first pass when configured), exponential
+// backoff with jitter between passes, honoring ctx throughout.
+func (r *resilience) call(ctx context.Context, partition int, req []byte, invoke invokeFunc) ([]byte, error) {
+	eps := r.endpoints(partition)
+	backoff := r.cfg.Retry.BaseBackoff
+	var errs []error
+	for attempt := 0; attempt < r.cfg.Retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := r.sleep(ctx, backoff); err != nil {
+				return nil, err
+			}
+			r.stats.add(&r.stats.snap.Retries)
+			backoff *= 2
+			if backoff > r.cfg.Retry.MaxBackoff {
+				backoff = r.cfg.Retry.MaxBackoff
+			}
+		}
+		var resp []byte
+		var err error
+		if attempt == 0 && r.cfg.HedgeDelay > 0 && len(eps) > 1 {
+			resp, err = r.hedgedPass(ctx, eps, req, invoke)
+		} else {
+			resp, err = r.pass(ctx, eps, req, invoke)
+		}
+		if err == nil {
+			return resp, nil
+		}
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		errs = append(errs, err)
+	}
+	return nil, fmt.Errorf("cluster: partition %d unavailable after %d attempt(s): %w",
+		partition, r.cfg.Retry.MaxAttempts, errors.Join(errs...))
+}
+
+// pass tries each endpoint in order, consulting breakers and counting
+// failovers past the primary.
+func (r *resilience) pass(ctx context.Context, eps []int, req []byte, invoke invokeFunc) ([]byte, error) {
+	var errs []error
+	for i, ep := range eps {
+		br := r.breaker(ep)
+		if !br.Allow() {
+			r.stats.add(&r.stats.snap.BreakerRejects)
+			errs = append(errs, fmt.Errorf("endpoint %d: breaker open", ep))
+			continue
+		}
+		if i > 0 {
+			r.stats.add(&r.stats.snap.Failovers)
+		}
+		resp, err := invoke(ctx, ep, req)
+		if err == nil {
+			br.onSuccess()
+			return resp, nil
+		}
+		if ctx.Err() == nil {
+			br.onFailure()
+		}
+		errs = append(errs, fmt.Errorf("endpoint %d: %w", ep, err))
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+	}
+	return nil, errors.Join(errs...)
+}
+
+// hedgedPass races the primary against a replica launched after
+// HedgeDelay. The first success cancels the loser. A failure with nothing
+// left in flight immediately starts the next endpoint (failover without
+// waiting for the hedge timer).
+func (r *resilience) hedgedPass(ctx context.Context, eps []int, req []byte, invoke invokeFunc) ([]byte, error) {
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		ep    int
+		hedge bool
+		resp  []byte
+		err   error
+	}
+	ch := make(chan outcome, len(eps))
+	next, inflight := 0, 0
+	var errs []error
+	// launch starts the next endpoint whose breaker admits a call.
+	launch := func(hedge bool) {
+		for next < len(eps) {
+			ep := eps[next]
+			primary := next == 0
+			next++
+			if !r.breaker(ep).Allow() {
+				r.stats.add(&r.stats.snap.BreakerRejects)
+				errs = append(errs, fmt.Errorf("endpoint %d: breaker open", ep))
+				continue
+			}
+			if !primary {
+				if hedge {
+					r.stats.add(&r.stats.snap.Hedges)
+				} else {
+					r.stats.add(&r.stats.snap.Failovers)
+				}
+			}
+			inflight++
+			go func(ep int, hedge bool) {
+				resp, err := invoke(hctx, ep, req)
+				ch <- outcome{ep: ep, hedge: hedge, resp: resp, err: err}
+			}(ep, hedge)
+			return
+		}
+	}
+	launch(false)
+	timer := time.NewTimer(r.cfg.HedgeDelay)
+	defer timer.Stop()
+	for inflight > 0 {
+		select {
+		case <-timer.C:
+			launch(true)
+		case out := <-ch:
+			inflight--
+			if out.err == nil {
+				r.breaker(out.ep).onSuccess()
+				if out.hedge {
+					r.stats.add(&r.stats.snap.HedgesWon)
+				}
+				return out.resp, nil
+			}
+			// Only penalize the breaker for organic failures, not for the
+			// cancellation we issued after a sibling won or ctx expired.
+			if hctx.Err() == nil {
+				r.breaker(out.ep).onFailure()
+			}
+			errs = append(errs, fmt.Errorf("endpoint %d: %w", out.ep, out.err))
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
+			if inflight == 0 {
+				launch(false)
+			}
+		}
+	}
+	if len(errs) == 0 {
+		errs = append(errs, errors.New("all endpoints rejected by open breakers"))
+	}
+	return nil, errors.Join(errs...)
+}

@@ -1,0 +1,364 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"lsdgnn/internal/graph"
+)
+
+func TestUniformReplicas(t *testing.T) {
+	m := UniformReplicas(3, 2)
+	if len(m) != 3 {
+		t.Fatalf("%d partitions mapped, want 3", len(m))
+	}
+	for p := 0; p < 3; p++ {
+		if len(m[p]) != 2 || m[p][0] != p || m[p][1] != 3+p {
+			t.Fatalf("partition %d mapped to %v", p, m[p])
+		}
+	}
+	if err := m.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicaMapValidate(t *testing.T) {
+	if err := (ReplicaMap)(nil).Validate(4); err != nil {
+		t.Fatalf("nil map rejected: %v", err)
+	}
+	if err := (ReplicaMap{{0}, {1}}).Validate(3); err == nil {
+		t.Fatal("short map accepted")
+	}
+	if err := (ReplicaMap{{0}, {}, {2}}).Validate(3); err == nil {
+		t.Fatal("endpoint-less partition accepted")
+	}
+	if err := (ReplicaMap{{0}, {-1}, {2}}).Validate(3); err == nil {
+		t.Fatal("negative endpoint accepted")
+	}
+}
+
+// TestBreakerStateMachine walks the full closed → open → half-open cycle,
+// both the reopen and the recovery arm, checking transition counters.
+func TestBreakerStateMachine(t *testing.T) {
+	st := &ResilienceStats{}
+	b := &breaker{cfg: BreakerConfig{Threshold: 2, OpenFor: 20 * time.Millisecond}, st: st}
+
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatal("fresh breaker not closed")
+	}
+	b.onFailure()
+	if b.State() != BreakerClosed {
+		t.Fatal("opened below threshold")
+	}
+	b.onFailure()
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatal("threshold failures did not open and shed")
+	}
+
+	time.Sleep(25 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("no half-open probe after OpenFor")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v after probe admitted", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe admitted")
+	}
+	b.onFailure() // probe fails → reopen
+	if b.State() != BreakerOpen {
+		t.Fatal("failed probe did not reopen")
+	}
+
+	time.Sleep(25 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("no probe after reopen window")
+	}
+	b.onSuccess()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("successful probe did not close")
+	}
+
+	snap := st.Snapshot()
+	if snap.BreakerOpens != 2 || snap.BreakerHalfOpens != 2 || snap.BreakerCloses != 1 {
+		t.Fatalf("transition counters wrong: %+v", snap)
+	}
+	for s, want := range map[BreakerState]string{BreakerClosed: "closed", BreakerOpen: "open", BreakerHalfOpen: "half-open"} {
+		if s.String() != want {
+			t.Fatalf("BreakerState(%d).String() = %q", int(s), s.String())
+		}
+	}
+}
+
+// TestRetryDeadline: the backoff loop must abandon remaining attempts the
+// moment the context expires, surfacing ctx.Err().
+func TestRetryDeadline(t *testing.T) {
+	r := newResilience(ResilienceConfig{
+		Retry: RetryPolicy{MaxAttempts: 1000, BaseBackoff: 10 * time.Millisecond, MaxBackoff: 10 * time.Millisecond},
+	}, &ResilienceStats{})
+	boom := func(ctx context.Context, ep int, req []byte) ([]byte, error) {
+		return nil, errors.New("boom")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := r.call(ctx, 0, []byte{OpMeta}, boom)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("1000-attempt policy ran %v past a 30ms deadline", elapsed)
+	}
+}
+
+// TestRetryExhaustionReportsEveryPass: when all attempts fail, the error
+// must carry the attempt count and every endpoint's failure.
+func TestRetryExhaustionReportsEveryPass(t *testing.T) {
+	st := &ResilienceStats{}
+	r := newResilience(ResilienceConfig{
+		Retry:    RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Microsecond, MaxBackoff: time.Microsecond},
+		Replicas: ReplicaMap{{0, 1}},
+	}, st)
+	_, err := r.call(context.Background(), 0, []byte{OpMeta}, func(ctx context.Context, ep int, req []byte) ([]byte, error) {
+		return nil, fmt.Errorf("ep%d down", ep)
+	})
+	if err == nil {
+		t.Fatal("exhausted retries returned nil error")
+	}
+	for _, frag := range []string{"3 attempt(s)", "ep0 down", "ep1 down"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Fatalf("error %q missing %q", err, frag)
+		}
+	}
+	if snap := st.Snapshot(); snap.Retries != 2 || snap.Failovers != 3 {
+		t.Fatalf("want 2 retries and 3 failovers, got %+v", snap)
+	}
+}
+
+// TestFanoutErrorsJoined: without PartialResults, a multi-shard failure
+// must report every failed server (errors.Join), not just the first.
+func TestFanoutErrorsJoined(t *testing.T) {
+	g := testGraph(t)
+	part := HashPartitioner{N: 2}
+	servers := []*Server{NewServer(g, part, 0), NewServer(g, part, 1)}
+	ft := NewFaultyTransport(DirectTransport{Servers: servers}, 1)
+	client, err := NewClient(ft, part, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft.KillServer(0)
+	ft.KillServer(1)
+	ids := []graph.NodeID{0, 1, 2, 3} // spans both partitions under hash
+	_, err = client.GetNeighbors(bg, ids, 0)
+	if err == nil {
+		t.Fatal("dead cluster returned no error")
+	}
+	if !strings.Contains(err.Error(), "server 0") || !strings.Contains(err.Error(), "server 1") {
+		t.Fatalf("aggregate error dropped a shard: %v", err)
+	}
+	if !errors.Is(err, ErrServerDown) {
+		t.Fatalf("joined error lost the cause chain: %v", err)
+	}
+}
+
+// flakyTransport fails its first n calls, then delegates.
+type flakyTransport struct {
+	inner Transport
+	left  int
+}
+
+func (f *flakyTransport) Call(ctx context.Context, server int, msg []byte) ([]byte, error) {
+	if f.left > 0 {
+		f.left--
+		return nil, errors.New("not ready")
+	}
+	return f.inner.Call(ctx, server, msg)
+}
+
+// TestBootstrapRetries: NewClient must ride out a briefly-unready server 0
+// through the retry policy instead of failing cluster startup.
+func TestBootstrapRetries(t *testing.T) {
+	g := testGraph(t)
+	part := HashPartitioner{N: 1}
+	inner := DirectTransport{Servers: []*Server{NewServer(g, part, 0)}}
+
+	client, err := NewClient(&flakyTransport{inner: inner, left: 2}, part, -1)
+	if err != nil {
+		t.Fatalf("bootstrap did not retry past a transient failure: %v", err)
+	}
+	if client.NumNodes() != g.NumNodes() {
+		t.Fatal("meta wrong after retried bootstrap")
+	}
+	if snap := client.Res.Snapshot(); snap.Retries < 2 {
+		t.Fatalf("bootstrap retries not counted: %+v", snap)
+	}
+}
+
+// TestBootstrapHonorsContext: a dead cluster must fail NewClientContext by
+// the caller's deadline, not hang behind bare retries.
+func TestBootstrapHonorsContext(t *testing.T) {
+	part := HashPartitioner{N: 1}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := NewClientContext(ctx, &flakyTransport{left: 1 << 30}, part, -1)
+	if err == nil {
+		t.Fatal("dead cluster bootstrapped")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("bootstrap ignored its deadline for %v", elapsed)
+	}
+}
+
+// TestStoreDropsCounted: the sampler.Store adapter cannot return errors,
+// so degraded lookups must be visible through the store_drops counter.
+func TestStoreDropsCounted(t *testing.T) {
+	g := testGraph(t)
+	part := HashPartitioner{N: 2}
+	servers := []*Server{NewServer(g, part, 0), NewServer(g, part, 1)}
+	ft := NewFaultyTransport(DirectTransport{Servers: servers}, 1)
+	client, err := NewClient(ft, part, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft.KillServer(1)
+	var dead, live graph.NodeID
+	for v := graph.NodeID(0); ; v++ {
+		if part.Owner(v) == 1 {
+			dead = v
+			break
+		}
+	}
+	for v := graph.NodeID(0); ; v++ {
+		if part.Owner(v) == 0 {
+			live = v
+			break
+		}
+	}
+	store := Store{C: client}
+	if nbrs := store.Neighbors(dead); len(nbrs) != 0 {
+		t.Fatalf("dead shard returned %d neighbors", len(nbrs))
+	}
+	attr := store.Attr(nil, dead)
+	if len(attr) != g.AttrLen() {
+		t.Fatalf("degraded Attr returned %d floats, want a zeroed vector of %d", len(attr), g.AttrLen())
+	}
+	if got := client.Res.Snapshot().StoreDrops; got != 2 {
+		t.Fatalf("store_drops = %d, want 2", got)
+	}
+	store.Neighbors(live)
+	store.Attr(nil, live)
+	if got := client.Res.Snapshot().StoreDrops; got != 2 {
+		t.Fatalf("healthy lookups counted as drops: %d", got)
+	}
+}
+
+// TestPartialDoesNotPoisonCache: placeholder results from a lost shard
+// must never enter the hot cache — after the shard revives, lookups see
+// real data, not the cached empty list / zero vector.
+func TestPartialDoesNotPoisonCache(t *testing.T) {
+	g := testGraph(t)
+	const partitions, dead = 2, 1
+	ft, client := buildChaosCluster(t, g, partitions, 1, ResilienceConfig{
+		Retry:          RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Microsecond, MaxBackoff: time.Microsecond},
+		Breaker:        BreakerConfig{Threshold: 1000, OpenFor: time.Minute}, // keep probing: this test is about the cache
+		PartialResults: true,
+	})
+	client.EnableCache(256)
+
+	part := HashPartitioner{N: partitions}
+	var victim graph.NodeID
+	for v := graph.NodeID(0); ; v++ {
+		if part.Owner(v) == dead && g.Degree(v) > 0 {
+			victim = v
+			break
+		}
+	}
+
+	ft.KillServer(dead)
+	ids := []graph.NodeID{victim}
+	lists, err := client.GetNeighbors(bg, ids, 0)
+	if _, ok := AsPartial(err); !ok {
+		t.Fatalf("want partial error, got %v", err)
+	}
+	if len(lists[0]) != 0 {
+		t.Fatal("dead shard returned neighbors")
+	}
+	if _, err := client.GetAttrs(bg, ids); err == nil {
+		t.Fatal("dead shard attrs fetch reported success")
+	}
+
+	ft.ReviveServer(dead)
+	lists, err = client.GetNeighbors(bg, ids, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lists[0]) != g.Degree(victim) {
+		t.Fatalf("cache served a poisoned placeholder: %d neighbors, want %d", len(lists[0]), g.Degree(victim))
+	}
+	attrs, err := client.GetAttrs(bg, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.Attr(nil, victim)
+	for i := range want {
+		if attrs[i] != want[i] {
+			t.Fatal("cache served a poisoned zero vector")
+		}
+	}
+}
+
+// TestClientWithoutPolicyFailsFast: no resilience option means the legacy
+// single-shot path — one transport call, no retries — so latency-sensitive
+// callers keep their old behavior.
+func TestClientWithoutPolicyFailsFast(t *testing.T) {
+	g := testGraph(t)
+	part := HashPartitioner{N: 1}
+	ft := NewFaultyTransport(DirectTransport{Servers: []*Server{NewServer(g, part, 0)}}, 1)
+	client, err := NewClient(ft, part, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := ft.Counts()
+	ft.KillServer(0)
+	if _, err := client.GetNeighbors(bg, []graph.NodeID{0}, 0); err == nil {
+		t.Fatal("dead server not reported")
+	}
+	after, _ := ft.Counts()
+	if after-before != 1 {
+		t.Fatalf("fail-fast path made %d transport calls, want 1", after-before)
+	}
+}
+
+// TestResilienceStatsSource: the "cluster.resilience" layer must expose
+// its counters and breaker gauges through the stats registry.
+func TestResilienceStatsSource(t *testing.T) {
+	g := testGraph(t)
+	ft, client := buildChaosCluster(t, g, 2, 1, ResilienceConfig{
+		Retry:   RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Microsecond, MaxBackoff: time.Microsecond},
+		Breaker: BreakerConfig{Threshold: 1, OpenFor: time.Minute},
+	})
+	ft.KillServer(0)
+	_, _ = client.GetNeighbors(bg, []graph.NodeID{0, 1, 2, 3}, 0)
+
+	snap := client.Res.StatsSnapshot()
+	if snap.Layer != "cluster.resilience" {
+		t.Fatalf("layer %q", snap.Layer)
+	}
+	metrics := make(map[string]float64, len(snap.Metrics))
+	for _, m := range snap.Metrics {
+		metrics[m.Name] = m.Value
+	}
+	for _, name := range []string{"retries", "failovers", "breaker_opens", "breaker_rejects", "degraded_batches", "shard_errors", "store_drops", "breakers_open"} {
+		if _, ok := metrics[name]; !ok {
+			t.Fatalf("metric %q missing from %v", name, snap.Metrics)
+		}
+	}
+	if metrics["breaker_opens"] < 1 || metrics["breakers_open"] < 1 {
+		t.Fatalf("dead endpoint not reflected in gauges: %v", metrics)
+	}
+}

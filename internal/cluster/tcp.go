@@ -51,9 +51,15 @@ func readFrame(r io.Reader) ([]byte, error) {
 	return body, nil
 }
 
+// Handler answers raw protocol messages; *Server is the canonical
+// implementation, FaultyHandler a chaos-injecting wrapper.
+type Handler interface {
+	Handle(ctx context.Context, msg []byte) ([]byte, error)
+}
+
 // TCPServer serves one partition over TCP.
 type TCPServer struct {
-	srv *Server
+	srv Handler
 	ln  net.Listener
 
 	// baseCtx is passed to every Handle; canceled when the server force
@@ -70,7 +76,7 @@ type TCPServer struct {
 // ServeTCP starts serving srv on addr (e.g. "127.0.0.1:0") and returns the
 // running server. Shutdown drains in-flight requests; Close releases the
 // listener and all connections immediately.
-func ServeTCP(srv *Server, addr string) (*TCPServer, error) {
+func ServeTCP(srv Handler, addr string) (*TCPServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -230,14 +236,22 @@ func DialTCP(addrs []string, poolSize int) *TCPTransport {
 	return t
 }
 
-func (t *TCPTransport) get(ctx context.Context, server int) (net.Conn, error) {
+// get returns a connection and whether it came from the idle pool — a
+// pooled connection may have died while idle (peer restart), so callers
+// retry pooled failures on a fresh dial.
+func (t *TCPTransport) get(ctx context.Context, server int) (net.Conn, bool, error) {
 	select {
 	case c := <-t.pools[server]:
-		return c, nil
+		return c, true, nil
 	default:
-		var d net.Dialer
-		return d.DialContext(ctx, "tcp", t.addrs[server])
+		c, err := t.dial(ctx, server)
+		return c, false, err
 	}
+}
+
+func (t *TCPTransport) dial(ctx context.Context, server int) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", t.addrs[server])
 }
 
 func (t *TCPTransport) put(server int, c net.Conn) {
@@ -250,7 +264,10 @@ func (t *TCPTransport) put(server int, c net.Conn) {
 
 // Call implements Transport. The context's deadline is applied to the
 // socket, and cancellation interrupts a blocked read or write mid-flight;
-// either way the connection is discarded and ctx.Err() is returned.
+// either way the connection is discarded and ctx.Err() is returned. A
+// failure on a connection taken from the idle pool is retried once on a
+// freshly dialed connection: a restarted peer leaves dead sockets in the
+// pool, and those must not poison the next call.
 func (t *TCPTransport) Call(ctx context.Context, server int, msg []byte) ([]byte, error) {
 	if server < 0 || server >= len(t.addrs) {
 		return nil, fmt.Errorf("cluster: no server %d", server)
@@ -258,10 +275,37 @@ func (t *TCPTransport) Call(ctx context.Context, server int, msg []byte) ([]byte
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	conn, err := t.get(ctx, server)
+	conn, pooled, err := t.get(ctx, server)
 	if err != nil {
 		return nil, err
 	}
+	resp, err := t.attempt(ctx, server, conn, msg)
+	if err != nil && pooled && ctx.Err() == nil {
+		fresh, derr := t.dial(ctx, server)
+		if derr != nil {
+			return nil, err
+		}
+		resp, err = t.attempt(ctx, server, fresh, msg)
+	}
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, err
+	}
+	if len(resp) == 0 {
+		return nil, errors.New("cluster: empty response frame")
+	}
+	if resp[0] != 0 {
+		return nil, fmt.Errorf("cluster: server %d: %s", server, string(resp[1:]))
+	}
+	return resp[1:], nil
+}
+
+// attempt runs one framed round trip on conn: deadline applied, a watcher
+// aborting blocked I/O on cancellation, and the connection pooled on
+// success or closed on failure.
+func (t *TCPTransport) attempt(ctx context.Context, server int, conn net.Conn, msg []byte) ([]byte, error) {
 	if dl, ok := ctx.Deadline(); ok {
 		_ = conn.SetDeadline(dl)
 	}
@@ -287,20 +331,11 @@ func (t *TCPTransport) Call(ctx context.Context, server int, msg []byte) ([]byte
 	}
 	if ioErr != nil {
 		conn.Close()
-		if ctxErr := ctx.Err(); ctxErr != nil {
-			return nil, ctxErr
-		}
 		return nil, ioErr
 	}
 	_ = conn.SetDeadline(time.Time{})
 	t.put(server, conn)
-	if len(resp) == 0 {
-		return nil, errors.New("cluster: empty response frame")
-	}
-	if resp[0] != 0 {
-		return nil, fmt.Errorf("cluster: server %d: %s", server, string(resp[1:]))
-	}
-	return resp[1:], nil
+	return resp, nil
 }
 
 func (t *TCPTransport) roundTrip(conn net.Conn, msg []byte) ([]byte, error) {

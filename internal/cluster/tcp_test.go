@@ -3,6 +3,7 @@ package cluster
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"lsdgnn/internal/graph"
 	"lsdgnn/internal/sampler"
@@ -135,6 +136,71 @@ func TestTCPServerClose(t *testing.T) {
 	defer tr.Close()
 	if _, err := tr.Call(bg, 0, []byte{OpMeta}); err == nil {
 		t.Fatal("closed server still answering")
+	}
+}
+
+// TestTCPPoolRecovery: kill a TCPServer and restart it on the same
+// address — the transport's pooled connections are now dead sockets, and
+// Call must detect the stale conn and redial instead of failing.
+func TestTCPPoolRecovery(t *testing.T) {
+	g := testGraph(t)
+	part := HashPartitioner{N: 1}
+	srv, err := ServeTCP(NewServer(g, part, 0), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	tr := DialTCP([]string{addr}, 2)
+	defer tr.Close()
+
+	// Populate the pool: two concurrent calls force two pooled conns.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := tr.Call(bg, 0, []byte{OpMeta}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Restart on the same address; the port may linger briefly in
+	// TIME_WAIT-adjacent states, so retry the bind.
+	var srv2 *TCPServer
+	for i := 0; ; i++ {
+		srv2, err = ServeTCP(NewServer(g, part, 0), addr)
+		if err == nil {
+			break
+		}
+		if i >= 100 {
+			t.Fatalf("could not rebind %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	defer srv2.Close()
+
+	// Every pooled connection is now a corpse. Each call must notice the
+	// dead socket and transparently redial the restarted server.
+	for i := 0; i < 4; i++ {
+		raw, err := tr.Call(bg, 0, []byte{OpMeta})
+		if err != nil {
+			t.Fatalf("call %d after restart: %v", i, err)
+		}
+		meta, err := DecodeMetaResponse(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if meta.NumNodes != g.NumNodes() {
+			t.Fatal("restarted server served wrong meta")
+		}
 	}
 }
 

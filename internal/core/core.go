@@ -39,18 +39,35 @@ type Options struct {
 	// NetDelay injects a fixed per-call delay into the in-process
 	// transport, for exercising deadline behavior without real sockets.
 	NetDelay time.Duration
-	Seed     int64
+	// Replicas is the storage-tier replication factor: each partition is
+	// served by this many servers (0 or 1 = no replication). Replicated
+	// systems get a default resilience policy when Resilience is nil.
+	Replicas int
+	// Resilience configures the client-side retry/breaker/failover policy;
+	// nil leaves the fail-fast path unless Replicas > 1 or Faults is set.
+	// The replica map is filled in automatically from Replicas when unset.
+	Resilience *cluster.ResilienceConfig
+	// Faults, when set, wraps the transport with seeded fault injection so
+	// the resilience path can be exercised (chaos testing).
+	Faults *cluster.FaultSpec
+	Seed   int64
 }
 
 // System is an assembled LSD-GNN deployment.
 type System struct {
-	Graph      *graph.Graph
-	Part       cluster.Partitioner
+	Graph *graph.Graph
+	Part  cluster.Partitioner
+	// Servers holds every storage endpoint: the first Partitions entries
+	// are the primaries, each subsequent block of Partitions entries is a
+	// full replica set (cluster.UniformReplicas layout).
 	Servers    []*cluster.Server
 	Client     *cluster.Client
 	Engines    []*axe.Engine
 	Dispatcher *Dispatcher
 	Sampling   sampler.Config
+	// Faults is the injection hook when Options.Faults was set (nil
+	// otherwise); tests and experiments use it to kill/revive servers.
+	Faults *cluster.FaultyTransport
 }
 
 // NewSystem builds servers, a client, one AxE engine per partition, and a
@@ -83,21 +100,50 @@ func NewSystem(opts Options) (*System, error) {
 	}
 	eCfg.Sampling = sCfg
 
+	if opts.Replicas < 1 {
+		opts.Replicas = 1
+	}
 	part := cluster.HashPartitioner{N: opts.Servers}
 	sys := &System{Graph: g, Part: part, Sampling: sCfg}
-	for i := 0; i < opts.Servers; i++ {
-		sys.Servers = append(sys.Servers, cluster.NewServer(g, part, i))
-		eng, err := axe.New(g, part, i, eCfg)
-		if err != nil {
-			return nil, err
+	for r := 0; r < opts.Replicas; r++ {
+		for i := 0; i < opts.Servers; i++ {
+			sys.Servers = append(sys.Servers, cluster.NewServer(g, part, i))
+			if r > 0 {
+				continue
+			}
+			eng, err := axe.New(g, part, i, eCfg)
+			if err != nil {
+				return nil, err
+			}
+			sys.Engines = append(sys.Engines, eng)
 		}
-		sys.Engines = append(sys.Engines, eng)
 	}
 	var tr cluster.Transport = cluster.DirectTransport{Servers: sys.Servers}
 	if opts.NetDelay > 0 {
 		tr = cluster.DelayedTransport{Inner: tr, Delay: opts.NetDelay}
 	}
-	client, err := cluster.NewClient(tr, part, 0)
+	if opts.Faults != nil {
+		ft := cluster.NewFaultyTransport(tr, opts.Seed)
+		ft.SetFaults(*opts.Faults)
+		tr = ft
+		sys.Faults = ft
+	}
+	// Replication or fault injection without an explicit policy still gets
+	// retries + breakers: a replicated tier is pointless without failover.
+	resCfg := opts.Resilience
+	if resCfg == nil && (opts.Replicas > 1 || opts.Faults != nil) {
+		d := cluster.DefaultResilienceConfig()
+		resCfg = &d
+	}
+	var copts []cluster.ClientOption
+	if resCfg != nil {
+		cfg := *resCfg
+		if cfg.Replicas == nil && opts.Replicas > 1 {
+			cfg.Replicas = cluster.UniformReplicas(opts.Servers, opts.Replicas)
+		}
+		copts = append(copts, cluster.WithResilience(cfg))
+	}
+	client, err := cluster.NewClientContext(context.Background(), tr, part, 0, copts...)
 	if err != nil {
 		return nil, err
 	}
@@ -118,8 +164,16 @@ func (s *System) Sample(ctx context.Context, roots []graph.NodeID) (*sampler.Res
 }
 
 // SampleSoftware runs the CPU (AliGraph-style) distributed sampling path.
+// When the client is configured with PartialResults, a degraded batch
+// comes back as (result, *cluster.PartialError): the result keeps its full
+// layout and the dispatcher records the degradation; callers decide
+// whether partial data is acceptable via cluster.AsPartial.
 func (s *System) SampleSoftware(ctx context.Context, roots []graph.NodeID) (*sampler.Result, error) {
-	return s.Client.SampleBatch(ctx, roots, s.Sampling)
+	res, err := s.Client.SampleBatch(ctx, roots, s.Sampling)
+	if _, ok := cluster.AsPartial(err); ok {
+		s.Dispatcher.RecordDegraded()
+	}
+	return res, err
 }
 
 // SampleAccelerated runs the batch on an AxE engine.
@@ -143,11 +197,12 @@ func (s *System) BatchSource(batchSize int, seed int64) *workload.BatchSource {
 }
 
 // StatsRegistry assembles the unified metrics view of the system: client
-// wire traffic, client batch latency, dispatcher placement/latency, and the
-// per-class access profile merged across all partition servers.
+// wire traffic, client batch latency, resilience counters, dispatcher
+// placement/latency, and the per-class access profile merged across all
+// partition servers.
 func (s *System) StatsRegistry() *stats.Registry {
 	reg := stats.NewRegistry()
-	reg.Register(&s.Client.Traffic, s.Client.Batches, s.Dispatcher)
+	reg.Register(&s.Client.Traffic, s.Client.Batches, &s.Client.Res, s.Dispatcher)
 	servers := s.Servers
 	reg.Register(stats.Func(func() stats.Snapshot {
 		var structReq, structBytes, attrReq, attrBytes float64

@@ -38,6 +38,7 @@ type Dispatcher struct {
 	inflight []int64
 	counts   []int64
 	rr       int
+	degraded int64
 }
 
 // NewDispatcher builds a dispatcher over engines.
@@ -132,6 +133,24 @@ func (d *Dispatcher) Submit(ctx context.Context, roots []graph.NodeID) (*sampler
 	}
 }
 
+// RecordDegraded notes one batch that completed with partial results
+// (lost shards degraded to empty neighborhoods) instead of failing —
+// System.SampleSoftware surfaces cluster.PartialError here so the
+// scheduling layer's report shows how much of the served load was
+// degraded.
+func (d *Dispatcher) RecordDegraded() {
+	d.mu.Lock()
+	d.degraded++
+	d.mu.Unlock()
+}
+
+// Degraded returns how many batches completed with partial results.
+func (d *Dispatcher) Degraded() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.degraded
+}
+
 // Engines returns how many engines the dispatcher schedules over.
 func (d *Dispatcher) Engines() int { return len(d.engines) }
 
@@ -151,6 +170,11 @@ func (d *Dispatcher) Latency() *stats.Latency { return d.lat }
 // dispatch distribution under the "core.dispatcher" layer.
 func (d *Dispatcher) StatsSnapshot() stats.Snapshot {
 	snap := d.lat.StatsSnapshot()
+	snap.Metrics = append(snap.Metrics, stats.Metric{
+		Name:  "degraded_batches",
+		Value: float64(d.Degraded()),
+		Unit:  "batches",
+	})
 	for i, c := range d.Counts() {
 		snap.Metrics = append(snap.Metrics, stats.Metric{
 			Name:  fmt.Sprintf("engine_%d_batches", i),

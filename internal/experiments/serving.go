@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"lsdgnn/internal/cluster"
 	"lsdgnn/internal/core"
 	"lsdgnn/internal/graph"
 	"lsdgnn/internal/sampler"
@@ -14,13 +15,15 @@ import (
 )
 
 func init() {
-	register("serving", "multi-engine serving pipeline: dispatcher placement and unified stats", serving)
+	register("serving", "multi-engine serving pipeline: dispatcher placement, resilience under injected faults, unified stats", serving)
 }
 
 // serving exercises the context-aware serving path end to end: concurrent
 // batches fan out through the dispatcher across every AxE engine while the
-// software path runs alongside, then the unified stats registry reports
-// each layer of the stack in one view.
+// software path runs alongside over a replicated, fault-injected storage
+// tier — retries, breakers, and replica failover absorb a 5% injected
+// failure rate — then the unified stats registry reports each layer of the
+// stack in one view.
 func serving(w io.Writer, opts Options) error {
 	ds, err := workload.DatasetByName("ss")
 	if err != nil {
@@ -36,6 +39,12 @@ func serving(w io.Writer, opts Options) error {
 			Fanouts: []int{10, 10}, NegativeRate: 10,
 			Method: sampler.Streaming, FetchAttrs: true, Seed: opts.Seed,
 		},
+		// Storage tier of a shared FaaS service: 2 replicas per partition,
+		// 5% of calls fail in flight, and the client-side resilience layer
+		// (default retries + breakers, failover across replicas) keeps every
+		// batch whole.
+		Replicas: 2,
+		Faults:   &cluster.FaultSpec{ErrRate: 0.05},
 	})
 	if err != nil {
 		return err
@@ -103,6 +112,10 @@ func serving(w io.Writer, opts Options) error {
 	for i, c := range counts {
 		fmt.Fprintf(w, "  engine %d: %d batches\n", i, c)
 	}
+	calls, injected := sys.Faults.Counts()
+	rs := sys.Client.Res.Snapshot()
+	fmt.Fprintf(w, "chaos: %d of %d storage calls failed by injection; absorbed by %d retries + %d failovers (0 batches lost)\n",
+		injected, calls, rs.Retries, rs.Failovers)
 	fmt.Fprintln(w, "\nunified stats (internal/stats registry):")
 	if _, err := sys.StatsRegistry().WriteTo(w); err != nil {
 		return err

@@ -13,4 +13,7 @@ go build ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== chaos suite (fault injection under -race)"
+go test -race -count=5 -run 'TestChaos|TestFaulty|TestBreaker|TestRetry|TestBootstrap|TestPartial|TestTCPPoolRecovery' ./internal/cluster/
+
 echo "verify: OK"
