@@ -15,7 +15,7 @@ verify:
 # Fault-injection suite: every chaos/resilience/recovery test hammered
 # under the race detector with a high iteration count.
 chaos:
-	$(GO) test -race -count=20 -run 'TestChaos|TestFaulty|TestBreaker|TestRetry|TestBootstrap|TestPartial|TestTCPPoolRecovery' ./internal/cluster/
+	$(GO) test -race -count=20 -run 'TestChaos|TestFaulty|TestBreaker|TestRetry|TestBootstrap|TestPartial|TestHedge|TestServerError|TestTCPPoolRecovery' ./internal/cluster/
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -186,6 +186,14 @@ func NewClientContext(ctx context.Context, t Transport, p Partitioner, local int
 		boot = newResilience(ResilienceConfig{Retry: DefaultRetryPolicy()}, &c.Res)
 	}
 	raw, err := boot.call(ctx, 0, []byte{OpMeta}, c.invoke)
+	if c.res == nil {
+		// The bootstrap-only resilience installed its breaker gauge on
+		// c.Res; drop it so a policy-less client does not keep reporting
+		// gauges from a discarded breaker map.
+		c.Res.mu.Lock()
+		c.Res.breakers = nil
+		c.Res.mu.Unlock()
+	}
 	if err != nil {
 		return nil, fmt.Errorf("cluster: meta fetch: %w", err)
 	}

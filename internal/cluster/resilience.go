@@ -125,29 +125,32 @@ type breaker struct {
 	probing  bool
 }
 
-// Allow reports whether a call may proceed. An open breaker transitions to
-// half-open once OpenFor has elapsed and admits exactly one probe at a
-// time.
-func (b *breaker) Allow() bool {
+// Allow reports whether a call may proceed and whether the caller now
+// holds the half-open probe slot. An open breaker transitions to half-open
+// once OpenFor has elapsed and admits exactly one probe at a time. A probe
+// holder must resolve the slot — onSuccess, onFailure, or abandon — or
+// half-open would never admit another probe and the endpoint would stay
+// blacklisted forever.
+func (b *breaker) Allow() (ok, probe bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case BreakerClosed:
-		return true
+		return true, false
 	case BreakerOpen:
 		if time.Since(b.openedAt) < b.cfg.OpenFor {
-			return false
+			return false, false
 		}
 		b.state = BreakerHalfOpen
 		b.probing = true
 		b.st.add(&b.st.snap.BreakerHalfOpens)
-		return true
+		return true, true
 	default: // half-open
 		if b.probing {
-			return false
+			return false, false
 		}
 		b.probing = true
-		return true
+		return true, true
 	}
 }
 
@@ -168,6 +171,17 @@ func (b *breaker) onSuccess() {
 	}
 	b.failures = 0
 	b.probing = false
+}
+
+// abandon releases a half-open probe whose call was canceled before
+// reaching a verdict (hedging cancels every losing call; retry passes are
+// cut short by ctx). The endpoint's health is still unknown, so the state
+// is left as-is: the next Allow admits a fresh probe instead of rejecting
+// forever.
+func (b *breaker) abandon() {
+	b.mu.Lock()
+	b.probing = false
+	b.mu.Unlock()
 }
 
 func (b *breaker) onFailure() {
@@ -290,6 +304,31 @@ func (s *ResilienceStats) StatsSnapshot() stats.Snapshot {
 		)
 	}
 	return stats.Snapshot{Layer: "cluster.resilience", Metrics: m}
+}
+
+// ServerError is an application-level rejection from a server that is
+// alive and answering: a malformed or unroutable request (unknown opcode,
+// truncated frame, out-of-range or foreign node ID). Such verdicts are
+// deterministic per request — every replica would reject identically — so
+// the resilience layer treats them as terminal: no retry passes, no
+// failover, and no circuit-breaker failure count (the round trip just
+// proved the endpoint healthy). Matched with errors.As.
+type ServerError struct {
+	// Server is the endpoint (or, for in-process transports, the
+	// partition) that rejected the request.
+	Server int
+	Msg    string
+}
+
+// Error implements error.
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("cluster: server %d: %s", e.Server, e.Msg)
+}
+
+// isServerError reports whether err wraps an application-level rejection.
+func isServerError(err error) bool {
+	var se *ServerError
+	return errors.As(err, &se)
 }
 
 // ShardError annotates one shard's failure inside a degraded operation.
@@ -469,6 +508,11 @@ func (r *resilience) call(ctx context.Context, partition int, req []byte, invoke
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return nil, ctxErr
 		}
+		if isServerError(err) {
+			// Application rejection: deterministic per request, so more
+			// passes would only repeat it.
+			return nil, fmt.Errorf("cluster: partition %d: %w", partition, err)
+		}
 		errs = append(errs, err)
 	}
 	return nil, fmt.Errorf("cluster: partition %d unavailable after %d attempt(s): %w",
@@ -481,7 +525,8 @@ func (r *resilience) pass(ctx context.Context, eps []int, req []byte, invoke inv
 	var errs []error
 	for i, ep := range eps {
 		br := r.breaker(ep)
-		if !br.Allow() {
+		ok, probe := br.Allow()
+		if !ok {
 			r.stats.add(&r.stats.snap.BreakerRejects)
 			errs = append(errs, fmt.Errorf("endpoint %d: breaker open", ep))
 			continue
@@ -494,13 +539,24 @@ func (r *resilience) pass(ctx context.Context, eps []int, req []byte, invoke inv
 			br.onSuccess()
 			return resp, nil
 		}
-		if ctx.Err() == nil {
-			br.onFailure()
+		if isServerError(err) {
+			// The endpoint answered: it parsed the request and rejected it.
+			// That is a healthy transport — credit the breaker — and a
+			// verdict no replica can change, so stop the pass here.
+			br.onSuccess()
+			return nil, fmt.Errorf("endpoint %d: %w", ep, err)
 		}
+		if ctx.Err() != nil {
+			// Canceled mid-call: no verdict on the endpoint. Release a held
+			// half-open probe so a later call can probe again — otherwise
+			// the breaker would reject this endpoint forever.
+			if probe {
+				br.abandon()
+			}
+			return nil, ctx.Err()
+		}
+		br.onFailure()
 		errs = append(errs, fmt.Errorf("endpoint %d: %w", ep, err))
-		if ctxErr := ctx.Err(); ctxErr != nil {
-			return nil, ctxErr
-		}
 	}
 	return nil, errors.Join(errs...)
 }
@@ -527,7 +583,9 @@ func (r *resilience) hedgedPass(ctx context.Context, eps []int, req []byte, invo
 			ep := eps[next]
 			primary := next == 0
 			next++
-			if !r.breaker(ep).Allow() {
+			br := r.breaker(ep)
+			ok, probe := br.Allow()
+			if !ok {
 				r.stats.add(&r.stats.snap.BreakerRejects)
 				errs = append(errs, fmt.Errorf("endpoint %d: breaker open", ep))
 				continue
@@ -540,10 +598,28 @@ func (r *resilience) hedgedPass(ctx context.Context, eps []int, req []byte, invo
 				}
 			}
 			inflight++
-			go func(ep int, hedge bool) {
+			go func(ep int, hedge, probe bool, br *breaker) {
 				resp, err := invoke(hctx, ep, req)
+				// Resolve the breaker here rather than in the select loop:
+				// once a sibling wins the race, the loop returns without
+				// draining ch, and an unresolved half-open probe would
+				// wedge its breaker (the endpoint blacklisted forever).
+				// Cancellations — a sibling won, or ctx expired — carry no
+				// verdict, so they only release a held probe.
+				switch {
+				case err == nil:
+					br.onSuccess()
+				case isServerError(err):
+					br.onSuccess() // alive endpoint, application verdict
+				case hctx.Err() != nil:
+					if probe {
+						br.abandon()
+					}
+				default:
+					br.onFailure()
+				}
 				ch <- outcome{ep: ep, hedge: hedge, resp: resp, err: err}
-			}(ep, hedge)
+			}(ep, hedge, probe, br)
 			return
 		}
 	}
@@ -557,16 +633,13 @@ func (r *resilience) hedgedPass(ctx context.Context, eps []int, req []byte, invo
 		case out := <-ch:
 			inflight--
 			if out.err == nil {
-				r.breaker(out.ep).onSuccess()
 				if out.hedge {
 					r.stats.add(&r.stats.snap.HedgesWon)
 				}
 				return out.resp, nil
 			}
-			// Only penalize the breaker for organic failures, not for the
-			// cancellation we issued after a sibling won or ctx expired.
-			if hctx.Err() == nil {
-				r.breaker(out.ep).onFailure()
+			if isServerError(out.err) {
+				return nil, fmt.Errorf("endpoint %d: %w", out.ep, out.err)
 			}
 			errs = append(errs, fmt.Errorf("endpoint %d: %w", out.ep, out.err))
 			if ctxErr := ctx.Err(); ctxErr != nil {

@@ -46,27 +46,28 @@ func TestReplicaMapValidate(t *testing.T) {
 func TestBreakerStateMachine(t *testing.T) {
 	st := &ResilienceStats{}
 	b := &breaker{cfg: BreakerConfig{Threshold: 2, OpenFor: 20 * time.Millisecond}, st: st}
+	allowed := func() bool { ok, _ := b.Allow(); return ok }
 
-	if !b.Allow() || b.State() != BreakerClosed {
-		t.Fatal("fresh breaker not closed")
+	if ok, probe := b.Allow(); !ok || probe || b.State() != BreakerClosed {
+		t.Fatal("fresh breaker not closed (or handed out a probe)")
 	}
 	b.onFailure()
 	if b.State() != BreakerClosed {
 		t.Fatal("opened below threshold")
 	}
 	b.onFailure()
-	if b.State() != BreakerOpen || b.Allow() {
+	if b.State() != BreakerOpen || allowed() {
 		t.Fatal("threshold failures did not open and shed")
 	}
 
 	time.Sleep(25 * time.Millisecond)
-	if !b.Allow() {
+	if ok, probe := b.Allow(); !ok || !probe {
 		t.Fatal("no half-open probe after OpenFor")
 	}
 	if b.State() != BreakerHalfOpen {
 		t.Fatalf("state %v after probe admitted", b.State())
 	}
-	if b.Allow() {
+	if allowed() {
 		t.Fatal("second concurrent probe admitted")
 	}
 	b.onFailure() // probe fails → reopen
@@ -75,11 +76,11 @@ func TestBreakerStateMachine(t *testing.T) {
 	}
 
 	time.Sleep(25 * time.Millisecond)
-	if !b.Allow() {
+	if ok, probe := b.Allow(); !ok || !probe {
 		t.Fatal("no probe after reopen window")
 	}
 	b.onSuccess()
-	if b.State() != BreakerClosed || !b.Allow() {
+	if b.State() != BreakerClosed || !allowed() {
 		t.Fatal("successful probe did not close")
 	}
 
@@ -90,6 +91,142 @@ func TestBreakerStateMachine(t *testing.T) {
 	for s, want := range map[BreakerState]string{BreakerClosed: "closed", BreakerOpen: "open", BreakerHalfOpen: "half-open"} {
 		if s.String() != want {
 			t.Fatalf("BreakerState(%d).String() = %q", int(s), s.String())
+		}
+	}
+}
+
+// TestBreakerProbeAbandonedOnCancel: a half-open probe whose call is
+// canceled mid-flight carries no verdict on the endpoint. The probe slot
+// must be released — not left held forever, which would wedge the breaker
+// in half-open and blacklist a healthy endpoint permanently.
+func TestBreakerProbeAbandonedOnCancel(t *testing.T) {
+	st := &ResilienceStats{}
+	r := newResilience(ResilienceConfig{
+		Retry:   RetryPolicy{MaxAttempts: 1, BaseBackoff: time.Microsecond, MaxBackoff: time.Microsecond},
+		Breaker: BreakerConfig{Threshold: 1, OpenFor: time.Millisecond},
+	}, st)
+	r.breaker(0).onFailure() // threshold 1: open immediately
+	if r.BreakerState(0) != BreakerOpen {
+		t.Fatal("breaker not open")
+	}
+	time.Sleep(2 * time.Millisecond) // let the open window lapse
+
+	// The admitted half-open probe is canceled before it resolves.
+	ctx, cancel := context.WithCancel(context.Background())
+	hang := func(ctx context.Context, ep int, req []byte) ([]byte, error) {
+		cancel()
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	if _, err := r.call(ctx, 0, []byte{OpMeta}, hang); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want Canceled, got %v", err)
+	}
+
+	// A later call must be admitted as a fresh probe and, on success,
+	// close the breaker — the time-based escape from half-open survives.
+	healthy := func(ctx context.Context, ep int, req []byte) ([]byte, error) { return []byte{1}, nil }
+	if _, err := r.call(context.Background(), 0, []byte{OpMeta}, healthy); err != nil {
+		t.Fatalf("breaker wedged after abandoned probe: %v", err)
+	}
+	if r.BreakerState(0) != BreakerClosed {
+		t.Fatalf("state %v after successful probe", r.BreakerState(0))
+	}
+}
+
+// TestHedgeLoserReleasesProbe: hedging cancels the losing call on every
+// win. When the loser holds a half-open probe, the cancellation must
+// release it so the endpoint can be probed again later.
+func TestHedgeLoserReleasesProbe(t *testing.T) {
+	st := &ResilienceStats{}
+	r := newResilience(ResilienceConfig{
+		Retry:      RetryPolicy{MaxAttempts: 1, BaseBackoff: time.Microsecond, MaxBackoff: time.Microsecond},
+		Breaker:    BreakerConfig{Threshold: 1, OpenFor: time.Millisecond},
+		Replicas:   ReplicaMap{{0, 1}},
+		HedgeDelay: 2 * time.Millisecond,
+	}, st)
+	// Replica endpoint 1 is open and past its window: the hedged call
+	// against it will be admitted as its half-open probe, lose the race,
+	// and be canceled.
+	r.breaker(1).onFailure()
+	time.Sleep(2 * time.Millisecond)
+
+	invoke := func(ctx context.Context, ep int, req []byte) ([]byte, error) {
+		if ep == 1 {
+			<-ctx.Done() // loses: canceled when the primary wins
+			return nil, ctx.Err()
+		}
+		time.Sleep(25 * time.Millisecond) // past HedgeDelay so the hedge launches
+		return []byte{0}, nil
+	}
+	if _, err := r.call(context.Background(), 0, []byte{OpMeta}, invoke); err != nil {
+		t.Fatal(err)
+	}
+	if st.Snapshot().Hedges == 0 {
+		t.Fatal("hedge never launched; test exercised nothing")
+	}
+	// The loser's goroutine releases the probe after the call returns;
+	// poll until a fresh probe is admitted instead of rejected forever.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if ok, probe := r.breaker(1).Allow(); ok && probe {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("hedge loser wedged the breaker: no new probe admitted")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestServerErrorNotRetried: a deterministic application rejection (here
+// an out-of-range node ID) is indistinguishable from endpoint failure only
+// if left untyped. Typed as *ServerError it must consume exactly one
+// transport call — no retries, no failover — and must not count against
+// the endpoint's circuit breaker, which just proved the endpoint alive.
+func TestServerErrorNotRetried(t *testing.T) {
+	g := testGraph(t)
+	const partitions = 2
+	ft, client := buildChaosCluster(t, g, partitions, 2, ResilienceConfig{
+		Retry:   RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Microsecond, MaxBackoff: time.Microsecond},
+		Breaker: BreakerConfig{Threshold: 1, OpenFor: time.Minute},
+	})
+	before, _ := ft.Counts()
+	huge := graph.NodeID(1 << 40)
+	_, err := client.GetNeighbors(bg, []graph.NodeID{huge}, 0)
+	var se *ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *ServerError, got %v", err)
+	}
+	if !strings.Contains(se.Msg, "outside graph") {
+		t.Fatalf("wrong rejection: %+v", se)
+	}
+	after, _ := ft.Counts()
+	if after-before != 1 {
+		t.Fatalf("deterministic rejection consumed %d transport calls, want 1", after-before)
+	}
+	snap := client.Res.Snapshot()
+	if snap.Retries != 0 || snap.Failovers != 0 {
+		t.Fatalf("rejection burned retries/failovers: %+v", snap)
+	}
+	owner := HashPartitioner{N: partitions}.Owner(huge)
+	if client.res.BreakerState(owner) != BreakerClosed {
+		t.Fatal("rejection counted against the breaker (threshold 1 opened it)")
+	}
+}
+
+// TestBootstrapLeavesNoBreakerGauge: a client built without a resilience
+// policy uses a throwaway resilience for the bootstrap meta fetch; its
+// breaker gauge must not linger on the client's stats afterwards.
+func TestBootstrapLeavesNoBreakerGauge(t *testing.T) {
+	g := testGraph(t)
+	part := HashPartitioner{N: 1}
+	client, err := NewClient(DirectTransport{Servers: []*Server{NewServer(g, part, 0)}}, part, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range client.Res.StatsSnapshot().Metrics {
+		if m.Name == "breakers_open" || m.Name == "breakers_half_open" {
+			t.Fatalf("policy-less client reports gauge %q from the discarded bootstrap resilience", m.Name)
 		}
 	}
 }

@@ -111,11 +111,18 @@ func (s *Server) GetAttrs(ctx context.Context, req AttrsRequest) (AttrsResponse,
 // the path the transports use. A malformed frame from a remote peer must
 // never take the server down: decoding failures are returned as errors and
 // any residual panic in a handler is converted to an error at this
-// boundary.
+// boundary. Rejections come back typed as *ServerError — the verdict of a
+// live server on a bad request, deterministic per request — so the client
+// resilience layer neither retries them nor counts them against circuit
+// breakers. Context errors pass through untyped: they belong to the
+// caller, not the request.
 func (s *Server) Handle(ctx context.Context, msg []byte) (resp []byte, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			resp, err = nil, fmt.Errorf("cluster: request failed: %v", r)
+		}
+		if err != nil && ctx.Err() == nil {
+			err = &ServerError{Server: s.partition, Msg: err.Error()}
 		}
 	}()
 	if len(msg) == 0 {

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"time"
 )
@@ -20,6 +21,16 @@ import (
 // read/write via SetDeadline, so in-flight calls abort promptly.
 
 const maxFrameBytes = 1 << 28 // 256 MiB guards against corrupt prefixes
+
+// Response status bytes. statusError carries a failure the client may
+// retry (e.g. injected chaos); statusReject carries a *ServerError — a
+// deterministic application-level rejection the resilience layer must not
+// retry or count against circuit breakers.
+const (
+	statusOK     = 0
+	statusError  = 1
+	statusReject = 2
+)
 
 // aLongTimeAgo is a deadline in the distant past, used to force blocked
 // socket I/O to return immediately (the net/http interrupt idiom).
@@ -128,10 +139,14 @@ func (t *TCPServer) serveConn(conn net.Conn) {
 		}
 		resp, err := t.srv.Handle(t.baseCtx, req)
 		var out []byte
-		if err != nil {
-			out = append([]byte{1}, []byte(err.Error())...)
-		} else {
-			out = append([]byte{0}, resp...)
+		var se *ServerError
+		switch {
+		case err == nil:
+			out = append([]byte{statusOK}, resp...)
+		case errors.As(err, &se):
+			out = append([]byte{statusReject}, []byte(se.Msg)...)
+		default:
+			out = append([]byte{statusError}, []byte(err.Error())...)
 		}
 		if err := writeFrame(w, out); err != nil {
 			return
@@ -291,15 +306,25 @@ func (t *TCPTransport) Call(ctx context.Context, server int, msg []byte) ([]byte
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return nil, ctxErr
 		}
+		// The socket deadline mirrors ctx's deadline and can fire a tick
+		// before the context's own timer reports Done; that i/o timeout is
+		// really the caller's deadline expiring.
+		if _, hasDL := ctx.Deadline(); hasDL && errors.Is(err, os.ErrDeadlineExceeded) {
+			return nil, context.DeadlineExceeded
+		}
 		return nil, err
 	}
 	if len(resp) == 0 {
 		return nil, errors.New("cluster: empty response frame")
 	}
-	if resp[0] != 0 {
+	switch resp[0] {
+	case statusOK:
+		return resp[1:], nil
+	case statusReject:
+		return nil, &ServerError{Server: server, Msg: string(resp[1:])}
+	default:
 		return nil, fmt.Errorf("cluster: server %d: %s", server, string(resp[1:]))
 	}
-	return resp[1:], nil
 }
 
 // attempt runs one framed round trip on conn: deadline applied, a watcher

@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"errors"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -83,9 +85,19 @@ func TestTCPServerErrorPropagation(t *testing.T) {
 	g := testGraph(t)
 	tr, cleanup := startTCPCluster(t, g, 2)
 	defer cleanup()
-	// An unknown op must come back as a remote error, not a hang.
-	if _, err := tr.Call(bg, 0, []byte{0x7F}); err == nil {
+	// An unknown op must come back as a remote error, not a hang — and
+	// typed as the application rejection it is, so the resilience layer
+	// does not burn retries or breaker budget replaying it.
+	_, err := tr.Call(bg, 0, []byte{0x7F})
+	if err == nil {
 		t.Fatal("remote error not propagated")
+	}
+	var se *ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("rejection lost its type over the wire: %v", err)
+	}
+	if se.Server != 0 || !strings.Contains(se.Msg, "unknown op") {
+		t.Fatalf("wrong rejection payload: %+v", se)
 	}
 	// The connection stays usable afterwards.
 	if _, err := tr.Call(bg, 0, []byte{OpMeta}); err != nil {
