@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify chaos bench
+.PHONY: build test verify chaos bench metrics-smoke
 
 build:
 	$(GO) build ./...
@@ -19,3 +19,8 @@ chaos:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Admin-plane smoke test: boots lsdgnn-server with -admin-addr, scrapes
+# /metrics, and checks the key Prometheus series and drain-aware health.
+metrics-smoke:
+	./scripts/metrics_smoke.sh

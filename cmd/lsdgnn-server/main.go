@@ -15,25 +15,34 @@
 //
 //	lsdgnn-server -addr :7011 -partition 0 -partitions 4 -replica 1 &
 //	lsdgnn-server -addr :7001 -partition 0 -partitions 4 -chaos-error-rate 0.2 &
+//
+// With -admin-addr set, the server also exposes the operational plane:
+// /metrics (Prometheus), /stats (text report), /healthz, /readyz
+// (drain-aware), and /debug/pprof/.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"lsdgnn/internal/cluster"
 	"lsdgnn/internal/graph"
+	"lsdgnn/internal/obs"
 	"lsdgnn/internal/stats"
 	"lsdgnn/internal/workload"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7001", "listen address")
+	adminAddr := flag.String("admin-addr", "", "admin-plane listen address (/metrics, /healthz, /readyz, /stats, /debug/pprof); empty disables")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error (debug logs every request with its trace ID)")
 	dataset := flag.String("dataset", "ss", "Table 2 dataset to serve (scaled)")
 	graphFile := flag.String("graph", "", "serve a graph saved with graph.Save instead of generating one")
 	partition := flag.Int("partition", 0, "this server's partition index")
@@ -45,6 +54,13 @@ func main() {
 	chaosHang := flag.Float64("chaos-hang-rate", 0, "inject requests that stall until the client deadline with this probability [0,1]")
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the injected fault sequence")
 	flag.Parse()
+
+	level, err := parseLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(log)
 
 	if *partition < 0 || *partition >= *partitions {
 		fatal(fmt.Errorf("partition %d out of %d", *partition, *partitions))
@@ -63,14 +79,14 @@ func main() {
 			fatal(err)
 		}
 		g, name = loaded, *graphFile
-		fmt.Printf("loaded %s: %d nodes, %d edges\n", name, g.NumNodes(), g.NumEdges())
+		log.Info("graph loaded", "file", name, "nodes", g.NumNodes(), "edges", g.NumEdges())
 	} else {
 		ds, err := workload.DatasetByName(*dataset)
 		if err != nil {
 			fatal(err)
 		}
 		name = ds.Name
-		fmt.Printf("building %s (scaled: %d nodes)...\n", ds.Name, ds.SimNodes)
+		log.Info("building dataset", "name", ds.Name, "scaled_nodes", ds.SimNodes)
 		g = ds.Build(*seed)
 	}
 	part := cluster.HashPartitioner{N: *partitions}
@@ -79,26 +95,50 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	srv.SetLogger(log)
 	var handler cluster.Handler = srv
 	if *chaosErr > 0 || *chaosHang > 0 {
 		handler = cluster.NewFaultyHandler(srv, cluster.FaultSpec{ErrRate: *chaosErr, HangRate: *chaosHang}, *chaosSeed)
-		fmt.Printf("chaos mode: failing %.0f%% and stalling %.0f%% of requests (seed %d)\n",
-			*chaosErr*100, *chaosHang*100, *chaosSeed)
+		log.Warn("chaos mode", "error_rate", *chaosErr, "hang_rate", *chaosHang, "seed", *chaosSeed)
 	}
 	tcp, err := cluster.ServeTCP(handler, *addr)
 	if err != nil {
 		fatal(err)
 	}
+
+	// The registry behind /metrics and the final report: per-class access
+	// profile, per-request server latency, and listener counters. The
+	// zero-valued resilience block pre-registers the client-side
+	// retry/breaker series at 0 so scrapes and alerts have a stable
+	// namespace from the first sample (workers export live values).
+	reg := stats.NewRegistry()
+	var resSchema cluster.ResilienceStats
+	reg.Register(srv.Stats(), srv.Latency(), tcp, &resSchema)
+
+	health := &obs.Health{}
+	if *adminAddr != "" {
+		admin, bound, err := obs.ServeAdmin(*adminAddr, reg, health)
+		if err != nil {
+			fatal(err)
+		}
+		defer admin.Close()
+		log.Info("admin plane up", "addr", bound)
+	}
+
 	role := "primary"
 	if *replica > 0 {
 		role = fmt.Sprintf("replica %d", *replica)
 	}
-	fmt.Printf("serving partition %d/%d (%s) of %s on %s\n", *partition, *partitions, role, name, tcp.Addr())
+	log.Info("serving", "partition", *partition, "partitions", *partitions,
+		"role", role, "dataset", name, "addr", tcp.Addr(), "proto_version", cluster.ProtoVersion)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Printf("shutting down: draining in-flight requests (up to %v; interrupt again to force)\n", *drain)
+	// Flip readiness first so load balancers rotate this node out while
+	// in-flight requests drain.
+	health.SetDraining(true)
+	log.Info("shutting down", "drain_limit", *drain)
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	go func() {
@@ -106,14 +146,27 @@ func main() {
 		cancel()
 	}()
 	if err := tcp.Shutdown(ctx); err != nil {
-		fmt.Fprintln(os.Stderr, "lsdgnn-server: forced shutdown:", err)
+		log.Error("forced shutdown", "err", err)
 	}
 
-	reg := stats.NewRegistry()
-	reg.Register(srv.Stats())
 	fmt.Println("\nserved traffic:")
 	if _, err := reg.WriteTo(os.Stdout); err != nil {
 		fatal(err)
+	}
+}
+
+func parseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("unknown log level %q", s)
 	}
 }
 

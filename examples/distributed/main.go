@@ -15,6 +15,7 @@ import (
 
 	"lsdgnn/internal/cluster"
 	"lsdgnn/internal/graph"
+	"lsdgnn/internal/obs"
 	"lsdgnn/internal/sampler"
 	"lsdgnn/internal/workload"
 )
@@ -55,7 +56,9 @@ func main() {
 	// breaker per endpoint, and failover onto the replica set.
 	transport := cluster.DialTCP(addrs, 2)
 	defer transport.Close()
+	tracer := obs.NewTracer()
 	client, err := cluster.NewClientContext(context.Background(), transport, part, -1,
+		cluster.WithTracer(tracer),
 		cluster.WithResilience(cluster.ResilienceConfig{
 			Retry:    cluster.DefaultRetryPolicy(),
 			Breaker:  cluster.DefaultBreakerConfig(),
@@ -92,4 +95,18 @@ func main() {
 	rs := client.Res.Snapshot()
 	fmt.Printf("resilience: %d retries, %d failovers to replicas, %d breaker rejects — batch intact despite injected chaos\n",
 		rs.Retries, rs.Failovers, rs.BreakerRejects)
+
+	// The trace negotiated over the wire (protocol v1): the batch's latency
+	// split hop by hop — RPC machinery vs socket time vs server handler.
+	fmt.Println("\nper-hop latency (traced over TCP):")
+	for _, hop := range []string{obs.HopBatch, obs.HopRPC, obs.HopWire, obs.HopServer} {
+		h := tracer.Hop(hop)
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Printf("  %-8s n=%-4d p50=%-10v p99=%-10v max=%v\n", hop, h.Count,
+			time.Duration(h.Quantile(0.5)*float64(time.Second)).Round(time.Microsecond),
+			time.Duration(h.Quantile(0.99)*float64(time.Second)).Round(time.Microsecond),
+			time.Duration(h.Max*float64(time.Second)).Round(time.Microsecond))
+	}
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"lsdgnn/internal/graph"
+	"lsdgnn/internal/obs"
 	"lsdgnn/internal/sampler"
 	"lsdgnn/internal/stats"
 	"lsdgnn/internal/trace"
@@ -132,6 +133,10 @@ type Client struct {
 	res *resilience
 	// partial enables PartialResults degradation (set via WithResilience).
 	partial bool
+	// tracer, when set (WithTracer), records the per-hop latency breakdown
+	// — batch, RPC, wire, server — and resilience events. Requests to
+	// protocol-v1 peers carry the trace ID on the wire.
+	tracer *obs.Tracer
 }
 
 // ClientOption customizes a Client at construction.
@@ -146,6 +151,16 @@ func WithResilience(cfg ResilienceConfig) ClientOption {
 		c.res = newResilience(cfg, &c.Res)
 		c.partial = cfg.PartialResults
 	}
+}
+
+// WithTracer attaches a hop tracer. When the server side speaks protocol
+// v1 (negotiated during bootstrap), each request is sent in an OpTraced
+// envelope so the server's handling time comes back in the reply and the
+// tracer can split wire time from server time; against legacy peers the
+// tracer still records batch and RPC hops, just without the wire/server
+// split.
+func WithTracer(tr *obs.Tracer) ClientOption {
+	return func(c *Client) { c.tracer = tr }
 }
 
 // DefaultBootstrapTimeout bounds the NewClient meta fetch when the caller's
@@ -175,6 +190,8 @@ func NewClientContext(ctx context.Context, t Transport, p Partitioner, local int
 		if err := c.res.cfg.Replicas.Validate(p.Servers()); err != nil {
 			return nil, err
 		}
+		// Options apply in any order; bind the tracer after all have run.
+		c.res.tracer = c.tracer
 	}
 	if _, ok := ctx.Deadline(); !ok {
 		var cancel context.CancelFunc
@@ -185,7 +202,10 @@ func NewClientContext(ctx context.Context, t Transport, p Partitioner, local int
 	if boot == nil {
 		boot = newResilience(ResilienceConfig{Retry: DefaultRetryPolicy()}, &c.Res)
 	}
-	raw, err := boot.call(ctx, 0, []byte{OpMeta}, c.invoke)
+	// The meta request advertises this client's protocol version; legacy
+	// servers ignore the trailing byte and answer in the legacy form, which
+	// decodes as Version 0 below — the signal to skip trace envelopes.
+	raw, err := boot.call(ctx, 0, EncodeMetaRequest(), c.invoke)
 	if c.res == nil {
 		// The bootstrap-only resilience installed its breaker gauge on
 		// c.Res; drop it so a policy-less client does not keep reporting
@@ -223,7 +243,16 @@ func (c *Client) AttrLen() int { return c.meta.AttrLen }
 // call issues one request to the partition's serving endpoint(s). With a
 // resilience policy it retries, fails over to replicas, and consults
 // circuit breakers; without one it is a single fail-fast transport call.
+// The RPC hop spans the whole policy run — backoff waits, failovers, and
+// hedges included — so rpc minus wire minus server is the resilience
+// overhead.
 func (c *Client) call(ctx context.Context, partition int, req []byte) ([]byte, error) {
+	if c.tracer != nil {
+		var id obs.TraceID
+		ctx, id = obs.EnsureTrace(ctx)
+		start := time.Now()
+		defer func() { c.tracer.Observe(id, obs.HopRPC, start, time.Since(start)) }()
+	}
 	if c.res != nil {
 		return c.res.call(ctx, partition, req, c.invoke)
 	}
@@ -231,13 +260,38 @@ func (c *Client) call(ctx context.Context, partition int, req []byte) ([]byte, e
 }
 
 // invoke performs one raw transport call against an endpoint, recording
-// wire traffic on success.
+// wire traffic on success. Against a protocol-v1 peer with tracing on, the
+// request rides in an OpTraced envelope; the reply envelope carries the
+// server's handling time, and the remainder of the round trip is recorded
+// as the wire hop.
 func (c *Client) invoke(ctx context.Context, endpoint int, req []byte) ([]byte, error) {
+	traced := c.tracer != nil && c.meta.Version >= 1
+	var id obs.TraceID
+	if traced {
+		ctx, id = obs.EnsureTrace(ctx)
+		req = EncodeTracedRequest(id, req)
+	}
+	start := time.Now()
 	resp, err := c.transport.Call(ctx, endpoint, req)
 	if err != nil {
 		return nil, err
 	}
+	// Wire traffic counts the enveloped frames — what actually crossed.
 	c.Traffic.record(len(req), len(resp), endpoint != c.local)
+	if traced {
+		total := time.Since(start)
+		serverTime, inner, derr := DecodeTracedReply(resp)
+		if derr != nil {
+			return nil, derr
+		}
+		resp = inner
+		wire := total - serverTime
+		if wire < 0 {
+			wire = 0
+		}
+		c.tracer.Observe(id, obs.HopServer, start, serverTime)
+		c.tracer.Observe(id, obs.HopWire, start, wire)
+	}
 	return resp, nil
 }
 
@@ -468,8 +522,17 @@ func (c *Client) reduceFanout(ctx context.Context, errs []error) error {
 // error is a *PartialError annotating every lost shard. Check AsPartial
 // before discarding the result.
 func (c *Client) SampleBatch(ctx context.Context, roots []graph.NodeID, cfg sampler.Config) (*sampler.Result, error) {
+	var id obs.TraceID
+	if c.tracer != nil {
+		// Mint the batch's trace here so every fan-out RPC under it shares
+		// one ID end to end.
+		ctx, id = obs.EnsureTrace(ctx)
+	}
 	start := time.Now()
 	res, err := c.sampleBatch(ctx, roots, cfg)
+	if c.tracer != nil {
+		c.tracer.ObserveErr(id, obs.HopBatch, "", start, time.Since(start), err != nil)
+	}
 	if c.Batches != nil {
 		if _, partial := AsPartial(err); err != nil && !partial {
 			c.Batches.ObserveError()

@@ -4,8 +4,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"time"
 
 	"lsdgnn/internal/graph"
+	"lsdgnn/internal/obs"
 )
 
 // Batched RPC protocol between sampling workers and graph servers. The
@@ -18,7 +20,76 @@ const (
 	OpGetNeighbors = 0x01
 	OpGetAttrs     = 0x02
 	OpMeta         = 0x03
+	// OpTraced is the protocol-v1 trace header: it envelopes any other
+	// message with an 8-byte trace ID (requests) or the server's handling
+	// time in nanoseconds (responses), giving clients a wire-vs-server
+	// latency split per hop. Version-gated: clients only send it to peers
+	// that advertised ProtoVersion ≥ 1 in the meta handshake, so legacy
+	// peers never see the op.
+	OpTraced = 0x10
 )
+
+// ProtoVersion is this build's wire protocol version. Version 0 (legacy)
+// is the pre-tracing protocol: 21-byte meta responses, no OpTraced. A v1
+// client requests the version by appending its own version byte to the
+// OpMeta message — legacy servers ignore trailing bytes and answer in the
+// legacy format, which a v1 client reads as "version 0 peer" and falls
+// back to untraced frames. Symmetrically, a v1 server answers a bare
+// OpMeta with the legacy 21-byte form, so old clients interop unchanged.
+const ProtoVersion = 1
+
+// EncodeMetaRequest serializes the version-negotiating meta request.
+func EncodeMetaRequest() []byte { return []byte{OpMeta, ProtoVersion} }
+
+// MetaRequestVersion extracts the client's advertised protocol version
+// from an OpMeta message; a bare legacy request advertises 0.
+func MetaRequestVersion(msg []byte) int {
+	if len(msg) >= 2 && msg[0] == OpMeta {
+		return int(msg[1])
+	}
+	return 0
+}
+
+// EncodeTracedRequest envelopes a request message with its trace ID.
+func EncodeTracedRequest(id obs.TraceID, inner []byte) []byte {
+	out := make([]byte, 0, 9+len(inner))
+	out = append(out, OpTraced)
+	out = binary.LittleEndian.AppendUint64(out, uint64(id))
+	return append(out, inner...)
+}
+
+// DecodeTracedRequest parses an OpTraced request envelope into the trace
+// ID and the inner message.
+func DecodeTracedRequest(b []byte) (obs.TraceID, []byte, error) {
+	if len(b) < 9 || b[0] != OpTraced {
+		return 0, nil, fmt.Errorf("cluster: not a traced request")
+	}
+	inner := b[9:]
+	if len(inner) == 0 {
+		return 0, nil, fmt.Errorf("cluster: traced envelope with empty body")
+	}
+	if inner[0] == OpTraced {
+		return 0, nil, fmt.Errorf("cluster: nested traced envelope")
+	}
+	return obs.TraceID(binary.LittleEndian.Uint64(b[1:])), inner, nil
+}
+
+// EncodeTracedReply envelopes a response with the server's handling time.
+func EncodeTracedReply(serverTime time.Duration, inner []byte) []byte {
+	out := make([]byte, 0, 9+len(inner))
+	out = append(out, OpTraced)
+	out = binary.LittleEndian.AppendUint64(out, uint64(serverTime.Nanoseconds()))
+	return append(out, inner...)
+}
+
+// DecodeTracedReply parses an OpTraced response envelope into the server
+// handling time and the inner response.
+func DecodeTracedReply(b []byte) (time.Duration, []byte, error) {
+	if len(b) < 9 || b[0] != OpTraced {
+		return 0, nil, fmt.Errorf("cluster: not a traced reply")
+	}
+	return time.Duration(binary.LittleEndian.Uint64(b[1:])), b[9:], nil
+}
 
 // NeighborsRequest asks for the adjacency lists of IDs, optionally capped.
 type NeighborsRequest struct {
@@ -47,6 +118,10 @@ type MetaResponse struct {
 	AttrLen    int
 	Partition  int
 	Partitions int
+	// Version is the peer's wire protocol version: 0 for legacy peers
+	// (21-byte meta, no trace envelopes), ≥1 when the peer understands
+	// OpTraced. Not serialized by the legacy encoding.
+	Version int
 }
 
 func appendIDs(dst []byte, ids []graph.NodeID) []byte {
@@ -177,7 +252,9 @@ func DecodeAttrsResponse(b []byte) (AttrsResponse, error) {
 	return AttrsResponse{AttrLen: int(attrLen), Attrs: attrs}, nil
 }
 
-// EncodeMetaResponse serializes r.
+// EncodeMetaResponse serializes r in the legacy 21-byte form (Version is
+// dropped) — the answer to a bare OpMeta request, so protocol-v0 clients
+// keep decoding it.
 func EncodeMetaResponse(r MetaResponse) []byte {
 	out := []byte{OpMeta}
 	out = binary.LittleEndian.AppendUint64(out, uint64(r.NumNodes))
@@ -187,15 +264,28 @@ func EncodeMetaResponse(r MetaResponse) []byte {
 	return out
 }
 
-// DecodeMetaResponse parses an OpMeta response body.
+// EncodeMetaResponseV1 serializes r with the trailing protocol version —
+// sent only to clients that advertised v1+ in their meta request, so a
+// legacy decoder never sees the longer form.
+func EncodeMetaResponseV1(r MetaResponse) []byte {
+	out := EncodeMetaResponse(r)
+	return binary.LittleEndian.AppendUint32(out, uint32(r.Version))
+}
+
+// DecodeMetaResponse parses an OpMeta response body, either the legacy
+// 21-byte form (Version reported as 0) or the v1 25-byte form.
 func DecodeMetaResponse(b []byte) (MetaResponse, error) {
-	if len(b) != 21 || b[0] != OpMeta {
+	if (len(b) != 21 && len(b) != 25) || b[0] != OpMeta {
 		return MetaResponse{}, fmt.Errorf("cluster: not a meta response")
 	}
-	return MetaResponse{
+	r := MetaResponse{
 		NumNodes:   int64(binary.LittleEndian.Uint64(b[1:])),
 		AttrLen:    int(binary.LittleEndian.Uint32(b[9:])),
 		Partition:  int(binary.LittleEndian.Uint32(b[13:])),
 		Partitions: int(binary.LittleEndian.Uint32(b[17:])),
-	}, nil
+	}
+	if len(b) == 25 {
+		r.Version = int(binary.LittleEndian.Uint32(b[21:]))
+	}
+	return r, nil
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"lsdgnn/internal/obs"
 	"lsdgnn/internal/stats"
 )
 
@@ -117,6 +118,10 @@ func (s BreakerState) String() string {
 type breaker struct {
 	cfg BreakerConfig
 	st  *ResilienceStats
+	// tr, when set, records state transitions as tracer events (nil-safe).
+	tr *obs.Tracer
+	// ep is the endpoint index, for transition-event notes.
+	ep int
 
 	mu       sync.Mutex
 	state    BreakerState
@@ -144,6 +149,7 @@ func (b *breaker) Allow() (ok, probe bool) {
 		b.state = BreakerHalfOpen
 		b.probing = true
 		b.st.add(&b.st.snap.BreakerHalfOpens)
+		b.tr.Event(0, "breaker_half_open", fmt.Sprintf("endpoint %d", b.ep))
 		return true, true
 	default: // half-open
 		if b.probing {
@@ -168,6 +174,7 @@ func (b *breaker) onSuccess() {
 	if b.state == BreakerHalfOpen {
 		b.state = BreakerClosed
 		b.st.add(&b.st.snap.BreakerCloses)
+		b.tr.Event(0, "breaker_close", fmt.Sprintf("endpoint %d", b.ep))
 	}
 	b.failures = 0
 	b.probing = false
@@ -193,12 +200,14 @@ func (b *breaker) onFailure() {
 		b.openedAt = time.Now()
 		b.probing = false
 		b.st.add(&b.st.snap.BreakerOpens)
+		b.tr.Event(0, "breaker_open", fmt.Sprintf("endpoint %d", b.ep))
 	case BreakerClosed:
 		b.failures++
 		if b.failures >= b.cfg.Threshold {
 			b.state = BreakerOpen
 			b.openedAt = time.Now()
 			b.st.add(&b.st.snap.BreakerOpens)
+			b.tr.Event(0, "breaker_open", fmt.Sprintf("endpoint %d", b.ep))
 		}
 	}
 }
@@ -389,6 +398,9 @@ type invokeFunc func(ctx context.Context, endpoint int, req []byte) ([]byte, err
 type resilience struct {
 	cfg   ResilienceConfig
 	stats *ResilienceStats
+	// tracer, when set, records retry/failover/hedge/breaker events tagged
+	// with the calling request's trace ID. Nil-safe throughout.
+	tracer *obs.Tracer
 
 	mu       sync.Mutex
 	rng      *rand.Rand
@@ -427,7 +439,7 @@ func (r *resilience) breaker(endpoint int) *breaker {
 	defer r.mu.Unlock()
 	b, ok := r.breakers[endpoint]
 	if !ok {
-		b = &breaker{cfg: r.cfg.Breaker, st: r.stats}
+		b = &breaker{cfg: r.cfg.Breaker, st: r.stats, tr: r.tracer, ep: endpoint}
 		r.breakers[endpoint] = b
 	}
 	return b
@@ -454,6 +466,16 @@ func (r *resilience) breakerGauge() (open, halfOpen int) {
 // BreakerState reports the breaker position for one endpoint.
 func (r *resilience) BreakerState(endpoint int) BreakerState {
 	return r.breaker(endpoint).State()
+}
+
+// event records a tracer event tagged with ctx's trace ID (0 when the
+// request is untraced). Nil tracers no-op.
+func (r *resilience) event(ctx context.Context, kind, note string) {
+	if r.tracer == nil {
+		return
+	}
+	id, _ := obs.FromContext(ctx)
+	r.tracer.Event(id, kind, note)
 }
 
 // sleep waits for the jittered backoff or until ctx is done.
@@ -490,6 +512,7 @@ func (r *resilience) call(ctx context.Context, partition int, req []byte, invoke
 				return nil, err
 			}
 			r.stats.add(&r.stats.snap.Retries)
+			r.event(ctx, "retry", fmt.Sprintf("partition %d attempt %d", partition, attempt+1))
 			backoff *= 2
 			if backoff > r.cfg.Retry.MaxBackoff {
 				backoff = r.cfg.Retry.MaxBackoff
@@ -528,11 +551,13 @@ func (r *resilience) pass(ctx context.Context, eps []int, req []byte, invoke inv
 		ok, probe := br.Allow()
 		if !ok {
 			r.stats.add(&r.stats.snap.BreakerRejects)
+			r.event(ctx, "breaker_reject", fmt.Sprintf("endpoint %d", ep))
 			errs = append(errs, fmt.Errorf("endpoint %d: breaker open", ep))
 			continue
 		}
 		if i > 0 {
 			r.stats.add(&r.stats.snap.Failovers)
+			r.event(ctx, "failover", fmt.Sprintf("endpoint %d", ep))
 		}
 		resp, err := invoke(ctx, ep, req)
 		if err == nil {
@@ -587,14 +612,17 @@ func (r *resilience) hedgedPass(ctx context.Context, eps []int, req []byte, invo
 			ok, probe := br.Allow()
 			if !ok {
 				r.stats.add(&r.stats.snap.BreakerRejects)
+				r.event(ctx, "breaker_reject", fmt.Sprintf("endpoint %d", ep))
 				errs = append(errs, fmt.Errorf("endpoint %d: breaker open", ep))
 				continue
 			}
 			if !primary {
 				if hedge {
 					r.stats.add(&r.stats.snap.Hedges)
+					r.event(ctx, "hedge", fmt.Sprintf("endpoint %d", ep))
 				} else {
 					r.stats.add(&r.stats.snap.Failovers)
+					r.event(ctx, "failover", fmt.Sprintf("endpoint %d", ep))
 				}
 			}
 			inflight++

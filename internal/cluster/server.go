@@ -2,9 +2,15 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"log/slog"
+	"sync/atomic"
+	"time"
 
 	"lsdgnn/internal/graph"
+	"lsdgnn/internal/obs"
+	"lsdgnn/internal/stats"
 	"lsdgnn/internal/trace"
 )
 
@@ -17,6 +23,12 @@ type Server struct {
 	part      Partitioner
 	partition int
 	stats     *trace.AccessStats
+	// lat records per-request Handle latency ("cluster.server") — the
+	// server-side half of the per-hop breakdown, also reported to traced
+	// clients in the reply envelope.
+	lat *stats.Latency
+	// log, when set, emits trace-annotated request logs.
+	log atomic.Pointer[slog.Logger]
 }
 
 // ctxCheckStride is how many request items a handler processes between
@@ -32,7 +44,11 @@ func NewServer(g *graph.Graph, part Partitioner, partition int) *Server {
 	if partition < 0 || partition >= part.Servers() {
 		panic(fmt.Sprintf("cluster: partition %d out of %d", partition, part.Servers()))
 	}
-	return &Server{g: g, part: part, partition: partition, stats: &trace.AccessStats{}}
+	return &Server{
+		g: g, part: part, partition: partition,
+		stats: &trace.AccessStats{},
+		lat:   stats.NewLatency("cluster.server"),
+	}
 }
 
 // Partition returns this server's partition index.
@@ -41,6 +57,15 @@ func (s *Server) Partition() int { return s.partition }
 // Stats exposes the server-side access statistics.
 func (s *Server) Stats() *trace.AccessStats { return s.stats }
 
+// Latency exposes the per-request Handle latency recorder
+// ("cluster.server" layer).
+func (s *Server) Latency() *stats.Latency { return s.lat }
+
+// SetLogger installs a structured logger for request logging: each handled
+// request at Debug (with trace ID, op, duration), rejections at Warn. Nil
+// disables logging. Safe to call concurrently with serving.
+func (s *Server) SetLogger(l *slog.Logger) { s.log.Store(l) }
+
 // Meta answers an OpMeta request.
 func (s *Server) Meta() MetaResponse {
 	return MetaResponse{
@@ -48,6 +73,7 @@ func (s *Server) Meta() MetaResponse {
 		AttrLen:    s.g.AttrLen(),
 		Partition:  s.partition,
 		Partitions: s.part.Servers(),
+		Version:    ProtoVersion,
 	}
 }
 
@@ -116,18 +142,52 @@ func (s *Server) GetAttrs(ctx context.Context, req AttrsRequest) (AttrsResponse,
 // resilience layer neither retries them nor counts them against circuit
 // breakers. Context errors pass through untyped: they belong to the
 // caller, not the request.
+//
+// An OpTraced envelope is unwrapped here: its trace ID joins the request
+// context (and the request log), the inner message is dispatched normally,
+// and the reply is enveloped with the measured handling time so the client
+// can split wire from server latency per hop.
 func (s *Server) Handle(ctx context.Context, msg []byte) (resp []byte, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			resp, err = nil, fmt.Errorf("cluster: request failed: %v", r)
 		}
 		if err != nil && ctx.Err() == nil {
-			err = &ServerError{Server: s.partition, Msg: err.Error()}
+			var se *ServerError
+			if !errors.As(err, &se) {
+				err = &ServerError{Server: s.partition, Msg: err.Error()}
+			}
 		}
 	}()
 	if len(msg) == 0 {
 		return nil, fmt.Errorf("cluster: empty message")
 	}
+	var id obs.TraceID
+	traced := msg[0] == OpTraced
+	if traced {
+		id, msg, err = DecodeTracedRequest(msg)
+		if err != nil {
+			return nil, err
+		}
+		ctx = obs.WithTrace(ctx, id)
+	}
+	start := time.Now()
+	resp, err = s.dispatch(ctx, msg)
+	dur := time.Since(start)
+	if err == nil {
+		s.lat.Observe(dur)
+	} else if ctx.Err() == nil {
+		s.lat.ObserveError()
+	}
+	s.logRequest(id, msg[0], dur, err)
+	if err != nil || !traced {
+		return resp, err
+	}
+	return EncodeTracedReply(dur, resp), nil
+}
+
+// dispatch routes one unwrapped protocol message to its handler.
+func (s *Server) dispatch(ctx context.Context, msg []byte) ([]byte, error) {
 	switch msg[0] {
 	case OpGetNeighbors:
 		req, err := DecodeNeighborsRequest(msg)
@@ -150,8 +210,32 @@ func (s *Server) Handle(ctx context.Context, msg []byte) (resp []byte, err error
 		}
 		return EncodeAttrsResponse(r), nil
 	case OpMeta:
+		// A client advertising protocol ≥1 gets the versioned response;
+		// legacy clients get the 21-byte form they expect.
+		if MetaRequestVersion(msg) >= 1 {
+			return EncodeMetaResponseV1(s.Meta()), nil
+		}
 		return EncodeMetaResponse(s.Meta()), nil
 	default:
 		return nil, fmt.Errorf("cluster: unknown op %#x", msg[0])
 	}
+}
+
+// logRequest emits one structured request log line when a logger is set.
+func (s *Server) logRequest(id obs.TraceID, op byte, dur time.Duration, err error) {
+	l := s.log.Load()
+	if l == nil {
+		return
+	}
+	attrs := []any{
+		slog.Int("partition", s.partition),
+		slog.String("op", fmt.Sprintf("%#x", op)),
+		slog.Uint64("trace", uint64(id)),
+		slog.Duration("dur", dur),
+	}
+	if err != nil {
+		l.Warn("request rejected", append(attrs, slog.String("err", err.Error()))...)
+		return
+	}
+	l.Debug("request served", attrs...)
 }

@@ -11,6 +11,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"lsdgnn/internal/stats"
 )
 
 // TCP transport: length-prefixed protocol messages over stream sockets.
@@ -82,6 +84,11 @@ type TCPServer struct {
 	closed bool
 	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
+
+	// Listener-level counters for the admin plane ("cluster.tcp").
+	accepted  stats.Counter // connections accepted over the server's life
+	frames    stats.Counter // request frames handled
+	frameErrs stats.Counter // handler errors written back as error frames
 }
 
 // ServeTCP starts serving srv on addr (e.g. "127.0.0.1:0") and returns the
@@ -117,6 +124,7 @@ func (t *TCPServer) acceptLoop() {
 		}
 		t.conns[conn] = struct{}{}
 		t.mu.Unlock()
+		t.accepted.Inc()
 		t.wg.Add(1)
 		go t.serveConn(conn)
 	}
@@ -137,7 +145,11 @@ func (t *TCPServer) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		t.frames.Inc()
 		resp, err := t.srv.Handle(t.baseCtx, req)
+		if err != nil {
+			t.frameErrs.Inc()
+		}
 		var out []byte
 		var se *ServerError
 		switch {
@@ -163,6 +175,20 @@ func (t *TCPServer) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// StatsSnapshot implements stats.Source under the "cluster.tcp" layer:
+// open-connection gauge plus lifetime accept/frame/error counters.
+func (t *TCPServer) StatsSnapshot() stats.Snapshot {
+	t.mu.Lock()
+	open := len(t.conns)
+	t.mu.Unlock()
+	return stats.Snapshot{Layer: "cluster.tcp", Metrics: []stats.Metric{
+		{Name: "open_conns", Value: float64(open)},
+		t.accepted.Metric("accepted_conns", ""),
+		t.frames.Metric("frames", "req"),
+		t.frameErrs.Metric("frame_errors", "req"),
+	}}
 }
 
 // Shutdown stops accepting new work and drains in-flight requests: each

@@ -13,6 +13,7 @@ import (
 	"lsdgnn/internal/axe"
 	"lsdgnn/internal/cluster"
 	"lsdgnn/internal/graph"
+	"lsdgnn/internal/obs"
 	"lsdgnn/internal/sampler"
 	"lsdgnn/internal/stats"
 	"lsdgnn/internal/trace"
@@ -68,6 +69,10 @@ type System struct {
 	// Faults is the injection hook when Options.Faults was set (nil
 	// otherwise); tests and experiments use it to kill/revive servers.
 	Faults *cluster.FaultyTransport
+	// Obs is the system-wide hop tracer: every batch through Sample or
+	// SampleSoftware gets a trace ID, and its per-hop timings (dispatch
+	// wait, engine, rpc, wire, server) land here.
+	Obs *obs.Tracer
 }
 
 // NewSystem builds servers, a client, one AxE engine per partition, and a
@@ -104,7 +109,7 @@ func NewSystem(opts Options) (*System, error) {
 		opts.Replicas = 1
 	}
 	part := cluster.HashPartitioner{N: opts.Servers}
-	sys := &System{Graph: g, Part: part, Sampling: sCfg}
+	sys := &System{Graph: g, Part: part, Sampling: sCfg, Obs: obs.NewTracer()}
 	for r := 0; r < opts.Replicas; r++ {
 		for i := 0; i < opts.Servers; i++ {
 			sys.Servers = append(sys.Servers, cluster.NewServer(g, part, i))
@@ -135,7 +140,7 @@ func NewSystem(opts Options) (*System, error) {
 		d := cluster.DefaultResilienceConfig()
 		resCfg = &d
 	}
-	var copts []cluster.ClientOption
+	copts := []cluster.ClientOption{cluster.WithTracer(sys.Obs)}
 	if resCfg != nil {
 		cfg := *resCfg
 		if cfg.Replicas == nil && opts.Replicas > 1 {
@@ -148,6 +153,9 @@ func NewSystem(opts Options) (*System, error) {
 		return nil, err
 	}
 	sys.Client = client
+	if opts.Dispatch.Tracer == nil {
+		opts.Dispatch.Tracer = sys.Obs
+	}
 	disp, err := NewDispatcher(sys.Engines, opts.Dispatch)
 	if err != nil {
 		return nil, err
@@ -198,11 +206,11 @@ func (s *System) BatchSource(batchSize int, seed int64) *workload.BatchSource {
 
 // StatsRegistry assembles the unified metrics view of the system: client
 // wire traffic, client batch latency, resilience counters, dispatcher
-// placement/latency, and the per-class access profile merged across all
-// partition servers.
+// placement/latency, the per-hop trace histograms, and the per-class
+// access profile merged across all partition servers.
 func (s *System) StatsRegistry() *stats.Registry {
 	reg := stats.NewRegistry()
-	reg.Register(&s.Client.Traffic, s.Client.Batches, &s.Client.Res, s.Dispatcher)
+	reg.Register(&s.Client.Traffic, s.Client.Batches, &s.Client.Res, s.Dispatcher, s.Obs)
 	servers := s.Servers
 	reg.Register(stats.Func(func() stats.Snapshot {
 		var structReq, structBytes, attrReq, attrBytes float64

@@ -4,10 +4,12 @@ import (
 	"context"
 	"encoding/binary"
 	"math"
+	"strings"
 	"testing"
 
 	"lsdgnn/internal/axe"
 	"lsdgnn/internal/graph"
+	"lsdgnn/internal/obs"
 	"lsdgnn/internal/sampler"
 	"lsdgnn/internal/workload"
 )
@@ -334,5 +336,41 @@ func TestControllerReadEdgeAttr(t *testing.T) {
 	}
 	if w0 != math.Float32frombits(binary.LittleEndian.Uint32(ctl.Shared.Data[out:])) {
 		t.Fatal("edge weights not deterministic")
+	}
+}
+
+// TestSystemTracing checks the end-to-end hop breakdown: a software batch
+// records batch/rpc/wire/server hops, an accelerated batch records
+// dispatch/engine hops, and the registry exports them all.
+func TestSystemTracing(t *testing.T) {
+	sys := testSystem(t)
+	src := sys.BatchSource(32, 7)
+	if _, err := sys.SampleSoftware(context.Background(), src.Next()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sys.Sample(context.Background(), src.Next()); err != nil {
+		t.Fatal(err)
+	}
+	for _, hop := range []string{obs.HopBatch, obs.HopRPC, obs.HopWire, obs.HopServer, obs.HopDispatchWait, obs.HopEngine} {
+		if sys.Obs.Hop(hop).Count == 0 {
+			t.Fatalf("hop %q unrecorded; have %v", hop, sys.Obs.Hops())
+		}
+	}
+	if _, _, ok := sys.Obs.LastTrace(); !ok {
+		t.Fatal("no trace in span log")
+	}
+	var buf strings.Builder
+	if _, err := sys.StatsRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"lsdgnn_obs_hops_server_seconds_bucket",
+		"lsdgnn_obs_hops_engine_seconds_count",
+		"lsdgnn_cluster_batch_latency_seconds_bucket",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("registry exposition missing %q", want)
+		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"lsdgnn/internal/axe"
 	"lsdgnn/internal/graph"
+	"lsdgnn/internal/obs"
 	"lsdgnn/internal/sampler"
 	"lsdgnn/internal/stats"
 )
@@ -20,6 +21,9 @@ type DispatcherConfig struct {
 	// BatchTimeout is a per-batch deadline applied on top of the caller's
 	// context; 0 disables it.
 	BatchTimeout time.Duration
+	// Tracer, when set, records per-batch queue wait and engine runtime as
+	// dispatch/engine hops under the batch's trace ID.
+	Tracer *obs.Tracer
 }
 
 // Dispatcher load-balances sampling batches across a set of AxE engines. It
@@ -92,6 +96,11 @@ func (d *Dispatcher) release(engine int) {
 // queued returns immediately; cancellation mid-run abandons the batch (the
 // engine finishes it in the background and the slot is then reclaimed).
 func (d *Dispatcher) Submit(ctx context.Context, roots []graph.NodeID) (*sampler.Result, axe.BatchStats, error) {
+	tr := d.cfg.Tracer
+	var id obs.TraceID
+	if tr != nil {
+		ctx, id = obs.EnsureTrace(ctx)
+	}
 	start := time.Now()
 	if err := ctx.Err(); err != nil {
 		d.lat.ObserveError()
@@ -109,6 +118,9 @@ func (d *Dispatcher) Submit(ctx context.Context, roots []graph.NodeID) (*sampler
 		return nil, axe.BatchStats{}, ctx.Err()
 	}
 	engine := d.pick()
+	// Queue wait: from submission until a worker slot and an engine are
+	// both held.
+	tr.Observe(id, obs.HopDispatchWait, start, time.Since(start))
 
 	type outcome struct {
 		res *sampler.Result
@@ -120,7 +132,11 @@ func (d *Dispatcher) Submit(ctx context.Context, roots []graph.NodeID) (*sampler
 			d.release(engine)
 			<-d.slots
 		}()
+		estart := time.Now()
 		res, st := d.engines[engine].RunBatch(roots)
+		// Recorded even for abandoned batches: the engine really did the
+		// work, and the histogram should show it.
+		tr.Observe(id, obs.HopEngine, estart, time.Since(estart))
 		done <- outcome{res, st}
 	}()
 	select {

@@ -4,13 +4,16 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"time"
 
 	"lsdgnn/internal/cluster"
 	"lsdgnn/internal/core"
 	"lsdgnn/internal/graph"
+	"lsdgnn/internal/obs"
 	"lsdgnn/internal/sampler"
+	"lsdgnn/internal/stats"
 	"lsdgnn/internal/workload"
 )
 
@@ -116,9 +119,53 @@ func serving(w io.Writer, opts Options) error {
 	rs := sys.Client.Res.Snapshot()
 	fmt.Fprintf(w, "chaos: %d of %d storage calls failed by injection; absorbed by %d retries + %d failovers (0 batches lost)\n",
 		injected, calls, rs.Retries, rs.Failovers)
+
+	// End-to-end percentiles and the per-hop breakdown (§7.2 / Figure 15
+	// methodology): where does a batch's latency actually go — queueing,
+	// engine, RPC machinery, wire, or the server's handler?
+	fmt.Fprintln(w, "\nend-to-end latency:")
+	writeQuantiles(w, "accelerated (dispatch+engine)", sys.Dispatcher.Latency().Hist())
+	writeQuantiles(w, "software (cluster batch)", sys.Client.Batches.Hist())
+	fmt.Fprintln(w, "\nper-hop breakdown:")
+	for _, hop := range []string{
+		obs.HopDispatchWait, obs.HopEngine, obs.HopBatch,
+		obs.HopRPC, obs.HopWire, obs.HopServer,
+	} {
+		h := sys.Obs.Hop(hop)
+		if h.Count == 0 {
+			continue
+		}
+		writeQuantiles(w, hop, h)
+	}
+	if id, spans, ok := sys.Obs.LastTrace(); ok && len(spans) > 0 {
+		fmt.Fprintf(w, "\ntrace %016x (one sampled batch, hop by hop):\n", uint64(id))
+		base := spans[0].Start
+		for _, s := range spans {
+			status := ""
+			if s.Err {
+				status = "  FAILED"
+			}
+			line := fmt.Sprintf("  +%-10s %-14s %-12s %s%s",
+				s.Start.Sub(base).Round(time.Microsecond), s.Hop,
+				s.Dur.Round(time.Microsecond), s.Note, status)
+			fmt.Fprintln(w, strings.TrimRight(line, " "))
+		}
+	}
 	fmt.Fprintln(w, "\nunified stats (internal/stats registry):")
 	if _, err := sys.StatsRegistry().WriteTo(w); err != nil {
 		return err
 	}
 	return nil
+}
+
+// writeQuantiles prints one histogram's tail summary as durations.
+func writeQuantiles(w io.Writer, label string, h stats.HistogramSnapshot) {
+	fmt.Fprintf(w, "  %-30s n=%-6d p50=%-10s p90=%-10s p99=%-10s max=%s\n",
+		label, h.Count, secs(h.Quantile(0.5)), secs(h.Quantile(0.9)),
+		secs(h.Quantile(0.99)), secs(h.Max))
+}
+
+// secs renders a float seconds value as a rounded duration.
+func secs(v float64) string {
+	return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
 }

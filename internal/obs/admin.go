@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+
+	"lsdgnn/internal/stats"
+)
+
+// Admin plane: the operational HTTP endpoints every serving process
+// exposes on a side port (lsdgnn-server -admin-addr). Deliberately
+// dependency-free — Prometheus text exposition comes from internal/stats,
+// profiling from net/http/pprof.
+//
+//	/metrics       Prometheus text exposition of the stats registry
+//	/stats         the aligned-text report (same data, human-readable)
+//	/healthz       liveness: 200 while the process runs
+//	/readyz        readiness: 200 while serving, 503 once draining
+//	/debug/pprof/  CPU/heap/goroutine profiles
+
+// Health tracks the process's readiness for load-balancer checks. The zero
+// value is ready (serving); SetDraining flips /readyz to 503 so rotation
+// out happens before the listener closes.
+type Health struct {
+	draining atomic.Bool
+}
+
+// SetDraining marks the process as draining (true) or serving (false).
+func (h *Health) SetDraining(v bool) { h.draining.Store(v) }
+
+// Draining reports whether the process is draining.
+func (h *Health) Draining() bool { return h.draining.Load() }
+
+// NewAdminMux assembles the admin-plane handler over a stats registry and
+// a health tracker. Either may be nil: a nil registry serves empty metric
+// sets, a nil health is always ready.
+func NewAdminMux(reg *stats.Registry, health *Health) *http.ServeMux {
+	if reg == nil {
+		reg = stats.NewRegistry()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if _, err := reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if _, err := reg.WriteTo(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if health != nil && health.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeAdmin starts the admin plane on addr and returns the running
+// server; callers Close (or Shutdown) it on exit. Errors from the listener
+// after startup are ignored — the admin plane must never take the serving
+// path down.
+func ServeAdmin(addr string, reg *stats.Registry, health *Health) (*http.Server, string, error) {
+	srv := &http.Server{Addr: addr, Handler: NewAdminMux(reg, health)}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"lsdgnn/internal/stats"
+)
+
+func adminFixture() (*http.ServeMux, *Health) {
+	reg := stats.NewRegistry()
+	lat := stats.NewLatency("cluster.batch")
+	lat.Observe(3 * time.Millisecond)
+	reg.Register(lat)
+	reg.Register(stats.Func(func() stats.Snapshot {
+		return stats.Snapshot{Layer: "cluster.resilience", Metrics: []stats.Metric{
+			{Name: "retries", Value: 7, Unit: "req"},
+		}}
+	}))
+	health := &Health{}
+	return NewAdminMux(reg, health), health
+}
+
+func get(t *testing.T, mux *http.ServeMux, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	body, err := io.ReadAll(rec.Result().Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec.Code, string(body)
+}
+
+func TestAdminMetrics(t *testing.T) {
+	mux, _ := adminFixture()
+	code, body := get(t, mux, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE lsdgnn_cluster_batch_latency_seconds histogram",
+		"lsdgnn_cluster_batch_latency_seconds_bucket{le=",
+		"lsdgnn_cluster_batch_latency_seconds_count 1",
+		"lsdgnn_cluster_resilience_retries 7",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestAdminStatsReport(t *testing.T) {
+	mux, _ := adminFixture()
+	code, body := get(t, mux, "/stats")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	for _, want := range []string{"[cluster.batch]", "latency", "p99="} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/stats missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestAdminHealthDraining(t *testing.T) {
+	mux, health := adminFixture()
+	if code, body := get(t, mux, "/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, body := get(t, mux, "/readyz"); code != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Fatalf("/readyz = %d %q", code, body)
+	}
+
+	// A draining server must fail readiness (load balancers rotate it out)
+	// while staying alive for in-flight work.
+	health.SetDraining(true)
+	if code, body := get(t, mux, "/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("draining /readyz = %d %q", code, body)
+	}
+	if code, _ := get(t, mux, "/healthz"); code != http.StatusOK {
+		t.Fatalf("draining /healthz = %d", code)
+	}
+	health.SetDraining(false)
+	if code, _ := get(t, mux, "/readyz"); code != http.StatusOK {
+		t.Fatalf("recovered /readyz = %d", code)
+	}
+}
+
+func TestAdminPprof(t *testing.T) {
+	mux, _ := adminFixture()
+	code, body := get(t, mux, "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+}
+
+func TestServeAdmin(t *testing.T) {
+	srv, addr, err := ServeAdmin("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	// nil registry still serves an empty, valid exposition.
+	resp2, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp2.StatusCode)
+	}
+}

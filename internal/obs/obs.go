@@ -1,0 +1,303 @@
+// Package obs is the end-to-end observability layer of the serving
+// pipeline: per-request trace IDs propagated through contexts (and, via
+// the cluster wire protocol's traced envelope, across machines), per-hop
+// latency histograms, and a bounded span log so one batch can be broken
+// down hop by hop — the same per-stage measurement discipline the paper
+// uses to validate its analytical model against the 4-card PoC (§7.2,
+// Figure 15).
+package obs
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lsdgnn/internal/stats"
+)
+
+// TraceID identifies one end-to-end request (a sampling batch). Zero means
+// "untraced".
+type TraceID uint64
+
+// traceBase seeds this process's ID space so spans from different workers
+// don't collide when merged.
+var traceBase = func() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return uint64(time.Now().UnixNano())
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}()
+
+var traceCounter atomic.Uint64
+
+// NewTraceID returns a fresh nonzero trace ID.
+func NewTraceID() TraceID {
+	for {
+		if id := TraceID(traceBase + traceCounter.Add(1)); id != 0 {
+			return id
+		}
+	}
+}
+
+type ctxKey struct{}
+
+// WithTrace returns ctx annotated with the trace ID.
+func WithTrace(ctx context.Context, id TraceID) context.Context {
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// FromContext extracts the trace ID from ctx; ok is false when untraced.
+func FromContext(ctx context.Context) (TraceID, bool) {
+	id, ok := ctx.Value(ctxKey{}).(TraceID)
+	return id, ok && id != 0
+}
+
+// EnsureTrace returns ctx carrying a trace ID, minting one if absent — the
+// call sites at the top of the pipeline (System.Sample, Client.SampleBatch)
+// use this so every batch is traceable without burdening callers.
+func EnsureTrace(ctx context.Context) (context.Context, TraceID) {
+	if id, ok := FromContext(ctx); ok {
+		return ctx, id
+	}
+	id := NewTraceID()
+	return WithTrace(ctx, id), id
+}
+
+// Hop names used across the pipeline. One traced batch produces spans for
+// a subset of these depending on its path (accelerated vs software).
+const (
+	// HopBatch is the end-to-end software sampling batch (SampleBatch).
+	HopBatch = "batch"
+	// HopDispatchWait is time spent queued for a dispatcher worker slot.
+	HopDispatchWait = "dispatch_wait"
+	// HopEngine is the AxE engine's batch run.
+	HopEngine = "engine"
+	// HopRPC is one resilient partition call, retries and failover
+	// included.
+	HopRPC = "rpc"
+	// HopWire is the transport round trip minus the server's handling time
+	// (serialization + network + queueing at the peer).
+	HopWire = "wire"
+	// HopServer is the server-side Handle duration, as reported by the
+	// peer in the traced reply envelope.
+	HopServer = "server"
+)
+
+// Span is one timed hop (or instantaneous event, Dur == 0) of a trace.
+type Span struct {
+	Trace TraceID
+	Hop   string
+	// Note annotates the span: endpoint index, retry attempt, event detail.
+	Note  string
+	Start time.Time
+	Dur   time.Duration
+	Err   bool
+}
+
+// DefaultSpanLog is how many completed spans the tracer retains.
+const DefaultSpanLog = 512
+
+// Tracer aggregates per-hop latency histograms, named event counters
+// (retries, breaker transitions, hedges), and a bounded ring of recent
+// spans. All methods are safe for concurrent use and no-ops on a nil
+// receiver, so instrumentation sites need no guards.
+type Tracer struct {
+	mu     sync.Mutex
+	hops   map[string]*stats.Histogram
+	order  []string
+	events map[string]int64
+	eOrder []string
+	ring   []Span
+	next   int
+	filled bool
+	// sample keeps 1-in-n traces in the span log (histograms always
+	// record); 1 keeps all.
+	sample uint64
+}
+
+// NewTracer returns a tracer with a DefaultSpanLog-sized span ring keeping
+// every trace.
+func NewTracer() *Tracer {
+	return &Tracer{
+		hops:   make(map[string]*stats.Histogram),
+		events: make(map[string]int64),
+		ring:   make([]Span, DefaultSpanLog),
+		sample: 1,
+	}
+}
+
+// SetSampleRate keeps 1-in-n traces in the span log; n ≤ 1 keeps all.
+// Histograms and event counters always record.
+func (t *Tracer) SetSampleRate(n int) {
+	if t == nil {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
+	t.mu.Lock()
+	t.sample = uint64(n)
+	t.mu.Unlock()
+}
+
+// hist returns the named hop histogram, creating it on first use. Caller
+// holds t.mu.
+func (t *Tracer) hist(hop string) *stats.Histogram {
+	h, ok := t.hops[hop]
+	if !ok {
+		h = stats.NewHistogram()
+		t.hops[hop] = h
+		t.order = append(t.order, hop)
+	}
+	return h
+}
+
+// sampled reports whether id's spans go to the ring. Caller holds t.mu.
+func (t *Tracer) sampled(id TraceID) bool {
+	return t.sample <= 1 || uint64(id)%t.sample == 0
+}
+
+// push appends a span to the ring. Caller holds t.mu.
+func (t *Tracer) push(s Span) {
+	t.ring[t.next] = s
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.filled = true
+	}
+}
+
+// Observe records one completed hop: its duration into the hop histogram
+// and, for sampled traces, a span into the log. start is when the hop
+// began.
+func (t *Tracer) Observe(id TraceID, hop string, start time.Time, d time.Duration) {
+	t.ObserveErr(id, hop, "", start, d, false)
+}
+
+// ObserveErr records one completed hop with a note and error flag.
+func (t *Tracer) ObserveErr(id TraceID, hop, note string, start time.Time, d time.Duration, failed bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.hist(hop).ObserveDuration(d)
+	if t.sampled(id) {
+		t.push(Span{Trace: id, Hop: hop, Note: note, Start: start, Dur: d, Err: failed})
+	}
+	t.mu.Unlock()
+}
+
+// Event records an instantaneous named event (retry scheduled, breaker
+// opened, hedge launched): an event counter plus, for sampled traces, a
+// zero-duration span.
+func (t *Tracer) Event(id TraceID, kind, note string) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.mu.Lock()
+	if _, ok := t.events[kind]; !ok {
+		t.eOrder = append(t.eOrder, kind)
+	}
+	t.events[kind]++
+	if id != 0 && t.sampled(id) {
+		t.push(Span{Trace: id, Hop: "event." + kind, Note: note, Start: now})
+	}
+	t.mu.Unlock()
+}
+
+// Hop returns the named hop's distribution snapshot (zero-valued when the
+// hop has never been observed).
+func (t *Tracer) Hop(name string) stats.HistogramSnapshot {
+	if t == nil {
+		return stats.HistogramSnapshot{Name: name, Unit: "sec"}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h, ok := t.hops[name]
+	if !ok {
+		return stats.HistogramSnapshot{Name: name, Unit: "sec"}
+	}
+	return h.Snapshot(name, "sec")
+}
+
+// Hops returns the names of every observed hop, in first-observed order.
+func (t *Tracer) Hops() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.order...)
+}
+
+// Spans returns the retained spans, oldest first.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Span
+	if t.filled {
+		out = append(out, t.ring[t.next:]...)
+	}
+	out = append(out, t.ring[:t.next]...)
+	// Drop zero slots from a never-filled ring.
+	kept := out[:0]
+	for _, s := range out {
+		if s.Trace != 0 || s.Hop != "" {
+			kept = append(kept, s)
+		}
+	}
+	return kept
+}
+
+// TraceSpans returns the retained spans of one trace in start order — the
+// hop-by-hop breakdown of a single batch.
+func (t *Tracer) TraceSpans(id TraceID) []Span {
+	var out []Span
+	for _, s := range t.Spans() {
+		if s.Trace == id {
+			out = append(out, s)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// LastTrace returns the most recently started trace that has at least one
+// retained span, with its spans; ok is false when the log is empty.
+func (t *Tracer) LastTrace() (TraceID, []Span, bool) {
+	spans := t.Spans()
+	if len(spans) == 0 {
+		return 0, nil, false
+	}
+	last := spans[len(spans)-1].Trace
+	return last, t.TraceSpans(last), true
+}
+
+// StatsSnapshot implements stats.Source under the "obs.hops" layer: one
+// histogram per hop plus event_* counters.
+func (t *Tracer) StatsSnapshot() stats.Snapshot {
+	snap := stats.Snapshot{Layer: "obs.hops"}
+	if t == nil {
+		return snap
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, kind := range t.eOrder {
+		snap.Metrics = append(snap.Metrics, stats.Metric{
+			Name: "event_" + kind, Value: float64(t.events[kind]),
+		})
+	}
+	for _, hop := range t.order {
+		snap.Hists = append(snap.Hists, t.hops[hop].Snapshot(hop, "sec"))
+	}
+	return snap
+}

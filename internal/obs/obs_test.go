@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceIDContext(t *testing.T) {
+	ctx := context.Background()
+	if _, ok := FromContext(ctx); ok {
+		t.Fatal("background context carries a trace")
+	}
+	ctx2, id := EnsureTrace(ctx)
+	if id == 0 {
+		t.Fatal("EnsureTrace minted zero ID")
+	}
+	if got, ok := FromContext(ctx2); !ok || got != id {
+		t.Fatalf("FromContext = %v, %v; want %v", got, ok, id)
+	}
+	// EnsureTrace is idempotent: an already-traced context keeps its ID.
+	ctx3, id2 := EnsureTrace(ctx2)
+	if id2 != id || ctx3 != ctx2 {
+		t.Fatalf("EnsureTrace re-minted: %v != %v", id2, id)
+	}
+}
+
+func TestNewTraceIDUnique(t *testing.T) {
+	seen := make(map[TraceID]bool)
+	for i := 0; i < 10000; i++ {
+		id := NewTraceID()
+		if id == 0 || seen[id] {
+			t.Fatalf("duplicate or zero trace ID %v at %d", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTracerHopsAndSpans(t *testing.T) {
+	tr := NewTracer()
+	id := NewTraceID()
+	start := time.Now()
+	tr.Observe(id, HopWire, start, 2*time.Millisecond)
+	tr.Observe(id, HopServer, start.Add(time.Millisecond), time.Millisecond)
+	tr.Event(id, "retry", "endpoint 1")
+	other := NewTraceID()
+	tr.Observe(other, HopWire, start.Add(5*time.Millisecond), 3*time.Millisecond)
+
+	if h := tr.Hop(HopWire); h.Count != 2 {
+		t.Fatalf("wire count = %d", h.Count)
+	}
+	if h := tr.Hop("missing"); h.Count != 0 {
+		t.Fatalf("missing hop count = %d", h.Count)
+	}
+	spans := tr.TraceSpans(id)
+	if len(spans) != 3 {
+		t.Fatalf("trace spans = %d, want 3: %+v", len(spans), spans)
+	}
+	if spans[0].Hop != HopWire {
+		t.Fatalf("span order: %+v", spans)
+	}
+	hops := map[string]bool{}
+	for _, s := range spans {
+		hops[s.Hop] = true
+	}
+	if !hops[HopServer] || !hops["event.retry"] {
+		t.Fatalf("missing hop in trace: %+v", spans)
+	}
+	last, lastSpans, ok := tr.LastTrace()
+	if !ok || last != other || len(lastSpans) != 1 {
+		t.Fatalf("LastTrace = %v, %d spans, %v", last, len(lastSpans), ok)
+	}
+
+	snap := tr.StatsSnapshot()
+	if snap.Layer != "obs.hops" {
+		t.Fatalf("layer = %s", snap.Layer)
+	}
+	if v, ok := snap.Get("event_retry"); !ok || v != 1 {
+		t.Fatalf("event_retry = %v, %v", v, ok)
+	}
+	if len(snap.Hists) != 2 {
+		t.Fatalf("hists = %d", len(snap.Hists))
+	}
+}
+
+func TestTracerRingBound(t *testing.T) {
+	tr := NewTracer()
+	for i := 0; i < 3*DefaultSpanLog; i++ {
+		tr.Observe(NewTraceID(), HopRPC, time.Now(), time.Microsecond)
+	}
+	if got := len(tr.Spans()); got != DefaultSpanLog {
+		t.Fatalf("ring kept %d spans, want %d", got, DefaultSpanLog)
+	}
+	if tr.Hop(HopRPC).Count != int64(3*DefaultSpanLog) {
+		t.Fatal("histogram must record even evicted spans")
+	}
+}
+
+func TestTracerSampling(t *testing.T) {
+	tr := NewTracer()
+	tr.SetSampleRate(1000000007) // keep ~nothing
+	kept := 0
+	for i := 0; i < 100; i++ {
+		id := NewTraceID()
+		tr.Observe(id, HopBatch, time.Now(), time.Microsecond)
+		if uint64(id)%1000000007 == 0 {
+			kept++
+		}
+	}
+	if got := len(tr.Spans()); got != kept {
+		t.Fatalf("sampled log kept %d spans, want %d", got, kept)
+	}
+	if tr.Hop(HopBatch).Count != 100 {
+		t.Fatal("histograms must ignore sampling")
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Observe(1, HopWire, time.Now(), time.Millisecond)
+	tr.Event(1, "retry", "")
+	tr.SetSampleRate(4)
+	if tr.Spans() != nil || tr.Hops() != nil {
+		t.Fatal("nil tracer returned data")
+	}
+	if h := tr.Hop(HopWire); h.Count != 0 {
+		t.Fatal("nil tracer histogram non-empty")
+	}
+	if snap := tr.StatsSnapshot(); snap.Layer != "obs.hops" || len(snap.Hists) != 0 {
+		t.Fatalf("nil tracer snapshot = %+v", snap)
+	}
+}
+
+// TestTracerConcurrent exercises concurrent Observe/Event/Spans under
+// -race.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 2000; j++ {
+				id := NewTraceID()
+				tr.Observe(id, HopWire, time.Now(), time.Microsecond)
+				tr.Event(id, "retry", "x")
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = tr.Spans()
+			_ = tr.StatsSnapshot()
+			_, _, _ = tr.LastTrace()
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-done
+	if tr.Hop(HopWire).Count != 8000 {
+		t.Fatalf("wire count = %d", tr.Hop(HopWire).Count)
+	}
+}

@@ -1,0 +1,189 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Histogram is a fixed-bucket log-scale latency histogram. Buckets grow
+// geometrically — histBucketsPerDecade per power of ten — covering
+// [histMinBound, histMinBound·10^histDecades) with one overflow bucket
+// above, so Observe is a constant-time array increment and a snapshot is a
+// bounded copy no matter how skewed the distribution. Quantiles are read
+// from the bucket counts with geometric interpolation inside the hit
+// bucket, giving a worst-case relative error of one bucket width (~26%)
+// that shrinks as counts spread. Safe for concurrent use.
+//
+// The value scale is caller-defined; latency recorders observe seconds.
+type Histogram struct {
+	mu       sync.Mutex
+	counts   [histTotalBuckets]int64
+	count    int64
+	sum      float64
+	min, max float64
+}
+
+const (
+	// histMinBound is the upper bound of the first bucket: everything at or
+	// below 100ns lands there (finer latencies are below the resolution of
+	// the software path being measured).
+	histMinBound = 1e-7
+	// histDecades spans 100ns .. 100s, wide enough for a hung RPC at one
+	// end and an in-process cache hit at the other.
+	histDecades          = 9
+	histBucketsPerDecade = 10
+	histBuckets          = histDecades * histBucketsPerDecade
+	// histTotalBuckets includes the overflow bucket for values ≥ 100s.
+	histTotalBuckets = histBuckets + 1
+)
+
+// histGrowth is the geometric width of one bucket: 10^(1/bucketsPerDecade).
+var histGrowth = math.Pow(10, 1.0/histBucketsPerDecade)
+
+// histUpperBound returns bucket i's inclusive upper bound; the overflow
+// bucket reports +Inf.
+func histUpperBound(i int) float64 {
+	if i >= histBuckets {
+		return math.Inf(1)
+	}
+	return histMinBound * math.Pow(10, float64(i+1)/histBucketsPerDecade)
+}
+
+// histIndex maps a value to its bucket.
+func histIndex(v float64) int {
+	if v <= histMinBound {
+		return 0
+	}
+	i := int(math.Floor(math.Log10(v/histMinBound) * histBucketsPerDecade))
+	// Values on a bound float-round either way; clamp into range.
+	if i < 0 {
+		i = 0
+	}
+	if i > histBuckets {
+		i = histBuckets
+	}
+	return i
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one value. Negative and NaN values are dropped.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || v < 0 {
+		return
+	}
+	i := histIndex(v)
+	h.mu.Lock()
+	h.counts[i]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Quantile returns the q-quantile (q in [0,1]) of the observed
+// distribution, or 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	return h.Snapshot("", "").Quantile(q)
+}
+
+// Snapshot returns a point-in-time copy carrying only non-empty buckets,
+// labeled with the given metric name and unit for rendering.
+func (h *Histogram) Snapshot(name, unit string) HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Name: name, Unit: unit, Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		s.Buckets = append(s.Buckets, HistogramBucket{UpperBound: histUpperBound(i), Count: c})
+	}
+	return s
+}
+
+// HistogramBucket is one non-empty histogram bucket: Count observations in
+// (UpperBound/growth, UpperBound].
+type HistogramBucket struct {
+	UpperBound float64
+	Count      int64
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram, the unit
+// Snapshots carry for rendering (quantile lines in text reports,
+// cumulative le-buckets in Prometheus exposition).
+type HistogramSnapshot struct {
+	Name     string
+	Unit     string
+	Count    int64
+	Sum      float64
+	Min, Max float64
+	// Buckets holds the non-empty buckets in ascending bound order; the
+	// last may have UpperBound = +Inf (overflow).
+	Buckets []HistogramBucket
+}
+
+// Quantile reads the q-quantile (q in [0,1]) from the bucket counts,
+// interpolating geometrically inside the hit bucket and clamping to the
+// exact observed min/max. Returns 0 when empty.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for _, b := range s.Buckets {
+		prev := cum
+		cum += b.Count
+		if float64(cum) < rank {
+			continue
+		}
+		v := b.UpperBound
+		if !math.IsInf(v, 1) {
+			lo := v / histGrowth
+			frac := 1.0
+			if b.Count > 0 {
+				frac = (rank - float64(prev)) / float64(b.Count)
+			}
+			if frac < 0 {
+				frac = 0
+			}
+			v = lo * math.Pow(v/lo, frac)
+		} else {
+			v = s.Max
+		}
+		return math.Min(math.Max(v, s.Min), s.Max)
+	}
+	return s.Max
+}
+
+// Avg returns the mean observed value, 0 when empty.
+func (s HistogramSnapshot) Avg() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}

@@ -1,0 +1,206 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// relErr returns |got-want|/want.
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / want
+}
+
+// One bucket spans a factor of 10^(1/10) ≈ 1.26, so any quantile must land
+// within ~30% of the true value.
+const histTol = 0.30
+
+func TestHistogramQuantileUniform(t *testing.T) {
+	h := NewHistogram()
+	// Uniform on [1ms, 101ms]: quantile q is 1ms + q*100ms.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200000; i++ {
+		h.Observe(0.001 + 0.1*rng.Float64())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		want := 0.001 + 0.1*q
+		got := h.Quantile(q)
+		if relErr(got, want) > histTol {
+			t.Errorf("uniform q%.3f = %.5f, want %.5f ± %.0f%%", q, got, want, histTol*100)
+		}
+	}
+}
+
+func TestHistogramQuantileExponential(t *testing.T) {
+	h := NewHistogram()
+	// Exponential with mean 5ms: quantile q is -mean*ln(1-q).
+	const mean = 0.005
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200000; i++ {
+		h.Observe(rng.ExpFloat64() * mean)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		want := -mean * math.Log(1-q)
+		got := h.Quantile(q)
+		if relErr(got, want) > histTol {
+			t.Errorf("exp q%.2f = %.5f, want %.5f ± %.0f%%", q, got, want, histTol*100)
+		}
+	}
+}
+
+func TestHistogramQuantileConstant(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.ObserveDuration(3 * time.Millisecond)
+	}
+	// Min/max clamping makes a constant distribution exact at every q.
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0.003 {
+			t.Fatalf("constant q%.2f = %v, want 0.003", q, got)
+		}
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestHistogramEmptyAndEdge(t *testing.T) {
+	h := NewHistogram()
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v", got)
+	}
+	h.Observe(-1)         // dropped
+	h.Observe(math.NaN()) // dropped
+	if h.Count() != 0 {
+		t.Fatalf("invalid observations counted: %d", h.Count())
+	}
+	h.Observe(0)   // underflow bucket
+	h.Observe(1e6) // overflow bucket
+	snap := h.Snapshot("latency", "sec")
+	if snap.Count != 2 {
+		t.Fatalf("count = %d", snap.Count)
+	}
+	if !math.IsInf(snap.Buckets[len(snap.Buckets)-1].UpperBound, 1) {
+		t.Fatalf("overflow bucket bound = %v", snap.Buckets[len(snap.Buckets)-1].UpperBound)
+	}
+	if got := snap.Quantile(1); got != 1e6 {
+		t.Fatalf("overflow q1 = %v", got)
+	}
+}
+
+// TestHistogramConcurrent exercises Observe racing Snapshot/Quantile under
+// -race.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	l := NewLatency("x")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for j := 0; j < 5000; j++ {
+				v := rng.Float64() * 0.01
+				h.Observe(v)
+				l.Observe(time.Duration(v * float64(time.Second)))
+				if j%100 == 0 {
+					l.ObserveError()
+				}
+			}
+		}(int64(i))
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = h.Snapshot("latency", "sec").Quantile(0.99)
+			_ = l.StatsSnapshot()
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-done
+	if h.Count() != 20000 || l.Count() != 20000 {
+		t.Fatalf("counts = %d, %d", h.Count(), l.Count())
+	}
+}
+
+func TestLatencyIdleOmitsMinMax(t *testing.T) {
+	l := NewLatency("cluster.batch")
+	snap := l.StatsSnapshot()
+	if _, ok := snap.Get("latency_min"); ok {
+		t.Fatal("idle recorder reported latency_min")
+	}
+	if _, ok := snap.Get("latency_max"); ok {
+		t.Fatal("idle recorder reported latency_max")
+	}
+	if v, ok := snap.Get("batches"); !ok || v != 0 {
+		t.Fatalf("batches = %v, %v", v, ok)
+	}
+	l.Observe(5 * time.Millisecond)
+	snap = l.StatsSnapshot()
+	if v, ok := snap.Get("latency_min"); !ok || v != 0.005 {
+		t.Fatalf("latency_min after observe = %v, %v", v, ok)
+	}
+}
+
+func TestLatencyQuantiles(t *testing.T) {
+	l := NewLatency("x")
+	for i := 1; i <= 100; i++ {
+		l.Observe(time.Duration(i) * time.Millisecond)
+	}
+	p50 := l.Quantile(0.5)
+	if relErr(p50, 0.050) > histTol {
+		t.Fatalf("p50 = %v, want ~0.050", p50)
+	}
+	p99 := l.Quantile(0.99)
+	if relErr(p99, 0.099) > histTol {
+		t.Fatalf("p99 = %v, want ~0.099", p99)
+	}
+	snap := l.StatsSnapshot()
+	if len(snap.Hists) != 1 || snap.Hists[0].Name != "latency" {
+		t.Fatalf("hists = %+v", snap.Hists)
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Inc()
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 800 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	if g.Value() != 800 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+	g.Set(-2)
+	m := g.Metric("conns", "")
+	if m.Value != -2 || m.Name != "conns" {
+		t.Fatalf("metric = %+v", m)
+	}
+	if m := c.Metric("reqs", "req"); m.Value != 800 || m.Unit != "req" {
+		t.Fatalf("metric = %+v", m)
+	}
+}

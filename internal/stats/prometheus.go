@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) for the unified stats layer.
+// Every flat Metric becomes one gauge series named
+// lsdgnn_<layer>_<metric>, every HistogramSnapshot a histogram family with
+// cumulative le-buckets, _sum and _count — the format /metrics serves and
+// any Prometheus server scrapes. Dots and other non-identifier characters
+// in layer or metric names are folded to underscores; seconds-valued
+// histograms get the conventional _seconds suffix.
+
+// promNamespace prefixes every exported series.
+const promNamespace = "lsdgnn"
+
+// promName folds an arbitrary layer/metric name into a valid Prometheus
+// identifier fragment.
+func promName(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// countingWriter tracks bytes written for the io.WriterTo-style return.
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countingWriter) printf(format string, args ...any) {
+	if c.err != nil {
+		return
+	}
+	k, err := fmt.Fprintf(c.w, format, args...)
+	c.n += int64(k)
+	c.err = err
+}
+
+// WritePrometheus renders snapshots in Prometheus text exposition format.
+func WritePrometheus(w io.Writer, snaps []Snapshot) (int64, error) {
+	cw := &countingWriter{w: w}
+	for _, snap := range snaps {
+		prefix := promNamespace + "_" + promName(snap.Layer) + "_"
+		for _, m := range snap.Metrics {
+			name := prefix + promName(m.Name)
+			cw.printf("# TYPE %s gauge\n%s %s\n", name, name, promFloat(m.Value))
+		}
+		for _, h := range snap.Hists {
+			name := prefix + promName(h.Name)
+			if h.Unit == "sec" {
+				name += "_seconds"
+			}
+			cw.printf("# TYPE %s histogram\n", name)
+			var cum int64
+			for _, b := range h.Buckets {
+				cum += b.Count
+				cw.printf("%s_bucket{le=%q} %d\n", name, promFloat(b.UpperBound), cum)
+			}
+			// The +Inf bucket is mandatory and must equal _count, even when
+			// every observation landed in a bounded bucket.
+			if len(h.Buckets) == 0 || !math.IsInf(h.Buckets[len(h.Buckets)-1].UpperBound, 1) {
+				cw.printf("%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+			}
+			cw.printf("%s_sum %s\n%s_count %d\n", name, promFloat(h.Sum), name, h.Count)
+		}
+	}
+	return cw.n, cw.err
+}
+
+// WritePrometheus renders every registered source in Prometheus text
+// exposition format — the registry-level handler behind /metrics.
+func (r *Registry) WritePrometheus(w io.Writer) (int64, error) {
+	return WritePrometheus(w, r.Collect())
+}

@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Register(Func(func() Snapshot {
+		return Snapshot{Layer: "cluster.resilience", Metrics: []Metric{
+			{Name: "retries", Value: 3, Unit: "req"},
+			{Name: "breaker_opens", Value: 1},
+		}}
+	}))
+	l := NewLatency("cluster.batch")
+	l.Observe(2 * time.Millisecond)
+	l.Observe(40 * time.Millisecond)
+	r.Register(l)
+
+	var sb strings.Builder
+	if _, err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE lsdgnn_cluster_resilience_retries gauge",
+		"lsdgnn_cluster_resilience_retries 3",
+		"lsdgnn_cluster_resilience_breaker_opens 1",
+		"# TYPE lsdgnn_cluster_batch_latency_seconds histogram",
+		"lsdgnn_cluster_batch_latency_seconds_bucket{le=",
+		"lsdgnn_cluster_batch_latency_seconds_bucket{le=\"+Inf\"} 2",
+		"lsdgnn_cluster_batch_latency_seconds_count 2",
+		"lsdgnn_cluster_batch_latency_seconds_sum 0.042",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative buckets must be non-decreasing and end at count.
+	var last int64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "lsdgnn_cluster_batch_latency_seconds_bucket") {
+			continue
+		}
+		v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if v < last {
+			t.Fatalf("buckets not cumulative: %d after %d in\n%s", v, last, out)
+		}
+		last = v
+	}
+	if last != 2 {
+		t.Fatalf("final cumulative bucket = %d, want 2", last)
+	}
+}
+
+func TestRegistryMergesSharedLayers(t *testing.T) {
+	r := NewRegistry()
+	r.Register(Func(func() Snapshot {
+		return Snapshot{Layer: "cluster.traffic", Metrics: []Metric{{Name: "requests", Value: 1}}}
+	}))
+	r.Register(Func(func() Snapshot {
+		return Snapshot{Layer: "other", Metrics: []Metric{{Name: "x", Value: 9}}}
+	}))
+	r.Register(Func(func() Snapshot {
+		return Snapshot{Layer: "cluster.traffic", Metrics: []Metric{{Name: "requests_replica", Value: 2}}}
+	}))
+	snaps := r.Collect()
+	if len(snaps) != 2 {
+		t.Fatalf("got %d snapshots, want 2 (merged): %+v", len(snaps), snaps)
+	}
+	if snaps[0].Layer != "cluster.traffic" || len(snaps[0].Metrics) != 2 {
+		t.Fatalf("merged snapshot = %+v", snaps[0])
+	}
+	if snaps[1].Layer != "other" {
+		t.Fatalf("order not preserved: %+v", snaps)
+	}
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(sb.String(), "[cluster.traffic]") != 1 {
+		t.Fatalf("duplicate layer blocks:\n%s", sb.String())
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -29,6 +30,10 @@ type Metric struct {
 type Snapshot struct {
 	Layer   string
 	Metrics []Metric
+	// Hists carries full latency distributions alongside the flat metrics:
+	// text reports render their quantiles, Prometheus exposition their
+	// cumulative buckets.
+	Hists []HistogramSnapshot
 }
 
 // Get returns the named metric's value.
@@ -70,15 +75,27 @@ func (r *Registry) Register(srcs ...Source) {
 	r.mu.Unlock()
 }
 
-// Collect snapshots every registered source, in registration order.
+// Collect snapshots every registered source, in registration order,
+// merging snapshots that share a Layer name into one (metrics and
+// histograms appended in registration order). Replicated clients register
+// one source per replica under the same layer; a report must show one
+// block per layer, not one per registrant.
 func (r *Registry) Collect() []Snapshot {
 	r.mu.Lock()
 	srcs := make([]Source, len(r.sources))
 	copy(srcs, r.sources)
 	r.mu.Unlock()
 	out := make([]Snapshot, 0, len(srcs))
+	byLayer := make(map[string]int, len(srcs))
 	for _, s := range srcs {
-		out = append(out, s.StatsSnapshot())
+		snap := s.StatsSnapshot()
+		if i, ok := byLayer[snap.Layer]; ok {
+			out[i].Metrics = append(out[i].Metrics, snap.Metrics...)
+			out[i].Hists = append(out[i].Hists, snap.Hists...)
+			continue
+		}
+		byLayer[snap.Layer] = len(out)
+		out = append(out, snap)
 	}
 	return out
 }
@@ -103,6 +120,19 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 				return n, err
 			}
 		}
+		for _, h := range snap.Hists {
+			unit := h.Unit
+			if unit != "" {
+				unit = " " + unit
+			}
+			k, err := fmt.Fprintf(w, "  %-24s n=%d p50=%s p90=%s p99=%s p999=%s max=%s%s\n",
+				h.Name, h.Count, formatValue(h.Quantile(0.5)), formatValue(h.Quantile(0.9)),
+				formatValue(h.Quantile(0.99)), formatValue(h.Quantile(0.999)), formatValue(h.Max), unit)
+			n += int64(k)
+			if err != nil {
+				return n, err
+			}
+		}
 	}
 	return n, nil
 }
@@ -114,36 +144,26 @@ func formatValue(v float64) string {
 	return fmt.Sprintf("%.4g", v)
 }
 
-// Latency accumulates a per-batch latency distribution for one layer.
-// The zero value is unusable; construct with NewLatency. Safe for
-// concurrent use.
+// Latency accumulates a per-batch latency distribution for one layer,
+// backed by a log-scale Histogram so snapshots report tail quantiles
+// (p50/p90/p99/p999) rather than only avg/min/max. The zero value is
+// unusable; construct with NewLatency. Safe for concurrent use.
 type Latency struct {
 	layer string
+	hist  *Histogram
 
-	mu       sync.Mutex
-	count    int64
-	errs     int64
-	sum      time.Duration
-	min, max time.Duration
+	mu   sync.Mutex
+	errs int64
 }
 
 // NewLatency returns a latency recorder reporting under the given layer
 // name.
-func NewLatency(layer string) *Latency { return &Latency{layer: layer} }
+func NewLatency(layer string) *Latency {
+	return &Latency{layer: layer, hist: NewHistogram()}
+}
 
 // Observe records one completed batch.
-func (l *Latency) Observe(d time.Duration) {
-	l.mu.Lock()
-	if l.count == 0 || d < l.min {
-		l.min = d
-	}
-	if d > l.max {
-		l.max = d
-	}
-	l.count++
-	l.sum += d
-	l.mu.Unlock()
-}
+func (l *Latency) Observe(d time.Duration) { l.hist.ObserveDuration(d) }
 
 // ObserveError records one failed (canceled, expired or errored) batch.
 func (l *Latency) ObserveError() {
@@ -153,25 +173,84 @@ func (l *Latency) ObserveError() {
 }
 
 // Count returns the number of successful observations.
-func (l *Latency) Count() int64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.count
-}
+func (l *Latency) Count() int64 { return l.hist.Count() }
 
-// StatsSnapshot implements Source.
+// Quantile returns the q-quantile of observed latency in seconds.
+func (l *Latency) Quantile(q float64) float64 { return l.hist.Quantile(q) }
+
+// Hist returns the latency distribution snapshot, named "latency" in
+// seconds.
+func (l *Latency) Hist() HistogramSnapshot { return l.hist.Snapshot("latency", "sec") }
+
+// StatsSnapshot implements Source. latency_min/latency_max are omitted
+// until at least one batch has been observed — an idle recorder must not
+// report a misleading latency_min of 0.
 func (l *Latency) StatsSnapshot() Snapshot {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	var avg time.Duration
-	if l.count > 0 {
-		avg = l.sum / time.Duration(l.count)
+	errs := l.errs
+	l.mu.Unlock()
+	h := l.Hist()
+	m := []Metric{
+		{Name: "batches", Value: float64(h.Count), Unit: "req"},
+		{Name: "batch_errors", Value: float64(errs), Unit: "req"},
 	}
-	return Snapshot{Layer: l.layer, Metrics: []Metric{
-		{Name: "batches", Value: float64(l.count), Unit: "req"},
-		{Name: "batch_errors", Value: float64(l.errs), Unit: "req"},
-		{Name: "latency_avg", Value: avg.Seconds(), Unit: "sec"},
-		{Name: "latency_min", Value: l.min.Seconds(), Unit: "sec"},
-		{Name: "latency_max", Value: l.max.Seconds(), Unit: "sec"},
-	}}
+	if h.Count > 0 {
+		m = append(m,
+			Metric{Name: "latency_avg", Value: h.Avg(), Unit: "sec"},
+			Metric{Name: "latency_min", Value: h.Min, Unit: "sec"},
+			Metric{Name: "latency_max", Value: h.Max, Unit: "sec"},
+		)
+	}
+	return Snapshot{Layer: l.layer, Metrics: m, Hists: []HistogramSnapshot{h}}
+}
+
+// Counter is a monotonically increasing metric helper. The zero value is
+// ready to use; safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Metric renders the counter as a named Metric.
+func (c *Counter) Metric(name, unit string) Metric {
+	return Metric{Name: name, Value: float64(c.Value()), Unit: unit}
+}
+
+// Gauge is a point-in-time metric helper that can move both ways. The zero
+// value is ready to use; safe for concurrent use.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add shifts the gauge by d (negative to decrease).
+func (g *Gauge) Add(d float64) {
+	g.mu.Lock()
+	g.v += d
+	g.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Metric renders the gauge as a named Metric.
+func (g *Gauge) Metric(name, unit string) Metric {
+	return Metric{Name: name, Value: g.Value(), Unit: unit}
 }

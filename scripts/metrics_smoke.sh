@@ -1,0 +1,59 @@
+#!/bin/sh
+# Admin-plane smoke test: boot a real lsdgnn-server with -admin-addr,
+# scrape /metrics, and check the Prometheus exposition carries the series
+# dashboards depend on — the request-latency histogram, listener counters,
+# and the pre-registered resilience namespace — plus drain-aware health.
+set -eu
+cd "$(dirname "$0")/.."
+
+ADMIN_PORT=${ADMIN_PORT:-17399}
+SERVE_PORT=${SERVE_PORT:-17398}
+OUT=$(mktemp -d)
+trap 'kill $SRV_PID 2>/dev/null || true; rm -rf "$OUT"' EXIT
+
+go build -o "$OUT/lsdgnn-server" ./cmd/lsdgnn-server
+
+"$OUT/lsdgnn-server" -addr "127.0.0.1:$SERVE_PORT" -admin-addr "127.0.0.1:$ADMIN_PORT" \
+    -dataset ss -log-level warn >"$OUT/server.log" 2>&1 &
+SRV_PID=$!
+
+# Wait for readiness (dataset build takes a moment).
+i=0
+until curl -sf "http://127.0.0.1:$ADMIN_PORT/readyz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 60 ]; then
+        echo "metrics-smoke: server never became ready" >&2
+        cat "$OUT/server.log" >&2
+        exit 1
+    fi
+    sleep 1
+done
+
+curl -sf "http://127.0.0.1:$ADMIN_PORT/metrics" >"$OUT/metrics"
+curl -sf "http://127.0.0.1:$ADMIN_PORT/healthz" >/dev/null
+curl -sf "http://127.0.0.1:$ADMIN_PORT/stats" >/dev/null
+curl -sf "http://127.0.0.1:$ADMIN_PORT/debug/pprof/" >/dev/null
+
+for series in \
+    'lsdgnn_cluster_server_latency_seconds_bucket' \
+    'lsdgnn_cluster_server_latency_seconds_count' \
+    'lsdgnn_cluster_tcp_open_conns' \
+    'lsdgnn_cluster_resilience_retries' \
+    'lsdgnn_cluster_resilience_breaker_opens'; do
+    if ! grep -q "$series" "$OUT/metrics"; then
+        echo "metrics-smoke: /metrics missing $series" >&2
+        cat "$OUT/metrics" >&2
+        exit 1
+    fi
+done
+
+# Draining must flip /readyz to 503 while /healthz stays 200.
+kill -TERM $SRV_PID
+sleep 1
+if curl -sf "http://127.0.0.1:$ADMIN_PORT/readyz" >/dev/null 2>&1; then
+    echo "metrics-smoke: /readyz still ready while draining" >&2
+    exit 1
+fi
+wait $SRV_PID 2>/dev/null || true
+
+echo "metrics-smoke: OK"
