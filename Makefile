@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify chaos bench metrics-smoke
+.PHONY: build test verify chaos bench metrics-smoke wire-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -24,3 +24,15 @@ bench:
 # /metrics, and checks the key Prometheus series and drain-aware health.
 metrics-smoke:
 	./scripts/metrics_smoke.sh
+
+# Wire-plane smoke test: boots lsdgnn-server, drives a protocol-v2 packed
+# burst through lsdgnn-probe over TCP, and asserts the
+# lsdgnn_cluster_wire_* series (bytes, packed frames, pack ratio) moved.
+wire-smoke:
+	./scripts/wire_smoke.sh
+
+# Fuzz the hostile-input decoders: seed corpus first (fails fast on a
+# regression), then a short randomized run on the packed-frame decoder.
+fuzz:
+	$(GO) test -run 'Fuzz' ./...
+	$(GO) test -fuzz 'FuzzDecodePacked' -fuzztime 20s ./internal/cluster/

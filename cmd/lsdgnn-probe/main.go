@@ -1,0 +1,126 @@
+// Command lsdgnn-probe is a wire-level load driver: it dials a running
+// lsdgnn-server cluster, negotiates the protocol, and pushes sampling
+// batches through the client hot path — with or without protocol-v2 MoF
+// request packing — then reports what crossed the wire.
+//
+// It exists for smoke tests (scripts/wire_smoke.sh drives a packed burst
+// and then asserts the server's /metrics counted it) and for eyeballing
+// the packing win against a live cluster:
+//
+//	lsdgnn-probe -addrs 127.0.0.1:7001,127.0.0.1:7002 -batches 8
+//	lsdgnn-probe -addrs 127.0.0.1:7001 -pack=false   # v1-equivalent wire
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"lsdgnn/internal/cluster"
+	"lsdgnn/internal/graph"
+	"lsdgnn/internal/sampler"
+	"lsdgnn/internal/workload"
+)
+
+func main() {
+	addrs := flag.String("addrs", "127.0.0.1:7001", "comma-separated server addresses, one per partition (UniformReplicas layout)")
+	batches := flag.Int("batches", 8, "sampling batches to drive")
+	batchSize := flag.Int("batch-size", 64, "roots per batch")
+	workers := flag.Int("workers", 4, "concurrent batch drivers (concurrency is what fills packed frames)")
+	fanout := flag.Int("fanout", 10, "neighbors sampled per hop (2 hops)")
+	pack := flag.Bool("pack", true, "request protocol-v2 MoF packing + BDI")
+	window := flag.Duration("pack-window", 0, "packing window (0 = default)")
+	seed := flag.Int64("seed", 1, "root-selection and sampling seed")
+	timeout := flag.Duration("timeout", 2*time.Minute, "overall deadline")
+	flag.Parse()
+
+	endpoints := strings.Split(*addrs, ",")
+	if len(endpoints) == 0 || *batches <= 0 || *batchSize <= 0 || *workers <= 0 {
+		fatal(fmt.Errorf("need at least one address and positive batch/worker counts"))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	transport := cluster.DialTCP(endpoints, 2)
+	defer transport.Close()
+	part := cluster.HashPartitioner{N: len(endpoints)}
+	var opts []cluster.ClientOption
+	if *pack {
+		opts = append(opts, cluster.WithPacking(cluster.PackingConfig{Window: *window}))
+	}
+	client, err := cluster.NewClientContext(ctx, transport, part, -1, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("connected: %d partitions, %d nodes, attr %d floats, protocol v%d, packing %v\n",
+		len(endpoints), client.NumNodes(), client.AttrLen(), client.NegotiatedVersion(), client.Packing())
+
+	cfg := sampler.Config{
+		Fanouts: []int{*fanout, *fanout}, NegativeRate: 4,
+		Method: sampler.Streaming, FetchAttrs: true, Seed: *seed,
+	}
+	src := workload.NewBatchSource(client.NumNodes(), *batchSize, *seed)
+	work := make([][]graph.NodeID, *batches)
+	for i := range work {
+		work[i] = append([]graph.NodeID(nil), src.Next()...)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	next, sampled := 0, 0
+	var firstErr error
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if next >= len(work) || firstErr != nil {
+					mu.Unlock()
+					return
+				}
+				b := next
+				next++
+				mu.Unlock()
+				res, err := client.SampleBatch(ctx, work[b], cfg)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				if res != nil {
+					sampled += len(res.Roots)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		fatal(firstErr)
+	}
+
+	tr := client.Traffic.Snapshot()
+	fmt.Printf("drove %d batches (%d roots) in %v: %d RPCs, %.1f KB up, %.1f KB down\n",
+		*batches, sampled, time.Since(start).Round(time.Millisecond),
+		tr.Requests, float64(tr.RequestBytes)/1e3, float64(tr.ResponseBytes)/1e3)
+	if client.Packing() {
+		ps := &client.Pack
+		fmt.Printf("packing: %d frames carrying %d requests (%.1f reqs/frame), wire bytes %.0f%% of v1 equivalent\n",
+			ps.Frames(), ps.Requests(), ps.PackRatio(),
+			float64(ps.WireBytes())/float64(ps.RawBytes())*100)
+		if ps.Frames() == 0 {
+			fatal(fmt.Errorf("packing negotiated but no packed frames sent"))
+		}
+	}
+	fmt.Println("probe: OK")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lsdgnn-probe:", err)
+	os.Exit(1)
+}

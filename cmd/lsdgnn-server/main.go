@@ -113,7 +113,7 @@ func main() {
 	// namespace from the first sample (workers export live values).
 	reg := stats.NewRegistry()
 	var resSchema cluster.ResilienceStats
-	reg.Register(srv.Stats(), srv.Latency(), tcp, &resSchema)
+	reg.Register(srv.Stats(), srv.Latency(), srv.Wire(), tcp, &resSchema)
 
 	health := &obs.Health{}
 	if *adminAddr != "" {

@@ -59,6 +59,7 @@ func main() {
 	tracer := obs.NewTracer()
 	client, err := cluster.NewClientContext(context.Background(), transport, part, -1,
 		cluster.WithTracer(tracer),
+		cluster.WithPacking(cluster.PackingConfig{}),
 		cluster.WithResilience(cluster.ResilienceConfig{
 			Retry:    cluster.DefaultRetryPolicy(),
 			Breaker:  cluster.DefaultBreakerConfig(),
@@ -95,11 +96,16 @@ func main() {
 	rs := client.Res.Snapshot()
 	fmt.Printf("resilience: %d retries, %d failovers to replicas, %d breaker rejects — batch intact despite injected chaos\n",
 		rs.Retries, rs.Failovers, rs.BreakerRejects)
+	if raw, wire := client.Pack.RawBytes(), client.Pack.WireBytes(); raw > 0 {
+		fmt.Printf("MoF packing (protocol v2): %.1f reqs/frame, wire bytes %.0f%% of the v1 equivalent\n",
+			client.Pack.PackRatio(), float64(wire)/float64(raw)*100)
+	}
 
-	// The trace negotiated over the wire (protocol v1): the batch's latency
-	// split hop by hop — RPC machinery vs socket time vs server handler.
+	// The trace negotiated over the wire (protocol v2): the batch's latency
+	// split hop by hop — packing window vs RPC machinery vs socket time vs
+	// server handler.
 	fmt.Println("\nper-hop latency (traced over TCP):")
-	for _, hop := range []string{obs.HopBatch, obs.HopRPC, obs.HopWire, obs.HopServer} {
+	for _, hop := range []string{obs.HopBatch, obs.HopPack, obs.HopRPC, obs.HopWire, obs.HopServer} {
 		h := tracer.Hop(hop)
 		if h.Count == 0 {
 			continue

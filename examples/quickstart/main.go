@@ -19,8 +19,14 @@ func main() {
 	fmt.Printf("graph: %d nodes, %d edges, attr %d floats (%.1f MB footprint)\n",
 		g.NumNodes(), g.NumEdges(), g.AttrLen(), float64(g.FootprintBytes())/1e6)
 
-	// Assemble a 4-partition deployment with default (PoC) engines.
-	sys, err := lsdgnn.NewSystem(lsdgnn.Options{Graph: g, Servers: 4, Seed: 7})
+	// Assemble a 4-partition deployment with default (PoC) engines and
+	// protocol-v2 MoF request packing on the storage RPCs.
+	sys, err := lsdgnn.New("",
+		lsdgnn.WithGraph(g),
+		lsdgnn.WithServers(4),
+		lsdgnn.WithSeed(7),
+		lsdgnn.WithPacking(0),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,6 +47,10 @@ func main() {
 		len(sw.Roots), len(sw.Hops[0]), len(sw.Hops[1]), len(sw.Negatives))
 	fmt.Printf("             %.1f%% of requests were fine-grained structure reads\n",
 		sys.Client.Access.StructureRequestShare()*100)
+	if raw, wire := sys.Client.Pack.RawBytes(), sys.Client.Pack.WireBytes(); raw > 0 {
+		fmt.Printf("             MoF packing: %.1f reqs/frame, wire bytes %.0f%% of v1 equivalent\n",
+			sys.Client.Pack.PackRatio(), float64(wire)/float64(raw)*100)
+	}
 
 	// Accelerated path: the same batch through the dispatcher, which
 	// places it on the least-loaded AxE engine.

@@ -26,7 +26,7 @@ func main() {
 		steps   = 30
 	)
 	g := lsdgnn.GenerateGraph(nodes, 14, attrLen, 11)
-	sys, err := lsdgnn.NewSystem(lsdgnn.Options{Graph: g, Servers: 4, Seed: 11})
+	sys, err := lsdgnn.New("", lsdgnn.WithGraph(g), lsdgnn.WithServers(4), lsdgnn.WithSeed(11))
 	if err != nil {
 		log.Fatal(err)
 	}

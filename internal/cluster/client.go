@@ -137,6 +137,15 @@ type Client struct {
 	// — batch, RPC, wire, server — and resilience events. Requests to
 	// protocol-v1 peers carry the trace ID on the wire.
 	tracer *obs.Tracer
+	// Pack tallies the protocol-v2 packing layer ("cluster.pack"): frames
+	// vs logical requests, raw-vs-wire bytes, BDI ratio, coalescer hits.
+	Pack PackStats
+	// packCfg holds the WithPacking request; pack is built after the meta
+	// handshake proves the peer speaks protocol v2, else stays nil and the
+	// client sends plain per-request frames.
+	packCfg  *PackingConfig
+	pack     *packer
+	coalesce *attrCoalescer
 }
 
 // ClientOption customizes a Client at construction.
@@ -224,8 +233,18 @@ func NewClientContext(ctx context.Context, t Transport, p Partitioner, local int
 	if c.meta.Partitions != p.Servers() {
 		return nil, fmt.Errorf("cluster: server reports %d partitions, client configured %d", c.meta.Partitions, p.Servers())
 	}
+	// Packing is version-gated like tracing: only a peer that advertised
+	// protocol ≥ 2 ever sees an OpPacked frame.
+	if c.packCfg != nil && c.meta.Version >= 2 {
+		c.pack = newPacker(c, *c.packCfg, &c.Pack)
+		c.coalesce = newAttrCoalescer()
+	}
 	return c, nil
 }
+
+// Packing reports whether protocol-v2 request packing is active (asked for
+// via WithPacking and granted by the peer's advertised version).
+func (c *Client) Packing() bool { return c.pack != nil }
 
 // EnableCache attaches a hot-node cache of the given capacity (entries),
 // replacing any existing cache. Returns the cache for stats inspection.
@@ -239,6 +258,10 @@ func (c *Client) NumNodes() int64 { return c.meta.NumNodes }
 
 // AttrLen returns the attribute length.
 func (c *Client) AttrLen() int { return c.meta.AttrLen }
+
+// NegotiatedVersion returns the protocol version the bootstrap peer
+// advertised (0 for legacy servers).
+func (c *Client) NegotiatedVersion() int { return c.meta.Version }
 
 // call issues one request to the partition's serving endpoint(s). With a
 // resilience policy it retries, fails over to replicas, and consults
@@ -293,6 +316,46 @@ func (c *Client) invoke(ctx context.Context, endpoint int, req []byte) ([]byte, 
 		c.tracer.Observe(id, obs.HopWire, start, wire)
 	}
 	return resp, nil
+}
+
+// neighborsRPC issues one per-shard neighbors request — through the
+// packing window when protocol v2 is active, as a plain v1 frame
+// otherwise. Either way the resilient call path runs underneath.
+func (c *Client) neighborsRPC(ctx context.Context, s int, req NeighborsRequest) (NeighborsResponse, error) {
+	if c.pack != nil {
+		sub, err := c.pack.do(ctx, s, PackedSubRequest{Op: OpGetNeighbors, Neighbors: req})
+		if err != nil {
+			return NeighborsResponse{}, err
+		}
+		if sub.Err != nil {
+			return NeighborsResponse{}, sub.Err
+		}
+		return sub.Neighbors, nil
+	}
+	raw, err := c.call(ctx, s, EncodeNeighborsRequest(req))
+	if err != nil {
+		return NeighborsResponse{}, err
+	}
+	return DecodeNeighborsResponse(raw)
+}
+
+// attrsRPC is neighborsRPC's attribute twin.
+func (c *Client) attrsRPC(ctx context.Context, s int, req AttrsRequest) (AttrsResponse, error) {
+	if c.pack != nil {
+		sub, err := c.pack.do(ctx, s, PackedSubRequest{Op: OpGetAttrs, Attrs: req})
+		if err != nil {
+			return AttrsResponse{}, err
+		}
+		if sub.Err != nil {
+			return AttrsResponse{}, sub.Err
+		}
+		return sub.Attrs, nil
+	}
+	raw, err := c.call(ctx, s, EncodeAttrsRequest(req))
+	if err != nil {
+		return AttrsResponse{}, err
+	}
+	return DecodeAttrsResponse(raw)
 }
 
 // GetNeighbors fetches adjacency lists for ids (any owners), preserving
@@ -359,12 +422,7 @@ func (c *Client) getNeighborsUncached(ctx context.Context, ids []graph.NodeID, m
 		wg.Add(1)
 		go func(s int, grp []graph.NodeID, pos []int) {
 			defer wg.Done()
-			raw, err := c.call(ctx, s, EncodeNeighborsRequest(NeighborsRequest{IDs: grp, MaxPerNode: maxPerNode}))
-			if err != nil {
-				errs[s] = err
-				return
-			}
-			resp, err := DecodeNeighborsResponse(raw)
+			resp, err := c.neighborsRPC(ctx, s, NeighborsRequest{IDs: grp, MaxPerNode: maxPerNode})
 			if err != nil {
 				errs[s] = err
 				return
@@ -410,7 +468,7 @@ func (c *Client) GetAttrs(ctx context.Context, ids []graph.NodeID) ([]float32, e
 		if len(miss) == 0 {
 			return out, nil
 		}
-		fetched, ferr := c.getAttrsUncached(ctx, miss)
+		fetched, ferr := c.fetchAttrs(ctx, miss)
 		pe, partial := AsPartial(ferr)
 		if ferr != nil && !partial {
 			return nil, ferr
@@ -430,7 +488,7 @@ func (c *Client) GetAttrs(ctx context.Context, ids []graph.NodeID) ([]float32, e
 		}
 		return out, ferr
 	}
-	return c.getAttrsUncached(ctx, ids)
+	return c.fetchAttrs(ctx, ids)
 }
 
 func (c *Client) getAttrsUncached(ctx context.Context, ids []graph.NodeID) ([]float32, error) {
@@ -449,12 +507,7 @@ func (c *Client) getAttrsUncached(ctx context.Context, ids []graph.NodeID) ([]fl
 		wg.Add(1)
 		go func(s int, grp []graph.NodeID, pos []int) {
 			defer wg.Done()
-			raw, err := c.call(ctx, s, EncodeAttrsRequest(AttrsRequest{IDs: grp}))
-			if err != nil {
-				errs[s] = err
-				return
-			}
-			resp, err := DecodeAttrsResponse(raw)
+			resp, err := c.attrsRPC(ctx, s, AttrsRequest{IDs: grp})
 			if err != nil {
 				errs[s] = err
 				return

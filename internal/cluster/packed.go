@@ -1,0 +1,448 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"lsdgnn/internal/graph"
+	"lsdgnn/internal/mof"
+	"lsdgnn/internal/stats"
+)
+
+// Protocol v2: MoF on the wire. An OpPacked frame carries many logical
+// GetNeighbors/GetAttrs requests to the same shard in one round trip
+// (§4.3 Tech-1 multi-request packing), and its node-ID / degree vectors
+// plus attribute payloads travel through the mof.VecCodec section format,
+// BDI-compressed when that is smaller (Tech-2). Version-gated exactly like
+// OpTraced: a client only sends OpPacked to a peer that advertised
+// ProtoVersion ≥ 2 in the meta handshake, so v0/v1 peers never see the op.
+//
+// Frame layouts (little-endian):
+//
+//	request:   OpPacked | flags u8 | count u16 | count × (len u32 | sub)
+//	response:  OpPacked | flags u8 | count u16 | count × (len u32 | status u8 | body)
+//
+// Sub-request bodies reuse the v1 op codes but swap bare ID lists for
+// codec sections:
+//
+//	neighbors: OpGetNeighbors | maxPerNode u32 | idSection
+//	attrs:     OpGetAttrs | idSection
+//
+// Sub-response bodies (status statusOK):
+//
+//	neighbors: OpGetNeighbors | degreeSection(u32) | flatIDSection(u64)
+//	attrs:     OpGetAttrs | attrLen u32 | byteSection(float32 LE)
+//
+// A non-OK status carries the error text; statusReject marks a *ServerError
+// (deterministic rejection — not retryable, not a breaker strike), the same
+// split the TCP status byte draws for whole frames.
+
+// OpPacked is the protocol-v2 packed-frame op code.
+const OpPacked = 0x20
+
+// PackedBDI is the packed-frame flag bit requesting BDI-compressed
+// sections; a server echoes the client's choice in its response.
+const PackedBDI = 1 << 0
+
+// MaxPackedRequests caps sub-requests per packed frame, the paper's
+// 64-deep packing window.
+const MaxPackedRequests = 64
+
+// PackedSubRequest is one logical request inside a packed frame.
+type PackedSubRequest struct {
+	Op        byte // OpGetNeighbors or OpGetAttrs
+	Neighbors NeighborsRequest
+	Attrs     AttrsRequest
+}
+
+// PackedSubResponse is one logical response inside a packed frame; Err
+// carries a per-sub failure (a *ServerError when the shard rejected the
+// sub-request) while its siblings still succeed.
+type PackedSubResponse struct {
+	Op        byte
+	Neighbors NeighborsResponse
+	Attrs     AttrsResponse
+	Err       error
+}
+
+func idsToU64(ids []graph.NodeID) []uint64 {
+	out := make([]uint64, len(ids))
+	for i, v := range ids {
+		out[i] = uint64(v)
+	}
+	return out
+}
+
+func u64ToIDs(vals []uint64) []graph.NodeID {
+	out := make([]graph.NodeID, len(vals))
+	for i, v := range vals {
+		out[i] = graph.NodeID(v)
+	}
+	return out
+}
+
+// appendIDSection emits ids as a codec section, through BDI when asked.
+func appendIDSection(dst []byte, ids []graph.NodeID, bdi bool, c *mof.VecCodec) []byte {
+	if bdi {
+		return c.AppendU64s(dst, idsToU64(ids))
+	}
+	raw := make([]byte, 0, len(ids)*8)
+	for _, v := range ids {
+		raw = binary.LittleEndian.AppendUint64(raw, uint64(v))
+	}
+	return c.AppendBytes(dst, raw, false)
+}
+
+func readIDSection(src []byte, bdi bool, c *mof.VecCodec) ([]graph.NodeID, []byte, error) {
+	if bdi {
+		vals, rest, err := c.ReadU64s(src)
+		if err != nil {
+			return nil, nil, err
+		}
+		return u64ToIDs(vals), rest, nil
+	}
+	raw, rest, err := c.ReadBytes(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(raw)%8 != 0 {
+		return nil, nil, fmt.Errorf("cluster: ragged ID section of %d bytes", len(raw))
+	}
+	ids := make([]graph.NodeID, len(raw)/8)
+	for i := range ids {
+		ids[i] = graph.NodeID(binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+	return ids, rest, nil
+}
+
+// encodeSub serializes one sub-request body.
+func encodeSub(sub PackedSubRequest, bdi bool, c *mof.VecCodec) ([]byte, error) {
+	switch sub.Op {
+	case OpGetNeighbors:
+		out := []byte{OpGetNeighbors}
+		out = binary.LittleEndian.AppendUint32(out, sub.Neighbors.MaxPerNode)
+		return appendIDSection(out, sub.Neighbors.IDs, bdi, c), nil
+	case OpGetAttrs:
+		return appendIDSection([]byte{OpGetAttrs}, sub.Attrs.IDs, bdi, c), nil
+	default:
+		return nil, fmt.Errorf("cluster: op %#x cannot be packed", sub.Op)
+	}
+}
+
+// EncodePackedRequest serializes subs into one OpPacked frame. bdi asks
+// the codec to BDI-compress ID sections (still only when smaller).
+func EncodePackedRequest(subs []PackedSubRequest, bdi bool, c *mof.VecCodec) ([]byte, error) {
+	if len(subs) == 0 || len(subs) > MaxPackedRequests {
+		return nil, fmt.Errorf("cluster: %d sub-requests in packed frame (1..%d)", len(subs), MaxPackedRequests)
+	}
+	flags := byte(0)
+	if bdi {
+		flags |= PackedBDI
+	}
+	out := []byte{OpPacked, flags}
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(subs)))
+	for _, sub := range subs {
+		body, err := encodeSub(sub, bdi, c)
+		if err != nil {
+			return nil, err
+		}
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(body)))
+		out = append(out, body...)
+	}
+	return out, nil
+}
+
+// splitPacked validates the shared packed-frame header and cuts the body
+// into per-sub slices.
+func splitPacked(b []byte) (flags byte, subs [][]byte, err error) {
+	if len(b) < 4 || b[0] != OpPacked {
+		return 0, nil, fmt.Errorf("cluster: not a packed frame")
+	}
+	flags = b[1]
+	n := int(binary.LittleEndian.Uint16(b[2:]))
+	if n == 0 || n > MaxPackedRequests {
+		return 0, nil, fmt.Errorf("cluster: packed frame with %d subs (1..%d)", n, MaxPackedRequests)
+	}
+	rest := b[4:]
+	subs = make([][]byte, n)
+	for i := range subs {
+		if len(rest) < 4 {
+			return 0, nil, fmt.Errorf("cluster: truncated packed frame at sub %d", i)
+		}
+		l := binary.LittleEndian.Uint32(rest)
+		rest = rest[4:]
+		if uint64(len(rest)) < uint64(l) || l == 0 {
+			return 0, nil, fmt.Errorf("cluster: sub %d claims %d bytes, %d left", i, l, len(rest))
+		}
+		subs[i], rest = rest[:l], rest[l:]
+	}
+	if len(rest) != 0 {
+		return 0, nil, fmt.Errorf("cluster: %d trailing bytes in packed frame", len(rest))
+	}
+	return flags, subs, nil
+}
+
+// DecodePackedRequest parses an OpPacked request frame.
+func DecodePackedRequest(b []byte, c *mof.VecCodec) (subs []PackedSubRequest, bdi bool, err error) {
+	flags, bodies, err := splitPacked(b)
+	if err != nil {
+		return nil, false, err
+	}
+	bdi = flags&PackedBDI != 0
+	subs = make([]PackedSubRequest, len(bodies))
+	for i, body := range bodies {
+		sub := &subs[i]
+		sub.Op = body[0]
+		switch sub.Op {
+		case OpGetNeighbors:
+			if len(body) < 5 {
+				return nil, false, fmt.Errorf("cluster: truncated packed neighbors sub %d", i)
+			}
+			sub.Neighbors.MaxPerNode = binary.LittleEndian.Uint32(body[1:])
+			ids, rest, err := readIDSection(body[5:], bdi, c)
+			if err != nil {
+				return nil, false, err
+			}
+			if len(rest) != 0 {
+				return nil, false, fmt.Errorf("cluster: %d trailing bytes in packed sub %d", len(rest), i)
+			}
+			sub.Neighbors.IDs = ids
+		case OpGetAttrs:
+			ids, rest, err := readIDSection(body[1:], bdi, c)
+			if err != nil {
+				return nil, false, err
+			}
+			if len(rest) != 0 {
+				return nil, false, fmt.Errorf("cluster: %d trailing bytes in packed sub %d", len(rest), i)
+			}
+			sub.Attrs.IDs = ids
+		default:
+			return nil, false, fmt.Errorf("cluster: op %#x inside packed frame", sub.Op)
+		}
+	}
+	return subs, bdi, nil
+}
+
+// encodeSubResponse serializes one sub-response (status byte + body).
+func encodeSubResponse(sub PackedSubResponse, bdi bool, c *mof.VecCodec) []byte {
+	if sub.Err != nil {
+		var se *ServerError
+		if errors.As(sub.Err, &se) {
+			return append([]byte{statusReject}, se.Msg...)
+		}
+		return append([]byte{statusError}, sub.Err.Error()...)
+	}
+	switch sub.Op {
+	case OpGetNeighbors:
+		out := []byte{statusOK, OpGetNeighbors}
+		degs := make([]uint32, len(sub.Neighbors.Lists))
+		total := 0
+		for i, l := range sub.Neighbors.Lists {
+			degs[i] = uint32(len(l))
+			total += len(l)
+		}
+		flat := make([]graph.NodeID, 0, total)
+		for _, l := range sub.Neighbors.Lists {
+			flat = append(flat, l...)
+		}
+		if bdi {
+			out = c.AppendU32s(out, degs)
+		} else {
+			raw := make([]byte, 0, len(degs)*4)
+			for _, d := range degs {
+				raw = binary.LittleEndian.AppendUint32(raw, d)
+			}
+			out = c.AppendBytes(out, raw, false)
+		}
+		return appendIDSection(out, flat, bdi, c)
+	case OpGetAttrs:
+		out := []byte{statusOK, OpGetAttrs}
+		out = binary.LittleEndian.AppendUint32(out, uint32(sub.Attrs.AttrLen))
+		raw := make([]byte, 0, len(sub.Attrs.Attrs)*4)
+		for _, f := range sub.Attrs.Attrs {
+			raw = binary.LittleEndian.AppendUint32(raw, math.Float32bits(f))
+		}
+		// Attribute payloads go through the data-BDI path; procedurally
+		// random features ship raw under only-if-smaller, structured ones
+		// shrink.
+		return c.AppendBytes(out, raw, bdi)
+	default:
+		return append([]byte{statusError}, fmt.Sprintf("cluster: op %#x cannot be packed", sub.Op)...)
+	}
+}
+
+// EncodePackedResponse serializes sub-responses into one OpPacked frame.
+func EncodePackedResponse(subs []PackedSubResponse, bdi bool, c *mof.VecCodec) []byte {
+	flags := byte(0)
+	if bdi {
+		flags |= PackedBDI
+	}
+	out := []byte{OpPacked, flags}
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(subs)))
+	for _, sub := range subs {
+		body := encodeSubResponse(sub, bdi, c)
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(body)))
+		out = append(out, body...)
+	}
+	return out
+}
+
+// DecodePackedResponse parses an OpPacked response frame. server labels
+// reconstructed *ServerError rejections, mirroring the TCP status-byte
+// decode.
+func DecodePackedResponse(b []byte, server int, c *mof.VecCodec) ([]PackedSubResponse, error) {
+	flags, bodies, err := splitPacked(b)
+	if err != nil {
+		return nil, err
+	}
+	bdi := flags&PackedBDI != 0
+	subs := make([]PackedSubResponse, len(bodies))
+	for i, body := range bodies {
+		sub := &subs[i]
+		switch body[0] {
+		case statusReject:
+			sub.Err = &ServerError{Server: server, Msg: string(body[1:])}
+			continue
+		case statusError:
+			sub.Err = fmt.Errorf("cluster: server %d: %s", server, string(body[1:]))
+			continue
+		case statusOK:
+		default:
+			return nil, fmt.Errorf("cluster: packed sub %d with status %#x", i, body[0])
+		}
+		body = body[1:]
+		if len(body) == 0 {
+			return nil, fmt.Errorf("cluster: empty packed sub-response %d", i)
+		}
+		sub.Op = body[0]
+		switch sub.Op {
+		case OpGetNeighbors:
+			var degs []uint32
+			var rest []byte
+			if bdi {
+				degs, rest, err = c.ReadU32s(body[1:])
+			} else {
+				var raw []byte
+				raw, rest, err = c.ReadBytes(body[1:])
+				if err == nil {
+					if len(raw)%4 != 0 {
+						return nil, fmt.Errorf("cluster: ragged degree section of %d bytes", len(raw))
+					}
+					degs = make([]uint32, len(raw)/4)
+					for j := range degs {
+						degs[j] = binary.LittleEndian.Uint32(raw[j*4:])
+					}
+				}
+			}
+			if err != nil {
+				return nil, err
+			}
+			flat, rest, err := readIDSection(rest, bdi, c)
+			if err != nil {
+				return nil, err
+			}
+			if len(rest) != 0 {
+				return nil, fmt.Errorf("cluster: %d trailing bytes in packed sub-response %d", len(rest), i)
+			}
+			lists := make([][]graph.NodeID, len(degs))
+			off := 0
+			for j, d := range degs {
+				if uint64(off)+uint64(d) > uint64(len(flat)) {
+					return nil, fmt.Errorf("cluster: degree vector overruns %d flat IDs", len(flat))
+				}
+				lists[j] = flat[off : off+int(d) : off+int(d)]
+				off += int(d)
+			}
+			if off != len(flat) {
+				return nil, fmt.Errorf("cluster: %d flat IDs unclaimed by degree vector", len(flat)-off)
+			}
+			sub.Neighbors.Lists = lists
+		case OpGetAttrs:
+			if len(body) < 5 {
+				return nil, fmt.Errorf("cluster: truncated packed attrs sub-response %d", i)
+			}
+			sub.Attrs.AttrLen = int(binary.LittleEndian.Uint32(body[1:]))
+			raw, rest, err := c.ReadBytes(body[5:])
+			if err != nil {
+				return nil, err
+			}
+			if len(rest) != 0 {
+				return nil, fmt.Errorf("cluster: %d trailing bytes in packed sub-response %d", len(rest), i)
+			}
+			if len(raw)%4 != 0 {
+				return nil, fmt.Errorf("cluster: ragged attr payload of %d bytes", len(raw))
+			}
+			attrs := make([]float32, len(raw)/4)
+			for j := range attrs {
+				attrs[j] = math.Float32frombits(binary.LittleEndian.Uint32(raw[j*4:]))
+			}
+			sub.Attrs.Attrs = attrs
+		default:
+			return nil, fmt.Errorf("cluster: op %#x inside packed response", sub.Op)
+		}
+	}
+	return subs, nil
+}
+
+// WireStats counts a server's wire-level traffic: every frame handled, the
+// packed share, and the achieved BDI compression. Layer "cluster.wire".
+type WireStats struct {
+	bytesIn   atomic.Int64
+	bytesOut  atomic.Int64
+	frames    atomic.Int64
+	packed    atomic.Int64
+	packedSub atomic.Int64
+	// Codec is the section codec all packed frames on this server run
+	// through; its counters yield the live compression ratio.
+	Codec mof.VecCodec
+}
+
+// recordFrame counts one handled frame's request/response bytes.
+func (w *WireStats) recordFrame(in, out int) {
+	if w == nil {
+		return
+	}
+	w.frames.Add(1)
+	w.bytesIn.Add(int64(in))
+	w.bytesOut.Add(int64(out))
+}
+
+// recordPacked counts one packed frame carrying n sub-requests.
+func (w *WireStats) recordPacked(n int) {
+	if w == nil {
+		return
+	}
+	w.packed.Add(1)
+	w.packedSub.Add(int64(n))
+}
+
+// PackRatio returns average sub-requests per packed frame (1 when no
+// packed frame has arrived).
+func (w *WireStats) PackRatio() float64 {
+	p := w.packed.Load()
+	if p == 0 {
+		return 1
+	}
+	return float64(w.packedSub.Load()) / float64(p)
+}
+
+// StatsSnapshot implements stats.Source under "cluster.wire".
+func (w *WireStats) StatsSnapshot() stats.Snapshot {
+	in, out := w.bytesIn.Load(), w.bytesOut.Load()
+	return stats.Snapshot{
+		Layer: "cluster.wire",
+		Metrics: []stats.Metric{
+			{Name: "bytes_total", Value: float64(in + out), Unit: "bytes"},
+			{Name: "bytes_in", Value: float64(in), Unit: "bytes"},
+			{Name: "bytes_out", Value: float64(out), Unit: "bytes"},
+			{Name: "frames_total", Value: float64(w.frames.Load()), Unit: "req"},
+			{Name: "packed_frames", Value: float64(w.packed.Load()), Unit: "req"},
+			{Name: "packed_requests", Value: float64(w.packedSub.Load()), Unit: "req"},
+			{Name: "pack_ratio", Value: w.PackRatio(), Unit: "ratio"},
+			{Name: "compression_ratio", Value: w.Codec.Ratio(), Unit: "ratio"},
+		},
+	}
+}

@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"lsdgnn/internal/sampler"
+)
+
+// versionedPeer mimics a server frozen at an older protocol version: it
+// answers OpMeta in that version's form and rejects every op the version
+// does not know, recording which forbidden ops arrived. Version 2 peers
+// delegate everything to the real server.
+type versionedPeer struct {
+	srv     *Server
+	version int
+
+	mu        sync.Mutex
+	sawTraced bool
+	sawPacked bool
+}
+
+func (h *versionedPeer) Handle(ctx context.Context, msg []byte) ([]byte, error) {
+	if len(msg) == 0 {
+		return h.srv.Handle(ctx, msg)
+	}
+	switch {
+	case msg[0] == OpTraced && h.version < 1:
+		h.mu.Lock()
+		h.sawTraced = true
+		h.mu.Unlock()
+		return nil, &ServerError{Server: h.srv.Partition(), Msg: fmt.Sprintf("cluster: unknown op %#x", msg[0])}
+	case msg[0] == OpPacked && h.version < 2:
+		h.mu.Lock()
+		h.sawPacked = true
+		h.mu.Unlock()
+		return nil, &ServerError{Server: h.srv.Partition(), Msg: fmt.Sprintf("cluster: unknown op %#x", msg[0])}
+	case msg[0] == OpMeta:
+		meta := h.srv.Meta()
+		switch h.version {
+		case 0:
+			// Pre-negotiation servers always answer the 21-byte form.
+			return EncodeMetaResponse(meta), nil
+		default:
+			if MetaRequestVersion(msg) == 0 {
+				return EncodeMetaResponse(meta), nil
+			}
+			meta.Version = h.version
+			return EncodeMetaResponseV1(meta), nil
+		}
+	}
+	return h.srv.Handle(ctx, msg)
+}
+
+// TestPackedInteropMatrix runs the same packing-enabled client against
+// clusters frozen at protocol v0, v1, and v2, and checks that negotiation
+// downgrades cleanly: identical sampling results everywhere, packing active
+// only against v2 peers, and never a stray OpPacked (or OpTraced) frame on
+// the wire toward an older peer.
+func TestPackedInteropMatrix(t *testing.T) {
+	g := testGraph(t)
+	const partitions = 3
+	part := HashPartitioner{N: partitions}
+	cfg := sampler.Config{Fanouts: []int{4, 3}, NegativeRate: 4,
+		Method: sampler.Streaming, FetchAttrs: true, Seed: 17}
+	roots := chaosRoots(g, 1, 24)
+
+	// Ground truth from a plain v2 cluster with no packing at all.
+	_, plain := buildCluster(t, g, partitions)
+	want, err := plain.SampleBatch(bg, roots, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, version := range []int{0, 1, 2} {
+		t.Run(fmt.Sprintf("server_v%d", version), func(t *testing.T) {
+			peers := make([]*versionedPeer, partitions)
+			hs := make([]Handler, partitions)
+			for i := range hs {
+				peers[i] = &versionedPeer{srv: NewServer(g, part, i), version: version}
+				hs[i] = peers[i]
+			}
+			client, err := NewClientContext(bg, handlerTransport{hs: hs}, part, 0,
+				WithPacking(PackingConfig{}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if client.meta.Version != version {
+				t.Fatalf("negotiated version %d against v%d peers", client.meta.Version, version)
+			}
+			if got, wantPack := client.Packing(), version >= 2; got != wantPack {
+				t.Fatalf("Packing() = %v against v%d peers, want %v", got, version, wantPack)
+			}
+			got, err := client.SampleBatch(bg, roots, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("v%d results diverged from the unpacked reference", version)
+			}
+			for i, p := range peers {
+				p.mu.Lock()
+				sawPacked, sawTraced := p.sawPacked, p.sawTraced
+				p.mu.Unlock()
+				if sawPacked {
+					t.Fatalf("client sent OpPacked to v%d peer %d", version, i)
+				}
+				if sawTraced {
+					t.Fatalf("client sent OpTraced to v%d peer %d", version, i)
+				}
+			}
+			if version >= 2 && client.Pack.Frames() == 0 {
+				t.Fatal("no packed frames against a v2 cluster")
+			}
+			if version < 2 && client.Pack.Frames() != 0 {
+				t.Fatalf("packed frames against a v%d cluster", version)
+			}
+		})
+	}
+}
+
+// TestPackedMixedVersionCluster pins partitions at different versions in
+// one cluster. Negotiation is cluster-wide (bootstrapped from partition 0),
+// so the client must downgrade to the bootstrap peer's version and still
+// produce correct results across the mixed fleet.
+func TestPackedMixedVersionCluster(t *testing.T) {
+	g := testGraph(t)
+	const partitions = 2
+	part := HashPartitioner{N: partitions}
+	cfg := sampler.Config{Fanouts: []int{3, 2}, NegativeRate: 2,
+		Method: sampler.Streaming, FetchAttrs: true, Seed: 23}
+	roots := chaosRoots(g, 2, 16)
+
+	_, plain := buildCluster(t, g, partitions)
+	want, err := plain.SampleBatch(bg, roots, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Partition 0 (the bootstrap peer) is v1; partition 1 is v2.
+	peers := []*versionedPeer{
+		{srv: NewServer(g, part, 0), version: 1},
+		{srv: NewServer(g, part, 1), version: 2},
+	}
+	client, err := NewClientContext(bg, handlerTransport{hs: []Handler{peers[0], peers[1]}}, part, 0,
+		WithPacking(PackingConfig{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if client.Packing() {
+		t.Fatal("packing negotiated through a v1 bootstrap peer")
+	}
+	got, err := client.SampleBatch(bg, roots, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("mixed-version results diverged from the unpacked reference")
+	}
+	for i, p := range peers {
+		p.mu.Lock()
+		saw := p.sawPacked
+		p.mu.Unlock()
+		if saw {
+			t.Fatalf("client sent OpPacked to peer %d in a downgraded cluster", i)
+		}
+	}
+}
+
+// TestChaosPackedSampleBatchUnderFaults reruns the headline chaos
+// acceptance test with protocol-v2 packing on: concurrent batches through
+// the packer and attr coalescer, 20% injected faults, one replica per
+// partition — every batch must still match the fault-free unpacked
+// reference exactly. Retries wrap whole packed frames, so co-packed
+// requests from other batches must survive a frame's failover too.
+func TestChaosPackedSampleBatchUnderFaults(t *testing.T) {
+	g := testGraph(t)
+	const partitions, replicas, batches, batchSize, workers = 4, 2, 12, 24, 4
+	want := referenceResults(t, g, partitions, batches, batchSize)
+
+	part := HashPartitioner{N: partitions}
+	servers := make([]*Server, 0, partitions*replicas)
+	for r := 0; r < replicas; r++ {
+		for p := 0; p < partitions; p++ {
+			servers = append(servers, NewServer(g, part, p))
+		}
+	}
+	ft := NewFaultyTransport(DirectTransport{Servers: servers}, 42)
+	client, err := NewClientContext(bg, ft, part, 0,
+		WithPacking(PackingConfig{Window: 200 * time.Microsecond}),
+		WithResilience(ResilienceConfig{
+			Retry:    RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond, Jitter: 0.5},
+			Breaker:  BreakerConfig{Threshold: 10, OpenFor: 10 * time.Millisecond},
+			Replicas: UniformReplicas(partitions, replicas),
+			Seed:     7,
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !client.Packing() {
+		t.Fatal("packing not negotiated")
+	}
+	ft.SetFaults(FaultSpec{ErrRate: 0.2})
+
+	got := make([]*sampler.Result, batches)
+	errc := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := w; b < batches; b += workers {
+				res, err := client.SampleBatch(bg, chaosRoots(g, b, batchSize), chaosSampling)
+				if err != nil {
+					errc <- err
+					return
+				}
+				got[b] = res
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatalf("packed batch failed despite retries+replicas: %v", err)
+	}
+	for b := range got {
+		if !reflect.DeepEqual(got[b], want[b]) {
+			t.Fatalf("packed batch %d diverged from fault-free reference", b)
+		}
+	}
+	if _, injected := ft.Counts(); injected == 0 {
+		t.Fatal("no faults injected — chaos harness inert")
+	}
+	if client.Pack.Frames() == 0 {
+		t.Fatal("no packed frames under chaos")
+	}
+	rs := client.Res.Snapshot()
+	if rs.Retries+rs.Failovers == 0 {
+		t.Fatalf("faults injected but no retries or failovers recorded: %+v", rs)
+	}
+}

@@ -1,0 +1,351 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"lsdgnn/internal/graph"
+	"lsdgnn/internal/mof"
+	"lsdgnn/internal/sampler"
+)
+
+func TestPackedRequestRoundTrip(t *testing.T) {
+	var c mof.VecCodec
+	subs := []PackedSubRequest{
+		{Op: OpGetNeighbors, Neighbors: NeighborsRequest{IDs: []graph.NodeID{10, 14, 18, 22}, MaxPerNode: 7}},
+		{Op: OpGetAttrs, Attrs: AttrsRequest{IDs: []graph.NodeID{3, 3, 900}}},
+		{Op: OpGetNeighbors, Neighbors: NeighborsRequest{IDs: nil}},
+	}
+	for _, bdi := range []bool{false, true} {
+		frame, err := EncodePackedRequest(subs, bdi, &c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotBDI, err := DecodePackedRequest(frame, &c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotBDI != bdi {
+			t.Fatalf("bdi flag: got %v want %v", gotBDI, bdi)
+		}
+		if len(got) != len(subs) {
+			t.Fatalf("got %d subs, want %d", len(got), len(subs))
+		}
+		for i := range subs {
+			if got[i].Op != subs[i].Op {
+				t.Fatalf("sub %d op %#x want %#x", i, got[i].Op, subs[i].Op)
+			}
+			if got[i].Neighbors.MaxPerNode != subs[i].Neighbors.MaxPerNode {
+				t.Fatalf("sub %d maxPerNode mismatch", i)
+			}
+			want := subs[i].Neighbors.IDs
+			if subs[i].Op == OpGetAttrs {
+				want = subs[i].Attrs.IDs
+			}
+			gotIDs := got[i].Neighbors.IDs
+			if subs[i].Op == OpGetAttrs {
+				gotIDs = got[i].Attrs.IDs
+			}
+			if len(gotIDs) != len(want) {
+				t.Fatalf("sub %d: %d ids, want %d", i, len(gotIDs), len(want))
+			}
+			for j := range want {
+				if gotIDs[j] != want[j] {
+					t.Fatalf("sub %d id %d mismatch", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestPackedResponseRoundTrip(t *testing.T) {
+	var c mof.VecCodec
+	subs := []PackedSubResponse{
+		{Op: OpGetNeighbors, Neighbors: NeighborsResponse{Lists: [][]graph.NodeID{
+			{1, 2, 3}, {}, {42},
+		}}},
+		{Op: OpGetAttrs, Attrs: AttrsResponse{AttrLen: 2, Attrs: []float32{1.5, -2.25, 0, 99}}},
+		{Err: &ServerError{Server: 3, Msg: "node 7 routed wrong"}},
+		{Err: errors.New("transient")},
+	}
+	for _, bdi := range []bool{false, true} {
+		frame := EncodePackedResponse(subs, bdi, &c)
+		got, err := DecodePackedResponse(frame, 3, &c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(subs) {
+			t.Fatalf("got %d subs, want %d", len(got), len(subs))
+		}
+		if !reflect.DeepEqual(got[0].Neighbors.Lists, subs[0].Neighbors.Lists) {
+			t.Fatalf("lists mismatch: %v", got[0].Neighbors.Lists)
+		}
+		if got[1].Attrs.AttrLen != 2 || !reflect.DeepEqual(got[1].Attrs.Attrs, subs[1].Attrs.Attrs) {
+			t.Fatalf("attrs mismatch: %+v", got[1].Attrs)
+		}
+		var se *ServerError
+		if !errors.As(got[2].Err, &se) || se.Server != 3 || se.Msg != "node 7 routed wrong" {
+			t.Fatalf("rejection did not round-trip typed: %v", got[2].Err)
+		}
+		if got[3].Err == nil || errors.As(got[3].Err, &se) && got[3].Err == nil {
+			t.Fatalf("plain error lost: %v", got[3].Err)
+		}
+	}
+}
+
+func TestPackedIDCompressionWins(t *testing.T) {
+	var c mof.VecCodec
+	ids := make([]graph.NodeID, 512)
+	for i := range ids {
+		ids[i] = graph.NodeID(50_000 + i*3)
+	}
+	sub := []PackedSubRequest{{Op: OpGetAttrs, Attrs: AttrsRequest{IDs: ids}}}
+	plain, err := EncodePackedRequest(sub, false, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := EncodePackedRequest(sub, true, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp) >= len(plain)/2 {
+		t.Fatalf("clustered ID vector barely compressed: %d vs %d bytes", len(comp), len(plain))
+	}
+}
+
+// TestPackedSampleMatchesPlain proves equal result correctness: the same
+// batch sampled through a packing client and a plain v1-style client comes
+// out bit-identical, while the packed run actually exercised OpPacked.
+func TestPackedSampleMatchesPlain(t *testing.T) {
+	g := testGraph(t)
+	part := HashPartitioner{N: 4}
+	cfg := sampler.Config{Fanouts: []int{4, 4}, NegativeRate: 4, Method: sampler.Streaming, FetchAttrs: true, Seed: 9}
+	roots := []graph.NodeID{5, 9, 9, 140, 700, 700, 1301}
+
+	run := func(opts ...ClientOption) (*sampler.Result, []*Server) {
+		servers := make([]*Server, 4)
+		for i := range servers {
+			servers[i] = NewServer(g, part, i)
+		}
+		cl, err := NewClientContext(bg, DirectTransport{Servers: servers}, part, -1, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.SampleBatch(bg, roots, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, servers
+	}
+
+	plain, _ := run()
+	packed, servers := run(WithPacking(PackingConfig{Window: time.Millisecond}))
+	if !reflect.DeepEqual(plain, packed) {
+		t.Fatal("packed sampling diverged from plain sampling")
+	}
+	var packedFrames int64
+	for _, s := range servers {
+		packedFrames += s.Wire().packed.Load()
+	}
+	if packedFrames == 0 {
+		t.Fatal("no packed frame reached any server")
+	}
+	for _, s := range servers {
+		if got, _ := s.Wire().StatsSnapshot().Get("bytes_total"); got <= 0 && s.Wire().frames.Load() > 0 {
+			t.Fatal("wire bytes not counted")
+		}
+	}
+}
+
+// TestPackedSubRejectionIsolated: one bad node ID inside a packed frame
+// fails only its own sub-request, typed as *ServerError, while co-packed
+// requests still succeed.
+func TestPackedSubRejectionIsolated(t *testing.T) {
+	g := testGraph(t)
+	part := HashPartitioner{N: 2}
+	srv := []*Server{NewServer(g, part, 0), NewServer(g, part, 1)}
+	cl, err := NewClientContext(bg, DirectTransport{Servers: srv}, part, -1,
+		WithPacking(PackingConfig{Window: 50 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cl.Packing() {
+		t.Fatal("packing not negotiated against v2 server")
+	}
+	// Find two IDs owned by partition 0 and one hostile out-of-range ID.
+	var owned []graph.NodeID
+	for v := graph.NodeID(0); len(owned) < 2; v++ {
+		if part.Owner(v) == 0 {
+			owned = append(owned, v)
+		}
+	}
+	type out struct {
+		lists [][]graph.NodeID
+		err   error
+	}
+	good := make(chan out, 1)
+	go func() {
+		l, err := cl.GetNeighbors(bg, owned, 0)
+		good <- out{l, err}
+	}()
+	// The hostile ID hashes to some partition; steer it into partition 0's
+	// window by sending through the raw packed path.
+	bad := graph.NodeID(1 << 40)
+	subErr := make(chan error, 1)
+	go func() {
+		sub, err := cl.pack.do(bg, 0, PackedSubRequest{Op: OpGetAttrs, Attrs: AttrsRequest{IDs: []graph.NodeID{bad}}})
+		if err != nil {
+			subErr <- err
+			return
+		}
+		subErr <- sub.Err
+	}()
+	g1 := <-good
+	if g1.err != nil {
+		t.Fatalf("co-packed good request failed: %v", g1.err)
+	}
+	if len(g1.lists) != 2 {
+		t.Fatalf("got %d lists", len(g1.lists))
+	}
+	var se *ServerError
+	if err := <-subErr; !errors.As(err, &se) {
+		t.Fatalf("hostile sub error = %v, want *ServerError", err)
+	}
+}
+
+// TestAttrCoalescerDedup: duplicate IDs in one fetch cost one wire fetch
+// each, and the output layout still covers every position.
+func TestAttrCoalescerDedup(t *testing.T) {
+	g := testGraph(t)
+	part := HashPartitioner{N: 2}
+	srv := []*Server{NewServer(g, part, 0), NewServer(g, part, 1)}
+	cl, err := NewClientContext(bg, DirectTransport{Servers: srv}, part, -1,
+		WithPacking(PackingConfig{Window: time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []graph.NodeID{7, 7, 7, 12, 12, 7}
+	attrs, err := cl.GetAttrs(bg, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	al := cl.AttrLen()
+	if len(attrs) != len(ids)*al {
+		t.Fatalf("layout %d floats, want %d", len(attrs), len(ids)*al)
+	}
+	var want []float32
+	want = g.Attr(want, 7)
+	for i := range []int{0, 1, 2} {
+		got := attrs[i*al : (i+1)*al]
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("dup position %d attr mismatch", i)
+			}
+		}
+	}
+	if d := cl.Pack.dedup.Load(); d != 4 {
+		t.Fatalf("dedup hits = %d, want 4", d)
+	}
+}
+
+func FuzzDecodePacked(f *testing.F) {
+	var c mof.VecCodec
+	seed1, _ := EncodePackedRequest([]PackedSubRequest{
+		{Op: OpGetNeighbors, Neighbors: NeighborsRequest{IDs: []graph.NodeID{1, 2, 3}, MaxPerNode: 5}},
+		{Op: OpGetAttrs, Attrs: AttrsRequest{IDs: []graph.NodeID{9}}},
+	}, true, &c)
+	seed2, _ := EncodePackedRequest([]PackedSubRequest{
+		{Op: OpGetAttrs, Attrs: AttrsRequest{IDs: nil}},
+	}, false, &c)
+	seed3 := EncodePackedResponse([]PackedSubResponse{
+		{Op: OpGetNeighbors, Neighbors: NeighborsResponse{Lists: [][]graph.NodeID{{4, 5}, {}}}},
+		{Op: OpGetAttrs, Attrs: AttrsResponse{AttrLen: 2, Attrs: []float32{1, 2}}},
+		{Err: &ServerError{Server: 1, Msg: "no"}},
+	}, true, &c)
+	f.Add(seed1)
+	f.Add(seed2)
+	f.Add(seed3)
+	f.Add([]byte{OpPacked, 0, 1, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var fc mof.VecCodec
+		// Must never panic or over-allocate; errors are the contract for
+		// hostile frames.
+		if subs, bdi, err := DecodePackedRequest(data, &fc); err == nil {
+			// A frame that decodes must re-encode decodable (not
+			// necessarily byte-identical: compression flags may differ).
+			re, err := EncodePackedRequest(subs, bdi, &fc)
+			if err != nil {
+				t.Fatalf("re-encode of decoded frame failed: %v", err)
+			}
+			again, _, err := DecodePackedRequest(re, &fc)
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if len(again) != len(subs) {
+				t.Fatalf("re-decode lost subs: %d vs %d", len(again), len(subs))
+			}
+		}
+		_, _ = func() ([]PackedSubResponse, error) { return DecodePackedResponse(data, 0, &fc) }()
+	})
+}
+
+// TestPackedFrameSizes sanity-checks the packed encoding against random
+// inputs: whatever goes in comes back out.
+func TestPackedFrameSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var c mof.VecCodec
+	for iter := 0; iter < 50; iter++ {
+		n := 1 + rng.Intn(MaxPackedRequests)
+		subs := make([]PackedSubRequest, n)
+		for i := range subs {
+			ids := make([]graph.NodeID, rng.Intn(40))
+			for j := range ids {
+				ids[j] = graph.NodeID(rng.Uint64() >> rng.Intn(50))
+			}
+			if rng.Intn(2) == 0 {
+				subs[i] = PackedSubRequest{Op: OpGetNeighbors, Neighbors: NeighborsRequest{IDs: ids, MaxPerNode: uint32(rng.Intn(20))}}
+			} else {
+				subs[i] = PackedSubRequest{Op: OpGetAttrs, Attrs: AttrsRequest{IDs: ids}}
+			}
+		}
+		bdi := rng.Intn(2) == 0
+		frame, err := EncodePackedRequest(subs, bdi, &c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := DecodePackedRequest(frame, &c)
+		if err != nil {
+			t.Fatalf("iter %d: %v (frame %s...)", iter, err, hexPrefix(frame))
+		}
+		for i := range subs {
+			a, b := subs[i].Neighbors.IDs, got[i].Neighbors.IDs
+			if subs[i].Op == OpGetAttrs {
+				a, b = subs[i].Attrs.IDs, got[i].Attrs.IDs
+			}
+			if len(a) != len(b) {
+				t.Fatalf("iter %d sub %d: %d ids became %d", iter, i, len(a), len(b))
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("iter %d sub %d id %d mismatch", iter, i, j)
+				}
+			}
+		}
+	}
+}
+
+func hexPrefix(b []byte) string {
+	if len(b) > 16 {
+		b = b[:16]
+	}
+	var buf bytes.Buffer
+	for _, x := range b {
+		fmt.Fprintf(&buf, "%02x", x)
+	}
+	return buf.String()
+}

@@ -30,13 +30,17 @@ const (
 )
 
 // ProtoVersion is this build's wire protocol version. Version 0 (legacy)
-// is the pre-tracing protocol: 21-byte meta responses, no OpTraced. A v1
+// is the pre-tracing protocol: 21-byte meta responses, no OpTraced.
+// Version 1 added the OpTraced envelope. Version 2 adds OpPacked MoF
+// frames (packed.go): multi-request packing + BDI-compressed sections. A
 // client requests the version by appending its own version byte to the
 // OpMeta message — legacy servers ignore trailing bytes and answer in the
-// legacy format, which a v1 client reads as "version 0 peer" and falls
-// back to untraced frames. Symmetrically, a v1 server answers a bare
-// OpMeta with the legacy 21-byte form, so old clients interop unchanged.
-const ProtoVersion = 1
+// legacy format, which a newer client reads as "version 0 peer" and falls
+// back to plain frames. Symmetrically, a newer server answers a bare
+// OpMeta with the legacy 21-byte form, so old clients interop unchanged;
+// v1 clients gate only on Version ≥ 1 and keep tracing against a v2 peer
+// without ever seeing OpPacked.
+const ProtoVersion = 2
 
 // EncodeMetaRequest serializes the version-negotiating meta request.
 func EncodeMetaRequest() []byte { return []byte{OpMeta, ProtoVersion} }

@@ -27,6 +27,9 @@ type Server struct {
 	// server-side half of the per-hop breakdown, also reported to traced
 	// clients in the reply envelope.
 	lat *stats.Latency
+	// wire counts request/response bytes crossing Handle plus the packed
+	// share and BDI compression ratio ("cluster.wire").
+	wire *WireStats
 	// log, when set, emits trace-annotated request logs.
 	log atomic.Pointer[slog.Logger]
 }
@@ -48,6 +51,7 @@ func NewServer(g *graph.Graph, part Partitioner, partition int) *Server {
 		g: g, part: part, partition: partition,
 		stats: &trace.AccessStats{},
 		lat:   stats.NewLatency("cluster.server"),
+		wire:  &WireStats{},
 	}
 }
 
@@ -60,6 +64,9 @@ func (s *Server) Stats() *trace.AccessStats { return s.stats }
 // Latency exposes the per-request Handle latency recorder
 // ("cluster.server" layer).
 func (s *Server) Latency() *stats.Latency { return s.lat }
+
+// Wire exposes the wire-traffic statistics ("cluster.wire" layer).
+func (s *Server) Wire() *WireStats { return s.wire }
 
 // SetLogger installs a structured logger for request logging: each handled
 // request at Debug (with trace ID, op, duration), rejections at Warn. Nil
@@ -162,6 +169,7 @@ func (s *Server) Handle(ctx context.Context, msg []byte) (resp []byte, err error
 	if len(msg) == 0 {
 		return nil, fmt.Errorf("cluster: empty message")
 	}
+	defer func(in int) { s.wire.recordFrame(in, len(resp)) }(len(msg))
 	var id obs.TraceID
 	traced := msg[0] == OpTraced
 	if traced {
@@ -209,6 +217,8 @@ func (s *Server) dispatch(ctx context.Context, msg []byte) ([]byte, error) {
 			return nil, err
 		}
 		return EncodeAttrsResponse(r), nil
+	case OpPacked:
+		return s.handlePacked(ctx, msg)
 	case OpMeta:
 		// A client advertising protocol ≥1 gets the versioned response;
 		// legacy clients get the 21-byte form they expect.
@@ -219,6 +229,44 @@ func (s *Server) dispatch(ctx context.Context, msg []byte) ([]byte, error) {
 	default:
 		return nil, fmt.Errorf("cluster: unknown op %#x", msg[0])
 	}
+}
+
+// handlePacked serves a protocol-v2 OpPacked frame: every sub-request is
+// dispatched against this partition and answered in place, so one shard
+// rejecting a node ID fails only its own sub-slot while its siblings still
+// return data (the client resilience layer then judges each sub on its own
+// status). Only a context error aborts the whole frame — that belongs to
+// the caller, not the requests.
+func (s *Server) handlePacked(ctx context.Context, msg []byte) ([]byte, error) {
+	subs, bdi, err := DecodePackedRequest(msg, &s.wire.Codec)
+	if err != nil {
+		return nil, err
+	}
+	s.wire.recordPacked(len(subs))
+	resps := make([]PackedSubResponse, len(subs))
+	for i, sub := range subs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		out := &resps[i]
+		out.Op = sub.Op
+		switch sub.Op {
+		case OpGetNeighbors:
+			out.Neighbors, out.Err = s.GetNeighbors(ctx, sub.Neighbors)
+		case OpGetAttrs:
+			out.Attrs, out.Err = s.GetAttrs(ctx, sub.Attrs)
+		}
+		if out.Err != nil {
+			if ctx.Err() != nil {
+				return nil, out.Err
+			}
+			var se *ServerError
+			if !errors.As(out.Err, &se) {
+				out.Err = &ServerError{Server: s.partition, Msg: out.Err.Error()}
+			}
+		}
+	}
+	return EncodePackedResponse(resps, bdi, &s.wire.Codec), nil
 }
 
 // logRequest emits one structured request log line when a logger is set.

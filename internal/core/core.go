@@ -51,7 +51,11 @@ type Options struct {
 	// Faults, when set, wraps the transport with seeded fault injection so
 	// the resilience path can be exercised (chaos testing).
 	Faults *cluster.FaultSpec
-	Seed   int64
+	// Packing, when set, enables protocol-v2 MoF request packing + BDI
+	// section compression on the client's storage RPCs, plus the
+	// in-flight attribute coalescer (see cluster.PackingConfig).
+	Packing *cluster.PackingConfig
+	Seed    int64
 }
 
 // System is an assembled LSD-GNN deployment.
@@ -141,6 +145,9 @@ func NewSystem(opts Options) (*System, error) {
 		resCfg = &d
 	}
 	copts := []cluster.ClientOption{cluster.WithTracer(sys.Obs)}
+	if opts.Packing != nil {
+		copts = append(copts, cluster.WithPacking(*opts.Packing))
+	}
 	if resCfg != nil {
 		cfg := *resCfg
 		if cfg.Replicas == nil && opts.Replicas > 1 {
@@ -184,21 +191,6 @@ func (s *System) SampleSoftware(ctx context.Context, roots []graph.NodeID) (*sam
 	return res, err
 }
 
-// SampleAccelerated runs the batch on an AxE engine.
-//
-// Deprecated: use Sample, which load-balances across all engines and
-// honors a context. This shim keeps the old engine-0-style contract for
-// existing callers.
-func (s *System) SampleAccelerated(roots []graph.NodeID) (*sampler.Result, axe.BatchStats) {
-	res, st, err := s.Sample(context.Background(), roots)
-	if err != nil {
-		// Only reachable when a per-batch timeout is configured; preserve
-		// the legacy can't-fail contract with a direct engine run.
-		return s.Engines[0].RunBatch(roots)
-	}
-	return res, st
-}
-
 // BatchSource returns a deterministic root generator for this system.
 func (s *System) BatchSource(batchSize int, seed int64) *workload.BatchSource {
 	return workload.NewBatchSource(s.Graph.NumNodes(), batchSize, seed)
@@ -210,8 +202,33 @@ func (s *System) BatchSource(batchSize int, seed int64) *workload.BatchSource {
 // access profile merged across all partition servers.
 func (s *System) StatsRegistry() *stats.Registry {
 	reg := stats.NewRegistry()
-	reg.Register(&s.Client.Traffic, s.Client.Batches, &s.Client.Res, s.Dispatcher, s.Obs)
+	reg.Register(&s.Client.Traffic, s.Client.Batches, &s.Client.Res, &s.Client.Pack, s.Dispatcher, s.Obs)
 	servers := s.Servers
+	// One merged cluster.wire block: per-server counters summed, ratios
+	// recomputed over the totals.
+	reg.Register(stats.Func(func() stats.Snapshot {
+		merged := stats.Snapshot{Layer: "cluster.wire"}
+		sums := map[string]float64{}
+		order := []string{"bytes_total", "bytes_in", "bytes_out", "frames_total", "packed_frames", "packed_requests"}
+		for _, srv := range servers {
+			for _, m := range srv.Wire().StatsSnapshot().Metrics {
+				sums[m.Name] += m.Value
+			}
+		}
+		for _, name := range order {
+			unit := "req"
+			if name[0] == 'b' {
+				unit = "bytes"
+			}
+			merged.Metrics = append(merged.Metrics, stats.Metric{Name: name, Value: sums[name], Unit: unit})
+		}
+		packRatio := 1.0
+		if sums["packed_frames"] > 0 {
+			packRatio = sums["packed_requests"] / sums["packed_frames"]
+		}
+		merged.Metrics = append(merged.Metrics, stats.Metric{Name: "pack_ratio", Value: packRatio, Unit: "ratio"})
+		return merged
+	}))
 	reg.Register(stats.Func(func() stats.Snapshot {
 		var structReq, structBytes, attrReq, attrBytes float64
 		for _, srv := range servers {

@@ -60,7 +60,10 @@ func TestSoftwareAndAcceleratedAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hw, st := sys.SampleAccelerated(roots)
+	hw, st, err := sys.Sample(context.Background(), roots)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(sw.Hops[0]) != len(hw.Hops[0]) || len(sw.Hops[1]) != len(hw.Hops[1]) {
 		t.Fatal("layouts differ")
 	}

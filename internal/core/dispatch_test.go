@@ -207,11 +207,14 @@ func TestSystemStatsRegistry(t *testing.T) {
 	}
 }
 
-func TestSampleAcceleratedShim(t *testing.T) {
+func TestSampleBackgroundContext(t *testing.T) {
 	sys := dispatchSystem(t, 2)
 	roots := sys.BatchSource(4, 5).Next()
-	res, st := sys.SampleAccelerated(roots)
+	res, st, err := sys.Sample(context.Background(), roots)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res == nil || st.SimTime <= 0 {
-		t.Fatal("deprecated shim broken")
+		t.Fatal("accelerated sampling broken")
 	}
 }

@@ -1,0 +1,233 @@
+package mof
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+)
+
+// Streaming entry points for putting the Tech-2 BDI codecs on a live wire.
+// The offline Codec in frame.go models whole MoF frames; a serving RPC
+// path instead compresses individual vector sections (request node-ID
+// vectors, response adjacency IDs, attribute payloads) in place inside its
+// own frames. VecCodec provides exactly that: self-describing, bounds-
+// checked vector sections with a compress-only-if-smaller policy, plus
+// running byte counters so the achieved compression ratio is observable
+// without re-walking traffic.
+//
+// Section layout (all little-endian):
+//
+//	u32 count   element count (u64/u32 vectors) or byte length (raw)
+//	u8  flags   bit0: payload is BDI-compressed
+//	u32 encLen  payload length in bytes
+//	...         payload
+//
+// The count is authoritative: a decoder verifies the decompressed payload
+// matches it exactly, so a hostile section can neither over-allocate nor
+// smuggle trailing bytes.
+
+// Section flag bits.
+const (
+	// SectionBDI marks a section payload as BDI-compressed.
+	SectionBDI = 1 << 0
+)
+
+// sectionHeaderSize is the fixed per-section overhead in bytes.
+const sectionHeaderSize = 9
+
+// VecCodec compresses and decompresses vector sections, tallying raw and
+// encoded byte totals on both directions. Safe for concurrent use; the
+// zero value is ready (and a nil *VecCodec still encodes/decodes, it just
+// counts nothing).
+type VecCodec struct {
+	encRaw atomic.Int64 // pre-compression bytes on the encode path
+	encOut atomic.Int64 // emitted payload bytes on the encode path
+	decIn  atomic.Int64 // received payload bytes on the decode path
+	decRaw atomic.Int64 // post-decompression bytes on the decode path
+}
+
+func (c *VecCodec) countEnc(raw, out int) {
+	if c == nil {
+		return
+	}
+	c.encRaw.Add(int64(raw))
+	c.encOut.Add(int64(out))
+}
+
+func (c *VecCodec) countDec(in, raw int) {
+	if c == nil {
+		return
+	}
+	c.decIn.Add(int64(in))
+	c.decRaw.Add(int64(raw))
+}
+
+// Ratio returns encoded-bytes / raw-bytes over everything this codec has
+// processed in both directions; 1 when nothing compressed (or nothing
+// processed), below 1 when BDI is winning.
+func (c *VecCodec) Ratio() float64 {
+	if c == nil {
+		return 1
+	}
+	raw := c.encRaw.Load() + c.decRaw.Load()
+	enc := c.encOut.Load() + c.decIn.Load()
+	if raw == 0 {
+		return 1
+	}
+	return float64(enc) / float64(raw)
+}
+
+// Bytes returns the cumulative (raw, encoded) byte totals across both
+// directions.
+func (c *VecCodec) Bytes() (raw, encoded int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.encRaw.Load() + c.decRaw.Load(), c.encOut.Load() + c.decIn.Load()
+}
+
+// appendSection emits one section, compressing payload when allowed and
+// smaller.
+func (c *VecCodec) appendSection(dst []byte, count uint32, payload []byte, tryBDI bool) []byte {
+	flags := byte(0)
+	enc := payload
+	if tryBDI {
+		if comp := BDICompress(payload); len(comp) < len(payload) {
+			enc = comp
+			flags = SectionBDI
+		}
+	}
+	c.countEnc(len(payload), len(enc))
+	dst = binary.LittleEndian.AppendUint32(dst, count)
+	dst = append(dst, flags)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(enc)))
+	return append(dst, enc...)
+}
+
+// readSection parses one section header and returns the decompressed
+// payload, the declared count, and the bytes following the section.
+func (c *VecCodec) readSection(src []byte) (payload []byte, count uint32, rest []byte, err error) {
+	if len(src) < sectionHeaderSize {
+		return nil, 0, nil, fmt.Errorf("%w: truncated section header", ErrCorrupt)
+	}
+	count = binary.LittleEndian.Uint32(src)
+	flags := src[4]
+	encLen := binary.LittleEndian.Uint32(src[5:])
+	body := src[sectionHeaderSize:]
+	if uint64(len(body)) < uint64(encLen) {
+		return nil, 0, nil, fmt.Errorf("%w: section payload %d bytes, header says %d", ErrCorrupt, len(body), encLen)
+	}
+	payload, rest = body[:encLen], body[encLen:]
+	if flags&SectionBDI != 0 {
+		dec, derr := BDIDecompress(payload)
+		if derr != nil {
+			return nil, 0, nil, derr
+		}
+		c.countDec(len(payload), len(dec))
+		return dec, count, rest, nil
+	}
+	c.countDec(len(payload), len(payload))
+	return payload, count, rest, nil
+}
+
+// AppendU64s appends a u64-vector section holding vals (BDI-compressed
+// when smaller). Node-ID and address vectors are the paper's Tech-2 sweet
+// spot: clustered 64-bit values collapse to narrow per-line deltas.
+func (c *VecCodec) AppendU64s(dst []byte, vals []uint64) []byte {
+	raw := make([]byte, 0, len(vals)*8)
+	for _, v := range vals {
+		raw = binary.LittleEndian.AppendUint64(raw, v)
+	}
+	return c.appendSection(dst, uint32(len(vals)), raw, true)
+}
+
+// ReadU64s parses a u64-vector section, returning the values and the
+// remaining bytes.
+func (c *VecCodec) ReadU64s(src []byte) ([]uint64, []byte, error) {
+	payload, count, rest, err := c.readSection(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if uint64(len(payload)) != uint64(count)*8 {
+		return nil, nil, fmt.Errorf("%w: u64 section of %d bytes for %d values", ErrCorrupt, len(payload), count)
+	}
+	vals := make([]uint64, count)
+	for i := range vals {
+		vals[i] = binary.LittleEndian.Uint64(payload[i*8:])
+	}
+	return vals, rest, nil
+}
+
+// AppendU32s appends a u32-vector section holding vals (degree and length
+// vectors), sign-extended through the 32-bit BDI path when that is
+// smaller.
+func (c *VecCodec) AppendU32s(dst []byte, vals []uint32) []byte {
+	raw := make([]byte, 0, len(vals)*4)
+	for _, v := range vals {
+		raw = binary.LittleEndian.AppendUint32(raw, v)
+	}
+	flags := byte(0)
+	enc := raw
+	if comp, err := BDICompress32(raw); err == nil && len(comp) < len(raw) {
+		enc = comp
+		flags = SectionBDI
+	}
+	c.countEnc(len(raw), len(enc))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(vals)))
+	dst = append(dst, flags)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(enc)))
+	return append(dst, enc...)
+}
+
+// ReadU32s parses a u32-vector section.
+func (c *VecCodec) ReadU32s(src []byte) ([]uint32, []byte, error) {
+	if len(src) < sectionHeaderSize {
+		return nil, nil, fmt.Errorf("%w: truncated section header", ErrCorrupt)
+	}
+	count := binary.LittleEndian.Uint32(src)
+	flags := src[4]
+	encLen := binary.LittleEndian.Uint32(src[5:])
+	body := src[sectionHeaderSize:]
+	if uint64(len(body)) < uint64(encLen) {
+		return nil, nil, fmt.Errorf("%w: section payload %d bytes, header says %d", ErrCorrupt, len(body), encLen)
+	}
+	payload, rest := body[:encLen], body[encLen:]
+	if flags&SectionBDI != 0 {
+		dec, err := BDIDecompress32(payload)
+		if err != nil {
+			return nil, nil, err
+		}
+		c.countDec(len(payload), len(dec))
+		payload = dec
+	} else {
+		c.countDec(len(payload), len(payload))
+	}
+	if uint64(len(payload)) != uint64(count)*4 {
+		return nil, nil, fmt.Errorf("%w: u32 section of %d bytes for %d values", ErrCorrupt, len(payload), count)
+	}
+	vals := make([]uint32, count)
+	for i := range vals {
+		vals[i] = binary.LittleEndian.Uint32(payload[i*4:])
+	}
+	return vals, rest, nil
+}
+
+// AppendBytes appends a raw-byte section (attribute payloads). tryBDI
+// attempts data compression; high-entropy float payloads usually stay raw
+// under the only-if-smaller policy, structured ones shrink.
+func (c *VecCodec) AppendBytes(dst, payload []byte, tryBDI bool) []byte {
+	return c.appendSection(dst, uint32(len(payload)), payload, tryBDI)
+}
+
+// ReadBytes parses a raw-byte section. The returned slice may alias src
+// when the section was stored uncompressed.
+func (c *VecCodec) ReadBytes(src []byte) ([]byte, []byte, error) {
+	payload, count, rest, err := c.readSection(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if uint64(len(payload)) != uint64(count) {
+		return nil, nil, fmt.Errorf("%w: byte section of %d bytes, header says %d", ErrCorrupt, len(payload), count)
+	}
+	return payload, rest, nil
+}

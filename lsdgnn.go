@@ -10,6 +10,18 @@
 // internal/ packages and are exercised through this facade, the example
 // programs under examples/, and the experiment harness in
 // cmd/lsdgnn-bench.
+//
+// Build a deployment with New and functional options:
+//
+//	sys, err := lsdgnn.New("ss",
+//		lsdgnn.WithReplicas(2),
+//		lsdgnn.WithResilience(lsdgnn.DefaultResilienceConfig()),
+//		lsdgnn.WithPacking(0), // protocol-v2 MoF packing + BDI
+//	)
+//
+// Errors from the serving path carry typed semantics — match them with
+// errors.As rather than string inspection (see PartialError and
+// ServerError in options.go for worked examples).
 package lsdgnn
 
 import (
@@ -28,7 +40,8 @@ import (
 type (
 	// System is an assembled LSD-GNN deployment (graph store + engines).
 	System = core.System
-	// Options configures NewSystem.
+	// Options configures a System; most callers should build one through
+	// New and functional options instead of filling this in by hand.
 	Options = core.Options
 	// NodeID identifies a graph vertex.
 	NodeID = graph.NodeID
@@ -68,6 +81,9 @@ const (
 
 // NewSystem assembles a deployment: partitioned graph servers, a batched
 // RPC client, and one AxE engine per partition.
+//
+// Deprecated: use New with functional options; this thin shim remains for
+// existing callers holding a fully-populated Options value.
 func NewSystem(opts Options) (*System, error) { return core.NewSystem(opts) }
 
 // Datasets returns the paper's six benchmark graph configurations

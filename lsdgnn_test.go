@@ -12,7 +12,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	if g.NumNodes() != 3000 || g.AttrLen() != 32 {
 		t.Fatal("graph generation through the facade broken")
 	}
-	sys, err := NewSystem(Options{Graph: g, Servers: 4, Seed: 1})
+	sys, err := New("", WithGraph(g), WithServers(4), WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,11 +32,6 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	if stats.RootsPerSecond <= 0 {
 		t.Fatal("no modeled throughput")
 	}
-	// The deprecated single-engine entry point still works.
-	legacy, legacyStats := sys.SampleAccelerated(roots)
-	if len(legacy.Attrs) != len(hw.Attrs) || legacyStats.SimTime <= 0 {
-		t.Fatal("deprecated SampleAccelerated shim broken")
-	}
 }
 
 // TestPublicAPIDeadline is the facade-level acceptance check: a context
@@ -44,7 +39,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 // context.DeadlineExceeded from the software sampling path.
 func TestPublicAPIDeadline(t *testing.T) {
 	g := GenerateGraph(2000, 8, 8, 2)
-	sys, err := NewSystem(Options{Graph: g, Servers: 4, Seed: 2, NetDelay: 250 * time.Millisecond})
+	sys, err := New("", WithGraph(g), WithSeed(2), WithNetDelay(250*time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +57,7 @@ func TestPublicAPIDeadline(t *testing.T) {
 
 func TestPublicStatsRegistry(t *testing.T) {
 	g := GenerateGraph(2000, 8, 8, 3)
-	sys, err := NewSystem(Options{Graph: g, Servers: 2, Seed: 3})
+	sys, err := New("", WithGraph(g), WithServers(2), WithSeed(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,6 +72,75 @@ func TestPublicStatsRegistry(t *testing.T) {
 	snaps := sys.StatsRegistry().Collect()
 	if len(snaps) < 4 {
 		t.Fatalf("registry has %d layers", len(snaps))
+	}
+}
+
+// TestPublicFunctionalOptions builds the full option surface through New:
+// named dataset, replicas, chaos, resilience, and protocol-v2 packing —
+// then proves a degraded batch surfaces as a typed *PartialError through
+// errors.As, the facade's error contract.
+func TestPublicFunctionalOptions(t *testing.T) {
+	sys, err := New("ss",
+		WithServers(4),
+		WithSeed(5),
+		WithReplicas(2),
+		WithFaults(FaultSpec{ErrRate: 0.05}),
+		WithResilience(func() ResilienceConfig {
+			cfg := DefaultResilienceConfig()
+			cfg.PartialResults = true
+			return cfg
+		}()),
+		WithPacking(0),
+		WithSampling(DefaultSamplerConfig(5)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Client.Packing() {
+		t.Fatal("WithPacking did not negotiate protocol v2")
+	}
+	ctx := context.Background()
+	for i := int64(0); i < 8; i++ {
+		res, err := sys.SampleSoftware(ctx, sys.BatchSource(32, i).Next())
+		var pe *PartialError
+		if errors.As(err, &pe) {
+			if res == nil || len(pe.Shards) == 0 {
+				t.Fatal("PartialError without degraded result")
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sys.Client.Pack.Frames() == 0 {
+		t.Fatal("no packed frames despite WithPacking")
+	}
+}
+
+// TestPublicServerErrorTyped: a deterministic rejection (hostile node ID)
+// must come back matchable as *ServerError through the facade aliases.
+func TestPublicServerErrorTyped(t *testing.T) {
+	g := GenerateGraph(500, 4, 4, 9)
+	sys, err := New("", WithGraph(g), WithServers(2), WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.Client.GetAttrs(context.Background(), []NodeID{1 << 40})
+	var se *ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *ServerError", err)
+	}
+}
+
+func TestDeprecatedNewSystemShim(t *testing.T) {
+	g := GenerateGraph(800, 4, 4, 7)
+	sys, err := NewSystem(Options{Graph: g, Servers: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.SampleSoftware(context.Background(), sys.BatchSource(4, 1).Next()); err != nil {
+		t.Fatal(err)
 	}
 }
 

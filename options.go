@@ -1,0 +1,167 @@
+package lsdgnn
+
+import (
+	"time"
+
+	"lsdgnn/internal/cluster"
+	"lsdgnn/internal/core"
+	"lsdgnn/internal/sampler"
+)
+
+// Error and policy types re-exported from the cluster layer, so callers
+// match on semantics with errors.As instead of string-matching messages
+// from an internal package:
+//
+//	res, err := sys.SampleSoftware(ctx, roots)
+//	var pe *lsdgnn.PartialError
+//	if errors.As(err, &pe) {
+//		// Degraded batch: res keeps its full layout; pe.Shards lists
+//		// every lost partition. Use or discard res deliberately.
+//		log.Printf("degraded: %d shards lost", len(pe.Shards))
+//	} else if err != nil {
+//		return err // hard failure, res is nil
+//	}
+//
+//	var se *lsdgnn.ServerError
+//	if errors.As(err, &se) {
+//		// A live server rejected the request (bad node ID, malformed
+//		// frame): deterministic, so retrying is pointless.
+//		log.Printf("server %d rejected: %s", se.Server, se.Msg)
+//	}
+type (
+	// PartialError annotates a degraded batch: the result is
+	// layout-complete but the listed shards contributed no data. Returned
+	// only when the resilience policy enables PartialResults.
+	PartialError = cluster.PartialError
+	// ServerError is a deterministic application-level rejection from a
+	// live server — never retried, never counted against breakers.
+	ServerError = cluster.ServerError
+	// ShardError pairs one lost partition with its error inside a
+	// PartialError.
+	ShardError = cluster.ShardError
+	// ResilienceConfig tunes retries, circuit breakers, replica failover,
+	// hedging, and partial-results degradation.
+	ResilienceConfig = cluster.ResilienceConfig
+	// FaultSpec injects seeded chaos into the storage transport.
+	FaultSpec = cluster.FaultSpec
+	// PackingConfig tunes protocol-v2 MoF request packing (window,
+	// per-frame request cap, BDI compression).
+	PackingConfig = cluster.PackingConfig
+	// DispatcherConfig tunes batch placement across AxE engines.
+	DispatcherConfig = core.DispatcherConfig
+)
+
+// AsPartial unwraps a *PartialError, mirroring cluster.AsPartial.
+func AsPartial(err error) (*PartialError, bool) { return cluster.AsPartial(err) }
+
+// DefaultResilienceConfig returns the stock retry/breaker/failover policy.
+func DefaultResilienceConfig() ResilienceConfig { return cluster.DefaultResilienceConfig() }
+
+// Option customizes a System built by New.
+type Option func(*Options)
+
+// WithGraph supplies a caller-built graph instead of a named dataset.
+func WithGraph(g *Graph) Option {
+	return func(o *Options) { o.Graph = g }
+}
+
+// WithServers sets the storage partition count (default 4).
+func WithServers(n int) Option {
+	return func(o *Options) { o.Servers = n }
+}
+
+// WithSeed seeds graph generation, sampling, and fault injection.
+func WithSeed(seed int64) Option {
+	return func(o *Options) { o.Seed = seed }
+}
+
+// WithSampling overrides the Table 2 default sampling workload.
+func WithSampling(cfg SamplerConfig) Option {
+	return func(o *Options) { o.Sampling = cfg }
+}
+
+// WithEngines overrides the PoC AxE engine configuration.
+func WithEngines(cfg EngineConfig) Option {
+	return func(o *Options) { o.Engine = cfg }
+}
+
+// WithDispatch tunes how batches are placed across engines.
+func WithDispatch(cfg DispatcherConfig) Option {
+	return func(o *Options) { o.Dispatch = cfg }
+}
+
+// WithNetDelay injects a fixed per-call transport delay (deadline and
+// timeout testing without sockets).
+func WithNetDelay(d time.Duration) Option {
+	return func(o *Options) { o.NetDelay = d }
+}
+
+// WithReplicas replicates every partition n ways; n > 1 implies a default
+// resilience policy (failover needs retries and breakers) unless
+// WithResilience overrides it.
+func WithReplicas(n int) Option {
+	return func(o *Options) { o.Replicas = n }
+}
+
+// WithResilience sets the client fault-tolerance policy explicitly.
+func WithResilience(cfg ResilienceConfig) Option {
+	return func(o *Options) { c := cfg; o.Resilience = &c }
+}
+
+// WithFaults injects seeded chaos into the storage transport.
+func WithFaults(spec FaultSpec) Option {
+	return func(o *Options) { s := spec; o.Faults = &s }
+}
+
+// WithPacking enables protocol-v2 MoF request packing with the given
+// coalescing window (0 = default window): same-shard requests share one
+// packed, BDI-compressed frame, and concurrent attribute fetches for the
+// same node coalesce into a single wire fetch.
+func WithPacking(window time.Duration) Option {
+	return WithPackingConfig(PackingConfig{Window: window})
+}
+
+// WithPackingConfig is WithPacking with every knob exposed.
+func WithPackingConfig(cfg PackingConfig) Option {
+	return func(o *Options) { c := cfg; o.Packing = &c }
+}
+
+// New assembles a deployment from a named Table 2 dataset ("ss", "ls",
+// "sl", "ml", "ll", "syn") and functional options:
+//
+//	sys, err := lsdgnn.New("ss",
+//		lsdgnn.WithReplicas(2),
+//		lsdgnn.WithFaults(lsdgnn.FaultSpec{ErrRate: 0.05}),
+//		lsdgnn.WithPacking(0),
+//	)
+//
+// An empty dataset name requires WithGraph. The partition count defaults
+// to 4 servers; every other knob defaults as documented on its option.
+func New(dataset string, opts ...Option) (*System, error) {
+	o := Options{Servers: 4}
+	if dataset != "" {
+		ds, err := workloadDataset(dataset)
+		if err != nil {
+			return nil, err
+		}
+		o.Dataset = ds
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return core.NewSystem(o)
+}
+
+// workloadDataset resolves a dataset name (indirection keeps options.go
+// free of a workload import cycle in future splits).
+func workloadDataset(name string) (Dataset, error) { return DatasetByName(name) }
+
+// DefaultSamplerConfig returns the paper's default two-hop sampling
+// workload for the given seed — the configuration New applies when
+// WithSampling is not given.
+func DefaultSamplerConfig(seed int64) SamplerConfig {
+	return sampler.Config{
+		Fanouts: []int{10, 10}, NegativeRate: 10,
+		Method: sampler.Streaming, FetchAttrs: true, Seed: seed,
+	}
+}
