@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify chaos bench metrics-smoke wire-smoke fuzz
+.PHONY: build test verify chaos bench metrics-smoke wire-smoke pipeline-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,7 @@ verify:
 # Fault-injection suite: every chaos/resilience/recovery test hammered
 # under the race detector with a high iteration count.
 chaos:
-	$(GO) test -race -count=20 -run 'TestChaos|TestFaulty|TestBreaker|TestRetry|TestBootstrap|TestPartial|TestHedge|TestServerError|TestTCPPoolRecovery' ./internal/cluster/
+	$(GO) test -race -count=20 -run 'TestChaos|TestFaulty|TestBreaker|TestRetry|TestBootstrap|TestPartial|TestHedge|TestServerError|TestTCPPoolRecovery' ./internal/cluster/ ./internal/pipeline/
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -30,6 +30,13 @@ metrics-smoke:
 # lsdgnn_cluster_wire_* series (bytes, packed frames, pack ratio) moved.
 wire-smoke:
 	./scripts/wire_smoke.sh
+
+# Pipeline smoke test: boots lsdgnn-server (checks the zero-valued
+# lsdgnn_pipeline_* pre-registration on /metrics), drives a pipelined
+# burst through lsdgnn-probe over TCP, and asserts the executor's
+# issued/retired/batches counters moved and balance.
+pipeline-smoke:
+	./scripts/pipeline_smoke.sh
 
 # Fuzz the hostile-input decoders: seed corpus first (fails fast on a
 # regression), then a short randomized run on the packed-frame decoder.

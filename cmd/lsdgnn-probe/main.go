@@ -22,7 +22,9 @@ import (
 
 	"lsdgnn/internal/cluster"
 	"lsdgnn/internal/graph"
+	"lsdgnn/internal/pipeline"
 	"lsdgnn/internal/sampler"
+	"lsdgnn/internal/stats"
 	"lsdgnn/internal/workload"
 )
 
@@ -34,6 +36,8 @@ func main() {
 	fanout := flag.Int("fanout", 10, "neighbors sampled per hop (2 hops)")
 	pack := flag.Bool("pack", true, "request protocol-v2 MoF packing + BDI")
 	window := flag.Duration("pack-window", 0, "packing window (0 = default)")
+	pipelined := flag.Bool("pipeline", false, "drive batches through the out-of-order sampling executor and print its lsdgnn_pipeline_* metrics")
+	pipeWindow := flag.Int("pipeline-window", 0, "in-flight window of the executor in node-requests (0 = default 256)")
 	seed := flag.Int64("seed", 1, "root-selection and sampling seed")
 	timeout := flag.Duration("timeout", 2*time.Minute, "overall deadline")
 	flag.Parse()
@@ -63,6 +67,13 @@ func main() {
 		Fanouts: []int{*fanout, *fanout}, NegativeRate: 4,
 		Method: sampler.Streaming, FetchAttrs: true, Seed: *seed,
 	}
+	// In pipeline mode every batch flows through the out-of-order
+	// executor (the software AxE load unit) instead of the synchronous
+	// client path; per-root RNG streams keep the results identical.
+	var ex *pipeline.Executor
+	if *pipelined {
+		ex = pipeline.New(client, cfg, pipeline.Config{Window: *pipeWindow})
+	}
 	src := workload.NewBatchSource(client.NumNodes(), *batchSize, *seed)
 	work := make([][]graph.NodeID, *batches)
 	for i := range work {
@@ -87,7 +98,13 @@ func main() {
 				b := next
 				next++
 				mu.Unlock()
-				res, err := client.SampleBatch(ctx, work[b], cfg)
+				var res *sampler.Result
+				var err error
+				if ex != nil {
+					res, err = ex.Sample(ctx, work[b])
+				} else {
+					res, err = client.SampleBatch(ctx, work[b], cfg)
+				}
 				mu.Lock()
 				if err != nil && firstErr == nil {
 					firstErr = err
@@ -115,6 +132,20 @@ func main() {
 			float64(ps.WireBytes())/float64(ps.RawBytes())*100)
 		if ps.Frames() == 0 {
 			fatal(fmt.Errorf("packing negotiated but no packed frames sent"))
+		}
+	}
+	if ex != nil {
+		st := ex.Stats()
+		fmt.Printf("pipeline: window %d, in-flight peak %d, %d requests issued, %d stalls\n",
+			ex.Config().Window, st.InflightPeak(), st.IssuedRequests(), st.WindowStalls())
+		if st.IssuedRequests() == 0 {
+			fatal(fmt.Errorf("pipeline mode drove no requests"))
+		}
+		// Exposition block for smoke tests: the executor lives client-side,
+		// so the probe prints its own lsdgnn_pipeline_* series (the server
+		// pre-registers the same schema at zero).
+		if _, err := stats.WritePrometheus(os.Stdout, []stats.Snapshot{st.StatsSnapshot()}); err != nil {
+			fatal(err)
 		}
 	}
 	fmt.Println("probe: OK")

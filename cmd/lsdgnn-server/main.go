@@ -35,6 +35,7 @@ import (
 	"lsdgnn/internal/cluster"
 	"lsdgnn/internal/graph"
 	"lsdgnn/internal/obs"
+	"lsdgnn/internal/pipeline"
 	"lsdgnn/internal/stats"
 	"lsdgnn/internal/workload"
 )
@@ -108,12 +109,14 @@ func main() {
 
 	// The registry behind /metrics and the final report: per-class access
 	// profile, per-request server latency, and listener counters. The
-	// zero-valued resilience block pre-registers the client-side
-	// retry/breaker series at 0 so scrapes and alerts have a stable
-	// namespace from the first sample (workers export live values).
+	// zero-valued resilience and pipeline blocks pre-register the
+	// client-side retry/breaker and OoO-executor series at 0 so scrapes
+	// and alerts have a stable namespace from the first sample (workers
+	// export live values).
 	reg := stats.NewRegistry()
 	var resSchema cluster.ResilienceStats
-	reg.Register(srv.Stats(), srv.Latency(), srv.Wire(), tcp, &resSchema)
+	var pipeSchema pipeline.Stats
+	reg.Register(srv.Stats(), srv.Latency(), srv.Wire(), tcp, &resSchema, &pipeSchema)
 
 	health := &obs.Health{}
 	if *adminAddr != "" {

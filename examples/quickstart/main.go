@@ -26,6 +26,7 @@ func main() {
 		lsdgnn.WithServers(4),
 		lsdgnn.WithSeed(7),
 		lsdgnn.WithPacking(0),
+		lsdgnn.WithPipeline(lsdgnn.PipelineConfig{}), // OoO sampling, default 256-deep window
 	)
 	if err != nil {
 		log.Fatal(err)
@@ -51,6 +52,18 @@ func main() {
 		fmt.Printf("             MoF packing: %.1f reqs/frame, wire bytes %.0f%% of v1 equivalent\n",
 			sys.Client.Pack.PackRatio(), float64(wire)/float64(raw)*100)
 	}
+
+	// Pipelined path: the same batch through the out-of-order executor
+	// (the software model of the AxE load unit, Tech-3). Per-root RNG
+	// streams keep it deterministic even though fetches retire out of
+	// order.
+	pl, err := sys.SamplePipelined(ctx, roots)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ps := sys.Pipeline.Stats()
+	fmt.Printf("pipelined:   %d roots -> %d + %d sampled nodes, in-flight peak %d requests\n",
+		len(pl.Roots), len(pl.Hops[0]), len(pl.Hops[1]), ps.InflightPeak())
 
 	// Accelerated path: the same batch through the dispatcher, which
 	// places it on the least-loaded AxE engine.

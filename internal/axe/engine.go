@@ -109,6 +109,10 @@ type run struct {
 	attrLen  int
 	hopBases []int // attr-slot base per hop
 	negBase  int
+	// levelW[h] is the per-root frontier width entering hop h
+	// (prod(fanouts[:h])), used to derive the (root, pos) RNG stream of a
+	// frontier task when Sampling.RootStreams is set.
+	levelW []int
 
 	outstanding int
 	done        eventsim.Time
@@ -188,7 +192,10 @@ func (e *Engine) RunBatch(roots []graph.NodeID) (*sampler.Result, BatchStats) {
 	res := &sampler.Result{Roots: roots}
 	level := len(roots)
 	attrSlots := level
+	w := 1
 	for h, f := range sp.Fanouts {
+		r.levelW = append(r.levelW, w)
+		w *= f
 		level *= f
 		res.Hops = append(res.Hops, make([]graph.NodeID, level))
 		r.hopBases = append(r.hopBases, attrSlots)
@@ -198,9 +205,18 @@ func (e *Engine) RunBatch(roots []graph.NodeID) (*sampler.Result, BatchStats) {
 	r.negBase = attrSlots
 	if sp.NegativeRate > 0 {
 		res.Negatives = make([]graph.NodeID, len(roots)*sp.NegativeRate)
-		negRNG := rand.New(rand.NewSource(sp.Seed ^ 0x6e65676174697665))
-		for i := range res.Negatives {
-			res.Negatives[i] = graph.NodeID(negRNG.Int63n(e.g.NumNodes()))
+		if sp.RootStreams {
+			for root := range roots {
+				nrng := sampler.NegativesRNG(sp.Seed, root)
+				for i := 0; i < sp.NegativeRate; i++ {
+					res.Negatives[root*sp.NegativeRate+i] = graph.NodeID(nrng.Int63n(e.g.NumNodes()))
+				}
+			}
+		} else {
+			negRNG := rand.New(rand.NewSource(sp.Seed ^ 0x6e65676174697665))
+			for i := range res.Negatives {
+				res.Negatives[i] = graph.NodeID(negRNG.Int63n(e.g.NumNodes()))
+			}
 		}
 		attrSlots += len(res.Negatives)
 	}
@@ -370,9 +386,17 @@ func (c *core) runFrontier(t task) {
 				readEdges(func() {
 					nbrs := r.e.g.Neighbors(t.v)
 					fanout := cfg.Sampling.Fanouts[t.hop]
+					rng := c.rng
+					if cfg.Sampling.RootStreams {
+						// Derived per-node stream: any core may expand any
+						// task in any order and still draw the exact bits
+						// the synchronous sampler would have drawn.
+						w := r.levelW[t.hop]
+						rng = sampler.NodeRNG(cfg.Sampling.Seed, t.idx/w, t.hop, t.idx%w)
+					}
 					c.sampleBuf = c.sampleBuf[:0]
 					var cycles int
-					c.sampleBuf, cycles = sampler.SampleNeighbors(c.sampleBuf, nbrs, fanout, cfg.Sampling.Method, c.rng)
+					c.sampleBuf, cycles = sampler.SampleNeighbors(c.sampleBuf, nbrs, fanout, cfg.Sampling.Method, rng)
 					for len(c.sampleBuf) < fanout {
 						c.sampleBuf = append(c.sampleBuf, t.v)
 					}

@@ -563,6 +563,30 @@ func (c *Client) reduceFanout(ctx context.Context, errs []error) error {
 	return errors.Join(joined...)
 }
 
+// NeighborsBatch implements the batch-first sampler.Store interface over
+// the grouped-RPC fetch path: dst[i] receives vs[i]'s adjacency list. On
+// a degraded fan-out (PartialResults) the filled lists stay
+// layout-complete — lost shards contribute nil entries — and the
+// *PartialError passes through; any other error leaves dst untouched.
+func (c *Client) NeighborsBatch(ctx context.Context, dst [][]graph.NodeID, vs []graph.NodeID) error {
+	lists, err := c.GetNeighbors(ctx, vs, 0)
+	if len(lists) == len(dst) {
+		copy(dst, lists)
+	}
+	return err
+}
+
+// AttrsBatch implements the batch-first sampler.Store interface: dst
+// receives vs's attribute vectors concatenated in order. Degraded
+// fetches leave lost vertices zeroed and return the *PartialError.
+func (c *Client) AttrsBatch(ctx context.Context, dst []float32, vs []graph.NodeID) error {
+	attrs, err := c.GetAttrs(ctx, vs)
+	if len(attrs) > 0 {
+		copy(dst, attrs)
+	}
+	return err
+}
+
 // SampleBatch performs batched k-hop sampling with per-hop grouped RPCs —
 // the distributed equivalent of sampler.Sampler.SampleBatch, producing an
 // identical Result layout. Cancellation or an expired deadline on ctx
@@ -601,8 +625,9 @@ func (c *Client) sampleBatch(ctx context.Context, roots []graph.NodeID, cfg samp
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	res := &sampler.Result{Roots: roots}
 	frontier := roots
+	width := 1 // per-root frontier width at the current hop
 	var degraded []ShardError
-	for _, fanout := range cfg.Fanouts {
+	for h, fanout := range cfg.Fanouts {
 		lists, err := c.GetNeighbors(ctx, frontier, 0)
 		if err != nil {
 			pe, partial := AsPartial(err)
@@ -613,9 +638,13 @@ func (c *Client) sampleBatch(ctx context.Context, roots []graph.NodeID, cfg samp
 		}
 		next := make([]graph.NodeID, 0, len(frontier)*fanout)
 		for i, nbrs := range lists {
+			r := rng
+			if cfg.RootStreams {
+				r = sampler.NodeRNG(cfg.Seed, i/width, h, i%width)
+			}
 			before := len(next)
 			var cyc int
-			next, cyc = sampler.SampleNeighbors(next, nbrs, fanout, cfg.Method, rng)
+			next, cyc = sampler.SampleNeighbors(next, nbrs, fanout, cfg.Method, r)
 			res.Cycles += cyc
 			for len(next)-before < fanout {
 				next = append(next, frontier[i])
@@ -623,12 +652,17 @@ func (c *Client) sampleBatch(ctx context.Context, roots []graph.NodeID, cfg samp
 		}
 		res.Hops = append(res.Hops, next)
 		frontier = next
+		width *= fanout
 	}
 	if cfg.NegativeRate > 0 {
 		res.Negatives = make([]graph.NodeID, 0, len(roots)*cfg.NegativeRate)
-		for range roots {
+		for r := range roots {
+			nrng := rng
+			if cfg.RootStreams {
+				nrng = sampler.NegativesRNG(cfg.Seed, r)
+			}
 			for i := 0; i < cfg.NegativeRate; i++ {
-				res.Negatives = append(res.Negatives, graph.NodeID(rng.Int63n(c.meta.NumNodes)))
+				res.Negatives = append(res.Negatives, graph.NodeID(nrng.Int63n(c.meta.NumNodes)))
 			}
 		}
 	}
@@ -671,13 +705,17 @@ func dedupShards(shards []ShardError) []ShardError {
 	return out
 }
 
-// Store adapts the client to sampler.Store for per-node access. The
-// sampler.Store interface cannot report errors, so failed fetches degrade
-// to empty results — but never silently: every degraded lookup increments
-// the store_drops counter in C.Res ("cluster.resilience"), which callers
-// must consult to distinguish lost shards from genuinely isolated nodes.
-// Batched APIs should be preferred for performance paths. Ctx, when set,
-// bounds each per-node fetch; nil means context.Background().
+// Store adapts the client to the scalar sampler.SingleStore shape for
+// per-node access. The scalar methods cannot report errors, so failed
+// fetches degrade to empty results — but never silently: every degraded
+// lookup increments the store_drops counter in C.Res
+// ("cluster.resilience"), which callers must consult to distinguish lost
+// shards from genuinely isolated nodes. Ctx, when set, bounds each
+// per-node fetch; nil means context.Background().
+//
+// Deprecated: use *Client directly — it implements the batch-first
+// sampler.Store (NeighborsBatch/AttrsBatch) with real error reporting.
+// Wrap this adapter in sampler.Single only for legacy scalar callers.
 type Store struct {
 	C   *Client
 	Ctx context.Context
@@ -690,13 +728,13 @@ func (s Store) ctx() context.Context {
 	return context.Background()
 }
 
-// NumNodes implements sampler.Store.
+// NumNodes implements sampler.SingleStore.
 func (s Store) NumNodes() int64 { return s.C.NumNodes() }
 
-// AttrLen implements sampler.Store.
+// AttrLen implements sampler.SingleStore.
 func (s Store) AttrLen() int { return s.C.AttrLen() }
 
-// Neighbors implements sampler.Store. A failed fetch returns an empty
+// Neighbors implements sampler.SingleStore. A failed fetch returns an empty
 // list and counts a store drop.
 func (s Store) Neighbors(v graph.NodeID) []graph.NodeID {
 	lists, err := s.C.GetNeighbors(s.ctx(), []graph.NodeID{v}, 0)
@@ -709,7 +747,7 @@ func (s Store) Neighbors(v graph.NodeID) []graph.NodeID {
 	return lists[0]
 }
 
-// Attr implements sampler.Store. A failed fetch returns a zeroed vector
+// Attr implements sampler.SingleStore. A failed fetch returns a zeroed vector
 // and counts a store drop.
 func (s Store) Attr(dst []float32, v graph.NodeID) []float32 {
 	attrs, err := s.C.GetAttrs(s.ctx(), []graph.NodeID{v})

@@ -14,6 +14,7 @@ import (
 	"lsdgnn/internal/cluster"
 	"lsdgnn/internal/graph"
 	"lsdgnn/internal/obs"
+	"lsdgnn/internal/pipeline"
 	"lsdgnn/internal/sampler"
 	"lsdgnn/internal/stats"
 	"lsdgnn/internal/trace"
@@ -55,7 +56,12 @@ type Options struct {
 	// section compression on the client's storage RPCs, plus the
 	// in-flight attribute coalescer (see cluster.PackingConfig).
 	Packing *cluster.PackingConfig
-	Seed    int64
+	// Pipeline, when set, builds an out-of-order sampling executor (the
+	// software AxE load unit) over the client; SamplePipelined then runs
+	// batches through it. RootStreams is forced on the sampling config so
+	// pipelined and synchronous paths stay byte-identical.
+	Pipeline *pipeline.Config
+	Seed     int64
 }
 
 // System is an assembled LSD-GNN deployment.
@@ -77,6 +83,9 @@ type System struct {
 	// SampleSoftware gets a trace ID, and its per-hop timings (dispatch
 	// wait, engine, rpc, wire, server) land here.
 	Obs *obs.Tracer
+	// Pipeline is the out-of-order sampling executor when Options.Pipeline
+	// was set (nil otherwise).
+	Pipeline *pipeline.Executor
 }
 
 // NewSystem builds servers, a client, one AxE engine per partition, and a
@@ -168,6 +177,10 @@ func NewSystem(opts Options) (*System, error) {
 		return nil, err
 	}
 	sys.Dispatcher = disp
+	if opts.Pipeline != nil {
+		sys.Pipeline = pipeline.New(client, sCfg, *opts.Pipeline)
+		sys.Pipeline.SetTracer(sys.Obs)
+	}
 	return sys, nil
 }
 
@@ -191,6 +204,22 @@ func (s *System) SampleSoftware(ctx context.Context, roots []graph.NodeID) (*sam
 	return res, err
 }
 
+// SamplePipelined runs one batch through the out-of-order executor (the
+// software load unit). Falls back to SampleSoftware when no pipeline was
+// configured — the result stays byte-identical when both paths use
+// RootStreams. A *pipeline.PartialError marks per-root degradation; the
+// result keeps its full layout and the dispatcher records it.
+func (s *System) SamplePipelined(ctx context.Context, roots []graph.NodeID) (*sampler.Result, error) {
+	if s.Pipeline == nil {
+		return s.SampleSoftware(ctx, roots)
+	}
+	res, err := s.Pipeline.Sample(ctx, roots)
+	if _, ok := pipeline.AsPartial(err); ok {
+		s.Dispatcher.RecordDegraded()
+	}
+	return res, err
+}
+
 // BatchSource returns a deterministic root generator for this system.
 func (s *System) BatchSource(batchSize int, seed int64) *workload.BatchSource {
 	return workload.NewBatchSource(s.Graph.NumNodes(), batchSize, seed)
@@ -203,6 +232,9 @@ func (s *System) BatchSource(batchSize int, seed int64) *workload.BatchSource {
 func (s *System) StatsRegistry() *stats.Registry {
 	reg := stats.NewRegistry()
 	reg.Register(&s.Client.Traffic, s.Client.Batches, &s.Client.Res, &s.Client.Pack, s.Dispatcher, s.Obs)
+	if s.Pipeline != nil {
+		reg.Register(s.Pipeline.Stats())
+	}
 	servers := s.Servers
 	// One merged cluster.wire block: per-server counters summed, ratios
 	// recomputed over the totals.

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -58,6 +59,30 @@ func (d *Dynamic) Neighbors(v NodeID) []NodeID {
 	out = append(out, extra...)
 	d.mu.RUnlock()
 	return out
+}
+
+// NeighborsBatch implements the batch store shape: live adjacency (base
+// plus delta) for every requested vertex.
+func (d *Dynamic) NeighborsBatch(ctx context.Context, dst [][]NodeID, vs []NodeID) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for i, v := range vs {
+		dst[i] = d.Neighbors(v)
+	}
+	return nil
+}
+
+// AttrsBatch implements the batch store shape.
+func (d *Dynamic) AttrsBatch(ctx context.Context, dst []float32, vs []NodeID) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	al := d.base.AttrLen()
+	for i, v := range vs {
+		d.base.Attr(dst[i*al:i*al], v)
+	}
+	return nil
 }
 
 // NumEdges returns base plus delta edge count.

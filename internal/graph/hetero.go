@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
@@ -79,8 +80,10 @@ func (h *Hetero) Attr(dst []float32, v NodeID) []float32 {
 	return h.relations[h.primary].Attr(dst, v)
 }
 
-// View adapts one relation to the sampler.Store shape (NumNodes, Neighbors,
-// Attr, AttrLen) while attributes come from the shared table.
+// View adapts one relation to the batch-first sampler.Store shape
+// (NumNodes, AttrLen, NeighborsBatch, AttrsBatch) while attributes come
+// from the shared table. The scalar methods remain so the view also
+// satisfies the deprecated sampler.SingleStore.
 type heteroView struct {
 	h   *Hetero
 	rel *Graph
@@ -101,8 +104,31 @@ func (v *heteroView) NumNodes() int64 { return v.h.numNodes }
 // AttrLen implements the store shape.
 func (v *heteroView) AttrLen() int { return v.h.attrLen }
 
-// Neighbors implements the store shape.
+// NeighborsBatch implements the batch store shape over this relation.
+func (v *heteroView) NeighborsBatch(ctx context.Context, dst [][]NodeID, vs []NodeID) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for i, n := range vs {
+		dst[i] = v.rel.Neighbors(n)
+	}
+	return nil
+}
+
+// AttrsBatch implements the batch store shape from the shared table.
+func (v *heteroView) AttrsBatch(ctx context.Context, dst []float32, vs []NodeID) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	al := v.h.attrLen
+	for i, n := range vs {
+		v.h.Attr(dst[i*al:i*al], n)
+	}
+	return nil
+}
+
+// Neighbors implements the deprecated scalar store shape.
 func (v *heteroView) Neighbors(n NodeID) []NodeID { return v.rel.Neighbors(n) }
 
-// Attr implements the store shape.
+// Attr implements the deprecated scalar store shape.
 func (v *heteroView) Attr(dst []float32, n NodeID) []float32 { return v.h.Attr(dst, n) }

@@ -92,6 +92,12 @@ const (
 	// HopServer is the server-side Handle duration, as reported by the
 	// peer in the traced reply envelope.
 	HopServer = "server"
+	// HopPipeWait is time a pipeline fetch task spent blocked on the
+	// out-of-order window (all request slots occupied).
+	HopPipeWait = "pipe_wait"
+	// HopPipeFetch is one pipeline fetch task's store round trip
+	// (neighbor lists or attribute vectors for one root, one hop).
+	HopPipeFetch = "pipe_fetch"
 )
 
 // Span is one timed hop (or instantaneous event, Dur == 0) of a trace.

@@ -1,0 +1,388 @@
+package pipeline
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"lsdgnn/internal/cluster"
+	"lsdgnn/internal/graph"
+	"lsdgnn/internal/sampler"
+)
+
+var bg = context.Background()
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	return graph.Generate(graph.GenConfig{NumNodes: 1500, AvgDegree: 7, AttrLen: 6, Seed: 1, PowerLaw: true})
+}
+
+func testRoots(n int) []graph.NodeID {
+	roots := make([]graph.NodeID, n)
+	for i := range roots {
+		roots[i] = graph.NodeID(i * 37 % 1500)
+	}
+	return roots
+}
+
+func testCfg() sampler.Config {
+	return sampler.Config{
+		Fanouts:      []int{3, 2},
+		NegativeRate: 2,
+		Method:       sampler.Streaming,
+		FetchAttrs:   true,
+		Seed:         99,
+		RootStreams:  true,
+	}
+}
+
+func sameResult(t *testing.T, label string, got, want *sampler.Result) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Roots, want.Roots) {
+		t.Fatalf("%s: roots differ", label)
+	}
+	if !reflect.DeepEqual(got.Hops, want.Hops) {
+		t.Fatalf("%s: hops differ", label)
+	}
+	if !reflect.DeepEqual(got.Negatives, want.Negatives) {
+		t.Fatalf("%s: negatives differ", label)
+	}
+	if !reflect.DeepEqual(got.Attrs, want.Attrs) {
+		t.Fatalf("%s: attrs differ", label)
+	}
+	if got.Cycles != want.Cycles {
+		t.Fatalf("%s: cycles %d != %d", label, got.Cycles, want.Cycles)
+	}
+}
+
+// TestPipelineDeterminism: out-of-order execution must be invisible in
+// the output. Whatever the window size — including Window 1, the
+// blocking load unit — the pipelined result is byte-identical to the
+// synchronous RootStreams sampler, and to the distributed client's
+// synchronous batch path over the same graph.
+func TestPipelineDeterminism(t *testing.T) {
+	g := testGraph(t)
+	cfg := testCfg()
+	roots := testRoots(64)
+
+	ref, err := sampler.New(sampler.LocalStore{G: g}, cfg).Sample(bg, roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, window := range []int{1, 16, 256} {
+		ex := New(sampler.LocalStore{G: g}, cfg, Config{Window: window})
+		got, err := ex.Sample(bg, roots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, "window="+string(rune('0'+window%10)), got, ref)
+	}
+
+	// Hop-overlap gating must not change answers either.
+	ex := New(sampler.LocalStore{G: g}, cfg, Config{Window: 64, MaxHopOverlap: 1})
+	got, err := ex.Sample(bg, roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "maxHopOverlap=1", got, ref)
+
+	// Distributed synchronous path: same seed, same bytes.
+	part := cluster.HashPartitioner{N: 3}
+	servers := []*cluster.Server{
+		cluster.NewServer(g, part, 0), cluster.NewServer(g, part, 1), cluster.NewServer(g, part, 2),
+	}
+	client, err := cluster.NewClient(cluster.DirectTransport{Servers: servers}, part, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := client.SampleBatch(bg, roots, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "client.SampleBatch", dist, ref)
+
+	// And the pipeline over the distributed store.
+	ex = New(client, cfg, Config{Window: 32})
+	got, err = ex.Sample(bg, roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "pipeline-over-client", got, ref)
+}
+
+// slowStore injects a fixed per-fetch delay, forcing tasks to pile up on
+// the window.
+type slowStore struct {
+	sampler.Store
+	delay time.Duration
+}
+
+func (s slowStore) NeighborsBatch(ctx context.Context, dst [][]graph.NodeID, vs []graph.NodeID) error {
+	time.Sleep(s.delay)
+	return s.Store.NeighborsBatch(ctx, dst, vs)
+}
+
+func (s slowStore) AttrsBatch(ctx context.Context, dst []float32, vs []graph.NodeID) error {
+	time.Sleep(s.delay)
+	return s.Store.AttrsBatch(ctx, dst, vs)
+}
+
+// TestPipelineWindowExhaustion: a pathological batch — many roots, hub
+// expansion, a window far smaller than the demand — must stay within the
+// window bound (the executor's memory guarantee) while recording the
+// stalls it suffered, and still produce exact results.
+func TestPipelineWindowExhaustion(t *testing.T) {
+	g := testGraph(t) // power-law: includes high-degree hubs
+	cfg := testCfg()
+	roots := testRoots(48)
+	const window = 8
+
+	ex := New(slowStore{Store: sampler.LocalStore{G: g}, delay: 200 * time.Microsecond}, cfg, Config{Window: window})
+	got, err := ex.Sample(bg, roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak := ex.Stats().InflightPeak(); peak > window {
+		t.Fatalf("inflight peak %d exceeded window %d", peak, window)
+	}
+	if ex.Stats().WindowStalls() == 0 {
+		t.Fatal("48 roots through an 8-slot window never stalled")
+	}
+
+	ref, err := sampler.New(sampler.LocalStore{G: g}, cfg).Sample(bg, roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "exhausted-window", got, ref)
+}
+
+// TestPipelineCancellation: an expired context aborts the batch with
+// ctx.Err() instead of a hung window.
+func TestPipelineCancellation(t *testing.T) {
+	g := testGraph(t)
+	ex := New(slowStore{Store: sampler.LocalStore{G: g}, delay: time.Millisecond}, testCfg(), Config{Window: 4})
+	ctx, cancel := context.WithTimeout(bg, 3*time.Millisecond)
+	defer cancel()
+	res, err := ex.Sample(ctx, testRoots(64))
+	if err == nil {
+		t.Fatal("canceled batch reported success")
+	}
+	if res != nil {
+		t.Fatal("canceled batch returned a result")
+	}
+}
+
+// faultyStore fails every fetch that touches a poisoned vertex, leaving
+// the outputs layout-complete — the degradation contract a lost shard
+// exhibits through the cluster client.
+type faultyStore struct {
+	sampler.Store
+	mu     sync.Mutex
+	poison map[graph.NodeID]bool
+}
+
+func (s *faultyStore) failing(vs []graph.NodeID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, v := range vs {
+		if s.poison[v] {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *faultyStore) NeighborsBatch(ctx context.Context, dst [][]graph.NodeID, vs []graph.NodeID) error {
+	if err := s.Store.NeighborsBatch(ctx, dst, vs); err != nil {
+		return err
+	}
+	if s.failing(vs) {
+		for i, v := range vs {
+			if s.poison[v] {
+				dst[i] = nil
+			}
+		}
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+func (s *faultyStore) AttrsBatch(ctx context.Context, dst []float32, vs []graph.NodeID) error {
+	if err := s.Store.AttrsBatch(ctx, dst, vs); err != nil {
+		return err
+	}
+	if s.failing(vs) {
+		al := s.Store.AttrLen()
+		for i, v := range vs {
+			if s.poison[v] {
+				for j := 0; j < al; j++ {
+					dst[i*al+j] = 0
+				}
+			}
+		}
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+// TestPipelinePartialDegradesOnlyFailedRoots: a failing fetch poisons
+// its own root's subtree — reported through PartialError — while every
+// other root retires byte-identical to the fault-free reference.
+func TestPipelinePartialDegradesOnlyFailedRoots(t *testing.T) {
+	g := testGraph(t)
+	cfg := testCfg()
+	roots := testRoots(32)
+
+	ref, err := sampler.New(sampler.LocalStore{G: g}, cfg).Sample(bg, roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fs := &faultyStore{Store: sampler.LocalStore{G: g}, poison: map[graph.NodeID]bool{roots[5]: true}}
+	ex := New(fs, cfg, Config{Window: 64})
+	got, err := ex.Sample(bg, roots)
+	if err == nil {
+		t.Fatal("poisoned batch reported success")
+	}
+	pe, ok := AsPartial(err)
+	if !ok {
+		t.Fatalf("want PartialError, got %v", err)
+	}
+	degraded := map[int]bool{}
+	for _, re := range pe.Roots {
+		degraded[re.Index] = true
+	}
+	if !degraded[5] {
+		t.Fatal("poisoned root not reported degraded")
+	}
+	if ex.Stats().DegradedRoots() == 0 {
+		t.Fatal("degraded_roots counter did not move")
+	}
+
+	// The result stays layout-complete...
+	if len(got.Hops[0]) != len(ref.Hops[0]) || len(got.Hops[1]) != len(ref.Hops[1]) || len(got.Attrs) != len(ref.Attrs) {
+		t.Fatal("degraded result is not layout-complete")
+	}
+	// ...and every clean root is exact.
+	w0, w1 := 3, 6
+	al := g.AttrLen()
+	for r := range roots {
+		if degraded[r] {
+			continue
+		}
+		if !reflect.DeepEqual(got.Hops[0][r*w0:(r+1)*w0], ref.Hops[0][r*w0:(r+1)*w0]) ||
+			!reflect.DeepEqual(got.Hops[1][r*w1:(r+1)*w1], ref.Hops[1][r*w1:(r+1)*w1]) {
+			t.Fatalf("clean root %d sampled differently under faults", r)
+		}
+		if !reflect.DeepEqual(got.Attrs[r*al:(r+1)*al], ref.Attrs[r*al:(r+1)*al]) {
+			t.Fatalf("clean root %d attrs differ", r)
+		}
+	}
+}
+
+// TestChaosPipelineOverFaultyCluster: the executor rides the resilient
+// client mid-chaos — transient injected faults with retries underneath,
+// a murdered shard with PartialResults degradation — and every root the
+// cluster could serve retires byte-identical to the pristine reference.
+func TestChaosPipelineOverFaultyCluster(t *testing.T) {
+	g := testGraph(t)
+	cfg := testCfg()
+	roots := testRoots(40)
+	part := cluster.HashPartitioner{N: 3}
+
+	build := func() (*cluster.FaultyTransport, *cluster.Client) {
+		servers := []*cluster.Server{
+			cluster.NewServer(g, part, 0), cluster.NewServer(g, part, 1), cluster.NewServer(g, part, 2),
+		}
+		ft := cluster.NewFaultyTransport(cluster.DirectTransport{Servers: servers}, 7)
+		client, err := cluster.NewClientContext(bg, ft, part, -1, cluster.WithResilience(cluster.ResilienceConfig{
+			Retry:          cluster.RetryPolicy{MaxAttempts: 6, BaseBackoff: time.Microsecond, MaxBackoff: 10 * time.Microsecond},
+			Breaker:        cluster.BreakerConfig{Threshold: 1 << 30, OpenFor: time.Minute},
+			PartialResults: true,
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ft, client
+	}
+
+	_, pristine := build()
+	ref, err := New(pristine, cfg, Config{Window: 64}).Sample(bg, roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: transient faults only — retries absorb them, so the batch
+	// must come back complete and exact.
+	ft, client := build()
+	ft.SetFaults(cluster.FaultSpec{ErrRate: 0.15})
+	got, err := New(client, cfg, Config{Window: 64}).Sample(bg, roots)
+	if err != nil {
+		if _, ok := AsPartial(err); !ok {
+			t.Fatalf("chaos batch failed outright: %v", err)
+		}
+	} else {
+		sameResult(t, "transient-chaos", got, ref)
+	}
+
+	// Phase 2: kill a shard outright. Roots whose subtrees touch it
+	// degrade; everyone else must still match the reference exactly.
+	ft2, client2 := build()
+	ft2.KillServer(1)
+	got2, err2 := New(client2, cfg, Config{Window: 64}).Sample(bg, roots)
+	if err2 == nil {
+		t.Fatal("batch over a dead shard reported success")
+	}
+	pe, ok := AsPartial(err2)
+	if !ok {
+		t.Fatalf("want PartialError, got %v", err2)
+	}
+	if len(pe.Roots) == 0 || len(pe.Roots) == len(roots) {
+		t.Fatalf("implausible degradation: %d of %d roots", len(pe.Roots), len(roots))
+	}
+	degraded := map[int]bool{}
+	for _, re := range pe.Roots {
+		degraded[re.Index] = true
+	}
+	w0, w1 := 3, 6
+	for r := range roots {
+		if degraded[r] {
+			continue
+		}
+		if !reflect.DeepEqual(got2.Hops[0][r*w0:(r+1)*w0], ref.Hops[0][r*w0:(r+1)*w0]) ||
+			!reflect.DeepEqual(got2.Hops[1][r*w1:(r+1)*w1], ref.Hops[1][r*w1:(r+1)*w1]) {
+			t.Fatalf("clean root %d sampled differently during shard loss", r)
+		}
+	}
+}
+
+// TestPipelineStatsZeroValue: an idle Stats must report the full metric
+// schema at zero — the server pre-registers one so the Prometheus
+// namespace is stable before any traffic.
+func TestPipelineStatsZeroValue(t *testing.T) {
+	var s Stats
+	snap := s.StatsSnapshot()
+	if snap.Layer != "pipeline" {
+		t.Fatalf("layer %q", snap.Layer)
+	}
+	want := []string{
+		"inflight", "inflight_peak", "issued_tasks", "issued_requests",
+		"retired_tasks", "retired_requests", "window_full_stalls",
+		"degraded_roots", "batches", "batch_errors",
+	}
+	for _, name := range want {
+		v, ok := snap.Get(name)
+		if !ok {
+			t.Fatalf("metric %s missing from idle snapshot", name)
+		}
+		if v != 0 {
+			t.Fatalf("idle metric %s = %v", name, v)
+		}
+	}
+	if len(snap.Hists) != 2 {
+		t.Fatalf("idle snapshot carries %d histograms, want 2", len(snap.Hists))
+	}
+}

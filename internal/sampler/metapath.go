@@ -1,6 +1,7 @@
 package sampler
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -47,18 +48,22 @@ func NewMetaPath(h *graph.Hetero, path []string, cfg Config) (*MetaPathSampler, 
 func (s *MetaPathSampler) Path() []string { return append([]string(nil), s.path...) }
 
 // SampleBatch expands roots along the meta-path, producing the standard
-// Result layout.
+// Result layout. Each hop fetches the whole frontier through that
+// relation's batch store before drawing, so a remote-backed relation view
+// costs per-hop round trips, not per-node ones.
 func (s *MetaPathSampler) SampleBatch(roots []graph.NodeID) *Result {
+	ctx := context.Background()
 	res := &Result{Roots: roots}
 	frontier := roots
 	for hop, fanout := range s.cfg.Fanouts {
 		store := s.hops[hop]
+		lists := make([][]graph.NodeID, len(frontier))
+		_ = store.NeighborsBatch(ctx, lists, frontier)
 		next := make([]graph.NodeID, 0, len(frontier)*fanout)
-		for _, v := range frontier {
-			nbrs := store.Neighbors(v)
+		for i, v := range frontier {
 			before := len(next)
 			var cyc int
-			next, cyc = SampleNeighbors(next, nbrs, fanout, s.cfg.Method, s.rng)
+			next, cyc = SampleNeighbors(next, lists[i], fanout, s.cfg.Method, s.rng)
 			res.Cycles += cyc
 			for len(next)-before < fanout {
 				next = append(next, v)

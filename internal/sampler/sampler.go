@@ -5,6 +5,7 @@
 package sampler
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -12,17 +13,83 @@ import (
 )
 
 // Store abstracts graph storage so the same sampler runs against a local
-// graph, a distributed cluster client, or the AxE functional engine.
+// graph, a distributed cluster client, or the AxE functional engine. The
+// interface is batch-first and context-aware: every fetch moves a vector
+// of vertices in one call, so a remote-backed store turns one hop into a
+// handful of grouped RPCs instead of a per-node round trip, and deadlines
+// and cancellation propagate down to the transport.
+//
+// Scalar per-node access (the old four-method shape) lives on in
+// SingleStore; wrap legacy implementations with Single.
 type Store interface {
 	// NumNodes returns the vertex count.
 	NumNodes() int64
+	// AttrLen returns the attribute vector length.
+	AttrLen() int
+	// NeighborsBatch fills dst[i] with the out-neighbors of vs[i]. dst must
+	// have len(vs) entries. The filled lists must not be modified. A store
+	// that can degrade (lost shards) fills what it has — leaving nil for
+	// lost vertices — and returns an error describing the loss, so the
+	// result stays layout-complete.
+	NeighborsBatch(ctx context.Context, dst [][]graph.NodeID, vs []graph.NodeID) error
+	// AttrsBatch fills dst with the attribute vectors of vs, concatenated
+	// in order. dst must have len(vs)*AttrLen() entries. Degrading stores
+	// leave lost vertices zeroed and return an error.
+	AttrsBatch(ctx context.Context, dst []float32, vs []graph.NodeID) error
+}
+
+// SingleStore is the legacy scalar store shape: one vertex per call, no
+// context, no error path.
+//
+// Deprecated: implement the batch-first Store instead; it amortizes RPC
+// round trips and reports failures. Wrap an existing SingleStore with
+// Single where a Store is required.
+type SingleStore interface {
+	// NumNodes returns the vertex count.
+	NumNodes() int64
+	// AttrLen returns the attribute vector length.
+	AttrLen() int
 	// Neighbors returns the out-neighbors of v. The result must not be
 	// modified.
 	Neighbors(v graph.NodeID) []graph.NodeID
 	// Attr appends v's attribute vector to dst.
 	Attr(dst []float32, v graph.NodeID) []float32
-	// AttrLen returns the attribute vector length.
-	AttrLen() int
+}
+
+// Single adapts a scalar SingleStore to the batch-first Store interface.
+// It is the compatibility shim for stores that predate the batch API:
+// each batched call loops over the scalar methods, checking ctx between
+// vertices.
+type Single struct{ S SingleStore }
+
+// NumNodes implements Store.
+func (a Single) NumNodes() int64 { return a.S.NumNodes() }
+
+// AttrLen implements Store.
+func (a Single) AttrLen() int { return a.S.AttrLen() }
+
+// NeighborsBatch implements Store by looping over the scalar method.
+func (a Single) NeighborsBatch(ctx context.Context, dst [][]graph.NodeID, vs []graph.NodeID) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for i, v := range vs {
+		dst[i] = a.S.Neighbors(v)
+	}
+	return nil
+}
+
+// AttrsBatch implements Store by looping over the scalar method.
+func (a Single) AttrsBatch(ctx context.Context, dst []float32, vs []graph.NodeID) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	al := a.S.AttrLen()
+	for i, v := range vs {
+		// Append into the i-th slot of the preallocated dst in place.
+		a.S.Attr(dst[i*al:i*al], v)
+	}
+	return nil
 }
 
 // Method selects the neighbor-sampling algorithm.
@@ -132,6 +199,14 @@ type Config struct {
 	// WeightFn, when set, switches neighbor selection to importance
 	// weighting (e.g. DegreeWeight) while keeping Method's hardware shape.
 	WeightFn WeightFunc
+	// RootStreams switches random-number use from one shared batch stream
+	// to derived per-root, per-node streams (see NodeRNG): every expansion
+	// draws from an RNG seeded by (Seed, root index, hop, position), so
+	// the sampled output is independent of execution order. This is what
+	// lets the out-of-order pipeline executor and the AxE engine retire
+	// work in any order and still produce byte-identical results to the
+	// synchronous path.
+	RootStreams bool
 }
 
 // Sampler performs mini-batch k-hop sampling over a Store.
@@ -150,17 +225,45 @@ func New(store Store, cfg Config) *Sampler {
 	return &Sampler{store: store, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
 }
 
-// SampleBatch runs k-hop sampling for the given roots.
+// SampleBatch runs k-hop sampling for the given roots with no deadline,
+// ignoring store degradation (a local store never degrades). Remote-backed
+// callers should use Sample, which bounds the batch with a context and
+// reports lost data.
 func (s *Sampler) SampleBatch(roots []graph.NodeID) *Result {
+	res, _ := s.Sample(context.Background(), roots)
+	return res
+}
+
+// Sample runs k-hop sampling for the given roots. Each hop fetches the
+// whole frontier through one NeighborsBatch call, then draws neighbors in
+// frontier order, so results are identical to the historical per-node
+// path. The returned Result is always layout-complete; a non-nil error
+// reports store degradation (lost vertices contribute self-loop padding
+// and zeroed attributes) or ctx expiry (nil result).
+func (s *Sampler) Sample(ctx context.Context, roots []graph.NodeID) (*Result, error) {
 	res := &Result{Roots: roots}
 	frontier := roots
-	for _, fanout := range s.cfg.Fanouts {
+	width := 1 // per-root frontier width at the current hop
+	var firstErr error
+	for h, fanout := range s.cfg.Fanouts {
+		lists := make([][]graph.NodeID, len(frontier))
+		if err := s.store.NeighborsBatch(ctx, lists, frontier); err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
 		next := make([]graph.NodeID, 0, len(frontier)*fanout)
-		for _, v := range frontier {
-			nbrs := s.store.Neighbors(v)
+		for i, v := range frontier {
+			rng := s.rng
+			if s.cfg.RootStreams {
+				rng = NodeRNG(s.cfg.Seed, i/width, h, i%width)
+			}
 			before := len(next)
 			var cyc int
-			next, cyc = s.expand(next, v, nbrs, fanout)
+			next, cyc = ExpandNeighbors(next, v, lists[i], fanout, s.cfg.Method, s.cfg.WeightFn, rng)
 			res.Cycles += cyc
 			// Pad to exact fanout with the parent (self-loop fallback).
 			for len(next)-before < fanout {
@@ -169,40 +272,55 @@ func (s *Sampler) SampleBatch(roots []graph.NodeID) *Result {
 		}
 		res.Hops = append(res.Hops, next)
 		frontier = next
+		width *= fanout
 	}
 	if s.cfg.NegativeRate > 0 {
 		res.Negatives = make([]graph.NodeID, 0, len(roots)*s.cfg.NegativeRate)
 		n := s.store.NumNodes()
-		for range roots {
+		for r := range roots {
+			rng := s.rng
+			if s.cfg.RootStreams {
+				rng = NegativesRNG(s.cfg.Seed, r)
+			}
 			for i := 0; i < s.cfg.NegativeRate; i++ {
-				res.Negatives = append(res.Negatives, graph.NodeID(s.rng.Int63n(n)))
+				res.Negatives = append(res.Negatives, graph.NodeID(rng.Int63n(n)))
 			}
 		}
 	}
 	if s.cfg.FetchAttrs {
-		res.Attrs = s.fetchAttrs(res)
+		if err := s.fetchAttrs(ctx, res); err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
 	}
-	return res
+	return res, firstErr
 }
 
-func (s *Sampler) fetchAttrs(res *Result) []float32 {
+func (s *Sampler) fetchAttrs(ctx context.Context, res *Result) error {
+	ids := AttrOrder(res)
+	res.Attrs = make([]float32, len(ids)*s.store.AttrLen())
+	return s.store.AttrsBatch(ctx, res.Attrs, ids)
+}
+
+// AttrOrder returns the canonical attribute-fetch order of a result:
+// roots, every hop in order, then negatives — the layout Result.Attrs
+// concatenates.
+func AttrOrder(res *Result) []graph.NodeID {
 	total := len(res.Roots) + len(res.Negatives)
 	for _, h := range res.Hops {
 		total += len(h)
 	}
-	attrs := make([]float32, 0, total*s.store.AttrLen())
-	for _, v := range res.Roots {
-		attrs = s.store.Attr(attrs, v)
-	}
+	ids := make([]graph.NodeID, 0, total)
+	ids = append(ids, res.Roots...)
 	for _, hop := range res.Hops {
-		for _, v := range hop {
-			attrs = s.store.Attr(attrs, v)
-		}
+		ids = append(ids, hop...)
 	}
-	for _, v := range res.Negatives {
-		attrs = s.store.Attr(attrs, v)
-	}
-	return attrs
+	ids = append(ids, res.Negatives...)
+	return ids
 }
 
 // LocalStore adapts a *graph.Graph to the Store interface.
@@ -211,14 +329,43 @@ type LocalStore struct{ G *graph.Graph }
 // NumNodes implements Store.
 func (l LocalStore) NumNodes() int64 { return l.G.NumNodes() }
 
-// Neighbors implements Store.
-func (l LocalStore) Neighbors(v graph.NodeID) []graph.NodeID { return l.G.Neighbors(v) }
-
-// Attr implements Store.
-func (l LocalStore) Attr(dst []float32, v graph.NodeID) []float32 { return l.G.Attr(dst, v) }
-
 // AttrLen implements Store.
 func (l LocalStore) AttrLen() int { return l.G.AttrLen() }
+
+// NeighborsBatch implements Store.
+func (l LocalStore) NeighborsBatch(ctx context.Context, dst [][]graph.NodeID, vs []graph.NodeID) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for i, v := range vs {
+		dst[i] = l.G.Neighbors(v)
+	}
+	return nil
+}
+
+// AttrsBatch implements Store.
+func (l LocalStore) AttrsBatch(ctx context.Context, dst []float32, vs []graph.NodeID) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	al := l.G.AttrLen()
+	for i, v := range vs {
+		l.G.Attr(dst[i*al:i*al], v)
+	}
+	return nil
+}
+
+// Neighbors returns the out-neighbors of v.
+//
+// Deprecated: use NeighborsBatch; the scalar shape survives only so
+// LocalStore keeps satisfying SingleStore.
+func (l LocalStore) Neighbors(v graph.NodeID) []graph.NodeID { return l.G.Neighbors(v) }
+
+// Attr appends v's attribute vector to dst.
+//
+// Deprecated: use AttrsBatch; the scalar shape survives only so
+// LocalStore keeps satisfying SingleStore.
+func (l LocalStore) Attr(dst []float32, v graph.NodeID) []float32 { return l.G.Attr(dst, v) }
 
 func min(a, b int) int {
 	if a < b {

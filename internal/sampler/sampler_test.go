@@ -1,6 +1,7 @@
 package sampler
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -278,7 +279,24 @@ func TestLocalStoreAdapter(t *testing.T) {
 	if st.NumNodes() != g.NumNodes() || st.AttrLen() != g.AttrLen() {
 		t.Fatal("adapter metadata wrong")
 	}
-	if len(st.Neighbors(1)) != g.Degree(1) {
+	lists := make([][]graph.NodeID, 1)
+	if err := st.NeighborsBatch(context.Background(), lists, []graph.NodeID{1}); err != nil {
+		t.Fatalf("NeighborsBatch: %v", err)
+	}
+	if len(lists[0]) != g.Degree(1) {
 		t.Fatal("adapter neighbors wrong")
+	}
+	// LocalStore still satisfies the deprecated scalar shape, and the
+	// Single shim turns it back into a batch Store.
+	var shim Store = Single{S: LocalStore{G: g}}
+	attrs := make([]float32, g.AttrLen())
+	if err := shim.AttrsBatch(context.Background(), attrs, []graph.NodeID{1}); err != nil {
+		t.Fatalf("shim AttrsBatch: %v", err)
+	}
+	want := g.Attr(nil, 1)
+	for i := range want {
+		if attrs[i] != want[i] {
+			t.Fatal("shim attrs do not match graph")
+		}
 	}
 }

@@ -1,0 +1,56 @@
+package sampler
+
+import "math/rand"
+
+// Deterministic per-root RNG streams. The paper's AxE load unit (§4.2
+// Tech-3, Fig. 8) retires memory responses out of order; a software
+// reproduction of that pipeline must not let completion order change the
+// sampled output, or every run would be irreproducible. The fix is to
+// stop sharing one sequential RNG across the batch: every expansion site
+// gets its own stream derived purely from (batch seed, root index, hop,
+// position within the root's frontier), and every root's negative draws
+// get a stream of their own. Any execution order — synchronous, hop-
+// overlapped, fully out of order, or the AxE event simulation — then
+// produces byte-identical results. Config.RootStreams opts a sampler into
+// this scheme.
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed 64-bit
+// mixing function (Steele et al., "Fast Splittable Pseudorandom Number
+// Generators").
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// StreamSeed derives a child seed from a batch seed and a tag path by
+// folding each tag through splitmix64. Distinct tag paths give
+// independent streams; the same path always gives the same stream.
+func StreamSeed(seed int64, tags ...uint64) int64 {
+	z := mix64(uint64(seed))
+	for _, t := range tags {
+		z = mix64(z ^ mix64(t))
+	}
+	return int64(z)
+}
+
+// Stream tags namespace the derivation so e.g. root 3's negative stream
+// can never collide with an expansion stream.
+const (
+	tagExpand    = 0x657870 // "exp"
+	tagNegatives = 0x6e6567 // "neg"
+)
+
+// NodeRNG returns the dedicated stream for expanding the node at (root
+// index, hop, position within the root's hop frontier) under the given
+// batch seed. Every call returns an identical, freshly-positioned stream.
+func NodeRNG(seed int64, root, hop, pos int) *rand.Rand {
+	return rand.New(rand.NewSource(StreamSeed(seed, tagExpand, uint64(root), uint64(hop), uint64(pos))))
+}
+
+// NegativesRNG returns the root's negative-sampling stream under the
+// given batch seed.
+func NegativesRNG(seed int64, root int) *rand.Rand {
+	return rand.New(rand.NewSource(StreamSeed(seed, tagNegatives, uint64(root))))
+}

@@ -1,6 +1,7 @@
 package sampler
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -23,10 +24,15 @@ type WeightFunc func(parent, candidate graph.NodeID) float64
 
 // DegreeWeight returns degree-based sampling weights over st: candidates
 // with more neighbors are preferred (the classic importance heuristic for
-// hub-heavy e-commerce graphs).
+// hub-heavy e-commerce graphs). Degrees come through the batch fetch
+// path; a failed lookup falls back to the uniform weight 1.
 func DegreeWeight(st Store) WeightFunc {
 	return func(_, candidate graph.NodeID) float64 {
-		return float64(len(st.Neighbors(candidate)) + 1)
+		var lists [1][]graph.NodeID
+		if err := st.NeighborsBatch(context.Background(), lists[:], []graph.NodeID{candidate}); err != nil {
+			return 1
+		}
+		return float64(len(lists[0]) + 1)
 	}
 }
 
@@ -120,18 +126,22 @@ func SampleNeighborsWeighted(dst []graph.NodeID, candidates []graph.NodeID, weig
 	}
 }
 
-// weightedExpand is the k-hop expansion step when a WeightFunc is set.
-func (s *Sampler) expand(dst []graph.NodeID, parent graph.NodeID, nbrs []graph.NodeID, fanout int) ([]graph.NodeID, int) {
-	if s.cfg.WeightFn == nil {
-		return SampleNeighbors(dst, nbrs, fanout, s.cfg.Method, s.rng)
+// ExpandNeighbors is the k-hop expansion step shared by every execution
+// path (synchronous Sampler, out-of-order pipeline, AxE engine): it draws
+// up to fanout of nbrs with method m and the given RNG, applying wf when
+// set. The returned slice grows dst by at most fanout (callers pad with
+// the parent to exact fanout).
+func ExpandNeighbors(dst []graph.NodeID, parent graph.NodeID, nbrs []graph.NodeID, fanout int, m Method, wf WeightFunc, rng *rand.Rand) ([]graph.NodeID, int) {
+	if wf == nil {
+		return SampleNeighbors(dst, nbrs, fanout, m, rng)
 	}
 	weights := make([]float64, len(nbrs))
 	for i, u := range nbrs {
-		w := s.cfg.WeightFn(parent, u)
+		w := wf(parent, u)
 		if w < 0 {
 			w = 0
 		}
 		weights[i] = w
 	}
-	return SampleNeighborsWeighted(dst, nbrs, weights, fanout, s.cfg.Method, s.rng)
+	return SampleNeighborsWeighted(dst, nbrs, weights, fanout, m, rng)
 }

@@ -17,6 +17,7 @@
 //		lsdgnn.WithReplicas(2),
 //		lsdgnn.WithResilience(lsdgnn.DefaultResilienceConfig()),
 //		lsdgnn.WithPacking(0), // protocol-v2 MoF packing + BDI
+//		lsdgnn.WithPipeline(lsdgnn.PipelineConfig{}), // OoO sampling (Tech-3)
 //	)
 //
 // Errors from the serving path carry typed semantics — match them with

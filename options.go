@@ -5,6 +5,7 @@ import (
 
 	"lsdgnn/internal/cluster"
 	"lsdgnn/internal/core"
+	"lsdgnn/internal/pipeline"
 	"lsdgnn/internal/sampler"
 )
 
@@ -49,10 +50,24 @@ type (
 	PackingConfig = cluster.PackingConfig
 	// DispatcherConfig tunes batch placement across AxE engines.
 	DispatcherConfig = core.DispatcherConfig
+	// PipelineConfig tunes the out-of-order sampling executor (in-flight
+	// window, hop-overlap bound) enabled by WithPipeline.
+	PipelineConfig = pipeline.Config
+	// PipelinePartialError reports per-root degradation from a pipelined
+	// batch: the result keeps its full layout, and each listed root's
+	// subtree carries self-loop padding / zeroed attributes.
+	PipelinePartialError = pipeline.PartialError
+	// RootError pairs one degraded root with its error inside a
+	// PipelinePartialError.
+	RootError = pipeline.RootError
 )
 
 // AsPartial unwraps a *PartialError, mirroring cluster.AsPartial.
 func AsPartial(err error) (*PartialError, bool) { return cluster.AsPartial(err) }
+
+// AsPipelinePartial unwraps a *PipelinePartialError, mirroring
+// pipeline.AsPartial.
+func AsPipelinePartial(err error) (*PipelinePartialError, bool) { return pipeline.AsPartial(err) }
 
 // DefaultResilienceConfig returns the stock retry/breaker/failover policy.
 func DefaultResilienceConfig() ResilienceConfig { return cluster.DefaultResilienceConfig() }
@@ -124,6 +139,23 @@ func WithPacking(window time.Duration) Option {
 // WithPackingConfig is WithPacking with every knob exposed.
 func WithPackingConfig(cfg PackingConfig) Option {
 	return func(o *Options) { c := cfg; o.Packing = &c }
+}
+
+// WithPipeline enables the out-of-order sampling executor — the software
+// model of the AxE load unit (Section 4.2 Tech-3). System.SamplePipelined
+// then decomposes each batch into per-root, per-hop fetches flowing
+// through a bounded in-flight window (cfg.Window node-requests, 0 =
+// default 256), overlapping later hops of fast roots with earlier hops of
+// slow ones. Sampling switches to derived per-root RNG streams, so the
+// pipelined result is byte-identical to the synchronous path for the same
+// seed:
+//
+//	sys, err := lsdgnn.New("ss",
+//		lsdgnn.WithPipeline(lsdgnn.PipelineConfig{Window: 256}),
+//	)
+//	res, err := sys.SamplePipelined(ctx, roots)
+func WithPipeline(cfg PipelineConfig) Option {
+	return func(o *Options) { c := cfg; o.Pipeline = &c }
 }
 
 // New assembles a deployment from a named Table 2 dataset ("ss", "ls",
