@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify chaos bench metrics-smoke wire-smoke pipeline-smoke fuzz
+.PHONY: build test verify chaos bench bench-smoke bench-all metrics-smoke wire-smoke pipeline-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,19 @@ verify:
 chaos:
 	$(GO) test -race -count=20 -run 'TestChaos|TestFaulty|TestBreaker|TestRetry|TestBootstrap|TestPartial|TestHedge|TestServerError|TestTCPPoolRecovery' ./internal/cluster/ ./internal/pipeline/
 
+# Hot-path benchmark trajectory: runs the sample/pipeline/pack/codec
+# benchmarks, writes BENCH_6.json (before/after/reduction), and gates the
+# >=50% B/op + allocs/op reduction on the sample->pack path.
 bench:
+	./scripts/bench.sh
+
+# CI variant: short iterations, fails on an allocs/op regression beyond
+# 25% of scripts/bench_allocs_baseline.txt.
+bench-smoke:
+	./scripts/bench.sh smoke
+
+# Every benchmark in the tree (paper tables/figures included).
+bench-all:
 	$(GO) test -bench=. -benchmem
 
 # Admin-plane smoke test: boots lsdgnn-server with -admin-addr, scrapes

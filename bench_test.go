@@ -200,7 +200,9 @@ func BenchmarkSoftwareSampling(b *testing.B) {
 	roots := benchRoots(64)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.SampleBatch(roots)
+		// Release puts the batch's region back in circulation — the
+		// steady-state a serving loop reaches once each batch is shipped.
+		s.SampleBatch(roots).Release()
 	}
 }
 
@@ -229,9 +231,11 @@ func BenchmarkPipelineSampling(b *testing.B) {
 			ex := pipeline.New(client, cfg, pipeline.Config{Window: win})
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := ex.Sample(ctx, roots); err != nil {
+				res, err := ex.Sample(ctx, roots)
+				if err != nil {
 					b.Fatal(err)
 				}
+				res.Release()
 			}
 		})
 	}
@@ -253,8 +257,97 @@ func BenchmarkDistributedSampling(b *testing.B) {
 	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := client.SampleBatch(ctx, roots, cfg); err != nil {
+		res, err := client.SampleBatch(ctx, roots, cfg)
+		if err != nil {
 			b.Fatal(err)
+		}
+		res.Release()
+	}
+}
+
+// BenchmarkPackedFrameCodec measures the full protocol-v2 frame cost on
+// one flush: encode a packed request (neighbor + attr subs), decode it
+// server-side, encode the packed response, decode it client-side — the
+// per-flush work the packer does between the sampler and the socket.
+func BenchmarkPackedFrameCodec(b *testing.B) {
+	subs := make([]cluster.PackedSubRequest, 48)
+	for i := range subs {
+		if i%6 == 5 {
+			ids := make([]graph.NodeID, 128)
+			for j := range ids {
+				ids[j] = graph.NodeID(1_000_000 + i*128 + j)
+			}
+			subs[i] = cluster.PackedSubRequest{Op: cluster.OpGetAttrs, Attrs: cluster.AttrsRequest{IDs: ids}}
+			continue
+		}
+		ids := make([]graph.NodeID, 64)
+		for j := range ids {
+			ids[j] = graph.NodeID(500_000 + i*64 + j)
+		}
+		subs[i] = cluster.PackedSubRequest{Op: cluster.OpGetNeighbors, Neighbors: cluster.NeighborsRequest{IDs: ids}}
+	}
+	resps := make([]cluster.PackedSubResponse, len(subs))
+	for i, sub := range subs {
+		resps[i].Op = sub.Op
+		if sub.Op == cluster.OpGetNeighbors {
+			lists := make([][]graph.NodeID, len(sub.Neighbors.IDs))
+			for j := range lists {
+				l := make([]graph.NodeID, 10)
+				for k := range l {
+					l[k] = graph.NodeID(700_000 + j*10 + k)
+				}
+				lists[j] = l
+			}
+			resps[i].Neighbors.Lists = lists
+			continue
+		}
+		attrs := make([]float32, len(sub.Attrs.IDs)*64)
+		for j := range attrs {
+			attrs[j] = float32(j%31) * 0.5
+		}
+		resps[i].Attrs = cluster.AttrsResponse{AttrLen: 64, Attrs: attrs}
+	}
+	var codec mof.VecCodec
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req, err := cluster.EncodePackedRequest(subs, true, &codec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := cluster.DecodePackedRequest(req, &codec); err != nil {
+			b.Fatal(err)
+		}
+		resp := cluster.EncodePackedResponse(resps, true, &codec)
+		out, err := cluster.DecodePackedResponse(resp, 0, &codec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != len(subs) {
+			b.Fatalf("%d of %d subs answered", len(out), len(subs))
+		}
+	}
+}
+
+// BenchmarkVecCodecU64s measures the section codec on a clustered node-ID
+// vector — the Tech-2 sweet spot the wire path hits once per section.
+func BenchmarkVecCodecU64s(b *testing.B) {
+	vals := make([]uint64, 512)
+	for i := range vals {
+		vals[i] = 1_000_000 + uint64(i*3)
+	}
+	var codec mof.VecCodec
+	b.SetBytes(int64(len(vals) * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc := codec.AppendU64s(nil, vals)
+		dec, _, err := codec.ReadU64s(enc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(dec) != len(vals) {
+			b.Fatalf("%d of %d values decoded", len(dec), len(vals))
 		}
 	}
 }

@@ -22,6 +22,7 @@ import (
 
 	"lsdgnn/internal/cluster"
 	"lsdgnn/internal/graph"
+	"lsdgnn/internal/mem"
 	"lsdgnn/internal/pipeline"
 	"lsdgnn/internal/sampler"
 	"lsdgnn/internal/stats"
@@ -37,6 +38,7 @@ func main() {
 	pack := flag.Bool("pack", true, "request protocol-v2 MoF packing + BDI")
 	window := flag.Duration("pack-window", 0, "packing window (0 = default)")
 	pipelined := flag.Bool("pipeline", false, "drive batches through the out-of-order sampling executor and print its lsdgnn_pipeline_* metrics")
+	memStats := flag.Bool("mem", false, "print the client-side lsdgnn_mem_* buffer-pool metrics after the burst")
 	pipeWindow := flag.Int("pipeline-window", 0, "in-flight window of the executor in node-requests (0 = default 256)")
 	seed := flag.Int64("seed", 1, "root-selection and sampling seed")
 	timeout := flag.Duration("timeout", 2*time.Minute, "overall deadline")
@@ -145,6 +147,18 @@ func main() {
 		// so the probe prints its own lsdgnn_pipeline_* series (the server
 		// pre-registers the same schema at zero).
 		if _, err := stats.WritePrometheus(os.Stdout, []stats.Snapshot{st.StatsSnapshot()}); err != nil {
+			fatal(err)
+		}
+	}
+	if *memStats {
+		// Exposition block for smoke tests: buffer pools are process-local,
+		// so the probe prints its own client-side lsdgnn_mem_* series (the
+		// server pre-registers the same schema at zero). After a burst with
+		// every batch retired, scratch buffers must all be back in the pools.
+		if out := mem.Outstanding(); out != 0 {
+			fatal(fmt.Errorf("mem: %d scratch buffers still outstanding after burst", out))
+		}
+		if _, err := stats.WritePrometheus(os.Stdout, []stats.Snapshot{mem.Snapshot()}); err != nil {
 			fatal(err)
 		}
 	}

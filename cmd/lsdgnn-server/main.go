@@ -34,6 +34,7 @@ import (
 
 	"lsdgnn/internal/cluster"
 	"lsdgnn/internal/graph"
+	"lsdgnn/internal/mem"
 	"lsdgnn/internal/obs"
 	"lsdgnn/internal/pipeline"
 	"lsdgnn/internal/stats"
@@ -112,11 +113,13 @@ func main() {
 	// zero-valued resilience and pipeline blocks pre-register the
 	// client-side retry/breaker and OoO-executor series at 0 so scrapes
 	// and alerts have a stable namespace from the first sample (workers
-	// export live values).
+	// export live values). The mem source registers the buffer-pool layer
+	// the same way: its gauges exist from the first scrape even before any
+	// request touches a pooled buffer.
 	reg := stats.NewRegistry()
 	var resSchema cluster.ResilienceStats
 	var pipeSchema pipeline.Stats
-	reg.Register(srv.Stats(), srv.Latency(), srv.Wire(), tcp, &resSchema, &pipeSchema)
+	reg.Register(srv.Stats(), srv.Latency(), srv.Wire(), tcp, &resSchema, &pipeSchema, mem.Source())
 
 	health := &obs.Health{}
 	if *adminAddr != "" {

@@ -148,6 +148,7 @@ type core struct {
 	window      *eventsim.Semaphore
 	cache       *CoalescingCache
 	rng         *rand.Rand
+	stream      *sampler.Stream
 	scratch     []float32
 	sampleBuf   []graph.NodeID
 	issueTime   eventsim.Time
@@ -206,12 +207,14 @@ func (e *Engine) RunBatch(roots []graph.NodeID) (*sampler.Result, BatchStats) {
 	if sp.NegativeRate > 0 {
 		res.Negatives = make([]graph.NodeID, len(roots)*sp.NegativeRate)
 		if sp.RootStreams {
+			st := sampler.GetStream()
 			for root := range roots {
-				nrng := sampler.NegativesRNG(sp.Seed, root)
+				nrng := st.Negatives(sp.Seed, root)
 				for i := 0; i < sp.NegativeRate; i++ {
 					res.Negatives[root*sp.NegativeRate+i] = graph.NodeID(nrng.Int63n(e.g.NumNodes()))
 				}
 			}
+			sampler.PutStream(st)
 		} else {
 			negRNG := rand.New(rand.NewSource(sp.Seed ^ 0x6e65676174697665))
 			for i := range res.Negatives {
@@ -239,6 +242,7 @@ func (e *Engine) RunBatch(roots []graph.NodeID) (*sampler.Result, BatchStats) {
 			window:     eventsim.NewSemaphore(cfg.Window),
 			cache:      NewCoalescingCache(cfg.CacheBytes, cfg.CacheLineBytes),
 			rng:        rand.New(rand.NewSource(sp.Seed + int64(i)*7919)),
+			stream:     sampler.NewStream(),
 		}
 		c.issueTime = r.cyc(ii)
 		c.issueRemain = r.cyc(cfg.BaseNodeCycles - ii)
@@ -390,9 +394,11 @@ func (c *core) runFrontier(t task) {
 					if cfg.Sampling.RootStreams {
 						// Derived per-node stream: any core may expand any
 						// task in any order and still draw the exact bits
-						// the synchronous sampler would have drawn.
+						// the synchronous sampler would have drawn. The
+						// core's stream cursor repositions in place — no
+						// per-task RNG construction.
 						w := r.levelW[t.hop]
-						rng = sampler.NodeRNG(cfg.Sampling.Seed, t.idx/w, t.hop, t.idx%w)
+						rng = c.stream.Node(cfg.Sampling.Seed, t.idx/w, t.hop, t.idx%w)
 					}
 					c.sampleBuf = c.sampleBuf[:0]
 					var cycles int

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"lsdgnn/internal/graph"
+	"lsdgnn/internal/mem"
 	"lsdgnn/internal/obs"
 	"lsdgnn/internal/sampler"
 	"lsdgnn/internal/stats"
@@ -622,8 +623,20 @@ func (c *Client) SampleBatch(ctx context.Context, roots []graph.NodeID, cfg samp
 }
 
 func (c *Client) sampleBatch(ctx context.Context, roots []graph.NodeID, cfg sampler.Config) (*sampler.Result, error) {
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	var rng *rand.Rand
+	if !cfg.RootStreams {
+		rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	st := sampler.GetStream()
+	defer sampler.PutStream(st)
+	// Result buffers come from a region with the same allocation shape as
+	// every other RootStreams path (one buffer per hop, one for negatives,
+	// one for attrs), so whole-result comparisons across paths — the parity
+	// harnesses compare region-backed results directly — see identical
+	// structure. The caller recycles via Result.Release.
+	rg := mem.NewRegion()
 	res := &sampler.Result{Roots: roots}
+	res.Own(rg)
 	frontier := roots
 	width := 1 // per-root frontier width at the current hop
 	var degraded []ShardError
@@ -632,15 +645,17 @@ func (c *Client) sampleBatch(ctx context.Context, roots []graph.NodeID, cfg samp
 		if err != nil {
 			pe, partial := AsPartial(err)
 			if !partial {
+				res.Release()
 				return nil, err
 			}
 			degraded = append(degraded, pe.Shards...)
 		}
-		next := make([]graph.NodeID, 0, len(frontier)*fanout)
+		hopBuf := rg.IDs(len(frontier) * fanout)
+		next := hopBuf[:0:len(hopBuf)]
 		for i, nbrs := range lists {
 			r := rng
 			if cfg.RootStreams {
-				r = sampler.NodeRNG(cfg.Seed, i/width, h, i%width)
+				r = st.Node(cfg.Seed, i/width, h, i%width)
 			}
 			before := len(next)
 			var cyc int
@@ -655,33 +670,42 @@ func (c *Client) sampleBatch(ctx context.Context, roots []graph.NodeID, cfg samp
 		width *= fanout
 	}
 	if cfg.NegativeRate > 0 {
-		res.Negatives = make([]graph.NodeID, 0, len(roots)*cfg.NegativeRate)
+		negBuf := rg.IDs(len(roots) * cfg.NegativeRate)
+		negs := negBuf[:0:len(negBuf)]
 		for r := range roots {
 			nrng := rng
 			if cfg.RootStreams {
-				nrng = sampler.NegativesRNG(cfg.Seed, r)
+				nrng = st.Negatives(cfg.Seed, r)
 			}
 			for i := 0; i < cfg.NegativeRate; i++ {
-				res.Negatives = append(res.Negatives, graph.NodeID(nrng.Int63n(c.meta.NumNodes)))
+				negs = append(negs, graph.NodeID(nrng.Int63n(c.meta.NumNodes)))
 			}
 		}
+		res.Negatives = negs
 	}
 	if cfg.FetchAttrs {
-		var ids []graph.NodeID
-		ids = append(ids, res.Roots...)
+		total := len(res.Roots) + len(res.Negatives)
+		for _, h := range res.Hops {
+			total += len(h)
+		}
+		ids := mem.IDs.Get(total)
+		ids = append(ids[:0], res.Roots...)
 		for _, h := range res.Hops {
 			ids = append(ids, h...)
 		}
 		ids = append(ids, res.Negatives...)
 		attrs, err := c.GetAttrs(ctx, ids)
+		mem.IDs.Put(ids)
 		if err != nil {
 			pe, partial := AsPartial(err)
 			if !partial {
+				res.Release()
 				return nil, err
 			}
 			degraded = append(degraded, pe.Shards...)
 		}
-		res.Attrs = attrs
+		res.Attrs = rg.Floats(total*c.AttrLen(), true)
+		copy(res.Attrs, attrs)
 	}
 	if len(degraded) > 0 {
 		c.Res.add(&c.Res.snap.DegradedBatches)

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"lsdgnn/internal/graph"
+	"lsdgnn/internal/mem"
 	"lsdgnn/internal/mof"
 	"lsdgnn/internal/stats"
 )
@@ -68,41 +69,44 @@ type PackedSubResponse struct {
 	Err       error
 }
 
-func idsToU64(ids []graph.NodeID) []uint64 {
-	out := make([]uint64, len(ids))
-	for i, v := range ids {
-		out[i] = uint64(v)
-	}
-	return out
-}
-
-func u64ToIDs(vals []uint64) []graph.NodeID {
-	out := make([]graph.NodeID, len(vals))
-	for i, v := range vals {
-		out[i] = graph.NodeID(v)
-	}
-	return out
-}
-
 // appendIDSection emits ids as a codec section, through BDI when asked.
+// Value serialization runs through pooled scratch, not per-call staging.
 func appendIDSection(dst []byte, ids []graph.NodeID, bdi bool, c *mof.VecCodec) []byte {
 	if bdi {
-		return c.AppendU64s(dst, idsToU64(ids))
+		vals := mem.U64s.Get(len(ids))
+		for i, v := range ids {
+			vals[i] = uint64(v)
+		}
+		dst = c.AppendU64s(dst, vals)
+		mem.U64s.Put(vals)
+		return dst
 	}
-	raw := make([]byte, 0, len(ids)*8)
-	for _, v := range ids {
-		raw = binary.LittleEndian.AppendUint64(raw, uint64(v))
+	raw := mem.Bytes.Get(len(ids) * 8)
+	for i, v := range ids {
+		binary.LittleEndian.PutUint64(raw[i*8:], uint64(v))
 	}
-	return c.AppendBytes(dst, raw, false)
+	dst = c.AppendBytes(dst, raw, false)
+	mem.Bytes.Put(raw)
+	return dst
 }
 
+// readIDSection decodes an ID section into a fresh exact-size slice the
+// caller owns; decode staging stays in pooled scratch.
 func readIDSection(src []byte, bdi bool, c *mof.VecCodec) ([]graph.NodeID, []byte, error) {
 	if bdi {
-		vals, rest, err := c.ReadU64s(src)
+		n, _ := mof.SectionCount(src)
+		scratch := mem.U64s.Get(int(n))
+		vals, rest, err := c.ReadU64sInto(scratch[:0], src)
 		if err != nil {
+			mem.U64s.Put(scratch)
 			return nil, nil, err
 		}
-		return u64ToIDs(vals), rest, nil
+		ids := make([]graph.NodeID, len(vals))
+		for i, v := range vals {
+			ids[i] = graph.NodeID(v)
+		}
+		mem.U64s.Put(scratch)
+		return ids, rest, nil
 	}
 	raw, rest, err := c.ReadBytes(src)
 	if err != nil {
@@ -118,22 +122,12 @@ func readIDSection(src []byte, bdi bool, c *mof.VecCodec) ([]graph.NodeID, []byt
 	return ids, rest, nil
 }
 
-// encodeSub serializes one sub-request body.
-func encodeSub(sub PackedSubRequest, bdi bool, c *mof.VecCodec) ([]byte, error) {
-	switch sub.Op {
-	case OpGetNeighbors:
-		out := []byte{OpGetNeighbors}
-		out = binary.LittleEndian.AppendUint32(out, sub.Neighbors.MaxPerNode)
-		return appendIDSection(out, sub.Neighbors.IDs, bdi, c), nil
-	case OpGetAttrs:
-		return appendIDSection([]byte{OpGetAttrs}, sub.Attrs.IDs, bdi, c), nil
-	default:
-		return nil, fmt.Errorf("cluster: op %#x cannot be packed", sub.Op)
-	}
-}
-
 // EncodePackedRequest serializes subs into one OpPacked frame. bdi asks
-// the codec to BDI-compress ID sections (still only when smaller).
+// the codec to BDI-compress ID sections (still only when smaller). Sub
+// bodies are appended directly into the frame behind a patched length
+// prefix, and the frame is sized up front, so encoding is one allocation.
+// The frame is deliberately NOT pooled: hedged sends mean a losing
+// transport attempt may still read it after the winning call returns.
 func EncodePackedRequest(subs []PackedSubRequest, bdi bool, c *mof.VecCodec) ([]byte, error) {
 	if len(subs) == 0 || len(subs) > MaxPackedRequests {
 		return nil, fmt.Errorf("cluster: %d sub-requests in packed frame (1..%d)", len(subs), MaxPackedRequests)
@@ -142,15 +136,28 @@ func EncodePackedRequest(subs []PackedSubRequest, bdi bool, c *mof.VecCodec) ([]
 	if bdi {
 		flags |= PackedBDI
 	}
-	out := []byte{OpPacked, flags}
+	est := 4
+	for _, sub := range subs {
+		est += 4 + 5 + 16 + (len(sub.Neighbors.IDs)+len(sub.Attrs.IDs))*8
+	}
+	out := make([]byte, 0, est)
+	out = append(out, OpPacked, flags)
 	out = binary.LittleEndian.AppendUint16(out, uint16(len(subs)))
 	for _, sub := range subs {
-		body, err := encodeSub(sub, bdi, c)
-		if err != nil {
-			return nil, err
+		lenAt := len(out)
+		out = append(out, 0, 0, 0, 0) // body length, patched below
+		switch sub.Op {
+		case OpGetNeighbors:
+			out = append(out, OpGetNeighbors)
+			out = binary.LittleEndian.AppendUint32(out, sub.Neighbors.MaxPerNode)
+			out = appendIDSection(out, sub.Neighbors.IDs, bdi, c)
+		case OpGetAttrs:
+			out = append(out, OpGetAttrs)
+			out = appendIDSection(out, sub.Attrs.IDs, bdi, c)
+		default:
+			return nil, fmt.Errorf("cluster: op %#x cannot be packed", sub.Op)
 		}
-		out = binary.LittleEndian.AppendUint32(out, uint32(len(body)))
-		out = append(out, body...)
+		binary.LittleEndian.PutUint32(out[lenAt:], uint32(len(out)-lenAt-4))
 	}
 	return out, nil
 }
@@ -226,66 +233,87 @@ func DecodePackedRequest(b []byte, c *mof.VecCodec) (subs []PackedSubRequest, bd
 	return subs, bdi, nil
 }
 
-// encodeSubResponse serializes one sub-response (status byte + body).
-func encodeSubResponse(sub PackedSubResponse, bdi bool, c *mof.VecCodec) []byte {
+// appendSubResponse serializes one sub-response (status byte + body) onto
+// the frame. Degree vectors, flattened ID lists, and float serialization
+// all run through pooled scratch.
+func appendSubResponse(out []byte, sub PackedSubResponse, bdi bool, c *mof.VecCodec) []byte {
 	if sub.Err != nil {
 		var se *ServerError
 		if errors.As(sub.Err, &se) {
-			return append([]byte{statusReject}, se.Msg...)
+			return append(append(out, statusReject), se.Msg...)
 		}
-		return append([]byte{statusError}, sub.Err.Error()...)
+		return append(append(out, statusError), sub.Err.Error()...)
 	}
 	switch sub.Op {
 	case OpGetNeighbors:
-		out := []byte{statusOK, OpGetNeighbors}
-		degs := make([]uint32, len(sub.Neighbors.Lists))
+		out = append(out, statusOK, OpGetNeighbors)
+		degs := mem.U32s.Get(len(sub.Neighbors.Lists))
 		total := 0
 		for i, l := range sub.Neighbors.Lists {
 			degs[i] = uint32(len(l))
 			total += len(l)
 		}
-		flat := make([]graph.NodeID, 0, total)
+		flat := mem.IDs.Get(total)
+		flat = flat[:0]
 		for _, l := range sub.Neighbors.Lists {
 			flat = append(flat, l...)
 		}
 		if bdi {
 			out = c.AppendU32s(out, degs)
 		} else {
-			raw := make([]byte, 0, len(degs)*4)
-			for _, d := range degs {
-				raw = binary.LittleEndian.AppendUint32(raw, d)
+			raw := mem.Bytes.Get(len(degs) * 4)
+			for i, d := range degs {
+				binary.LittleEndian.PutUint32(raw[i*4:], d)
 			}
 			out = c.AppendBytes(out, raw, false)
+			mem.Bytes.Put(raw)
 		}
-		return appendIDSection(out, flat, bdi, c)
+		out = appendIDSection(out, flat, bdi, c)
+		mem.IDs.Put(flat)
+		mem.U32s.Put(degs)
+		return out
 	case OpGetAttrs:
-		out := []byte{statusOK, OpGetAttrs}
+		out = append(out, statusOK, OpGetAttrs)
 		out = binary.LittleEndian.AppendUint32(out, uint32(sub.Attrs.AttrLen))
-		raw := make([]byte, 0, len(sub.Attrs.Attrs)*4)
-		for _, f := range sub.Attrs.Attrs {
-			raw = binary.LittleEndian.AppendUint32(raw, math.Float32bits(f))
+		raw := mem.Bytes.Get(len(sub.Attrs.Attrs) * 4)
+		for i, f := range sub.Attrs.Attrs {
+			binary.LittleEndian.PutUint32(raw[i*4:], math.Float32bits(f))
 		}
 		// Attribute payloads go through the data-BDI path; procedurally
 		// random features ship raw under only-if-smaller, structured ones
 		// shrink.
-		return c.AppendBytes(out, raw, bdi)
+		out = c.AppendBytes(out, raw, bdi)
+		mem.Bytes.Put(raw)
+		return out
 	default:
-		return append([]byte{statusError}, fmt.Sprintf("cluster: op %#x cannot be packed", sub.Op)...)
+		return append(append(out, statusError), fmt.Sprintf("cluster: op %#x cannot be packed", sub.Op)...)
 	}
 }
 
-// EncodePackedResponse serializes sub-responses into one OpPacked frame.
+// EncodePackedResponse serializes sub-responses into one OpPacked frame,
+// appending each body directly behind a patched length prefix. The frame
+// itself is not pooled: transports may hand it to the client decode path,
+// which aliases uncompressed sections instead of copying.
 func EncodePackedResponse(subs []PackedSubResponse, bdi bool, c *mof.VecCodec) []byte {
 	flags := byte(0)
 	if bdi {
 		flags |= PackedBDI
 	}
-	out := []byte{OpPacked, flags}
+	est := 4
+	for _, sub := range subs {
+		est += 4 + 16 + len(sub.Attrs.Attrs)*4 + len(sub.Neighbors.Lists)*12
+		for _, l := range sub.Neighbors.Lists {
+			est += len(l) * 8
+		}
+	}
+	out := make([]byte, 0, est)
+	out = append(out, OpPacked, flags)
 	out = binary.LittleEndian.AppendUint16(out, uint16(len(subs)))
 	for _, sub := range subs {
-		body := encodeSubResponse(sub, bdi, c)
-		out = binary.LittleEndian.AppendUint32(out, uint32(len(body)))
-		out = append(out, body...)
+		lenAt := len(out)
+		out = append(out, 0, 0, 0, 0) // body length, patched below
+		out = appendSubResponse(out, sub, bdi, c)
+		binary.LittleEndian.PutUint32(out[lenAt:], uint32(len(out)-lenAt-4))
 	}
 	return out
 }
@@ -320,45 +348,55 @@ func DecodePackedResponse(b []byte, server int, c *mof.VecCodec) ([]PackedSubRes
 		sub.Op = body[0]
 		switch sub.Op {
 		case OpGetNeighbors:
-			var degs []uint32
+			// The degree vector is decode scratch — only the rebuilt lists
+			// escape — so it lives in the pool.
+			nd, _ := mof.SectionCount(body[1:])
+			degScratch := mem.U32s.Get(int(nd))
+			degs := degScratch[:0]
 			var rest []byte
 			if bdi {
-				degs, rest, err = c.ReadU32s(body[1:])
+				degs, rest, err = c.ReadU32sInto(degs, body[1:])
 			} else {
 				var raw []byte
 				raw, rest, err = c.ReadBytes(body[1:])
 				if err == nil {
 					if len(raw)%4 != 0 {
+						mem.U32s.Put(degScratch)
 						return nil, fmt.Errorf("cluster: ragged degree section of %d bytes", len(raw))
 					}
-					degs = make([]uint32, len(raw)/4)
-					for j := range degs {
-						degs[j] = binary.LittleEndian.Uint32(raw[j*4:])
+					for j := 0; j < len(raw)/4; j++ {
+						degs = append(degs, binary.LittleEndian.Uint32(raw[j*4:]))
 					}
 				}
 			}
 			if err != nil {
+				mem.U32s.Put(degScratch)
 				return nil, err
 			}
 			flat, rest, err := readIDSection(rest, bdi, c)
 			if err != nil {
+				mem.U32s.Put(degScratch)
 				return nil, err
 			}
 			if len(rest) != 0 {
+				mem.U32s.Put(degScratch)
 				return nil, fmt.Errorf("cluster: %d trailing bytes in packed sub-response %d", len(rest), i)
 			}
 			lists := make([][]graph.NodeID, len(degs))
 			off := 0
 			for j, d := range degs {
 				if uint64(off)+uint64(d) > uint64(len(flat)) {
+					mem.U32s.Put(degScratch)
 					return nil, fmt.Errorf("cluster: degree vector overruns %d flat IDs", len(flat))
 				}
 				lists[j] = flat[off : off+int(d) : off+int(d)]
 				off += int(d)
 			}
 			if off != len(flat) {
+				mem.U32s.Put(degScratch)
 				return nil, fmt.Errorf("cluster: %d flat IDs unclaimed by degree vector", len(flat)-off)
 			}
+			mem.U32s.Put(degScratch)
 			sub.Neighbors.Lists = lists
 		case OpGetAttrs:
 			if len(body) < 5 {

@@ -147,6 +147,10 @@ func (q *packQueue) take() []*pendingSub {
 	return batch
 }
 
+// subsPool recycles flush staging; every slice has capacity for a full
+// packing window and re-enters the pool cleared and empty.
+var subsPool = sync.Pool{New: func() any { return make([]PackedSubRequest, 0, MaxPackedRequests) }}
+
 // packer coalesces same-shard requests into packed frames.
 type packer struct {
 	c      *Client
@@ -255,7 +259,10 @@ func (p *packer) flush(partition int, batch []*pendingSub) {
 			ps.ch <- subResult{err: err}
 		}
 	}
-	subs := make([]PackedSubRequest, len(batch))
+	// The sub-request staging only lives until the encoder has copied it
+	// into the frame, so it recycles across flushes (cleared on return: the
+	// structs carry ID slices that must not stay pinned).
+	subs := subsPool.Get().([]PackedSubRequest)[:len(batch)]
 	rawReq := 0
 	for i, ps := range batch {
 		subs[i] = ps.sub
@@ -263,6 +270,8 @@ func (p *packer) flush(partition int, batch []*pendingSub) {
 	}
 	encStart := time.Now()
 	frame, err := EncodePackedRequest(subs, !p.cfg.DisableBDI, &p.st.Codec)
+	clear(subs)
+	subsPool.Put(subs[:0])
 	if err != nil {
 		fail(err)
 		return

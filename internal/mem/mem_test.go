@@ -1,0 +1,160 @@
+package mem
+
+import (
+	"testing"
+
+	"lsdgnn/internal/graph"
+)
+
+func TestClassFor(t *testing.T) {
+	cases := []struct{ n, class int }{
+		{0, 0}, {1, 0}, {64, 0}, {65, 1}, {128, 1}, {129, 2},
+		{1 << 20, 14}, {1 << 21, 15}, {1<<21 + 1, -1},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.class {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.class)
+		}
+	}
+}
+
+func TestScratchGetPutBalance(t *testing.T) {
+	before := Outstanding()
+	a := IDs.Get(100)
+	if len(a) != 100 {
+		t.Fatalf("Get(100) returned len %d", len(a))
+	}
+	if cap(a) != 128 {
+		t.Fatalf("Get(100) returned cap %d, want class capacity 128", cap(a))
+	}
+	if got := Outstanding(); got != before+1 {
+		t.Fatalf("outstanding = %d after Get, want %d", got, before+1)
+	}
+	IDs.Put(a)
+	if got := Outstanding(); got != before {
+		t.Fatalf("outstanding = %d after Put, want %d", got, before)
+	}
+}
+
+func TestScratchReuseAndZeroed(t *testing.T) {
+	a := Floats.Get(64)
+	for i := range a {
+		a[i] = 3.5
+	}
+	Floats.Put(a)
+	// The pool may or may not hand the same buffer back (sync.Pool gives no
+	// guarantee), but GetZeroed must be all-zero either way.
+	b := Floats.GetZeroed(64)
+	defer Floats.Put(b)
+	for i, v := range b {
+		if v != 0 {
+			t.Fatalf("GetZeroed buffer dirty at %d: %v", i, v)
+		}
+	}
+}
+
+func TestOversizeFallsThrough(t *testing.T) {
+	before := counters.oversize.Load()
+	s := IDs.Get(1<<21 + 1)
+	if len(s) != 1<<21+1 {
+		t.Fatalf("oversize Get returned len %d", len(s))
+	}
+	if got := counters.oversize.Load(); got != before+1 {
+		t.Fatalf("oversize counter = %d, want %d", got, before+1)
+	}
+	IDs.Put(s) // dropped to GC, must not panic or underflow gauges
+}
+
+func TestPutDropsWrongCapacity(t *testing.T) {
+	// A buffer that never came from the pool (or was grown by append away
+	// from its class capacity) must be dropped, not parked on a class whose
+	// capacity it no longer matches.
+	if IDs.put(make([]graph.NodeID, 100)) {
+		t.Fatal("put accepted a cap-100 buffer")
+	}
+	if !IDs.put(make([]graph.NodeID, 128)) {
+		t.Fatal("put rejected an exact class-capacity buffer")
+	}
+}
+
+func TestListsClearOnPut(t *testing.T) {
+	l := Lists.Get(64)
+	for i := range l {
+		l[i] = []graph.NodeID{graph.NodeID(i)}
+	}
+	Lists.Put(l)
+	// Drain until we get a pooled buffer back; every pooled hit must be
+	// all-nil (clearOnPut), and fresh allocations are zeroed anyway.
+	for i := 0; i < 4; i++ {
+		got := Lists.Get(64)
+		for j, e := range got {
+			if e != nil {
+				t.Fatalf("pooled Lists buffer leaked entry at %d: %v", j, e)
+			}
+		}
+		Lists.Put(got)
+	}
+}
+
+func TestRegionLifecycle(t *testing.T) {
+	liveBefore := LiveRegions()
+	rg := NewRegion()
+	if got := LiveRegions(); got != liveBefore+1 {
+		t.Fatalf("LiveRegions = %d after NewRegion, want %d", got, liveBefore+1)
+	}
+	ids := rg.IDs(200)
+	fl := rg.Floats(100, true)
+	ls := rg.Lists(10)
+	if len(ids) != 200 || len(fl) != 100 || len(ls) != 10 {
+		t.Fatalf("region handed out wrong lengths: %d %d %d", len(ids), len(fl), len(ls))
+	}
+	for i, v := range fl {
+		if v != 0 {
+			t.Fatalf("zeroed region floats dirty at %d: %v", i, v)
+		}
+	}
+	recycledBefore := counters.recycled.Load()
+	rg.Release()
+	if got := LiveRegions(); got != liveBefore {
+		t.Fatalf("LiveRegions = %d after Release, want %d", got, liveBefore)
+	}
+	if got := counters.recycled.Load(); got != recycledBefore+3 {
+		t.Fatalf("recycled = %d after Release, want %d", got, recycledBefore+3)
+	}
+	if len(rg.ids) != 0 || len(rg.floats) != 0 || len(rg.lists) != 0 {
+		t.Fatal("released region still tracks buffers")
+	}
+	for _, s := range rg.ids[:cap(rg.ids)] {
+		if s != nil {
+			t.Fatal("released region pins a recycled ID buffer")
+		}
+	}
+}
+
+func TestOwnedDoesNotCountAsScratch(t *testing.T) {
+	before := Outstanding()
+	s := IDs.GetOwned(64, false)
+	if got := Outstanding(); got != before {
+		t.Fatalf("GetOwned moved the scratch gauge: %d -> %d", before, got)
+	}
+	IDs.Recycle(s)
+	if got := Outstanding(); got != before {
+		t.Fatalf("Recycle moved the scratch gauge: %d -> %d", before, got)
+	}
+}
+
+func TestSnapshotSchema(t *testing.T) {
+	snap := Snapshot()
+	if snap.Layer != "mem" {
+		t.Fatalf("layer = %q, want mem", snap.Layer)
+	}
+	for _, name := range []string{
+		"pool_hits", "pool_misses", "pool_puts", "pool_oversize",
+		"scratch_outstanding", "owned_handoffs", "owned_recycled",
+		"regions_total", "regions_live",
+	} {
+		if _, ok := snap.Get(name); !ok {
+			t.Errorf("snapshot missing %s", name)
+		}
+	}
+}

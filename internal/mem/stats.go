@@ -1,0 +1,27 @@
+package mem
+
+import "lsdgnn/internal/stats"
+
+// Source returns the process-wide "mem" stats layer: pool hit/miss/put
+// counters, the scratch outstanding gauge, and the owned-buffer
+// handoff/recycle pair. Servers register it at startup so every
+// lsdgnn_mem_* series exists at zero from the first scrape, exactly like
+// the resilience and pipeline schemas.
+func Source() stats.Source {
+	return stats.Func(Snapshot)
+}
+
+// Snapshot reports the current "mem" layer snapshot.
+func Snapshot() stats.Snapshot {
+	return stats.Snapshot{Layer: "mem", Metrics: []stats.Metric{
+		{Name: "pool_hits", Value: float64(counters.hits.Load()), Unit: "req"},
+		{Name: "pool_misses", Value: float64(counters.misses.Load()), Unit: "req"},
+		{Name: "pool_puts", Value: float64(counters.puts.Load()), Unit: "req"},
+		{Name: "pool_oversize", Value: float64(counters.oversize.Load()), Unit: "req"},
+		{Name: "scratch_outstanding", Value: float64(counters.outstanding.Load()), Unit: "req"},
+		{Name: "owned_handoffs", Value: float64(counters.handoffs.Load()), Unit: "req"},
+		{Name: "owned_recycled", Value: float64(counters.recycled.Load()), Unit: "req"},
+		{Name: "regions_total", Value: float64(counters.regions.Load()), Unit: "req"},
+		{Name: "regions_live", Value: float64(counters.regionLive.Load()), Unit: "req"},
+	}}
+}

@@ -9,6 +9,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"lsdgnn/internal/mem"
 )
 
 // BDI (Base-Delta-Immediate) compression processes the input as 128-byte
@@ -50,13 +52,13 @@ func widthFor(deltas []uint64) int {
 	return width
 }
 
-// BDICompress encodes src. The output decodes back exactly; it is only
-// smaller when the data has base-delta structure (clustered values).
-func BDICompress(src []byte) []byte {
+// AppendBDICompress encodes src and appends the encoding to dst — the
+// streaming form: a frame builder compresses straight into the frame it is
+// assembling, with no intermediate encode buffer.
+func AppendBDICompress(dst, src []byte) []byte {
 	words := len(src) / 8
 	tail := src[words*8:]
-	out := make([]byte, 0, len(src)+16)
-	out = append(out, byte(len(tail)))
+	dst = append(dst, byte(len(tail)))
 	var deltas [bdiLineWords]uint64
 	for start := 0; start < words; start += bdiLineWords {
 		n := words - start
@@ -68,26 +70,65 @@ func BDICompress(src []byte) []byte {
 			deltas[i] = binary.LittleEndian.Uint64(src[(start+i)*8:]) - base
 		}
 		w := widthFor(deltas[:n])
-		out = append(out, byte(w))
-		out = binary.LittleEndian.AppendUint64(out, base)
+		dst = append(dst, byte(w))
+		dst = binary.LittleEndian.AppendUint64(dst, base)
 		for i := 0; i < n; i++ {
 			switch w {
 			case 1:
-				out = append(out, byte(deltas[i]))
+				dst = append(dst, byte(deltas[i]))
 			case 2:
-				out = binary.LittleEndian.AppendUint16(out, uint16(deltas[i]))
+				dst = binary.LittleEndian.AppendUint16(dst, uint16(deltas[i]))
 			case 4:
-				out = binary.LittleEndian.AppendUint32(out, uint32(deltas[i]))
+				dst = binary.LittleEndian.AppendUint32(dst, uint32(deltas[i]))
 			default:
-				out = binary.LittleEndian.AppendUint64(out, deltas[i])
+				dst = binary.LittleEndian.AppendUint64(dst, deltas[i])
 			}
 		}
 	}
-	return append(out, tail...)
+	return append(dst, tail...)
+}
+
+// BDICompress encodes src. The output decodes back exactly; it is only
+// smaller when the data has base-delta structure (clustered values).
+func BDICompress(src []byte) []byte {
+	return AppendBDICompress(make([]byte, 0, len(src)+16), src)
+}
+
+// bdiScanLines walks the encoded line headers of body (tail already
+// stripped), returning the decoded word count so the decoder can size its
+// output exactly instead of growing it by appends.
+func bdiScanLines(body []byte) (int, error) {
+	words := 0
+	for len(body) > 0 {
+		if len(body) < 9 {
+			return 0, fmt.Errorf("%w: truncated line header", ErrCorrupt)
+		}
+		w := int(body[0])
+		switch w {
+		case 1, 2, 4, 8:
+		default:
+			return 0, fmt.Errorf("%w: delta width %d", ErrCorrupt, w)
+		}
+		body = body[9:]
+		n := bdiLineWords
+		if len(body) < n*w {
+			if len(body)%w != 0 {
+				return 0, fmt.Errorf("%w: ragged line of %d bytes at width %d", ErrCorrupt, len(body), w)
+			}
+			n = len(body) / w
+			if n == 0 {
+				return 0, fmt.Errorf("%w: empty line", ErrCorrupt)
+			}
+		}
+		words += n
+		body = body[n*w:]
+	}
+	return words, nil
 }
 
 // BDIDecompress reverses BDICompress. The original word count is implied by
-// the encoding; the caller's framing bounds the input.
+// the encoding; the caller's framing bounds the input. The output is a
+// single exact-size allocation.
 func BDIDecompress(enc []byte) ([]byte, error) {
 	if len(enc) < 1 {
 		return nil, ErrCorrupt
@@ -99,28 +140,18 @@ func BDIDecompress(enc []byte) ([]byte, error) {
 	}
 	tail := body[len(body)-tailLen:]
 	body = body[:len(body)-tailLen]
-	var out []byte
+	words, err := bdiScanLines(body)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, words*8+len(tail))
 	for len(body) > 0 {
-		if len(body) < 9 {
-			return nil, fmt.Errorf("%w: truncated line header", ErrCorrupt)
-		}
 		w := int(body[0])
-		switch w {
-		case 1, 2, 4, 8:
-		default:
-			return nil, fmt.Errorf("%w: delta width %d", ErrCorrupt, w)
-		}
 		base := binary.LittleEndian.Uint64(body[1:])
 		body = body[9:]
 		n := bdiLineWords
 		if len(body) < n*w {
-			if len(body)%w != 0 {
-				return nil, fmt.Errorf("%w: ragged line of %d bytes at width %d", ErrCorrupt, len(body), w)
-			}
 			n = len(body) / w
-			if n == 0 {
-				return nil, fmt.Errorf("%w: empty line", ErrCorrupt)
-			}
 		}
 		for i := 0; i < n; i++ {
 			var d uint64
@@ -141,19 +172,28 @@ func BDIDecompress(enc []byte) ([]byte, error) {
 	return append(out, tail...), nil
 }
 
-// BDICompress32 compresses a vector of 32-bit lanes (e.g. address deltas)
-// by sign-extending each lane to 64 bits first, so small per-lane values
-// map to narrow BDI widths. Input length must be a multiple of 4.
-func BDICompress32(src []byte) ([]byte, error) {
+// AppendBDICompress32 compresses a vector of 32-bit lanes (e.g. address
+// deltas), appending the encoding to dst. Each lane is sign-extended to 64
+// bits first — through pooled scratch, not a per-call staging buffer — so
+// small per-lane values map to narrow BDI widths. Input length must be a
+// multiple of 4.
+func AppendBDICompress32(dst, src []byte) ([]byte, error) {
 	if len(src)%4 != 0 {
 		return nil, fmt.Errorf("mof: 32-bit lane input of %d bytes", len(src))
 	}
-	wide := make([]byte, 0, len(src)*2)
+	wide := mem.Bytes.Get(len(src) * 2)
 	for i := 0; i < len(src); i += 4 {
 		v := int64(int32(binary.LittleEndian.Uint32(src[i:])))
-		wide = binary.LittleEndian.AppendUint64(wide, uint64(v))
+		binary.LittleEndian.PutUint64(wide[i*2:], uint64(v))
 	}
-	return BDICompress(wide), nil
+	dst = AppendBDICompress(dst, wide)
+	mem.Bytes.Put(wide)
+	return dst, nil
+}
+
+// BDICompress32 compresses a vector of 32-bit lanes into a fresh buffer.
+func BDICompress32(src []byte) ([]byte, error) {
+	return AppendBDICompress32(make([]byte, 0, len(src)/2+16), src)
 }
 
 // BDIDecompress32 reverses BDICompress32.

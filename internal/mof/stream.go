@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync/atomic"
+
+	"lsdgnn/internal/mem"
 )
 
 // Streaming entry points for putting the Tech-2 BDI codecs on a live wire.
@@ -87,21 +89,30 @@ func (c *VecCodec) Bytes() (raw, encoded int64) {
 }
 
 // appendSection emits one section, compressing payload when allowed and
-// smaller.
+// smaller. Compression runs directly into dst past a reserved header —
+// when it loses, dst is truncated back and the raw payload appended — so
+// no intermediate encode buffer exists on either outcome.
 func (c *VecCodec) appendSection(dst []byte, count uint32, payload []byte, tryBDI bool) []byte {
-	flags := byte(0)
-	enc := payload
+	dst = binary.LittleEndian.AppendUint32(dst, count)
+	flagAt := len(dst)
+	dst = append(dst, 0)
+	dst = binary.LittleEndian.AppendUint32(dst, 0) // encLen, patched below
+	body := len(dst)
 	if tryBDI {
-		if comp := BDICompress(payload); len(comp) < len(payload) {
-			enc = comp
-			flags = SectionBDI
+		dst = AppendBDICompress(dst, payload)
+		if len(dst)-body >= len(payload) {
+			dst = dst[:body] // compression lost; store raw
+		} else {
+			dst[flagAt] = SectionBDI
 		}
 	}
-	c.countEnc(len(payload), len(enc))
-	dst = binary.LittleEndian.AppendUint32(dst, count)
-	dst = append(dst, flags)
-	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(enc)))
-	return append(dst, enc...)
+	if len(dst) == body {
+		dst = append(dst, payload...)
+	}
+	encLen := len(dst) - body
+	binary.LittleEndian.PutUint32(dst[flagAt+1:], uint32(encLen))
+	c.countEnc(len(payload), encLen)
+	return dst
 }
 
 // readSection parses one section header and returns the decompressed
@@ -134,16 +145,30 @@ func (c *VecCodec) readSection(src []byte) (payload []byte, count uint32, rest [
 // when smaller). Node-ID and address vectors are the paper's Tech-2 sweet
 // spot: clustered 64-bit values collapse to narrow per-line deltas.
 func (c *VecCodec) AppendU64s(dst []byte, vals []uint64) []byte {
-	raw := make([]byte, 0, len(vals)*8)
-	for _, v := range vals {
-		raw = binary.LittleEndian.AppendUint64(raw, v)
+	raw := mem.Bytes.Get(len(vals) * 8)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(raw[i*8:], v)
 	}
-	return c.appendSection(dst, uint32(len(vals)), raw, true)
+	dst = c.appendSection(dst, uint32(len(vals)), raw, true)
+	mem.Bytes.Put(raw)
+	return dst
 }
 
-// ReadU64s parses a u64-vector section, returning the values and the
-// remaining bytes.
-func (c *VecCodec) ReadU64s(src []byte) ([]uint64, []byte, error) {
+// SectionCount peeks the count field of the section at the head of src
+// without decoding it, so a decoder can size a destination (or pooled
+// scratch) up front. ok is false when src cannot hold a section header.
+func SectionCount(src []byte) (n uint32, ok bool) {
+	if len(src) < sectionHeaderSize {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint32(src), true
+}
+
+// ReadU64sInto parses a u64-vector section, appending the values to dst —
+// the scratch-reuse form of ReadU64s for decode paths that convert or copy
+// the values onward. Size dst via SectionCount to keep the append in one
+// buffer.
+func (c *VecCodec) ReadU64sInto(dst []uint64, src []byte) ([]uint64, []byte, error) {
 	payload, count, rest, err := c.readSection(src)
 	if err != nil {
 		return nil, nil, err
@@ -151,9 +176,19 @@ func (c *VecCodec) ReadU64s(src []byte) ([]uint64, []byte, error) {
 	if uint64(len(payload)) != uint64(count)*8 {
 		return nil, nil, fmt.Errorf("%w: u64 section of %d bytes for %d values", ErrCorrupt, len(payload), count)
 	}
-	vals := make([]uint64, count)
-	for i := range vals {
-		vals[i] = binary.LittleEndian.Uint64(payload[i*8:])
+	for i := 0; i < int(count); i++ {
+		dst = append(dst, binary.LittleEndian.Uint64(payload[i*8:]))
+	}
+	return dst, rest, nil
+}
+
+// ReadU64s parses a u64-vector section, returning the values and the
+// remaining bytes.
+func (c *VecCodec) ReadU64s(src []byte) ([]uint64, []byte, error) {
+	n, _ := SectionCount(src)
+	vals, rest, err := c.ReadU64sInto(make([]uint64, 0, n), src)
+	if err != nil {
+		return nil, nil, err
 	}
 	return vals, rest, nil
 }
@@ -162,25 +197,31 @@ func (c *VecCodec) ReadU64s(src []byte) ([]uint64, []byte, error) {
 // vectors), sign-extended through the 32-bit BDI path when that is
 // smaller.
 func (c *VecCodec) AppendU32s(dst []byte, vals []uint32) []byte {
-	raw := make([]byte, 0, len(vals)*4)
-	for _, v := range vals {
-		raw = binary.LittleEndian.AppendUint32(raw, v)
+	raw := mem.Bytes.Get(len(vals) * 4)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(raw[i*4:], v)
 	}
-	flags := byte(0)
-	enc := raw
-	if comp, err := BDICompress32(raw); err == nil && len(comp) < len(raw) {
-		enc = comp
-		flags = SectionBDI
-	}
-	c.countEnc(len(raw), len(enc))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(vals)))
-	dst = append(dst, flags)
-	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(enc)))
-	return append(dst, enc...)
+	flagAt := len(dst)
+	dst = append(dst, 0)
+	dst = binary.LittleEndian.AppendUint32(dst, 0) // encLen, patched below
+	body := len(dst)
+	if comp, err := AppendBDICompress32(dst, raw); err == nil && len(comp)-body < len(raw) {
+		dst = comp
+		dst[flagAt] = SectionBDI
+	} else {
+		dst = append(dst[:body], raw...)
+	}
+	encLen := len(dst) - body
+	binary.LittleEndian.PutUint32(dst[flagAt+1:], uint32(encLen))
+	c.countEnc(len(raw), encLen)
+	mem.Bytes.Put(raw)
+	return dst
 }
 
-// ReadU32s parses a u32-vector section.
-func (c *VecCodec) ReadU32s(src []byte) ([]uint32, []byte, error) {
+// ReadU32sInto parses a u32-vector section, appending the values to dst —
+// the scratch-reuse form of ReadU32s.
+func (c *VecCodec) ReadU32sInto(dst []uint32, src []byte) ([]uint32, []byte, error) {
 	if len(src) < sectionHeaderSize {
 		return nil, nil, fmt.Errorf("%w: truncated section header", ErrCorrupt)
 	}
@@ -205,9 +246,18 @@ func (c *VecCodec) ReadU32s(src []byte) ([]uint32, []byte, error) {
 	if uint64(len(payload)) != uint64(count)*4 {
 		return nil, nil, fmt.Errorf("%w: u32 section of %d bytes for %d values", ErrCorrupt, len(payload), count)
 	}
-	vals := make([]uint32, count)
-	for i := range vals {
-		vals[i] = binary.LittleEndian.Uint32(payload[i*4:])
+	for i := 0; i < int(count); i++ {
+		dst = append(dst, binary.LittleEndian.Uint32(payload[i*4:]))
+	}
+	return dst, rest, nil
+}
+
+// ReadU32s parses a u32-vector section.
+func (c *VecCodec) ReadU32s(src []byte) ([]uint32, []byte, error) {
+	n, _ := SectionCount(src)
+	vals, rest, err := c.ReadU32sInto(make([]uint32, 0, n), src)
+	if err != nil {
+		return nil, nil, err
 	}
 	return vals, rest, nil
 }

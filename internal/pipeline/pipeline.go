@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"lsdgnn/internal/graph"
+	"lsdgnn/internal/mem"
 	"lsdgnn/internal/obs"
 	"lsdgnn/internal/sampler"
 )
@@ -238,16 +239,21 @@ func (e *Executor) Sample(ctx context.Context, roots []graph.NodeID) (*sampler.R
 	b.win = newWindow(e.cfg.Window, &e.stats, e.tracer, id)
 
 	// Preallocate the exact result layout so retirement is a lock-free
-	// write into disjoint segments.
+	// write into disjoint segments. Segments come from a region the caller
+	// recycles via Result.Release; every retired root fully writes its
+	// slice of each segment (self-loop padding included), so no zero fill
+	// is needed on the ID buffers.
 	sp := e.scfg
+	rg := mem.NewRegion()
 	res := &sampler.Result{Roots: roots}
+	res.Own(rg)
 	w := 1
 	attrSlots := len(roots)
 	for _, f := range sp.Fanouts {
 		b.levelW = append(b.levelW, w)
 		w *= f
 		b.outW = append(b.outW, w)
-		res.Hops = append(res.Hops, make([]graph.NodeID, len(roots)*w))
+		res.Hops = append(res.Hops, rg.IDs(len(roots)*w))
 		b.hopBases = append(b.hopBases, attrSlots)
 		attrSlots += len(roots) * w
 	}
@@ -255,18 +261,20 @@ func (e *Executor) Sample(ctx context.Context, roots []graph.NodeID) (*sampler.R
 	if sp.NegativeRate > 0 {
 		// Negatives need no graph I/O; fill them up front from the
 		// per-root derived streams.
-		res.Negatives = make([]graph.NodeID, len(roots)*sp.NegativeRate)
+		res.Negatives = rg.IDs(len(roots) * sp.NegativeRate)
 		n := e.store.NumNodes()
+		st := sampler.GetStream()
 		for r := range roots {
-			nrng := sampler.NegativesRNG(sp.Seed, r)
+			nrng := st.Negatives(sp.Seed, r)
 			for i := 0; i < sp.NegativeRate; i++ {
 				res.Negatives[r*sp.NegativeRate+i] = graph.NodeID(nrng.Int63n(n))
 			}
 		}
+		sampler.PutStream(st)
 		attrSlots += len(res.Negatives)
 	}
 	if sp.FetchAttrs {
-		res.Attrs = make([]float32, attrSlots*b.attrLen)
+		res.Attrs = rg.Floats(attrSlots*b.attrLen, true)
 	}
 	b.res = res
 
@@ -289,6 +297,9 @@ func (e *Executor) Sample(ctx context.Context, roots []graph.NodeID) (*sampler.R
 
 	if err := ctx.Err(); err != nil {
 		e.stats.batchErrors.Inc()
+		// All root goroutines have retired; the discarded result's
+		// segments can go straight back to the pools.
+		res.Release()
 		return nil, err
 	}
 	for _, c := range b.cycles {
@@ -310,18 +321,21 @@ func (b *batch) runRoot(ctx context.Context, r int) {
 	root := b.res.Roots[r]
 	frontier := []graph.NodeID{root}
 	var rootErr error
+	st := sampler.GetStream()
+	defer sampler.PutStream(st)
 
 	for h, fanout := range sp.Fanouts {
 		if err := b.waitStage(ctx, h); err != nil {
 			b.retire(r, err)
 			return
 		}
-		lists := make([][]graph.NodeID, len(frontier))
+		lists := mem.Lists.Get(len(frontier))
 		err := b.fetch(ctx, len(frontier), func() error {
 			return e.store.NeighborsBatch(ctx, lists, frontier)
 		})
 		if err != nil {
 			if ctx.Err() != nil {
+				mem.Lists.Put(lists)
 				b.retire(r, ctx.Err())
 				return
 			}
@@ -334,7 +348,7 @@ func (b *batch) runRoot(ctx context.Context, r int) {
 		seg := b.res.Hops[h][r*b.outW[h] : r*b.outW[h] : (r+1)*b.outW[h]]
 		out := seg[:0]
 		for i, v := range frontier {
-			rng := sampler.NodeRNG(sp.Seed, r, h, i)
+			rng := st.Node(sp.Seed, r, h, i)
 			before := len(out)
 			var cyc int
 			out, cyc = sampler.ExpandNeighbors(out, v, lists[i], fanout, sp.Method, sp.WeightFn, rng)
@@ -343,6 +357,7 @@ func (b *batch) runRoot(ctx context.Context, r int) {
 				out = append(out, v)
 			}
 		}
+		mem.Lists.Put(lists)
 		frontier = out
 		b.advance(r)
 	}
@@ -375,14 +390,17 @@ func (b *batch) fetchRootAttrs(ctx context.Context, r int) error {
 	for _, w := range b.outW {
 		total += w
 	}
-	ids := make([]graph.NodeID, 0, total)
-	ids = append(ids, res.Roots[r])
+	idBuf := mem.IDs.Get(total)
+	defer mem.IDs.Put(idBuf)
+	ids := append(idBuf[:0], res.Roots[r])
 	for h := range sp.Fanouts {
 		ids = append(ids, res.Hops[h][r*b.outW[h]:(r+1)*b.outW[h]]...)
 	}
 	ids = append(ids, res.Negatives[r*sp.NegativeRate:(r+1)*sp.NegativeRate]...)
 
-	scratch := make([]float32, len(ids)*al)
+	// Zeroed scratch: lost vertices must land as zero fill in Attrs.
+	scratch := mem.Floats.GetZeroed(len(ids) * al)
+	defer mem.Floats.Put(scratch)
 	err := b.fetch(ctx, len(ids), func() error {
 		return e.store.AttrsBatch(ctx, scratch, ids)
 	})

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 
 	"lsdgnn/internal/graph"
+	"lsdgnn/internal/mem"
 )
 
 // Store abstracts graph storage so the same sampler runs against a local
@@ -134,15 +135,17 @@ func SampleNeighbors(dst []graph.NodeID, candidates []graph.NodeID, k int, m Met
 	}
 	switch m {
 	case Reservoir:
-		// Partial Fisher–Yates over a scratch copy: exact uniform
-		// K-of-N without replacement.
-		scratch := make([]graph.NodeID, n)
+		// Partial Fisher–Yates over a pooled scratch copy: exact uniform
+		// K-of-N without replacement, no per-call allocation.
+		scratch := mem.IDs.Get(n)
 		copy(scratch, candidates)
 		for i := 0; i < k; i++ {
 			j := i + rng.Intn(n-i)
 			scratch[i], scratch[j] = scratch[j], scratch[i]
 		}
-		return append(dst, scratch[:k]...), n + k
+		dst = append(dst, scratch[:k]...)
+		mem.IDs.Put(scratch)
+		return dst, n + k
 	case Streaming:
 		// K groups in arrival order; one uniform pick per group. Group
 		// sizes differ by at most one (remainder spread over the first
@@ -179,7 +182,33 @@ type Result struct {
 	Attrs []float32
 	// Cycles is the abstract sampling step count (for Tech-2 accounting).
 	Cycles int
+
+	// region owns the pooled buffers behind Hops/Negatives/Attrs when the
+	// result came off an execution path wired to internal/mem; Release
+	// recycles them.
+	region *mem.Region
 }
+
+// Release returns the result's pooled buffers (hops, negatives,
+// attributes — never the caller-provided Roots) to the shared free lists.
+// After Release the result and every slice read from it are invalid; a
+// caller still holding sub-slices must not call Release until it is done
+// with them. Safe to call on results from non-pooled paths and safe to
+// call twice — both are no-ops.
+func (r *Result) Release() {
+	rg := r.region
+	if rg == nil {
+		return
+	}
+	r.region = nil
+	r.Hops, r.Negatives, r.Attrs = nil, nil, nil
+	rg.Release()
+}
+
+// Own attaches the region whose buffers back this result, arming Release.
+// For execution paths (pipeline, cluster client) that assemble Results
+// from region allocations themselves.
+func (r *Result) Own(rg *mem.Region) { r.region = rg }
 
 // NodesFetched returns the number of attribute vectors in Attrs.
 func (r *Result) NodesFetched(attrLen int) int {
@@ -209,11 +238,14 @@ type Config struct {
 	RootStreams bool
 }
 
-// Sampler performs mini-batch k-hop sampling over a Store.
+// Sampler performs mini-batch k-hop sampling over a Store. A Sampler is
+// not safe for concurrent Sample calls (it reuses one RNG and one stream
+// cursor); use one Sampler per worker.
 type Sampler struct {
-	store Store
-	cfg   Config
-	rng   *rand.Rand
+	store  Store
+	cfg    Config
+	rng    *rand.Rand
+	stream *Stream
 }
 
 // New creates a sampler. It panics on an empty fanout list since that
@@ -222,7 +254,7 @@ func New(store Store, cfg Config) *Sampler {
 	if len(cfg.Fanouts) == 0 {
 		panic("sampler: no fanouts configured")
 	}
-	return &Sampler{store: store, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	return &Sampler{store: store, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), stream: NewStream()}
 }
 
 // SampleBatch runs k-hop sampling for the given roots with no deadline,
@@ -240,26 +272,38 @@ func (s *Sampler) SampleBatch(roots []graph.NodeID) *Result {
 // path. The returned Result is always layout-complete; a non-nil error
 // reports store degradation (lost vertices contribute self-loop padding
 // and zeroed attributes) or ctx expiry (nil result).
+//
+// The result's hop, negative and attribute buffers come from the shared
+// internal/mem pools; call Result.Release when done with it to recycle
+// them (dropping the result without Release is safe, just unrecycled).
 func (s *Sampler) Sample(ctx context.Context, roots []graph.NodeID) (*Result, error) {
-	res := &Result{Roots: roots}
+	rg := mem.NewRegion()
+	res := &Result{Roots: roots, region: rg}
 	frontier := roots
 	width := 1 // per-root frontier width at the current hop
 	var firstErr error
 	for h, fanout := range s.cfg.Fanouts {
-		lists := make([][]graph.NodeID, len(frontier))
+		lists := mem.Lists.Get(len(frontier))
 		if err := s.store.NeighborsBatch(ctx, lists, frontier); err != nil {
 			if ctxErr := ctx.Err(); ctxErr != nil {
+				mem.Lists.Put(lists)
+				res.Release()
 				return nil, ctxErr
 			}
 			if firstErr == nil {
 				firstErr = err
 			}
 		}
-		next := make([]graph.NodeID, 0, len(frontier)*fanout)
+		// Each frontier node contributes exactly fanout entries after
+		// self-loop padding, so the hop buffer's size is exact; the capped
+		// slice turns any overflow into a reallocation instead of silent
+		// growth into pooled capacity.
+		hopBuf := rg.IDs(len(frontier) * fanout)
+		next := hopBuf[:0:len(hopBuf)]
 		for i, v := range frontier {
 			rng := s.rng
 			if s.cfg.RootStreams {
-				rng = NodeRNG(s.cfg.Seed, i/width, h, i%width)
+				rng = s.stream.Node(s.cfg.Seed, i/width, h, i%width)
 			}
 			before := len(next)
 			var cyc int
@@ -270,26 +314,30 @@ func (s *Sampler) Sample(ctx context.Context, roots []graph.NodeID) (*Result, er
 				next = append(next, v)
 			}
 		}
+		mem.Lists.Put(lists)
 		res.Hops = append(res.Hops, next)
 		frontier = next
 		width *= fanout
 	}
 	if s.cfg.NegativeRate > 0 {
-		res.Negatives = make([]graph.NodeID, 0, len(roots)*s.cfg.NegativeRate)
+		negBuf := rg.IDs(len(roots) * s.cfg.NegativeRate)
+		negs := negBuf[:0:len(negBuf)]
 		n := s.store.NumNodes()
 		for r := range roots {
 			rng := s.rng
 			if s.cfg.RootStreams {
-				rng = NegativesRNG(s.cfg.Seed, r)
+				rng = s.stream.Negatives(s.cfg.Seed, r)
 			}
 			for i := 0; i < s.cfg.NegativeRate; i++ {
-				res.Negatives = append(res.Negatives, graph.NodeID(rng.Int63n(n)))
+				negs = append(negs, graph.NodeID(rng.Int63n(n)))
 			}
 		}
+		res.Negatives = negs
 	}
 	if s.cfg.FetchAttrs {
 		if err := s.fetchAttrs(ctx, res); err != nil {
 			if ctxErr := ctx.Err(); ctxErr != nil {
+				res.Release()
 				return nil, ctxErr
 			}
 			if firstErr == nil {
@@ -301,26 +349,40 @@ func (s *Sampler) Sample(ctx context.Context, roots []graph.NodeID) (*Result, er
 }
 
 func (s *Sampler) fetchAttrs(ctx context.Context, res *Result) error {
-	ids := AttrOrder(res)
-	res.Attrs = make([]float32, len(ids)*s.store.AttrLen())
-	return s.store.AttrsBatch(ctx, res.Attrs, ids)
+	total := attrSlots(res)
+	ids := mem.IDs.Get(total)
+	ids = appendAttrOrder(ids[:0], res)
+	// Zeroed: degrading stores leave lost vertices at zero fill.
+	res.Attrs = res.region.Floats(total*s.store.AttrLen(), true)
+	err := s.store.AttrsBatch(ctx, res.Attrs, ids)
+	mem.IDs.Put(ids)
+	return err
+}
+
+// attrSlots counts the attribute vectors a result's canonical fetch order
+// covers.
+func attrSlots(res *Result) int {
+	total := len(res.Roots) + len(res.Negatives)
+	for _, h := range res.Hops {
+		total += len(h)
+	}
+	return total
+}
+
+// appendAttrOrder appends the canonical attribute-fetch order to dst.
+func appendAttrOrder(dst []graph.NodeID, res *Result) []graph.NodeID {
+	dst = append(dst, res.Roots...)
+	for _, hop := range res.Hops {
+		dst = append(dst, hop...)
+	}
+	return append(dst, res.Negatives...)
 }
 
 // AttrOrder returns the canonical attribute-fetch order of a result:
 // roots, every hop in order, then negatives — the layout Result.Attrs
 // concatenates.
 func AttrOrder(res *Result) []graph.NodeID {
-	total := len(res.Roots) + len(res.Negatives)
-	for _, h := range res.Hops {
-		total += len(h)
-	}
-	ids := make([]graph.NodeID, 0, total)
-	ids = append(ids, res.Roots...)
-	for _, hop := range res.Hops {
-		ids = append(ids, hop...)
-	}
-	ids = append(ids, res.Negatives...)
-	return ids
+	return appendAttrOrder(make([]graph.NodeID, 0, attrSlots(res)), res)
 }
 
 // LocalStore adapts a *graph.Graph to the Store interface.

@@ -1,6 +1,9 @@
 package sampler
 
-import "math/rand"
+import (
+	"math/rand"
+	"sync"
+)
 
 // Deterministic per-root RNG streams. The paper's AxE load unit (§4.2
 // Tech-3, Fig. 8) retires memory responses out of order; a software
@@ -13,6 +16,15 @@ import "math/rand"
 // overlapped, fully out of order, or the AxE event simulation — then
 // produces byte-identical results. Config.RootStreams opts a sampler into
 // this scheme.
+//
+// Materializing a stream used to mean rand.New(rand.NewSource(child)) per
+// expansion — and seeding math/rand's lagged-Fibonacci source allocates a
+// ~5KB feedback table, which at one stream per expansion was the hot
+// path's single largest allocation. Stream keeps one table per worker and
+// repositions it with an in-place reseed (table regeneration, no
+// allocation), so the draws stay byte-identical to the historical
+// per-call construction while the steady-state allocation rate drops to
+// zero.
 
 // mix64 is the splitmix64 finalizer: a cheap, well-distributed 64-bit
 // mixing function (Steele et al., "Fast Splittable Pseudorandom Number
@@ -42,15 +54,59 @@ const (
 	tagNegatives = 0x6e6567 // "neg"
 )
 
+// Stream is a reusable derived-stream cursor: one RNG (and one
+// lagged-Fibonacci state table) that can be repositioned onto any
+// (seed, root, hop, position) stream between draws. Repositioning is an
+// in-place Seed, so a cursor returns exactly the values a freshly
+// constructed rand.New(rand.NewSource(child)) would. Execution paths hold
+// one Stream per worker (the synchronous sampler one total, the pipeline
+// one per root goroutine, an AxE core one per core) instead of
+// materializing a fresh RNG per expansion. Not safe for concurrent use.
+type Stream struct {
+	r *rand.Rand
+}
+
+// NewStream returns an unpositioned stream cursor; position it with Node
+// or Negatives before drawing.
+func NewStream() *Stream {
+	return &Stream{r: rand.New(rand.NewSource(0))}
+}
+
+// Node repositions the cursor onto the expansion stream for the node at
+// (root index, hop, position) under the batch seed and returns the RNG,
+// positioned exactly as NodeRNG would return it.
+func (s *Stream) Node(seed int64, root, hop, pos int) *rand.Rand {
+	s.r.Seed(StreamSeed(seed, tagExpand, uint64(root), uint64(hop), uint64(pos)))
+	return s.r
+}
+
+// Negatives repositions the cursor onto the root's negative-sampling
+// stream under the batch seed.
+func (s *Stream) Negatives(seed int64, root int) *rand.Rand {
+	s.r.Seed(StreamSeed(seed, tagNegatives, uint64(root)))
+	return s.r
+}
+
+// streamPool recycles Stream cursors across batches for paths (like the
+// pipeline's per-root goroutines) with no natural place to park one.
+var streamPool = sync.Pool{New: func() any { return NewStream() }}
+
+// GetStream checks a stream cursor out of the shared pool.
+func GetStream() *Stream { return streamPool.Get().(*Stream) }
+
+// PutStream returns a cursor to the pool.
+func PutStream(s *Stream) { streamPool.Put(s) }
+
 // NodeRNG returns the dedicated stream for expanding the node at (root
 // index, hop, position within the root's hop frontier) under the given
 // batch seed. Every call returns an identical, freshly-positioned stream.
+// Hot paths should hold a Stream and reposition it instead.
 func NodeRNG(seed int64, root, hop, pos int) *rand.Rand {
-	return rand.New(rand.NewSource(StreamSeed(seed, tagExpand, uint64(root), uint64(hop), uint64(pos))))
+	return NewStream().Node(seed, root, hop, pos)
 }
 
 // NegativesRNG returns the root's negative-sampling stream under the
 // given batch seed.
 func NegativesRNG(seed int64, root int) *rand.Rand {
-	return rand.New(rand.NewSource(StreamSeed(seed, tagNegatives, uint64(root))))
+	return NewStream().Negatives(seed, root)
 }

@@ -41,13 +41,27 @@ const (
 // histGrowth is the geometric width of one bucket: 10^(1/bucketsPerDecade).
 var histGrowth = math.Pow(10, 1.0/histBucketsPerDecade)
 
+// histBounds precomputes every bucket's upper bound so snapshots never
+// recompute powers per bucket.
+var histBounds = func() [histTotalBuckets]float64 {
+	var b [histTotalBuckets]float64
+	for i := range b {
+		if i >= histBuckets {
+			b[i] = math.Inf(1)
+			continue
+		}
+		b[i] = histMinBound * math.Pow(10, float64(i+1)/histBucketsPerDecade)
+	}
+	return b
+}()
+
 // histUpperBound returns bucket i's inclusive upper bound; the overflow
 // bucket reports +Inf.
 func histUpperBound(i int) float64 {
 	if i >= histBuckets {
 		return math.Inf(1)
 	}
-	return histMinBound * math.Pow(10, float64(i+1)/histBucketsPerDecade)
+	return histBounds[i]
 }
 
 // histIndex maps a value to its bucket.
@@ -105,12 +119,26 @@ func (h *Histogram) Quantile(q float64) float64 {
 }
 
 // Snapshot returns a point-in-time copy carrying only non-empty buckets,
-// labeled with the given metric name and unit for rendering.
+// labeled with the given metric name and unit for rendering. The lock is
+// held only for a fixed-size array copy; the bucket slice is built (and
+// sized exactly) outside it, so a scrape under load never stalls the hot
+// path's Observe behind an allocation.
 func (h *Histogram) Snapshot(name, unit string) HistogramSnapshot {
 	h.mu.Lock()
-	defer h.mu.Unlock()
+	counts := h.counts
 	s := HistogramSnapshot{Name: name, Unit: unit, Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
-	for i, c := range h.counts {
+	h.mu.Unlock()
+	nonEmpty := 0
+	for _, c := range counts {
+		if c != 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 {
+		return s
+	}
+	s.Buckets = make([]HistogramBucket, 0, nonEmpty)
+	for i, c := range counts {
 		if c == 0 {
 			continue
 		}

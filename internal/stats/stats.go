@@ -151,9 +151,7 @@ func formatValue(v float64) string {
 type Latency struct {
 	layer string
 	hist  *Histogram
-
-	mu   sync.Mutex
-	errs int64
+	errs  atomic.Int64
 }
 
 // NewLatency returns a latency recorder reporting under the given layer
@@ -166,11 +164,7 @@ func NewLatency(layer string) *Latency {
 func (l *Latency) Observe(d time.Duration) { l.hist.ObserveDuration(d) }
 
 // ObserveError records one failed (canceled, expired or errored) batch.
-func (l *Latency) ObserveError() {
-	l.mu.Lock()
-	l.errs++
-	l.mu.Unlock()
-}
+func (l *Latency) ObserveError() { l.errs.Add(1) }
 
 // Count returns the number of successful observations.
 func (l *Latency) Count() int64 { return l.hist.Count() }
@@ -186,9 +180,7 @@ func (l *Latency) Hist() HistogramSnapshot { return l.hist.Snapshot("latency", "
 // until at least one batch has been observed — an idle recorder must not
 // report a misleading latency_min of 0.
 func (l *Latency) StatsSnapshot() Snapshot {
-	l.mu.Lock()
-	errs := l.errs
-	l.mu.Unlock()
+	errs := l.errs.Load()
 	h := l.Hist()
 	m := []Metric{
 		{Name: "batches", Value: float64(h.Count), Unit: "req"},

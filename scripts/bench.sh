@@ -1,0 +1,134 @@
+#!/bin/sh
+# Benchmark trajectory for the hot-path refactor: runs the sample /
+# pipeline / pack / codec benchmarks with -benchmem and writes
+# BENCH_6.json recording the pre-refactor baselines (measured on this
+# tree immediately before the mem buffer layer landed), the current
+# numbers, and the per-benchmark reductions.
+#
+#   bench.sh          full run; gates the PR's promise of a >=50% B/op
+#                     and allocs/op reduction on the sample->pack path
+#   bench.sh smoke    short iterations for CI; fails on an allocs/op
+#                     regression beyond 25% of the checked-in
+#                     steady-state baseline (scripts/bench_allocs_baseline.txt)
+#
+# allocs/op is deterministic enough to gate in short mode; ns/op is not,
+# so smoke mode never judges speed.
+set -eu
+cd "$(dirname "$0")/.."
+
+MODE=${1:-full}
+OUT=BENCH_6.json
+REGEX='BenchmarkSoftwareSampling$|BenchmarkPipelineSampling|BenchmarkPackedFrameCodec$|BenchmarkVecCodecU64s$|BenchmarkBDICompress$'
+
+case "$MODE" in
+    full)  FLAGS="" ;;
+    smoke) FLAGS="-benchtime 25x" ;;
+    *) echo "usage: $0 [full|smoke]" >&2; exit 2 ;;
+esac
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+# shellcheck disable=SC2086
+go test -run '^$' -bench "$REGEX" -benchmem $FLAGS . | tee "$RAW"
+
+awk -v mode="$MODE" -v out="$OUT" '
+BEGIN {
+    # Pre-refactor numbers: ns/op, B/op, allocs/op measured on the commit
+    # before the mem layer, same harness, same machine class.
+    before["BenchmarkSoftwareSampling"]      = "2758151 2134468 10"
+    before["BenchmarkPipelineSampling/w1"]   = "239769630 28672288 25009"
+    before["BenchmarkPipelineSampling/w256"] = "60720237 28679028 25074"
+    before["BenchmarkPackedFrameCodec"]      = "1693835 5565227 2439"
+    before["BenchmarkVecCodecU64s"]          = "8481 26512 18"
+    before["BenchmarkBDICompress"]           = "1649 4472 10"
+    order[1] = "BenchmarkSoftwareSampling"
+    order[2] = "BenchmarkPipelineSampling/w1"
+    order[3] = "BenchmarkPipelineSampling/w256"
+    order[4] = "BenchmarkPackedFrameCodec"
+    order[5] = "BenchmarkVecCodecU64s"
+    order[6] = "BenchmarkBDICompress"
+    norder = 6
+}
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = bop = aop = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns  = $(i - 1)
+        if ($i == "B/op")      bop = $(i - 1)
+        if ($i == "allocs/op") aop = $(i - 1)
+    }
+    if (ns != "" && bop != "" && aop != "") {
+        cur_ns[name] = ns; cur_b[name] = bop; cur_a[name] = aop
+    }
+}
+function red(b, a) { if (b == 0) return 0; return (b - a) / b }
+END {
+    fail = 0
+    printf "{\n  \"pr\": 6,\n  \"mode\": \"%s\",\n  \"benchmarks\": {\n", mode > out
+    for (i = 1; i <= norder; i++) {
+        name = order[i]
+        if (!(name in cur_ns)) {
+            printf "bench: %s missing from output\n", name > "/dev/stderr"
+            fail = 1
+            continue
+        }
+        split(before[name], b, " ")
+        printf "    \"%s\": {\n", name > out
+        printf "      \"before\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s},\n", b[1], b[2], b[3] > out
+        printf "      \"after\":  {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s},\n", cur_ns[name], cur_b[name], cur_a[name] > out
+        printf "      \"b_op_reduction\": %.3f,\n", red(b[2], cur_b[name]) > out
+        printf "      \"allocs_op_reduction\": %.3f\n", red(b[3], cur_a[name]) > out
+        printf "    }%s\n", (i < norder ? "," : "") > out
+    }
+    printf "  }\n}\n" > out
+    # The tentpole gate: the sample and pack benchmarks must hold a >=50%
+    # reduction on both B/op and allocs/op. Gated in full mode only; smoke
+    # judges against the steady-state baseline file instead.
+    if (mode == "full") {
+        ngate = split("BenchmarkSoftwareSampling BenchmarkPackedFrameCodec", gate, " ")
+        for (i = 1; i <= ngate; i++) {
+            name = gate[i]
+            if (!(name in cur_b)) continue
+            split(before[name], b, " ")
+            if (cur_b[name] + 0 > b[2] / 2) {
+                printf "bench: %s B/op %s not a >=50%% reduction of %s\n", name, cur_b[name], b[2] > "/dev/stderr"
+                fail = 1
+            }
+            if (cur_a[name] + 0 > b[3] / 2) {
+                printf "bench: %s allocs/op %s not a >=50%% reduction of %s\n", name, cur_a[name], b[3] > "/dev/stderr"
+                fail = 1
+            }
+        }
+    }
+    exit fail
+}' "$RAW"
+
+if [ "$MODE" = smoke ]; then
+    # allocs/op regression check against the checked-in steady-state
+    # numbers, with 25% headroom for scheduling jitter on the concurrent
+    # pipeline benches.
+    while read -r name base; do
+        case "$name" in ''|\#*) continue ;; esac
+        cur=$(awk -v n="$name" '
+            /^Benchmark/ {
+                bn = $1; sub(/-[0-9]+$/, "", bn)
+                if (bn == n) for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i - 1)
+            }' "$RAW")
+        if [ -z "$cur" ]; then
+            echo "bench-smoke: $name missing from output" >&2
+            exit 1
+        fi
+        # +8 absolute headroom: at 25x iterations a cold pool's first-run
+        # misses are barely amortized, which would swamp a tiny baseline
+        # like BDICompress's 2 allocs/op on a pure-ratio check.
+        limit=$(awk -v b="$base" 'BEGIN { printf "%d", b * 1.25 + 8 }')
+        if [ "$cur" -gt "$limit" ]; then
+            echo "bench-smoke: $name allocs/op regressed: $cur > $limit (baseline $base +25%)" >&2
+            exit 1
+        fi
+    done < scripts/bench_allocs_baseline.txt
+    echo "bench-smoke: OK (allocs/op within 25% of baseline)"
+fi
+
+echo "bench: wrote $OUT"

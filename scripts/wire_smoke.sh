@@ -48,13 +48,31 @@ for series in \
 done
 
 # Drive a packed burst over the wire (protocol v2 negotiation + MoF
-# packing + BDI sections, all through real sockets).
-"$OUT/lsdgnn-probe" -addrs "127.0.0.1:$SERVE_PORT" -batches 8 -batch-size 48 \
+# packing + BDI sections, all through real sockets). -mem makes the probe
+# verify every scratch buffer went back to its pool and print the
+# client-side buffer-pool series.
+"$OUT/lsdgnn-probe" -addrs "127.0.0.1:$SERVE_PORT" -batches 8 -batch-size 48 -mem \
     >"$OUT/probe.log" 2>&1 || { cat "$OUT/probe.log" >&2; exit 1; }
 grep -q 'probe: OK' "$OUT/probe.log"
 grep -q 'protocol v2, packing true' "$OUT/probe.log" || {
     echo "wire-smoke: probe did not negotiate packing" >&2
     cat "$OUT/probe.log" >&2
+    exit 1
+}
+
+# The buffer-pool layer must show real traffic on the probe side (the hot
+# path allocates through it) and a pre-registered schema on the server.
+grep -q '^lsdgnn_mem_pool_puts ' "$OUT/probe.log" || {
+    echo "wire-smoke: probe printed no lsdgnn_mem_ series" >&2
+    cat "$OUT/probe.log" >&2
+    exit 1
+}
+PUTS=$(grep '^lsdgnn_mem_pool_puts ' "$OUT/probe.log" | awk '{print $2}')
+case "$PUTS" in
+    ''|0|0.0) echo "wire-smoke: probe counted no pool puts ($PUTS)" >&2; exit 1 ;;
+esac
+grep -q 'lsdgnn_mem_scratch_outstanding' "$OUT/metrics.before" || {
+    echo "wire-smoke: /metrics missing lsdgnn_mem_scratch_outstanding" >&2
     exit 1
 }
 
