@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify chaos bench bench-smoke bench-all metrics-smoke wire-smoke pipeline-smoke fuzz
+.PHONY: build test verify chaos bench bench-smoke bench-all metrics-smoke wire-smoke pipeline-smoke reshard-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,14 @@ wire-smoke:
 # issued/retired/batches counters moved and balance.
 pipeline-smoke:
 	./scripts/pipeline_smoke.sh
+
+# Reshard smoke test: boots a 2×2 replicated lsdgnn-server tier (checks
+# the zero-valued lsdgnn_cluster_layout_* pre-registration on /metrics),
+# drains one replica live through lsdgnn-probe mid-burst with zero failed
+# batches, asserts the layout counters moved, and flips a server into
+# draining via the admin POST /drain endpoint.
+reshard-smoke:
+	./scripts/reshard_smoke.sh
 
 # Fuzz the hostile-input decoders: seed corpus first (fails fast on a
 # regression), then a short randomized run on the packed-frame decoder.

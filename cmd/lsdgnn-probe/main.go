@@ -9,6 +9,15 @@
 //
 //	lsdgnn-probe -addrs 127.0.0.1:7001,127.0.0.1:7002 -batches 8
 //	lsdgnn-probe -addrs 127.0.0.1:7001 -pack=false   # v1-equivalent wire
+//
+// With -replicas the address list covers a replicated tier in
+// UniformReplicas order (replica r of partition p at index r*partitions+p)
+// and the probe routes by a versioned elastic layout; -drain-endpoint then
+// rehearses a live replica rotation mid-burst, and -layout prints the
+// lsdgnn_cluster_layout_* series the rotation moved:
+//
+//	lsdgnn-probe -addrs :7001,:7002,:7011,:7012 -replicas 2 \
+//	    -drain-endpoint 2 -layout
 package main
 
 import (
@@ -42,28 +51,49 @@ func main() {
 	pipeWindow := flag.Int("pipeline-window", 0, "in-flight window of the executor in node-requests (0 = default 256)")
 	seed := flag.Int64("seed", 1, "root-selection and sampling seed")
 	timeout := flag.Duration("timeout", 2*time.Minute, "overall deadline")
+	replicas := flag.Int("replicas", 1, "replicas per partition; addrs must list partitions×replicas servers in UniformReplicas order")
+	layoutStats := flag.Bool("layout", false, "print the client-side lsdgnn_cluster_layout_* elastic-layout metrics after the burst")
+	drainEndpoint := flag.Int("drain-endpoint", -1, "drain this endpoint out of the layout mid-burst (requires -replicas > 1, its partition keeps serving replicas)")
+	drainAfter := flag.Duration("drain-after", 50*time.Millisecond, "delay before the -drain-endpoint rotation starts")
 	flag.Parse()
 
 	endpoints := strings.Split(*addrs, ",")
 	if len(endpoints) == 0 || *batches <= 0 || *batchSize <= 0 || *workers <= 0 {
 		fatal(fmt.Errorf("need at least one address and positive batch/worker counts"))
 	}
+	if *replicas < 1 || len(endpoints)%*replicas != 0 {
+		fatal(fmt.Errorf("%d addresses do not divide into %d replicas per partition", len(endpoints), *replicas))
+	}
+	partitions := len(endpoints) / *replicas
+	if *drainEndpoint >= len(endpoints) {
+		fatal(fmt.Errorf("drain endpoint %d not in the %d-address layout", *drainEndpoint, len(endpoints)))
+	}
+	if *drainEndpoint >= 0 && *replicas < 2 {
+		fatal(fmt.Errorf("draining endpoint %d would leave its partition unserved: need -replicas > 1", *drainEndpoint))
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
 	transport := cluster.DialTCP(endpoints, 2)
 	defer transport.Close()
-	part := cluster.HashPartitioner{N: len(endpoints)}
+	part := cluster.HashPartitioner{N: partitions}
 	var opts []cluster.ClientOption
 	if *pack {
 		opts = append(opts, cluster.WithPacking(cluster.PackingConfig{Window: *window}))
+	}
+	if *replicas > 1 {
+		// A replicated tier routes by the versioned elastic layout, with
+		// the stock retry/breaker/failover policy underneath it.
+		opts = append(opts,
+			cluster.WithResilience(cluster.DefaultResilienceConfig()),
+			cluster.WithLayout(cluster.UniformLayout(partitions, *replicas)))
 	}
 	client, err := cluster.NewClientContext(ctx, transport, part, -1, opts...)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("connected: %d partitions, %d nodes, attr %d floats, protocol v%d, packing %v\n",
-		len(endpoints), client.NumNodes(), client.AttrLen(), client.NegotiatedVersion(), client.Packing())
+	fmt.Printf("connected: %d partitions ×%d replicas, %d nodes, attr %d floats, protocol v%d, packing %v\n",
+		partitions, *replicas, client.NumNodes(), client.AttrLen(), client.NegotiatedVersion(), client.Packing())
 
 	cfg := sampler.Config{
 		Fanouts: []int{*fanout, *fanout}, NegativeRate: 4,
@@ -80,6 +110,27 @@ func main() {
 	work := make([][]graph.NodeID, *batches)
 	for i := range work {
 		work[i] = append([]graph.NodeID(nil), src.Next()...)
+	}
+
+	// The drain rehearsal runs while workers drive traffic: mark the
+	// endpoint draining (routing stops, in-flight frames finish), remove
+	// it, and let the remaining replicas absorb the rest of the burst.
+	drainDone := make(chan error, 1)
+	if *drainEndpoint >= 0 {
+		ep := *drainEndpoint
+		go func() {
+			timer := time.NewTimer(*drainAfter)
+			defer timer.Stop()
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				drainDone <- ctx.Err()
+				return
+			}
+			drainDone <- client.DrainReplica(ctx, ep%partitions, ep)
+		}()
+	} else {
+		drainDone <- nil
 	}
 
 	start := time.Now()
@@ -122,6 +173,17 @@ func main() {
 	if firstErr != nil {
 		fatal(firstErr)
 	}
+	if err := <-drainDone; err != nil {
+		fatal(fmt.Errorf("drain endpoint %d: %w", *drainEndpoint, err))
+	}
+	if *drainEndpoint >= 0 {
+		l := client.Layout()
+		if l == nil || l.Contains(*drainEndpoint) {
+			fatal(fmt.Errorf("endpoint %d still in the layout after drain", *drainEndpoint))
+		}
+		fmt.Printf("drained endpoint %d: epoch %d, partition %d now on %v\n",
+			*drainEndpoint, l.Epoch, *drainEndpoint%partitions, l.Routable(*drainEndpoint%partitions))
+	}
 
 	tr := client.Traffic.Snapshot()
 	fmt.Printf("drove %d batches (%d roots) in %v: %d RPCs, %.1f KB up, %.1f KB down\n",
@@ -147,6 +209,14 @@ func main() {
 		// so the probe prints its own lsdgnn_pipeline_* series (the server
 		// pre-registers the same schema at zero).
 		if _, err := stats.WritePrometheus(os.Stdout, []stats.Snapshot{st.StatsSnapshot()}); err != nil {
+			fatal(err)
+		}
+	}
+	if *layoutStats {
+		// Exposition block for smoke tests: the layout lives client-side,
+		// so the probe prints its own lsdgnn_cluster_layout_* series (the
+		// server pre-registers the same schema at zero).
+		if _, err := stats.WritePrometheus(os.Stdout, []stats.Snapshot{client.Lay.StatsSnapshot()}); err != nil {
 			fatal(err)
 		}
 	}

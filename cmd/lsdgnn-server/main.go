@@ -119,9 +119,22 @@ func main() {
 	reg := stats.NewRegistry()
 	var resSchema cluster.ResilienceStats
 	var pipeSchema pipeline.Stats
-	reg.Register(srv.Stats(), srv.Latency(), srv.Wire(), tcp, &resSchema, &pipeSchema, mem.Source())
+	// The zero-valued layout block pre-registers the elastic-layout series
+	// (epoch, swaps, drains, migrations, ...) at 0 the same way — clients
+	// doing live resharding export the moving values.
+	var laySchema cluster.LayoutStats
+	reg.Register(srv.Stats(), srv.Latency(), srv.Wire(), tcp, &resSchema, &pipeSchema, &laySchema, mem.Source())
 
 	health := &obs.Health{}
+	// Order matters on the drain path: whoever flips draining — the signal
+	// handler below or the admin /drain endpoint — must turn away new
+	// cluster connections at the same instant /readyz goes 503, while
+	// connections mid-request finish the frame they hold. The listener
+	// itself stays open until Shutdown.
+	health.OnDrain(func() {
+		tcp.SetDraining(true)
+		log.Info("draining", "addr", tcp.Addr())
+	})
 	if *adminAddr != "" {
 		admin, bound, err := obs.ServeAdmin(*adminAddr, reg, health)
 		if err != nil {
@@ -141,8 +154,10 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	// Flip readiness first so load balancers rotate this node out while
-	// in-flight requests drain.
+	// Flip readiness first — via the OnDrain hook this also rejects new
+	// cluster connections — so load balancers and resilient clients rotate
+	// this node out while in-flight requests drain; only then close the
+	// listener.
 	health.SetDraining(true)
 	log.Info("shutting down", "drain_limit", *drain)
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)

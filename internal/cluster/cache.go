@@ -115,6 +115,30 @@ func (c *HotCache) PutAttrs(id graph.NodeID, attrs []float32) {
 	c.mu.Unlock()
 }
 
+// Invalidate drops every resident entry whose node ID matches pred and
+// returns the count dropped. Layout swaps use it: entries owned by a
+// partition whose serving set changed must not outlive the epoch that
+// re-homed it, or a worker could keep serving pre-move data forever.
+func (c *HotCache) Invalidate(pred func(graph.NodeID) bool) int {
+	if c == nil || c.capacity <= 0 || pred == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*hotEntry)
+		if pred(e.id) {
+			c.order.Remove(el)
+			delete(c.entries, e.id)
+			n++
+		}
+		el = next
+	}
+	return n
+}
+
 // Len returns the resident node count.
 func (c *HotCache) Len() int {
 	if c == nil {

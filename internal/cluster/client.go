@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lsdgnn/internal/graph"
@@ -147,6 +148,25 @@ type Client struct {
 	packCfg  *PackingConfig
 	pack     *packer
 	coalesce *attrCoalescer
+	// Lay tallies the elastic-layout control plane ("cluster.layout"):
+	// epoch gauge, swaps, joins, drains, migrations, dual-home requests,
+	// probe failures.
+	Lay LayoutStats
+	// layout is the live epoch-versioned routing table; readers load it
+	// atomically, the control-plane methods (serialized by layoutMu) swap
+	// it. Always non-nil after construction.
+	layout atomic.Pointer[Layout]
+	// initLayout holds the WithLayout request until construction.
+	initLayout *Layout
+	// layoutMu serializes layout transitions (ApplyLayout, AddReplica,
+	// DrainReplica, MigratePartition); it is never taken on the data path.
+	layoutMu sync.Mutex
+	// loads counts cumulative requests per partition — the hot-shard
+	// detector's input.
+	loads []atomic.Int64
+	// inflight counts per-endpoint calls on the wire so drains can wait
+	// for them.
+	inflight inflightTracker
 }
 
 // ClientOption customizes a Client at construction.
@@ -202,6 +222,44 @@ func NewClientContext(ctx context.Context, t Transport, p Partitioner, local int
 		}
 		// Options apply in any order; bind the tracer after all have run.
 		c.res.tracer = c.tracer
+	}
+	// The layout is the routing source of truth from the first request:
+	// WithLayout wins, else the resilience config's ReplicaMap (every
+	// endpoint serving) and finally the identity layout. The resilience
+	// layer re-resolves its endpoint set from it at the top of every pass,
+	// so a mid-flight epoch swap redirects retries without touching the
+	// request already on the wire.
+	initLay := c.initLayout
+	if initLay != nil {
+		if c.res == nil {
+			return nil, errors.New("cluster: WithLayout requires WithResilience")
+		}
+	} else {
+		var m ReplicaMap
+		if c.res != nil {
+			m = c.res.cfg.Replicas
+		}
+		var lerr error
+		if initLay, lerr = NewLayout(p.Servers(), m); lerr != nil {
+			return nil, lerr
+		}
+	}
+	{
+		norm, lerr := initLay.normalized()
+		if lerr != nil {
+			return nil, lerr
+		}
+		if lerr := norm.Validate(p.Servers()); lerr != nil {
+			return nil, lerr
+		}
+		c.layout.Store(norm)
+	}
+	c.loads = make([]atomic.Int64, p.Servers())
+	c.Lay.mu.Lock()
+	c.Lay.epoch = func() uint64 { return c.layout.Load().Epoch }
+	c.Lay.mu.Unlock()
+	if c.res != nil {
+		c.res.routes = c.routableEndpoints
 	}
 	if _, ok := ctx.Deadline(); !ok {
 		var cancel context.CancelFunc
@@ -277,6 +335,11 @@ func (c *Client) call(ctx context.Context, partition int, req []byte) ([]byte, e
 		start := time.Now()
 		defer func() { c.tracer.Observe(id, obs.HopRPC, start, time.Since(start)) }()
 	}
+	// Dual-home accounting is one atomic load plus a bool index — the
+	// layout indirection stays off the steady-state allocation path.
+	if l := c.layout.Load(); l != nil && l.DualHome(partition) {
+		c.Lay.add(&c.Lay.snap.DualHomeRequests)
+	}
 	if c.res != nil {
 		return c.res.call(ctx, partition, req, c.invoke)
 	}
@@ -296,7 +359,9 @@ func (c *Client) invoke(ctx context.Context, endpoint int, req []byte) ([]byte, 
 		req = EncodeTracedRequest(id, req)
 	}
 	start := time.Now()
+	c.inflight.enter(endpoint)
 	resp, err := c.transport.Call(ctx, endpoint, req)
+	c.inflight.exit(endpoint)
 	if err != nil {
 		return nil, err
 	}
@@ -323,6 +388,9 @@ func (c *Client) invoke(ctx context.Context, endpoint int, req []byte) ([]byte, 
 // packing window when protocol v2 is active, as a plain v1 frame
 // otherwise. Either way the resilient call path runs underneath.
 func (c *Client) neighborsRPC(ctx context.Context, s int, req NeighborsRequest) (NeighborsResponse, error) {
+	if s >= 0 && s < len(c.loads) {
+		c.loads[s].Add(1)
+	}
 	if c.pack != nil {
 		sub, err := c.pack.do(ctx, s, PackedSubRequest{Op: OpGetNeighbors, Neighbors: req})
 		if err != nil {
@@ -342,6 +410,9 @@ func (c *Client) neighborsRPC(ctx context.Context, s int, req NeighborsRequest) 
 
 // attrsRPC is neighborsRPC's attribute twin.
 func (c *Client) attrsRPC(ctx context.Context, s int, req AttrsRequest) (AttrsResponse, error) {
+	if s >= 0 && s < len(c.loads) {
+		c.loads[s].Add(1)
+	}
 	if c.pack != nil {
 		sub, err := c.pack.do(ctx, s, PackedSubRequest{Op: OpGetAttrs, Attrs: req})
 		if err != nil {

@@ -1,0 +1,507 @@
+package cluster
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lsdgnn/internal/graph"
+)
+
+// buildLayoutCluster assembles servers for every endpoint of a
+// UniformReplicas(partitions, replicas) layout plus one spare per entry of
+// spares (partition indices, appended after the replica blocks), and a
+// resilient client routing by that layout.
+func buildLayoutCluster(t *testing.T, g *graph.Graph, partitions, replicas int, spares []int, opts ...ClientOption) ([]*Server, *Client) {
+	t.Helper()
+	part := HashPartitioner{N: partitions}
+	servers := make([]*Server, 0, partitions*replicas+len(spares))
+	for r := 0; r < replicas; r++ {
+		for p := 0; p < partitions; p++ {
+			servers = append(servers, NewServer(g, part, p))
+		}
+	}
+	for _, p := range spares {
+		servers = append(servers, NewServer(g, part, p))
+	}
+	opts = append([]ClientOption{
+		WithResilience(ResilienceConfig{Seed: 7}),
+		WithLayout(UniformLayout(partitions, replicas)),
+	}, opts...)
+	client, err := NewClientContext(bg, DirectTransport{Servers: servers}, part, -1, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return servers, client
+}
+
+func TestUniformReplicasClampsReplicas(t *testing.T) {
+	// replicas < 1 clamps to the meaningful no-replication default.
+	if m := UniformReplicas(3, 0); len(m) != 3 || len(m[0]) != 1 || m[0][0] != 0 {
+		t.Fatalf("replicas<1 should clamp to identity, got %v", m)
+	}
+}
+
+func TestUniformReplicasRejectsBadPartitions(t *testing.T) {
+	// partitions < 1 has no sensible layout: the old behavior (an empty
+	// map) deferred the crash to the first client fan-out.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("UniformReplicas(0, 2) did not panic")
+		}
+	}()
+	UniformReplicas(0, 2)
+}
+
+func TestLayoutMutators(t *testing.T) {
+	l := UniformLayout(2, 2) // p0: {0,2}, p1: {1,3}
+	if l.Epoch != 1 {
+		t.Fatalf("fresh layout epoch = %d, want 1", l.Epoch)
+	}
+	if got := l.Routable(0); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("Routable(0) = %v", got)
+	}
+
+	j, err := l.WithJoining(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Epoch != 2 {
+		t.Fatalf("WithJoining epoch = %d, want 2", j.Epoch)
+	}
+	if !j.Contains(4) {
+		t.Fatal("joining endpoint not in layout")
+	}
+	if got := j.Routable(0); len(got) != 2 {
+		t.Fatalf("joining endpoint became routable: %v", got)
+	}
+	if st, ok := j.State(0, 4); !ok || st != EndpointJoining {
+		t.Fatalf("State(0,4) = %v, %v", st, ok)
+	}
+	// A listed endpoint cannot join twice or elsewhere.
+	if _, err := j.WithJoining(1, 4); err == nil {
+		t.Fatal("endpoint joined two partitions")
+	}
+
+	s, err := j.WithServing(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Routable(0); len(got) != 3 || got[2] != 4 {
+		t.Fatalf("promoted endpoint not routable: %v", got)
+	}
+
+	d, err := s.WithDraining(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Routable(0); len(got) != 2 || got[0] != 2 {
+		t.Fatalf("draining endpoint still routable: %v", got)
+	}
+	// The original layout is untouched (immutability).
+	if got := s.Routable(0); len(got) != 3 {
+		t.Fatalf("mutator modified its receiver: %v", got)
+	}
+
+	w, err := d.Without(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Contains(0) {
+		t.Fatal("removed endpoint still in layout")
+	}
+
+	// Draining or removing the last serving endpoint would blackhole the
+	// shard.
+	solo := UniformLayout(2, 1)
+	if _, err := solo.WithDraining(0, 0); err == nil || !strings.Contains(err.Error(), "last serving") {
+		t.Fatalf("drained the last serving endpoint: %v", err)
+	}
+	if _, err := solo.Without(0, 0); err == nil {
+		t.Fatal("removed the last serving endpoint")
+	}
+	if _, err := solo.WithDraining(0, 9); err == nil {
+		t.Fatal("drained an endpoint not in the partition")
+	}
+
+	dh, err := l.WithDualHome(0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dh.DualHome(0) || dh.DualHome(1) || l.DualHome(0) {
+		t.Fatal("dual-home window wrong")
+	}
+}
+
+func TestLayoutValidateRejects(t *testing.T) {
+	// One endpoint must hold exactly one shard.
+	bad := &Layout{Epoch: 1, Partitions: [][]LayoutEndpoint{
+		{{ID: 0, State: EndpointServing}},
+		{{ID: 0, State: EndpointServing}},
+	}}
+	if err := bad.Validate(2); err == nil {
+		t.Fatal("endpoint in two partitions validated")
+	}
+	dup := &Layout{Epoch: 1, Partitions: [][]LayoutEndpoint{
+		{{ID: 0, State: EndpointServing}, {ID: 0, State: EndpointJoining}},
+	}}
+	if err := dup.Validate(1); err == nil {
+		t.Fatal("duplicate endpoint validated")
+	}
+	empty := &Layout{Epoch: 1, Partitions: [][]LayoutEndpoint{
+		{{ID: 0, State: EndpointDraining}},
+	}}
+	if err := empty.Validate(1); err == nil {
+		t.Fatal("partition with no serving endpoint validated")
+	}
+	if _, err := NewLayout(0, nil); err == nil {
+		t.Fatal("layout over zero partitions")
+	}
+}
+
+func TestApplyLayoutEpochMonotonicAndStats(t *testing.T) {
+	g := testGraph(t)
+	_, client := buildLayoutCluster(t, g, 2, 2, nil)
+	if e := client.Layout().Epoch; e != 1 {
+		t.Fatalf("initial epoch = %d", e)
+	}
+
+	next, err := client.Layout().WithDraining(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.ApplyLayout(next); err != nil {
+		t.Fatal(err)
+	}
+	if e := client.Layout().Epoch; e != 2 {
+		t.Fatalf("epoch after swap = %d", e)
+	}
+	// Same (now stale) epoch must be refused — so must anything older.
+	if err := client.ApplyLayout(next); err == nil {
+		t.Fatal("stale epoch applied")
+	}
+	stale := UniformLayout(2, 2) // epoch 1
+	if err := client.ApplyLayout(stale); err == nil {
+		t.Fatal("older epoch applied")
+	}
+	snap := client.Lay.Snapshot()
+	if snap.Swaps != 1 {
+		t.Fatalf("swaps = %d, want 1", snap.Swaps)
+	}
+	if client.Lay.Epoch() != 2 {
+		t.Fatalf("epoch gauge = %d", client.Lay.Epoch())
+	}
+}
+
+// TestBreakerPrunedOnLayoutSwap is the breaker/epoch interaction bar: a
+// breaker opened — or holding its half-open probe slot — against an
+// endpoint that leaves the layout must not survive into the new epoch. A
+// re-admitted endpoint starts from a fresh closed breaker.
+func TestBreakerPrunedOnLayoutSwap(t *testing.T) {
+	g := testGraph(t)
+	_, client := buildLayoutCluster(t, g, 2, 2, nil, WithResilience(ResilienceConfig{
+		Breaker: BreakerConfig{Threshold: 2, OpenFor: time.Millisecond},
+		Seed:    7,
+	}))
+	r := client.res
+
+	// Open endpoint 2's breaker, then park it holding the half-open probe
+	// slot — the state that, if leaked, blacklists the endpoint forever.
+	br := r.breaker(2)
+	br.onFailure()
+	br.onFailure()
+	if br.State() != BreakerOpen {
+		t.Fatalf("breaker state = %v, want open", br.State())
+	}
+	time.Sleep(2 * time.Millisecond)
+	if ok, probe := br.Allow(); !ok || !probe {
+		t.Fatalf("Allow() = %v, %v — expected the half-open probe slot", ok, probe)
+	}
+	if ok, _ := br.Allow(); ok {
+		t.Fatal("second probe admitted while the slot is held")
+	}
+
+	// Endpoint 2 drains out of the layout with the probe slot still held.
+	d, err := client.Layout().WithDraining(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := d.Without(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.ApplyLayout(out); err != nil {
+		t.Fatal(err)
+	}
+	r.mu.Lock()
+	_, survived := r.breakers[2]
+	r.mu.Unlock()
+	if survived {
+		t.Fatal("departed endpoint's breaker survived the epoch bump")
+	}
+
+	// Re-admission: the endpoint comes back with a fresh closed breaker —
+	// no inherited open state, no leaked probe slot.
+	back, err := client.Layout().WithServing(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.ApplyLayout(back); err != nil {
+		t.Fatal(err)
+	}
+	fresh := r.breaker(2)
+	if fresh == br {
+		t.Fatal("re-admitted endpoint inherited the old breaker")
+	}
+	if fresh.State() != BreakerClosed {
+		t.Fatalf("fresh breaker state = %v", fresh.State())
+	}
+	if ok, probe := fresh.Allow(); !ok || probe {
+		t.Fatalf("fresh breaker Allow() = %v, %v", ok, probe)
+	}
+}
+
+func TestClientDualHomeCounting(t *testing.T) {
+	g := testGraph(t)
+	_, client := buildLayoutCluster(t, g, 2, 2, nil)
+	dh, err := client.Layout().WithDualHome(0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.ApplyLayout(dh); err != nil {
+		t.Fatal(err)
+	}
+	p0 := ownedSample(client.part, 0, g.NumNodes(), 1)
+	p1 := ownedSample(client.part, 1, g.NumNodes(), 1)
+	if _, err := client.GetNeighbors(bg, append(p0, p1...), 0); err != nil {
+		t.Fatal(err)
+	}
+	snap := client.Lay.Snapshot()
+	if snap.DualHomeRequests != 1 {
+		t.Fatalf("dual-home requests = %d, want 1 (only partition 0's window is open)", snap.DualHomeRequests)
+	}
+}
+
+// gateTransport blocks calls to one endpoint until released, so drains can
+// be observed with a request genuinely in flight.
+type gateTransport struct {
+	Transport
+	ep      int
+	mu      sync.Mutex
+	blocked chan struct{} // closed to release
+	waiting chan struct{} // closed once a call is parked
+	once    sync.Once
+}
+
+func (t *gateTransport) Call(ctx context.Context, server int, msg []byte) ([]byte, error) {
+	if server == t.ep {
+		t.once.Do(func() { close(t.waiting) })
+		select {
+		case <-t.blocked:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return t.Transport.Call(ctx, server, msg)
+}
+
+// TestDrainReplicaWaitsForInflight: a drain marks the endpoint draining
+// immediately (no new routing) but must not remove it until requests
+// already on the wire complete.
+func TestDrainReplicaWaitsForInflight(t *testing.T) {
+	g := testGraph(t)
+	part := HashPartitioner{N: 2}
+	servers := make([]*Server, 0, 4)
+	for r := 0; r < 2; r++ {
+		for p := 0; p < 2; p++ {
+			servers = append(servers, NewServer(g, part, p))
+		}
+	}
+	gate := &gateTransport{
+		Transport: DirectTransport{Servers: servers},
+		ep:        2,
+		blocked:   make(chan struct{}),
+		waiting:   make(chan struct{}),
+	}
+	client, err := NewClientContext(bg, gate, part, -1,
+		WithResilience(ResilienceConfig{Seed: 7}),
+		WithLayout(UniformLayout(2, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Park one request on endpoint 2. The layout must route it there:
+	// swap primary order so 2 is preferred for partition 0.
+	pref := &Layout{Epoch: client.Layout().Epoch + 1, Partitions: [][]LayoutEndpoint{
+		{{ID: 2, State: EndpointServing}, {ID: 0, State: EndpointServing}},
+		{{ID: 1, State: EndpointServing}, {ID: 3, State: EndpointServing}},
+	}}
+	if err := client.ApplyLayout(pref); err != nil {
+		t.Fatal(err)
+	}
+	reqDone := make(chan error, 1)
+	go func() {
+		ids := ownedSample(part, 0, g.NumNodes(), 1)
+		_, err := client.GetNeighbors(bg, ids, 0)
+		reqDone <- err
+	}()
+	<-gate.waiting // the request is now blocked inside endpoint 2's call
+
+	drainDone := make(chan error, 1)
+	ctx, cancel := context.WithTimeout(bg, 10*time.Second)
+	defer cancel()
+	go func() { drainDone <- client.DrainReplica(ctx, 0, 2) }()
+
+	// The endpoint flips to draining (and out of the routable set) while
+	// the in-flight request still holds it.
+	deadline := time.After(5 * time.Second)
+	for {
+		l := client.Layout()
+		if st, ok := l.State(0, 2); ok && st == EndpointDraining {
+			if got := l.Routable(0); len(got) != 1 || got[0] != 0 {
+				t.Fatalf("draining endpoint still routable: %v", got)
+			}
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("endpoint never marked draining")
+		case err := <-drainDone:
+			t.Fatalf("drain finished with a request in flight: %v", err)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	close(gate.blocked) // release the parked request
+	if err := <-reqDone; err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", err)
+	}
+	if err := <-drainDone; err != nil {
+		t.Fatalf("drain failed: %v", err)
+	}
+	if client.Layout().Contains(2) {
+		t.Fatal("drained endpoint still in layout")
+	}
+	if snap := client.Lay.Snapshot(); snap.ReplicaDrains != 1 {
+		t.Fatalf("replica_drains = %d", snap.ReplicaDrains)
+	}
+}
+
+// TestAddReplicaParityProbe: an endpoint serving the wrong data must fail
+// the admission probe and stay out of the layout.
+func TestAddReplicaParityProbe(t *testing.T) {
+	g := testGraph(t)
+	part := HashPartitioner{N: 2}
+	other := graph.Generate(graph.GenConfig{NumNodes: g.NumNodes(), AvgDegree: 3, AttrLen: 6, Seed: 555})
+	servers := []*Server{
+		NewServer(g, part, 0), NewServer(g, part, 1),
+		NewServer(g, part, 0), NewServer(g, part, 1),
+		NewServer(other, part, 0), // endpoint 4: right shape, wrong graph
+	}
+	client, err := NewClientContext(bg, DirectTransport{Servers: servers}, part, -1,
+		WithResilience(ResilienceConfig{Retry: RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond}, Seed: 7}),
+		WithLayout(UniformLayout(2, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.AddReplica(bg, 0, 4); err == nil {
+		t.Fatal("endpoint with divergent data admitted")
+	}
+	if client.Layout().Contains(4) {
+		t.Fatal("failed probe left the endpoint in the layout")
+	}
+	if snap := client.Lay.Snapshot(); snap.ProbeFailures == 0 || snap.ReplicaJoins != 0 {
+		t.Fatalf("probe stats = %+v", snap)
+	}
+}
+
+func TestAddReplicaAdmitsHealthyEndpoint(t *testing.T) {
+	g := testGraph(t)
+	_, client := buildLayoutCluster(t, g, 2, 2, []int{0}) // endpoint 4 spare for p0
+	if err := client.AddReplica(bg, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	l := client.Layout()
+	if st, ok := l.State(0, 4); !ok || st != EndpointServing {
+		t.Fatalf("State(0,4) = %v, %v", st, ok)
+	}
+	if got := l.Routable(0); len(got) != 3 {
+		t.Fatalf("Routable(0) = %v", got)
+	}
+	if snap := client.Lay.Snapshot(); snap.ReplicaJoins != 1 || snap.ProbeFailures != 0 {
+		t.Fatalf("join stats = %+v", snap)
+	}
+}
+
+func TestHotShardDetector(t *testing.T) {
+	g := testGraph(t)
+	_, client := buildLayoutCluster(t, g, 2, 2, nil)
+	if _, hot := client.HotShard(1.2); hot {
+		t.Fatal("cold client reported a hot shard")
+	}
+	ids := ownedSample(client.part, 1, g.NumNodes(), 4)
+	for i := 0; i < 32; i++ {
+		if _, err := client.GetNeighbors(bg, ids, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, hot := client.HotShard(1.2)
+	if !hot || p != 1 {
+		t.Fatalf("HotShard = %d, %v — partition 1 took all the traffic", p, hot)
+	}
+}
+
+func TestCacheInvalidatedOnLayoutSwap(t *testing.T) {
+	g := testGraph(t)
+	_, client := buildLayoutCluster(t, g, 2, 2, nil)
+	cache := client.EnableCache(64)
+	p0 := ownedSample(client.part, 0, g.NumNodes(), 2)
+	p1 := ownedSample(client.part, 1, g.NumNodes(), 2)
+	if _, err := client.GetNeighbors(bg, append(p0, p1...), 0); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 4 {
+		t.Fatalf("cache resident = %d", cache.Len())
+	}
+	// Partition 0's serving set changes (replica 2 leaves); its entries
+	// must not outlive the epoch, partition 1's may.
+	d, err := client.Layout().WithDraining(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.ApplyLayout(d); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 2 {
+		t.Fatalf("cache resident after swap = %d, want 2", cache.Len())
+	}
+	if _, ok := cache.Neighbors(p0[0]); ok {
+		t.Fatal("re-homed partition served from the stale cache")
+	}
+	if _, ok := cache.Neighbors(p1[0]); !ok {
+		t.Fatal("unchanged partition's cache entry dropped")
+	}
+}
+
+func TestLayoutStatsZeroValueSchema(t *testing.T) {
+	var s LayoutStats
+	snap := s.StatsSnapshot()
+	if snap.Layer != "cluster.layout" {
+		t.Fatalf("layer = %q", snap.Layer)
+	}
+	want := []string{"epoch", "swaps", "replica_joins", "replica_drains", "migrations", "dual_home_requests", "probe_failures"}
+	if len(snap.Metrics) != len(want) {
+		t.Fatalf("metrics = %d, want %d", len(snap.Metrics), len(want))
+	}
+	for i, m := range snap.Metrics {
+		if m.Name != want[i] {
+			t.Fatalf("metric %d = %q, want %q", i, m.Name, want[i])
+		}
+		if m.Value != 0 {
+			t.Fatalf("zero-value metric %q = %v", m.Name, m.Value)
+		}
+	}
+}

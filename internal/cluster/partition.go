@@ -69,7 +69,17 @@ type ReplicaMap [][]int
 // partition p is endpoint r*partitions+p, i.e. endpoints [0,partitions)
 // are the primaries and each subsequent block of `partitions` endpoints is
 // a full replica set.
+//
+// replicas < 1 is clamped to 1 — "no replication" is a meaningful default,
+// so a zero value degrades gracefully. partitions < 1 panics instead:
+// there is no sensible layout over zero partitions, and silently returning
+// an empty map would only defer the crash to the first client fan-out
+// (HashPartitioner.Owner makes the same choice for a serverless
+// partitioner).
 func UniformReplicas(partitions, replicas int) ReplicaMap {
+	if partitions < 1 {
+		panic(fmt.Sprintf("cluster: UniformReplicas over %d partitions", partitions))
+	}
 	if replicas < 1 {
 		replicas = 1
 	}

@@ -401,6 +401,12 @@ type resilience struct {
 	// tracer, when set, records retry/failover/hedge/breaker events tagged
 	// with the calling request's trace ID. Nil-safe throughout.
 	tracer *obs.Tracer
+	// routes, when set (clients with a live Layout), resolves a
+	// partition's serving endpoints at the top of every pass, so retries
+	// and hedges of an in-flight call pick up an epoch swap while the pass
+	// already running completes against the endpoints it resolved. Nil or
+	// an empty resolution falls back to cfg.Replicas.
+	routes func(partition int) []int
 
 	mu       sync.Mutex
 	rng      *rand.Rand
@@ -426,8 +432,15 @@ func newResilience(cfg ResilienceConfig, st *ResilienceStats) *resilience {
 	return r
 }
 
-// endpoints returns the serving endpoints for a partition, primary first.
+// endpoints returns the serving endpoints for a partition, primary first:
+// the live layout when one is bound, else the static ReplicaMap, else the
+// identity mapping.
 func (r *resilience) endpoints(partition int) []int {
+	if r.routes != nil {
+		if eps := r.routes(partition); len(eps) > 0 {
+			return eps
+		}
+	}
 	if m := r.cfg.Replicas; m != nil && partition >= 0 && partition < len(m) && len(m[partition]) > 0 {
 		return m[partition]
 	}
@@ -443,6 +456,20 @@ func (r *resilience) breaker(endpoint int) *breaker {
 		r.breakers[endpoint] = b
 	}
 	return b
+}
+
+// pruneBreakers drops every breaker whose endpoint fails keep — called on
+// layout swaps so an epoch bump can never carry a wedged breaker (open, or
+// half-open with a leaked probe slot) against a departed endpoint. An
+// endpoint re-admitted later starts from a fresh closed breaker.
+func (r *resilience) pruneBreakers(keep func(endpoint int) bool) {
+	r.mu.Lock()
+	for ep := range r.breakers {
+		if !keep(ep) {
+			delete(r.breakers, ep)
+		}
+	}
+	r.mu.Unlock()
 }
 
 func (r *resilience) breakerGauge() (open, halfOpen int) {
@@ -503,7 +530,6 @@ func (r *resilience) sleep(ctx context.Context, d time.Duration) error {
 // with failover (hedged on the first pass when configured), exponential
 // backoff with jitter between passes, honoring ctx throughout.
 func (r *resilience) call(ctx context.Context, partition int, req []byte, invoke invokeFunc) ([]byte, error) {
-	eps := r.endpoints(partition)
 	backoff := r.cfg.Retry.BaseBackoff
 	var errs []error
 	for attempt := 0; attempt < r.cfg.Retry.MaxAttempts; attempt++ {
@@ -518,6 +544,9 @@ func (r *resilience) call(ctx context.Context, partition int, req []byte, invoke
 				backoff = r.cfg.Retry.MaxBackoff
 			}
 		}
+		// Resolved per pass, not once per call: a layout swap during the
+		// backoff redirects this retry to the new epoch's endpoints.
+		eps := r.endpoints(partition)
 		var resp []byte
 		var err error
 		if attempt == 0 && r.cfg.HedgeDelay > 0 && len(eps) > 1 {

@@ -80,10 +80,11 @@ type TCPServer struct {
 	baseCtx context.Context
 	cancel  context.CancelFunc
 
-	mu     sync.Mutex
-	closed bool
-	conns  map[net.Conn]struct{}
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	closed   bool
+	draining bool
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
 
 	// Listener-level counters for the admin plane ("cluster.tcp").
 	accepted  stats.Counter // connections accepted over the server's life
@@ -121,6 +122,15 @@ func (t *TCPServer) acceptLoop() {
 			t.mu.Unlock()
 			conn.Close()
 			return
+		}
+		if t.draining {
+			// Draining rejects new connections before any frame is read —
+			// resilient clients see the refusal and rotate to a replica —
+			// while the listener stays bound so the address is not reused
+			// until Shutdown.
+			t.mu.Unlock()
+			conn.Close()
+			continue
 		}
 		t.conns[conn] = struct{}{}
 		t.mu.Unlock()
@@ -169,7 +179,7 @@ func (t *TCPServer) serveConn(conn net.Conn) {
 		// After a drain request, finish the response just written and bow
 		// out instead of waiting for the next frame.
 		t.mu.Lock()
-		draining := t.closed
+		draining := t.closed || t.draining
 		t.mu.Unlock()
 		if draining {
 			return
@@ -177,14 +187,45 @@ func (t *TCPServer) serveConn(conn net.Conn) {
 	}
 }
 
+// SetDraining flips connection-level drain mode. While draining, newly
+// accepted connections are closed before a single frame is read, and each
+// established connection finishes the request it is currently handling —
+// an in-flight packed frame completes — then closes after its response.
+// The listener itself stays open, so the sequence for a clean rotation is
+// SetDraining(true) first (readiness flips, new work is refused, clients
+// fail over), then Shutdown once the fleet has rotated away.
+func (t *TCPServer) SetDraining(v bool) {
+	t.mu.Lock()
+	t.draining = v
+	conns := make([]net.Conn, 0, len(t.conns))
+	if v {
+		for c := range t.conns {
+			conns = append(conns, c)
+		}
+	}
+	t.mu.Unlock()
+	// Wake idle readers so pooled client connections see EOF now rather
+	// than at their next request; a connection mid-request is unaffected —
+	// read deadlines interrupt neither the handler nor the response write.
+	for _, c := range conns {
+		_ = c.SetReadDeadline(aLongTimeAgo)
+	}
+}
+
 // StatsSnapshot implements stats.Source under the "cluster.tcp" layer:
-// open-connection gauge plus lifetime accept/frame/error counters.
+// open-connection and draining gauges plus lifetime accept/frame/error
+// counters.
 func (t *TCPServer) StatsSnapshot() stats.Snapshot {
 	t.mu.Lock()
 	open := len(t.conns)
+	draining := 0.0
+	if t.draining {
+		draining = 1
+	}
 	t.mu.Unlock()
 	return stats.Snapshot{Layer: "cluster.tcp", Metrics: []stats.Metric{
 		{Name: "open_conns", Value: float64(open)},
+		{Name: "draining", Value: draining},
 		t.accepted.Metric("accepted_conns", ""),
 		t.frames.Metric("frames", "req"),
 		t.frameErrs.Metric("frame_errors", "req"),

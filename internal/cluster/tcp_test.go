@@ -1,7 +1,9 @@
 package cluster
 
 import (
+	"context"
 	"errors"
+	"net"
 	"strings"
 	"sync"
 	"testing"
@@ -264,4 +266,97 @@ func TestSimulateScalingValidation(t *testing.T) {
 		}
 	}()
 	SimulateScaling(ScalingConfig{})
+}
+
+// gateHandler parks every request until released, so drains can be
+// exercised with a frame genuinely mid-flight.
+type gateHandler struct {
+	inner   Handler
+	gate    chan struct{}
+	entered chan struct{}
+	once    sync.Once
+}
+
+func (h *gateHandler) Handle(ctx context.Context, msg []byte) ([]byte, error) {
+	h.once.Do(func() { close(h.entered) })
+	select {
+	case <-h.gate:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return h.inner.Handle(ctx, msg)
+}
+
+// TestTCPServerDrainCompletesInflight is the drain-ordering regression
+// test: SetDraining must reject brand-new connections at once — the same
+// instant /readyz goes 503 in lsdgnn-server — while a frame already being
+// handled completes normally on its existing connection.
+func TestTCPServerDrainCompletesInflight(t *testing.T) {
+	g := testGraph(t)
+	gh := &gateHandler{
+		inner:   NewServer(g, HashPartitioner{N: 1}, 0),
+		gate:    make(chan struct{}),
+		entered: make(chan struct{}),
+	}
+	srv, err := ServeTCP(gh, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tr := DialTCP([]string{srv.Addr()}, 2)
+	defer tr.Close()
+
+	// Park one frame inside the handler.
+	type reply struct {
+		raw []byte
+		err error
+	}
+	done := make(chan reply, 1)
+	go func() {
+		raw, err := tr.Call(bg, 0, []byte{OpMeta})
+		done <- reply{raw, err}
+	}()
+	<-gh.entered
+
+	srv.SetDraining(true)
+	var gauge float64 = -1
+	for _, m := range srv.StatsSnapshot().Metrics {
+		if m.Name == "draining" {
+			gauge = m.Value
+		}
+	}
+	if gauge != 1 {
+		t.Fatalf("draining gauge = %v, want 1", gauge)
+	}
+
+	// A brand-new connection is turned away immediately: accepted, then
+	// closed before any frame is served.
+	nc, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	_ = nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := nc.Read(make([]byte, 1)); err == nil {
+		t.Fatal("draining server kept a new connection open")
+	}
+
+	// The parked frame still completes on its existing connection.
+	close(gh.gate)
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("in-flight frame failed during drain: %v", r.err)
+	}
+	meta, err := DecodeMetaResponse(r.raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.NumNodes != g.NumNodes() {
+		t.Fatal("in-flight frame answered with wrong meta")
+	}
+
+	// With the drain complete, even pooled redials are refused.
+	if _, err := tr.Call(bg, 0, []byte{OpMeta}); err == nil {
+		t.Fatal("draining server accepted a post-drain request")
+	}
 }

@@ -61,7 +61,17 @@ type Options struct {
 	// batches through it. RootStreams is forced on the sampling config so
 	// pipelined and synchronous paths stay byte-identical.
 	Pipeline *pipeline.Config
-	Seed     int64
+	// Layout, when set, is the initial elastic partition layout: one
+	// server is built per layout endpoint and the client routes by the
+	// layout's epoch-versioned replica sets instead of a static
+	// ReplicaMap. Implies a default resilience policy. Overrides Replicas.
+	Layout *cluster.Layout
+	// Spares lists partition indices, one per spare endpoint to build:
+	// the spare servers hold the named partition's shard and sit on the
+	// transport after every layout endpoint, but start outside the layout —
+	// admit them later with Client.AddReplica or Client.MigratePartition.
+	Spares []int
+	Seed   int64
 }
 
 // System is an assembled LSD-GNN deployment.
@@ -70,7 +80,9 @@ type System struct {
 	Part  cluster.Partitioner
 	// Servers holds every storage endpoint: the first Partitions entries
 	// are the primaries, each subsequent block of Partitions entries is a
-	// full replica set (cluster.UniformReplicas layout).
+	// full replica set (cluster.UniformReplicas layout) — or, when
+	// Options.Layout was given, one server per layout endpoint. Spare
+	// endpoints (Options.Spares) come last, outside the initial layout.
 	Servers    []*cluster.Server
 	Client     *cluster.Client
 	Engines    []*axe.Engine
@@ -123,18 +135,56 @@ func NewSystem(opts Options) (*System, error) {
 	}
 	part := cluster.HashPartitioner{N: opts.Servers}
 	sys := &System{Graph: g, Part: part, Sampling: sCfg, Obs: obs.NewTracer()}
-	for r := 0; r < opts.Replicas; r++ {
-		for i := 0; i < opts.Servers; i++ {
-			sys.Servers = append(sys.Servers, cluster.NewServer(g, part, i))
-			if r > 0 {
-				continue
+	if opts.Layout != nil {
+		// The layout names the endpoints: build one server per listed
+		// endpoint holding its partition's shard, densely indexed so the
+		// transport can reach every one of them.
+		if err := opts.Layout.Validate(opts.Servers); err != nil {
+			return nil, err
+		}
+		eps := opts.Layout.Endpoints()
+		maxEp := -1
+		for ep := range eps {
+			if ep > maxEp {
+				maxEp = ep
 			}
+		}
+		for ep := 0; ep <= maxEp; ep++ {
+			p, ok := eps[ep]
+			if !ok {
+				return nil, fmt.Errorf("core: layout leaves endpoint %d unassigned", ep)
+			}
+			sys.Servers = append(sys.Servers, cluster.NewServer(g, part, p))
+		}
+		for i := 0; i < opts.Servers; i++ {
 			eng, err := axe.New(g, part, i, eCfg)
 			if err != nil {
 				return nil, err
 			}
 			sys.Engines = append(sys.Engines, eng)
 		}
+	} else {
+		for r := 0; r < opts.Replicas; r++ {
+			for i := 0; i < opts.Servers; i++ {
+				sys.Servers = append(sys.Servers, cluster.NewServer(g, part, i))
+				if r > 0 {
+					continue
+				}
+				eng, err := axe.New(g, part, i, eCfg)
+				if err != nil {
+					return nil, err
+				}
+				sys.Engines = append(sys.Engines, eng)
+			}
+		}
+	}
+	// Spare endpoints ride the transport behind every layout endpoint,
+	// holding a shard but taking no traffic until admitted.
+	for _, p := range opts.Spares {
+		if p < 0 || p >= opts.Servers {
+			return nil, fmt.Errorf("core: spare endpoint's partition %d out of %d", p, opts.Servers)
+		}
+		sys.Servers = append(sys.Servers, cluster.NewServer(g, part, p))
 	}
 	var tr cluster.Transport = cluster.DirectTransport{Servers: sys.Servers}
 	if opts.NetDelay > 0 {
@@ -146,10 +196,11 @@ func NewSystem(opts Options) (*System, error) {
 		tr = ft
 		sys.Faults = ft
 	}
-	// Replication or fault injection without an explicit policy still gets
-	// retries + breakers: a replicated tier is pointless without failover.
+	// Replication, fault injection, or an elastic layout without an
+	// explicit policy still gets retries + breakers: a replicated tier is
+	// pointless without failover, and layout swaps route through it.
 	resCfg := opts.Resilience
-	if resCfg == nil && (opts.Replicas > 1 || opts.Faults != nil) {
+	if resCfg == nil && (opts.Replicas > 1 || opts.Faults != nil || opts.Layout != nil || len(opts.Spares) > 0) {
 		d := cluster.DefaultResilienceConfig()
 		resCfg = &d
 	}
@@ -159,10 +210,13 @@ func NewSystem(opts Options) (*System, error) {
 	}
 	if resCfg != nil {
 		cfg := *resCfg
-		if cfg.Replicas == nil && opts.Replicas > 1 {
+		if cfg.Replicas == nil && opts.Replicas > 1 && opts.Layout == nil {
 			cfg.Replicas = cluster.UniformReplicas(opts.Servers, opts.Replicas)
 		}
 		copts = append(copts, cluster.WithResilience(cfg))
+	}
+	if opts.Layout != nil {
+		copts = append(copts, cluster.WithLayout(opts.Layout))
 	}
 	client, err := cluster.NewClientContext(context.Background(), tr, part, 0, copts...)
 	if err != nil {
@@ -231,7 +285,7 @@ func (s *System) BatchSource(batchSize int, seed int64) *workload.BatchSource {
 // access profile merged across all partition servers.
 func (s *System) StatsRegistry() *stats.Registry {
 	reg := stats.NewRegistry()
-	reg.Register(&s.Client.Traffic, s.Client.Batches, &s.Client.Res, &s.Client.Pack, s.Dispatcher, s.Obs)
+	reg.Register(&s.Client.Traffic, s.Client.Batches, &s.Client.Res, &s.Client.Pack, &s.Client.Lay, s.Dispatcher, s.Obs)
 	if s.Pipeline != nil {
 		reg.Register(s.Pipeline.Stats())
 	}

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"lsdgnn/internal/axe"
+	"lsdgnn/internal/cluster"
 	"lsdgnn/internal/graph"
 	"lsdgnn/internal/obs"
 	"lsdgnn/internal/sampler"
@@ -375,5 +376,54 @@ func TestSystemTracing(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("registry exposition missing %q", want)
 		}
+	}
+}
+
+// TestNewSystemLayoutBuild: WithLayout-mode assembly builds one server per
+// layout endpoint plus listed spares, one engine per partition, and rejects
+// layouts with unassigned endpoints or out-of-range spares.
+func TestNewSystemLayoutBuild(t *testing.T) {
+	g := graph.Generate(graph.GenConfig{NumNodes: 1000, AvgDegree: 6, AttrLen: 4, Seed: 5, PowerLaw: true})
+	sys, err := NewSystem(Options{Graph: g, Servers: 2, Seed: 5,
+		Layout: cluster.UniformLayout(2, 2), Spares: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 layout endpoints + 1 spare, but still 2 partitions of engines.
+	if len(sys.Servers) != 5 {
+		t.Fatalf("servers = %d, want 5", len(sys.Servers))
+	}
+	if len(sys.Engines) != 2 {
+		t.Fatalf("engines = %d, want 2", len(sys.Engines))
+	}
+	if sys.Client.Layout() == nil || sys.Client.Layout().Epoch != 1 {
+		t.Fatal("client not routing by the layout")
+	}
+	if _, err := sys.SampleSoftware(context.Background(), sys.BatchSource(8, 1).Next()); err != nil {
+		t.Fatal(err)
+	}
+	// The layout stats layer is registered from the start.
+	found := false
+	for _, snap := range sys.StatsRegistry().Collect() {
+		if snap.Layer == "cluster.layout" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("cluster.layout layer not registered")
+	}
+
+	// A layout that skips endpoint 0 leaves a transport slot unassigned.
+	gap := &cluster.Layout{Epoch: 1, Partitions: [][]cluster.LayoutEndpoint{
+		{{ID: 1, State: cluster.EndpointServing}},
+		{{ID: 2, State: cluster.EndpointServing}},
+	}}
+	if _, err := NewSystem(Options{Graph: g, Servers: 2, Seed: 5, Layout: gap}); err == nil || !strings.Contains(err.Error(), "unassigned") {
+		t.Fatalf("gapped layout accepted: %v", err)
+	}
+	// A spare for a partition the system does not have is a config bug.
+	if _, err := NewSystem(Options{Graph: g, Servers: 2, Seed: 5,
+		Layout: cluster.UniformLayout(2, 2), Spares: []int{7}}); err == nil {
+		t.Fatal("out-of-range spare accepted")
 	}
 }

@@ -160,7 +160,178 @@ func serving(w io.Writer, opts Options) error {
 	if err := wireComparison(w, opts); err != nil {
 		return err
 	}
-	return pipelineComparison(w, opts)
+	if err := pipelineComparison(w, opts); err != nil {
+		return err
+	}
+	return elasticRebalance(w, opts)
+}
+
+// elasticRebalance exercises the versioned elastic layout (the serving-side
+// analogue of the paper's decoupled FaaS variants, §6 Fig 13) under chaos:
+// a 2×2 replicated tier with two spare endpoints serves concurrent batches
+// at a 5% injected fault rate while the controller rotates a replica out,
+// admits a spare in its place, and migrates the hottest partition — flagged
+// by the skew detector, not hand-picked — onto the second spare. Every
+// batch, across all the epoch swaps, must match a fault-free static run
+// byte for byte.
+func elasticRebalance(w io.Writer, opts Options) error {
+	const partitions = 2
+	batches, batchSize, clients := 24, 96, 6
+	if opts.Quick {
+		batches, batchSize, clients = 8, 32, 4
+	}
+	sampling := sampler.Config{
+		Fanouts: []int{10, 10}, NegativeRate: 10,
+		Method: sampler.Streaming, FetchAttrs: true, Seed: opts.Seed,
+	}
+	ref, err := core.NewSystem(core.Options{
+		Dataset: mustDataset("ss"), Servers: partitions, Seed: opts.Seed, Sampling: sampling,
+	})
+	if err != nil {
+		return err
+	}
+	sys, err := core.NewSystem(core.Options{
+		Dataset: mustDataset("ss"), Servers: partitions, Seed: opts.Seed, Sampling: sampling,
+		// Endpoints 0..3 form the 2×2 layout; spares 4 (partition 0) and
+		// 5 (partition 1) wait outside it as the rotation's raw material.
+		Layout: cluster.UniformLayout(partitions, 2),
+		Spares: []int{0, 1},
+		Faults: &cluster.FaultSpec{ErrRate: 0.05},
+	})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	src := ref.BatchSource(batchSize, opts.Seed)
+	work := make([][]graph.NodeID, batches)
+	want := make([]*sampler.Result, batches)
+	for i := range work {
+		work[i] = append([]graph.NodeID(nil), src.Next()...)
+		if want[i], err = ref.SampleSoftware(ctx, work[i]); err != nil {
+			return err
+		}
+	}
+
+	// A skewed tenant heats partition 1 so the detector, not this
+	// experiment, picks the migration source.
+	part := cluster.HashPartitioner{N: partitions}
+	var hotIDs []graph.NodeID
+	for v := int64(0); v < sys.Graph.NumNodes() && len(hotIDs) < 8; v++ {
+		if part.Owner(graph.NodeID(v)) == 1 {
+			hotIDs = append(hotIDs, graph.NodeID(v))
+		}
+	}
+	for i := 0; i < 64; i++ {
+		if _, err := sys.Client.GetNeighbors(ctx, hotIDs, 0); err != nil {
+			return err
+		}
+	}
+	hotPart, hot := sys.Client.HotShard(1.2)
+	if !hot {
+		return fmt.Errorf("serving: skew detector missed the heated partition")
+	}
+
+	// The controller reshapes the layout while clients drive traffic:
+	// replica 2 drains out of partition 0, spare 4 is probed and admitted
+	// in its place, then the hot partition moves from endpoint 1 to spare
+	// 5 through a dual-home window. Admission probes run over the faulty
+	// transport and roll back cleanly, so failed attempts just retry.
+	ctrlDone := make(chan error, 1)
+	go func() {
+		if err := sys.Client.DrainReplica(ctx, 0, 2); err != nil {
+			ctrlDone <- fmt.Errorf("drain replica 2: %w", err)
+			return
+		}
+		var err error
+		for a := 0; a < 20; a++ {
+			if err = sys.Client.AddReplica(ctx, 0, 4); err == nil {
+				break
+			}
+		}
+		if err != nil {
+			ctrlDone <- fmt.Errorf("add replica 4: %w", err)
+			return
+		}
+		for a := 0; a < 20; a++ {
+			if err = sys.Client.MigratePartition(ctx, hotPart, 1, 5); err == nil {
+				break
+			}
+		}
+		if err != nil {
+			ctrlDone <- fmt.Errorf("migrate partition %d: %w", hotPart, err)
+			return
+		}
+		ctrlDone <- nil
+	}()
+
+	start := time.Now()
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	served, ctrlFinished := 0, false
+	var firstErr error
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if firstErr != nil || (served >= batches && ctrlFinished) {
+					mu.Unlock()
+					return
+				}
+				b := served % batches
+				served++
+				mu.Unlock()
+				res, err := sys.Client.SampleBatch(ctx, work[b], sampling)
+				if err == nil && !reflect.DeepEqual(res, want[b]) {
+					err = fmt.Errorf("batch %d diverged from the static run mid-reshape", b)
+				}
+				if b == batches-1 && err == nil {
+					select {
+					case cerr := <-ctrlDone:
+						mu.Lock()
+						ctrlFinished = true
+						if cerr != nil && firstErr == nil {
+							firstErr = cerr
+						}
+						mu.Unlock()
+					default:
+					}
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	wall := time.Since(start)
+
+	l := sys.Client.Layout()
+	if l.Contains(1) || l.Contains(2) {
+		return fmt.Errorf("serving: departed endpoints still in the layout")
+	}
+	lay := sys.Client.Lay.Snapshot()
+	calls, injected := sys.Faults.Counts()
+	rs := sys.Client.Res.Snapshot()
+	fmt.Fprintf(w, "\nelastic layout under chaos (§6 decoupled variants): %d batches of %d roots, %d clients, %v wall\n",
+		served, batchSize, clients, wall.Round(time.Millisecond))
+	fmt.Fprintf(w, "  rotation: drained endpoint 2, admitted spare 4, migrated hot partition %d from endpoint 1 to spare 5\n", hotPart)
+	fmt.Fprintf(w, "  epoch %d after %d swaps: %d join, %d drain, %d migration (%d dual-home requests, %d probe failures)\n",
+		l.Epoch, lay.Swaps, lay.ReplicaJoins, lay.ReplicaDrains, lay.Migrations, lay.DualHomeRequests, lay.ProbeFailures)
+	fmt.Fprintf(w, "  partition 0 now on %v, partition 1 on %v\n", l.Routable(0), l.Routable(1))
+	fmt.Fprintf(w, "  chaos: %d of %d calls failed by injection, absorbed by %d retries + %d failovers; every batch byte-identical to the static run\n",
+		injected, calls, rs.Retries, rs.Failovers)
+	return nil
 }
 
 // pipelineComparison measures the out-of-order load unit in software

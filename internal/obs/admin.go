@@ -19,6 +19,7 @@ import (
 //	/stats         the aligned-text report (same data, human-readable)
 //	/healthz       liveness: 200 while the process runs
 //	/readyz        readiness: 200 while serving, 503 once draining
+//	/drain         POST flips the process into draining (503 readiness)
 //	/debug/pprof/  CPU/heap/goroutine profiles
 
 // Health tracks the process's readiness for load-balancer checks. The zero
@@ -26,10 +27,26 @@ import (
 // out happens before the listener closes.
 type Health struct {
 	draining atomic.Bool
+	hook     atomic.Pointer[func()]
 }
 
-// SetDraining marks the process as draining (true) or serving (false).
-func (h *Health) SetDraining(v bool) { h.draining.Store(v) }
+// OnDrain registers fn to run on each serving→draining transition, before
+// SetDraining returns. Servers hook their data plane here — e.g. flipping
+// the TCP listener into connection-drain mode — so readiness and admission
+// flip together, in that order, regardless of whether the drain came from
+// a signal or the admin /drain endpoint.
+func (h *Health) OnDrain(fn func()) { h.hook.Store(&fn) }
+
+// SetDraining marks the process as draining (true) or serving (false). The
+// first flip to draining runs the OnDrain hook.
+func (h *Health) SetDraining(v bool) {
+	was := h.draining.Swap(v)
+	if v && !was {
+		if fn := h.hook.Load(); fn != nil {
+			(*fn)()
+		}
+	}
+}
 
 // Draining reports whether the process is draining.
 func (h *Health) Draining() bool { return h.draining.Load() }
@@ -63,6 +80,18 @@ func NewAdminMux(reg *stats.Registry, health *Health) *http.ServeMux {
 			return
 		}
 		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/drain", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		if health == nil {
+			http.Error(w, "no health tracker", http.StatusServiceUnavailable)
+			return
+		}
+		health.SetDraining(true)
+		fmt.Fprintln(w, "draining")
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

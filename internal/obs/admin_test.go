@@ -123,3 +123,62 @@ func TestServeAdmin(t *testing.T) {
 		t.Fatalf("metrics status = %d", resp2.StatusCode)
 	}
 }
+
+func post(t *testing.T, mux *http.ServeMux, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("POST", path, nil))
+	body, err := io.ReadAll(rec.Result().Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec.Code, string(body)
+}
+
+// TestAdminDrainEndpoint: POST /drain flips the process into draining —
+// firing the OnDrain hook exactly once, so the data plane (e.g. the TCP
+// listener) turns away new connections at the same instant /readyz goes
+// 503 — while non-POST methods and hookless repeats stay inert.
+func TestAdminDrainEndpoint(t *testing.T) {
+	mux, health := adminFixture()
+	fired := 0
+	health.OnDrain(func() { fired++ })
+
+	if code, _ := get(t, mux, "/drain"); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /drain = %d, want 405", code)
+	}
+	if fired != 0 || health.Draining() {
+		t.Fatal("GET /drain had side effects")
+	}
+
+	code, body := post(t, mux, "/drain")
+	if code != http.StatusOK || !strings.Contains(body, "draining") {
+		t.Fatalf("POST /drain = %d %q", code, body)
+	}
+	if fired != 1 {
+		t.Fatalf("OnDrain fired %d times, want 1", fired)
+	}
+	if code, _ := get(t, mux, "/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz after drain = %d, want 503", code)
+	}
+	// Draining is idempotent: a second POST must not re-fire the hook.
+	if code, _ := post(t, mux, "/drain"); code != http.StatusOK {
+		t.Fatalf("second POST /drain = %d", code)
+	}
+	if fired != 1 {
+		t.Fatalf("OnDrain re-fired on an already-draining process (%d)", fired)
+	}
+	// Un-drain and drain again: the serving→draining edge fires the hook.
+	health.SetDraining(false)
+	health.SetDraining(true)
+	if fired != 2 {
+		t.Fatalf("OnDrain fired %d times after re-drain, want 2", fired)
+	}
+}
+
+func TestAdminDrainWithoutHealth(t *testing.T) {
+	mux := NewAdminMux(nil, nil)
+	if code, _ := post(t, mux, "/drain"); code != http.StatusServiceUnavailable {
+		t.Fatalf("POST /drain with no health tracker = %d, want 503", code)
+	}
+}

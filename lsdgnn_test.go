@@ -3,6 +3,7 @@ package lsdgnn
 import (
 	"context"
 	"errors"
+	"reflect"
 	"testing"
 	"time"
 )
@@ -226,5 +227,71 @@ func TestPublicSaveLoad(t *testing.T) {
 	}
 	if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
 		t.Fatal("save/load lost the graph")
+	}
+}
+
+// TestPublicElasticLayout is the WithLayout quickstart from options.go: a
+// 2×2 replicated system with one spare endpoint, a live replica rotation
+// (drain one, admit the spare), and byte-identical sampling throughout.
+func TestPublicElasticLayout(t *testing.T) {
+	g := GenerateGraph(2000, 8, 8, 11)
+	static, err := New("", WithGraph(g), WithServers(2), WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New("", WithGraph(g), WithServers(2), WithSeed(11),
+		WithLayout(UniformLayout(2, 2)),
+		WithSpares(0), // endpoint 4: spare holding partition 0
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	roots := sys.BatchSource(16, 3).Next()
+	want, err := static.SampleSoftware(ctx, roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := sys.SampleSoftware(ctx, roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, want) {
+		t.Fatal("layout-routed sampling diverged from the static system")
+	}
+
+	// Rotate partition 0's second replica out and the spare in.
+	if err := sys.Client.DrainReplica(ctx, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Client.AddReplica(ctx, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	after, err := sys.SampleSoftware(ctx, roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(after, want) {
+		t.Fatal("sampling diverged after the replica rotation")
+	}
+	if e := sys.Client.Layout().Epoch; e < 5 {
+		t.Fatalf("epoch = %d after drain+add, want >= 5", e)
+	}
+
+	// The rotation shows up in the facade's stats registry.
+	found := false
+	for _, snap := range sys.StatsRegistry().Collect() {
+		if snap.Layer != "cluster.layout" {
+			continue
+		}
+		found = true
+		for _, m := range snap.Metrics {
+			if (m.Name == "replica_drains" || m.Name == "replica_joins") && m.Value != 1 {
+				t.Fatalf("%s = %v, want 1", m.Name, m.Value)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("cluster.layout layer missing from the registry")
 	}
 }

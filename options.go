@@ -60,6 +60,12 @@ type (
 	// RootError pairs one degraded root with its error inside a
 	// PipelinePartialError.
 	RootError = pipeline.RootError
+	// Layout is the versioned, epoch-numbered elastic partition layout:
+	// partitions → replica endpoint sets with per-endpoint lifecycle
+	// states (serving|joining|draining). Built by UniformLayout or
+	// cluster.NewLayout; swapped live via System.Client.ApplyLayout,
+	// AddReplica, DrainReplica, and MigratePartition.
+	Layout = cluster.Layout
 )
 
 // AsPartial unwraps a *PartialError, mirroring cluster.AsPartial.
@@ -121,6 +127,41 @@ func WithReplicas(n int) Option {
 // WithResilience sets the client fault-tolerance policy explicitly.
 func WithResilience(cfg ResilienceConfig) Option {
 	return func(o *Options) { c := cfg; o.Resilience = &c }
+}
+
+// UniformLayout builds the canonical replicated layout (replica r of
+// partition p at endpoint r*partitions+p) as an epoch-1 Layout for
+// WithLayout.
+func UniformLayout(partitions, replicas int) *Layout {
+	return cluster.UniformLayout(partitions, replicas)
+}
+
+// WithLayout makes the partition layout elastic: the system builds one
+// server per layout endpoint, and the client routes by the layout's
+// epoch-versioned replica sets instead of a frozen ReplicaMap. Replicas
+// can then be added (probe-gated), drained, and whole partitions migrated
+// between endpoints while traffic flows:
+//
+//	sys, err := lsdgnn.New("ss",
+//		lsdgnn.WithServers(2),
+//		lsdgnn.WithLayout(lsdgnn.UniformLayout(2, 2)),
+//		lsdgnn.WithSpares(0), // endpoint 4: spare holding partition 0
+//	)
+//	err = sys.Client.DrainReplica(ctx, 0, 2) // rotate replica out
+//	err = sys.Client.AddReplica(ctx, 0, 4)   // admit the spare
+//
+// Implies a default resilience policy (layout swaps route through the
+// failover path) unless WithResilience overrides it.
+func WithLayout(l *Layout) Option {
+	return func(o *Options) { o.Layout = l }
+}
+
+// WithSpares builds one extra storage server per listed partition index,
+// attached to the transport after every layout endpoint but outside the
+// initial layout — raw material for Client.AddReplica and
+// Client.MigratePartition.
+func WithSpares(partitions ...int) Option {
+	return func(o *Options) { o.Spares = partitions }
 }
 
 // WithFaults injects seeded chaos into the storage transport.

@@ -1,0 +1,105 @@
+#!/bin/sh
+# Reshard smoke test: boot a 2-partition ×2-replica lsdgnn-server tier,
+# check the admin plane pre-registers the elastic-layout series
+# (lsdgnn_cluster_layout_*) at zero, then drive a sampling burst through
+# lsdgnn-probe while it drains one replica live — asserting the layout
+# counters moved, zero batches failed, and the admin /drain endpoint flips
+# a server's /readyz to 503.
+set -eu
+cd "$(dirname "$0")/.."
+
+BASE_PORT=${BASE_PORT:-17510}
+ADMIN_PORT=${ADMIN_PORT:-17514}
+OUT=$(mktemp -d)
+PIDS=""
+trap 'kill $PIDS 2>/dev/null || true; rm -rf "$OUT"' EXIT
+
+go build -o "$OUT/lsdgnn-server" ./cmd/lsdgnn-server
+go build -o "$OUT/lsdgnn-probe" ./cmd/lsdgnn-probe
+
+# UniformReplicas order: endpoint r*partitions+p serves partition p, so
+# ports BASE..BASE+3 hold partitions 0,1,0,1. Endpoint 2 — the replica the
+# probe will drain — carries the admin plane so we can also exercise the
+# operator-initiated POST /drain path afterwards.
+ep=0
+for replica in 0 1; do
+    for partition in 0 1; do
+        ADMIN=""
+        if [ "$ep" -eq 2 ]; then
+            ADMIN="-admin-addr 127.0.0.1:$ADMIN_PORT"
+        fi
+        # shellcheck disable=SC2086
+        "$OUT/lsdgnn-server" -addr "127.0.0.1:$((BASE_PORT + ep))" $ADMIN \
+            -dataset ss -partition "$partition" -partitions 2 -replica "$replica" \
+            -log-level warn >"$OUT/server$ep.log" 2>&1 &
+        PIDS="$PIDS $!"
+        ep=$((ep + 1))
+    done
+done
+
+i=0
+until curl -sf "http://127.0.0.1:$ADMIN_PORT/readyz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 60 ]; then
+        echo "reshard-smoke: servers never became ready" >&2
+        cat "$OUT"/server*.log >&2
+        exit 1
+    fi
+    sleep 1
+done
+
+# The layout series must exist from boot, pre-registered at zero — live
+# resharding exports the moving values client-side.
+curl -sf "http://127.0.0.1:$ADMIN_PORT/metrics" >"$OUT/metrics.before"
+for series in \
+    'lsdgnn_cluster_layout_epoch' \
+    'lsdgnn_cluster_layout_swaps' \
+    'lsdgnn_cluster_layout_replica_joins' \
+    'lsdgnn_cluster_layout_replica_drains' \
+    'lsdgnn_cluster_layout_migrations' \
+    'lsdgnn_cluster_layout_dual_home_requests' \
+    'lsdgnn_cluster_layout_probe_failures'; do
+    if ! grep -q "$series" "$OUT/metrics.before"; then
+        echo "reshard-smoke: /metrics missing $series" >&2
+        cat "$OUT/metrics.before" >&2
+        exit 1
+    fi
+done
+
+# Drive the burst with a live replica rotation: endpoint 2 (partition 0's
+# second replica) drains mid-traffic; every batch must still complete.
+ADDRS="127.0.0.1:$BASE_PORT,127.0.0.1:$((BASE_PORT + 1)),127.0.0.1:$((BASE_PORT + 2)),127.0.0.1:$((BASE_PORT + 3))"
+"$OUT/lsdgnn-probe" -addrs "$ADDRS" -replicas 2 -batches 12 -batch-size 48 \
+    -drain-endpoint 2 -layout >"$OUT/probe.log" 2>&1 || { cat "$OUT/probe.log" >&2; exit 1; }
+grep -q 'probe: OK' "$OUT/probe.log"
+grep -q 'drained endpoint 2' "$OUT/probe.log" || {
+    echo "reshard-smoke: probe did not report the drain" >&2
+    cat "$OUT/probe.log" >&2
+    exit 1
+}
+
+# The probe's exported layout series must show the rotation: at least one
+# replica drain, and an epoch advanced past the initial layout.
+metric() {
+    grep "^$1 " "$OUT/probe.log" | awk '{print $2}' | head -n1
+}
+DRAINS=$(metric lsdgnn_cluster_layout_replica_drains)
+EPOCH=$(metric lsdgnn_cluster_layout_epoch)
+case "$DRAINS" in
+    ''|0|0.0) echo "reshard-smoke: replica_drains did not move ($DRAINS)" >&2; exit 1 ;;
+esac
+case "$EPOCH" in
+    ''|0|0.0|1|1.0) echo "reshard-smoke: layout epoch never advanced ($EPOCH)" >&2; exit 1 ;;
+esac
+
+# Operator drain path: POST /drain must flip the server's /readyz to 503
+# (the OnDrain hook also stops the TCP listener accepting new cluster
+# connections at the same instant).
+curl -sf -X POST "http://127.0.0.1:$ADMIN_PORT/drain" >/dev/null
+READY_CODE=$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$ADMIN_PORT/readyz")
+if [ "$READY_CODE" != "503" ]; then
+    echo "reshard-smoke: /readyz after POST /drain = $READY_CODE, want 503" >&2
+    exit 1
+fi
+
+echo "reshard-smoke: OK (replica_drains=$DRAINS epoch=$EPOCH)"
