@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify chaos bench bench-smoke bench-all metrics-smoke wire-smoke pipeline-smoke reshard-smoke fuzz
+.PHONY: build test verify chaos bench bench-smoke bench-all metrics-smoke wire-smoke pipeline-smoke reshard-smoke slo-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,15 @@ pipeline-smoke:
 # draining via the admin POST /drain endpoint.
 reshard-smoke:
 	./scripts/reshard_smoke.sh
+
+# SLO smoke test: boots lsdgnn-server (checks the zero-valued lsdgnn_slo_*
+# and lsdgnn_runtime_* pre-registration), drives a clean probe burst (burn
+# stays 0), arms a latency spike via POST /chaos and asserts the fast-burn
+# gauge flips above 1 while the cumulative histogram barely moves, then
+# scrapes OpenMetrics exemplars and follows one trace_id through
+# /trace/{id}.
+slo-smoke:
+	./scripts/slo_smoke.sh
 
 # Fuzz the hostile-input decoders: seed corpus first (fails fast on a
 # regression), then a short randomized run on the packed-frame decoder.

@@ -32,6 +32,7 @@ import (
 	"lsdgnn/internal/cluster"
 	"lsdgnn/internal/graph"
 	"lsdgnn/internal/mem"
+	"lsdgnn/internal/obs"
 	"lsdgnn/internal/pipeline"
 	"lsdgnn/internal/sampler"
 	"lsdgnn/internal/stats"
@@ -53,6 +54,8 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "overall deadline")
 	replicas := flag.Int("replicas", 1, "replicas per partition; addrs must list partitions×replicas servers in UniformReplicas order")
 	layoutStats := flag.Bool("layout", false, "print the client-side lsdgnn_cluster_layout_* elastic-layout metrics after the burst")
+	sloStats := flag.Bool("slo", false, "classify batches against a client-side probe_batch latency objective and print the lsdgnn_slo_* series after the burst")
+	sloThreshold := flag.Duration("slo-threshold", 50*time.Millisecond, "probe_batch objective budget (with -slo)")
 	drainEndpoint := flag.Int("drain-endpoint", -1, "drain this endpoint out of the layout mid-burst (requires -replicas > 1, its partition keeps serving replicas)")
 	drainAfter := flag.Duration("drain-after", 50*time.Millisecond, "delay before the -drain-endpoint rotation starts")
 	flag.Parse()
@@ -77,9 +80,18 @@ func main() {
 	transport := cluster.DialTCP(endpoints, 2)
 	defer transport.Close()
 	part := cluster.HashPartitioner{N: partitions}
-	var opts []cluster.ClientOption
+	// Always trace: against a protocol-v1 peer each request rides an
+	// OpTraced envelope, which is what lets the server attach exemplars
+	// and span timelines (its /trace/{id}) to this probe's traffic.
+	opts := []cluster.ClientOption{cluster.WithTracer(obs.NewTracer())}
 	if *pack {
 		opts = append(opts, cluster.WithPacking(cluster.PackingConfig{Window: *window}))
+	}
+	slos := stats.NewSLOTracker()
+	if *sloStats {
+		opts = append(opts, cluster.WithSLO(slos.Objective(stats.Objective{
+			Name: "probe_batch", Threshold: *sloThreshold,
+		})))
 	}
 	if *replicas > 1 {
 		// A replicated tier routes by the versioned elastic layout, with
@@ -217,6 +229,13 @@ func main() {
 		// so the probe prints its own lsdgnn_cluster_layout_* series (the
 		// server pre-registers the same schema at zero).
 		if _, err := stats.WritePrometheus(os.Stdout, []stats.Snapshot{client.Lay.StatsSnapshot()}); err != nil {
+			fatal(err)
+		}
+	}
+	if *sloStats {
+		// Exposition block for smoke tests: the objective classifies the
+		// client's view of batch latency, server-side effects included.
+		if _, err := stats.WritePrometheus(os.Stdout, []stats.Snapshot{slos.StatsSnapshot()}); err != nil {
 			fatal(err)
 		}
 	}

@@ -17,8 +17,10 @@
 //	lsdgnn-server -addr :7001 -partition 0 -partitions 4 -chaos-error-rate 0.2 &
 //
 // With -admin-addr set, the server also exposes the operational plane:
-// /metrics (Prometheus), /stats (text report), /healthz, /readyz
-// (drain-aware), and /debug/pprof/.
+// /metrics (Prometheus; OpenMetrics with exemplars when the Accept header
+// asks), /stats (text report), /healthz, /readyz (drain-aware), /slo
+// (objective burn rates), /trace/{id} (span timeline behind an exemplar),
+// /chaos (POST: rearm fault injection at runtime), and /debug/pprof/.
 package main
 
 import (
@@ -26,8 +28,10 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -55,6 +59,10 @@ func main() {
 	chaosErr := flag.Float64("chaos-error-rate", 0, "inject request failures with this probability, for chaos-testing client retry/failover [0,1]")
 	chaosHang := flag.Float64("chaos-hang-rate", 0, "inject requests that stall until the client deadline with this probability [0,1]")
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the injected fault sequence")
+	sloThreshold := flag.Duration("slo-threshold", 5*time.Millisecond, "server_latency objective: a request is good iff handled within this budget")
+	sloTarget := flag.Float64("slo-target", 0.999, "promised good fraction for both objectives (0,1)")
+	spanLog := flag.Int("trace-spans", obs.DefaultSpanLog, "completed spans retained for /trace lookups")
+	traceSample := flag.Int("trace-sample", 1, "keep 1-in-n traces in the span log (histograms always record)")
 	flag.Parse()
 
 	level, err := parseLevel(*logLevel)
@@ -98,32 +106,51 @@ func main() {
 		fatal(err)
 	}
 	srv.SetLogger(log)
-	var handler cluster.Handler = srv
+	tracer := obs.NewTracerWith(obs.TracerConfig{SpanLog: *spanLog, SampleRate: *traceSample})
+	srv.SetTracer(tracer)
+
+	// The chaos wrapper is always installed (it short-circuits when the
+	// spec is empty) so the admin /chaos endpoint can arm fault injection
+	// at runtime; the flags just set the boot-time spec.
+	faulty := cluster.NewFaultyHandler(srv, cluster.FaultSpec{ErrRate: *chaosErr, HangRate: *chaosHang}, *chaosSeed)
 	if *chaosErr > 0 || *chaosHang > 0 {
-		handler = cluster.NewFaultyHandler(srv, cluster.FaultSpec{ErrRate: *chaosErr, HangRate: *chaosHang}, *chaosSeed)
 		log.Warn("chaos mode", "error_rate", *chaosErr, "hang_rate", *chaosHang, "seed", *chaosSeed)
 	}
+
+	// The SLO middleware wraps OUTSIDE the chaos layer: an injected
+	// latency spike or error must burn the error budget exactly as a real
+	// one would, and the server's internal latency recorder (which only
+	// times dispatch) cannot see it.
+	slos := stats.NewSLOTracker()
+	latSLO := slos.Objective(stats.Objective{
+		Name: "server_latency", Threshold: *sloThreshold, Target: *sloTarget,
+	})
+	errSLO := slos.Objective(stats.Objective{Name: "server_errors", Target: *sloTarget})
+	// cluster.serving is the end-to-end latency as the wire sees it —
+	// chaos injection and middleware included — where cluster.server only
+	// times dispatch. The windowed variants of this series are the ones a
+	// spike shows up in while the cumulative histogram barely moves.
+	serveLat := stats.NewLatency("cluster.serving")
+	handler := &cluster.SLOHandler{Inner: faulty, Latency: latSLO, Errors: errSLO, Observe: serveLat}
+
 	tcp, err := cluster.ServeTCP(handler, *addr)
 	if err != nil {
 		fatal(err)
 	}
 
 	// The registry behind /metrics and the final report: per-class access
-	// profile, per-request server latency, and listener counters. The
-	// zero-valued resilience and pipeline blocks pre-register the
-	// client-side retry/breaker and OoO-executor series at 0 so scrapes
-	// and alerts have a stable namespace from the first sample (workers
-	// export live values). The mem source registers the buffer-pool layer
-	// the same way: its gauges exist from the first scrape even before any
+	// profile, per-request server latency (windowed + cumulative, with
+	// trace exemplars), SLO burn rates, hop traces, Go runtime health, and
+	// listener counters. The zero-valued resilience, pipeline, and layout
+	// blocks pre-register the client-side series at 0 so scrapes and
+	// alerts have a stable namespace from the first sample (workers export
+	// live values). The mem source registers the buffer-pool layer the
+	// same way: its gauges exist from the first scrape even before any
 	// request touches a pooled buffer.
 	reg := stats.NewRegistry()
-	var resSchema cluster.ResilienceStats
-	var pipeSchema pipeline.Stats
-	// The zero-valued layout block pre-registers the elastic-layout series
-	// (epoch, swaps, drains, migrations, ...) at 0 the same way — clients
-	// doing live resharding export the moving values.
-	var laySchema cluster.LayoutStats
-	reg.Register(srv.Stats(), srv.Latency(), srv.Wire(), tcp, &resSchema, &pipeSchema, &laySchema, mem.Source())
+	reg.PreRegister(&cluster.ResilienceStats{}, &pipeline.Stats{}, &cluster.LayoutStats{})
+	reg.Register(srv.Stats(), srv.Latency(), serveLat, srv.Wire(), tcp,
+		mem.Source(), slos, tracer, obs.RuntimeSource())
 
 	health := &obs.Health{}
 	// Order matters on the drain path: whoever flips draining — the signal
@@ -136,7 +163,11 @@ func main() {
 		log.Info("draining", "addr", tcp.Addr())
 	})
 	if *adminAddr != "" {
-		admin, bound, err := obs.ServeAdmin(*adminAddr, reg, health)
+		admin, bound, err := obs.ServeAdmin(*adminAddr, reg, health,
+			obs.WithSLOEndpoint(slos),
+			obs.WithTraceEndpoint(tracer),
+			obs.WithHandler("/chaos", chaosHandler(faulty, log)),
+		)
 		if err != nil {
 			fatal(err)
 		}
@@ -174,6 +205,52 @@ func main() {
 	if _, err := reg.WriteTo(os.Stdout); err != nil {
 		fatal(err)
 	}
+}
+
+// chaosHandler rearms the fault-injection wrapper at runtime:
+//
+//	POST /chaos?err_rate=0.05&spike_rate=0.6&spike=300ms
+//
+// Omitted parameters default to zero, so a bare POST /chaos disarms
+// injection entirely.
+func chaosHandler(f *cluster.FaultyHandler, log *slog.Logger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		q := r.URL.Query()
+		var spec cluster.FaultSpec
+		rate := func(key string, dst *float64) bool {
+			s := q.Get(key)
+			if s == "" {
+				return true
+			}
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil || v < 0 || v > 1 {
+				http.Error(w, key+" must be in [0,1]", http.StatusBadRequest)
+				return false
+			}
+			*dst = v
+			return true
+		}
+		if !rate("err_rate", &spec.ErrRate) || !rate("drop_rate", &spec.DropRate) ||
+			!rate("hang_rate", &spec.HangRate) || !rate("spike_rate", &spec.SpikeRate) {
+			return
+		}
+		if s := q.Get("spike"); s != "" {
+			d, err := time.ParseDuration(s)
+			if err != nil || d < 0 {
+				http.Error(w, "spike must be a non-negative duration", http.StatusBadRequest)
+				return
+			}
+			spec.Spike = d
+		}
+		f.SetFaults(spec)
+		log.Warn("chaos rearmed", "err_rate", spec.ErrRate, "drop_rate", spec.DropRate,
+			"hang_rate", spec.HangRate, "spike_rate", spec.SpikeRate, "spike", spec.Spike)
+		fmt.Fprintf(w, "chaos spec: %+v\n", spec)
+	})
 }
 
 func parseLevel(s string) (slog.Level, error) {

@@ -139,6 +139,9 @@ type Client struct {
 	// — batch, RPC, wire, server — and resilience events. Requests to
 	// protocol-v1 peers carry the trace ID on the wire.
 	tracer *obs.Tracer
+	// slo, when set (WithSLO), classifies every SampleBatch against a
+	// client-side latency objective.
+	slo *stats.SLO
 	// Pack tallies the protocol-v2 packing layer ("cluster.pack"): frames
 	// vs logical requests, raw-vs-wire bytes, BDI ratio, coalescer hits.
 	Pack PackStats
@@ -191,6 +194,14 @@ func WithResilience(cfg ResilienceConfig) ClientOption {
 // split.
 func WithTracer(tr *obs.Tracer) ClientOption {
 	return func(c *Client) { c.tracer = tr }
+}
+
+// WithSLO classifies every SampleBatch against a latency objective:
+// completed batches (degraded included — their latency is real) are good
+// iff they finish within the objective's threshold; aborted batches are
+// bad.
+func WithSLO(s *stats.SLO) ClientOption {
+	return func(c *Client) { c.slo = s }
 }
 
 // DefaultBootstrapTimeout bounds the NewClient meta fetch when the caller's
@@ -682,14 +693,17 @@ func (c *Client) SampleBatch(ctx context.Context, roots []graph.NodeID, cfg samp
 	if c.tracer != nil {
 		c.tracer.ObserveErr(id, obs.HopBatch, "", start, time.Since(start), err != nil)
 	}
+	_, partial := AsPartial(err)
+	completed := err == nil || partial
 	if c.Batches != nil {
-		if _, partial := AsPartial(err); err != nil && !partial {
-			c.Batches.ObserveError()
-		} else {
+		if completed {
 			// Degraded batches completed; their latency is still real.
-			c.Batches.Observe(time.Since(start))
+			c.Batches.ObserveTrace(time.Since(start), uint64(id))
+		} else {
+			c.Batches.ObserveError()
 		}
 	}
+	c.slo.ObserveLatency(time.Since(start), !completed)
 	return res, err
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -190,6 +191,11 @@ func (t *FaultyTransport) Call(ctx context.Context, server int, msg []byte) ([]b
 type FaultyHandler struct {
 	inner Handler
 
+	// armed short-circuits Handle to the inner handler while the spec is
+	// empty, so a server can keep the wrapper permanently installed (for
+	// runtime /chaos arming) at the cost of one atomic load per request.
+	armed atomic.Bool
+
 	mu   sync.Mutex
 	rng  *rand.Rand
 	spec FaultSpec
@@ -197,12 +203,33 @@ type FaultyHandler struct {
 
 // NewFaultyHandler wraps inner with the given failure mix.
 func NewFaultyHandler(inner Handler, spec FaultSpec, seed int64) *FaultyHandler {
-	return &FaultyHandler{inner: inner, rng: rand.New(rand.NewSource(seed)), spec: spec}
+	h := &FaultyHandler{inner: inner, rng: rand.New(rand.NewSource(seed)), spec: spec}
+	h.armed.Store(spec != FaultSpec{})
+	return h
+}
+
+// SetFaults replaces the failure mix at runtime (the zero spec disarms
+// injection entirely). Safe to call while serving.
+func (h *FaultyHandler) SetFaults(spec FaultSpec) {
+	h.mu.Lock()
+	h.spec = spec
+	h.mu.Unlock()
+	h.armed.Store(spec != FaultSpec{})
+}
+
+// Faults returns the current failure mix.
+func (h *FaultyHandler) Faults() FaultSpec {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.spec
 }
 
 // Handle implements Handler. Injected failures surface as handler errors,
 // which the TCP framing reports to the client as error frames.
 func (h *FaultyHandler) Handle(ctx context.Context, msg []byte) ([]byte, error) {
+	if !h.armed.Load() {
+		return h.inner.Handle(ctx, msg)
+	}
 	h.mu.Lock()
 	p := planFault(h.rng, h.spec)
 	h.mu.Unlock()

@@ -32,7 +32,14 @@ type Server struct {
 	wire *WireStats
 	// log, when set, emits trace-annotated request logs.
 	log atomic.Pointer[slog.Logger]
+	// tracer, when set, records a HopServer span per handled request so
+	// /trace/{id} on the server's admin plane can show its side of a trace.
+	tracer atomic.Pointer[obs.Tracer]
 }
+
+// SetTracer attaches a tracer recording server-side Handle spans (nil
+// detaches). Safe to call while serving.
+func (s *Server) SetTracer(t *obs.Tracer) { s.tracer.Store(t) }
 
 // ctxCheckStride is how many request items a handler processes between
 // context checks — frequent enough to bound overrun, cheap enough to
@@ -183,9 +190,12 @@ func (s *Server) Handle(ctx context.Context, msg []byte) (resp []byte, err error
 	resp, err = s.dispatch(ctx, msg)
 	dur := time.Since(start)
 	if err == nil {
-		s.lat.Observe(dur)
+		s.lat.ObserveTrace(dur, uint64(id))
 	} else if ctx.Err() == nil {
 		s.lat.ObserveError()
+	}
+	if tr := s.tracer.Load(); tr != nil {
+		tr.ObserveErr(id, obs.HopServer, "", start, dur, err != nil)
 	}
 	s.logRequest(id, msg[0], dur, err)
 	if err != nil || !traced {

@@ -1,0 +1,49 @@
+package cluster
+
+import (
+	"context"
+	"time"
+
+	"lsdgnn/internal/stats"
+)
+
+// SLOHandler classifies every handled request against the server's
+// declared objectives. It must wrap the OUTERMOST handler — outside any
+// chaos injection — because the Server's internal latency recorder only
+// times dispatch: an injected pre-dispatch latency spike or error is
+// invisible there, yet it is exactly what the SLO must count, since the
+// client experiences it.
+type SLOHandler struct {
+	Inner Handler
+	// Latency is the latency objective (good iff the request succeeded
+	// within its threshold). Nil skips latency classification.
+	Latency *stats.SLO
+	// Errors is the pure error-ratio objective. Nil skips it.
+	Errors *stats.SLO
+	// Observe, when non-nil, records the same end-to-end duration into a
+	// latency recorder (windowed + cumulative). This is the serving-path
+	// view the Server's own recorder cannot provide: it includes every
+	// wrapper between the wire and dispatch, chaos injection included.
+	Observe *stats.Latency
+}
+
+// Handle implements Handler. A caller-canceled request (ctx already done)
+// counts as neither good nor bad on the error objective's failed flag —
+// the cancellation belongs to the caller — but its elapsed time still
+// classifies against the latency threshold, so a hang the client had to
+// abandon burns latency budget.
+func (h *SLOHandler) Handle(ctx context.Context, msg []byte) ([]byte, error) {
+	start := time.Now()
+	resp, err := h.Inner.Handle(ctx, msg)
+	dur := time.Since(start)
+	failed := err != nil && ctx.Err() == nil
+	h.Latency.ObserveLatency(dur, failed)
+	h.Errors.Observe(!failed)
+	if h.Observe != nil {
+		if failed {
+			h.Observe.ObserveError()
+		}
+		h.Observe.Observe(dur)
+	}
+	return resp, err
+}

@@ -71,8 +71,20 @@ type Options struct {
 	// transport after every layout endpoint, but start outside the layout —
 	// admit them later with Client.AddReplica or Client.MigratePartition.
 	Spares []int
-	Seed   int64
+	// Tracing sizes the system tracer (span-ring capacity, span sampling
+	// rate); the zero value takes the obs defaults.
+	Tracing obs.TracerConfig
+	Seed    int64
 }
+
+// Default latency objectives for an assembled system: the accelerated
+// Sample path and the software (distributed CPU) path. Thresholds are
+// simulation-scale — wide enough that a healthy run stays inside budget,
+// tight enough that injected chaos burns it.
+const (
+	DefaultSampleSLO        = 25 * time.Millisecond
+	DefaultSoftwareBatchSLO = 50 * time.Millisecond
+)
 
 // System is an assembled LSD-GNN deployment.
 type System struct {
@@ -95,6 +107,11 @@ type System struct {
 	// SampleSoftware gets a trace ID, and its per-hop timings (dispatch
 	// wait, engine, rpc, wire, server) land here.
 	Obs *obs.Tracer
+	// SLOs tracks the system's latency objectives: "sample" (the
+	// accelerated Dispatcher path) and "software_batch" (the distributed
+	// CPU path, pipelined or synchronous), declared at construction so
+	// their series exist at zero from the first scrape.
+	SLOs *stats.SLOTracker
 	// Pipeline is the out-of-order sampling executor when Options.Pipeline
 	// was set (nil otherwise).
 	Pipeline *pipeline.Executor
@@ -134,7 +151,13 @@ func NewSystem(opts Options) (*System, error) {
 		opts.Replicas = 1
 	}
 	part := cluster.HashPartitioner{N: opts.Servers}
-	sys := &System{Graph: g, Part: part, Sampling: sCfg, Obs: obs.NewTracer()}
+	sys := &System{
+		Graph: g, Part: part, Sampling: sCfg,
+		Obs:  obs.NewTracerWith(opts.Tracing),
+		SLOs: stats.NewSLOTracker(),
+	}
+	sampleSLO := sys.SLOs.Objective(stats.Objective{Name: "sample", Threshold: DefaultSampleSLO})
+	softSLO := sys.SLOs.Objective(stats.Objective{Name: "software_batch", Threshold: DefaultSoftwareBatchSLO})
 	if opts.Layout != nil {
 		// The layout names the endpoints: build one server per listed
 		// endpoint holding its partition's shard, densely indexed so the
@@ -204,7 +227,7 @@ func NewSystem(opts Options) (*System, error) {
 		d := cluster.DefaultResilienceConfig()
 		resCfg = &d
 	}
-	copts := []cluster.ClientOption{cluster.WithTracer(sys.Obs)}
+	copts := []cluster.ClientOption{cluster.WithTracer(sys.Obs), cluster.WithSLO(softSLO)}
 	if opts.Packing != nil {
 		copts = append(copts, cluster.WithPacking(*opts.Packing))
 	}
@@ -226,6 +249,9 @@ func NewSystem(opts Options) (*System, error) {
 	if opts.Dispatch.Tracer == nil {
 		opts.Dispatch.Tracer = sys.Obs
 	}
+	if opts.Dispatch.SLO == nil {
+		opts.Dispatch.SLO = sampleSLO
+	}
 	disp, err := NewDispatcher(sys.Engines, opts.Dispatch)
 	if err != nil {
 		return nil, err
@@ -234,6 +260,7 @@ func NewSystem(opts Options) (*System, error) {
 	if opts.Pipeline != nil {
 		sys.Pipeline = pipeline.New(client, sCfg, *opts.Pipeline)
 		sys.Pipeline.SetTracer(sys.Obs)
+		sys.Pipeline.SetSLO(softSLO)
 	}
 	return sys, nil
 }
@@ -285,7 +312,7 @@ func (s *System) BatchSource(batchSize int, seed int64) *workload.BatchSource {
 // access profile merged across all partition servers.
 func (s *System) StatsRegistry() *stats.Registry {
 	reg := stats.NewRegistry()
-	reg.Register(&s.Client.Traffic, s.Client.Batches, &s.Client.Res, &s.Client.Pack, &s.Client.Lay, s.Dispatcher, s.Obs)
+	reg.Register(&s.Client.Traffic, s.Client.Batches, &s.Client.Res, &s.Client.Pack, &s.Client.Lay, s.Dispatcher, s.Obs, s.SLOs)
 	if s.Pipeline != nil {
 		reg.Register(s.Pipeline.Stats())
 	}

@@ -24,6 +24,9 @@ type DispatcherConfig struct {
 	// Tracer, when set, records per-batch queue wait and engine runtime as
 	// dispatch/engine hops under the batch's trace ID.
 	Tracer *obs.Tracer
+	// SLO, when set, classifies every submitted batch against a latency
+	// objective: good iff it completed within the threshold.
+	SLO *stats.SLO
 }
 
 // Dispatcher load-balances sampling batches across a set of AxE engines. It
@@ -104,6 +107,7 @@ func (d *Dispatcher) Submit(ctx context.Context, roots []graph.NodeID) (*sampler
 	start := time.Now()
 	if err := ctx.Err(); err != nil {
 		d.lat.ObserveError()
+		d.cfg.SLO.Observe(false)
 		return nil, axe.BatchStats{}, err
 	}
 	if d.cfg.BatchTimeout > 0 {
@@ -115,6 +119,7 @@ func (d *Dispatcher) Submit(ctx context.Context, roots []graph.NodeID) (*sampler
 	case d.slots <- struct{}{}:
 	case <-ctx.Done():
 		d.lat.ObserveError()
+		d.cfg.SLO.ObserveLatency(time.Since(start), true)
 		return nil, axe.BatchStats{}, ctx.Err()
 	}
 	engine := d.pick()
@@ -141,10 +146,13 @@ func (d *Dispatcher) Submit(ctx context.Context, roots []graph.NodeID) (*sampler
 	}()
 	select {
 	case out := <-done:
-		d.lat.Observe(time.Since(start))
+		dur := time.Since(start)
+		d.lat.ObserveTrace(dur, uint64(id))
+		d.cfg.SLO.ObserveLatency(dur, false)
 		return out.res, out.st, nil
 	case <-ctx.Done():
 		d.lat.ObserveError()
+		d.cfg.SLO.ObserveLatency(time.Since(start), true)
 		return nil, axe.BatchStats{}, ctx.Err()
 	}
 }

@@ -129,15 +129,37 @@ func serving(w io.Writer, opts Options) error {
 	writeQuantiles(w, "accelerated (dispatch+engine)", sys.Dispatcher.Latency().Hist())
 	writeQuantiles(w, "software (cluster batch)", sys.Client.Batches.Hist())
 	fmt.Fprintln(w, "\nper-hop breakdown:")
-	for _, hop := range []string{
+	hops := []string{
 		obs.HopDispatchWait, obs.HopEngine, obs.HopBatch,
 		obs.HopRPC, obs.HopWire, obs.HopServer,
-	} {
+	}
+	for _, hop := range hops {
 		h := sys.Obs.Hop(hop)
 		if h.Count == 0 {
 			continue
 		}
 		writeQuantiles(w, hop, h)
+	}
+	// The same breakdown over only the last 10 seconds — the rolling
+	// window a control loop would act on. For this burst the two agree;
+	// under a live spike the window moves while the cumulative barely
+	// does, which is the whole point.
+	fmt.Fprintln(w, "\nwindowed per-hop breakdown (last 10s):")
+	for _, hop := range hops {
+		h := sys.Obs.HopWindow(hop)
+		if h.Count == 0 {
+			continue
+		}
+		writeQuantiles(w, hop, h)
+	}
+	fmt.Fprintln(w, "\nSLO burn under the 5% fault mix (multi-window burn rates):")
+	for _, s := range sys.SLOs.Snapshots() {
+		status := "within budget"
+		if s.Breach {
+			status = "BREACH"
+		}
+		fmt.Fprintf(w, "  %-16s target=%.4g good=%-6d bad=%-4d burn_fast=%-8.3g burn_slow=%-8.3g %s\n",
+			s.Name, s.Target, s.Good, s.Bad, s.BurnFast, s.BurnSlow, status)
 	}
 	if id, spans, ok := sys.Obs.LastTrace(); ok && len(spans) > 0 {
 		fmt.Fprintf(w, "\ntrace %016x (one sampled batch, hop by hop):\n", uint64(id))
@@ -567,9 +589,9 @@ func wireComparison(w io.Writer, opts Options) error {
 
 // writeQuantiles prints one histogram's tail summary as durations.
 func writeQuantiles(w io.Writer, label string, h stats.HistogramSnapshot) {
-	fmt.Fprintf(w, "  %-30s n=%-6d p50=%-10s p90=%-10s p99=%-10s max=%s\n",
+	fmt.Fprintf(w, "  %-30s n=%-6d p50=%-10s p90=%-10s p99=%-10s p999=%-10s max=%s\n",
 		label, h.Count, secs(h.Quantile(0.5)), secs(h.Quantile(0.9)),
-		secs(h.Quantile(0.99)), secs(h.Max))
+		secs(h.Quantile(0.99)), secs(h.Quantile(0.999)), secs(h.Max))
 }
 
 // secs renders a float seconds value as a rounded duration.

@@ -1,10 +1,13 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"strings"
 	"sync/atomic"
 
 	"lsdgnn/internal/stats"
@@ -15,11 +18,15 @@ import (
 // dependency-free — Prometheus text exposition comes from internal/stats,
 // profiling from net/http/pprof.
 //
-//	/metrics       Prometheus text exposition of the stats registry
+//	/metrics       Prometheus text exposition of the stats registry;
+//	               an Accept header naming application/openmetrics-text
+//	               upgrades the response to OpenMetrics with exemplars
 //	/stats         the aligned-text report (same data, human-readable)
 //	/healthz       liveness: 200 while the process runs
 //	/readyz        readiness: 200 while serving, 503 once draining
 //	/drain         POST flips the process into draining (503 readiness)
+//	/slo           declared objectives with burn rates (WithSLOEndpoint)
+//	/trace/{id}    one trace's span timeline (WithTraceEndpoint)
 //	/debug/pprof/  CPU/heap/goroutine profiles
 
 // Health tracks the process's readiness for load-balancer checks. The zero
@@ -51,15 +58,102 @@ func (h *Health) SetDraining(v bool) {
 // Draining reports whether the process is draining.
 func (h *Health) Draining() bool { return h.draining.Load() }
 
+// AdminOption extends the admin mux with optional endpoints.
+type AdminOption func(mux *http.ServeMux)
+
+// WithSLOEndpoint mounts /slo: the tracker's declared objectives with
+// their burn rates, as JSON when the request asks for it (?format=json or
+// an Accept header naming application/json), aligned text otherwise.
+func WithSLOEndpoint(t *stats.SLOTracker) AdminOption {
+	return func(mux *http.ServeMux) {
+		mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
+			snaps := t.Snapshots()
+			if r.URL.Query().Get("format") == "json" ||
+				strings.Contains(r.Header.Get("Accept"), "application/json") {
+				w.Header().Set("Content-Type", "application/json")
+				_ = json.NewEncoder(w).Encode(snaps)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			for _, s := range snaps {
+				status := "ok"
+				if s.Breach {
+					status = "BREACH"
+				}
+				fmt.Fprintf(w, "%-20s target=%.4g good=%d bad=%d err_ratio=%.3g burn_fast=%.3g burn_slow=%.3g %s\n",
+					s.Name, s.Target, s.Good, s.Bad, s.ErrorRatio, s.BurnFast, s.BurnSlow, status)
+			}
+		})
+	}
+}
+
+// WithTraceEndpoint mounts /trace/{id}: one trace's retained spans in
+// start order, as JSON — the hop-by-hop timeline behind an exemplar's
+// trace_id. 404 when the ring no longer holds the trace.
+func WithTraceEndpoint(t *Tracer) AdminOption {
+	return func(mux *http.ServeMux) {
+		mux.HandleFunc("/trace/", func(w http.ResponseWriter, r *http.Request) {
+			raw := strings.TrimPrefix(r.URL.Path, "/trace/")
+			id, err := strconv.ParseUint(raw, 16, 64)
+			if err != nil || id == 0 {
+				http.Error(w, "trace id must be hex", http.StatusBadRequest)
+				return
+			}
+			spans := t.TraceSpans(TraceID(id))
+			if len(spans) == 0 {
+				http.Error(w, "trace not retained", http.StatusNotFound)
+				return
+			}
+			type spanJSON struct {
+				Hop     string  `json:"hop"`
+				Note    string  `json:"note,omitempty"`
+				StartNs int64   `json:"start_ns"`
+				DurSec  float64 `json:"dur_sec"`
+				Err     bool    `json:"err,omitempty"`
+			}
+			out := struct {
+				Trace string     `json:"trace_id"`
+				Spans []spanJSON `json:"spans"`
+			}{Trace: fmt.Sprintf("%016x", id)}
+			for _, s := range spans {
+				out.Spans = append(out.Spans, spanJSON{
+					Hop: s.Hop, Note: s.Note, StartNs: s.Start.UnixNano(),
+					DurSec: s.Dur.Seconds(), Err: s.Err,
+				})
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(out)
+		})
+	}
+}
+
+// WithHandler mounts an arbitrary handler on the admin mux — runtime
+// control endpoints (chaos injection, tuning knobs) ride the admin plane
+// without the obs package knowing their shape.
+func WithHandler(pattern string, h http.Handler) AdminOption {
+	return func(mux *http.ServeMux) { mux.Handle(pattern, h) }
+}
+
+// openMetricsContentType is what an OpenMetrics response declares (and
+// what a scraper's Accept header names to request it).
+const openMetricsContentType = "application/openmetrics-text"
+
 // NewAdminMux assembles the admin-plane handler over a stats registry and
 // a health tracker. Either may be nil: a nil registry serves empty metric
 // sets, a nil health is always ready.
-func NewAdminMux(reg *stats.Registry, health *Health) *http.ServeMux {
+func NewAdminMux(reg *stats.Registry, health *Health, opts ...AdminOption) *http.ServeMux {
 	if reg == nil {
 		reg = stats.NewRegistry()
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if strings.Contains(r.Header.Get("Accept"), openMetricsContentType) {
+			w.Header().Set("Content-Type", openMetricsContentType+"; version=1.0.0; charset=utf-8")
+			if _, err := reg.WriteOpenMetrics(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if _, err := reg.WritePrometheus(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -98,6 +192,9 @@ func NewAdminMux(reg *stats.Registry, health *Health) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, opt := range opts {
+		opt(mux)
+	}
 	return mux
 }
 
@@ -105,8 +202,8 @@ func NewAdminMux(reg *stats.Registry, health *Health) *http.ServeMux {
 // server; callers Close (or Shutdown) it on exit. Errors from the listener
 // after startup are ignored — the admin plane must never take the serving
 // path down.
-func ServeAdmin(addr string, reg *stats.Registry, health *Health) (*http.Server, string, error) {
-	srv := &http.Server{Addr: addr, Handler: NewAdminMux(reg, health)}
+func ServeAdmin(addr string, reg *stats.Registry, health *Health, opts ...AdminOption) (*http.Server, string, error) {
+	srv := &http.Server{Addr: addr, Handler: NewAdminMux(reg, health, opts...)}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -180,5 +182,97 @@ func TestAdminDrainWithoutHealth(t *testing.T) {
 	mux := NewAdminMux(nil, nil)
 	if code, _ := post(t, mux, "/drain"); code != http.StatusServiceUnavailable {
 		t.Fatalf("POST /drain with no health tracker = %d, want 503", code)
+	}
+}
+
+func TestAdminSLOEndpoint(t *testing.T) {
+	tr := stats.NewSLOTracker()
+	s := tr.Objective(stats.Objective{Name: "server_latency", Threshold: 5 * time.Millisecond})
+	s.ObserveLatency(time.Millisecond, false)
+	s.ObserveLatency(50*time.Millisecond, false)
+	mux := NewAdminMux(nil, nil, WithSLOEndpoint(tr))
+
+	code, body := get(t, mux, "/slo")
+	if code != 200 || !strings.Contains(body, "server_latency") || !strings.Contains(body, "burn_fast") {
+		t.Fatalf("/slo text = %d:\n%s", code, body)
+	}
+	code, body = get(t, mux, "/slo?format=json")
+	if code != 200 {
+		t.Fatalf("/slo json = %d", code)
+	}
+	var snaps []stats.SLOSnapshot
+	if err := json.Unmarshal([]byte(body), &snaps); err != nil {
+		t.Fatalf("bad /slo JSON: %v\n%s", err, body)
+	}
+	if len(snaps) != 1 || snaps[0].Name != "server_latency" || snaps[0].Good != 1 || snaps[0].Bad != 1 {
+		t.Fatalf("snaps = %+v", snaps)
+	}
+}
+
+func TestAdminTraceEndpoint(t *testing.T) {
+	tracer := NewTracer()
+	id := NewTraceID()
+	start := time.Now()
+	tracer.Observe(id, HopServer, start, 2*time.Millisecond)
+	tracer.ObserveErr(id, HopRPC, "attempt 2", start.Add(time.Millisecond), time.Millisecond, true)
+	mux := NewAdminMux(nil, nil, WithTraceEndpoint(tracer))
+
+	code, body := get(t, mux, fmt.Sprintf("/trace/%016x", uint64(id)))
+	if code != 200 {
+		t.Fatalf("/trace = %d:\n%s", code, body)
+	}
+	var out struct {
+		Trace string `json:"trace_id"`
+		Spans []struct {
+			Hop string  `json:"hop"`
+			Dur float64 `json:"dur_sec"`
+			Err bool    `json:"err"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("bad /trace JSON: %v\n%s", err, body)
+	}
+	if len(out.Spans) != 2 || out.Spans[0].Hop != HopServer || !out.Spans[1].Err {
+		t.Fatalf("spans = %+v", out.Spans)
+	}
+	if code, _ := get(t, mux, "/trace/ffffffffffffffff"); code != 404 {
+		t.Fatalf("unknown trace = %d, want 404", code)
+	}
+	if code, _ := get(t, mux, "/trace/not-hex"); code != 400 {
+		t.Fatalf("bad trace id = %d, want 400", code)
+	}
+}
+
+func TestAdminMetricsOpenMetricsNegotiation(t *testing.T) {
+	reg := stats.NewRegistry()
+	lat := stats.NewLatency("cluster.batch")
+	lat.ObserveTrace(3*time.Millisecond, 0xbeef)
+	reg.Register(lat)
+	mux := NewAdminMux(reg, nil)
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	mux.ServeHTTP(rec, req)
+	body, _ := io.ReadAll(rec.Result().Body)
+	if ct := rec.Result().Header.Get("Content-Type"); !strings.Contains(ct, "openmetrics-text") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(string(body), `trace_id="000000000000beef"`) ||
+		!strings.HasSuffix(string(body), "# EOF\n") {
+		t.Fatalf("OpenMetrics body missing exemplar or EOF:\n%s", body)
+	}
+	// A plain scrape stays on the classic format.
+	if _, body := get(t, mux, "/metrics"); strings.Contains(body, "trace_id") {
+		t.Fatal("classic scrape leaked exemplars")
+	}
+}
+
+func TestAdminWithHandler(t *testing.T) {
+	hit := false
+	mux := NewAdminMux(nil, nil, WithHandler("/chaos", http.HandlerFunc(
+		func(w http.ResponseWriter, r *http.Request) { hit = true })))
+	if code, _ := get(t, mux, "/chaos"); code != 200 || !hit {
+		t.Fatalf("custom handler not mounted (code %d, hit %v)", code, hit)
 	}
 }

@@ -114,13 +114,25 @@ type Span struct {
 // DefaultSpanLog is how many completed spans the tracer retains.
 const DefaultSpanLog = 512
 
-// Tracer aggregates per-hop latency histograms, named event counters
-// (retries, breaker transitions, hedges), and a bounded ring of recent
-// spans. All methods are safe for concurrent use and no-ops on a nil
-// receiver, so instrumentation sites need no guards.
+// TracerConfig sizes a Tracer. The zero value gives the defaults: a
+// DefaultSpanLog-sized ring keeping every trace.
+type TracerConfig struct {
+	// SpanLog is the span-ring capacity; ≤ 0 means DefaultSpanLog.
+	SpanLog int
+	// SampleRate keeps 1-in-n traces in the span log (histograms always
+	// record); ≤ 1 keeps all.
+	SampleRate int
+}
+
+// Tracer aggregates per-hop latency histograms (cumulative plus a rolling
+// 10s window each), named event counters (retries, breaker transitions,
+// hedges), and a bounded ring of recent spans. All methods are safe for
+// concurrent use and no-ops on a nil receiver, so instrumentation sites
+// need no guards.
 type Tracer struct {
 	mu     sync.Mutex
 	hops   map[string]*stats.Histogram
+	wins   map[string]*stats.WindowedHistogram
 	order  []string
 	events map[string]int64
 	eOrder []string
@@ -132,14 +144,23 @@ type Tracer struct {
 	sample uint64
 }
 
-// NewTracer returns a tracer with a DefaultSpanLog-sized span ring keeping
-// every trace.
-func NewTracer() *Tracer {
+// NewTracer returns a tracer with the default configuration.
+func NewTracer() *Tracer { return NewTracerWith(TracerConfig{}) }
+
+// NewTracerWith returns a tracer sized by cfg (zero fields take defaults).
+func NewTracerWith(cfg TracerConfig) *Tracer {
+	if cfg.SpanLog <= 0 {
+		cfg.SpanLog = DefaultSpanLog
+	}
+	if cfg.SampleRate < 1 {
+		cfg.SampleRate = 1
+	}
 	return &Tracer{
 		hops:   make(map[string]*stats.Histogram),
+		wins:   make(map[string]*stats.WindowedHistogram),
 		events: make(map[string]int64),
-		ring:   make([]Span, DefaultSpanLog),
-		sample: 1,
+		ring:   make([]Span, cfg.SpanLog),
+		sample: uint64(cfg.SampleRate),
 	}
 }
 
@@ -157,16 +178,17 @@ func (t *Tracer) SetSampleRate(n int) {
 	t.mu.Unlock()
 }
 
-// hist returns the named hop histogram, creating it on first use. Caller
-// holds t.mu.
-func (t *Tracer) hist(hop string) *stats.Histogram {
+// hist returns the named hop's cumulative and windowed histograms,
+// creating both on first use. Caller holds t.mu.
+func (t *Tracer) hist(hop string) (*stats.Histogram, *stats.WindowedHistogram) {
 	h, ok := t.hops[hop]
 	if !ok {
 		h = stats.NewHistogram()
 		t.hops[hop] = h
+		t.wins[hop] = &stats.WindowedHistogram{}
 		t.order = append(t.order, hop)
 	}
-	return h
+	return h, t.wins[hop]
 }
 
 // sampled reports whether id's spans go to the ring. Caller holds t.mu.
@@ -197,7 +219,9 @@ func (t *Tracer) ObserveErr(id TraceID, hop, note string, start time.Time, d tim
 		return
 	}
 	t.mu.Lock()
-	t.hist(hop).ObserveDuration(d)
+	h, win := t.hist(hop)
+	h.ObserveDurationExemplar(d, uint64(id))
+	win.ObserveDuration(d)
 	if t.sampled(id) {
 		t.push(Span{Trace: id, Hop: hop, Note: note, Start: start, Dur: d, Err: failed})
 	}
@@ -236,6 +260,23 @@ func (t *Tracer) Hop(name string) stats.HistogramSnapshot {
 		return stats.HistogramSnapshot{Name: name, Unit: "sec"}
 	}
 	return h.Snapshot(name, "sec")
+}
+
+// HopWindow returns the named hop's rolling 10-second distribution — the
+// per-hop signal a control loop or live report can act on, where Hop's
+// cumulative view only describes history. Zero-valued when the hop has
+// never been observed.
+func (t *Tracer) HopWindow(name string) stats.HistogramSnapshot {
+	if t == nil {
+		return stats.HistogramSnapshot{Name: name, Unit: "sec"}
+	}
+	t.mu.Lock()
+	w, ok := t.wins[name]
+	t.mu.Unlock()
+	if !ok {
+		return stats.HistogramSnapshot{Name: name, Unit: "sec"}
+	}
+	return w.Snapshot(name, "sec")
 }
 
 // Hops returns the names of every observed hop, in first-observed order.
@@ -310,6 +351,9 @@ func (t *Tracer) StatsSnapshot() stats.Snapshot {
 	}
 	for _, hop := range t.order {
 		snap.Hists = append(snap.Hists, t.hops[hop].Snapshot(hop, "sec"))
+	}
+	for _, hop := range t.order {
+		snap.Hists = append(snap.Hists, t.wins[hop].Snapshot(hop+"_window_10s", "sec"))
 	}
 	return snap
 }

@@ -79,8 +79,12 @@ func TestTracerHopsAndSpans(t *testing.T) {
 	if v, ok := snap.Get("event_retry"); !ok || v != 1 {
 		t.Fatalf("event_retry = %v, %v", v, ok)
 	}
-	if len(snap.Hists) != 2 {
+	// One cumulative plus one _window_10s histogram per observed hop.
+	if len(snap.Hists) != 4 {
 		t.Fatalf("hists = %d", len(snap.Hists))
+	}
+	if snap.Hists[2].Name != snap.Hists[0].Name+"_window_10s" {
+		t.Fatalf("window hist name = %q", snap.Hists[2].Name)
 	}
 }
 

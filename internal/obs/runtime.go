@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	rtmetrics "runtime/metrics"
+
+	"lsdgnn/internal/mem"
+	"lsdgnn/internal/stats"
+)
+
+// Runtime collector: the Go runtime's own health signals — GC pressure,
+// heap growth, goroutine count, scheduler latency — exported as the
+// "runtime" stats layer so one scrape correlates serving-path tail
+// latency with the runtime behavior that caused it (a GC pause spike
+// explains a p999 blip no application histogram can).
+
+// schedLatName is the runtime/metrics histogram of time goroutines spend
+// runnable before running — the direct measure of scheduler-induced jitter.
+const schedLatName = "/sched/latencies:seconds"
+
+// RuntimeSource returns a stats.Source reporting Go runtime health under
+// the "runtime" layer: heap and GC gauges from runtime.MemStats, goroutine
+// count, scheduler-latency quantiles from runtime/metrics, and the
+// pooled-buffer layer's outstanding byte count (mem.Outstanding).
+func RuntimeSource() stats.Source {
+	sample := []rtmetrics.Sample{{Name: schedLatName}}
+	return stats.Func(func() stats.Snapshot {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		snap := stats.Snapshot{Layer: "runtime", Metrics: []stats.Metric{
+			{Name: "goroutines", Value: float64(runtime.NumGoroutine())},
+			{Name: "heap_alloc", Value: float64(ms.HeapAlloc), Unit: "bytes"},
+			{Name: "heap_sys", Value: float64(ms.HeapSys), Unit: "bytes"},
+			{Name: "heap_objects", Value: float64(ms.HeapObjects)},
+			{Name: "next_gc", Value: float64(ms.NextGC), Unit: "bytes"},
+			{Name: "gc_cycles", Value: float64(ms.NumGC)},
+			{Name: "gc_pause_total", Value: float64(ms.PauseTotalNs) / 1e9, Unit: "sec"},
+			{Name: "mem_outstanding", Value: float64(mem.Outstanding()), Unit: "bytes"},
+		}}
+		rtmetrics.Read(sample)
+		if sample[0].Value.Kind() == rtmetrics.KindFloat64Histogram {
+			h := sample[0].Value.Float64Histogram()
+			p50, p99, max := schedQuantiles(h)
+			snap.Metrics = append(snap.Metrics,
+				stats.Metric{Name: "sched_latency_p50", Value: p50, Unit: "sec"},
+				stats.Metric{Name: "sched_latency_p99", Value: p99, Unit: "sec"},
+				stats.Metric{Name: "sched_latency_max", Value: max, Unit: "sec"},
+			)
+		}
+		return snap
+	})
+}
+
+// schedQuantiles reads p50/p99 and the highest non-empty bucket bound from
+// a runtime/metrics Float64Histogram (cumulative since process start — the
+// runtime does not expose a windowed view).
+func schedQuantiles(h *rtmetrics.Float64Histogram) (p50, p99, max float64) {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0, 0, 0
+	}
+	quantile := func(q float64) float64 {
+		rank := q * float64(total)
+		var cum uint64
+		for i, c := range h.Counts {
+			cum += c
+			if float64(cum) >= rank && c > 0 {
+				// Buckets[i+1] is the bucket's upper bound; the final bound
+				// may be +Inf, where the lower bound is the best estimate.
+				if ub := h.Buckets[i+1]; !math.IsInf(ub, 1) {
+					return ub
+				}
+				return h.Buckets[i]
+			}
+		}
+		return h.Buckets[len(h.Buckets)-1]
+	}
+	p50, p99 = quantile(0.5), quantile(0.99)
+	for i := len(h.Counts) - 1; i >= 0; i-- {
+		if h.Counts[i] > 0 {
+			if ub := h.Buckets[i+1]; !math.IsInf(ub, 1) {
+				max = ub
+			} else {
+				max = h.Buckets[i]
+			}
+			break
+		}
+	}
+	return p50, p99, max
+}

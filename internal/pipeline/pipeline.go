@@ -27,6 +27,7 @@ import (
 	"lsdgnn/internal/mem"
 	"lsdgnn/internal/obs"
 	"lsdgnn/internal/sampler"
+	"lsdgnn/internal/stats"
 )
 
 // DefaultWindow is the default in-flight window, in node-requests. The
@@ -101,6 +102,7 @@ type Executor struct {
 	scfg   sampler.Config
 	cfg    Config
 	tracer *obs.Tracer
+	slo    *stats.SLO
 	stats  Stats
 }
 
@@ -129,6 +131,11 @@ func (e *Executor) Stats() *Stats { return &e.stats }
 // SetTracer attaches a hop tracer; fetch tasks then record HopPipeWait
 // (window stall) and HopPipeFetch (store round trip) spans.
 func (e *Executor) SetTracer(tr *obs.Tracer) { e.tracer = tr }
+
+// SetSLO classifies every Sample against a latency objective: completed
+// batches (degraded included) are good iff within the threshold, aborted
+// batches are bad.
+func (e *Executor) SetSLO(s *stats.SLO) { e.slo = s }
 
 // window is the bounded in-flight request pool, counted in
 // node-requests. Oversized acquisitions clamp to the window capacity so
@@ -297,6 +304,7 @@ func (e *Executor) Sample(ctx context.Context, roots []graph.NodeID) (*sampler.R
 
 	if err := ctx.Err(); err != nil {
 		e.stats.batchErrors.Inc()
+		e.slo.ObserveLatency(time.Since(start), true)
 		// All root goroutines have retired; the discarded result's
 		// segments can go straight back to the pools.
 		res.Release()
@@ -306,7 +314,10 @@ func (e *Executor) Sample(ctx context.Context, roots []graph.NodeID) (*sampler.R
 		res.Cycles += c
 	}
 	e.stats.batches.Inc()
-	e.stats.batchLatency.ObserveDuration(time.Since(start))
+	dur := time.Since(start)
+	e.stats.batchLatency.ObserveDuration(dur)
+	e.stats.batchWindow.ObserveDuration(dur)
+	e.slo.ObserveLatency(dur, false)
 	if len(b.rootErrs) > 0 {
 		e.stats.degradedRoots.Add(int64(len(b.rootErrs)))
 		return res, &PartialError{Roots: b.rootErrs}

@@ -382,7 +382,10 @@ func TestPipelineStatsZeroValue(t *testing.T) {
 			t.Fatalf("idle metric %s = %v", name, v)
 		}
 	}
-	if len(snap.Hists) != 2 {
-		t.Fatalf("idle snapshot carries %d histograms, want 2", len(snap.Hists))
+	if len(snap.Hists) != 3 {
+		t.Fatalf("idle snapshot carries %d histograms, want 3", len(snap.Hists))
+	}
+	if snap.Hists[2].Name != "batch_latency_window_10s" {
+		t.Fatalf("hists[2] = %q", snap.Hists[2].Name)
 	}
 }

@@ -34,6 +34,9 @@ type Stats struct {
 	// out-of-order depth.
 	overlapDepth stats.Histogram
 	batchLatency stats.Histogram
+	// batchWindow is the rolling last-10s view of batchLatency (zero value
+	// = 10s/10 shards) — the batch_latency_window_10s series.
+	batchWindow stats.WindowedHistogram
 
 	mu           sync.Mutex
 	inflight     int
@@ -92,5 +95,6 @@ func (s *Stats) StatsSnapshot() stats.Snapshot {
 	}, Hists: []stats.HistogramSnapshot{
 		s.overlapDepth.Snapshot("overlap_depth", "hops"),
 		s.batchLatency.Snapshot("batch_latency", "sec"),
+		s.batchWindow.Snapshot("batch_latency_window_10s", "sec"),
 	}}
 }

@@ -22,6 +22,20 @@ type Histogram struct {
 	count    int64
 	sum      float64
 	min, max float64
+	// ex keeps the most recent traced observation per bucket — the
+	// OpenMetrics exemplar that lets an operator jump from a tail bucket
+	// straight to the offending trace. Untraced observations never touch
+	// it.
+	ex [histTotalBuckets]Exemplar
+}
+
+// Exemplar pins one traced observation to a histogram bucket: the trace
+// that landed there most recently, its exact value, and when. A zero Trace
+// means the bucket has no exemplar.
+type Exemplar struct {
+	Trace uint64
+	Value float64
+	Time  time.Time
 }
 
 const (
@@ -84,11 +98,23 @@ func histIndex(v float64) int {
 func NewHistogram() *Histogram { return &Histogram{} }
 
 // Observe records one value. Negative and NaN values are dropped.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.observe(v, 0) }
+
+// ObserveExemplar records one value attributed to a trace; the bucket it
+// lands in remembers the trace as its exemplar (zero trace = untraced,
+// identical to Observe).
+func (h *Histogram) ObserveExemplar(v float64, trace uint64) { h.observe(v, trace) }
+
+func (h *Histogram) observe(v float64, trace uint64) {
 	if math.IsNaN(v) || v < 0 {
 		return
 	}
 	i := histIndex(v)
+	var at time.Time
+	if trace != 0 {
+		// Stamp outside the lock; only traced paths pay for it.
+		at = time.Now()
+	}
 	h.mu.Lock()
 	h.counts[i]++
 	if h.count == 0 || v < h.min {
@@ -99,11 +125,19 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.count++
 	h.sum += v
+	if trace != 0 {
+		h.ex[i] = Exemplar{Trace: trace, Value: v, Time: at}
+	}
 	h.mu.Unlock()
 }
 
 // ObserveDuration records a duration in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// ObserveDurationExemplar records a traced duration in seconds.
+func (h *Histogram) ObserveDurationExemplar(d time.Duration, trace uint64) {
+	h.ObserveExemplar(d.Seconds(), trace)
+}
 
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 {
@@ -126,6 +160,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 func (h *Histogram) Snapshot(name, unit string) HistogramSnapshot {
 	h.mu.Lock()
 	counts := h.counts
+	ex := h.ex
 	s := HistogramSnapshot{Name: name, Unit: unit, Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
 	h.mu.Unlock()
 	nonEmpty := 0
@@ -142,7 +177,7 @@ func (h *Histogram) Snapshot(name, unit string) HistogramSnapshot {
 		if c == 0 {
 			continue
 		}
-		s.Buckets = append(s.Buckets, HistogramBucket{UpperBound: histUpperBound(i), Count: c})
+		s.Buckets = append(s.Buckets, HistogramBucket{UpperBound: histUpperBound(i), Count: c, Exemplar: ex[i]})
 	}
 	return s
 }
@@ -152,6 +187,9 @@ func (h *Histogram) Snapshot(name, unit string) HistogramSnapshot {
 type HistogramBucket struct {
 	UpperBound float64
 	Count      int64
+	// Exemplar is the most recent traced observation in this bucket; zero
+	// Trace means none.
+	Exemplar Exemplar
 }
 
 // HistogramSnapshot is a point-in-time copy of a Histogram, the unit

@@ -169,8 +169,16 @@ func TestLatencyQuantiles(t *testing.T) {
 		t.Fatalf("p99 = %v, want ~0.099", p99)
 	}
 	snap := l.StatsSnapshot()
-	if len(snap.Hists) != 1 || snap.Hists[0].Name != "latency" {
-		t.Fatalf("hists = %+v", snap.Hists)
+	if want := 1 + len(DefaultWindows); len(snap.Hists) != want {
+		t.Fatalf("len(hists) = %d, want %d", len(snap.Hists), want)
+	}
+	if snap.Hists[0].Name != "latency" {
+		t.Fatalf("hists[0] = %+v", snap.Hists[0])
+	}
+	for i, spec := range DefaultWindows {
+		if got, want := snap.Hists[1+i].Name, "latency_window_"+spec.Label; got != want {
+			t.Fatalf("hists[%d].Name = %q, want %q", 1+i, got, want)
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math"
 	"strconv"
@@ -20,8 +21,14 @@ import (
 const promNamespace = "lsdgnn"
 
 // promName folds an arbitrary layer/metric name into a valid Prometheus
-// identifier fragment.
+// identifier fragment matching [a-zA-Z_][a-zA-Z0-9_]*. Folding is lossy
+// ("a.b" and "a_b" collide) — the writer disambiguates collisions with
+// nameTable so two distinct raw names never silently merge into one
+// series.
 func promName(s string) string {
+	if s == "" {
+		return "_"
+	}
 	var b strings.Builder
 	for i, r := range s {
 		switch {
@@ -37,6 +44,38 @@ func promName(s string) string {
 		}
 	}
 	return b.String()
+}
+
+// nameTable maps sanitized series names back to the raw (layer, metric)
+// pair that claimed them within one exposition pass. The first raw name
+// keeps the clean sanitized form; any different raw name folding to the
+// same identifier gets a deterministic _<fnv32-hex> suffix, so hostile or
+// careless layer names ("cluster.server" vs "cluster_server") surface as
+// two distinct families instead of one corrupted merge.
+type nameTable map[string]string
+
+func (t nameTable) claim(raw, sanitized string) string {
+	prior, ok := t[sanitized]
+	if !ok {
+		t[sanitized] = raw
+		return sanitized
+	}
+	if prior == raw {
+		// The same raw name again — replicas registering one source each
+		// under a shared layer legitimately repeat series.
+		return sanitized
+	}
+	h := fnv.New32a()
+	h.Write([]byte(raw))
+	alt := fmt.Sprintf("%s_%08x", sanitized, h.Sum32())
+	t[alt] = raw
+	return alt
+}
+
+// seriesName resolves one metric's final exposition name, collision-safe.
+func seriesName(t nameTable, layer, metric, suffix string) string {
+	name := promNamespace + "_" + promName(layer) + "_" + promName(metric) + suffix
+	return t.claim(layer+"\x00"+metric, name)
 }
 
 func promFloat(v float64) string {
@@ -67,25 +106,47 @@ func (c *countingWriter) printf(format string, args ...any) {
 	c.err = err
 }
 
-// WritePrometheus renders snapshots in Prometheus text exposition format.
+// WritePrometheus renders snapshots in Prometheus text exposition format
+// (version 0.0.4, no exemplars — the classic format has no syntax for
+// them; scrape with an OpenMetrics Accept header to get exemplars).
 func WritePrometheus(w io.Writer, snaps []Snapshot) (int64, error) {
+	return writeExposition(w, snaps, false)
+}
+
+// WriteOpenMetrics renders snapshots in OpenMetrics text exposition
+// format: the same families as WritePrometheus plus per-bucket trace
+// exemplars and the mandatory # EOF terminator.
+func WriteOpenMetrics(w io.Writer, snaps []Snapshot) (int64, error) {
+	return writeExposition(w, snaps, true)
+}
+
+func writeExposition(w io.Writer, snaps []Snapshot, openMetrics bool) (int64, error) {
 	cw := &countingWriter{w: w}
+	names := make(nameTable)
 	for _, snap := range snaps {
-		prefix := promNamespace + "_" + promName(snap.Layer) + "_"
 		for _, m := range snap.Metrics {
-			name := prefix + promName(m.Name)
+			name := seriesName(names, snap.Layer, m.Name, "")
 			cw.printf("# TYPE %s gauge\n%s %s\n", name, name, promFloat(m.Value))
 		}
 		for _, h := range snap.Hists {
-			name := prefix + promName(h.Name)
+			suffix := ""
 			if h.Unit == "sec" {
-				name += "_seconds"
+				suffix = "_seconds"
 			}
+			name := seriesName(names, snap.Layer, h.Name, suffix)
 			cw.printf("# TYPE %s histogram\n", name)
 			var cum int64
 			for _, b := range h.Buckets {
 				cum += b.Count
-				cw.printf("%s_bucket{le=%q} %d\n", name, promFloat(b.UpperBound), cum)
+				cw.printf("%s_bucket{le=%q} %d", name, promFloat(b.UpperBound), cum)
+				if openMetrics && b.Exemplar.Trace != 0 {
+					// OpenMetrics exemplar: the trace that most recently
+					// landed in this bucket, its exact value and timestamp.
+					cw.printf(" # {trace_id=\"%016x\"} %s %.3f",
+						b.Exemplar.Trace, promFloat(b.Exemplar.Value),
+						float64(b.Exemplar.Time.UnixNano())/1e9)
+				}
+				cw.printf("\n")
 			}
 			// The +Inf bucket is mandatory and must equal _count, even when
 			// every observation landed in a bounded bucket.
@@ -95,6 +156,9 @@ func WritePrometheus(w io.Writer, snaps []Snapshot) (int64, error) {
 			cw.printf("%s_sum %s\n%s_count %d\n", name, promFloat(h.Sum), name, h.Count)
 		}
 	}
+	if openMetrics {
+		cw.printf("# EOF\n")
+	}
 	return cw.n, cw.err
 }
 
@@ -102,4 +166,10 @@ func WritePrometheus(w io.Writer, snaps []Snapshot) (int64, error) {
 // exposition format — the registry-level handler behind /metrics.
 func (r *Registry) WritePrometheus(w io.Writer) (int64, error) {
 	return WritePrometheus(w, r.Collect())
+}
+
+// WriteOpenMetrics renders every registered source in OpenMetrics format,
+// exemplars included — what /metrics serves to an OpenMetrics scraper.
+func (r *Registry) WriteOpenMetrics(w io.Writer) (int64, error) {
+	return WriteOpenMetrics(w, r.Collect())
 }

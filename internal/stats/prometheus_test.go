@@ -88,3 +88,91 @@ func TestRegistryMergesSharedLayers(t *testing.T) {
 		t.Fatalf("duplicate layer blocks:\n%s", sb.String())
 	}
 }
+
+// TestPromNameSanitization: arbitrary layer/metric names must fold into
+// valid [a-zA-Z_][a-zA-Z0-9_]* identifiers.
+func TestPromNameSanitization(t *testing.T) {
+	for in, want := range map[string]string{
+		"cluster.server": "cluster_server",
+		"9lives":         "_9lives",
+		"sched-lat/p99":  "sched_lat_p99",
+		"":               "_",
+		"ok_name":        "ok_name",
+	} {
+		if got := promName(in); got != want {
+			t.Fatalf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestPromNameCollision: two distinct raw layers folding to the same
+// sanitized name must not silently merge into one series family.
+func TestPromNameCollision(t *testing.T) {
+	r := NewRegistry()
+	r.Register(
+		Func(func() Snapshot {
+			return Snapshot{Layer: "cluster.server", Metrics: []Metric{{Name: "reqs", Value: 1}}}
+		}),
+		Func(func() Snapshot {
+			return Snapshot{Layer: "cluster_server", Metrics: []Metric{{Name: "reqs", Value: 2}}}
+		}),
+	)
+	var sb strings.Builder
+	if _, err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "lsdgnn_cluster_server_reqs 1") {
+		t.Fatalf("first claimant lost its clean name:\n%s", out)
+	}
+	if strings.Contains(out, "lsdgnn_cluster_server_reqs 2") {
+		t.Fatalf("collision silently merged two layers:\n%s", out)
+	}
+	// The second layer survives under a deterministic suffixed name.
+	if !strings.Contains(out, "_reqs_") || !strings.Contains(out, " 2\n") {
+		t.Fatalf("colliding layer dropped from exposition:\n%s", out)
+	}
+}
+
+// TestSameLayerReplicasStillMerge: the collision guard must not break the
+// legitimate case of replicas repeating one layer's series.
+func TestSameLayerReplicasStillMerge(t *testing.T) {
+	snaps := []Snapshot{
+		{Layer: "cluster.batch", Metrics: []Metric{{Name: "n", Value: 1}}},
+		{Layer: "cluster.batch", Metrics: []Metric{{Name: "n", Value: 2}}},
+	}
+	var sb strings.Builder
+	if _, err := WritePrometheus(&sb, snaps); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "lsdgnn_cluster_batch_n 1\n") ||
+		!strings.Contains(out, "lsdgnn_cluster_batch_n 2\n") {
+		t.Fatalf("replica series renamed:\n%s", out)
+	}
+}
+
+func TestWriteOpenMetricsExemplars(t *testing.T) {
+	l := NewLatency("cluster.batch")
+	l.ObserveTrace(3*time.Millisecond, 0xabcdef)
+	l.Observe(5 * time.Millisecond) // untraced: no exemplar on its bucket
+	var sb strings.Builder
+	if _, err := WriteOpenMetrics(&sb, []Snapshot{l.StatsSnapshot()}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `# {trace_id="0000000000abcdef"}`) {
+		t.Fatalf("exemplar missing:\n%s", out)
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Fatalf("missing OpenMetrics EOF terminator:\n%s", out)
+	}
+	// The classic format must stay exemplar-free.
+	sb.Reset()
+	if _, err := WritePrometheus(&sb, []Snapshot{l.StatsSnapshot()}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "trace_id") {
+		t.Fatal("classic exposition leaked exemplars")
+	}
+}

@@ -1,0 +1,261 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Live SLO tracking: declarative objectives ("server p99 under 5ms",
+// "error ratio under 0.1%") measured as good/bad event streams with
+// multi-window burn rates. A burn rate of 1 means the error budget is
+// being consumed exactly as fast as the objective allows; a fast-window
+// burn well above 1 is the page-now signal, the slow window confirms it is
+// not a blip. Cumulative histograms cannot provide this — their ratios
+// average over the process lifetime — which is why the tracker counts into
+// windowCounter rings instead.
+
+// Objective declares one SLO.
+type Objective struct {
+	// Name keys the objective's series: <name>_good_total, <name>_bad_total,
+	// <name>_burn_fast, ... under the "slo" layer.
+	Name string
+	// Threshold, when nonzero, makes this a latency objective: an
+	// ObserveLatency call is good iff it did not fail and took at most
+	// Threshold. Zero means a pure good/bad ratio objective fed by Observe.
+	Threshold time.Duration
+	// Target is the promised good fraction, e.g. 0.999 leaves a 0.1% error
+	// budget. Zero defaults to 0.999; values outside (0,1) are clamped.
+	Target float64
+	// FastWindow and SlowWindow bound the burn-rate windows; zero defaults
+	// to 5m fast / 1h slow (the classic multi-window burn pair).
+	FastWindow, SlowWindow time.Duration
+}
+
+// DefaultFastWindow and DefaultSlowWindow are the burn-rate windows an
+// Objective gets when it leaves them zero.
+const (
+	DefaultFastWindow = 5 * time.Minute
+	DefaultSlowWindow = time.Hour
+)
+
+func (o Objective) withDefaults() Objective {
+	if o.Target <= 0 || o.Target >= 1 {
+		o.Target = 0.999
+	}
+	if o.FastWindow <= 0 {
+		o.FastWindow = DefaultFastWindow
+	}
+	if o.SlowWindow <= 0 {
+		o.SlowWindow = DefaultSlowWindow
+	}
+	return o
+}
+
+// SLO tracks one objective. All methods are safe for concurrent use and
+// no-ops on a nil receiver, so instrumentation sites need no guards.
+type SLO struct {
+	obj        Objective
+	good, bad  Counter
+	fast, slow *windowCounter
+}
+
+func newSLO(o Objective) *SLO {
+	o = o.withDefaults()
+	return &SLO{
+		obj:  o,
+		fast: newWindowCounter(o.FastWindow, 15),
+		slow: newWindowCounter(o.SlowWindow, 30),
+	}
+}
+
+// Objective returns the declared objective (defaults applied).
+func (s *SLO) Objective() Objective {
+	if s == nil {
+		return Objective{}
+	}
+	return s.obj
+}
+
+// Observe counts one good or bad event.
+func (s *SLO) Observe(good bool) {
+	if s == nil {
+		return
+	}
+	if good {
+		s.good.Inc()
+	} else {
+		s.bad.Inc()
+	}
+	s.fast.add(good)
+	s.slow.add(good)
+}
+
+// ObserveLatency classifies one completed operation against a latency
+// objective: good iff it did not fail and finished within the threshold.
+// For a ratio objective (zero threshold) only the failed flag counts.
+func (s *SLO) ObserveLatency(d time.Duration, failed bool) {
+	if s == nil {
+		return
+	}
+	good := !failed
+	if good && s.obj.Threshold > 0 && d > s.obj.Threshold {
+		good = false
+	}
+	s.Observe(good)
+}
+
+// burn converts windowed good/bad totals into an error-budget burn rate.
+func (s *SLO) burn(good, bad int64) float64 {
+	total := good + bad
+	if total == 0 || bad == 0 {
+		return 0
+	}
+	budget := 1 - s.obj.Target
+	return (float64(bad) / float64(total)) / budget
+}
+
+// BurnFast returns the fast-window burn rate (0 when the window is empty).
+func (s *SLO) BurnFast() float64 {
+	if s == nil {
+		return 0
+	}
+	return s.burn(s.fast.totals())
+}
+
+// BurnSlow returns the slow-window burn rate.
+func (s *SLO) BurnSlow() float64 {
+	if s == nil {
+		return 0
+	}
+	return s.burn(s.slow.totals())
+}
+
+// SLOSnapshot is a point-in-time view of one objective — what /slo
+// serializes.
+type SLOSnapshot struct {
+	Name         string  `json:"name"`
+	ThresholdSec float64 `json:"threshold_sec,omitempty"`
+	Target       float64 `json:"target"`
+	Good         int64   `json:"good"`
+	Bad          int64   `json:"bad"`
+	ErrorRatio   float64 `json:"error_ratio"`
+	BurnFast     float64 `json:"burn_fast"`
+	BurnSlow     float64 `json:"burn_slow"`
+	FastSec      float64 `json:"fast_window_sec"`
+	SlowSec      float64 `json:"slow_window_sec"`
+	// Breach is set when both burn windows exceed their budget rate — the
+	// multi-window page condition (fast confirms it is happening now, slow
+	// that it is not a blip).
+	Breach bool `json:"breach"`
+}
+
+// Snapshot returns the objective's current state.
+func (s *SLO) Snapshot() SLOSnapshot {
+	if s == nil {
+		return SLOSnapshot{}
+	}
+	good, bad := s.good.Value(), s.bad.Value()
+	ratio := 0.0
+	if good+bad > 0 {
+		ratio = float64(bad) / float64(good+bad)
+	}
+	bf, bs := s.BurnFast(), s.BurnSlow()
+	return SLOSnapshot{
+		Name:         s.obj.Name,
+		ThresholdSec: s.obj.Threshold.Seconds(),
+		Target:       s.obj.Target,
+		Good:         good,
+		Bad:          bad,
+		ErrorRatio:   ratio,
+		BurnFast:     bf,
+		BurnSlow:     bs,
+		FastSec:      s.fast.span().Seconds(),
+		SlowSec:      s.slow.span().Seconds(),
+		Breach:       bf > 1 && bs > 1,
+	}
+}
+
+// SLOTracker holds a process's declared objectives and reports them as the
+// "slo" stats layer. Declaring every objective at startup pre-registers
+// its series at zero, so scrapes and alerts have a stable namespace before
+// the first request. Safe for concurrent use.
+type SLOTracker struct {
+	mu     sync.Mutex
+	slos   []*SLO
+	byName map[string]*SLO
+}
+
+// NewSLOTracker returns an empty tracker.
+func NewSLOTracker() *SLOTracker {
+	return &SLOTracker{byName: make(map[string]*SLO)}
+}
+
+// Objective declares an objective (or returns the existing SLO of the same
+// name — the declaration wins, redeclaration does not reset counts).
+func (t *SLOTracker) Objective(o Objective) *SLO {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s, ok := t.byName[o.Name]; ok {
+		return s
+	}
+	s := newSLO(o)
+	t.slos = append(t.slos, s)
+	t.byName[o.Name] = s
+	return s
+}
+
+// Get returns the named SLO, nil when undeclared (nil is safe to observe
+// into — a no-op).
+func (t *SLOTracker) Get(name string) *SLO {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.byName[name]
+}
+
+// Snapshots returns every objective's current state, in declaration order.
+func (t *SLOTracker) Snapshots() []SLOSnapshot {
+	t.mu.Lock()
+	slos := make([]*SLO, len(t.slos))
+	copy(slos, t.slos)
+	t.mu.Unlock()
+	out := make([]SLOSnapshot, len(slos))
+	for i, s := range slos {
+		out[i] = s.Snapshot()
+	}
+	return out
+}
+
+// StatsSnapshot implements Source under the "slo" layer: per objective the
+// good/bad totals, cumulative error ratio, burn rates, and a breach gauge.
+func (t *SLOTracker) StatsSnapshot() Snapshot {
+	snap := Snapshot{Layer: "slo"}
+	for _, s := range t.Snapshots() {
+		b := 0.0
+		if s.Breach {
+			b = 1
+		}
+		snap.Metrics = append(snap.Metrics,
+			Metric{Name: s.Name + "_good_total", Value: float64(s.Good), Unit: "req"},
+			Metric{Name: s.Name + "_bad_total", Value: float64(s.Bad), Unit: "req"},
+			Metric{Name: s.Name + "_error_ratio", Value: s.ErrorRatio, Unit: "ratio"},
+			Metric{Name: s.Name + "_burn_fast", Value: sanitizeBurn(s.BurnFast)},
+			Metric{Name: s.Name + "_burn_slow", Value: sanitizeBurn(s.BurnSlow)},
+			Metric{Name: s.Name + "_target", Value: s.Target, Unit: "ratio"},
+			Metric{Name: s.Name + "_breach", Value: b},
+		)
+		if s.ThresholdSec > 0 {
+			snap.Metrics = append(snap.Metrics,
+				Metric{Name: s.Name + "_threshold", Value: s.ThresholdSec, Unit: "sec"})
+		}
+	}
+	return snap
+}
+
+// sanitizeBurn guards the exported gauge against a degenerate budget.
+func sanitizeBurn(v float64) float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0
+	}
+	return v
+}

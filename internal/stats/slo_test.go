@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSLONilSafe(t *testing.T) {
+	var s *SLO
+	s.Observe(true)
+	s.ObserveLatency(time.Millisecond, false)
+	if s.BurnFast() != 0 || s.BurnSlow() != 0 {
+		t.Fatal("nil SLO must report zero burn")
+	}
+	if snap := s.Snapshot(); snap.Good != 0 {
+		t.Fatalf("nil snapshot = %+v", snap)
+	}
+}
+
+func TestSLODefaults(t *testing.T) {
+	tr := NewSLOTracker()
+	s := tr.Objective(Objective{Name: "x"})
+	obj := s.Objective()
+	if obj.Target != 0.999 || obj.FastWindow != DefaultFastWindow || obj.SlowWindow != DefaultSlowWindow {
+		t.Fatalf("defaults = %+v", obj)
+	}
+	// Redeclaration returns the same SLO without resetting counts.
+	s.Observe(true)
+	if again := tr.Objective(Objective{Name: "x", Target: 0.5}); again != s {
+		t.Fatal("redeclaration built a new SLO")
+	}
+	if s.Snapshot().Good != 1 {
+		t.Fatal("redeclaration reset counts")
+	}
+}
+
+func TestSLOLatencyClassification(t *testing.T) {
+	tr := NewSLOTracker()
+	s := tr.Objective(Objective{Name: "lat", Threshold: 5 * time.Millisecond})
+	s.ObserveLatency(time.Millisecond, false)    // fast, ok        -> good
+	s.ObserveLatency(50*time.Millisecond, false) // slow, ok        -> bad
+	s.ObserveLatency(time.Millisecond, true)     // fast but failed -> bad
+	snap := s.Snapshot()
+	if snap.Good != 1 || snap.Bad != 2 {
+		t.Fatalf("good=%d bad=%d", snap.Good, snap.Bad)
+	}
+}
+
+func TestSLOBurnRates(t *testing.T) {
+	tr := NewSLOTracker()
+	s := tr.Objective(Objective{Name: "x", Target: 0.999})
+	// 1% bad against a 0.1% budget: burn = 0.01/0.001 = 10.
+	for i := 0; i < 990; i++ {
+		s.Observe(true)
+	}
+	for i := 0; i < 10; i++ {
+		s.Observe(false)
+	}
+	bf := s.BurnFast()
+	if bf < 9.9 || bf > 10.1 {
+		t.Fatalf("burn_fast = %v, want ~10", bf)
+	}
+	snap := s.Snapshot()
+	if !snap.Breach {
+		t.Fatalf("breach not flagged at burn %v/%v", snap.BurnFast, snap.BurnSlow)
+	}
+	// All-good traffic burns nothing.
+	clean := tr.Objective(Objective{Name: "clean"})
+	for i := 0; i < 100; i++ {
+		clean.Observe(true)
+	}
+	if clean.BurnFast() != 0 {
+		t.Fatalf("clean burn = %v", clean.BurnFast())
+	}
+}
+
+func TestSLOTrackerSnapshot(t *testing.T) {
+	tr := NewSLOTracker()
+	tr.Objective(Objective{Name: "server_latency", Threshold: 5 * time.Millisecond})
+	tr.Objective(Objective{Name: "server_errors"})
+	snap := tr.StatsSnapshot()
+	if snap.Layer != "slo" {
+		t.Fatalf("layer = %q", snap.Layer)
+	}
+	// Pre-registered objectives exist at zero before any traffic.
+	for _, name := range []string{
+		"server_latency_good_total", "server_latency_bad_total",
+		"server_latency_burn_fast", "server_latency_burn_slow",
+		"server_latency_breach", "server_latency_threshold",
+		"server_errors_good_total", "server_errors_burn_fast",
+	} {
+		v, ok := snap.Get(name)
+		if !ok {
+			t.Fatalf("series %s missing", name)
+		}
+		if name == "server_latency_threshold" {
+			if v != 0.005 {
+				t.Fatalf("threshold = %v", v)
+			}
+		} else if v != 0 {
+			t.Fatalf("idle %s = %v", name, v)
+		}
+	}
+	// The ratio objective has no threshold series.
+	if _, ok := snap.Get("server_errors_threshold"); ok {
+		t.Fatal("ratio objective exported a threshold")
+	}
+	if tr.Get("server_latency") == nil || tr.Get("nope") != nil {
+		t.Fatal("Get lookup broken")
+	}
+}

@@ -75,6 +75,21 @@ func (r *Registry) Register(srcs ...Source) {
 	r.mu.Unlock()
 }
 
+// PreRegister snapshots each source once, immediately, and registers that
+// frozen snapshot — the register-at-zero idiom for layers whose live
+// values belong to another process. A server passes the zero values of
+// client-side stat blocks here so every series in their schema exists (at
+// zero) from the first scrape, giving dashboards and alerts a stable
+// namespace, without keeping the placeholder structs around:
+//
+//	reg.PreRegister(&cluster.ResilienceStats{}, &pipeline.Stats{})
+func (r *Registry) PreRegister(srcs ...Source) {
+	for _, s := range srcs {
+		snap := s.StatsSnapshot()
+		r.Register(Func(func() Snapshot { return snap }))
+	}
+}
+
 // Collect snapshots every registered source, in registration order,
 // merging snapshots that share a Layer name into one (metrics and
 // histograms appended in registration order). Replicated clients register
@@ -151,17 +166,37 @@ func formatValue(v float64) string {
 type Latency struct {
 	layer string
 	hist  *Histogram
-	errs  atomic.Int64
+	// wins are the rolling windows (DefaultWindows) maintained alongside
+	// the cumulative histogram, reported as latency_window_<label> series —
+	// the quantiles a control loop can act on, where the cumulative ones
+	// only describe history.
+	wins []*WindowedHistogram
+	errs atomic.Int64
 }
 
 // NewLatency returns a latency recorder reporting under the given layer
-// name.
+// name, maintaining the DefaultWindows rolling histograms alongside the
+// cumulative one.
 func NewLatency(layer string) *Latency {
-	return &Latency{layer: layer, hist: NewHistogram()}
+	l := &Latency{layer: layer, hist: NewHistogram()}
+	for _, spec := range DefaultWindows {
+		l.wins = append(l.wins, NewWindowedHistogram(spec.Span, spec.Shards))
+	}
+	return l
 }
 
 // Observe records one completed batch.
-func (l *Latency) Observe(d time.Duration) { l.hist.ObserveDuration(d) }
+func (l *Latency) Observe(d time.Duration) { l.ObserveTrace(d, 0) }
+
+// ObserveTrace records one completed batch attributed to a trace: the
+// cumulative histogram keeps the trace as the landing bucket's exemplar
+// (zero trace = untraced).
+func (l *Latency) ObserveTrace(d time.Duration, trace uint64) {
+	l.hist.ObserveDurationExemplar(d, trace)
+	for _, w := range l.wins {
+		w.ObserveDuration(d)
+	}
+}
 
 // ObserveError records one failed (canceled, expired or errored) batch.
 func (l *Latency) ObserveError() { l.errs.Add(1) }
@@ -175,6 +210,18 @@ func (l *Latency) Quantile(q float64) float64 { return l.hist.Quantile(q) }
 // Hist returns the latency distribution snapshot, named "latency" in
 // seconds.
 func (l *Latency) Hist() HistogramSnapshot { return l.hist.Snapshot("latency", "sec") }
+
+// Window returns the rolling-window distribution for the given
+// DefaultWindows label ("10s", "1m", "5m"); ok is false for an unknown
+// label.
+func (l *Latency) Window(label string) (HistogramSnapshot, bool) {
+	for i, spec := range DefaultWindows {
+		if spec.Label == label && i < len(l.wins) {
+			return l.wins[i].Snapshot("latency_window_"+spec.Label, "sec"), true
+		}
+	}
+	return HistogramSnapshot{}, false
+}
 
 // StatsSnapshot implements Source. latency_min/latency_max are omitted
 // until at least one batch has been observed — an idle recorder must not
@@ -193,7 +240,12 @@ func (l *Latency) StatsSnapshot() Snapshot {
 			Metric{Name: "latency_max", Value: h.Max, Unit: "sec"},
 		)
 	}
-	return Snapshot{Layer: l.layer, Metrics: m, Hists: []HistogramSnapshot{h}}
+	hists := make([]HistogramSnapshot, 0, 1+len(l.wins))
+	hists = append(hists, h)
+	for i, w := range l.wins {
+		hists = append(hists, w.Snapshot("latency_window_"+DefaultWindows[i].Label, "sec"))
+	}
+	return Snapshot{Layer: l.layer, Metrics: m, Hists: hists}
 }
 
 // Counter is a monotonically increasing metric helper. The zero value is

@@ -1,0 +1,285 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Windowed aggregation: every cumulative-since-boot series in the repo
+// averages over the process lifetime, which makes its tail quantiles
+// useless as a control signal — a p999 that remembers last hour's calm
+// cannot see this second's spike. A WindowedHistogram keeps a ring of
+// sub-window shards rotated on a wall-clock tick and merges them on read,
+// so its quantiles cover only the last Span() of traffic. The SLO layer
+// (slo.go) builds its burn-rate windows on the same rotation machinery.
+
+// WindowSpec names one rolling window: its display label, total span, and
+// how many ring shards subdivide it (resolution = Span/Shards).
+type WindowSpec struct {
+	Label  string
+	Span   time.Duration
+	Shards int
+}
+
+// DefaultWindows are the rolling windows a Latency recorder maintains
+// alongside its cumulative histogram: fast enough to drive load-shedding
+// (10s), wide enough to smooth a scrape interval (1m), and a 5m trend.
+var DefaultWindows = []WindowSpec{
+	{Label: "10s", Span: 10 * time.Second, Shards: 10},
+	{Label: "1m", Span: time.Minute, Shards: 12},
+	{Label: "5m", Span: 5 * time.Minute, Shards: 10},
+}
+
+// histShard is one sub-window of a WindowedHistogram: the same bucket
+// layout as Histogram but without its own lock or exemplars — the ring's
+// single mutex covers every shard.
+type histShard struct {
+	counts   [histTotalBuckets]int64
+	count    int64
+	sum      float64
+	min, max float64
+}
+
+func (s *histShard) observe(v float64) {
+	if s.count == 0 || v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	s.counts[histIndex(v)]++
+	s.count++
+	s.sum += v
+}
+
+// WindowedHistogram is a rolling-window latency histogram: a ring of
+// sub-window shards rotated on a wall-clock tick, merged on read. Observe
+// lands in the shard owning the current tick; shards older than the window
+// are cleared as the clock advances past them, so a Snapshot covers at
+// most the last Span() of observations. The zero value is a 10-second
+// window of 10 one-second shards. Safe for concurrent use.
+//
+// Rotation is driven by the observer's own wall clock, lazily: a gap with
+// no observations or snapshots simply clears the skipped shards on the
+// next call (tick starvation degrades to an empty window, never to stale
+// data), and a clock stepping backwards keeps filling the current shard
+// rather than resurrecting cleared ones.
+type WindowedHistogram struct {
+	mu     sync.Mutex
+	shards []histShard
+	tick   time.Duration
+	cur    int
+	tickNo int64
+	// clock is injectable for rotation tests; nil means time.Now.
+	clock func() time.Time
+}
+
+// NewWindowedHistogram returns a histogram covering the trailing span,
+// subdivided into the given number of ring shards. Non-positive arguments
+// take the zero-value default (10s over 10 shards).
+func NewWindowedHistogram(span time.Duration, shards int) *WindowedHistogram {
+	w := &WindowedHistogram{}
+	if span > 0 && shards > 0 {
+		w.shards = make([]histShard, shards)
+		w.tick = span / time.Duration(shards)
+		if w.tick <= 0 {
+			w.tick = time.Nanosecond
+		}
+	}
+	return w
+}
+
+// init applies the zero-value default ring. Caller holds w.mu.
+func (w *WindowedHistogram) init() {
+	if w.shards == nil {
+		w.shards = make([]histShard, 10)
+		w.tick = time.Second
+	}
+}
+
+// now reads the injected or real clock. Caller holds w.mu.
+func (w *WindowedHistogram) now() time.Time {
+	if w.clock != nil {
+		return w.clock()
+	}
+	return time.Now()
+}
+
+// rotate advances the ring to the current wall-clock tick, clearing every
+// shard the clock skipped. Caller holds w.mu.
+func (w *WindowedHistogram) rotate() {
+	w.init()
+	tn := w.now().UnixNano() / int64(w.tick)
+	if w.tickNo == 0 {
+		// First use: adopt the current tick without clearing anything.
+		w.tickNo = tn
+		return
+	}
+	d := tn - w.tickNo
+	if d <= 0 {
+		// Same tick, or a clock step backwards: keep filling the current
+		// shard. Rotation resumes once the clock passes its old mark.
+		return
+	}
+	if d >= int64(len(w.shards)) {
+		// Starved past a full window: everything retained is stale.
+		for i := range w.shards {
+			w.shards[i] = histShard{}
+		}
+		w.cur = 0
+	} else {
+		for ; d > 0; d-- {
+			w.cur = (w.cur + 1) % len(w.shards)
+			w.shards[w.cur] = histShard{}
+		}
+	}
+	w.tickNo = tn
+}
+
+// Span returns the total window the ring covers.
+func (w *WindowedHistogram) Span() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.init()
+	return w.tick * time.Duration(len(w.shards))
+}
+
+// Observe records one value into the current sub-window. Negative and NaN
+// values are dropped, matching Histogram.
+func (w *WindowedHistogram) Observe(v float64) {
+	if math.IsNaN(v) || v < 0 {
+		return
+	}
+	w.mu.Lock()
+	w.rotate()
+	w.shards[w.cur].observe(v)
+	w.mu.Unlock()
+}
+
+// ObserveDuration records a duration in seconds.
+func (w *WindowedHistogram) ObserveDuration(d time.Duration) { w.Observe(d.Seconds()) }
+
+// Snapshot merges every live shard into one point-in-time
+// HistogramSnapshot covering at most the trailing Span() of observations.
+// Like Histogram.Snapshot, the lock covers only the fixed-size merge; the
+// bucket slice is built outside it.
+func (w *WindowedHistogram) Snapshot(name, unit string) HistogramSnapshot {
+	var counts [histTotalBuckets]int64
+	s := HistogramSnapshot{Name: name, Unit: unit}
+	w.mu.Lock()
+	w.rotate()
+	for i := range w.shards {
+		sh := &w.shards[i]
+		if sh.count == 0 {
+			continue
+		}
+		if s.Count == 0 || sh.min < s.Min {
+			s.Min = sh.min
+		}
+		if sh.max > s.Max {
+			s.Max = sh.max
+		}
+		s.Count += sh.count
+		s.Sum += sh.sum
+		for b, c := range sh.counts {
+			counts[b] += c
+		}
+	}
+	w.mu.Unlock()
+	nonEmpty := 0
+	for _, c := range counts {
+		if c != 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 {
+		return s
+	}
+	s.Buckets = make([]HistogramBucket, 0, nonEmpty)
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		s.Buckets = append(s.Buckets, HistogramBucket{UpperBound: histUpperBound(i), Count: c})
+	}
+	return s
+}
+
+// windowCounter is the good/bad event ring behind SLO burn rates: the same
+// tick rotation as WindowedHistogram over two int64s per shard.
+type windowCounter struct {
+	mu        sync.Mutex
+	good, bad []int64
+	tick      time.Duration
+	cur       int
+	tickNo    int64
+	clock     func() time.Time
+}
+
+func newWindowCounter(span time.Duration, shards int) *windowCounter {
+	if span <= 0 || shards <= 0 {
+		span, shards = 5*time.Minute, 15
+	}
+	tick := span / time.Duration(shards)
+	if tick <= 0 {
+		tick = time.Nanosecond
+	}
+	return &windowCounter{good: make([]int64, shards), bad: make([]int64, shards), tick: tick}
+}
+
+func (c *windowCounter) now() time.Time {
+	if c.clock != nil {
+		return c.clock()
+	}
+	return time.Now()
+}
+
+// rotate mirrors WindowedHistogram.rotate. Caller holds c.mu.
+func (c *windowCounter) rotate() {
+	tn := c.now().UnixNano() / int64(c.tick)
+	if c.tickNo == 0 {
+		c.tickNo = tn
+		return
+	}
+	d := tn - c.tickNo
+	if d <= 0 {
+		return
+	}
+	if d >= int64(len(c.good)) {
+		for i := range c.good {
+			c.good[i], c.bad[i] = 0, 0
+		}
+		c.cur = 0
+	} else {
+		for ; d > 0; d-- {
+			c.cur = (c.cur + 1) % len(c.good)
+			c.good[c.cur], c.bad[c.cur] = 0, 0
+		}
+	}
+	c.tickNo = tn
+}
+
+func (c *windowCounter) add(good bool) {
+	c.mu.Lock()
+	c.rotate()
+	if good {
+		c.good[c.cur]++
+	} else {
+		c.bad[c.cur]++
+	}
+	c.mu.Unlock()
+}
+
+func (c *windowCounter) totals() (good, bad int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rotate()
+	for i := range c.good {
+		good += c.good[i]
+		bad += c.bad[i]
+	}
+	return good, bad
+}
+
+func (c *windowCounter) span() time.Duration { return c.tick * time.Duration(len(c.good)) }

@@ -1,0 +1,201 @@
+package stats
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock steps a WindowedHistogram's rotation deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	// Far from zero so tickNo never hits the 0 first-use sentinel.
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestWindowedHistogramZeroValue(t *testing.T) {
+	var w WindowedHistogram
+	if got := w.Span(); got != 10*time.Second {
+		t.Fatalf("zero-value span = %v, want 10s", got)
+	}
+	w.Observe(0.005)
+	if s := w.Snapshot("x", "sec"); s.Count != 1 {
+		t.Fatalf("count = %d", s.Count)
+	}
+}
+
+func TestWindowedHistogramExpiry(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWindowedHistogram(10*time.Second, 10)
+	w.clock = clk.now
+
+	w.Observe(0.001)
+	w.Observe(0.002)
+	if s := w.Snapshot("", "sec"); s.Count != 2 {
+		t.Fatalf("count = %d, want 2", s.Count)
+	}
+	// Half a window later the old observations still count...
+	clk.advance(5 * time.Second)
+	w.Observe(0.003)
+	if s := w.Snapshot("", "sec"); s.Count != 3 {
+		t.Fatalf("count after 5s = %d, want 3", s.Count)
+	}
+	// ...but one more full window clears everything retained.
+	clk.advance(10 * time.Second)
+	if s := w.Snapshot("", "sec"); s.Count != 0 {
+		t.Fatalf("count after expiry = %d, want 0", s.Count)
+	}
+}
+
+func TestWindowedHistogramTickStarvation(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWindowedHistogram(10*time.Second, 10)
+	w.clock = clk.now
+
+	w.Observe(1.0)
+	// Starve rotation for far longer than the window: nothing observes or
+	// snapshots in between. The first touch afterwards must report an
+	// empty window, never the stale observation.
+	clk.advance(17 * time.Minute)
+	if s := w.Snapshot("", "sec"); s.Count != 0 {
+		t.Fatalf("starved window reports %d stale observations", s.Count)
+	}
+	// And the ring must be usable again afterwards.
+	w.Observe(2.0)
+	if s := w.Snapshot("", "sec"); s.Count != 1 || s.Max != 2.0 {
+		t.Fatalf("post-starvation snapshot = %+v", s)
+	}
+}
+
+func TestWindowedHistogramClockSkew(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWindowedHistogram(10*time.Second, 10)
+	w.clock = clk.now
+
+	w.Observe(0.001)
+	clk.advance(2 * time.Second)
+	w.Observe(0.002)
+	// The clock steps backwards (NTP correction). Observations must keep
+	// landing — in the current shard — and nothing already retained may be
+	// resurrected or cleared.
+	clk.advance(-4 * time.Second)
+	w.Observe(0.003)
+	if s := w.Snapshot("", "sec"); s.Count != 3 {
+		t.Fatalf("count under skew = %d, want 3", s.Count)
+	}
+	// Once the clock passes its old high-water mark, rotation resumes and
+	// the window eventually drains as usual.
+	clk.advance(30 * time.Second)
+	if s := w.Snapshot("", "sec"); s.Count != 0 {
+		t.Fatalf("count after skew recovery = %d, want 0", s.Count)
+	}
+}
+
+// TestWindowedHistogramConcurrent drives observes and merging snapshots
+// from many goroutines across rotations — the -race test for merge-during-
+// rotation.
+func TestWindowedHistogramConcurrent(t *testing.T) {
+	w := NewWindowedHistogram(20*time.Millisecond, 4)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					w.Observe(rng.Float64() * 0.01)
+				}
+			}
+		}(int64(i))
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					s := w.Snapshot("x", "sec")
+					var n int64
+					for _, b := range s.Buckets {
+						n += b.Count
+					}
+					if n != s.Count {
+						t.Errorf("snapshot bucket sum %d != count %d", n, s.Count)
+						return
+					}
+				}
+			}
+		}()
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+// TestWindowQuantileAgreement: on a steady stream entirely inside one
+// window, the rolling quantiles must agree with the cumulative histogram's
+// — same buckets, same interpolation.
+func TestWindowQuantileAgreement(t *testing.T) {
+	h := NewHistogram()
+	w := NewWindowedHistogram(time.Hour, 10)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		v := 0.0001 * (1 + rng.Float64()*100)
+		h.Observe(v)
+		w.Observe(v)
+	}
+	hs := h.Snapshot("", "sec")
+	ws := w.Snapshot("", "sec")
+	if hs.Count != ws.Count {
+		t.Fatalf("counts differ: %d vs %d", hs.Count, ws.Count)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if a, b := hs.Quantile(q), ws.Quantile(q); a != b {
+			t.Fatalf("q%.3f: cumulative %v vs windowed %v", q, a, b)
+		}
+	}
+	if hs.Min != ws.Min || hs.Max != ws.Max {
+		t.Fatalf("min/max differ: %v/%v vs %v/%v", hs.Min, hs.Max, ws.Min, ws.Max)
+	}
+}
+
+func TestWindowCounterRotation(t *testing.T) {
+	clk := newFakeClock()
+	c := newWindowCounter(10*time.Second, 10)
+	c.clock = clk.now
+
+	c.add(true)
+	c.add(false)
+	if g, b := c.totals(); g != 1 || b != 1 {
+		t.Fatalf("totals = %d, %d", g, b)
+	}
+	clk.advance(11 * time.Second)
+	if g, b := c.totals(); g != 0 || b != 0 {
+		t.Fatalf("totals after expiry = %d, %d", g, b)
+	}
+}

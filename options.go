@@ -5,6 +5,7 @@ import (
 
 	"lsdgnn/internal/cluster"
 	"lsdgnn/internal/core"
+	"lsdgnn/internal/obs"
 	"lsdgnn/internal/pipeline"
 	"lsdgnn/internal/sampler"
 )
@@ -50,6 +51,9 @@ type (
 	PackingConfig = cluster.PackingConfig
 	// DispatcherConfig tunes batch placement across AxE engines.
 	DispatcherConfig = core.DispatcherConfig
+	// TracingConfig sizes the system tracer: span-ring capacity and the
+	// 1-in-n span sampling rate (histograms always record).
+	TracingConfig = obs.TracerConfig
 	// PipelineConfig tunes the out-of-order sampling executor (in-flight
 	// window, hop-overlap bound) enabled by WithPipeline.
 	PipelineConfig = pipeline.Config
@@ -109,6 +113,18 @@ func WithEngines(cfg EngineConfig) Option {
 // WithDispatch tunes how batches are placed across engines.
 func WithDispatch(cfg DispatcherConfig) Option {
 	return func(o *Options) { o.Dispatch = cfg }
+}
+
+// WithTracing sizes the system tracer: how many completed spans the ring
+// retains (/trace lookups reach back this far) and the 1-in-n trace
+// sampling rate for the span log. Zero fields keep the defaults (512
+// spans, every trace kept):
+//
+//	sys, err := lsdgnn.New("ss",
+//		lsdgnn.WithTracing(lsdgnn.TracingConfig{SpanLog: 4096, SampleRate: 8}),
+//	)
+func WithTracing(cfg TracingConfig) Option {
+	return func(o *Options) { o.Tracing = cfg }
 }
 
 // WithNetDelay injects a fixed per-call transport delay (deadline and

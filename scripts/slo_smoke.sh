@@ -1,0 +1,150 @@
+#!/bin/sh
+# SLO-plane smoke test: boot lsdgnn-server with a generous latency budget,
+# assert the lsdgnn_slo_* and lsdgnn_runtime_* series pre-register at zero,
+# drive a clean probe burst (burn stays 0), then arm a latency spike via
+# POST /chaos and drive a second burst — the fast-burn gauge must flip
+# above 1 while the cumulative latency histogram barely moves, proving the
+# windowed signal is usable as a control input where the cumulative one is
+# not. Also scrapes /metrics as OpenMetrics (exemplars + EOF) and follows
+# one exemplar's trace_id through /trace/{id}.
+set -eu
+cd "$(dirname "$0")/.."
+
+ADMIN_PORT=${ADMIN_PORT:-17429}
+SERVE_PORT=${SERVE_PORT:-17428}
+ADMIN="http://127.0.0.1:$ADMIN_PORT"
+OUT=$(mktemp -d)
+trap 'kill $SRV_PID 2>/dev/null || true; rm -rf "$OUT"' EXIT
+
+go build -o "$OUT/lsdgnn-server" ./cmd/lsdgnn-server
+go build -o "$OUT/lsdgnn-probe" ./cmd/lsdgnn-probe
+
+# 100ms budget: normal handling is far inside it, the injected 300ms spike
+# far outside it.
+"$OUT/lsdgnn-server" -addr "127.0.0.1:$SERVE_PORT" -admin-addr "127.0.0.1:$ADMIN_PORT" \
+    -dataset ss -log-level warn -slo-threshold 100ms >"$OUT/server.log" 2>&1 &
+SRV_PID=$!
+
+i=0
+until curl -sf "$ADMIN/readyz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 60 ]; then
+        echo "slo-smoke: server never became ready" >&2
+        cat "$OUT/server.log" >&2
+        exit 1
+    fi
+    sleep 1
+done
+
+# Pre-registration: SLO and runtime series exist (at zero) before traffic.
+curl -sf "$ADMIN/metrics" >"$OUT/metrics0"
+for series in \
+    'lsdgnn_slo_server_latency_good_total 0' \
+    'lsdgnn_slo_server_latency_burn_fast 0' \
+    'lsdgnn_slo_server_errors_good_total 0' \
+    'lsdgnn_runtime_goroutines' \
+    'lsdgnn_runtime_heap_alloc' \
+    'lsdgnn_runtime_gc_pause_total' \
+    'lsdgnn_runtime_mem_outstanding'; do
+    if ! grep -q "$series" "$OUT/metrics0"; then
+        echo "slo-smoke: /metrics missing pre-registered $series" >&2
+        cat "$OUT/metrics0" >&2
+        exit 1
+    fi
+done
+
+# Phase 1: clean burst. Good events accumulate, burn stays 0.
+"$OUT/lsdgnn-probe" -addrs "127.0.0.1:$SERVE_PORT" -batches 32 -batch-size 32 \
+    -slo >"$OUT/probe1.log" 2>&1
+curl -sf "$ADMIN/metrics" >"$OUT/metrics1"
+
+good=$(awk '/^lsdgnn_slo_server_latency_good_total /{print $2}' "$OUT/metrics1")
+if [ "${good:-0}" -eq 0 ]; then
+    echo "slo-smoke: no good events after a clean burst" >&2
+    cat "$OUT/metrics1" >&2
+    exit 1
+fi
+burn=$(awk '/^lsdgnn_slo_server_latency_burn_fast /{print $2}' "$OUT/metrics1")
+if [ "$burn" != "0" ]; then
+    echo "slo-smoke: clean burst burned budget: burn_fast=$burn" >&2
+    exit 1
+fi
+# The probe's client-side objective saw the same clean traffic.
+if ! grep -q 'lsdgnn_slo_probe_batch_good_total' "$OUT/probe1.log"; then
+    echo "slo-smoke: probe -slo printed no client-side objective" >&2
+    cat "$OUT/probe1.log" >&2
+    exit 1
+fi
+
+# Let the 10s latency window of phase 1 drain so the spike contrast below
+# is clean.
+sleep 12
+
+# Phase 2: arm a 300ms latency spike on most requests via the admin plane,
+# then drive a short burst.
+curl -sf -X POST "$ADMIN/chaos?spike_rate=0.8&spike=300ms" >/dev/null
+"$OUT/lsdgnn-probe" -addrs "127.0.0.1:$SERVE_PORT" -batches 4 -batch-size 16 \
+    -timeout 3m >"$OUT/probe2.log" 2>&1
+curl -sf -X POST "$ADMIN/chaos" >/dev/null # disarm
+curl -sf "$ADMIN/metrics" >"$OUT/metrics2"
+
+# The fast-burn gauge must flip above 1: the spike blows the 100ms budget.
+awk '/^lsdgnn_slo_server_latency_burn_fast /{exit !($2 > 1)}' "$OUT/metrics2" || {
+    echo "slo-smoke: latency spike did not flip burn_fast above 1" >&2
+    grep '^lsdgnn_slo_' "$OUT/metrics2" >&2
+    exit 1
+}
+
+# The windowed histogram must show the spike where the cumulative cannot:
+# phase 1's fast requests pin the cumulative average down, while the
+# last-10s window holds only spiked traffic. The serving-path series is
+# the end-to-end one (it wraps outside the chaos layer, like the SLO).
+awk '
+/^lsdgnn_cluster_serving_latency_seconds_sum /{cs=$2}
+/^lsdgnn_cluster_serving_latency_seconds_count /{cc=$2}
+/^lsdgnn_cluster_serving_latency_window_10s_seconds_sum /{ws=$2}
+/^lsdgnn_cluster_serving_latency_window_10s_seconds_count /{wc=$2}
+END {
+    if (cc == 0 || wc == 0) { print "missing series (cum n=" cc ", win n=" wc ")"; exit 1 }
+    cavg = cs / cc; wavg = ws / wc
+    printf "cumulative avg %.6fs over %d, windowed avg %.6fs over %d\n", cavg, cc, wavg, wc
+    # The windowed average must sit well above the lifetime average.
+    if (wavg < 5 * cavg) { print "windowed signal indistinguishable from cumulative"; exit 1 }
+}' "$OUT/metrics2" || { echo "slo-smoke: windowed-vs-cumulative contrast failed" >&2; exit 1; }
+
+# /slo serves both renderings.
+curl -sf "$ADMIN/slo" | grep -q 'server_latency' || {
+    echo "slo-smoke: /slo text missing objective" >&2
+    exit 1
+}
+curl -sf "$ADMIN/slo?format=json" | grep -q '"burn_fast"' || {
+    echo "slo-smoke: /slo JSON missing burn_fast" >&2
+    exit 1
+}
+
+# OpenMetrics negotiation: exemplars + the EOF terminator.
+curl -sf -H 'Accept: application/openmetrics-text' "$ADMIN/metrics" >"$OUT/openmetrics"
+grep -q 'trace_id="' "$OUT/openmetrics" || {
+    echo "slo-smoke: OpenMetrics scrape carries no exemplars" >&2
+    exit 1
+}
+tail -1 "$OUT/openmetrics" | grep -q '# EOF' || {
+    echo "slo-smoke: OpenMetrics scrape missing # EOF" >&2
+    exit 1
+}
+
+# Follow an exemplar to its trace: at least one recent trace_id must still
+# be in the server's span ring and come back as a span timeline.
+found=0
+for id in $(grep -o 'trace_id="[0-9a-f]*"' "$OUT/openmetrics" | cut -d'"' -f2 | sort -u | tail -20); do
+    if curl -sf "$ADMIN/trace/$id" | grep -q '"spans"'; then
+        found=1
+        break
+    fi
+done
+if [ "$found" -ne 1 ]; then
+    echo "slo-smoke: no exemplar trace_id resolved via /trace/{id}" >&2
+    exit 1
+fi
+
+echo "slo-smoke: OK"
