@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify chaos bench bench-smoke bench-all metrics-smoke wire-smoke pipeline-smoke reshard-smoke slo-smoke fuzz
+.PHONY: build test verify chaos bench bench-smoke bench-all metrics-smoke wire-smoke pipeline-smoke reshard-smoke slo-smoke gateway-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,7 @@ verify:
 # Fault-injection suite: every chaos/resilience/recovery test hammered
 # under the race detector with a high iteration count.
 chaos:
-	$(GO) test -race -count=20 -run 'TestChaos|TestFaulty|TestBreaker|TestRetry|TestBootstrap|TestPartial|TestHedge|TestServerError|TestTCPPoolRecovery' ./internal/cluster/ ./internal/pipeline/
+	$(GO) test -race -count=20 -run 'TestChaos|TestFaulty|TestBreaker|TestRetry|TestBootstrap|TestPartial|TestHedge|TestServerError|TestTCPPoolRecovery' ./internal/cluster/ ./internal/pipeline/ ./internal/gateway/
 
 # Hot-path benchmark trajectory: runs the sample/pipeline/pack/codec
 # benchmarks, writes BENCH_6.json (before/after/reduction), and gates the
@@ -66,6 +66,15 @@ reshard-smoke:
 # /trace/{id}.
 slo-smoke:
 	./scripts/slo_smoke.sh
+
+# Gateway smoke test: boots lsdgnn-server in multi-tenant mode with a
+# key-gated admin plane (checks the zero-valued lsdgnn_gateway_*
+# pre-registration), rejects a bad-key probe (401-class, auth_failures
+# moves), runs a clean light-tenant burst, blows a greedy burst through the
+# heavy tenant's rate contract (its ratelimited/shed counters move, the
+# light tenant's stay clean), and reads the /tenants JSON view.
+gateway-smoke:
+	./scripts/gateway_smoke.sh
 
 # Fuzz the hostile-input decoders: seed corpus first (fails fast on a
 # regression), then a short randomized run on the packed-frame decoder.

@@ -58,6 +58,8 @@ func main() {
 	sloThreshold := flag.Duration("slo-threshold", 50*time.Millisecond, "probe_batch objective budget (with -slo)")
 	drainEndpoint := flag.Int("drain-endpoint", -1, "drain this endpoint out of the layout mid-burst (requires -replicas > 1, its partition keeps serving replicas)")
 	drainAfter := flag.Duration("drain-after", 50*time.Millisecond, "delay before the -drain-endpoint rotation starts")
+	tenant := flag.String("tenant", "", "tenant name this probe drives traffic as (label for output only)")
+	apiKey := flag.String("key", "", "tenant API key sent with every frame (required against a -tenants server)")
 	flag.Parse()
 
 	endpoints := strings.Split(*addrs, ",")
@@ -84,6 +86,9 @@ func main() {
 	// OpTraced envelope, which is what lets the server attach exemplars
 	// and span timelines (its /trace/{id}) to this probe's traffic.
 	opts := []cluster.ClientOption{cluster.WithTracer(obs.NewTracer())}
+	if *apiKey != "" {
+		opts = append(opts, cluster.WithAPIKey(*apiKey))
+	}
 	if *pack {
 		opts = append(opts, cluster.WithPacking(cluster.PackingConfig{Window: *window}))
 	}
@@ -198,8 +203,12 @@ func main() {
 	}
 
 	tr := client.Traffic.Snapshot()
-	fmt.Printf("drove %d batches (%d roots) in %v: %d RPCs, %.1f KB up, %.1f KB down\n",
-		*batches, sampled, time.Since(start).Round(time.Millisecond),
+	as := ""
+	if *tenant != "" {
+		as = fmt.Sprintf(" as tenant %q", *tenant)
+	}
+	fmt.Printf("drove %d batches (%d roots)%s in %v: %d RPCs, %.1f KB up, %.1f KB down\n",
+		*batches, sampled, as, time.Since(start).Round(time.Millisecond),
 		tr.Requests, float64(tr.RequestBytes)/1e3, float64(tr.ResponseBytes)/1e3)
 	if client.Packing() {
 		ps := &client.Pack

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"lsdgnn/internal/cluster"
+	"lsdgnn/internal/gateway"
 	"lsdgnn/internal/graph"
 	"lsdgnn/internal/mem"
 	"lsdgnn/internal/obs"
@@ -63,6 +64,9 @@ func main() {
 	sloTarget := flag.Float64("slo-target", 0.999, "promised good fraction for both objectives (0,1)")
 	spanLog := flag.Int("trace-spans", obs.DefaultSpanLog, "completed spans retained for /trace lookups")
 	traceSample := flag.Int("trace-sample", 1, "keep 1-in-n traces in the span log (histograms always record)")
+	tenants := flag.String("tenants", "", "multi-tenant mode: semicolon-separated tenant specs name=...,key=...[,class=...][,rate=...][,burst=...][,weight=...][,slo=...]; every data-plane frame must then carry a tenant key (lsdgnn-probe -key)")
+	gatewayInflight := flag.Int("gateway-inflight", 0, "with -tenants: max concurrent frames past the wire gate before it sheds (0 = default)")
+	adminKey := flag.String("admin-key", "", "require this API key on the admin plane (X-API-Key / Bearer / ?key=); /healthz and /readyz stay open")
 	flag.Parse()
 
 	level, err := parseLevel(*logLevel)
@@ -131,7 +135,26 @@ func main() {
 	// times dispatch. The windowed variants of this series are the ones a
 	// spike shows up in while the cumulative histogram barely moves.
 	serveLat := stats.NewLatency("cluster.serving")
-	handler := &cluster.SLOHandler{Inner: faulty, Latency: latSLO, Errors: errSLO, Observe: serveLat}
+	var handler cluster.Handler = &cluster.SLOHandler{Inner: faulty, Latency: latSLO, Errors: errSLO, Observe: serveLat}
+
+	// Multi-tenant mode puts the wire gate OUTERMOST: authentication,
+	// rate limiting, and shedding happen before the SLO middleware, so a
+	// rejected tenant burns no server-side error budget.
+	var gate *gateway.WireGate
+	if *tenants != "" {
+		tcs, err := gateway.ParseTenants(*tenants)
+		if err != nil {
+			fatal(err)
+		}
+		gate, err = gateway.NewWireGate(gateway.WireGateConfig{
+			Tenants: tcs, MaxInflight: *gatewayInflight,
+		}, handler)
+		if err != nil {
+			fatal(err)
+		}
+		handler = gate
+		log.Info("multi-tenant mode", "tenants", len(tcs))
+	}
 
 	tcp, err := cluster.ServeTCP(handler, *addr)
 	if err != nil {
@@ -151,6 +174,14 @@ func main() {
 	reg.PreRegister(&cluster.ResilienceStats{}, &pipeline.Stats{}, &cluster.LayoutStats{})
 	reg.Register(srv.Stats(), srv.Latency(), serveLat, srv.Wire(), tcp,
 		mem.Source(), slos, tracer, obs.RuntimeSource())
+	if gate != nil {
+		// Live gateway + per-tenant layers (all start at zero).
+		reg.Register(gate.Sources()...)
+	} else {
+		// Single-tenant servers still export the lsdgnn_gateway_* series
+		// at zero so the scrape namespace is stable across modes.
+		reg.PreRegister(&gateway.Stats{})
+	}
 
 	health := &obs.Health{}
 	// Order matters on the drain path: whoever flips draining — the signal
@@ -163,16 +194,23 @@ func main() {
 		log.Info("draining", "addr", tcp.Addr())
 	})
 	if *adminAddr != "" {
-		admin, bound, err := obs.ServeAdmin(*adminAddr, reg, health,
+		adminOpts := []obs.AdminOption{
 			obs.WithSLOEndpoint(slos),
 			obs.WithTraceEndpoint(tracer),
 			obs.WithHandler("/chaos", chaosHandler(faulty, log)),
-		)
+		}
+		if gate != nil {
+			adminOpts = append(adminOpts, obs.WithTenantsEndpoint(func() any { return gate.Snapshot() }))
+		}
+		// Key-gate the whole admin plane except the health probes a load
+		// balancer must reach without credentials.
+		mux := obs.RequireKey(obs.NewAdminMux(reg, health, adminOpts...), *adminKey, "/healthz", "/readyz")
+		admin, bound, err := obs.ServeAdminHandler(*adminAddr, mux)
 		if err != nil {
 			fatal(err)
 		}
 		defer admin.Close()
-		log.Info("admin plane up", "addr", bound)
+		log.Info("admin plane up", "addr", bound, "key_required", *adminKey != "")
 	}
 
 	role := "primary"

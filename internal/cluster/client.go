@@ -122,9 +122,7 @@ type Client struct {
 	Traffic   TrafficStats
 	Access    trace.AccessStats
 	// Res tallies resilience events ("cluster.resilience"): retries,
-	// breaker transitions, failovers, hedges, degraded batches, and Store
-	// adapter drops. Always present — Store drops are counted even when no
-	// resilience policy is configured.
+	// breaker transitions, failovers, hedges, and degraded batches.
 	Res ResilienceStats
 	// Batches records per-batch SampleBatch latency ("cluster.batch").
 	Batches *stats.Latency
@@ -170,6 +168,9 @@ type Client struct {
 	// inflight counts per-endpoint calls on the wire so drains can wait
 	// for them.
 	inflight inflightTracker
+	// apiKey, when set (WithAPIKey), wraps every outgoing frame in an
+	// OpAuthed envelope for gateway-fronted servers.
+	apiKey string
 }
 
 // ClientOption customizes a Client at construction.
@@ -202,6 +203,19 @@ func WithTracer(tr *obs.Tracer) ClientOption {
 // bad.
 func WithSLO(s *stats.SLO) ClientOption {
 	return func(c *Client) { c.slo = s }
+}
+
+// WithAPIKey wraps every outgoing frame — bootstrap meta fetch included —
+// in an OpAuthed envelope carrying the key, for talking to servers fronted
+// by a gateway.WireGate. The envelope rides outermost (outside the traced
+// envelope and around packed frames), matching where the gate sits in the
+// server's handler chain. Panics if the key exceeds the wire format's
+// 255-byte bound.
+func WithAPIKey(key string) ClientOption {
+	if len(key) > 255 {
+		panic("cluster: api key exceeds 255 bytes")
+	}
+	return func(c *Client) { c.apiKey = key }
 }
 
 // DefaultBootstrapTimeout bounds the NewClient meta fetch when the caller's
@@ -368,6 +382,11 @@ func (c *Client) invoke(ctx context.Context, endpoint int, req []byte) ([]byte, 
 	if traced {
 		ctx, id = obs.EnsureTrace(ctx)
 		req = EncodeTracedRequest(id, req)
+	}
+	if c.apiKey != "" {
+		// Outermost: the wire gate authenticates before anything else
+		// unwraps, so the key envelope goes on last.
+		req = EncodeAuthedRequest(c.apiKey, req)
 	}
 	start := time.Now()
 	c.inflight.enter(endpoint)
@@ -812,59 +831,4 @@ func dedupShards(shards []ShardError) []ShardError {
 		out = append(out, s)
 	}
 	return out
-}
-
-// Store adapts the client to the scalar sampler.SingleStore shape for
-// per-node access. The scalar methods cannot report errors, so failed
-// fetches degrade to empty results — but never silently: every degraded
-// lookup increments the store_drops counter in C.Res
-// ("cluster.resilience"), which callers must consult to distinguish lost
-// shards from genuinely isolated nodes. Ctx, when set, bounds each
-// per-node fetch; nil means context.Background().
-//
-// Deprecated: use *Client directly — it implements the batch-first
-// sampler.Store (NeighborsBatch/AttrsBatch) with real error reporting.
-// Wrap this adapter in sampler.Single only for legacy scalar callers.
-type Store struct {
-	C   *Client
-	Ctx context.Context
-}
-
-func (s Store) ctx() context.Context {
-	if s.Ctx != nil {
-		return s.Ctx
-	}
-	return context.Background()
-}
-
-// NumNodes implements sampler.SingleStore.
-func (s Store) NumNodes() int64 { return s.C.NumNodes() }
-
-// AttrLen implements sampler.SingleStore.
-func (s Store) AttrLen() int { return s.C.AttrLen() }
-
-// Neighbors implements sampler.SingleStore. A failed fetch returns an empty
-// list and counts a store drop.
-func (s Store) Neighbors(v graph.NodeID) []graph.NodeID {
-	lists, err := s.C.GetNeighbors(s.ctx(), []graph.NodeID{v}, 0)
-	if err != nil {
-		s.C.Res.add(&s.C.Res.snap.StoreDrops)
-	}
-	if len(lists) == 0 {
-		return nil
-	}
-	return lists[0]
-}
-
-// Attr implements sampler.SingleStore. A failed fetch returns a zeroed vector
-// and counts a store drop.
-func (s Store) Attr(dst []float32, v graph.NodeID) []float32 {
-	attrs, err := s.C.GetAttrs(s.ctx(), []graph.NodeID{v})
-	if err != nil {
-		s.C.Res.add(&s.C.Res.snap.StoreDrops)
-		if len(attrs) == 0 {
-			return append(dst, make([]float32, s.C.AttrLen())...)
-		}
-	}
-	return append(dst, attrs...)
 }

@@ -313,25 +313,6 @@ func TestClientMetaMismatch(t *testing.T) {
 	}
 }
 
-func TestStoreAdapter(t *testing.T) {
-	g := testGraph(t)
-	_, client := buildCluster(t, g, 2)
-	st := Store{C: client}
-	if st.NumNodes() != g.NumNodes() || st.AttrLen() != g.AttrLen() {
-		t.Fatal("adapter metadata wrong")
-	}
-	if len(st.Neighbors(5)) != g.Degree(5) {
-		t.Fatal("adapter neighbors wrong")
-	}
-	attrs := st.Attr(nil, 5)
-	want := g.Attr(nil, 5)
-	for i := range want {
-		if attrs[i] != want[i] {
-			t.Fatal("adapter attrs wrong")
-		}
-	}
-}
-
 func TestDirectTransportBadServer(t *testing.T) {
 	tr := DirectTransport{Servers: nil}
 	if _, err := tr.Call(bg, 0, []byte{OpMeta}); err == nil {

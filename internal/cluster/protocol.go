@@ -27,6 +27,13 @@ const (
 	// that advertised ProtoVersion ≥ 1 in the meta handshake, so legacy
 	// peers never see the op.
 	OpTraced = 0x10
+	// OpAuthed is the multi-tenant auth header: it envelopes any request
+	// (traced and packed frames included — it wraps outermost) with the
+	// sending tenant's API key, so a gateway.WireGate in front of the
+	// server can attribute and admit the frame before anything else runs.
+	// Sent only when the client holds a key (WithAPIKey); responses are
+	// never enveloped.
+	OpAuthed = 0x30
 )
 
 // ProtoVersion is this build's wire protocol version. Version 0 (legacy)
@@ -93,6 +100,36 @@ func DecodeTracedReply(b []byte) (time.Duration, []byte, error) {
 		return 0, nil, fmt.Errorf("cluster: not a traced reply")
 	}
 	return time.Duration(binary.LittleEndian.Uint64(b[1:])), b[9:], nil
+}
+
+// EncodeAuthedRequest envelopes a request with the tenant API key:
+// [OpAuthed, u8 key length, key bytes, inner message]. Keys longer than
+// 255 bytes are rejected at the option layer (WithAPIKey panics).
+func EncodeAuthedRequest(key string, inner []byte) []byte {
+	out := make([]byte, 0, 2+len(key)+len(inner))
+	out = append(out, OpAuthed, byte(len(key)))
+	out = append(out, key...)
+	return append(out, inner...)
+}
+
+// DecodeAuthedRequest parses an OpAuthed envelope into the API key and
+// the inner message.
+func DecodeAuthedRequest(b []byte) (string, []byte, error) {
+	if len(b) < 2 || b[0] != OpAuthed {
+		return "", nil, fmt.Errorf("cluster: not an authed request")
+	}
+	n := int(b[1])
+	if len(b) < 2+n {
+		return "", nil, fmt.Errorf("cluster: truncated authed envelope: key %d bytes, have %d", n, len(b)-2)
+	}
+	inner := b[2+n:]
+	if len(inner) == 0 {
+		return "", nil, fmt.Errorf("cluster: authed envelope with empty body")
+	}
+	if inner[0] == OpAuthed {
+		return "", nil, fmt.Errorf("cluster: nested authed envelope")
+	}
+	return string(b[2 : 2+n]), inner, nil
 }
 
 // NeighborsRequest asks for the adjacency lists of IDs, optionally capped.

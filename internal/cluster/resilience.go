@@ -253,12 +253,11 @@ type ResilienceSnapshot struct {
 	BreakerRejects   int64 // calls skipped because an endpoint's breaker was open
 	DegradedBatches  int64 // SampleBatch calls returning partial results
 	ShardErrors      int64 // per-shard failures absorbed by PartialResults
-	StoreDrops       int64 // Store adapter lookups degraded to empty results
 }
 
 // ResilienceStats tallies resilience events. Safe for concurrent use; the
-// zero value is usable (a Client always embeds one, even without a policy,
-// so Store drops stay visible).
+// zero value is usable (a Client always embeds one, even without a
+// policy, so the series exist at zero).
 type ResilienceStats struct {
 	mu   sync.Mutex
 	snap ResilienceSnapshot
@@ -303,7 +302,6 @@ func (s *ResilienceStats) StatsSnapshot() stats.Snapshot {
 		{Name: "breaker_rejects", Value: float64(snap.BreakerRejects), Unit: "req"},
 		{Name: "degraded_batches", Value: float64(snap.DegradedBatches), Unit: "req"},
 		{Name: "shard_errors", Value: float64(snap.ShardErrors)},
-		{Name: "store_drops", Value: float64(snap.StoreDrops), Unit: "req"},
 	}
 	if gauge != nil {
 		open, half := gauge()

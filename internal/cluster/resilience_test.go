@@ -351,49 +351,6 @@ func TestBootstrapHonorsContext(t *testing.T) {
 	}
 }
 
-// TestStoreDropsCounted: the sampler.Store adapter cannot return errors,
-// so degraded lookups must be visible through the store_drops counter.
-func TestStoreDropsCounted(t *testing.T) {
-	g := testGraph(t)
-	part := HashPartitioner{N: 2}
-	servers := []*Server{NewServer(g, part, 0), NewServer(g, part, 1)}
-	ft := NewFaultyTransport(DirectTransport{Servers: servers}, 1)
-	client, err := NewClient(ft, part, -1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ft.KillServer(1)
-	var dead, live graph.NodeID
-	for v := graph.NodeID(0); ; v++ {
-		if part.Owner(v) == 1 {
-			dead = v
-			break
-		}
-	}
-	for v := graph.NodeID(0); ; v++ {
-		if part.Owner(v) == 0 {
-			live = v
-			break
-		}
-	}
-	store := Store{C: client}
-	if nbrs := store.Neighbors(dead); len(nbrs) != 0 {
-		t.Fatalf("dead shard returned %d neighbors", len(nbrs))
-	}
-	attr := store.Attr(nil, dead)
-	if len(attr) != g.AttrLen() {
-		t.Fatalf("degraded Attr returned %d floats, want a zeroed vector of %d", len(attr), g.AttrLen())
-	}
-	if got := client.Res.Snapshot().StoreDrops; got != 2 {
-		t.Fatalf("store_drops = %d, want 2", got)
-	}
-	store.Neighbors(live)
-	store.Attr(nil, live)
-	if got := client.Res.Snapshot().StoreDrops; got != 2 {
-		t.Fatalf("healthy lookups counted as drops: %d", got)
-	}
-}
-
 // TestPartialDoesNotPoisonCache: placeholder results from a lost shard
 // must never enter the hot cache — after the shard revives, lookups see
 // real data, not the cached empty list / zero vector.
@@ -490,7 +447,7 @@ func TestResilienceStatsSource(t *testing.T) {
 	for _, m := range snap.Metrics {
 		metrics[m.Name] = m.Value
 	}
-	for _, name := range []string{"retries", "failovers", "breaker_opens", "breaker_rejects", "degraded_batches", "shard_errors", "store_drops", "breakers_open"} {
+	for _, name := range []string{"retries", "failovers", "breaker_opens", "breaker_rejects", "degraded_batches", "shard_errors", "breakers_open"} {
 		if _, ok := metrics[name]; !ok {
 			t.Fatalf("metric %q missing from %v", name, snap.Metrics)
 		}

@@ -12,6 +12,7 @@ import (
 
 	"lsdgnn/internal/axe"
 	"lsdgnn/internal/cluster"
+	"lsdgnn/internal/gateway"
 	"lsdgnn/internal/graph"
 	"lsdgnn/internal/obs"
 	"lsdgnn/internal/pipeline"
@@ -71,6 +72,17 @@ type Options struct {
 	// transport after every layout endpoint, but start outside the layout —
 	// admit them later with Client.AddReplica or Client.MigratePartition.
 	Spares []int
+	// Gateway, when set, builds a multi-tenant serving gateway in front of
+	// the dispatcher: per-tenant admission (api key → rate limit → fair
+	// queue), SLO-driven shedding wired to the system's live backpressure,
+	// and the SampleAs entry point. Pressure/Burn/SLOs/Tracer fields left
+	// nil are wired to the system's own signals.
+	Gateway *gateway.Config
+	// EngineSpares builds this many extra AxE engines (round-robin over
+	// the partitions) that start deactivated: the dispatcher schedules
+	// over the active prefix only, and a gateway autoscaler can grow into
+	// the spares with Dispatcher.SetActive.
+	EngineSpares int
 	// Tracing sizes the system tracer (span-ring capacity, span sampling
 	// rate); the zero value takes the obs defaults.
 	Tracing obs.TracerConfig
@@ -115,6 +127,9 @@ type System struct {
 	// Pipeline is the out-of-order sampling executor when Options.Pipeline
 	// was set (nil otherwise).
 	Pipeline *pipeline.Executor
+	// Gateway is the multi-tenant front door when Options.Gateway was set
+	// (nil otherwise); SampleAs routes through it.
+	Gateway *gateway.Gateway
 }
 
 // NewSystem builds servers, a client, one AxE engine per partition, and a
@@ -252,17 +267,97 @@ func NewSystem(opts Options) (*System, error) {
 	if opts.Dispatch.SLO == nil {
 		opts.Dispatch.SLO = sampleSLO
 	}
+	// Spare engines ride at the end of the engine list, outside the
+	// dispatcher's active prefix until an autoscaler grows into them.
+	if opts.EngineSpares < 0 {
+		return nil, fmt.Errorf("core: negative engine spares %d", opts.EngineSpares)
+	}
+	baseEngines := len(sys.Engines)
+	for i := 0; i < opts.EngineSpares; i++ {
+		eng, err := axe.New(g, part, i%opts.Servers, eCfg)
+		if err != nil {
+			return nil, err
+		}
+		sys.Engines = append(sys.Engines, eng)
+	}
 	disp, err := NewDispatcher(sys.Engines, opts.Dispatch)
 	if err != nil {
 		return nil, err
 	}
+	disp.SetActive(baseEngines)
 	sys.Dispatcher = disp
 	if opts.Pipeline != nil {
 		sys.Pipeline = pipeline.New(client, sCfg, *opts.Pipeline)
 		sys.Pipeline.SetTracer(sys.Obs)
 		sys.Pipeline.SetSLO(softSLO)
 	}
+	if opts.Gateway != nil {
+		gcfg := *opts.Gateway
+		if gcfg.SLOs == nil {
+			gcfg.SLOs = sys.SLOs
+		}
+		if gcfg.Tracer == nil {
+			gcfg.Tracer = sys.Obs
+		}
+		if gcfg.Pressure == nil {
+			gcfg.Pressure = sys.pressure
+		}
+		if gcfg.Burn == nil {
+			gcfg.Burn = softSLO.BurnFast
+		}
+		gw, err := gateway.New(gcfg, func(ctx context.Context, roots []graph.NodeID) (*sampler.Result, error) {
+			if sys.Pipeline != nil {
+				return sys.SamplePipelined(ctx, roots)
+			}
+			res, _, err := sys.Dispatcher.Submit(ctx, roots)
+			return res, err
+		})
+		if err != nil {
+			return nil, err
+		}
+		sys.Gateway = gw
+	}
 	return sys, nil
+}
+
+// pressure is the gateway's backpressure signal: the fuller of the
+// dispatcher's worker pool and the pipeline's out-of-order window, in
+// [0, 1]. Shedding starts before either resource saturates.
+func (s *System) pressure() float64 {
+	p := 0.0
+	if c := s.Dispatcher.Capacity(); c > 0 {
+		p = float64(s.Dispatcher.Inflight()) / float64(c)
+	}
+	if s.Pipeline != nil {
+		if occ := s.Pipeline.Occupancy(); occ > p {
+			p = occ
+		}
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// SampleAs runs one batch through the multi-tenant gateway as the tenant
+// identified by key: admission (auth → rate limit → shed check), the
+// weighted-fair queue, then the system's best sampling path (pipelined
+// when configured, accelerated otherwise). Typed rejections surface via
+// errors.As: gateway.AuthError, gateway.RateLimitError,
+// gateway.AdmissionError.
+func (s *System) SampleAs(ctx context.Context, key string, roots []graph.NodeID) (*sampler.Result, error) {
+	if s.Gateway == nil {
+		return nil, fmt.Errorf("core: no gateway configured (set Options.Gateway)")
+	}
+	return s.Gateway.Sample(ctx, key, roots)
+}
+
+// Close releases background resources (the gateway's scheduler goroutine).
+// Systems without a gateway need no Close.
+func (s *System) Close() {
+	if s.Gateway != nil {
+		s.Gateway.Close()
+	}
 }
 
 // Sample runs one accelerated batch through the dispatcher, which places it
@@ -315,6 +410,9 @@ func (s *System) StatsRegistry() *stats.Registry {
 	reg.Register(&s.Client.Traffic, s.Client.Batches, &s.Client.Res, &s.Client.Pack, &s.Client.Lay, s.Dispatcher, s.Obs, s.SLOs)
 	if s.Pipeline != nil {
 		reg.Register(s.Pipeline.Stats())
+	}
+	if s.Gateway != nil {
+		reg.Register(s.Gateway.Sources()...)
 	}
 	servers := s.Servers
 	// One merged cluster.wire block: per-server counters summed, ratios

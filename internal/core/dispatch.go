@@ -27,6 +27,13 @@ type DispatcherConfig struct {
 	// SLO, when set, classifies every submitted batch against a latency
 	// objective: good iff it completed within the threshold.
 	SLO *stats.SLO
+	// Admit, when set, gates every Submit before a worker slot or engine
+	// is claimed. A non-nil error rejects the batch: Submit returns it
+	// verbatim (typed errors like gateway.RateLimitError survive
+	// errors.As) without consuming a slot, touching the SLO, or counting
+	// the batch as degraded — rejections land on the separate
+	// rejected_batches counter.
+	Admit func(ctx context.Context, roots []graph.NodeID) error
 }
 
 // Dispatcher load-balances sampling batches across a set of AxE engines. It
@@ -46,6 +53,11 @@ type Dispatcher struct {
 	counts   []int64
 	rr       int
 	degraded int64
+	rejected int64
+	// active bounds pick() to the first active engines — the autoscaler's
+	// knob. Deactivated engines finish their in-flight batches but take
+	// no new ones.
+	active int
 }
 
 // NewDispatcher builds a dispatcher over engines.
@@ -66,16 +78,17 @@ func NewDispatcher(engines []*axe.Engine, cfg DispatcherConfig) (*Dispatcher, er
 		lat:      stats.NewLatency("core.dispatcher"),
 		inflight: make([]int64, len(engines)),
 		counts:   make([]int64, len(engines)),
+		active:   len(engines),
 	}, nil
 }
 
-// pick selects the least-loaded engine, rotating between ties so idle
-// engines all receive work.
+// pick selects the least-loaded active engine, rotating between ties so
+// idle engines all receive work.
 func (d *Dispatcher) pick() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	best, bestLoad := -1, int64(1<<62)
-	n := len(d.engines)
+	n := d.active
 	for i := 0; i < n; i++ {
 		e := (d.rr + i) % n
 		if d.inflight[e] < bestLoad {
@@ -109,6 +122,16 @@ func (d *Dispatcher) Submit(ctx context.Context, roots []graph.NodeID) (*sampler
 		d.lat.ObserveError()
 		d.cfg.SLO.Observe(false)
 		return nil, axe.BatchStats{}, err
+	}
+	if d.cfg.Admit != nil {
+		if err := d.cfg.Admit(ctx, roots); err != nil {
+			// Rejected, not failed: no slot was held, no engine touched,
+			// and the SLO only judges admitted work.
+			d.mu.Lock()
+			d.rejected++
+			d.mu.Unlock()
+			return nil, axe.BatchStats{}, err
+		}
 	}
 	if d.cfg.BatchTimeout > 0 {
 		var cancel context.CancelFunc
@@ -175,8 +198,57 @@ func (d *Dispatcher) Degraded() int64 {
 	return d.degraded
 }
 
+// Rejected returns how many batches the Admit hook turned away.
+func (d *Dispatcher) Rejected() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.rejected
+}
+
 // Engines returns how many engines the dispatcher schedules over.
 func (d *Dispatcher) Engines() int { return len(d.engines) }
+
+// Active returns how many engines currently take new batches.
+func (d *Dispatcher) Active() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.active
+}
+
+// SetActive resizes the live engine set to n, clamped to [1, Engines()],
+// and returns the value actually applied. Engines beyond the active prefix
+// finish their in-flight batches but receive no new work — the autoscaler's
+// scale-down is a drain, not an abort. Implements gateway.EnginePool.
+func (d *Dispatcher) SetActive(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(d.engines) {
+		n = len(d.engines)
+	}
+	d.mu.Lock()
+	d.active = n
+	if d.rr >= n {
+		d.rr = 0
+	}
+	d.mu.Unlock()
+	return n
+}
+
+// Inflight returns how many batches are running across all engines right
+// now — the numerator of the dispatcher's occupancy signal.
+func (d *Dispatcher) Inflight() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var sum int64
+	for _, v := range d.inflight {
+		sum += v
+	}
+	return int(sum)
+}
+
+// Capacity returns the worker-pool bound (maximum concurrent batches).
+func (d *Dispatcher) Capacity() int { return d.cfg.Workers }
 
 // Counts returns the cumulative batches dispatched to each engine.
 func (d *Dispatcher) Counts() []int64 {
@@ -198,6 +270,16 @@ func (d *Dispatcher) StatsSnapshot() stats.Snapshot {
 		Name:  "degraded_batches",
 		Value: float64(d.Degraded()),
 		Unit:  "batches",
+	})
+	snap.Metrics = append(snap.Metrics, stats.Metric{
+		Name:  "rejected_batches",
+		Value: float64(d.Rejected()),
+		Unit:  "batches",
+	})
+	snap.Metrics = append(snap.Metrics, stats.Metric{
+		Name:  "active_engines",
+		Value: float64(d.Active()),
+		Unit:  "engines",
 	})
 	for i, c := range d.Counts() {
 		snap.Metrics = append(snap.Metrics, stats.Metric{

@@ -218,3 +218,100 @@ func TestSampleBackgroundContext(t *testing.T) {
 		t.Fatal("accelerated sampling broken")
 	}
 }
+
+func TestDispatcherAdmitRejects(t *testing.T) {
+	sys := dispatchSystem(t, 2)
+	sentinel := errors.New("tenant over budget")
+	var admitMu sync.Mutex
+	var admitted int64
+	disp, err := NewDispatcher(sys.Engines, DispatcherConfig{
+		Workers: 2,
+		Admit: func(ctx context.Context, roots []graph.NodeID) error {
+			if len(roots) > 4 {
+				return sentinel
+			}
+			admitMu.Lock()
+			admitted++
+			admitMu.Unlock()
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := sys.BatchSource(8, 1).Next()
+	_, _, err = disp.Submit(context.Background(), big)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("rejection not returned verbatim: %v", err)
+	}
+	if disp.Rejected() != 1 {
+		t.Fatalf("rejected = %d, want 1", disp.Rejected())
+	}
+	if disp.Degraded() != 0 {
+		t.Fatalf("rejection counted as degraded: %d", disp.Degraded())
+	}
+	// Rejections never touch the latency layer, so the batch series stays
+	// at zero and the SLO never sees a miss.
+	snap := disp.StatsSnapshot()
+	if v, ok := snap.Get("batches"); !ok || v != 0 {
+		t.Fatalf("rejected batch reached the latency layer: batches = %v", v)
+	}
+	if v, ok := snap.Get("rejected_batches"); !ok || v != 1 {
+		t.Fatalf("rejected_batches = %v, want 1", v)
+	}
+	// No slot was consumed: both workers are still free, so two admitted
+	// batches run concurrently without queueing.
+	small := sys.BatchSource(4, 2)
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		roots := small.Next()
+		wg.Add(1)
+		go func(i int, roots []graph.NodeID) {
+			defer wg.Done()
+			_, _, errs[i] = disp.Submit(context.Background(), roots)
+		}(i, roots)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	admitMu.Lock()
+	defer admitMu.Unlock()
+	if admitted != 2 {
+		t.Fatalf("admit hook saw %d admitted batches, want 2", admitted)
+	}
+}
+
+func TestDispatcherSetActive(t *testing.T) {
+	sys := dispatchSystem(t, 3)
+	disp := sys.Dispatcher
+	if disp.Active() != 3 {
+		t.Fatalf("active = %d, want 3", disp.Active())
+	}
+	// Clamps: never below 1, never above the built engine count.
+	if got := disp.SetActive(0); got != 1 {
+		t.Fatalf("SetActive(0) = %d, want 1", got)
+	}
+	if got := disp.SetActive(99); got != 3 {
+		t.Fatalf("SetActive(99) = %d, want 3", got)
+	}
+	// With one active engine, every batch lands on engine 0.
+	disp.SetActive(1)
+	src := sys.BatchSource(4, 9)
+	for i := 0; i < 4; i++ {
+		if _, _, err := disp.Submit(context.Background(), src.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := disp.Counts()
+	if counts[0] != 4 || counts[1] != 0 || counts[2] != 0 {
+		t.Fatalf("deactivated engines took work: %v", counts)
+	}
+	snap := disp.StatsSnapshot()
+	if v, ok := snap.Get("active_engines"); !ok || v != 1 {
+		t.Fatalf("active_engines = %v, want 1", v)
+	}
+}

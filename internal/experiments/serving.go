@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"reflect"
@@ -11,8 +12,12 @@ import (
 
 	"lsdgnn/internal/cluster"
 	"lsdgnn/internal/core"
+	"lsdgnn/internal/cost"
+	"lsdgnn/internal/faas"
+	"lsdgnn/internal/gateway"
 	"lsdgnn/internal/graph"
 	"lsdgnn/internal/obs"
+	"lsdgnn/internal/perfmodel"
 	"lsdgnn/internal/pipeline"
 	"lsdgnn/internal/sampler"
 	"lsdgnn/internal/stats"
@@ -185,7 +190,10 @@ func serving(w io.Writer, opts Options) error {
 	if err := pipelineComparison(w, opts); err != nil {
 		return err
 	}
-	return elasticRebalance(w, opts)
+	if err := elasticRebalance(w, opts); err != nil {
+		return err
+	}
+	return multiTenantFairness(w, opts)
 }
 
 // elasticRebalance exercises the versioned elastic layout (the serving-side
@@ -597,4 +605,236 @@ func writeQuantiles(w io.Writer, label string, h stats.HistogramSnapshot) {
 // secs renders a float seconds value as a rounded duration.
 func secs(v float64) string {
 	return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+// multiTenantFairness is the gateway's acceptance demo (the paper's FaaS
+// premise, §6–7, turned into a serving contract): two tenants share one
+// pooled serving path over a 200µs-RTT, 5%-fault storage tier. The greedy
+// tenant offers ten times its contracted rate; admission control and
+// deficit-round-robin queueing must contain every drop of the excess —
+// the light tenant is never shed or rate limited and its rolling p999
+// stays inside its objective — and the ledger must balance: every greedy
+// batch is admitted, rate limited, or shed. Part two closes the Fig 16
+// loop: an autoscaler consulting the perf model and the fitted cost model
+// grows the engine pool into pre-built spares under sustained load and
+// drains back when it passes.
+func multiTenantFairness(w io.Writer, opts Options) error {
+	const (
+		netDelay   = 200 * time.Microsecond
+		lightSLO   = 500 * time.Millisecond
+		greedyRate = 150 // roots/s contract for the greedy tenant
+	)
+	lightBatches, batchSize, greedyClients := 24, 32, 4
+	greedyPerClient := 40
+	if opts.Quick {
+		lightBatches, greedyClients, greedyPerClient = 10, 2, 16
+	}
+	sys, err := core.NewSystem(core.Options{
+		Dataset: mustDataset("ss"), Servers: 4, Seed: opts.Seed,
+		Sampling: sampler.Config{
+			Fanouts: []int{10, 10}, NegativeRate: 10,
+			Method: sampler.Streaming, FetchAttrs: true, Seed: opts.Seed,
+		},
+		Replicas: 2,
+		NetDelay: netDelay,
+		Faults:   &cluster.FaultSpec{ErrRate: 0.05},
+		Pipeline: &pipeline.Config{},
+		Gateway: &gateway.Config{
+			Tenants: []gateway.TenantConfig{
+				{Name: "light", Key: "light-key", Class: gateway.ClassLatency, Weight: 4, SLO: lightSLO},
+				{Name: "greedy", Key: "greedy-key", Class: gateway.ClassThroughput, Weight: 1,
+					Rate: greedyRate, Burst: float64(2 * batchSize), SLO: lightSLO},
+			},
+			QueueDepth:  8,
+			MaxInflight: 4,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	// The greedy tenant fires batches back to back from several clients —
+	// roughly 10× its contracted roots/s — ignoring every rejection.
+	var wg sync.WaitGroup
+	var greedyErr error
+	var mu sync.Mutex
+	offered := greedyClients * greedyPerClient
+	start := time.Now()
+	for c := 0; c < greedyClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			src := sys.BatchSource(batchSize, opts.Seed+int64(c)*101)
+			for i := 0; i < greedyPerClient; i++ {
+				_, err := sys.SampleAs(ctx, "greedy-key", src.Next())
+				if err == nil {
+					continue
+				}
+				if _, ok := gateway.AsRateLimited(err); ok {
+					continue
+				}
+				if _, ok := gateway.AsShed(err); ok {
+					continue
+				}
+				if _, ok := cluster.AsPartial(err); ok {
+					continue
+				}
+				var pp *pipeline.PartialError
+				if errors.As(err, &pp) {
+					continue
+				}
+				mu.Lock()
+				if greedyErr == nil {
+					greedyErr = err
+				}
+				mu.Unlock()
+				return
+			}
+		}(c)
+	}
+
+	// The light tenant runs its modest, steady workload through the same
+	// gateway while the storm rages.
+	lsrc := sys.BatchSource(batchSize, opts.Seed+7)
+	for i := 0; i < lightBatches; i++ {
+		if _, err := sys.SampleAs(ctx, "light-key", lsrc.Next()); err != nil {
+			if _, ok := cluster.AsPartial(err); ok {
+				continue
+			}
+			var pp *pipeline.PartialError
+			if errors.As(err, &pp) {
+				continue
+			}
+			return fmt.Errorf("serving: light tenant batch %d rejected: %w", i, err)
+		}
+	}
+	wg.Wait()
+	if greedyErr != nil {
+		return fmt.Errorf("serving: greedy tenant hit a non-admission error: %w", greedyErr)
+	}
+	wall := time.Since(start)
+
+	light, greedy := sys.Gateway.Tenant("light"), sys.Gateway.Tenant("greedy")
+	lightSnap := sys.Gateway.TenantSLO("light").Snapshot()
+	offeredRoots := float64(offered*batchSize) / wall.Seconds()
+	fmt.Fprintf(w, "\nmulti-tenant fairness under chaos (§6–7 FaaS contract): %v wall, 200µs RTT, 5%% faults\n",
+		wall.Round(time.Millisecond))
+	fmt.Fprintf(w, "  greedy offered %d batches (%.0f roots/s ≈ %.0f× its %d roots/s contract): admitted %d, ratelimited %d, shed %d\n",
+		offered, offeredRoots, offeredRoots/greedyRate, greedyRate,
+		greedy.Admitted(), greedy.RateLimited(), greedy.Shed())
+	fmt.Fprintf(w, "  light tenant: %d batches, shed %d, ratelimited %d, SLO good=%d bad=%d burn_fast=%.3g\n",
+		lightBatches, light.Shed(), light.RateLimited(), lightSnap.Good, lightSnap.Bad, lightSnap.BurnFast)
+	if hist, ok := light.Latency().Window("10s"); ok && hist.Count > 0 {
+		fmt.Fprintf(w, "  light 10s-window p999 %.2fms against its %v objective\n",
+			hist.Quantile(0.999)*1e3, lightSLO)
+		if hist.Quantile(0.999) > lightSLO.Seconds() {
+			return fmt.Errorf("serving: light tenant rolling p999 %.1fms breaches its %v objective",
+				hist.Quantile(0.999)*1e3, lightSLO)
+		}
+	}
+	if light.Shed() != 0 || light.RateLimited() != 0 {
+		return fmt.Errorf("serving: light tenant punished for the greedy tenant's load (shed %d, ratelimited %d)",
+			light.Shed(), light.RateLimited())
+	}
+	if lightSnap.BurnFast > 1 {
+		return fmt.Errorf("serving: light tenant SLO fast-burning (%.3g) under a contained storm", lightSnap.BurnFast)
+	}
+	if got := greedy.Admitted() + greedy.RateLimited() + greedy.Shed(); got != int64(offered) {
+		return fmt.Errorf("serving: gateway ledger does not balance: %d admitted + %d ratelimited + %d shed != %d offered",
+			greedy.Admitted(), greedy.RateLimited(), greedy.Shed(), offered)
+	}
+	if greedy.RateLimited()+greedy.Shed() == 0 {
+		return fmt.Errorf("serving: greedy tenant at 10× contract was never contained")
+	}
+
+	return autoscaleDemo(w, opts)
+}
+
+// autoscaleDemo closes the Fig 16 loop live: a system built with two spare
+// AxE engines starts serving on four; the autoscaler — the same
+// perfmodel + fitted cost model as the offline design-space sweep —
+// grows the active pool when offered load exceeds the high-water capacity
+// and drains back to the floor when it collapses, printing each
+// perf-per-dollar decision.
+func autoscaleDemo(w io.Writer, opts Options) error {
+	const baseEngines, spares = 4, 2
+	sys, err := core.NewSystem(core.Options{
+		Dataset: mustDataset("ss"), Servers: baseEngines, Seed: opts.Seed,
+		Sampling: sampler.Config{
+			Fanouts: []int{10, 10}, NegativeRate: 10,
+			Method: sampler.Streaming, FetchAttrs: true, Seed: opts.Seed,
+		},
+		EngineSpares: spares,
+	})
+	if err != nil {
+		return err
+	}
+	model, err := cost.Fit(cost.PriceTable())
+	if err != nil {
+		return err
+	}
+	wl := perfmodel.Derive(mustDataset("ss"), workload.DefaultSampling(), baseEngines)
+	scaler, err := gateway.NewAutoscaler(gateway.AutoscaleConfig{
+		Min: baseEngines, Max: baseEngines + spares,
+		Machine:  faas.PoCMachine(),
+		Workload: wl,
+		Cost:     model,
+	}, sys.Dispatcher)
+	if err != nil {
+		return err
+	}
+	per := perfmodel.Predict(faas.PoCMachine(), wl).RootsPerSecond
+
+	fmt.Fprintf(w, "\nengine-pool autoscaler (Fig 16 as a live loop): %d engines active, %d spares built\n",
+		sys.Dispatcher.Active(), spares)
+	up := scaler.Evaluate(per * 4.6)
+	fmt.Fprintf(w, "  sustained load:  %s\n", up)
+	if up.After <= up.Before {
+		return fmt.Errorf("serving: autoscaler did not grow the pool under %.0f roots/s", per*4.6)
+	}
+
+	// The spares are real engines: with the pool grown, concurrent
+	// batches land on them.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	src := sys.BatchSource(64, opts.Seed)
+	batches := 24
+	if opts.Quick {
+		batches = 12
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, batches)
+	for i := 0; i < batches; i++ {
+		roots := append([]graph.NodeID(nil), src.Next()...)
+		wg.Add(1)
+		go func(i int, roots []graph.NodeID) {
+			defer wg.Done()
+			_, _, errs[i] = sys.Dispatcher.Submit(ctx, roots)
+		}(i, roots)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	counts := sys.Dispatcher.Counts()
+	spareWork := int64(0)
+	for _, c := range counts[baseEngines:] {
+		spareWork += c
+	}
+	fmt.Fprintf(w, "  per-engine batches after growth: %v (%d on the spares)\n", counts, spareWork)
+	if spareWork == 0 {
+		return fmt.Errorf("serving: grown pool never scheduled onto the spare engines (%v)", counts)
+	}
+
+	down := scaler.Evaluate(per * 1.2)
+	fmt.Fprintf(w, "  load collapsed:  %s\n", down)
+	if down.After != baseEngines {
+		return fmt.Errorf("serving: autoscaler did not drain back to the %d-engine floor (%+v)", baseEngines, down)
+	}
+	return nil
 }

@@ -1,0 +1,201 @@
+package gateway
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"lsdgnn/internal/cost"
+	"lsdgnn/internal/perfmodel"
+)
+
+// EnginePool is the autoscaler's handle on the engine fleet —
+// core.Dispatcher implements it.
+type EnginePool interface {
+	// Active returns the engines currently taking new batches.
+	Active() int
+	// SetActive resizes the taking-traffic set, clamped to the built
+	// fleet; deactivated engines drain their in-flight batches. Returns
+	// the applied count.
+	SetActive(n int) int
+}
+
+// AutoscaleConfig parameterizes the perf-per-dollar feedback loop: the
+// paper's Fig 16 study (perfmodel throughput × cost-model price) run live
+// against offered load instead of offline over the design space.
+type AutoscaleConfig struct {
+	// Min/Max bound the active engine count. Min 0 defaults to 1; Max 0
+	// defaults to the pool's initial Active count.
+	Min, Max int
+	// Machine is the per-engine performance model (e.g. faas.PoCMachine).
+	Machine perfmodel.Machine
+	// Workload characterizes the sampling traffic (perfmodel.Derive).
+	Workload perfmodel.Workload
+	// Cost prices an engine's hardware (cost.Fit over the price table).
+	Cost cost.Model
+	// EngineVCPU/EngineMemGB/EngineFPGAs describe one engine's slice of
+	// an instance for pricing; zeros default to 4 vCPU / 16 GB / 1 FPGA.
+	EngineVCPU  int
+	EngineMemGB float64
+	EngineFPGAs int
+	// HighWater is the per-engine utilization the scaler plans for:
+	// engines are added so offered/capacity stays below it (0 = 0.8).
+	HighWater float64
+	// LowWater guards scale-down: engines drain only when utilization at
+	// the current size falls below it (0 = 0.5) — hysteresis against
+	// flapping around the high-water mark.
+	LowWater float64
+}
+
+func (c AutoscaleConfig) withDefaults(pool EnginePool) AutoscaleConfig {
+	if c.Min <= 0 {
+		c.Min = 1
+	}
+	if c.Max <= 0 {
+		c.Max = pool.Active()
+	}
+	if c.Max < c.Min {
+		c.Max = c.Min
+	}
+	if c.EngineVCPU <= 0 {
+		c.EngineVCPU = 4
+	}
+	if c.EngineMemGB <= 0 {
+		c.EngineMemGB = 16
+	}
+	if c.EngineFPGAs <= 0 {
+		c.EngineFPGAs = 1
+	}
+	if c.HighWater <= 0 {
+		c.HighWater = 0.8
+	}
+	if c.LowWater <= 0 {
+		c.LowWater = 0.5
+	}
+	return c
+}
+
+// Decision is one Evaluate outcome: the model inputs, the sizing verdict,
+// and the resulting perf-per-dollar — printable for reports.
+type Decision struct {
+	// Offered is the measured demand, roots/s.
+	Offered float64
+	// PerEngine is the modeled per-engine capacity, roots/s, and
+	// Bottleneck its binding constraint.
+	PerEngine  float64
+	Bottleneck string
+	// EnginePrice is the cost model's $/hr for one engine's hardware.
+	EnginePrice float64
+	// Before/After are the active engine counts around the decision.
+	Before, After int
+	// Utilization is offered / (PerEngine × After).
+	Utilization float64
+	// PerfPerDollar is the served throughput per $/hr at the new size —
+	// min(Offered, capacity) / (After × EnginePrice).
+	PerfPerDollar float64
+	// Reason explains the verdict ("scale up", "scale down", "hold").
+	Reason string
+}
+
+// String renders the decision in the report style of the experiments.
+func (d Decision) String() string {
+	return fmt.Sprintf(
+		"offered %.0f roots/s, per-engine %.0f roots/s (%s), engine $%.2f/hr: %d → %d engines (%s), util %.2f, %.0f roots/s per $/hr",
+		d.Offered, d.PerEngine, d.Bottleneck, d.EnginePrice,
+		d.Before, d.After, d.Reason, d.Utilization, d.PerfPerDollar)
+}
+
+// Autoscaler sizes an EnginePool against offered load. Evaluate is the
+// whole control loop body: callers invoke it on their own cadence (per
+// scrape, per window) with the demand they measured.
+type Autoscaler struct {
+	cfg  AutoscaleConfig
+	pool EnginePool
+	// stats, when set, receives scale_ups/scale_downs/engines_active.
+	stats *Stats
+
+	mu sync.Mutex
+}
+
+// NewAutoscaler builds an autoscaler over pool.
+func NewAutoscaler(cfg AutoscaleConfig, pool EnginePool) (*Autoscaler, error) {
+	if pool == nil {
+		return nil, fmt.Errorf("gateway: autoscaler needs an engine pool")
+	}
+	cfg = cfg.withDefaults(pool)
+	return &Autoscaler{cfg: cfg, pool: pool}, nil
+}
+
+// AttachStats routes scaling events into a gateway stats layer.
+func (a *Autoscaler) AttachStats(s *Stats) {
+	a.mu.Lock()
+	a.stats = s
+	a.mu.Unlock()
+	if s != nil {
+		s.setEnginesActive(a.pool.Active())
+	}
+}
+
+// Evaluate runs one control-loop step: predict per-engine capacity from
+// the performance model, size the pool so offered load sits below the
+// high-water utilization, price the outcome with the cost model, and
+// apply the change. Scale-down is hysteretic (LowWater) so the pool does
+// not flap around the planning threshold.
+func (a *Autoscaler) Evaluate(offeredRootsPerSec float64) Decision {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	pred := perfmodel.Predict(a.cfg.Machine, a.cfg.Workload)
+	per := pred.RootsPerSecond
+	cur := a.pool.Active()
+	d := Decision{
+		Offered:     offeredRootsPerSec,
+		PerEngine:   per,
+		Bottleneck:  pred.Bottleneck,
+		EnginePrice: a.cfg.Cost.Price(a.cfg.EngineVCPU, a.cfg.EngineMemGB, a.cfg.EngineFPGAs, 0),
+		Before:      cur,
+	}
+	target := cur
+	if per > 0 {
+		need := int(math.Ceil(offeredRootsPerSec / (per * a.cfg.HighWater)))
+		if need < a.cfg.Min {
+			need = a.cfg.Min
+		}
+		if need > a.cfg.Max {
+			need = a.cfg.Max
+		}
+		switch {
+		case need > cur:
+			target = need
+		case need < cur && offeredRootsPerSec < per*float64(cur)*a.cfg.LowWater:
+			// Demand fell well below what the current fleet can serve:
+			// drain down to the planned size.
+			target = need
+		}
+	}
+	d.After = a.pool.SetActive(target)
+	switch {
+	case d.After > cur:
+		d.Reason = "scale up"
+		if a.stats != nil {
+			a.stats.scaleUps.Inc()
+		}
+	case d.After < cur:
+		d.Reason = "scale down"
+		if a.stats != nil {
+			a.stats.scaleDowns.Inc()
+		}
+	default:
+		d.Reason = "hold"
+	}
+	if a.stats != nil {
+		a.stats.setEnginesActive(d.After)
+	}
+	if per > 0 && d.After > 0 {
+		d.Utilization = offeredRootsPerSec / (per * float64(d.After))
+		served := math.Min(offeredRootsPerSec, per*float64(d.After))
+		if d.EnginePrice > 0 {
+			d.PerfPerDollar = served / (float64(d.After) * d.EnginePrice)
+		}
+	}
+	return d
+}

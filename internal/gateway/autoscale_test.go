@@ -1,0 +1,113 @@
+package gateway
+
+import (
+	"strings"
+	"testing"
+
+	"lsdgnn/internal/cost"
+	"lsdgnn/internal/faas"
+	"lsdgnn/internal/perfmodel"
+	"lsdgnn/internal/workload"
+)
+
+// fakePool is an EnginePool with a fixed build size.
+type fakePool struct {
+	active, built int
+}
+
+func (p *fakePool) Active() int { return p.active }
+func (p *fakePool) SetActive(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if n > p.built {
+		n = p.built
+	}
+	p.active = n
+	return p.active
+}
+
+func testAutoscaler(t *testing.T, pool *fakePool, min, max int) (*Autoscaler, float64) {
+	t.Helper()
+	model, err := cost.Fit(cost.PriceTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := workload.DatasetByName("ss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAutoscaler(AutoscaleConfig{
+		Min: min, Max: max,
+		Machine:  faas.PoCMachine(),
+		Workload: perfmodel.Derive(ds, workload.DefaultSampling(), 4),
+		Cost:     model,
+	}, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := perfmodel.Predict(a.cfg.Machine, a.cfg.Workload).RootsPerSecond
+	if per <= 0 {
+		t.Fatalf("per-engine capacity = %v, model broken", per)
+	}
+	return a, per
+}
+
+func TestAutoscalerScaleUpDown(t *testing.T) {
+	pool := &fakePool{active: 2, built: 6}
+	a, per := testAutoscaler(t, pool, 1, 6)
+	var s Stats
+	a.AttachStats(&s)
+
+	// Offered load needing ~4 engines at the 0.8 high-water mark.
+	d := a.Evaluate(per * 3.0)
+	if d.Reason != "scale up" || d.After <= d.Before || pool.active != d.After {
+		t.Fatalf("under load: %+v", d)
+	}
+	if d.After != 4 {
+		t.Fatalf("after = %d, want 4 (ceil(3.0/0.8))", d.After)
+	}
+	if d.EnginePrice <= 0 || d.PerfPerDollar <= 0 {
+		t.Fatalf("cost side missing: %+v", d)
+	}
+	if s.StatsSnapshot().Layer != "gateway" {
+		t.Fatal("stats layer wrong")
+	}
+
+	// Mild slack inside the hysteresis band: hold, don't flap.
+	d = a.Evaluate(per * 2.5)
+	if d.Reason != "hold" || d.After != 4 {
+		t.Fatalf("hysteresis band: %+v", d)
+	}
+
+	// Load collapses well below LowWater: drain back down.
+	d = a.Evaluate(per * 0.4)
+	if d.Reason != "scale down" || d.After != 1 {
+		t.Fatalf("after collapse: %+v", d)
+	}
+
+	// The decision renders as a one-line report.
+	if str := d.String(); !strings.Contains(str, "roots/s per $/hr") {
+		t.Fatalf("Decision.String() = %q", str)
+	}
+}
+
+func TestAutoscalerBounds(t *testing.T) {
+	pool := &fakePool{active: 2, built: 8}
+	a, per := testAutoscaler(t, pool, 2, 4)
+
+	// Demand for far more than Max clamps at Max.
+	if d := a.Evaluate(per * 100); d.After != 4 {
+		t.Fatalf("max clamp: %+v", d)
+	}
+	// Zero demand clamps at Min.
+	if d := a.Evaluate(0); d.After != 2 {
+		t.Fatalf("min clamp: %+v", d)
+	}
+}
+
+func TestAutoscalerNeedsPool(t *testing.T) {
+	if _, err := NewAutoscaler(AutoscaleConfig{}, nil); err == nil {
+		t.Fatal("nil pool accepted")
+	}
+}

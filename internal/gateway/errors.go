@@ -1,0 +1,76 @@
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// AuthError reports a request that presented no key or an unknown one.
+// Deterministic: retrying with the same key cannot succeed.
+type AuthError struct {
+	// Key is the rejected key, redacted to its first four bytes so logs
+	// never leak a full credential.
+	Key string
+}
+
+// Error implements error.
+func (e *AuthError) Error() string {
+	return fmt.Sprintf("gateway: 401 unauthorized: unknown api key %q", redactKey(e.Key))
+}
+
+// redactKey keeps a short identifying prefix and drops the rest.
+func redactKey(k string) string {
+	if len(k) <= 4 {
+		return k
+	}
+	return k[:4] + "…"
+}
+
+// RateLimitError reports a request rejected by the tenant's token bucket:
+// the tenant is over its contracted rate. The request was never queued and
+// consumed no engine capacity.
+type RateLimitError struct {
+	// Tenant is the over-rate tenant.
+	Tenant string
+	// RetryAfter is how long until the bucket holds enough tokens for a
+	// request of the rejected size.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *RateLimitError) Error() string {
+	return fmt.Sprintf("gateway: 429 rate limited: tenant %q over rate, retry after %v", e.Tenant, e.RetryAfter)
+}
+
+// AdmissionError reports a request shed by the gateway's overload control:
+// the tenant's queue was full, or backpressure (pipeline window occupancy,
+// SLO fast burn) forced the gateway to drop the heaviest queue before the
+// serving path saturated. Shedding is load-dependent — retrying after
+// backoff may succeed.
+type AdmissionError struct {
+	// Tenant is the tenant whose work was shed.
+	Tenant string
+	// Reason says which trigger fired ("queue full", "backpressure",
+	// "overloaded").
+	Reason string
+}
+
+// Error implements error.
+func (e *AdmissionError) Error() string {
+	return fmt.Sprintf("gateway: 503 shed: tenant %q: %s", e.Tenant, e.Reason)
+}
+
+// AsRateLimited extracts a *RateLimitError from err.
+func AsRateLimited(err error) (*RateLimitError, bool) {
+	var re *RateLimitError
+	ok := errors.As(err, &re)
+	return re, ok
+}
+
+// AsShed extracts a *AdmissionError from err.
+func AsShed(err error) (*AdmissionError, bool) {
+	var ae *AdmissionError
+	ok := errors.As(err, &ae)
+	return ae, ok
+}

@@ -1,0 +1,170 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"lsdgnn/internal/cluster"
+)
+
+// innerHandler is a fake data plane that echoes the frame it received.
+type innerHandler struct {
+	mu      sync.Mutex
+	block   chan struct{}
+	got     [][]byte
+	started chan struct{}
+}
+
+func (h *innerHandler) Handle(ctx context.Context, msg []byte) ([]byte, error) {
+	h.mu.Lock()
+	h.got = append(h.got, append([]byte(nil), msg...))
+	h.mu.Unlock()
+	if h.started != nil {
+		h.started <- struct{}{}
+	}
+	if h.block != nil {
+		<-h.block
+	}
+	return append([]byte("ok:"), msg...), nil
+}
+
+func testGate(t *testing.T, cfg WireGateConfig, inner cluster.Handler) *WireGate {
+	t.Helper()
+	if cfg.Tenants == nil {
+		cfg.Tenants = []TenantConfig{{Name: "a", Key: "ak"}}
+	}
+	g, err := NewWireGate(cfg, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func serverErrContains(t *testing.T, err error, want string) *cluster.ServerError {
+	t.Helper()
+	var se *cluster.ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *cluster.ServerError", err)
+	}
+	if !strings.Contains(se.Msg, want) {
+		t.Fatalf("rejection %q does not mention %q", se.Msg, want)
+	}
+	return se
+}
+
+func TestWireGateAuth(t *testing.T) {
+	inner := &innerHandler{}
+	g := testGate(t, WireGateConfig{}, inner)
+
+	// Keyed frame passes and is unwrapped before the inner handler.
+	req := cluster.EncodeAuthedRequest("ak", []byte{0x7f, 1, 2})
+	resp, err := g.Handle(bg, req)
+	if err != nil || string(resp) != "ok:\x7f\x01\x02" {
+		t.Fatalf("authed frame: (%q, %v)", resp, err)
+	}
+	if g.Stats().Admitted() != 1 {
+		t.Fatal("admitted counter did not move")
+	}
+
+	// Unknown key → 401, key redacted.
+	_, err = g.Handle(bg, cluster.EncodeAuthedRequest("super-secret-key", []byte{1}))
+	se := serverErrContains(t, err, "401")
+	if strings.Contains(se.Msg, "super-secret-key") {
+		t.Fatalf("rejection leaked the full key: %q", se.Msg)
+	}
+
+	// Unkeyed non-meta frame → 401.
+	_, err = g.Handle(bg, []byte{cluster.OpGetNeighbors, 0, 0})
+	serverErrContains(t, err, "401")
+	if g.Stats().AuthFailures() != 2 {
+		t.Fatalf("auth_failures = %d, want 2", g.Stats().AuthFailures())
+	}
+
+	// Bare OpMeta passes unauthenticated (bootstrap/discovery).
+	if _, err := g.Handle(bg, []byte{cluster.OpMeta}); err != nil {
+		t.Fatalf("bare meta rejected: %v", err)
+	}
+
+	// Truncated envelope → 401, not a panic.
+	_, err = g.Handle(bg, []byte{cluster.OpAuthed, 10, 'a'})
+	serverErrContains(t, err, "401")
+}
+
+func TestWireGateRateLimit(t *testing.T) {
+	g := testGate(t, WireGateConfig{
+		Tenants: []TenantConfig{{Name: "a", Key: "ak", Rate: 1, Burst: 2}},
+	}, &innerHandler{})
+	req := cluster.EncodeAuthedRequest("ak", []byte{1})
+	for i := 0; i < 2; i++ {
+		if _, err := g.Handle(bg, req); err != nil {
+			t.Fatalf("frame %d within burst: %v", i, err)
+		}
+	}
+	_, err := g.Handle(bg, req)
+	serverErrContains(t, err, "429")
+	if g.Stats().RateLimited() != 1 || g.Tenant("a").RateLimited() != 1 {
+		t.Fatal("ratelimited counters did not move")
+	}
+}
+
+func TestWireGateShedsAtMaxInflight(t *testing.T) {
+	inner := &innerHandler{block: make(chan struct{}), started: make(chan struct{}, 4)}
+	g := testGate(t, WireGateConfig{MaxInflight: 1}, inner)
+	req := cluster.EncodeAuthedRequest("ak", []byte{1})
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := g.Handle(bg, req); err != nil {
+			t.Errorf("first frame: %v", err)
+		}
+	}()
+	<-inner.started
+	_, err := g.Handle(bg, req)
+	serverErrContains(t, err, "503")
+	if g.Stats().Shed() != 1 {
+		t.Fatal("shed counter did not move")
+	}
+	close(inner.block)
+	<-done
+	// Capacity freed: frames flow again.
+	if _, err := g.Handle(bg, req); err != nil {
+		t.Fatalf("after drain: %v", err)
+	}
+}
+
+func TestWireGateValidation(t *testing.T) {
+	if _, err := NewWireGate(WireGateConfig{Tenants: []TenantConfig{{Name: "a", Key: "k"}}}, nil); err == nil {
+		t.Fatal("nil inner accepted")
+	}
+	if _, err := NewWireGate(WireGateConfig{}, &innerHandler{}); err == nil {
+		t.Fatal("empty tenant list accepted")
+	}
+	if _, err := NewWireGate(WireGateConfig{Tenants: []TenantConfig{
+		{Name: "a", Key: "k"}, {Name: "b", Key: "k"},
+	}}, &innerHandler{}); err == nil {
+		t.Fatal("duplicate key accepted")
+	}
+}
+
+func TestWireGateSnapshot(t *testing.T) {
+	g := testGate(t, WireGateConfig{Tenants: []TenantConfig{
+		{Name: "b", Key: "bk"}, {Name: "a", Key: "ak"},
+	}}, &innerHandler{})
+	if _, err := g.Handle(bg, cluster.EncodeAuthedRequest("ak", []byte{1})); err != nil {
+		t.Fatal(err)
+	}
+	rows := g.Snapshot()
+	if len(rows) != 2 || rows[0].Name != "a" || rows[1].Name != "b" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].Admitted != 1 || rows[0].Completed != 1 {
+		t.Fatalf("tenant a row = %+v", rows[0])
+	}
+	if len(g.Sources()) != 3 {
+		t.Fatalf("sources = %d, want 3", len(g.Sources()))
+	}
+}

@@ -82,8 +82,8 @@ func (h *Hetero) Attr(dst []float32, v NodeID) []float32 {
 
 // View adapts one relation to the batch-first sampler.Store shape
 // (NumNodes, AttrLen, NeighborsBatch, AttrsBatch) while attributes come
-// from the shared table. The scalar methods remain so the view also
-// satisfies the deprecated sampler.SingleStore.
+// from the shared table. The scalar Neighbors/Attr methods remain for
+// per-node callers like the metapath sampler.
 type heteroView struct {
 	h   *Hetero
 	rel *Graph

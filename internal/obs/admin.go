@@ -134,6 +134,49 @@ func WithHandler(pattern string, h http.Handler) AdminOption {
 	return func(mux *http.ServeMux) { mux.Handle(pattern, h) }
 }
 
+// WithTenantsEndpoint mounts /tenants: the serving gateway's per-tenant
+// view (config + live admission counters) as JSON. snapshot is called per
+// request so the rows are always current.
+func WithTenantsEndpoint(snapshot func() any) AdminOption {
+	return func(mux *http.ServeMux) {
+		mux.HandleFunc("/tenants", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(snapshot())
+		})
+	}
+}
+
+// RequireKey wraps an admin handler with API-key authentication: requests
+// must carry the key in an X-API-Key header, an "Authorization: Bearer"
+// header, or a ?key= query parameter. Paths listed in open (and their
+// subtrees) stay unauthenticated — load-balancer health checks must keep
+// working without credentials. An empty key returns h unchanged.
+func RequireKey(h http.Handler, key string, open ...string) http.Handler {
+	if key == "" {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		for _, p := range open {
+			if r.URL.Path == p || strings.HasPrefix(r.URL.Path, p+"/") {
+				h.ServeHTTP(w, r)
+				return
+			}
+		}
+		got := r.Header.Get("X-API-Key")
+		if got == "" {
+			got = strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+		}
+		if got == "" {
+			got = r.URL.Query().Get("key")
+		}
+		if got != key {
+			http.Error(w, "401 unauthorized: admin plane requires an api key", http.StatusUnauthorized)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
 // openMetricsContentType is what an OpenMetrics response declares (and
 // what a scraper's Accept header names to request it).
 const openMetricsContentType = "application/openmetrics-text"
@@ -203,7 +246,13 @@ func NewAdminMux(reg *stats.Registry, health *Health, opts ...AdminOption) *http
 // after startup are ignored — the admin plane must never take the serving
 // path down.
 func ServeAdmin(addr string, reg *stats.Registry, health *Health, opts ...AdminOption) (*http.Server, string, error) {
-	srv := &http.Server{Addr: addr, Handler: NewAdminMux(reg, health, opts...)}
+	return ServeAdminHandler(addr, NewAdminMux(reg, health, opts...))
+}
+
+// ServeAdminHandler is ServeAdmin for a caller-assembled handler — e.g. an
+// admin mux wrapped with RequireKey.
+func ServeAdminHandler(addr string, h http.Handler) (*http.Server, string, error) {
+	srv := &http.Server{Addr: addr, Handler: h}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err

@@ -98,6 +98,9 @@ const (
 	// HopPipeFetch is one pipeline fetch task's store round trip
 	// (neighbor lists or attribute vectors for one root, one hop).
 	HopPipeFetch = "pipe_fetch"
+	// HopGateWait is time an admitted batch spent queued in its tenant's
+	// gateway queue before the fair scheduler dispatched it.
+	HopGateWait = "gate_wait"
 )
 
 // Span is one timed hop (or instantaneous event, Dur == 0) of a trace.

@@ -116,8 +116,14 @@ func New(store sampler.Store, scfg sampler.Config, cfg Config) *Executor {
 		panic("pipeline: no fanouts configured")
 	}
 	scfg.RootStreams = true
-	return &Executor{store: store, scfg: scfg, cfg: cfg.withDefaults()}
+	e := &Executor{store: store, scfg: scfg, cfg: cfg.withDefaults()}
+	e.stats.setCapacity(e.cfg.Window)
+	return e
 }
+
+// Occupancy returns the window's current fill fraction in [0, 1] — the
+// live backpressure signal the serving gateway sheds on.
+func (e *Executor) Occupancy() float64 { return e.stats.Occupancy() }
 
 // Config returns the executor configuration (defaults applied).
 func (e *Executor) Config() Config { return e.cfg }

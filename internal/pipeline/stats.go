@@ -41,6 +41,38 @@ type Stats struct {
 	mu           sync.Mutex
 	inflight     int
 	inflightPeak int
+	// capacity is the executor's window size — the denominator of the
+	// occupancy signal the gateway sheds on. 0 until an executor attaches.
+	capacity int
+}
+
+// setCapacity records the executor's window size.
+func (s *Stats) setCapacity(n int) {
+	s.mu.Lock()
+	s.capacity = n
+	s.mu.Unlock()
+}
+
+// Capacity returns the attached executor's window size (0 when idle).
+func (s *Stats) Capacity() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.capacity
+}
+
+// Occupancy returns the window's current fill fraction in [0, 1] — the
+// backpressure signal a gateway sheds on. 0 while no executor is attached.
+func (s *Stats) Occupancy() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.capacity <= 0 {
+		return 0
+	}
+	occ := float64(s.inflight) / float64(s.capacity)
+	if occ > 1 {
+		occ = 1
+	}
+	return occ
 }
 
 // recordInflight tracks the instantaneous and peak window occupancy.
@@ -79,11 +111,20 @@ func (s *Stats) IssuedRequests() int64 { return s.issuedRequests.Value() }
 // StatsSnapshot implements stats.Source under the "pipeline" layer.
 func (s *Stats) StatsSnapshot() stats.Snapshot {
 	s.mu.Lock()
-	inflight, peak := s.inflight, s.inflightPeak
+	inflight, peak, capacity := s.inflight, s.inflightPeak, s.capacity
 	s.mu.Unlock()
+	var occ float64
+	if capacity > 0 {
+		occ = float64(inflight) / float64(capacity)
+		if occ > 1 {
+			occ = 1
+		}
+	}
 	return stats.Snapshot{Layer: "pipeline", Metrics: []stats.Metric{
 		{Name: "inflight", Value: float64(inflight), Unit: "req"},
 		{Name: "inflight_peak", Value: float64(peak), Unit: "req"},
+		{Name: "window_capacity", Value: float64(capacity), Unit: "req"},
+		{Name: "occupancy", Value: occ, Unit: "ratio"},
 		s.issuedTasks.Metric("issued_tasks", "req"),
 		s.issuedRequests.Metric("issued_requests", "req"),
 		s.retiredTasks.Metric("retired_tasks", "req"),

@@ -19,9 +19,6 @@ import (
 // of vertices in one call, so a remote-backed store turns one hop into a
 // handful of grouped RPCs instead of a per-node round trip, and deadlines
 // and cancellation propagate down to the transport.
-//
-// Scalar per-node access (the old four-method shape) lives on in
-// SingleStore; wrap legacy implementations with Single.
 type Store interface {
 	// NumNodes returns the vertex count.
 	NumNodes() int64
@@ -37,60 +34,6 @@ type Store interface {
 	// in order. dst must have len(vs)*AttrLen() entries. Degrading stores
 	// leave lost vertices zeroed and return an error.
 	AttrsBatch(ctx context.Context, dst []float32, vs []graph.NodeID) error
-}
-
-// SingleStore is the legacy scalar store shape: one vertex per call, no
-// context, no error path.
-//
-// Deprecated: implement the batch-first Store instead; it amortizes RPC
-// round trips and reports failures. Wrap an existing SingleStore with
-// Single where a Store is required.
-type SingleStore interface {
-	// NumNodes returns the vertex count.
-	NumNodes() int64
-	// AttrLen returns the attribute vector length.
-	AttrLen() int
-	// Neighbors returns the out-neighbors of v. The result must not be
-	// modified.
-	Neighbors(v graph.NodeID) []graph.NodeID
-	// Attr appends v's attribute vector to dst.
-	Attr(dst []float32, v graph.NodeID) []float32
-}
-
-// Single adapts a scalar SingleStore to the batch-first Store interface.
-// It is the compatibility shim for stores that predate the batch API:
-// each batched call loops over the scalar methods, checking ctx between
-// vertices.
-type Single struct{ S SingleStore }
-
-// NumNodes implements Store.
-func (a Single) NumNodes() int64 { return a.S.NumNodes() }
-
-// AttrLen implements Store.
-func (a Single) AttrLen() int { return a.S.AttrLen() }
-
-// NeighborsBatch implements Store by looping over the scalar method.
-func (a Single) NeighborsBatch(ctx context.Context, dst [][]graph.NodeID, vs []graph.NodeID) error {
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	for i, v := range vs {
-		dst[i] = a.S.Neighbors(v)
-	}
-	return nil
-}
-
-// AttrsBatch implements Store by looping over the scalar method.
-func (a Single) AttrsBatch(ctx context.Context, dst []float32, vs []graph.NodeID) error {
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	al := a.S.AttrLen()
-	for i, v := range vs {
-		// Append into the i-th slot of the preallocated dst in place.
-		a.S.Attr(dst[i*al:i*al], v)
-	}
-	return nil
 }
 
 // Method selects the neighbor-sampling algorithm.
@@ -416,18 +359,6 @@ func (l LocalStore) AttrsBatch(ctx context.Context, dst []float32, vs []graph.No
 	}
 	return nil
 }
-
-// Neighbors returns the out-neighbors of v.
-//
-// Deprecated: use NeighborsBatch; the scalar shape survives only so
-// LocalStore keeps satisfying SingleStore.
-func (l LocalStore) Neighbors(v graph.NodeID) []graph.NodeID { return l.G.Neighbors(v) }
-
-// Attr appends v's attribute vector to dst.
-//
-// Deprecated: use AttrsBatch; the scalar shape survives only so
-// LocalStore keeps satisfying SingleStore.
-func (l LocalStore) Attr(dst []float32, v graph.NodeID) []float32 { return l.G.Attr(dst, v) }
 
 func min(a, b int) int {
 	if a < b {

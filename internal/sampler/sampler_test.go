@@ -286,17 +286,14 @@ func TestLocalStoreAdapter(t *testing.T) {
 	if len(lists[0]) != g.Degree(1) {
 		t.Fatal("adapter neighbors wrong")
 	}
-	// LocalStore still satisfies the deprecated scalar shape, and the
-	// Single shim turns it back into a batch Store.
-	var shim Store = Single{S: LocalStore{G: g}}
 	attrs := make([]float32, g.AttrLen())
-	if err := shim.AttrsBatch(context.Background(), attrs, []graph.NodeID{1}); err != nil {
-		t.Fatalf("shim AttrsBatch: %v", err)
+	if err := st.AttrsBatch(context.Background(), attrs, []graph.NodeID{1}); err != nil {
+		t.Fatalf("AttrsBatch: %v", err)
 	}
 	want := g.Attr(nil, 1)
 	for i := range want {
 		if attrs[i] != want[i] {
-			t.Fatal("shim attrs do not match graph")
+			t.Fatal("adapter attrs do not match graph")
 		}
 	}
 }

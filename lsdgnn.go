@@ -21,8 +21,27 @@
 //	)
 //
 // Errors from the serving path carry typed semantics — match them with
-// errors.As rather than string inspection (see PartialError and
-// ServerError in options.go for worked examples).
+// errors.As rather than string inspection. One taxonomy covers every
+// entry point:
+//
+//	error type            path                 meaning
+//	----------            ----                 -------
+//	PartialError          SampleSoftware       degraded batch; result keeps
+//	                                           its full layout, Shards lists
+//	                                           the lost partitions
+//	PipelinePartialError  SamplePipelined      per-root degradation; Roots
+//	                                           lists padded subtrees
+//	ServerError           any RPC path         live server rejected the
+//	                                           request deterministically —
+//	                                           never retried
+//	AuthError             SampleAs             unknown or missing api key
+//	RateLimitError        SampleAs             tenant over its token bucket;
+//	                                           RetryAfter says when to retry
+//	AdmissionError        SampleAs             batch shed under backpressure
+//	                                           (queue full or SLO fast burn)
+//
+// Helpers AsPartial, AsPipelinePartial, AsRateLimited, and AsShed wrap
+// errors.As for the common matches (worked examples in options.go).
 package lsdgnn
 
 import (
@@ -79,13 +98,6 @@ const (
 	// Streaming is the paper's step-based streaming sampling (Tech-2).
 	Streaming = sampler.Streaming
 )
-
-// NewSystem assembles a deployment: partitioned graph servers, a batched
-// RPC client, and one AxE engine per partition.
-//
-// Deprecated: use New with functional options; this thin shim remains for
-// existing callers holding a fully-populated Options value.
-func NewSystem(opts Options) (*System, error) { return core.NewSystem(opts) }
 
 // Datasets returns the paper's six benchmark graph configurations
 // (Table 2): ss, ls, sl, ml, ll, syn.

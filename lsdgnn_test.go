@@ -134,17 +134,6 @@ func TestPublicServerErrorTyped(t *testing.T) {
 	}
 }
 
-func TestDeprecatedNewSystemShim(t *testing.T) {
-	g := GenerateGraph(800, 4, 4, 7)
-	sys, err := NewSystem(Options{Graph: g, Servers: 2, Seed: 7})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := sys.SampleSoftware(context.Background(), sys.BatchSource(4, 1).Next()); err != nil {
-		t.Fatal(err)
-	}
-}
-
 func TestPublicDatasets(t *testing.T) {
 	ds := Datasets()
 	if len(ds) != 6 {
@@ -293,5 +282,67 @@ func TestPublicElasticLayout(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("cluster.layout layer missing from the registry")
+	}
+}
+
+// TestPublicGateway drives the multi-tenant front door through the
+// facade: WithGateway construction, SampleAs as the tenant entry point,
+// and the typed rejection helpers.
+func TestPublicGateway(t *testing.T) {
+	g := GenerateGraph(2000, 8, 16, 5)
+	sys, err := New("", WithGraph(g), WithServers(2), WithSeed(5),
+		// Per-root RNG streams make a root's sample a pure function of
+		// (seed, root), so the gateway and direct paths compare exactly.
+		WithSampling(SamplerConfig{
+			Fanouts: []int{4, 3}, NegativeRate: 2,
+			Method: Streaming, FetchAttrs: true, Seed: 5, RootStreams: true,
+		}),
+		WithGateway(GatewayConfig{
+			Tenants: []TenantConfig{
+				{Name: "alice", Key: "alice-key", Weight: 4},
+				{Name: "bob", Key: "bob-key", Weight: 1, Rate: 1, Burst: 8},
+			},
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	ctx := context.Background()
+	roots := sys.BatchSource(8, 3).Next()
+
+	// Unknown key → *AuthError.
+	if _, err := sys.SampleAs(ctx, "intruder", roots); err == nil {
+		t.Fatal("unknown key admitted")
+	} else {
+		var ae *AuthError
+		if !errors.As(err, &ae) {
+			t.Fatalf("unknown key error is %T, want *AuthError", err)
+		}
+	}
+
+	// A real tenant samples; the result matches the direct path.
+	got, err := sys.SampleAs(ctx, "alice-key", roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := sys.Sample(ctx, roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Hops, want.Hops) {
+		t.Fatal("gateway path diverged from the direct path")
+	}
+
+	// Bob's 1-root/s contract dies on the second 8-root batch.
+	if _, err := sys.SampleAs(ctx, "bob-key", roots); err != nil {
+		t.Fatalf("bob's first batch within burst: %v", err)
+	}
+	_, err = sys.SampleAs(ctx, "bob-key", roots)
+	rl, ok := AsRateLimited(err)
+	if !ok || rl.Tenant != "bob" || rl.RetryAfter <= 0 {
+		t.Fatalf("over-contract error = %v, want *RateLimitError with RetryAfter", err)
+	}
+	if _, ok := AsShed(err); ok {
+		t.Fatal("rate limit misclassified as shed")
 	}
 }

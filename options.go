@@ -5,6 +5,7 @@ import (
 
 	"lsdgnn/internal/cluster"
 	"lsdgnn/internal/core"
+	"lsdgnn/internal/gateway"
 	"lsdgnn/internal/obs"
 	"lsdgnn/internal/pipeline"
 	"lsdgnn/internal/sampler"
@@ -70,6 +71,22 @@ type (
 	// cluster.NewLayout; swapped live via System.Client.ApplyLayout,
 	// AddReplica, DrainReplica, and MigratePartition.
 	Layout = cluster.Layout
+	// GatewayConfig assembles the multi-tenant serving gateway enabled by
+	// WithGateway: tenants, queue depths, fair-scheduling quantum, and the
+	// shedding thresholds.
+	GatewayConfig = gateway.Config
+	// TenantConfig declares one tenant: name, api key, service class,
+	// rate/burst, fair-share weight, and latency SLO.
+	TenantConfig = gateway.TenantConfig
+	// AuthError reports a SampleAs call with an unknown or missing api key.
+	AuthError = gateway.AuthError
+	// RateLimitError reports a batch refused by the tenant's token bucket;
+	// RetryAfter says when capacity returns.
+	RateLimitError = gateway.RateLimitError
+	// AdmissionError reports a batch shed under backpressure (tenant queue
+	// full, or the system's occupancy/SLO-burn signals crossed their
+	// thresholds and this tenant carried the heaviest queue).
+	AdmissionError = gateway.AdmissionError
 )
 
 // AsPartial unwraps a *PartialError, mirroring cluster.AsPartial.
@@ -78,6 +95,18 @@ func AsPartial(err error) (*PartialError, bool) { return cluster.AsPartial(err) 
 // AsPipelinePartial unwraps a *PipelinePartialError, mirroring
 // pipeline.AsPartial.
 func AsPipelinePartial(err error) (*PipelinePartialError, bool) { return pipeline.AsPartial(err) }
+
+// AsRateLimited unwraps a *RateLimitError from a SampleAs error chain:
+//
+//	res, err := sys.SampleAs(ctx, key, roots)
+//	if rl, ok := lsdgnn.AsRateLimited(err); ok {
+//		time.Sleep(rl.RetryAfter) // tenant over its bucket — back off
+//	}
+func AsRateLimited(err error) (*RateLimitError, bool) { return gateway.AsRateLimited(err) }
+
+// AsShed unwraps an *AdmissionError from a SampleAs error chain. A shed
+// batch was never dispatched — resubmitting later is safe and expected.
+func AsShed(err error) (*AdmissionError, bool) { return gateway.AsShed(err) }
 
 // DefaultResilienceConfig returns the stock retry/breaker/failover policy.
 func DefaultResilienceConfig() ResilienceConfig { return cluster.DefaultResilienceConfig() }
@@ -213,6 +242,31 @@ func WithPackingConfig(cfg PackingConfig) Option {
 //	res, err := sys.SamplePipelined(ctx, roots)
 func WithPipeline(cfg PipelineConfig) Option {
 	return func(o *Options) { c := cfg; o.Pipeline = &c }
+}
+
+// WithGateway builds the multi-tenant serving gateway in front of the
+// system: per-tenant admission (api key → token bucket → weighted-fair
+// queue) and SLO-driven shedding wired to the system's live backpressure.
+// System.SampleAs then serves tenant traffic; rejections surface as typed
+// AuthError / RateLimitError / AdmissionError values:
+//
+//	sys, err := lsdgnn.New("ss", lsdgnn.WithGateway(lsdgnn.GatewayConfig{
+//		Tenants: []lsdgnn.TenantConfig{
+//			{Name: "alice", Key: "ak", Class: "latency", Rate: 500, Weight: 4},
+//			{Name: "bob", Key: "bk", Class: "throughput", Rate: 100},
+//		},
+//	}))
+//	defer sys.Close()
+//	res, err := sys.SampleAs(ctx, "ak", roots)
+func WithGateway(cfg GatewayConfig) Option {
+	return func(o *Options) { c := cfg; o.Gateway = &c }
+}
+
+// WithEngineSpares builds n extra AxE engines that start outside the
+// dispatcher's active set — headroom a gateway autoscaler grows into via
+// System.Dispatcher.SetActive.
+func WithEngineSpares(n int) Option {
+	return func(o *Options) { o.EngineSpares = n }
 }
 
 // New assembles a deployment from a named Table 2 dataset ("ss", "ls",

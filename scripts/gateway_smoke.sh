@@ -1,0 +1,131 @@
+#!/bin/sh
+# Gateway smoke test: boot lsdgnn-server in multi-tenant mode (two tenants,
+# a key-gated admin plane), assert the lsdgnn_gateway_* series pre-register
+# at zero, reject a probe with a bad key (401-class, auth_failures moves),
+# drive a clean burst as the light tenant, then a greedy burst against the
+# heavy tenant's tight rate contract — its ratelimited/shed counters must
+# move while the light tenant's stay clean — and read the per-tenant view
+# off the /tenants endpoint.
+set -eu
+cd "$(dirname "$0")/.."
+
+ADMIN_PORT=${ADMIN_PORT:-17431}
+SERVE_PORT=${SERVE_PORT:-17430}
+ADMIN="http://127.0.0.1:$ADMIN_PORT"
+ADMIN_KEY=smoke-admin-key
+OUT=$(mktemp -d)
+trap 'kill $SRV_PID 2>/dev/null || true; rm -rf "$OUT"' EXIT
+
+go build -o "$OUT/lsdgnn-server" ./cmd/lsdgnn-server
+go build -o "$OUT/lsdgnn-probe" ./cmd/lsdgnn-probe
+
+# The heavy tenant's contract is deliberately tiny (2 frames/s, burst 6 at
+# the wire gate) so a burst blows through it immediately; the light tenant
+# is unlimited.
+"$OUT/lsdgnn-server" -addr "127.0.0.1:$SERVE_PORT" -admin-addr "127.0.0.1:$ADMIN_PORT" \
+    -dataset ss -log-level warn -admin-key "$ADMIN_KEY" -gateway-inflight 64 \
+    -tenants 'name=light,key=light-smoke-key,weight=4;name=heavy,key=heavy-smoke-key,rate=2,burst=6,weight=1' \
+    >"$OUT/server.log" 2>&1 &
+SRV_PID=$!
+
+i=0
+until curl -sf "$ADMIN/readyz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 60 ]; then
+        echo "gateway-smoke: server never became ready" >&2
+        cat "$OUT/server.log" >&2
+        exit 1
+    fi
+    sleep 1
+done
+
+# The admin plane is key-gated: no key → 401, wrong key → 401, key → 200.
+# /healthz and /readyz stayed open for the readiness loop above.
+for probe in "" "?key=wrong"; do
+    code=$(curl -s -o /dev/null -w '%{http_code}' "$ADMIN/metrics$probe")
+    if [ "$code" != "401" ]; then
+        echo "gateway-smoke: /metrics$probe returned $code, want 401" >&2
+        exit 1
+    fi
+done
+scrape() { curl -sf -H "X-API-Key: $ADMIN_KEY" "$ADMIN/$1"; }
+
+# Pre-registration: the gateway layer and both tenant layers exist at zero
+# before any traffic.
+scrape metrics >"$OUT/metrics0"
+for series in \
+    'lsdgnn_gateway_admitted 0' \
+    'lsdgnn_gateway_auth_failures 0' \
+    'lsdgnn_gateway_ratelimited 0' \
+    'lsdgnn_gateway_shed 0' \
+    'lsdgnn_gateway_light_admitted 0' \
+    'lsdgnn_gateway_heavy_ratelimited 0'; do
+    if ! grep -q "^$series" "$OUT/metrics0"; then
+        echo "gateway-smoke: /metrics missing pre-registered $series" >&2
+        grep '^lsdgnn_gateway' "$OUT/metrics0" >&2 || cat "$OUT/metrics0" >&2
+        exit 1
+    fi
+done
+
+# A probe with a bad key must be turned away at the wire (401-class
+# rejection during bootstrap) and land on auth_failures.
+if "$OUT/lsdgnn-probe" -addrs "127.0.0.1:$SERVE_PORT" -key wrong-key \
+    -batches 1 -batch-size 8 -workers 1 >"$OUT/probe-bad.log" 2>&1; then
+    echo "gateway-smoke: probe with a bad key succeeded" >&2
+    cat "$OUT/probe-bad.log" >&2
+    exit 1
+fi
+grep -q '401' "$OUT/probe-bad.log" || {
+    echo "gateway-smoke: bad-key rejection is not 401-class" >&2
+    cat "$OUT/probe-bad.log" >&2
+    exit 1
+}
+scrape metrics >"$OUT/metrics1"
+awk '/^lsdgnn_gateway_auth_failures /{exit !($2 > 0)}' "$OUT/metrics1" || {
+    echo "gateway-smoke: auth_failures did not move after a bad-key probe" >&2
+    exit 1
+}
+
+# The light tenant's clean burst flows.
+"$OUT/lsdgnn-probe" -addrs "127.0.0.1:$SERVE_PORT" -tenant light -key light-smoke-key \
+    -batches 8 -batch-size 16 >"$OUT/probe-light.log" 2>&1
+grep -q 'probe: OK' "$OUT/probe-light.log" || {
+    echo "gateway-smoke: light tenant burst failed" >&2
+    cat "$OUT/probe-light.log" >&2
+    exit 1
+}
+
+# The greedy burst against the heavy tenant's 2-frame/s contract is
+# contained: the probe dies on the 429-class rejection and the tenant's
+# ratelimited/shed counters absorb the excess.
+if "$OUT/lsdgnn-probe" -addrs "127.0.0.1:$SERVE_PORT" -tenant heavy -key heavy-smoke-key \
+    -batches 32 -batch-size 32 -workers 8 >"$OUT/probe-heavy.log" 2>&1; then
+    echo "gateway-smoke: greedy burst was never rejected" >&2
+    cat "$OUT/probe-heavy.log" >&2
+    exit 1
+fi
+scrape metrics >"$OUT/metrics2"
+awk '
+/^lsdgnn_gateway_heavy_ratelimited /{rl=$2}
+/^lsdgnn_gateway_heavy_shed /{sh=$2}
+END { if (rl + sh <= 0) { print "heavy tenant never contained (ratelimited=" rl ", shed=" sh ")"; exit 1 } }
+' "$OUT/metrics2" || { echo "gateway-smoke: greedy burst moved no containment counters" >&2; exit 1; }
+# ... while the light tenant stayed clean and its admissions counted.
+awk '
+/^lsdgnn_gateway_light_admitted /{ad=$2}
+/^lsdgnn_gateway_light_ratelimited /{rl=$2}
+/^lsdgnn_gateway_light_shed /{sh=$2}
+END { if (ad <= 0 || rl != 0 || sh != 0) { print "light tenant dirty (admitted=" ad ", ratelimited=" rl ", shed=" sh ")"; exit 1 } }
+' "$OUT/metrics2" || { echo "gateway-smoke: light tenant did not stay clean" >&2; exit 1; }
+
+# /tenants serves the per-tenant view (config + live counters).
+scrape tenants >"$OUT/tenants.json"
+for want in '"light"' '"heavy"' '"ratelimited"'; do
+    grep -q "$want" "$OUT/tenants.json" || {
+        echo "gateway-smoke: /tenants missing $want" >&2
+        cat "$OUT/tenants.json" >&2
+        exit 1
+    }
+done
+
+echo "gateway-smoke: OK"
