@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify chaos bench bench-smoke bench-all metrics-smoke wire-smoke pipeline-smoke reshard-smoke slo-smoke gateway-smoke fuzz
+.PHONY: build test verify chaos bench bench-smoke bench-all metrics-smoke wire-smoke pipeline-smoke reshard-smoke slo-smoke gateway-smoke store-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,7 @@ verify:
 # Fault-injection suite: every chaos/resilience/recovery test hammered
 # under the race detector with a high iteration count.
 chaos:
-	$(GO) test -race -count=20 -run 'TestChaos|TestFaulty|TestBreaker|TestRetry|TestBootstrap|TestPartial|TestHedge|TestServerError|TestTCPPoolRecovery' ./internal/cluster/ ./internal/pipeline/ ./internal/gateway/
+	$(GO) test -race -count=20 -run 'TestChaos|TestFaulty|TestBreaker|TestRetry|TestBootstrap|TestPartial|TestHedge|TestServerError|TestTCPPoolRecovery' ./internal/cluster/ ./internal/pipeline/ ./internal/gateway/ ./internal/store/
 
 # Hot-path benchmark trajectory: runs the sample/pipeline/pack/codec
 # benchmarks, writes BENCH_6.json (before/after/reduction), and gates the
@@ -75,6 +75,14 @@ slo-smoke:
 # light tenant's stay clean), and reads the /tenants JSON view.
 gateway-smoke:
 	./scripts/gateway_smoke.sh
+
+# Store smoke test: bulk-loads per-partition CSR segments with
+# lsdgnn-shard bulk-load, boots lsdgnn-server -store-path on one (checks
+# the zero-valued lsdgnn_store_* pre-registration on /metrics), drives a
+# probe burst and asserts the read counters moved, then kill -9s the
+# server mid-ingest and asserts the restart replays the WAL.
+store-smoke:
+	./scripts/store_smoke.sh
 
 # Fuzz the hostile-input decoders: seed corpus first (fails fast on a
 # regression), then a short randomized run on the packed-frame decoder.

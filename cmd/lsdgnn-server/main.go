@@ -16,6 +16,16 @@
 //	lsdgnn-server -addr :7011 -partition 0 -partitions 4 -replica 1 &
 //	lsdgnn-server -addr :7001 -partition 0 -partitions 4 -chaos-error-rate 0.2 &
 //
+// With -store-path set, the partition serves from a persistent mmap
+// CSR + WAL store instead of process memory — the larger-than-RAM
+// storage-node mode. On first boot the server bulk-loads its shard into
+// the directory (or point it at a directory written by
+// lsdgnn-shard bulk-load); subsequent boots replay the WAL and serve
+// without rebuilding the dataset:
+//
+//	lsdgnn-server -addr :7001 -partition 0 -partitions 4 \
+//	    -store-path /data/shard-0 -store-budget 268435456
+//
 // With -admin-addr set, the server also exposes the operational plane:
 // /metrics (Prometheus; OpenMetrics with exemplars when the Accept header
 // asks), /stats (text report), /healthz, /readyz (drain-aware), /slo
@@ -43,6 +53,7 @@ import (
 	"lsdgnn/internal/obs"
 	"lsdgnn/internal/pipeline"
 	"lsdgnn/internal/stats"
+	"lsdgnn/internal/store"
 	"lsdgnn/internal/workload"
 )
 
@@ -64,6 +75,9 @@ func main() {
 	sloTarget := flag.Float64("slo-target", 0.999, "promised good fraction for both objectives (0,1)")
 	spanLog := flag.Int("trace-spans", obs.DefaultSpanLog, "completed spans retained for /trace lookups")
 	traceSample := flag.Int("trace-sample", 1, "keep 1-in-n traces in the span log (histograms always record)")
+	storePath := flag.String("store-path", "", "serve this partition from a persistent mmap CSR + WAL store in this directory (bulk-loads the shard on first boot, replays the WAL on later ones); empty serves from process memory")
+	storeBudget := flag.Int64("store-budget", 0, "with -store-path: cap resident segment-cache bytes (0 = unbudgeted mmap)")
+	storeSync := flag.Bool("store-sync", false, "with -store-path: fsync the WAL on every append instead of leaving it to the OS")
 	tenants := flag.String("tenants", "", "multi-tenant mode: semicolon-separated tenant specs name=...,key=...[,class=...][,rate=...][,burst=...][,weight=...][,slo=...]; every data-plane frame must then carry a tenant key (lsdgnn-probe -key)")
 	gatewayInflight := flag.Int("gateway-inflight", 0, "with -tenants: max concurrent frames past the wire gate before it sheds (0 = default)")
 	adminKey := flag.String("admin-key", "", "require this API key on the admin plane (X-API-Key / Bearer / ?key=); /healthz and /readyz stay open")
@@ -85,29 +99,73 @@ func main() {
 	if *chaosErr < 0 || *chaosErr > 1 || *chaosHang < 0 || *chaosHang > 1 {
 		fatal(fmt.Errorf("chaos rates must be in [0,1]"))
 	}
+	part := cluster.HashPartitioner{N: *partitions}
+	// An existing persistent store already holds this partition's shard, so
+	// the dataset never needs rebuilding — that is the point of -store-path.
 	var g *graph.Graph
 	var name string
-	if *graphFile != "" {
-		loaded, err := graph.Load(*graphFile)
-		if err != nil {
-			fatal(err)
+	if *storePath == "" || !store.Exists(*storePath) {
+		if *graphFile != "" {
+			loaded, err := graph.Load(*graphFile)
+			if err != nil {
+				fatal(err)
+			}
+			g, name = loaded, *graphFile
+			log.Info("graph loaded", "file", name, "nodes", g.NumNodes(), "edges", g.NumEdges())
+		} else {
+			ds, err := workload.DatasetByName(*dataset)
+			if err != nil {
+				fatal(err)
+			}
+			name = ds.Name
+			log.Info("building dataset", "name", ds.Name, "scaled_nodes", ds.SimNodes)
+			g = ds.Build(*seed)
 		}
-		g, name = loaded, *graphFile
-		log.Info("graph loaded", "file", name, "nodes", g.NumNodes(), "edges", g.NumEdges())
 	} else {
-		ds, err := workload.DatasetByName(*dataset)
+		name = *storePath
+	}
+
+	// storeStats is handed to Open so the "store" layer's series exist at
+	// zero from the first scrape even before any page is touched; in
+	// memory mode the same block is pre-registered unopened for a stable
+	// namespace across modes.
+	storeStats := &store.Stats{}
+	var srv *cluster.Server
+	if *storePath != "" {
+		storeOpts := []store.Option{
+			store.WithMemoryBudget(*storeBudget), store.WithStats(storeStats),
+		}
+		if *storeSync {
+			storeOpts = append(storeOpts, store.WithSyncMode(store.SyncAlways))
+		}
+		if !store.Exists(*storePath) {
+			// First boot: extract and bulk-load this partition's shard, as
+			// lsdgnn-shard bulk-load would.
+			shard, err := cluster.ExtractShard(g, part, *partition)
+			if err != nil {
+				fatal(err)
+			}
+			log.Info("bulk-loading shard", "dir", *storePath,
+				"nodes", shard.NumNodes(), "edges", shard.NumEdges())
+			if err := store.Create(*storePath, shard, storeOpts...); err != nil {
+				fatal(err)
+			}
+		}
+		ds, err := store.Open(*storePath, storeOpts...)
 		if err != nil {
 			fatal(err)
 		}
-		name = ds.Name
-		log.Info("building dataset", "name", ds.Name, "scaled_nodes", ds.SimNodes)
-		g = ds.Build(*seed)
-	}
-	part := cluster.HashPartitioner{N: *partitions}
-	// Hold only this partition's shard, as a production storage node would.
-	srv, err := cluster.ShardServer(g, part, *partition)
-	if err != nil {
-		fatal(err)
+		defer ds.Close()
+		srv = cluster.NewBackendServer(ds, part, *partition)
+		log.Info("store open", "dir", *storePath, "generation", ds.Generation(),
+			"budget", *storeBudget, "wal_replayed", storeStats.WALReplayed())
+	} else {
+		// Hold only this partition's shard, as a production storage node
+		// would.
+		srv, err = cluster.ShardServer(g, part, *partition)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	srv.SetLogger(log)
 	tracer := obs.NewTracerWith(obs.TracerConfig{SpanLog: *spanLog, SampleRate: *traceSample})
@@ -172,8 +230,11 @@ func main() {
 	// request touches a pooled buffer.
 	reg := stats.NewRegistry()
 	reg.PreRegister(&cluster.ResilienceStats{}, &pipeline.Stats{}, &cluster.LayoutStats{})
+	// The store layer registers the block the disk backend writes into (or
+	// the untouched zero block in memory mode): lsdgnn_store_* scrapes at 0
+	// before the first page fault either way.
 	reg.Register(srv.Stats(), srv.Latency(), serveLat, srv.Wire(), tcp,
-		mem.Source(), slos, tracer, obs.RuntimeSource())
+		mem.Source(), slos, tracer, obs.RuntimeSource(), storeStats)
 	if gate != nil {
 		// Live gateway + per-tenant layers (all start at zero).
 		reg.Register(gate.Sources()...)

@@ -14,12 +14,29 @@ import (
 	"lsdgnn/internal/trace"
 )
 
+// Backend is the graph view a shard server answers from. *graph.Graph is
+// the in-memory backend; *store.DiskStore satisfies the same shape, so a
+// server can serve a partition straight off a persistent segment+WAL
+// store without the cluster layer knowing. Implementations must be safe
+// for concurrent readers.
+type Backend interface {
+	NumNodes() int64
+	AttrLen() int
+	// AttrBytes returns the wire size of one attribute vector.
+	AttrBytes() int
+	// Neighbors returns v's adjacency; the returned slice must stay valid
+	// until the next call from the same goroutine.
+	Neighbors(v graph.NodeID) []graph.NodeID
+	// Attr appends v's attribute vector to dst.
+	Attr(dst []float32, v graph.NodeID) []float32
+}
+
 // Server owns one graph partition and answers batched requests. A Server is
-// safe for concurrent use: the underlying graph is immutable and stats use
-// internal locking. Request handlers take a context so large batches abort
-// promptly when the caller cancels or its deadline expires.
+// safe for concurrent use: the backend serves concurrent readers and stats
+// use internal locking. Request handlers take a context so large batches
+// abort promptly when the caller cancels or its deadline expires.
 type Server struct {
-	g         *graph.Graph
+	g         Backend
 	part      Partitioner
 	partition int
 	stats     *trace.AccessStats
@@ -51,11 +68,18 @@ const ctxCheckStride = 256
 // own, mirroring a real deployment where each holds its shard; requests for
 // foreign nodes are rejected, which catches routing bugs in the client.
 func NewServer(g *graph.Graph, part Partitioner, partition int) *Server {
+	return NewBackendServer(g, part, partition)
+}
+
+// NewBackendServer creates a server answering from an arbitrary Backend —
+// the constructor persistent-store deployments use (lsdgnn-server
+// -store-path hands a *store.DiskStore here).
+func NewBackendServer(b Backend, part Partitioner, partition int) *Server {
 	if partition < 0 || partition >= part.Servers() {
 		panic(fmt.Sprintf("cluster: partition %d out of %d", partition, part.Servers()))
 	}
 	return &Server{
-		g: g, part: part, partition: partition,
+		g: b, part: part, partition: partition,
 		stats: &trace.AccessStats{},
 		lat:   stats.NewLatency("cluster.server"),
 		wire:  &WireStats{},

@@ -18,6 +18,7 @@ import (
 	"lsdgnn/internal/pipeline"
 	"lsdgnn/internal/sampler"
 	"lsdgnn/internal/stats"
+	"lsdgnn/internal/store"
 	"lsdgnn/internal/trace"
 	"lsdgnn/internal/workload"
 )
@@ -86,7 +87,14 @@ type Options struct {
 	// Tracing sizes the system tracer (span-ring capacity, span sampling
 	// rate); the zero value takes the obs defaults.
 	Tracing obs.TracerConfig
-	Seed    int64
+	// Store selects the storage substrate behind the partition servers.
+	// The zero value (store.Memory) serves from the in-process graph — the
+	// historical behavior. store.Disk bulk-loads the graph into a
+	// persistent segment+WAL store at Store.Path on first use (reopening
+	// it thereafter) and every partition server answers from it, paging
+	// under Store.MemoryBudget instead of holding the graph in RAM.
+	Store store.Config
+	Seed  int64
 }
 
 // Default latency objectives for an assembled system: the accelerated
@@ -130,6 +138,10 @@ type System struct {
 	// Gateway is the multi-tenant front door when Options.Gateway was set
 	// (nil otherwise); SampleAs routes through it.
 	Gateway *gateway.Gateway
+	// Store is the storage backend the partition servers answer from:
+	// store.InMemory over Graph by default, a persistent *store.DiskStore
+	// when Options.Store selected the Disk backend. Closed by Close.
+	Store store.Store
 }
 
 // NewSystem builds servers, a client, one AxE engine per partition, and a
@@ -173,6 +185,27 @@ func NewSystem(opts Options) (*System, error) {
 	}
 	sampleSLO := sys.SLOs.Objective(stats.Objective{Name: "sample", Threshold: DefaultSampleSLO})
 	softSLO := sys.SLOs.Objective(stats.Objective{Name: "software_batch", Threshold: DefaultSoftwareBatchSLO})
+	// The storage substrate: in-memory by default, a persistent
+	// segment+WAL store when configured. Disk-backed servers answer from
+	// the store (paging under its memory budget); the in-memory path keeps
+	// serving straight from the shared graph object.
+	backing, err := store.FromConfig(opts.Store, g)
+	if err != nil {
+		return nil, err
+	}
+	sys.Store = backing
+	assembled := false
+	defer func() {
+		if !assembled {
+			backing.Close()
+		}
+	}()
+	newServer := func(p int) *cluster.Server {
+		if b, ok := backing.(cluster.Backend); ok && opts.Store.Backend == store.Disk {
+			return cluster.NewBackendServer(b, part, p)
+		}
+		return cluster.NewServer(g, part, p)
+	}
 	if opts.Layout != nil {
 		// The layout names the endpoints: build one server per listed
 		// endpoint holding its partition's shard, densely indexed so the
@@ -192,7 +225,7 @@ func NewSystem(opts Options) (*System, error) {
 			if !ok {
 				return nil, fmt.Errorf("core: layout leaves endpoint %d unassigned", ep)
 			}
-			sys.Servers = append(sys.Servers, cluster.NewServer(g, part, p))
+			sys.Servers = append(sys.Servers, newServer(p))
 		}
 		for i := 0; i < opts.Servers; i++ {
 			eng, err := axe.New(g, part, i, eCfg)
@@ -204,7 +237,7 @@ func NewSystem(opts Options) (*System, error) {
 	} else {
 		for r := 0; r < opts.Replicas; r++ {
 			for i := 0; i < opts.Servers; i++ {
-				sys.Servers = append(sys.Servers, cluster.NewServer(g, part, i))
+				sys.Servers = append(sys.Servers, newServer(i))
 				if r > 0 {
 					continue
 				}
@@ -222,7 +255,7 @@ func NewSystem(opts Options) (*System, error) {
 		if p < 0 || p >= opts.Servers {
 			return nil, fmt.Errorf("core: spare endpoint's partition %d out of %d", p, opts.Servers)
 		}
-		sys.Servers = append(sys.Servers, cluster.NewServer(g, part, p))
+		sys.Servers = append(sys.Servers, newServer(p))
 	}
 	var tr cluster.Transport = cluster.DirectTransport{Servers: sys.Servers}
 	if opts.NetDelay > 0 {
@@ -317,6 +350,7 @@ func NewSystem(opts Options) (*System, error) {
 		}
 		sys.Gateway = gw
 	}
+	assembled = true
 	return sys, nil
 }
 
@@ -352,11 +386,14 @@ func (s *System) SampleAs(ctx context.Context, key string, roots []graph.NodeID)
 	return s.Gateway.Sample(ctx, key, roots)
 }
 
-// Close releases background resources (the gateway's scheduler goroutine).
-// Systems without a gateway need no Close.
+// Close releases background resources: the gateway's scheduler goroutine
+// and the storage backend (WAL sync + segment unmap for a disk store).
 func (s *System) Close() {
 	if s.Gateway != nil {
 		s.Gateway.Close()
+	}
+	if s.Store != nil {
+		s.Store.Close()
 	}
 }
 
@@ -413,6 +450,14 @@ func (s *System) StatsRegistry() *stats.Registry {
 	}
 	if s.Gateway != nil {
 		reg.Register(s.Gateway.Sources()...)
+	}
+	// The storage tier: a disk-backed system exports its live cache/WAL
+	// counters; the in-memory backend pre-registers the same series at
+	// zero so the "store" namespace is stable across backends.
+	if ds, ok := s.Store.(*store.DiskStore); ok {
+		reg.Register(ds.Stats())
+	} else {
+		reg.PreRegister(&store.Stats{})
 	}
 	servers := s.Servers
 	// One merged cluster.wire block: per-server counters summed, ratios

@@ -83,13 +83,32 @@ func (g *Graph) Attr(dst []float32, v NodeID) []float32 {
 		base := int64(v) * int64(g.attrLen)
 		return append(dst, g.attrs[base:base+int64(g.attrLen)]...)
 	}
-	h := splitmix64(g.attrSeed ^ uint64(v)*0x9e3779b97f4a7c15)
-	for i := 0; i < g.attrLen; i++ {
+	return ProceduralAttr(dst, g.attrSeed, g.attrLen, v)
+}
+
+// ProceduralAttr appends the deterministic procedural attribute vector of
+// (seed, v) to dst — the exact function procedural graphs evaluate in
+// Attr. Exported so out-of-process attribute storage (the disk store's
+// procedural segments) reproduces bit-identical values without holding a
+// *Graph.
+func ProceduralAttr(dst []float32, seed uint64, attrLen int, v NodeID) []float32 {
+	h := splitmix64(seed ^ uint64(v)*0x9e3779b97f4a7c15)
+	for i := 0; i < attrLen; i++ {
 		h = splitmix64(h)
 		// Map to [-1, 1).
 		dst = append(dst, float32(int64(h>>11))/float32(1<<52)-1)
 	}
 	return dst
+}
+
+// AttrSeed returns the procedural attribute seed (0 when attributes are
+// materialized); persistent stores record it so reopened segments generate
+// identical procedural attributes.
+func (g *Graph) AttrSeed() uint64 {
+	if !g.procedural {
+		return 0
+	}
+	return g.attrSeed
 }
 
 // AttrBytes returns the size in bytes of one node's attribute vector.

@@ -1,0 +1,166 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"lsdgnn/internal/mem"
+)
+
+// pageCache is the admission-controlled read path a memory budget buys:
+// fixed-size pages pread into pooled buffers on miss, an LRU chain
+// evicting back to the internal/mem free lists whenever residency would
+// cross the budget. It is the software analogue of a fixed BRAM/HBM
+// capacity in front of fabric-attached storage (the paper's decp
+// variants, §6): the working set lives in bounded memory no matter how
+// large the segment underneath grows.
+type pageCache struct {
+	f        *os.File
+	size     int64
+	pageSize int64
+	budget   int64
+	st       *Stats
+
+	mu       sync.Mutex
+	pages    map[int64]*page // keyed by page index
+	resident int64
+	// LRU chain: head is most recent, tail next to evict. Sentinel-free,
+	// nil-terminated both ways.
+	head, tail *page
+}
+
+type page struct {
+	idx        int64
+	buf        []byte
+	prev, next *page
+}
+
+func newPageCache(f *os.File, size int64, pageSize int, budget int64, st *Stats) *pageCache {
+	st.budgetBytes.Set(float64(budget))
+	return &pageCache{
+		f: f, size: size, pageSize: int64(pageSize), budget: budget, st: st,
+		pages: map[int64]*page{},
+	}
+}
+
+// ReadAt gathers [off, off+len(p)) from cached pages, faulting misses in
+// from the file. Holding the lock across the copy keeps eviction from
+// recycling a page out from under a reader; the pages are small enough
+// that the copy is a memory-bandwidth blip, not a lock-hold problem.
+func (c *pageCache) ReadAt(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > c.size {
+		return fmt.Errorf("%w: cache read [%d,+%d) outside %d-byte segment", ErrCorrupt, off, len(p), c.size)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(p) > 0 {
+		idx := off / c.pageSize
+		pg, err := c.pageLocked(idx)
+		if err != nil {
+			return err
+		}
+		in := off - idx*c.pageSize
+		n := copy(p, pg.buf[in:])
+		p = p[n:]
+		off += int64(n)
+	}
+	return nil
+}
+
+// view never returns a window: cached pages can be evicted and recycled,
+// so no zero-copy alias may escape the lock.
+func (c *pageCache) view(off, n int64) []byte { return nil }
+
+// pageLocked returns the page at idx, faulting it in and evicting LRU
+// pages past the budget. Caller holds c.mu.
+func (c *pageCache) pageLocked(idx int64) (*page, error) {
+	if pg, ok := c.pages[idx]; ok {
+		c.st.cacheHits.Inc()
+		c.touchLocked(pg)
+		return pg, nil
+	}
+	c.st.cacheMisses.Inc()
+	start := idx * c.pageSize
+	n := c.pageSize
+	if start+n > c.size {
+		n = c.size - start
+	}
+	buf := mem.Bytes.GetOwned(int(n), false)
+	if _, err := c.f.ReadAt(buf, start); err != nil {
+		mem.Bytes.Recycle(buf)
+		return nil, err
+	}
+	c.st.pageReads.Inc()
+	c.st.readBytes.Add(n)
+	pg := &page{idx: idx, buf: buf}
+	c.pages[idx] = pg
+	c.pushLocked(pg)
+	c.resident += n
+	for c.resident > c.budget && c.tail != nil && c.tail != pg {
+		c.evictLocked(c.tail)
+	}
+	c.st.residentBytes.Set(float64(c.resident))
+	return pg, nil
+}
+
+func (c *pageCache) pushLocked(pg *page) {
+	pg.prev, pg.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = pg
+	}
+	c.head = pg
+	if c.tail == nil {
+		c.tail = pg
+	}
+}
+
+func (c *pageCache) unlinkLocked(pg *page) {
+	if pg.prev != nil {
+		pg.prev.next = pg.next
+	} else {
+		c.head = pg.next
+	}
+	if pg.next != nil {
+		pg.next.prev = pg.prev
+	} else {
+		c.tail = pg.prev
+	}
+	pg.prev, pg.next = nil, nil
+}
+
+func (c *pageCache) touchLocked(pg *page) {
+	if c.head == pg {
+		return
+	}
+	c.unlinkLocked(pg)
+	c.pushLocked(pg)
+}
+
+func (c *pageCache) evictLocked(pg *page) {
+	c.unlinkLocked(pg)
+	delete(c.pages, pg.idx)
+	c.resident -= int64(len(pg.buf))
+	mem.Bytes.Recycle(pg.buf)
+	pg.buf = nil
+	c.st.cacheEvictions.Inc()
+}
+
+// Resident returns the bytes currently held by the cache.
+func (c *pageCache) Resident() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resident
+}
+
+// Close recycles every resident page back to the pools and closes the
+// file.
+func (c *pageCache) Close() error {
+	c.mu.Lock()
+	for c.tail != nil {
+		c.evictLocked(c.tail)
+	}
+	c.st.residentBytes.Set(0)
+	c.mu.Unlock()
+	return c.f.Close()
+}

@@ -1,0 +1,25 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"lsdgnn/internal/mem"
+)
+
+// TestMain enforces the scratch-buffer discipline for the whole suite:
+// every mem.Pool Get taken anywhere on this package's paths must have been
+// balanced by a Put by the time the tests finish. A nonzero gauge here is
+// a leak on some error or early-return path (the page cache's resident
+// pages are owned buffers tracked separately and drained by Close).
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if out := mem.Outstanding(); out != 0 {
+			fmt.Fprintf(os.Stderr, "mem leak check: %d scratch buffers still outstanding after suite\n", out)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

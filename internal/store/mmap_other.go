@@ -1,0 +1,9 @@
+//go:build !linux && !darwin
+
+package store
+
+import "os"
+
+// newMmapReader falls back to plain pread on platforms without the mmap
+// syscall shim — the store stays correct everywhere, fast where mapped.
+func newMmapReader(f *os.File, size int64) reader { return fileReader{f} }

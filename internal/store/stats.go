@@ -1,0 +1,96 @@
+package store
+
+import (
+	"lsdgnn/internal/stats"
+)
+
+// Stats is the persistent store's "store" stats layer: the observability
+// contract for a node that serves a graph larger than its RAM. The zero
+// value is ready to use — servers register an idle Stats at startup so
+// every lsdgnn_store_* series exists at zero from the first scrape, and
+// the disk store bumps the same shape once traffic flows. The series
+// split three ways: the read path (cache hits/misses/evictions, page
+// reads, resident vs budget bytes), the write path (WAL appends/bytes,
+// memtable edges/attrs), and lifecycle (replay counts and latency,
+// compactions, segment generation).
+type Stats struct {
+	// Read path: every neighbor-run or attr-row decode is one logical
+	// read; the cache series tell whether those reads were absorbed by
+	// the admission-controlled page cache or went to disk.
+	neighborReads  stats.Counter
+	attrReads      stats.Counter
+	cacheHits      stats.Counter
+	cacheMisses    stats.Counter
+	cacheEvictions stats.Counter
+	pageReads      stats.Counter
+	readBytes      stats.Counter
+	residentBytes  stats.Gauge
+	budgetBytes    stats.Gauge
+
+	// Write path: appends are acked mutations, bytes their framed size;
+	// the memtable gauges are the overlay the next compaction will fold.
+	walAppends    stats.Counter
+	walBytes      stats.Counter
+	memtableEdges stats.Gauge
+	memtableAttrs stats.Gauge
+	memtableBytes stats.Gauge
+
+	// Lifecycle: replay series move only at Open (crash recovery cost);
+	// generation tracks the live segment so operators can see compaction
+	// progress from the metrics plane alone.
+	walReplayed       stats.Counter
+	walReplayNS       stats.Counter
+	walTruncatedBytes stats.Counter
+	compactions       stats.Counter
+	compactionNS      stats.Counter
+	generation        stats.Gauge
+	segmentBytes      stats.Gauge
+}
+
+// CacheHits returns reads absorbed by the page cache.
+func (s *Stats) CacheHits() int64 { return s.cacheHits.Value() }
+
+// CacheMisses returns reads that faulted a page in from disk.
+func (s *Stats) CacheMisses() int64 { return s.cacheMisses.Value() }
+
+// WALAppends returns the number of mutations logged.
+func (s *Stats) WALAppends() int64 { return s.walAppends.Value() }
+
+// WALReplayed returns how many records replay applied at Open.
+func (s *Stats) WALReplayed() int64 { return s.walReplayed.Value() }
+
+// ResidentBytes returns the page cache's current residency.
+func (s *Stats) ResidentBytes() int64 { return int64(s.residentBytes.Value()) }
+
+// SegmentBytes returns the live segment's file size.
+func (s *Stats) SegmentBytes() int64 { return int64(s.segmentBytes.Value()) }
+
+// Compactions returns how many segment generations have been folded.
+func (s *Stats) Compactions() int64 { return s.compactions.Value() }
+
+// StatsSnapshot implements stats.Source under the "store" layer.
+func (s *Stats) StatsSnapshot() stats.Snapshot {
+	return stats.Snapshot{Layer: "store", Metrics: []stats.Metric{
+		s.neighborReads.Metric("neighbor_reads", "req"),
+		s.attrReads.Metric("attr_reads", "req"),
+		s.cacheHits.Metric("cache_hits", "req"),
+		s.cacheMisses.Metric("cache_misses", "req"),
+		s.cacheEvictions.Metric("cache_evictions", "pages"),
+		s.pageReads.Metric("page_reads", "pages"),
+		s.readBytes.Metric("read_bytes", "bytes"),
+		s.residentBytes.Metric("resident_bytes", "bytes"),
+		s.budgetBytes.Metric("budget_bytes", "bytes"),
+		s.walAppends.Metric("wal_appends", "req"),
+		s.walBytes.Metric("wal_bytes", "bytes"),
+		s.memtableEdges.Metric("memtable_edges", "edges"),
+		s.memtableAttrs.Metric("memtable_attrs", "nodes"),
+		s.memtableBytes.Metric("memtable_bytes", "bytes"),
+		s.walReplayed.Metric("wal_replayed_records", "req"),
+		s.walReplayNS.Metric("wal_replay_ns", "ns"),
+		s.walTruncatedBytes.Metric("wal_truncated_bytes", "bytes"),
+		s.compactions.Metric("compactions", "req"),
+		s.compactionNS.Metric("compaction_ns", "ns"),
+		s.generation.Metric("generation", "gen"),
+		s.segmentBytes.Metric("segment_bytes", "bytes"),
+	}}
+}

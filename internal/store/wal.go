@@ -1,0 +1,233 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sync"
+	"time"
+
+	"lsdgnn/internal/graph"
+)
+
+// The write-ahead log: every topology/attribute mutation is appended (and
+// optionally fsynced) before it touches the memtable, so a crash loses
+// nothing that was acked under SyncAlways and at most the OS-buffered
+// tail under SyncOS. One WAL file per segment generation; compaction
+// folds wal-<N> into segment N+1 and the CURRENT commit retires it.
+//
+// Record format (little endian):
+//
+//	u32 payloadLen | u32 crc32(payload) | payload
+//	payload: u8 kind | fields
+//	  kind 1 (edge): u64 src | u64 dst
+//	  kind 2 (attr): u64 node | u32 n | n × f32
+//
+// Replay reads records until EOF; a record that fails its length bound or
+// checksum marks the torn tail of a crashed append — replay truncates the
+// file there and reports how many bytes were dropped. Torn tails are
+// expected crash debris, not corruption: only a mid-file checksum failure
+// would be, and truncation at first failure subsumes both (everything
+// after an unparseable record is unreachable anyway).
+const (
+	walKindEdge = 1
+	walKindAttr = 2
+
+	walHeaderLen = 8
+	// walMaxRecord bounds a record's claimed payload so a corrupt length
+	// cannot drive a huge allocation.
+	walMaxRecord = 1 << 24
+)
+
+// wal is an open write-ahead log. Appends are serialized by the owning
+// DiskStore's mutation lock.
+type wal struct {
+	mu   sync.Mutex
+	f    *os.File
+	sync SyncMode
+	st   *Stats
+	buf  []byte
+}
+
+// openWAL opens (creating if absent) the generation's log, replays every
+// intact record into the callbacks, and truncates any torn tail. The
+// returned wal is positioned for appends.
+func openWAL(path string, mode SyncMode, st *Stats, onEdge func(src, dst graph.NodeID), onAttr func(v graph.NodeID, attr []float32)) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	good, replayed, err := replayWAL(f, onEdge, onAttr)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	st.walReplayNS.Add(time.Since(start).Nanoseconds())
+	st.walReplayed.Add(replayed)
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if fi.Size() > good {
+		st.walTruncatedBytes.Add(fi.Size() - good)
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &wal{f: f, sync: mode, st: st}, nil
+}
+
+// replayWAL scans records from the start of f, returning the offset just
+// past the last intact record and how many records were applied.
+func replayWAL(f *os.File, onEdge func(src, dst graph.NodeID), onAttr func(v graph.NodeID, attr []float32)) (good int64, replayed int64, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, err
+	}
+	r := newByteCounter(f)
+	var hdr [walHeaderLen]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			// Clean EOF or a torn header: the log ends here.
+			return good, replayed, nil
+		}
+		n := binary.LittleEndian.Uint32(hdr[:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:])
+		if n == 0 || n > walMaxRecord {
+			return good, replayed, nil
+		}
+		if uint32(cap(payload)) < n {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return good, replayed, nil
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			return good, replayed, nil
+		}
+		if !applyWALRecord(payload, onEdge, onAttr) {
+			return good, replayed, nil
+		}
+		replayed++
+		good = r.n
+	}
+}
+
+// applyWALRecord decodes one checksummed payload; false means the record
+// kind or shape is unparseable (treated as the log's end).
+func applyWALRecord(p []byte, onEdge func(src, dst graph.NodeID), onAttr func(v graph.NodeID, attr []float32)) bool {
+	if len(p) < 1 {
+		return false
+	}
+	le := binary.LittleEndian
+	switch p[0] {
+	case walKindEdge:
+		if len(p) != 17 {
+			return false
+		}
+		onEdge(graph.NodeID(le.Uint64(p[1:])), graph.NodeID(le.Uint64(p[9:])))
+		return true
+	case walKindAttr:
+		if len(p) < 13 {
+			return false
+		}
+		n := int(le.Uint32(p[9:]))
+		if len(p) != 13+n*4 {
+			return false
+		}
+		attr := make([]float32, n)
+		for i := range attr {
+			attr[i] = math.Float32frombits(le.Uint32(p[13+i*4:]))
+		}
+		onAttr(graph.NodeID(le.Uint64(p[1:])), attr)
+		return true
+	default:
+		return false
+	}
+}
+
+// byteCounter tracks how far a sequential reader has consumed.
+type byteCounter struct {
+	r io.Reader
+	n int64
+}
+
+func newByteCounter(r io.Reader) *byteCounter { return &byteCounter{r: r} }
+
+func (b *byteCounter) Read(p []byte) (int, error) {
+	n, err := b.r.Read(p)
+	b.n += int64(n)
+	return n, err
+}
+
+// appendEdge logs one edge insertion.
+func (w *wal) appendEdge(src, dst graph.NodeID) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf = w.buf[:0]
+	w.buf = append(w.buf, walKindEdge)
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, uint64(src))
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, uint64(dst))
+	return w.appendLocked()
+}
+
+// appendAttr logs one attribute override.
+func (w *wal) appendAttr(v graph.NodeID, attr []float32) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf = w.buf[:0]
+	w.buf = append(w.buf, walKindAttr)
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, uint64(v))
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(len(attr)))
+	for _, a := range attr {
+		w.buf = binary.LittleEndian.AppendUint32(w.buf, math.Float32bits(a))
+	}
+	return w.appendLocked()
+}
+
+// appendLocked frames w.buf as one record and writes it (header + payload
+// in a single write so a crash tears at most the final record).
+func (w *wal) appendLocked() error {
+	var rec []byte
+	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(w.buf)))
+	rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(w.buf))
+	rec = append(rec, w.buf...)
+	if _, err := w.f.Write(rec); err != nil {
+		return fmt.Errorf("store: wal append: %w", err)
+	}
+	w.st.walAppends.Inc()
+	w.st.walBytes.Add(int64(len(rec)))
+	if w.sync == SyncAlways {
+		return w.f.Sync()
+	}
+	return nil
+}
+
+// Sync forces buffered appends to durable media regardless of mode.
+func (w *wal) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Sync()
+}
+
+// Close syncs and closes the log.
+func (w *wal) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}

@@ -42,9 +42,23 @@
 //
 // Helpers AsPartial, AsPipelinePartial, AsRateLimited, and AsShed wrap
 // errors.As for the common matches (worked examples in options.go).
+//
+// Storage errors from the persistent backend (WithStore with StoreDisk)
+// are sentinels — match them with errors.Is:
+//
+//	sentinel         meaning
+//	--------         -------
+//	ErrStoreCorrupt  a segment header/section, CURRENT file, or WAL record
+//	                 failed checksum or bounds validation; the store never
+//	                 serves guessed data (a torn WAL tail after a crash is
+//	                 not corruption — recovery truncates and replays)
+//	ErrStoreBudget   the configured memory budget cannot admit even one
+//	                 cache page — raise the budget or shrink the page size
 package lsdgnn
 
 import (
+	"fmt"
+
 	"lsdgnn/internal/axe"
 	"lsdgnn/internal/core"
 	"lsdgnn/internal/cost"
@@ -52,6 +66,7 @@ import (
 	"lsdgnn/internal/graph"
 	"lsdgnn/internal/perfmodel"
 	"lsdgnn/internal/sampler"
+	"lsdgnn/internal/store"
 	"lsdgnn/internal/workload"
 )
 
@@ -89,6 +104,41 @@ type (
 	SamplerConfig = sampler.Config
 	// WeightFunc scores candidates for importance-weighted sampling.
 	WeightFunc = sampler.WeightFunc
+	// StoreConfig selects the storage substrate behind the partition
+	// servers (see WithStore): backend, on-disk path, resident memory
+	// budget, and WAL durability mode.
+	StoreConfig = store.Config
+	// GraphStore is the backend-neutral persistent store handle: the
+	// batch-first sampler store contract plus Close.
+	GraphStore = store.Store
+	// DiskStore is the persistent mmap CSR + WAL graph store, with the
+	// streaming ingest surface (AddEdge, SetAttr, Compact) on top of the
+	// GraphStore contract. Obtain one with OpenDiskStore.
+	DiskStore = store.DiskStore
+)
+
+// Storage backend and WAL durability selectors for StoreConfig.
+const (
+	// StoreMemory serves from the in-process graph (the default).
+	StoreMemory = store.Memory
+	// StoreDisk serves from a persistent segment+WAL store on disk.
+	StoreDisk = store.Disk
+	// StoreSyncOS leaves WAL appends in the OS page cache (fast; a power
+	// failure loses the un-synced tail, never corrupts).
+	StoreSyncOS = store.SyncOS
+	// StoreSyncAlways fsyncs the WAL per append (every ack survives power
+	// failure).
+	StoreSyncAlways = store.SyncAlways
+)
+
+// Storage sentinels — match with errors.Is (taxonomy in the package doc).
+var (
+	// ErrStoreCorrupt marks stored data that failed checksum or bounds
+	// validation.
+	ErrStoreCorrupt = store.ErrCorrupt
+	// ErrStoreBudget marks a memory budget too small to admit one cache
+	// page.
+	ErrStoreBudget = store.ErrBudgetExceeded
 )
 
 // Sampling method re-exports.
@@ -127,6 +177,40 @@ func NewDynamic(base *Graph) *Dynamic { return graph.NewDynamic(base) }
 // NewMetaPathSampler samples a Hetero graph along a relation path.
 func NewMetaPathSampler(h *Hetero, path []string, cfg SamplerConfig) (*MetaPathSampler, error) {
 	return sampler.NewMetaPath(h, path, cfg)
+}
+
+// CreateStore bulk-loads g into a new persistent store directory (an
+// immutable CSR segment plus the commit files). Fails with ErrStoreCorrupt
+// semantics never — but with a wrapped store.ErrExists if path already
+// holds a store.
+func CreateStore(path string, g *Graph) error { return store.Create(path, g) }
+
+// OpenDiskStore opens (bulk-loading first when cfg.Path holds no store
+// yet and a graph would be needed — create one with CreateStore) the
+// persistent store described by cfg, returning the concrete handle with
+// the ingest surface:
+//
+//	err := lsdgnn.CreateStore(dir, g)                     // once
+//	ds, err := lsdgnn.OpenDiskStore(lsdgnn.StoreConfig{
+//		Path: dir, MemoryBudget: 64 << 20,
+//	})
+//	defer ds.Close()
+//	err = ds.AddEdge(src, dst) // WAL-logged, durable per SyncMode
+//	err = ds.Compact()         // fold the memtable into a new segment
+//
+// The Backend field is ignored (a disk store is always Disk).
+func OpenDiskStore(cfg StoreConfig) (*DiskStore, error) {
+	cfg.Backend = store.Disk
+	s, err := store.FromConfig(cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	ds, ok := s.(*store.DiskStore)
+	if !ok {
+		s.Close()
+		return nil, fmt.Errorf("lsdgnn: unexpected store backend %T", s)
+	}
+	return ds, nil
 }
 
 // LoadGraph reads a graph saved with SaveGraph.

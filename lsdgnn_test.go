@@ -285,6 +285,86 @@ func TestPublicElasticLayout(t *testing.T) {
 	}
 }
 
+// TestPublicStore is the WithStore quickstart from options.go: the same
+// deployment once from memory and once from a budgeted disk store, with
+// byte-identical sampling, the "store" stats layer live in the registry,
+// and the persistent directory reopenable by the ingest helpers.
+func TestPublicStore(t *testing.T) {
+	g := GenerateGraph(2000, 8, 16, 13)
+	dir := t.TempDir() + "/store"
+	mem, err := New("", WithGraph(g), WithServers(2), WithSeed(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New("", WithGraph(g), WithServers(2), WithSeed(13),
+		WithStore(StoreConfig{Backend: StoreDisk, Path: dir, MemoryBudget: 1 << 20}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	roots := sys.BatchSource(16, 4).Next()
+	want, err := mem.SampleSoftware(ctx, roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sys.SampleSoftware(ctx, roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("disk-backed sampling diverged from the in-memory system")
+	}
+
+	// The storage tier reports itself: cache traffic in the "store" layer.
+	var reads float64
+	for _, snap := range sys.StatsRegistry().Collect() {
+		if snap.Layer != "store" {
+			continue
+		}
+		for _, m := range snap.Metrics {
+			if m.Name == "neighbor_reads" {
+				reads = m.Value
+			}
+		}
+	}
+	if reads == 0 {
+		t.Fatal("store layer reported no neighbor reads")
+	}
+	sys.Close()
+
+	// The directory outlives the system: reopen it with the ingest handle,
+	// append durably, and survive a reopen.
+	ds, err := OpenDiskStore(StoreConfig{Path: dir, SyncMode: StoreSyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ds, err = OpenDiskStore(StoreConfig{Path: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	if ds.DeltaEdges() != 1 {
+		t.Fatalf("WAL replay lost the appended edge: delta = %d", ds.DeltaEdges())
+	}
+
+	// The sentinel taxonomy is matchable through the facade.
+	_, err = New("", WithGraph(g), WithSeed(13),
+		WithStore(StoreConfig{Backend: StoreDisk, Path: t.TempDir(), MemoryBudget: 10}))
+	if !errors.Is(err, ErrStoreBudget) {
+		t.Fatalf("tiny budget error = %v, want ErrStoreBudget", err)
+	}
+	if err := CreateStore(dir, g); err == nil {
+		t.Fatal("CreateStore over an existing store succeeded")
+	}
+}
+
 // TestPublicGateway drives the multi-tenant front door through the
 // facade: WithGateway construction, SampleAs as the tenant entry point,
 // and the typed rejection helpers.

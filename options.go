@@ -269,6 +269,28 @@ func WithEngineSpares(n int) Option {
 	return func(o *Options) { o.EngineSpares = n }
 }
 
+// WithStore selects the storage substrate behind the partition servers.
+// The default (StoreMemory) serves from the in-process graph. StoreDisk
+// persists the graph as an mmap'd CSR segment + write-ahead log at
+// cfg.Path — bulk-loaded on first use, reopened (with WAL crash recovery)
+// thereafter — and the servers answer from it while keeping at most
+// cfg.MemoryBudget bytes of segment data resident, which is how a node
+// serves a graph larger than its RAM:
+//
+//	sys, err := lsdgnn.New("ss", lsdgnn.WithStore(lsdgnn.StoreConfig{
+//		Backend:      lsdgnn.StoreDisk,
+//		Path:         "/data/lsdgnn/ss",
+//		MemoryBudget: 256 << 20, // 0 = mmap the whole segment
+//		SyncMode:     lsdgnn.StoreSyncAlways,
+//	}))
+//	defer sys.Close() // syncs the WAL, releases the mapping
+//
+// Storage failures surface as wrapped sentinels: match
+// lsdgnn.ErrStoreCorrupt / lsdgnn.ErrStoreBudget with errors.Is.
+func WithStore(cfg StoreConfig) Option {
+	return func(o *Options) { o.Store = cfg }
+}
+
 // New assembles a deployment from a named Table 2 dataset ("ss", "ls",
 // "sl", "ml", "ll", "syn") and functional options:
 //

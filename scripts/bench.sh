@@ -3,7 +3,9 @@
 # pipeline / pack / codec benchmarks with -benchmem and writes
 # BENCH_6.json recording the pre-refactor baselines (measured on this
 # tree immediately before the mem buffer layer landed), the current
-# numbers, and the per-benchmark reductions.
+# numbers, and the per-benchmark reductions. Also runs the storage-tier
+# benchmark and writes BENCH_10.json (disk store sampling under a cache
+# budget 4x smaller than the segment).
 #
 #   bench.sh          full run; gates the PR's promise of a >=50% B/op
 #                     and allocs/op reduction on the sample->pack path
@@ -103,6 +105,52 @@ END {
     }
     exit fail
 }' "$RAW"
+
+# Storage-tier trajectory: the disk store must sustain sampling on a
+# segment >=4x its configured cache budget with resident bytes never
+# exceeding the budget — the benchmark itself b.Fatalf's on either
+# violation, so a passing run IS the proof. BENCH_10.json records the
+# local / budgeted / mmap serving triangle plus the budgeted hit rate.
+STORE_OUT=BENCH_10.json
+STORE_RAW=$(mktemp)
+trap 'rm -f "$RAW" "$STORE_RAW"' EXIT
+# shellcheck disable=SC2086
+go test -run '^$' -bench 'BenchmarkDiskStoreSampling' -benchmem $FLAGS . | tee "$STORE_RAW"
+
+awk -v mode="$MODE" -v out="$STORE_OUT" '
+/^BenchmarkDiskStoreSampling\// {
+    name = $1
+    sub(/^BenchmarkDiskStoreSampling\//, "", name)
+    sub(/-[0-9]+$/, "", name)
+    ns = bop = aop = hit = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns  = $(i - 1)
+        if ($i == "B/op")      bop = $(i - 1)
+        if ($i == "allocs/op") aop = $(i - 1)
+        if ($i == "hit%")      hit = $(i - 1)
+    }
+    if (ns != "") { cur_ns[name] = ns; cur_b[name] = bop; cur_a[name] = aop; cur_h[name] = hit }
+}
+END {
+    norder = split("local disk-budgeted disk-mmap", order, " ")
+    fail = 0
+    printf "{\n  \"pr\": 10,\n  \"mode\": \"%s\",\n", mode > out
+    printf "  \"contract\": {\"segment_over_budget_min\": 4, \"resident_under_budget\": true},\n" > out
+    printf "  \"benchmarks\": {\n" > out
+    for (i = 1; i <= norder; i++) {
+        name = order[i]
+        if (!(name in cur_ns)) {
+            printf "bench: DiskStoreSampling/%s missing from output\n", name > "/dev/stderr"
+            fail = 1
+            continue
+        }
+        printf "    \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s", name, cur_ns[name], cur_b[name], cur_a[name] > out
+        if (cur_h[name] != "") printf ", \"cache_hit_pct\": %s", cur_h[name] > out
+        printf "}%s\n", (i < norder ? "," : "") > out
+    }
+    printf "  }\n}\n" > out
+    exit fail
+}' "$STORE_RAW"
 
 if [ "$MODE" = smoke ]; then
     # allocs/op regression check against the checked-in steady-state

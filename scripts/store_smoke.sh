@@ -1,0 +1,119 @@
+#!/bin/sh
+# Store smoke test: the persistent storage tier end to end over real
+# processes and sockets. lsdgnn-shard bulk-loads a per-partition CSR
+# segment, lsdgnn-server boots from it with -store-path under a cache
+# budget, /metrics must carry the zero-valued lsdgnn_store_* read series
+# from the first scrape, a probe burst must move them, and then the crash
+# drill: kill -9 the server, append edges to the WAL with
+# lsdgnn-shard -mode ingest, and assert the restarted server replays
+# exactly those records and still serves.
+set -eu
+cd "$(dirname "$0")/.."
+
+ADMIN_PORT=${ADMIN_PORT:-17499}
+SERVE_PORT=${SERVE_PORT:-17498}
+OUT=$(mktemp -d)
+trap 'kill $SRV_PID 2>/dev/null || true; rm -rf "$OUT"' EXIT
+
+go build -o "$OUT/lsdgnn-server" ./cmd/lsdgnn-server
+go build -o "$OUT/lsdgnn-probe" ./cmd/lsdgnn-probe
+go build -o "$OUT/lsdgnn-shard" ./cmd/lsdgnn-shard
+
+# Bulk-load the dataset into a one-partition store directory.
+"$OUT/lsdgnn-shard" -mode bulk-load -dataset ss -partitions 1 -out "$OUT/shards" >"$OUT/shard.log" 2>&1 \
+    || { cat "$OUT/shard.log" >&2; exit 1; }
+STORE_DIR="$OUT/shards/shard-0"
+for f in CURRENT seg-1.lsds; do
+    if [ ! -f "$STORE_DIR/$f" ]; then
+        echo "store-smoke: bulk-load left no $f" >&2
+        cat "$OUT/shard.log" >&2
+        exit 1
+    fi
+done
+
+boot_server() {
+    "$OUT/lsdgnn-server" -addr "127.0.0.1:$SERVE_PORT" -admin-addr "127.0.0.1:$ADMIN_PORT" \
+        -partitions 1 -partition 0 -store-path "$STORE_DIR" -store-budget $((1 << 20)) \
+        -log-level warn >>"$OUT/server.log" 2>&1 &
+    SRV_PID=$!
+    i=0
+    until curl -sf "http://127.0.0.1:$ADMIN_PORT/readyz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 60 ]; then
+            echo "store-smoke: server never became ready" >&2
+            cat "$OUT/server.log" >&2
+            exit 1
+        fi
+        sleep 1
+    done
+}
+boot_server
+
+metric() {
+    grep "^$2 " "$1" | awk '{print $2}' | head -n1
+}
+
+# The store series must exist from boot — the read-path counters at zero
+# (no request has touched a page yet), the lifecycle gauges live.
+curl -sf "http://127.0.0.1:$ADMIN_PORT/metrics" >"$OUT/metrics.before"
+for series in \
+    'lsdgnn_store_neighbor_reads' \
+    'lsdgnn_store_attr_reads' \
+    'lsdgnn_store_cache_hits' \
+    'lsdgnn_store_cache_misses' \
+    'lsdgnn_store_resident_bytes' \
+    'lsdgnn_store_wal_appends' \
+    'lsdgnn_store_wal_replayed_records' \
+    'lsdgnn_store_generation' \
+    'lsdgnn_store_segment_bytes'; do
+    if ! grep -q "^$series " "$OUT/metrics.before"; then
+        echo "store-smoke: /metrics missing $series" >&2
+        cat "$OUT/metrics.before" >&2
+        exit 1
+    fi
+done
+READS0=$(metric "$OUT/metrics.before" lsdgnn_store_neighbor_reads)
+case "$READS0" in
+    0|0.0|0e+00) ;;
+    *) echo "store-smoke: neighbor_reads not zero at boot ($READS0)" >&2; exit 1 ;;
+esac
+GEN=$(metric "$OUT/metrics.before" lsdgnn_store_generation)
+case "$GEN" in
+    1|1.0) ;;
+    *) echo "store-smoke: generation $GEN at boot, want 1" >&2; exit 1 ;;
+esac
+
+# A probe burst over TCP must page the segment through the cache.
+"$OUT/lsdgnn-probe" -addrs "127.0.0.1:$SERVE_PORT" -batches 8 -batch-size 48 \
+    >"$OUT/probe.log" 2>&1 || { cat "$OUT/probe.log" >&2; exit 1; }
+grep -q 'probe: OK' "$OUT/probe.log"
+curl -sf "http://127.0.0.1:$ADMIN_PORT/metrics" >"$OUT/metrics.after"
+READS=$(metric "$OUT/metrics.after" lsdgnn_store_neighbor_reads)
+MISSES=$(metric "$OUT/metrics.after" lsdgnn_store_cache_misses)
+case "$READS" in
+    ''|0|0.0) echo "store-smoke: neighbor_reads did not move ($READS)" >&2; exit 1 ;;
+esac
+case "$MISSES" in
+    ''|0|0.0) echo "store-smoke: cache never faulted a page ($MISSES)" >&2; exit 1 ;;
+esac
+
+# Crash drill: kill -9 (no drain, no close), append 50 edges through the
+# WAL, restart, and the server must replay exactly those records.
+kill -9 "$SRV_PID"
+wait "$SRV_PID" 2>/dev/null || true
+"$OUT/lsdgnn-shard" -mode ingest -store "$STORE_DIR" -edges 50 -sync >"$OUT/ingest.log" 2>&1 \
+    || { cat "$OUT/ingest.log" >&2; exit 1; }
+boot_server
+curl -sf "http://127.0.0.1:$ADMIN_PORT/metrics" >"$OUT/metrics.recovered"
+REPLAYED=$(metric "$OUT/metrics.recovered" lsdgnn_store_wal_replayed_records)
+case "$REPLAYED" in
+    50|50.0) ;;
+    *) echo "store-smoke: WAL replayed $REPLAYED records after restart, want 50" >&2
+       cat "$OUT/server.log" >&2
+       exit 1 ;;
+esac
+"$OUT/lsdgnn-probe" -addrs "127.0.0.1:$SERVE_PORT" -batches 2 -batch-size 32 \
+    >"$OUT/probe2.log" 2>&1 || { cat "$OUT/probe2.log" >&2; exit 1; }
+grep -q 'probe: OK' "$OUT/probe2.log"
+
+echo "store-smoke: OK (reads=$READS misses=$MISSES replayed=$REPLAYED)"
